@@ -1,0 +1,29 @@
+//! # besst-abft — algorithm-based fault tolerance
+//!
+//! The second fault-tolerance family the paper's algorithmic DSE targets
+//! ("other fault-tolerance techniques can be added ... such as
+//! algorithm-based fault-tolerance (ABFT). ABFT takes the form of
+//! alternate algorithms that perform the same operations but with more
+//! resilience and overhead, such as using a checksum in a matrix-based
+//! code to guard against silent data corruption", §III-B):
+//!
+//! * [`checksum`] — the Huang–Abraham full-checksum scheme, actually
+//!   implemented: checksum-augmented matrix products, single-error
+//!   location and in-place correction, multi-error detection;
+//! * [`solver`] — an executing iterative-solver proxy with protected and
+//!   unprotected variants, their work models, and AppBEO emitters, so
+//!   the ABFT-vs-checkpointing trade can be *simulated* in the BE-SST
+//!   workflow and *demonstrated* on real corrupted data.
+//!
+//! The complementarity matters for DSE: checkpoint/restart defends
+//! against fail-stop faults but is blind to silent data corruption; ABFT
+//! corrects SDC in the protected kernels but does nothing for crashes.
+//! `repro ablation-abft` quantifies both sides.
+
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod solver;
+
+pub use checksum::{protected_mul, strip, verify_and_correct, AbftOutcome, Mat};
+pub use solver::{Solver, SolverConfig};

@@ -1,0 +1,258 @@
+//! An ABFT-protectable iterative solver proxy — the paper's Fig. 3
+//! pattern ("alternate algorithms that perform the same operations but
+//! with more resilience and overhead").
+//!
+//! The kernel is a blocked power iteration: each timestep computes
+//! `X ← normalize(A · X)` with a dense GEMM. The *protected* variant
+//! computes the full-checksum product and runs ABFT verification each
+//! step, correcting single silent data corruptions in place; the
+//! *unprotected* variant silently propagates them. Both actually execute
+//! — the SDC-injection tests corrupt real matrix elements and watch the
+//! two variants diverge or not.
+
+use crate::checksum::{protected_mul, recommended_tol, strip, verify_and_correct, AbftOutcome, Mat};
+use besst_core::beo::{AppBeo, Instr, SyncMarker};
+use besst_machine::BlockWork;
+use serde::{Deserialize, Serialize};
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Matrix dimension per rank.
+    pub n: u32,
+    /// MPI ranks (each owns an independent block in this proxy).
+    pub ranks: u32,
+}
+
+impl SolverConfig {
+    /// Build and validate.
+    pub fn new(n: u32, ranks: u32) -> Self {
+        assert!(n >= 2, "matrix dimension must be at least 2");
+        assert!(ranks >= 1, "need at least one rank");
+        SolverConfig { n, ranks }
+    }
+
+    /// FLOPs of one unprotected GEMM step (2n³ multiply-add).
+    pub fn flops_unprotected(&self) -> f64 {
+        2.0 * (self.n as f64).powi(3)
+    }
+
+    /// FLOPs of one ABFT-protected step: the (n+1)×n · n×(n+1) product
+    /// plus the 4n² verification sweep.
+    pub fn flops_protected(&self) -> f64 {
+        let n = self.n as f64;
+        2.0 * (n + 1.0) * (n + 1.0) * n + 4.0 * n * n
+    }
+
+    /// The ABFT overhead ratio (→ 1 as n grows: ABFT's selling point).
+    pub fn abft_overhead(&self) -> f64 {
+        self.flops_protected() / self.flops_unprotected()
+    }
+
+    /// Memory traffic per step, bytes (three matrices streamed).
+    pub fn mem_bytes(&self) -> f64 {
+        3.0 * (self.n as f64).powi(2) * 8.0
+    }
+}
+
+/// Kernel names bound in the ArchBEO.
+pub mod kernels {
+    /// Unprotected GEMM step.
+    pub const STEP: &str = "abft_solver_step";
+    /// ABFT-protected GEMM step (checksum product + verification).
+    pub const STEP_ABFT: &str = "abft_solver_step_protected";
+}
+
+/// Machine blocks of one step (protected or not).
+pub fn step_blocks(cfg: &SolverConfig, protected: bool) -> Vec<BlockWork> {
+    vec![
+        BlockWork::Compute {
+            flops: if protected { cfg.flops_protected() } else { cfg.flops_unprotected() },
+            mem_bytes: cfg.mem_bytes(),
+            cores_used: 1,
+        },
+        BlockWork::Allreduce { ranks: cfg.ranks, bytes: 8 },
+    ]
+}
+
+/// AppBEO of a `steps`-step run.
+pub fn appbeo(cfg: &SolverConfig, protected: bool, steps: u32) -> AppBeo {
+    assert!(steps >= 1, "need at least one step");
+    let kernel = if protected { kernels::STEP_ABFT } else { kernels::STEP };
+    AppBeo::new(
+        &format!("abft-solver-{}-{}", cfg.n, if protected { "abft" } else { "plain" }),
+        cfg.ranks,
+        vec![Instr::Loop {
+            count: steps,
+            body: vec![Instr::SyncKernel {
+                kernel: kernel.to_string(),
+                params: vec![cfg.n as f64, cfg.ranks as f64],
+                marker: SyncMarker::StepEnd,
+            }],
+        }],
+    )
+}
+
+/// One executing solver instance (single rank block).
+#[derive(Debug, Clone)]
+pub struct Solver {
+    /// The iteration matrix.
+    pub a: Mat,
+    /// The current iterate.
+    pub x: Mat,
+    n: usize,
+    /// Corrections ABFT applied so far.
+    pub corrections: u64,
+    /// Steps where ABFT flagged uncorrectable corruption (recompute).
+    pub recomputes: u64,
+}
+
+impl Solver {
+    /// Deterministic instance.
+    pub fn new(n: u32, seed: u64) -> Self {
+        let n = n as usize;
+        let mut a = Mat::random(n, n, seed);
+        // Mildly diagonally dominant so the power iteration is tame.
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + 2.0);
+        }
+        Solver { a, x: Mat::random(n, n, seed ^ 0xF00D), n, corrections: 0, recomputes: 0 }
+    }
+
+    fn normalize(x: &mut Mat) {
+        let norm: f64 = (0..x.rows())
+            .flat_map(|i| (0..x.cols()).map(move |j| (i, j)))
+            .map(|(i, j)| x.get(i, j) * x.get(i, j))
+            .sum::<f64>()
+            .sqrt()
+            .max(1e-300);
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let v = x.get(i, j) / norm;
+                x.set(i, j, v);
+            }
+        }
+    }
+
+    /// One unprotected step; `sdc` optionally corrupts element (r, c) of
+    /// the product by `delta` (a silent data corruption striking the
+    /// compute units).
+    pub fn step_unprotected(&mut self, sdc: Option<(usize, usize, f64)>) {
+        let mut c = self.a.mul(&self.x);
+        if let Some((r, col, delta)) = sdc {
+            c.set(r, col, c.get(r, col) + delta);
+        }
+        Self::normalize(&mut c);
+        self.x = c;
+    }
+
+    /// One ABFT-protected step with the same optional SDC. Single
+    /// corruptions are corrected; uncorrectable patterns trigger a
+    /// recompute (counted, then executed cleanly).
+    pub fn step_protected(&mut self, sdc: Option<(usize, usize, f64)>) {
+        let mut cfull = protected_mul(&self.a, &self.x);
+        if let Some((r, col, delta)) = sdc {
+            cfull.set(r, col, cfull.get(r, col) + delta);
+        }
+        let tol = recommended_tol(self.n, 2.0);
+        match verify_and_correct(&mut cfull, tol) {
+            AbftOutcome::Clean => {}
+            AbftOutcome::Corrected { .. } => self.corrections += 1,
+            AbftOutcome::Uncorrectable => {
+                self.recomputes += 1;
+                cfull = protected_mul(&self.a, &self.x);
+            }
+        }
+        let mut c = strip(&cfull);
+        Self::normalize(&mut c);
+        self.x = c;
+    }
+
+    /// Max-abs difference between two iterates.
+    pub fn diff(&self, other: &Solver) -> f64 {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut d: f64 = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                d = d.max((self.x.get(i, j) - other.x.get(i, j)).abs());
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_shrinks_with_n() {
+        let small = SolverConfig::new(8, 1).abft_overhead();
+        let big = SolverConfig::new(256, 1).abft_overhead();
+        assert!(small > big, "{small} vs {big}");
+        assert!(big < 1.05, "ABFT is cheap at scale: {big}");
+        assert!(small > 1.2, "and pricey for tiny blocks: {small}");
+    }
+
+    #[test]
+    fn clean_runs_agree_between_variants() {
+        let mut plain = Solver::new(12, 42);
+        let mut abft = Solver::new(12, 42);
+        for _ in 0..10 {
+            plain.step_unprotected(None);
+            abft.step_protected(None);
+        }
+        assert!(plain.diff(&abft) < 1e-9, "diff {}", plain.diff(&abft));
+        assert_eq!(abft.corrections, 0);
+    }
+
+    #[test]
+    fn abft_absorbs_single_sdc_plain_does_not() {
+        let mut clean = Solver::new(12, 7);
+        let mut plain = Solver::new(12, 7);
+        let mut abft = Solver::new(12, 7);
+        for step in 0..12 {
+            let sdc = if step == 5 { Some((3, 4, 2.5)) } else { None };
+            clean.step_unprotected(None);
+            plain.step_unprotected(sdc);
+            abft.step_protected(sdc);
+        }
+        assert_eq!(abft.corrections, 1);
+        assert!(clean.diff(&abft) < 1e-9, "ABFT result is correct: {}", clean.diff(&abft));
+        assert!(clean.diff(&plain) > 1e-4, "plain silently corrupted: {}", clean.diff(&plain));
+    }
+
+    #[test]
+    fn repeated_sdcs_all_corrected() {
+        let mut clean = Solver::new(10, 3);
+        let mut abft = Solver::new(10, 3);
+        for step in 0..20 {
+            let sdc = if step % 4 == 1 { Some((step % 10, (step * 3) % 10, 1.0)) } else { None };
+            clean.step_unprotected(None);
+            abft.step_protected(sdc);
+        }
+        assert_eq!(abft.corrections, 5);
+        assert_eq!(abft.recomputes, 0);
+        assert!(clean.diff(&abft) < 1e-9);
+    }
+
+    #[test]
+    fn appbeo_and_blocks_cover_both_variants() {
+        let cfg = SolverConfig::new(64, 8);
+        let plain = appbeo(&cfg, false, 5);
+        let prot = appbeo(&cfg, true, 5);
+        assert_eq!(plain.n_steps(), 5);
+        assert_eq!(prot.kernels(), vec![kernels::STEP_ABFT.to_string()]);
+        let bp = step_blocks(&cfg, false);
+        let ba = step_blocks(&cfg, true);
+        let fp = match bp[0] {
+            BlockWork::Compute { flops, .. } => flops,
+            _ => unreachable!(),
+        };
+        let fa = match ba[0] {
+            BlockWork::Compute { flops, .. } => flops,
+            _ => unreachable!(),
+        };
+        assert!(fa > fp, "protection costs flops");
+    }
+}

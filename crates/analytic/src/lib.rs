@@ -1,0 +1,34 @@
+//! # besst-analytic — analytical fault-tolerance performance baselines
+//!
+//! The related-work models the paper positions BE-SST against (§II),
+//! implemented as comparators and sanity anchors for the simulation:
+//!
+//! * [`scaling`] — Amdahl & Gustafson, the fault-free starting points;
+//! * [`young_daly`] — optimal checkpoint intervals (Young first-order,
+//!   Daly higher-order) and Daly's expected-runtime model, which the
+//!   fault-injection simulator is validated against;
+//! * [`reliability`] — Zheng et al.'s reliability-aware strong/weak
+//!   scaling speedups and the Cavelan et al. optimal processor count
+//!   (speedup becomes *non-monotone* in p once faults are counted);
+//! * [`replication`] — Hussain et al.'s dual-replication model with the
+//!   birthday-bound MTTI and the replication-vs-checkpointing crossover;
+//! * [`queueing`] — Jin et al.'s spare-node environment optimization.
+//!
+//! These models are deliberately abstract — that is the paper's point:
+//! BE-SST's calibrated models capture machine-specific behaviour that
+//! closed forms cannot, and the `repro ablation-*` harnesses quantify the
+//! gap.
+
+#![warn(missing_docs)]
+
+pub mod queueing;
+pub mod reliability;
+pub mod replication;
+pub mod scaling;
+pub mod young_daly;
+
+pub use queueing::{SpareConfig, SpareNodeParams};
+pub use reliability::{optimal_processes, strong_speedup, weak_speedup, ReliabilityParams};
+pub use replication::{replication_crossover, ReplicationParams};
+pub use scaling::ParallelWorkload;
+pub use young_daly::CrParams;

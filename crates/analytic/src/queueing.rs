@@ -1,0 +1,195 @@
+//! Fault-tolerant environment optimization (Jin et al., ICPP 2010).
+//!
+//! Jin et al. model an HPC job as alternating computation and recovery
+//! periods and optimize three knobs analytically: the checkpoint
+//! frequency, the number of compute processes, and the number of *spare
+//! nodes* kept idle to absorb failures (a failed node's work migrates to a
+//! spare instantly; once spares run out, every further failure additionally
+//! pays a repair delay). We implement the expected-makespan model and a
+//! scan-based optimizer over the three knobs.
+
+use crate::scaling::ParallelWorkload;
+use crate::young_daly::CrParams;
+use serde::{Deserialize, Serialize};
+
+/// System parameters for the spare-node model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpareNodeParams {
+    /// MTBF of one node, seconds.
+    pub node_mtbf: f64,
+    /// Checkpoint cost, seconds.
+    pub checkpoint_cost: f64,
+    /// Restart (rollback) cost, seconds.
+    pub restart_cost: f64,
+    /// Repair/replacement delay when no spare is available, seconds.
+    pub repair_time: f64,
+    /// Total nodes available (compute + spares ≤ this).
+    pub total_nodes: u32,
+}
+
+/// A chosen configuration: how many nodes compute, how many idle as
+/// spares, and the checkpoint interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpareConfig {
+    /// Compute nodes.
+    pub compute: u32,
+    /// Spare nodes.
+    pub spares: u32,
+    /// Checkpoint interval, seconds of compute.
+    pub interval: f64,
+}
+
+impl SpareNodeParams {
+    /// Construct with validation.
+    pub fn new(
+        node_mtbf: f64,
+        checkpoint_cost: f64,
+        restart_cost: f64,
+        repair_time: f64,
+        total_nodes: u32,
+    ) -> Self {
+        assert!(node_mtbf > 0.0, "node MTBF must be positive");
+        assert!(checkpoint_cost >= 0.0 && restart_cost >= 0.0 && repair_time >= 0.0);
+        assert!(total_nodes >= 1, "need at least one node");
+        SpareNodeParams { node_mtbf, checkpoint_cost, restart_cost, repair_time, total_nodes }
+    }
+
+    /// Expected makespan of `t1` sequential seconds of work under a
+    /// configuration.
+    ///
+    /// Failures on the `compute` partition arrive at rate `compute/M`.
+    /// Each failure costs a rollback (Daly model); failures beyond the
+    /// spare pool additionally pay `repair_time`. The expected number of
+    /// failures is resolved self-consistently from the final makespan.
+    pub fn expected_makespan(
+        &self,
+        w: &ParallelWorkload,
+        t1: f64,
+        cfg: &SpareConfig,
+    ) -> f64 {
+        assert!(cfg.compute >= 1, "need at least one compute node");
+        assert!(
+            cfg.compute + cfg.spares <= self.total_nodes,
+            "configuration exceeds the machine"
+        );
+        assert!(cfg.interval > 0.0, "interval must be positive");
+        let work = w.amdahl_time(t1, cfg.compute);
+        let mtbf_sys = self.node_mtbf / cfg.compute as f64;
+        let cr = CrParams::new(self.checkpoint_cost, self.restart_cost, mtbf_sys);
+        // Base: compute + checkpoint + rollback overheads via Daly.
+        let base = cr.expected_runtime(work, cfg.interval);
+        // Failures during the run; those beyond the spare pool stall the
+        // job for repair_time each. One fixed-point iteration is enough —
+        // repair stalls add failures of their own only at second order.
+        let n_fail = base / mtbf_sys;
+        let uncovered = (n_fail - cfg.spares as f64).max(0.0);
+        base + uncovered * self.repair_time
+    }
+
+    /// Scan for the best (compute, spares, interval) configuration.
+    pub fn optimize(&self, w: &ParallelWorkload, t1: f64) -> SpareConfig {
+        let mut best = SpareConfig { compute: 1, spares: 0, interval: 1.0 };
+        let mut best_t = f64::INFINITY;
+        // Candidate compute sizes: powers of two and the full machine.
+        let mut sizes: Vec<u32> = Vec::new();
+        let mut p = 1u32;
+        while p < self.total_nodes {
+            sizes.push(p);
+            p = p.saturating_mul(2);
+        }
+        sizes.push(self.total_nodes);
+        for &compute in &sizes {
+            let mtbf_sys = self.node_mtbf / compute as f64;
+            let cr = CrParams::new(self.checkpoint_cost, self.restart_cost, mtbf_sys);
+            let interval = cr.daly_interval().max(1.0);
+            let max_spares = self.total_nodes - compute;
+            // Spares are cheap to scan: makespan is piecewise-linear in
+            // spares with a kink at the expected failure count.
+            for spares in [0, max_spares / 4, max_spares / 2, max_spares]
+                .into_iter()
+                .filter(|&s| compute + s <= self.total_nodes)
+            {
+                let cfg = SpareConfig { compute, spares, interval };
+                let t = self.expected_makespan(w, t1, &cfg);
+                if t < best_t {
+                    best_t = t;
+                    best = cfg;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> ParallelWorkload {
+        ParallelWorkload::new(0.999)
+    }
+
+    fn params() -> SpareNodeParams {
+        // 2-year node MTBF, 120 s ckpt, 240 s restart, 4 h repair, 4096
+        // nodes.
+        SpareNodeParams::new(2.0 * 365.0 * 24.0 * 3600.0, 120.0, 240.0, 4.0 * 3600.0, 4096)
+    }
+
+    #[test]
+    fn spares_reduce_makespan_when_failures_exceed_pool() {
+        let p = params();
+        let w = workload();
+        let t1 = 365.0 * 24.0 * 3600.0; // a year of sequential work
+        let cr = CrParams::new(120.0, 240.0, p.node_mtbf / 2048.0);
+        let interval = cr.daly_interval();
+        let none = p.expected_makespan(&w, t1, &SpareConfig { compute: 2048, spares: 0, interval });
+        let some =
+            p.expected_makespan(&w, t1, &SpareConfig { compute: 2048, spares: 64, interval });
+        assert!(some < none, "spares absorb repair stalls: {some} vs {none}");
+    }
+
+    #[test]
+    fn spares_beyond_expected_failures_stop_helping() {
+        let p = params();
+        let w = workload();
+        let t1 = 30.0 * 24.0 * 3600.0;
+        let interval = 3600.0;
+        let a = p.expected_makespan(&w, t1, &SpareConfig { compute: 1024, spares: 2000, interval });
+        let b = p.expected_makespan(&w, t1, &SpareConfig { compute: 1024, spares: 3000, interval });
+        assert_eq!(a, b, "excess spares are pure idle capacity");
+    }
+
+    #[test]
+    fn optimizer_uses_parallelism() {
+        let p = params();
+        let w = workload();
+        let t1 = 365.0 * 24.0 * 3600.0;
+        let best = p.optimize(&w, t1);
+        assert!(best.compute >= 64, "should exploit the machine, got {best:?}");
+        assert!(best.compute + best.spares <= p.total_nodes);
+        assert!(best.interval > 0.0);
+    }
+
+    #[test]
+    fn optimizer_beats_naive_full_machine() {
+        let p = params();
+        let w = workload();
+        let t1 = 365.0 * 24.0 * 3600.0;
+        let best = p.optimize(&w, t1);
+        let t_best = p.expected_makespan(&w, t1, &best);
+        let naive = SpareConfig { compute: p.total_nodes, spares: 0, interval: 3600.0 };
+        let t_naive = p.expected_makespan(&w, t1, &naive);
+        assert!(t_best <= t_naive, "{t_best} vs naive {t_naive}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the machine")]
+    fn overcommit_panics() {
+        let p = params();
+        p.expected_makespan(
+            &workload(),
+            1.0,
+            &SpareConfig { compute: 4096, spares: 1, interval: 10.0 },
+        );
+    }
+}

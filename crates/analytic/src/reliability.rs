@@ -1,0 +1,213 @@
+//! Reliability-aware scaling models (Zheng et al. and Cavelan et al.).
+//!
+//! Zheng & Lan extend Amdahl's and Gustafson's laws with coordinated
+//! checkpoint-restart under a per-node failure rate: more nodes bring more
+//! parallelism *and* more failures, so the reliability-aware speedup is no
+//! longer monotone — it peaks at a finite node count and then declines,
+//! the headline observation the paper's related-work section cites.
+//! Cavelan et al. ("When Amdahl meets Young/Daly") derive the processor
+//! count minimizing expected execution time; we expose a numeric optimum
+//! over the same model.
+
+use crate::scaling::ParallelWorkload;
+use crate::young_daly::CrParams;
+use serde::{Deserialize, Serialize};
+
+/// Per-node reliability plus C/R costs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReliabilityParams {
+    /// MTBF of a single node, seconds.
+    pub node_mtbf: f64,
+    /// Checkpoint cost, seconds (taken scale-independent here; the BE-SST
+    /// models replace this with a calibrated function of p).
+    pub checkpoint_cost: f64,
+    /// Restart cost, seconds.
+    pub restart_cost: f64,
+}
+
+impl ReliabilityParams {
+    /// Construct with validation.
+    pub fn new(node_mtbf: f64, checkpoint_cost: f64, restart_cost: f64) -> Self {
+        assert!(node_mtbf > 0.0, "node MTBF must be positive");
+        assert!(checkpoint_cost >= 0.0 && restart_cost >= 0.0, "costs must be non-negative");
+        ReliabilityParams { node_mtbf, checkpoint_cost, restart_cost }
+    }
+
+    /// System MTBF on `p` nodes: `M/p` (independent exponential failures).
+    pub fn system_mtbf(&self, p: u32) -> f64 {
+        assert!(p >= 1, "need at least one node");
+        self.node_mtbf / p as f64
+    }
+
+    /// The C/R parameters seen at scale `p`.
+    pub fn cr_at(&self, p: u32) -> CrParams {
+        CrParams::new(self.checkpoint_cost, self.restart_cost, self.system_mtbf(p))
+    }
+}
+
+/// Zheng-style reliability-aware *strong-scaling* speedup: failure-free
+/// Amdahl time inflated by optimal-interval C/R waste.
+///
+/// `S_f(p) = t1 / E[T(p)]`, `E[T]` from Daly's runtime model at the Daly
+/// interval for the system MTBF at `p`.
+pub fn strong_speedup(
+    w: &ParallelWorkload,
+    r: &ReliabilityParams,
+    t1: f64,
+    p: u32,
+) -> f64 {
+    assert!(t1 > 0.0, "sequential time must be positive");
+    let work = w.amdahl_time(t1, p);
+    let cr = r.cr_at(p);
+    t1 / cr.optimal_expected_runtime(work)
+}
+
+/// Reliability-aware *weak-scaling* (Gustafson) speedup: per-node work is
+/// constant, total useful work grows with `p`, and the growing failure
+/// rate eats into it.
+pub fn weak_speedup(
+    w: &ParallelWorkload,
+    r: &ReliabilityParams,
+    t1: f64,
+    p: u32,
+) -> f64 {
+    assert!(t1 > 0.0, "per-node time must be positive");
+    // Scaled problem: the wall-clock work stays ~t1 but counts as
+    // S_gustafson(p) units of useful work.
+    let cr = r.cr_at(p);
+    let wall = cr.optimal_expected_runtime(t1);
+    w.gustafson_speedup(p) * t1 / wall
+}
+
+/// Cavelan-style optimum: the processor count in `[1, p_max]` maximizing
+/// reliability-aware strong-scaling speedup (equivalently minimizing
+/// expected time).
+pub fn optimal_processes(
+    w: &ParallelWorkload,
+    r: &ReliabilityParams,
+    t1: f64,
+    p_max: u32,
+) -> u32 {
+    assert!(p_max >= 1, "need at least one processor");
+    let mut best_p = 1;
+    let mut best_s = f64::NEG_INFINITY;
+    // Scan powers of two plus neighbours, then refine around the winner —
+    // the objective is unimodal in p for these models.
+    let mut candidates: Vec<u32> = Vec::new();
+    let mut p = 1u32;
+    while p <= p_max {
+        candidates.push(p);
+        p = p.saturating_mul(2);
+    }
+    candidates.push(p_max);
+    for &p in &candidates {
+        let s = strong_speedup(w, r, t1, p);
+        if s > best_s {
+            best_s = s;
+            best_p = p;
+        }
+    }
+    // Local refinement around the coarse winner.
+    let lo = best_p / 2;
+    let hi = best_p.saturating_mul(2).min(p_max);
+    let step = ((hi - lo) / 64).max(1);
+    let mut p = lo.max(1);
+    while p <= hi {
+        let s = strong_speedup(w, r, t1, p);
+        if s > best_s {
+            best_s = s;
+            best_p = p;
+        }
+        p += step;
+    }
+    best_p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> ParallelWorkload {
+        ParallelWorkload::new(0.999)
+    }
+
+    fn reliability() -> ReliabilityParams {
+        // 5-year node MTBF, 60 s checkpoints, 120 s restarts.
+        ReliabilityParams::new(5.0 * 365.0 * 24.0 * 3600.0, 60.0, 120.0)
+    }
+
+    #[test]
+    fn system_mtbf_scales_inversely() {
+        let r = reliability();
+        assert!((r.system_mtbf(1000) - r.node_mtbf / 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faulty_speedup_below_amdahl() {
+        let w = workload();
+        let r = reliability();
+        let t1 = 30.0 * 24.0 * 3600.0; // a month of sequential work
+        for p in [16u32, 256, 4096] {
+            let s_f = strong_speedup(&w, &r, t1, p);
+            let s_a = w.amdahl_speedup(p);
+            assert!(s_f < s_a, "faults must cost speedup at p={p}: {s_f} vs {s_a}");
+            assert!(s_f > 0.0);
+        }
+    }
+
+    #[test]
+    fn strong_speedup_is_non_monotone() {
+        // The Zheng/Cavelan headline: past some p, more nodes hurt.
+        let w = workload();
+        let r = reliability();
+        let t1 = 30.0 * 24.0 * 3600.0;
+        let p_opt = optimal_processes(&w, &r, t1, 1 << 22);
+        assert!(p_opt > 16, "optimum should use parallelism, got {p_opt}");
+        let s_opt = strong_speedup(&w, &r, t1, p_opt);
+        let s_beyond = strong_speedup(&w, &r, t1, (p_opt).saturating_mul(64));
+        assert!(
+            s_beyond < s_opt,
+            "speedup must decline past the optimum: {s_beyond} vs {s_opt} at p_opt {p_opt}"
+        );
+    }
+
+    #[test]
+    fn fault_free_limit_recovers_amdahl() {
+        // Near-infinite MTBF → reliability-aware ≈ Amdahl.
+        let w = workload();
+        let r = ReliabilityParams::new(1e15, 60.0, 120.0);
+        let t1 = 3600.0 * 24.0;
+        for p in [4u32, 64, 1024] {
+            let ratio = strong_speedup(&w, &r, t1, p) / w.amdahl_speedup(p);
+            assert!((0.95..=1.0 + 1e-9).contains(&ratio), "p={p} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn weak_speedup_grows_then_saturates_or_declines() {
+        let w = workload();
+        let r = reliability();
+        let t1 = 6.0 * 3600.0;
+        let s64 = weak_speedup(&w, &r, t1, 64);
+        let s4096 = weak_speedup(&w, &r, t1, 4096);
+        assert!(s4096 > s64, "weak scaling keeps helping at these scales");
+        // Per-useful-work efficiency must decline with p.
+        let e64 = s64 / w.gustafson_speedup(64);
+        let e4096 = s4096 / w.gustafson_speedup(4096);
+        assert!(e4096 < e64, "efficiency declines: {e4096} vs {e64}");
+    }
+
+    #[test]
+    fn cheaper_checkpoints_raise_the_optimum() {
+        let w = workload();
+        let t1 = 30.0 * 24.0 * 3600.0;
+        let expensive = ReliabilityParams::new(5.0 * 365.0 * 24.0 * 3600.0, 600.0, 600.0);
+        let cheap = ReliabilityParams::new(5.0 * 365.0 * 24.0 * 3600.0, 6.0, 6.0);
+        let p_exp = optimal_processes(&w, &expensive, t1, 1 << 22);
+        let p_cheap = optimal_processes(&w, &cheap, t1, 1 << 22);
+        assert!(
+            p_cheap >= p_exp,
+            "cheap C/R sustains more parallelism: {p_cheap} vs {p_exp}"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Replication-enhanced reliability model (Hussain, Znati & Melhem,
+//! DSN 2020).
+//!
+//! Dual replication runs every logical rank on two physical nodes: half
+//! the machine does redundant work, but the application only fails when
+//! *both* replicas of some pair have failed. By the birthday-problem
+//! argument (Ferreira et al.), the expected number of individual node
+//! failures before some pair is fully dead is ≈ √(πn/2) for `n` pairs, so
+//! the mean time to interrupt (MTTI) shrinks like 1/√n instead of 1/n —
+//! replication pays off past a crossover scale despite wasting half the
+//! nodes, which is Hussain et al.'s headline result.
+
+use crate::scaling::ParallelWorkload;
+use crate::young_daly::CrParams;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the replicated system.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReplicationParams {
+    /// MTBF of one node, seconds.
+    pub node_mtbf: f64,
+    /// Checkpoint cost, seconds (replication still checkpoints, just far
+    /// less often).
+    pub checkpoint_cost: f64,
+    /// Restart cost, seconds.
+    pub restart_cost: f64,
+}
+
+impl ReplicationParams {
+    /// Construct with validation.
+    pub fn new(node_mtbf: f64, checkpoint_cost: f64, restart_cost: f64) -> Self {
+        assert!(node_mtbf > 0.0, "node MTBF must be positive");
+        assert!(checkpoint_cost >= 0.0 && restart_cost >= 0.0, "costs must be non-negative");
+        ReplicationParams { node_mtbf, checkpoint_cost, restart_cost }
+    }
+
+    /// MTTI of `pairs` dual-replicated node pairs:
+    /// failures arrive at rate `2·pairs/M`; ≈ √(π·pairs/2) of them are
+    /// needed before some pair is dead.
+    pub fn replicated_mtti(&self, pairs: u32) -> f64 {
+        assert!(pairs >= 1, "need at least one pair");
+        let n = pairs as f64;
+        let failures_to_kill = (std::f64::consts::PI * n / 2.0).sqrt().max(1.0);
+        let failure_rate = 2.0 * n / self.node_mtbf;
+        failures_to_kill / failure_rate
+    }
+
+    /// MTTI of `p` unreplicated nodes (plain `M/p`).
+    pub fn plain_mtti(&self, p: u32) -> f64 {
+        assert!(p >= 1, "need at least one node");
+        self.node_mtbf / p as f64
+    }
+}
+
+/// Expected makespan of `t1` sequential seconds on `p` physical nodes
+/// *without* replication (Amdahl + optimal C/R).
+pub fn time_checkpoint_only(
+    w: &ParallelWorkload,
+    r: &ReplicationParams,
+    t1: f64,
+    p: u32,
+) -> f64 {
+    let work = w.amdahl_time(t1, p);
+    let cr = CrParams::new(r.checkpoint_cost, r.restart_cost, r.plain_mtti(p));
+    cr.optimal_expected_runtime(work)
+}
+
+/// Expected makespan of the same job on `p` physical nodes *with* dual
+/// replication: only `p/2` logical ranks do useful work, but the MTTI is
+/// the replicated one.
+pub fn time_replicated(
+    w: &ParallelWorkload,
+    r: &ReplicationParams,
+    t1: f64,
+    p: u32,
+) -> f64 {
+    assert!(p >= 2, "replication needs at least two nodes");
+    let pairs = p / 2;
+    let work = w.amdahl_time(t1, pairs);
+    let cr = CrParams::new(r.checkpoint_cost, r.restart_cost, r.replicated_mtti(pairs));
+    cr.optimal_expected_runtime(work)
+}
+
+/// The smallest even node count at which replication beats plain C/R, if
+/// any, scanning powers of two up to `p_max`.
+pub fn replication_crossover(
+    w: &ParallelWorkload,
+    r: &ReplicationParams,
+    t1: f64,
+    p_max: u32,
+) -> Option<u32> {
+    let mut p = 2u32;
+    while p <= p_max {
+        if time_replicated(w, r, t1, p) < time_checkpoint_only(w, r, t1, p) {
+            return Some(p);
+        }
+        p = p.saturating_mul(2);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> ParallelWorkload {
+        ParallelWorkload::new(0.9999)
+    }
+
+    fn params() -> ReplicationParams {
+        // 5-year node MTBF, 10-minute checkpoints (heavy I/O at scale).
+        ReplicationParams::new(5.0 * 365.0 * 24.0 * 3600.0, 600.0, 1200.0)
+    }
+
+    #[test]
+    fn replicated_mtti_beats_plain_at_scale() {
+        let r = params();
+        for p in [1024u32, 16_384, 262_144] {
+            let pairs = p / 2;
+            assert!(
+                r.replicated_mtti(pairs) > r.plain_mtti(p),
+                "replication must improve MTTI at p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_mtti_scales_like_inverse_sqrt() {
+        let r = params();
+        let m1 = r.replicated_mtti(1000);
+        let m4 = r.replicated_mtti(4000);
+        // 4× pairs → MTTI halves (1/√n scaling).
+        let ratio = m1 / m4;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_scale_prefers_checkpoint_only() {
+        let w = workload();
+        let r = params();
+        let t1 = 100.0 * 24.0 * 3600.0;
+        let p = 64;
+        assert!(
+            time_checkpoint_only(&w, &r, t1, p) < time_replicated(&w, &r, t1, p),
+            "at small p, halving the machine is a bad trade"
+        );
+    }
+
+    #[test]
+    fn crossover_exists_at_extreme_scale() {
+        let w = workload();
+        let r = params();
+        let t1 = 1000.0 * 24.0 * 3600.0;
+        let crossover = replication_crossover(&w, &r, t1, 1 << 22);
+        assert!(crossover.is_some(), "Hussain's headline: replication wins eventually");
+        let p = crossover.unwrap();
+        assert!(p > 256, "crossover should be at genuine scale, got {p}");
+    }
+
+    #[test]
+    fn replication_allows_higher_max_speedup() {
+        // Hussain et al.: the *peak* speedup over all p is higher with
+        // replication available because the MTTI decay is slower.
+        let w = workload();
+        let r = params();
+        let t1 = 1000.0 * 24.0 * 3600.0;
+        let best = |f: &dyn Fn(u32) -> f64| -> f64 {
+            let mut best = f64::INFINITY;
+            let mut p = 2u32;
+            while p <= 1 << 22 {
+                best = best.min(f(p));
+                p *= 2;
+            }
+            best
+        };
+        let t_plain = best(&|p| time_checkpoint_only(&w, &r, t1, p));
+        let t_rep = best(&|p| time_replicated(&w, &r, t1, p));
+        assert!(
+            t_rep < t_plain,
+            "best replicated makespan {t_rep} should beat best plain {t_plain}"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Classic fault-free scaling laws: Amdahl and Gustafson.
+//!
+//! The starting point of every reliability-aware model in the related-work
+//! section (Cavelan et al., Zheng et al., Hussain et al.): both laws are
+//! monotonically non-decreasing in the number of processors — the
+//! qualitative property that *breaks* once faults are added.
+
+use serde::{Deserialize, Serialize};
+
+/// A workload characterized by its parallelizable fraction.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ParallelWorkload {
+    /// Fraction of the work that parallelizes, in `[0, 1]`.
+    pub parallel_fraction: f64,
+}
+
+impl ParallelWorkload {
+    /// Construct with validation.
+    pub fn new(parallel_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&parallel_fraction),
+            "parallel fraction must be in [0, 1]"
+        );
+        ParallelWorkload { parallel_fraction }
+    }
+
+    /// Amdahl's law: strong-scaling speedup on `p` processors,
+    /// `S(p) = 1 / ((1-f) + f/p)`.
+    pub fn amdahl_speedup(&self, p: u32) -> f64 {
+        assert!(p >= 1, "need at least one processor");
+        let f = self.parallel_fraction;
+        1.0 / ((1.0 - f) + f / p as f64)
+    }
+
+    /// Amdahl's asymptote `1 / (1-f)` (infinite for f = 1).
+    pub fn amdahl_limit(&self) -> f64 {
+        let s = 1.0 - self.parallel_fraction;
+        if s == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / s
+        }
+    }
+
+    /// Gustafson's law: weak-scaling (scaled) speedup,
+    /// `S(p) = (1-f) + f·p`.
+    pub fn gustafson_speedup(&self, p: u32) -> f64 {
+        assert!(p >= 1, "need at least one processor");
+        let f = self.parallel_fraction;
+        (1.0 - f) + f * p as f64
+    }
+
+    /// Strong-scaling execution time of `t1` seconds of sequential work on
+    /// `p` processors under Amdahl.
+    pub fn amdahl_time(&self, t1: f64, p: u32) -> f64 {
+        assert!(t1 >= 0.0, "time must be non-negative");
+        t1 / self.amdahl_speedup(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_single_processor_is_one() {
+        for f in [0.0, 0.5, 0.9, 1.0] {
+            assert!((ParallelWorkload::new(f).amdahl_speedup(1) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amdahl_monotone_and_bounded() {
+        let w = ParallelWorkload::new(0.95);
+        let mut prev = 0.0;
+        for p in [1u32, 2, 4, 8, 1024, 1 << 20] {
+            let s = w.amdahl_speedup(p);
+            assert!(s >= prev);
+            assert!(s <= w.amdahl_limit() + 1e-9);
+            prev = s;
+        }
+        assert!((w.amdahl_limit() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_parallel_is_linear() {
+        let w = ParallelWorkload::new(1.0);
+        assert!((w.amdahl_speedup(64) - 64.0).abs() < 1e-9);
+        assert!((w.gustafson_speedup(64) - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gustafson_exceeds_amdahl_for_parallel_work() {
+        let w = ParallelWorkload::new(0.9);
+        for p in [8u32, 64, 1024] {
+            assert!(w.gustafson_speedup(p) > w.amdahl_speedup(p));
+        }
+    }
+
+    #[test]
+    fn amdahl_time_shrinks() {
+        let w = ParallelWorkload::new(0.99);
+        assert!(w.amdahl_time(100.0, 64) < w.amdahl_time(100.0, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn bad_fraction_panics() {
+        ParallelWorkload::new(1.5);
+    }
+}

@@ -1,0 +1,202 @@
+//! Young/Daly optimal checkpoint intervals and Daly's expected-runtime
+//! model.
+//!
+//! The canonical analytical treatment of checkpoint-restart: with
+//! checkpoint cost `δ`, restart cost `R`, and platform MTBF `M`
+//! (exponential failures), Young's first-order optimal compute interval is
+//! `τ* = √(2δM)` and Daly's higher-order refinement extends it. Daly's
+//! complete-runtime model gives the expected makespan of a fixed amount of
+//! work, which the fault-injection simulator is validated against.
+
+use serde::{Deserialize, Serialize};
+
+/// Checkpoint-restart cost parameters, seconds.
+///
+/// ```
+/// use besst_analytic::CrParams;
+/// // 60 s checkpoints, 24 h MTBF: Young's optimum interval ≈ 54 min.
+/// let cr = CrParams::new(60.0, 120.0, 24.0 * 3600.0);
+/// let tau = cr.young_interval();
+/// assert!((tau / 60.0 - 53.6).abs() < 1.0);
+/// // Checkpointing at that interval wastes only a few percent.
+/// assert!(cr.waste(tau) < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CrParams {
+    /// Time for one checkpoint (δ).
+    pub checkpoint_cost: f64,
+    /// Time for one restart/recovery (R).
+    pub restart_cost: f64,
+    /// Platform mean time between failures (M).
+    pub mtbf: f64,
+}
+
+impl CrParams {
+    /// Construct with validation.
+    pub fn new(checkpoint_cost: f64, restart_cost: f64, mtbf: f64) -> Self {
+        assert!(checkpoint_cost >= 0.0, "checkpoint cost must be non-negative");
+        assert!(restart_cost >= 0.0, "restart cost must be non-negative");
+        assert!(mtbf > 0.0, "MTBF must be positive");
+        CrParams { checkpoint_cost, restart_cost, mtbf }
+    }
+
+    /// Young's first-order optimum: `τ* = √(2δM)`.
+    pub fn young_interval(&self) -> f64 {
+        (2.0 * self.checkpoint_cost * self.mtbf).sqrt()
+    }
+
+    /// Daly's higher-order optimum:
+    /// `τ* = √(2δM)·[1 + ⅓√(δ/2M) + (1/9)(δ/2M)] − δ` for δ < 2M,
+    /// else `τ* = M` (checkpointing as fast as failures arrive).
+    pub fn daly_interval(&self) -> f64 {
+        let d = self.checkpoint_cost;
+        let m = self.mtbf;
+        if d >= 2.0 * m {
+            return m;
+        }
+        let x = d / (2.0 * m);
+        (2.0 * d * m).sqrt() * (1.0 + x.sqrt() / 3.0 + x / 9.0) - d
+    }
+
+    /// First-order expected waste fraction at compute interval `τ`:
+    /// `w(τ) = δ/(τ+δ) + (τ+δ)/(2M)` — checkpoint overhead plus expected
+    /// rework. Valid for `τ + δ ≪ M`.
+    pub fn waste(&self, tau: f64) -> f64 {
+        assert!(tau > 0.0, "interval must be positive");
+        let seg = tau + self.checkpoint_cost;
+        self.checkpoint_cost / seg + seg / (2.0 * self.mtbf)
+    }
+
+    /// Daly's complete expected-runtime model: makespan of `work` seconds
+    /// of failure-free compute, checkpointing every `tau` seconds of
+    /// compute, under exponential failures:
+    ///
+    /// `T = M · e^{R/M} · (e^{(τ+δ)/M} − 1) · work/τ`
+    pub fn expected_runtime(&self, work: f64, tau: f64) -> f64 {
+        assert!(work >= 0.0, "work must be non-negative");
+        assert!(tau > 0.0, "interval must be positive");
+        let m = self.mtbf;
+        let n_segments = work / tau;
+        m * (self.restart_cost / m).exp()
+            * (((tau + self.checkpoint_cost) / m).exp() - 1.0)
+            * n_segments
+    }
+
+    /// Expected runtime at Daly's optimal interval.
+    pub fn optimal_expected_runtime(&self, work: f64) -> f64 {
+        self.expected_runtime(work, self.daly_interval().max(1e-9))
+    }
+
+    /// Numerically search the true optimum of [`CrParams::expected_runtime`]
+    /// (golden-section over a log grid) — the tests verify Daly's closed
+    /// form lands near this.
+    pub fn numeric_optimal_interval(&self, work: f64) -> f64 {
+        let mut best_tau = self.mtbf;
+        let mut best = f64::INFINITY;
+        // Log sweep then local refinement.
+        for i in 0..400 {
+            let tau = self.mtbf * 10f64.powf(-4.0 + 5.0 * i as f64 / 399.0);
+            let t = self.expected_runtime(work, tau);
+            if t < best {
+                best = t;
+                best_tau = tau;
+            }
+        }
+        for _ in 0..40 {
+            for factor in [0.98, 1.02] {
+                let tau = best_tau * factor;
+                let t = self.expected_runtime(work, tau);
+                if t < best {
+                    best = t;
+                    best_tau = tau;
+                }
+            }
+        }
+        best_tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CrParams {
+        // 60 s checkpoints, 120 s restarts, 24 h MTBF.
+        CrParams::new(60.0, 120.0, 24.0 * 3600.0)
+    }
+
+    #[test]
+    fn young_formula() {
+        let p = params();
+        let expect = (2.0f64 * 60.0 * 24.0 * 3600.0).sqrt();
+        assert!((p.young_interval() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daly_close_to_young_when_delta_small() {
+        let p = params();
+        let ratio = p.daly_interval() / p.young_interval();
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn daly_clamps_at_mtbf_for_huge_checkpoints() {
+        let p = CrParams::new(10_000.0, 0.0, 1000.0);
+        assert_eq!(p.daly_interval(), 1000.0);
+    }
+
+    #[test]
+    fn waste_is_minimized_near_young() {
+        let p = params();
+        let tau_star = p.young_interval();
+        let w_star = p.waste(tau_star);
+        assert!(w_star < p.waste(tau_star / 8.0));
+        assert!(w_star < p.waste(tau_star * 8.0));
+        // And the waste at the optimum is ≈ √(2δ/M).
+        let expect = (2.0f64 * 60.0 / (24.0 * 3600.0)).sqrt();
+        assert!((w_star - expect).abs() / expect < 0.2, "waste {w_star} vs {expect}");
+    }
+
+    #[test]
+    fn expected_runtime_exceeds_work() {
+        let p = params();
+        let work = 8.0 * 3600.0;
+        let t = p.optimal_expected_runtime(work);
+        assert!(t > work, "faults always cost something: {t}");
+        assert!(t < 1.2 * work, "but not much at this MTBF: {t}");
+    }
+
+    #[test]
+    fn daly_interval_is_near_numeric_optimum() {
+        let p = params();
+        let work = 24.0 * 3600.0;
+        let numeric = p.numeric_optimal_interval(work);
+        let daly = p.daly_interval();
+        let t_daly = p.expected_runtime(work, daly);
+        let t_num = p.expected_runtime(work, numeric);
+        // Daly's closed form should be within 1% of the numeric optimum's
+        // runtime.
+        assert!(
+            t_daly <= t_num * 1.01,
+            "daly tau {daly} runtime {t_daly} vs numeric tau {numeric} runtime {t_num}"
+        );
+    }
+
+    #[test]
+    fn harsher_mtbf_means_shorter_interval_and_more_waste() {
+        let gentle = CrParams::new(60.0, 120.0, 48.0 * 3600.0);
+        let harsh = CrParams::new(60.0, 120.0, 2.0 * 3600.0);
+        assert!(harsh.young_interval() < gentle.young_interval());
+        let work = 3600.0 * 4.0;
+        assert!(harsh.optimal_expected_runtime(work) > gentle.optimal_expected_runtime(work));
+    }
+
+    #[test]
+    fn zero_checkpoint_cost_degenerates_gracefully() {
+        let p = CrParams::new(0.0, 0.0, 3600.0);
+        assert_eq!(p.young_interval(), 0.0);
+        // Tiny intervals with free checkpoints → runtime ≈ work.
+        let t = p.expected_runtime(1000.0, 1.0);
+        assert!((t / 1000.0 - 1.0).abs() < 0.01, "{t}");
+    }
+}

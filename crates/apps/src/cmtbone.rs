@@ -1,0 +1,355 @@
+//! CMT-bone proxy: the spectral-element workload of the paper's Fig. 1
+//! (Vulcan validation).
+//!
+//! CMT-bone is the proxy app for CMT-nek, a compressible multiphase
+//! turbulence solver built on Nek5000's spectral-element method \[18\]. Per
+//! timestep, each rank applies tensor-product operator evaluations over
+//! its elements (O(E·N⁴) flops for N-th order polynomials in 3-D),
+//! exchanges face data with its neighbours, and joins a global reduction.
+//! As with LULESH we provide the work model, the AppBEO, the instrumented
+//! regions, and a small executing kernel ([`SpectralElement`]) from which
+//! the operation counts are derived.
+
+use crate::workload::InstrumentedRegion;
+use besst_core::beo::{AppBeo, Instr, SyncMarker};
+use besst_fti::{checkpoint_blocks, CkptShape, FtiConfig, GroupLayout};
+use besst_machine::{BlockWork, Machine};
+use serde::{Deserialize, Serialize};
+
+/// CMT-bone run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CmtBoneConfig {
+    /// Spectral elements per rank.
+    pub elements_per_rank: u32,
+    /// Polynomial order N (gridpoints per element edge = N+1).
+    pub poly_order: u32,
+    /// MPI ranks.
+    pub ranks: u32,
+}
+
+impl CmtBoneConfig {
+    /// Build and validate.
+    pub fn new(elements_per_rank: u32, poly_order: u32, ranks: u32) -> Self {
+        assert!(elements_per_rank >= 1, "need at least one element");
+        assert!((1..=31).contains(&poly_order), "polynomial order out of range");
+        assert!(ranks >= 1, "need at least one rank");
+        CmtBoneConfig { elements_per_rank, poly_order, ranks }
+    }
+
+    /// Gridpoints per element edge.
+    pub fn points_per_edge(&self) -> u32 {
+        self.poly_order + 1
+    }
+
+    /// Gridpoints per element.
+    pub fn points_per_element(&self) -> u64 {
+        (self.points_per_edge() as u64).pow(3)
+    }
+
+    /// FLOP per rank per timestep: tensor-product derivative evaluation is
+    /// 3 contractions of 2·(N+1) flops per point, times ~5 RK substeps.
+    pub fn flops_per_step(&self) -> f64 {
+        let per_point = 6.0 * self.points_per_edge() as f64 * 5.0;
+        self.elements_per_rank as f64 * self.points_per_element() as f64 * per_point
+    }
+
+    /// Memory traffic per rank per timestep (5 conserved fields, ~4
+    /// sweeps).
+    pub fn mem_bytes_per_step(&self) -> f64 {
+        self.elements_per_rank as f64 * self.points_per_element() as f64 * 5.0 * 4.0 * 8.0
+    }
+
+    /// Face-exchange bytes per neighbour (one face of 5 fields).
+    pub fn halo_bytes_per_neighbor(&self) -> u64 {
+        let face = (self.points_per_edge() as u64).pow(2);
+        self.elements_per_rank as u64 / 4 * face * 5 * 8
+    }
+}
+
+/// Kernel names bound in the ArchBEO.
+pub mod kernels {
+    /// One synchronized CMT-bone timestep.
+    pub const TIMESTEP: &str = "cmtbone_timestep";
+
+    /// Checkpoint kernel per level (FT-aware variant).
+    pub fn ckpt(level: besst_fti::CkptLevel) -> String {
+        format!("cmtbone_ckpt_l{}", level.number())
+    }
+}
+
+impl CmtBoneConfig {
+    /// FTI-protected bytes per rank: the 5 conserved fields at every
+    /// gridpoint.
+    pub fn checkpoint_bytes_per_rank(&self) -> u64 {
+        self.elements_per_rank as u64 * self.points_per_element() * 5 * 8
+    }
+}
+
+/// Machine blocks of one synchronized timestep.
+pub fn timestep_blocks(cfg: &CmtBoneConfig) -> Vec<BlockWork> {
+    vec![
+        BlockWork::Compute {
+            flops: cfg.flops_per_step(),
+            mem_bytes: cfg.mem_bytes_per_step(),
+            cores_used: 1,
+        },
+        BlockWork::HaloExchange {
+            ranks: cfg.ranks,
+            neighbors: if cfg.ranks > 1 { 6 } else { 0 },
+            bytes: cfg.halo_bytes_per_neighbor(),
+        },
+        BlockWork::Allreduce { ranks: cfg.ranks, bytes: 8 },
+    ]
+}
+
+/// The instrumented regions of the plain (Fig. 1) CMT-bone.
+pub fn instrumented_regions(cfg: &CmtBoneConfig) -> Vec<InstrumentedRegion> {
+    vec![InstrumentedRegion {
+        kernel: kernels::TIMESTEP.to_string(),
+        params: vec![
+            cfg.elements_per_rank as f64,
+            cfg.poly_order as f64,
+            cfg.ranks as f64,
+        ],
+        blocks: timestep_blocks(cfg),
+        sync_ranks: cfg.ranks,
+    }]
+}
+
+/// FT-aware instrumented regions: the timestep plus one checkpoint
+/// region per scheduled FTI level (the paper's methodology "opens the
+/// door to simulation and evaluation of fault-tolerance aware systems
+/// \[with\] multiple checkpointing implementations" — here applied to a
+/// second application).
+pub fn instrumented_regions_ft(
+    cfg: &CmtBoneConfig,
+    fti: &FtiConfig,
+    machine: &Machine,
+    ranks_per_node: u32,
+) -> Vec<InstrumentedRegion> {
+    let mut regions = instrumented_regions(cfg);
+    if fti.is_ft_aware() {
+        let layout = GroupLayout::new(fti, cfg.ranks);
+        let shape = CkptShape {
+            bytes_per_rank: cfg.checkpoint_bytes_per_rank(),
+            ranks: cfg.ranks,
+            ranks_per_node,
+        };
+        for sched in &fti.schedules {
+            regions.push(InstrumentedRegion {
+                kernel: kernels::ckpt(sched.level),
+                params: vec![
+                    cfg.elements_per_rank as f64,
+                    cfg.poly_order as f64,
+                    cfg.ranks as f64,
+                ],
+                blocks: checkpoint_blocks(sched.level, &shape, &layout, machine),
+                sync_ranks: cfg.ranks,
+            });
+        }
+    }
+    regions
+}
+
+/// FT-aware AppBEO: timesteps with each scheduled level checkpointing at
+/// its period.
+pub fn appbeo_ft(cfg: &CmtBoneConfig, fti: &FtiConfig, steps: u32) -> AppBeo {
+    assert!(steps >= 1, "need at least one timestep");
+    fti.validate(cfg.ranks).expect("FTI configuration invalid for this rank count");
+    let params = vec![
+        cfg.elements_per_rank as f64,
+        cfg.poly_order as f64,
+        cfg.ranks as f64,
+    ];
+    let mut instrs = Vec::new();
+    for step in 1..=steps {
+        instrs.push(Instr::SyncKernel {
+            kernel: kernels::TIMESTEP.to_string(),
+            params: params.clone(),
+            marker: SyncMarker::StepEnd,
+        });
+        for level in fti.levels_due(step) {
+            instrs.push(Instr::SyncKernel {
+                kernel: kernels::ckpt(level),
+                params: params.clone(),
+                marker: SyncMarker::Checkpoint(level),
+            });
+        }
+    }
+    AppBeo::new(
+        &format!(
+            "cmtbone-ft-{}e-{}N-{}ranks",
+            cfg.elements_per_rank, cfg.poly_order, cfg.ranks
+        ),
+        cfg.ranks,
+        instrs,
+    )
+}
+
+/// Build the AppBEO: `steps` synchronized timesteps.
+pub fn appbeo(cfg: &CmtBoneConfig, steps: u32) -> AppBeo {
+    assert!(steps >= 1, "need at least one timestep");
+    let params = vec![
+        cfg.elements_per_rank as f64,
+        cfg.poly_order as f64,
+        cfg.ranks as f64,
+    ];
+    let instrs = vec![Instr::Loop {
+        count: steps,
+        body: vec![Instr::SyncKernel {
+            kernel: kernels::TIMESTEP.to_string(),
+            params,
+            marker: SyncMarker::StepEnd,
+        }],
+    }];
+    AppBeo::new(
+        &format!(
+            "cmtbone-{}e-{}N-{}ranks",
+            cfg.elements_per_rank, cfg.poly_order, cfg.ranks
+        ),
+        cfg.ranks,
+        instrs,
+    )
+}
+
+/// An executing spectral element: tensor-product derivative evaluation on
+/// an (N+1)³ point grid, the inner kernel CMT-bone spends its time in.
+#[derive(Debug, Clone)]
+pub struct SpectralElement {
+    n1: usize,
+    /// Field values at gridpoints.
+    pub u: Vec<f64>,
+    /// Differentiation matrix (N+1)×(N+1).
+    d: Vec<f64>,
+}
+
+impl SpectralElement {
+    /// Initialize with a smooth field and the standard centred-difference
+    /// differentiation matrix stand-in.
+    pub fn new(poly_order: u32) -> Self {
+        let n1 = (poly_order + 1) as usize;
+        let mut u = vec![0.0; n1 * n1 * n1];
+        for (i, v) in u.iter_mut().enumerate() {
+            *v = ((i as f64) * 0.37).sin();
+        }
+        let mut d = vec![0.0; n1 * n1];
+        for r in 0..n1 {
+            let mut row_sum = 0.0;
+            for c in 0..n1 {
+                if r != c {
+                    let v = 1.0 / (r as f64 - c as f64);
+                    d[r * n1 + c] = v;
+                    row_sum += v;
+                }
+            }
+            // Diagonal fixes the row sum at zero: differentiation
+            // annihilates constants.
+            d[r * n1 + r] = -row_sum;
+        }
+        SpectralElement { n1, u, d }
+    }
+
+    /// Apply the derivative operator along the first axis: `u ← D ⊗ I ⊗ I · u`.
+    pub fn derivative_x(&self) -> Vec<f64> {
+        let n = self.n1;
+        let mut out = vec![0.0; n * n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let di = &self.d[i * n..(i + 1) * n];
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for (m, &dm) in di.iter().enumerate() {
+                        acc += dm * self.u[(m * n + j) * n + k];
+                    }
+                    out[(i * n + j) * n + k] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// One pseudo-timestep: evaluate the derivative and relax the field
+    /// toward it (keeps the kernel honest without a full solver).
+    pub fn step(&mut self) {
+        let dx = self.derivative_x();
+        for (u, d) in self.u.iter_mut().zip(&dx) {
+            *u += 1e-3 * d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_scales_with_order_to_the_fourth() {
+        let lo = CmtBoneConfig::new(64, 4, 8);
+        let hi = CmtBoneConfig::new(64, 9, 8);
+        let ratio = hi.flops_per_step() / lo.flops_per_step();
+        let expect = (10.0f64 / 5.0).powi(4);
+        assert!((ratio / expect - 1.0).abs() < 0.01, "ratio {ratio} expect {expect}");
+    }
+
+    #[test]
+    fn appbeo_steps_counted() {
+        let cfg = CmtBoneConfig::new(128, 5, 64);
+        let app = appbeo(&cfg, 25);
+        assert_eq!(app.n_steps(), 25);
+        assert_eq!(app.kernels(), vec![kernels::TIMESTEP.to_string()]);
+    }
+
+    #[test]
+    fn regions_match_appbeo() {
+        let cfg = CmtBoneConfig::new(128, 5, 64);
+        let regions = instrumented_regions(&cfg);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].kernel, kernels::TIMESTEP);
+        assert_eq!(regions[0].sync_ranks, 64);
+    }
+
+    #[test]
+    fn ft_variant_adds_checkpoints() {
+        let cfg = CmtBoneConfig::new(64, 5, 64);
+        let fti = FtiConfig::l1_only(10);
+        let app = appbeo_ft(&cfg, &fti, 40);
+        assert_eq!(app.n_steps(), 40);
+        assert!(app.kernels().contains(&kernels::ckpt(besst_fti::CkptLevel::L1)));
+        let machine = besst_machine::presets::vulcan();
+        let regions = instrumented_regions_ft(&cfg, &fti, &machine, 16);
+        for k in app.kernels() {
+            assert!(regions.iter().any(|r| r.kernel == k), "missing region for {k}");
+        }
+        assert!(cfg.checkpoint_bytes_per_rank() > 0);
+    }
+
+    #[test]
+    fn spectral_kernel_computes_derivatives() {
+        let e = SpectralElement::new(7);
+        let dx = e.derivative_x();
+        assert_eq!(dx.len(), 8 * 8 * 8);
+        // A non-constant field has a non-zero derivative somewhere.
+        assert!(dx.iter().any(|v| v.abs() > 1e-9));
+        // Constant field → zero derivative (rows of D sum against equal
+        // values antisymmetrically).
+        let mut c = SpectralElement::new(7);
+        c.u.iter_mut().for_each(|v| *v = 3.5);
+        let dc = c.derivative_x();
+        let max = dc.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        assert!(max < 1e-9, "constant field derivative should vanish, got {max}");
+    }
+
+    #[test]
+    fn spectral_step_advances_field() {
+        let mut e = SpectralElement::new(5);
+        let before = e.u.clone();
+        e.step();
+        assert_ne!(before, e.u);
+    }
+
+    #[test]
+    #[should_panic(expected = "polynomial order")]
+    fn order_zero_panics() {
+        CmtBoneConfig::new(1, 0, 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! # besst-apps — proxy applications
+//!
+//! The workloads of the paper's experiments, built from scratch:
+//!
+//! * [`lulesh`] — the case-study application (§IV): an executing mini
+//!   Lagrangian shock-hydro kernel on the Sedov-like problem, the
+//!   perfect-cube rank constraint, the FTI checkpoint payload model, the
+//!   instrumented regions the benchmarking campaign times, and the
+//!   (FT-aware) AppBEO emitter;
+//! * [`cmtbone`] — the Fig. 1 workload: a spectral-element proxy with an
+//!   executing tensor-product derivative kernel;
+//! * [`workload`] — the [`workload::InstrumentedRegion`] contract between
+//!   applications and the benchmarking campaign.
+
+#![warn(missing_docs)]
+
+pub mod cmtbone;
+pub mod lulesh;
+pub mod workload;
+
+pub use cmtbone::CmtBoneConfig;
+pub use lulesh::LuleshConfig;
+pub use workload::InstrumentedRegion;

@@ -1,0 +1,742 @@
+//! LULESH proxy: an executing mini Lagrangian shock-hydrodynamics kernel,
+//! its work model, and its (FT-aware) AppBEO.
+//!
+//! LULESH solves the Sedov blast problem on an unstructured hex mesh; the
+//! case study runs the C++ MPI+OMP version with FTI checkpointing folded
+//! in \[26\]. What BE-SST needs from the application is (a) the abstract
+//! instruction stream, (b) per-block work characteristics, and (c) the
+//! checkpoint payload size. This module supplies all three *and* an
+//! actually-executing single-rank mini kernel ([`Domain`]) with the same
+//! structural properties — cubic domain of `epr³` elements, a stress
+//! phase, an hourglass-control phase, and a time-constraint reduction —
+//! from which the work model's operation counts are derived.
+//!
+//! LULESH constraints honoured here: the rank count must be a perfect
+//! cube (cubic subdomain decomposition), and FTI additionally requires
+//! ranks to be a multiple of `group_size × node_size` (paper Table II).
+
+use crate::workload::InstrumentedRegion;
+use besst_core::beo::{AppBeo, Instr, SyncMarker};
+use besst_fti::{checkpoint_blocks, CkptLevel, CkptShape, FtiConfig, GroupLayout};
+use besst_machine::{BlockWork, Machine};
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic operations per element per stress-integration pass. The
+/// executing [`Domain`] is a structural miniature; these constants are
+/// set to full-LULESH per-element work (the real stress/force phase does
+/// hundreds of flops per element: B-matrix, stress integration, hourglass
+/// forces), so the work model reproduces realistic timestep durations.
+pub const STRESS_FLOPS_PER_ELEM: f64 = 800.0;
+/// Arithmetic operations per element per hourglass-control pass.
+pub const HOURGLASS_FLOPS_PER_ELEM: f64 = 600.0;
+/// Arithmetic operations per element for the time-constraint scan.
+pub const DT_FLOPS_PER_ELEM: f64 = 100.0;
+/// Field arrays the solver streams per element per step (read+write).
+pub const FIELDS_TOUCHED_PER_STEP: f64 = 14.0;
+/// Field arrays registered with FTI for checkpointing (the solution
+/// state: energy, pressure, volume, velocities, coordinates, ...).
+pub const CHECKPOINTED_FIELDS: u64 = 12;
+
+/// A LULESH run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LuleshConfig {
+    /// Problem size: elements per rank along one edge of the cubic
+    /// subdomain (`epr`); each rank owns `epr³` elements.
+    pub epr: u32,
+    /// MPI ranks; must be a perfect cube.
+    pub ranks: u32,
+}
+
+impl LuleshConfig {
+    /// Build and validate the LULESH constraints.
+    pub fn new(epr: u32, ranks: u32) -> Self {
+        assert!(epr >= 1, "problem size must be at least 1");
+        assert!(is_perfect_cube(ranks), "LULESH requires a perfect-cube rank count, got {ranks}");
+        LuleshConfig { epr, ranks }
+    }
+
+    /// Elements owned by one rank.
+    pub fn elements_per_rank(&self) -> u64 {
+        (self.epr as u64).pow(3)
+    }
+
+    /// Ranks along one edge of the global cube.
+    pub fn ranks_per_edge(&self) -> u32 {
+        icbrt(self.ranks)
+    }
+
+    /// Floating-point work of one rank's timestep, FLOP.
+    pub fn flops_per_step(&self) -> f64 {
+        self.elements_per_rank() as f64
+            * (STRESS_FLOPS_PER_ELEM + HOURGLASS_FLOPS_PER_ELEM + DT_FLOPS_PER_ELEM)
+    }
+
+    /// Memory traffic of one rank's timestep, bytes.
+    pub fn mem_bytes_per_step(&self) -> f64 {
+        self.elements_per_rank() as f64 * FIELDS_TOUCHED_PER_STEP * 8.0
+    }
+
+    /// Halo bytes exchanged with one face neighbour: one element-face
+    /// layer of 3 velocity components.
+    pub fn halo_bytes_per_neighbor(&self) -> u64 {
+        (self.epr as u64).pow(2) * 3 * 8
+    }
+
+    /// FTI-protected bytes per rank.
+    pub fn checkpoint_bytes_per_rank(&self) -> u64 {
+        self.elements_per_rank() * CHECKPOINTED_FIELDS * 8
+    }
+
+    /// The valid rank counts of the paper's Table II: perfect cubes that
+    /// are multiples of `group_size × node_size` (= 8), up to `max`.
+    pub fn paper_rank_grid(max: u32) -> Vec<u32> {
+        (1..=icbrt(max))
+            .map(|e| e * e * e)
+            .filter(|r| r % 8 == 0 && *r <= max)
+            .collect()
+    }
+}
+
+fn is_perfect_cube(n: u32) -> bool {
+    let c = icbrt(n);
+    c * c * c == n
+}
+
+fn icbrt(n: u32) -> u32 {
+    let mut c = (n as f64).cbrt().round() as u32;
+    while c.saturating_pow(3) > n {
+        c -= 1;
+    }
+    while (c + 1).pow(3) <= n {
+        c += 1;
+    }
+    c
+}
+
+/// Kernel names bound in the ArchBEO.
+pub mod kernels {
+    /// One synchronized application timestep (paper's "LULESH Timestep").
+    pub const TIMESTEP: &str = "lulesh_timestep";
+    /// Phase granularity: per-rank compute phase (stress + hourglass +
+    /// dt scan), unsynchronized.
+    pub const PHASE_COMPUTE: &str = "lulesh_phase_compute";
+    /// Phase granularity: 26-neighbour halo exchange.
+    pub const PHASE_HALO: &str = "lulesh_phase_halo";
+    /// Phase granularity: the dt allreduce closing each step.
+    pub const PHASE_DT: &str = "lulesh_phase_dt";
+    /// Level-1 checkpoint instance.
+    pub const CKPT_L1: &str = "lulesh_ckpt_l1";
+    /// Level-2 checkpoint instance.
+    pub const CKPT_L2: &str = "lulesh_ckpt_l2";
+    /// Level-3 checkpoint instance.
+    pub const CKPT_L3: &str = "lulesh_ckpt_l3";
+    /// Level-4 checkpoint instance.
+    pub const CKPT_L4: &str = "lulesh_ckpt_l4";
+
+    /// The checkpoint kernel for a level.
+    pub fn ckpt(level: besst_fti::CkptLevel) -> &'static str {
+        match level {
+            besst_fti::CkptLevel::L1 => CKPT_L1,
+            besst_fti::CkptLevel::L2 => CKPT_L2,
+            besst_fti::CkptLevel::L3 => CKPT_L3,
+            besst_fti::CkptLevel::L4 => CKPT_L4,
+        }
+    }
+}
+
+/// The machine blocks of one synchronized timestep (compute + 26-neighbour
+/// halo + dt allreduce), for the fine-grained testbed.
+pub fn timestep_blocks(cfg: &LuleshConfig) -> Vec<BlockWork> {
+    vec![
+        BlockWork::Compute {
+            flops: cfg.flops_per_step(),
+            mem_bytes: cfg.mem_bytes_per_step(),
+            cores_used: 1, // one MPI rank per core, the case-study layout
+        },
+        BlockWork::HaloExchange {
+            ranks: cfg.ranks,
+            neighbors: if cfg.ranks > 1 { 26 } else { 0 },
+            bytes: cfg.halo_bytes_per_neighbor(),
+        },
+        BlockWork::Allreduce { ranks: cfg.ranks, bytes: 8 },
+    ]
+}
+
+/// Phase-granularity blocks: the timestep split into its three phases.
+/// BE-SST "can use models at various levels of granularity to more
+/// finely balance speed and accuracy" (§III); phase models expose the
+/// per-rank compute variation that the function-level model bakes into
+/// one distribution.
+pub fn phase_blocks(cfg: &LuleshConfig) -> [(&'static str, Vec<BlockWork>, u32); 3] {
+    [
+        (
+            kernels::PHASE_COMPUTE,
+            vec![BlockWork::Compute {
+                flops: cfg.flops_per_step(),
+                mem_bytes: cfg.mem_bytes_per_step(),
+                cores_used: 1,
+            }],
+            1, // unsynchronized: each rank's own compute time
+        ),
+        (
+            kernels::PHASE_HALO,
+            vec![BlockWork::HaloExchange {
+                ranks: cfg.ranks,
+                neighbors: if cfg.ranks > 1 { 26 } else { 0 },
+                bytes: cfg.halo_bytes_per_neighbor(),
+            }],
+            cfg.ranks,
+        ),
+        (
+            kernels::PHASE_DT,
+            vec![BlockWork::Allreduce { ranks: cfg.ranks, bytes: 8 }],
+            cfg.ranks,
+        ),
+    ]
+}
+
+/// Phase-granularity instrumented regions (compute/halo/dt separately).
+pub fn instrumented_regions_phase(
+    cfg: &LuleshConfig,
+    fti: &FtiConfig,
+    machine: &Machine,
+    ranks_per_node: u32,
+) -> Vec<InstrumentedRegion> {
+    let mut regions: Vec<InstrumentedRegion> = phase_blocks(cfg)
+        .into_iter()
+        .map(|(kernel, blocks, sync_ranks)| InstrumentedRegion {
+            kernel: kernel.to_string(),
+            params: vec![cfg.epr as f64, cfg.ranks as f64],
+            blocks,
+            sync_ranks,
+        })
+        .collect();
+    // Checkpoint regions are identical at both granularities.
+    regions.extend(
+        instrumented_regions(cfg, fti, machine, ranks_per_node)
+            .into_iter()
+            .filter(|r| r.kernel != kernels::TIMESTEP),
+    );
+    regions
+}
+
+/// Phase-granularity AppBEO: per step, an unsynchronized per-rank
+/// compute kernel, then the halo rendezvous, then the dt allreduce.
+/// With Monte-Carlo models, per-rank compute draws produce an *emergent*
+/// straggler effect at the rendezvous — the behaviour the function-level
+/// model can only bake into its sample distribution.
+pub fn appbeo_phase(cfg: &LuleshConfig, fti: &FtiConfig, steps: u32) -> AppBeo {
+    assert!(steps >= 1, "need at least one timestep");
+    fti.validate(cfg.ranks).expect("FTI configuration invalid for this rank count");
+    let params = vec![cfg.epr as f64, cfg.ranks as f64];
+    let mut instrs = Vec::new();
+    for step in 1..=steps {
+        instrs.push(Instr::Kernel {
+            kernel: kernels::PHASE_COMPUTE.to_string(),
+            params: params.clone(),
+        });
+        instrs.push(Instr::SyncKernel {
+            kernel: kernels::PHASE_HALO.to_string(),
+            params: params.clone(),
+            marker: SyncMarker::Plain,
+        });
+        instrs.push(Instr::SyncKernel {
+            kernel: kernels::PHASE_DT.to_string(),
+            params: params.clone(),
+            marker: SyncMarker::StepEnd,
+        });
+        for level in fti.levels_due(step) {
+            instrs.push(Instr::SyncKernel {
+                kernel: kernels::ckpt(level).to_string(),
+                params: params.clone(),
+                marker: SyncMarker::Checkpoint(level),
+            });
+        }
+    }
+    AppBeo::new(
+        &format!("lulesh-phase-{}epr-{}ranks", cfg.epr, cfg.ranks),
+        cfg.ranks,
+        instrs,
+    )
+}
+
+/// Every instrumented region of the FT-aware LULESH: the timestep plus
+/// one region per scheduled checkpoint level. `machine` supplies the
+/// ranks-per-node placement used for checkpoint aggregation.
+pub fn instrumented_regions(
+    cfg: &LuleshConfig,
+    fti: &FtiConfig,
+    machine: &Machine,
+    ranks_per_node: u32,
+) -> Vec<InstrumentedRegion> {
+    let mut regions = vec![InstrumentedRegion {
+        kernel: kernels::TIMESTEP.to_string(),
+        params: vec![cfg.epr as f64, cfg.ranks as f64],
+        blocks: timestep_blocks(cfg),
+        sync_ranks: cfg.ranks,
+    }];
+    if fti.is_ft_aware() {
+        let layout = GroupLayout::new(fti, cfg.ranks);
+        let shape = CkptShape {
+            bytes_per_rank: cfg.checkpoint_bytes_per_rank(),
+            ranks: cfg.ranks,
+            ranks_per_node,
+        };
+        for sched in &fti.schedules {
+            regions.push(InstrumentedRegion {
+                kernel: kernels::ckpt(sched.level).to_string(),
+                params: vec![cfg.epr as f64, cfg.ranks as f64],
+                blocks: checkpoint_blocks(sched.level, &shape, &layout, machine),
+                sync_ranks: cfg.ranks,
+            });
+        }
+    }
+    regions
+}
+
+/// Build the (FT-aware) AppBEO: `steps` timesteps, with each scheduled
+/// FTI level checkpointing at its own period (paper Fig. 3 control flow).
+pub fn appbeo(cfg: &LuleshConfig, fti: &FtiConfig, steps: u32) -> AppBeo {
+    assert!(steps >= 1, "need at least one timestep");
+    fti.validate(cfg.ranks).expect("FTI configuration invalid for this rank count");
+    let params = vec![cfg.epr as f64, cfg.ranks as f64];
+    let mut instrs = Vec::new();
+    for step in 1..=steps {
+        instrs.push(Instr::SyncKernel {
+            kernel: kernels::TIMESTEP.to_string(),
+            params: params.clone(),
+            marker: SyncMarker::StepEnd,
+        });
+        // FTI takes the highest level due at a step (levels_due returns
+        // all; the library performs each scheduled level's own checkpoint
+        // — the paper's scenario 3 runs L1 *and* L2 at period 40, so both
+        // instances execute).
+        for level in fti.levels_due(step) {
+            instrs.push(Instr::SyncKernel {
+                kernel: kernels::ckpt(level).to_string(),
+                params: params.clone(),
+                marker: SyncMarker::Checkpoint(level),
+            });
+        }
+    }
+    let ft_tag = if fti.is_ft_aware() { "ft" } else { "noft" };
+    AppBeo::new(
+        &format!("lulesh-{}epr-{}ranks-{}", cfg.epr, cfg.ranks, ft_tag),
+        cfg.ranks,
+        instrs,
+    )
+}
+
+/// Restart blocks per level (fault-injection support).
+pub fn restart_blocks_for(
+    cfg: &LuleshConfig,
+    fti: &FtiConfig,
+    machine: &Machine,
+    ranks_per_node: u32,
+    level: CkptLevel,
+) -> Vec<BlockWork> {
+    let layout = GroupLayout::new(fti, cfg.ranks);
+    let shape = CkptShape {
+        bytes_per_rank: cfg.checkpoint_bytes_per_rank(),
+        ranks: cfg.ranks,
+        ranks_per_node,
+    };
+    besst_fti::restart_blocks(level, &shape, &layout, machine)
+}
+
+/// An executing single-rank mini-LULESH domain: `epr³` elements with
+/// energy/pressure/volume state advanced by an explicit Lagrangian update
+/// on the Sedov-like point-blast initial condition.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    epr: usize,
+    /// Internal energy per element.
+    pub energy: Vec<f64>,
+    /// Pressure per element.
+    pub pressure: Vec<f64>,
+    /// Relative volume per element.
+    pub volume: Vec<f64>,
+    /// Velocity magnitude proxy per element.
+    pub velocity: Vec<f64>,
+    dt: f64,
+    time: f64,
+    steps_taken: u64,
+}
+
+impl Domain {
+    /// Initialize the Sedov-like problem: all energy deposited in the
+    /// origin corner element.
+    pub fn new(epr: u32) -> Self {
+        assert!(epr >= 1, "domain needs at least one element per edge");
+        let n = (epr as usize).pow(3);
+        let mut energy = vec![1.0e-6; n];
+        energy[0] = 3.948746e7 / n as f64; // LULESH's e0, scaled
+        Domain {
+            epr: epr as usize,
+            energy,
+            pressure: vec![0.0; n],
+            volume: vec![1.0; n],
+            velocity: vec![0.0; n],
+            dt: 1.0e-7,
+            time: 0.0,
+            steps_taken: 0,
+        }
+    }
+
+    fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (x * self.epr + y) * self.epr + z
+    }
+
+    /// One explicit timestep: stress phase (pressure from EOS), hourglass
+    /// phase (artificial viscosity smoothing), then the time-constraint
+    /// reduction that picks the next dt.
+    pub fn step(&mut self) {
+        let n = self.energy.len();
+        let gamma = 5.0 / 3.0;
+
+        // Phase 1 — "stress": EOS update p = (γ-1)·ρ·e with ρ = 1/V,
+        // velocity kick from pressure gradient proxy.
+        for i in 0..n {
+            let rho = 1.0 / self.volume[i];
+            self.pressure[i] = (gamma - 1.0) * rho * self.energy[i].max(0.0);
+            self.velocity[i] += self.dt * self.pressure[i];
+        }
+
+        // Phase 2 — "hourglass": nearest-neighbour smoothing along the
+        // three axes (the artificial-viscosity stand-in), energy/volume
+        // update.
+        let e = self.epr;
+        let old_p = self.pressure.clone();
+        for x in 0..e {
+            for y in 0..e {
+                for z in 0..e {
+                    let i = self.idx(x, y, z);
+                    let mut acc = 0.0;
+                    let mut cnt = 0.0;
+                    if x + 1 < e {
+                        acc += old_p[self.idx(x + 1, y, z)];
+                        cnt += 1.0;
+                    }
+                    if x > 0 {
+                        acc += old_p[self.idx(x - 1, y, z)];
+                        cnt += 1.0;
+                    }
+                    if y + 1 < e {
+                        acc += old_p[self.idx(x, y + 1, z)];
+                        cnt += 1.0;
+                    }
+                    if y > 0 {
+                        acc += old_p[self.idx(x, y - 1, z)];
+                        cnt += 1.0;
+                    }
+                    if z + 1 < e {
+                        acc += old_p[self.idx(x, y, z + 1)];
+                        cnt += 1.0;
+                    }
+                    if z > 0 {
+                        acc += old_p[self.idx(x, y, z - 1)];
+                        cnt += 1.0;
+                    }
+                    let neighbor_p = if cnt > 0.0 { acc / cnt } else { old_p[i] };
+                    let q = 0.25 * (neighbor_p - old_p[i]);
+                    // Work done on/by the element redistributes energy.
+                    self.energy[i] = (self.energy[i] + self.dt * q).max(0.0);
+                    self.volume[i] =
+                        (self.volume[i] * (1.0 + 1e-3 * self.dt * (old_p[i] - neighbor_p)))
+                            .clamp(0.1, 10.0);
+                }
+            }
+        }
+
+        // Phase 3 — time-constraint reduction (Courant proxy): dt shrinks
+        // when the fastest element speeds up.
+        let vmax = self.velocity.iter().cloned().fold(0.0, f64::max).max(1e-12);
+        self.dt = (1.0e-7 / vmax.sqrt()).clamp(1.0e-12, 1.0e-6);
+        self.time += self.dt;
+        self.steps_taken += 1;
+    }
+
+    /// Run `n` timesteps.
+    pub fn run(&mut self, n: u32) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Total internal energy (conserved up to the smoothing redistribution).
+    pub fn total_energy(&self) -> f64 {
+        self.energy.iter().sum()
+    }
+
+    /// Simulated physical time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Steps executed.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Serialize the FTI-protected state (the checkpoint payload the
+    /// recovery property tests round-trip through the RS codec). Like
+    /// LULESH-FTI, the protected set includes the solver scalars (dt,
+    /// time, step counter) — restoring fields without dt would silently
+    /// change the trajectory after recovery.
+    pub fn checkpoint_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.energy.len() * 4 * 8 + 24);
+        for field in [&self.energy, &self.pressure, &self.volume, &self.velocity] {
+            for v in field.iter() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.dt.to_le_bytes());
+        out.extend_from_slice(&self.time.to_le_bytes());
+        out.extend_from_slice(&(self.steps_taken as f64).to_le_bytes());
+        out
+    }
+
+    /// Restore from a checkpoint payload.
+    pub fn restore(&mut self, payload: &[u8]) {
+        let n = self.energy.len();
+        assert_eq!(payload.len(), n * 4 * 8 + 24, "payload size mismatch");
+        let mut chunks = payload.chunks_exact(8);
+        let mut read = |dst: &mut Vec<f64>| {
+            for v in dst.iter_mut() {
+                let bytes: [u8; 8] =
+                    chunks.next().expect("sized above").try_into().expect("8-byte chunk");
+                *v = f64::from_le_bytes(bytes);
+            }
+        };
+        let (mut e, mut p, mut vo, mut ve) = (
+            std::mem::take(&mut self.energy),
+            std::mem::take(&mut self.pressure),
+            std::mem::take(&mut self.volume),
+            std::mem::take(&mut self.velocity),
+        );
+        read(&mut e);
+        read(&mut p);
+        read(&mut vo);
+        read(&mut ve);
+        self.energy = e;
+        self.pressure = p;
+        self.volume = vo;
+        self.velocity = ve;
+        let mut scalar = || {
+            let bytes: [u8; 8] =
+                chunks.next().expect("sized above").try_into().expect("8-byte chunk");
+            f64::from_le_bytes(bytes)
+        };
+        self.dt = scalar();
+        self.time = scalar();
+        self.steps_taken = scalar() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_cube_validation() {
+        for r in [1u32, 8, 27, 64, 216, 512, 1000, 1331] {
+            let _ = LuleshConfig::new(10, r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-cube")]
+    fn non_cube_ranks_panic() {
+        LuleshConfig::new(10, 100);
+    }
+
+    #[test]
+    fn paper_rank_grid_matches_table_ii() {
+        // "every perfect cube number of ranks that is evenly divisible by
+        // 8 ... maxing out at 1000 ranks".
+        assert_eq!(LuleshConfig::paper_rank_grid(1000), vec![8, 64, 216, 512, 1000]);
+    }
+
+    #[test]
+    fn work_model_scales_cubically() {
+        let small = LuleshConfig::new(5, 8);
+        let big = LuleshConfig::new(10, 8);
+        assert!((big.flops_per_step() / small.flops_per_step() - 8.0).abs() < 1e-9);
+        assert!((big.checkpoint_bytes_per_rank() as f64
+            / small.checkpoint_bytes_per_rank() as f64
+            - 8.0)
+            .abs()
+            < 1e-9);
+        // Halo scales with surface, not volume.
+        assert!(
+            (big.halo_bytes_per_neighbor() as f64 / small.halo_bytes_per_neighbor() as f64 - 4.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn appbeo_has_steps_and_checkpoints() {
+        let cfg = LuleshConfig::new(10, 64);
+        let fti = FtiConfig::l1_l2(40);
+        let app = appbeo(&cfg, &fti, 200);
+        assert_eq!(app.n_steps(), 200);
+        // 200/40 = 5 checkpoint instants × 2 levels.
+        let flat = app.flatten();
+        let ckpts = flat
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f,
+                    besst_core::beo::FlatInstr::Sync {
+                        marker: SyncMarker::Checkpoint(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(ckpts, 10);
+    }
+
+    #[test]
+    fn no_ft_appbeo_has_no_checkpoints() {
+        let cfg = LuleshConfig::new(10, 64);
+        let app = appbeo(&cfg, &FtiConfig::none(), 50);
+        assert_eq!(app.n_steps(), 50);
+        assert_eq!(app.kernels(), vec![kernels::TIMESTEP.to_string()]);
+    }
+
+    #[test]
+    fn instrumented_regions_cover_appbeo_kernels() {
+        let cfg = LuleshConfig::new(15, 216);
+        let fti = FtiConfig::l1_l2(40);
+        let machine = besst_machine::presets::quartz();
+        let regions = instrumented_regions(&cfg, &fti, &machine, 36);
+        let names: Vec<&str> = regions.iter().map(|r| r.kernel.as_str()).collect();
+        let app = appbeo(&cfg, &fti, 10);
+        for k in app.kernels() {
+            assert!(names.contains(&k.as_str()), "region missing for {k}");
+        }
+    }
+
+    #[test]
+    fn phase_appbeo_matches_function_appbeo_structure() {
+        let cfg = LuleshConfig::new(10, 64);
+        let fti = FtiConfig::l1_only(40);
+        let func = appbeo(&cfg, &fti, 80);
+        let phase = appbeo_phase(&cfg, &fti, 80);
+        assert_eq!(func.n_steps(), phase.n_steps());
+        // Phase granularity references the three phase kernels plus the
+        // checkpoint kernel.
+        let ks = phase.kernels();
+        assert!(ks.contains(&kernels::PHASE_COMPUTE.to_string()));
+        assert!(ks.contains(&kernels::PHASE_HALO.to_string()));
+        assert!(ks.contains(&kernels::PHASE_DT.to_string()));
+        assert!(ks.contains(&kernels::CKPT_L1.to_string()));
+        assert!(!ks.contains(&kernels::TIMESTEP.to_string()));
+    }
+
+    #[test]
+    fn phase_regions_cover_phase_appbeo() {
+        let cfg = LuleshConfig::new(10, 64);
+        let fti = FtiConfig::l1_l2(40);
+        let machine = besst_machine::presets::quartz();
+        let regions = instrumented_regions_phase(&cfg, &fti, &machine, 36);
+        let names: Vec<&str> = regions.iter().map(|r| r.kernel.as_str()).collect();
+        for k in appbeo_phase(&cfg, &fti, 10).kernels() {
+            assert!(names.contains(&k.as_str()), "missing region for {k}");
+        }
+        // The compute phase is measured unsynchronized; the collectives
+        // synchronized.
+        let comp = regions.iter().find(|r| r.kernel == kernels::PHASE_COMPUTE).unwrap();
+        assert_eq!(comp.sync_ranks, 1);
+        let halo = regions.iter().find(|r| r.kernel == kernels::PHASE_HALO).unwrap();
+        assert_eq!(halo.sync_ranks, 64);
+    }
+
+    #[test]
+    fn phase_blocks_partition_the_function_blocks() {
+        // The three phases together contain exactly the function-level
+        // timestep blocks.
+        let cfg = LuleshConfig::new(15, 216);
+        let mut from_phases: Vec<BlockWork> =
+            phase_blocks(&cfg).into_iter().flat_map(|(_, b, _)| b).collect();
+        let mut from_function = timestep_blocks(&cfg);
+        let key = |b: &BlockWork| format!("{b:?}");
+        from_phases.sort_by_key(key);
+        from_function.sort_by_key(key);
+        assert_eq!(from_phases, from_function);
+    }
+
+    #[test]
+    fn domain_runs_and_blast_spreads() {
+        let mut d = Domain::new(8);
+        let e0 = d.total_energy();
+        d.run(50);
+        assert_eq!(d.steps_taken(), 50);
+        assert!(d.time() > 0.0);
+        // Energy approximately conserved by the redistribution (within the
+        // source terms of the toy model).
+        let e1 = d.total_energy();
+        assert!(e1 > 0.0);
+        assert!((e1 / e0).abs() < 10.0, "no blow-up");
+        // The blast must have spread: some neighbour of the origin now has
+        // pressure far above the background.
+        let far = d.pressure[d.idx(4, 4, 4)];
+        let near = d.pressure[d.idx(1, 0, 0)];
+        assert!(near > far, "pressure front should be near the origin first");
+        assert!(near > 0.0);
+    }
+
+    #[test]
+    fn domain_is_deterministic() {
+        let mut a = Domain::new(6);
+        let mut b = Domain::new(6);
+        a.run(20);
+        b.run(20);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.dt, b.dt);
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let mut d = Domain::new(5);
+        d.run(10);
+        let payload = d.checkpoint_payload();
+        let snapshot = d.clone();
+        d.run(10);
+        assert_ne!(snapshot.energy, d.energy, "state must have advanced");
+        d.restore(&payload);
+        assert_eq!(snapshot.energy, d.energy);
+        assert_eq!(snapshot.pressure, d.pressure);
+        assert_eq!(snapshot.volume, d.volume);
+        assert_eq!(snapshot.velocity, d.velocity);
+    }
+
+    #[test]
+    fn checkpoint_payload_matches_size_model() {
+        // The executing domain checkpoints 4 fields + 3 scalars; the full
+        // LULESH-FTI model counts 12 fields — assert the proportionality
+        // so the constants stay honest.
+        let d = Domain::new(5);
+        let cfg = LuleshConfig::new(5, 8);
+        let payload = d.checkpoint_payload().len() as u64;
+        assert_eq!(payload, 4 * 8 * cfg.elements_per_rank() + 24);
+        assert_eq!(cfg.checkpoint_bytes_per_rank(), CHECKPOINTED_FIELDS * 8 * cfg.elements_per_rank());
+    }
+
+    #[test]
+    fn restore_resumes_identical_trajectory() {
+        let mut d = Domain::new(5);
+        d.run(12);
+        let payload = d.checkpoint_payload();
+        let mut reference = d.clone();
+        d.run(9); // diverge
+        d.restore(&payload);
+        d.run(6);
+        reference.run(6);
+        assert_eq!(d.energy, reference.energy);
+        assert_eq!(d.dt, reference.dt);
+        assert_eq!(d.steps_taken(), reference.steps_taken());
+    }
+}

@@ -1,0 +1,94 @@
+//! Instrumented-region descriptions: the contract between applications
+//! and the benchmarking campaign.
+//!
+//! "To create an ArchBEO, we begin by instrumenting the application code
+//! under study with timer calls corresponding to the same blocks and
+//! patterns used for the AppBEO and running the code on existing
+//! machines ... to collect benchmarking data" (§III-A). An
+//! [`InstrumentedRegion`] is one such timed block: the kernel name it
+//! models, the parameter point, the machine blocks it executes, and how
+//! many ranks it synchronizes.
+
+use besst_machine::{BlockWork, Testbed};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One instrumented block of an application at one parameter point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstrumentedRegion {
+    /// The model name this region's samples calibrate.
+    pub kernel: String,
+    /// The parameter point (model inputs), e.g. `[epr, ranks]`.
+    pub params: Vec<f64>,
+    /// The machine blocks executed back-to-back.
+    pub blocks: Vec<BlockWork>,
+    /// Ranks synchronized by the region (straggler exposure).
+    pub sync_ranks: u32,
+}
+
+impl InstrumentedRegion {
+    /// "Run" the region once on the testbed and return the timer value,
+    /// seconds.
+    pub fn measure<R: Rng + ?Sized>(&self, testbed: &Testbed<'_>, rng: &mut R) -> f64 {
+        testbed.measure_region(&self.blocks, self.sync_ranks, rng)
+    }
+
+    /// Collect `n` timing samples (one benchmarking campaign cell).
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        testbed: &Testbed<'_>,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        testbed.sample_region(&self.blocks, self.sync_ranks, n, rng)
+    }
+
+    /// The noise-free fine-grained cost, seconds.
+    pub fn deterministic_cost(&self, testbed: &Testbed<'_>) -> f64 {
+        testbed.deterministic_region_cost(&self.blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use besst_machine::{presets, BlockWork};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn region() -> InstrumentedRegion {
+        InstrumentedRegion {
+            kernel: "k".into(),
+            params: vec![10.0, 64.0],
+            blocks: vec![
+                BlockWork::Compute { flops: 1e9, mem_bytes: 1e8, cores_used: 1 },
+                BlockWork::Barrier { ranks: 64 },
+            ],
+            sync_ranks: 64,
+        }
+    }
+
+    #[test]
+    fn samples_center_near_deterministic_cost() {
+        let m = presets::quartz();
+        let tb = besst_machine::Testbed::new(&m);
+        let r = region();
+        let det = r.deterministic_cost(&tb);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = r.sample(&tb, 500, &mut rng);
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        // Synchronized over 64 ranks: straggler factor pushes the mean a
+        // bit above the deterministic cost, but within ~2×.
+        assert!(mean >= det * 0.9 && mean < det * 2.0, "mean {mean} det {det}");
+    }
+
+    #[test]
+    fn measurement_is_reproducible_per_seed() {
+        let m = presets::quartz();
+        let tb = besst_machine::Testbed::new(&m);
+        let r = region();
+        let a = r.measure(&tb, &mut StdRng::seed_from_u64(7));
+        let b = r.measure(&tb, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,93 @@
+//! DES-engine throughput: sequential vs conservative-parallel execution
+//! of a ring workload, and BE-simulator event rates at case-study scale.
+
+use besst_bench::{bsp_app, bsp_arch};
+use besst_core::sim::{simulate, EngineKind, SimConfig};
+use besst_des::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+struct RingNode {
+    hops: u32,
+}
+
+impl Component<u32> for RingNode {
+    fn on_event(&mut self, ev: Event<u32>, ctx: &mut Ctx<'_, u32>) {
+        if ev.payload < self.hops {
+            ctx.send(PortId(0), ev.payload + 1);
+        }
+    }
+}
+
+fn ring(n: usize, hops: u32) -> EngineBuilder<u32> {
+    let mut b = EngineBuilder::new();
+    let ids: Vec<ComponentId> =
+        (0..n).map(|_| b.add_component(Box::new(RingNode { hops }))).collect();
+    for i in 0..n {
+        b.connect(ids[i], PortId(0), ids[(i + 1) % n], PortId(0), SimTime::from_micros(10));
+    }
+    b
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let hops = 20_000u32;
+    let mut group = c.benchmark_group("des_ring");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(hops as u64));
+    group.bench_function("sequential_64comp", |b| {
+        b.iter(|| {
+            let mut e = ring(64, hops).build();
+            e.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+            e.run_to_completion();
+            e.delivered()
+        })
+    });
+    for workers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_64comp", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let mut p = ring(64, hops).pipe_into_parallel(w);
+                    p.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+                    p.run().delivered
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+trait IntoParallel {
+    fn pipe_into_parallel(self, workers: usize) -> ParallelEngine<u32>;
+}
+
+impl IntoParallel for EngineBuilder<u32> {
+    fn pipe_into_parallel(self, workers: usize) -> ParallelEngine<u32> {
+        ParallelEngine::new(self, Partitioning::RoundRobin(workers))
+    }
+}
+
+fn bench_be_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("be_sim");
+    group.sample_size(10);
+    for &(ranks, steps) in &[(64u32, 200u32), (512, 200), (1000, 200)] {
+        let app = bsp_app(ranks, steps);
+        let arch = bsp_arch();
+        // Events ≈ 2 per rank per sync plus per-rank locals.
+        group.throughput(Throughput::Elements((ranks as u64) * (steps as u64) * 3));
+        group.bench_with_input(BenchmarkId::new("sequential", ranks), &ranks, |b, _| {
+            b.iter(|| {
+                simulate(
+                    &app,
+                    &arch,
+                    &SimConfig { monte_carlo: true, engine: EngineKind::Sequential, seed: 1 },
+                )
+                .events_delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_be_sim);
+criterion_main!(benches);

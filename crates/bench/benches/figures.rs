@@ -1,0 +1,99 @@
+//! Per-figure end-to-end benches: one per paper table/figure, each
+//! exercising the same pipeline the `repro` binary runs, at reduced size
+//! so the suite completes in minutes. These answer "how expensive is it
+//! to regenerate each artifact" and catch pipeline regressions.
+
+use besst_experiments::calibration::{calibrate, CalibrationConfig, ModelMethod};
+use besst_experiments::fig78::{measured_series, run_series};
+use besst_experiments::paper::{self, CaseStudy, Scenario};
+use besst_experiments::{cases24, fig9};
+use besst_models::{Interpolation, SymRegConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+
+fn quick_cs() -> &'static CaseStudy {
+    static CS: OnceLock<CaseStudy> = OnceLock::new();
+    CS.get_or_init(CaseStudy::build_quick)
+}
+
+fn small_cfg() -> CalibrationConfig {
+    CalibrationConfig {
+        samples_per_point: 5,
+        method: ModelMethod::Table(Interpolation::Multilinear),
+        symreg: SymRegConfig { population: 64, generations: 8, ..Default::default() },
+        symreg_restarts: 1,
+        ..Default::default()
+    }
+}
+
+/// Fig. 1 pipeline: calibrate CMT-bone on Vulcan (reduced grid), sample
+/// the Monte-Carlo scatter.
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig1_pipeline_small", |b| {
+        b.iter(|| besst_experiments::fig1::fig1(&small_cfg(), 20).validation_mape)
+    });
+    group.finish();
+}
+
+/// Table III pipeline: calibrate LULESH kernels and validate
+/// (table-method models so the bench isolates the campaign cost, not GP
+/// search).
+fn bench_table3(c: &mut Criterion) {
+    let machine = besst_machine::presets::quartz();
+    let grid: Vec<(u32, u32)> = vec![(5, 8), (10, 8), (5, 64), (10, 64)];
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("table3_campaign_small", |b| {
+        b.iter(|| {
+            calibrate(&machine, paper::regions(&machine), &grid, &small_cfg()).kernels.len()
+        })
+    });
+    group.finish();
+}
+
+/// Figs. 7–8 pipeline: one measured replay + one MC simulation at 64
+/// ranks.
+fn bench_fig78(c: &mut Criterion) {
+    let cs = quick_cs();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig7_measured_replay", |b| {
+        b.iter(|| measured_series(cs, 10, 64, Scenario::L1, 7).len())
+    });
+    group.bench_function("fig7_run_series", |b| {
+        b.iter(|| run_series(cs, 10, 64, Scenario::L1, 7).series_mape())
+    });
+    group.finish();
+}
+
+/// Fig. 9 pipeline: the DSE sweep (24 simulations).
+fn bench_fig9(c: &mut Criterion) {
+    let cs = quick_cs();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig9_sweep", |b| b.iter(|| fig9::fig9_sweep(cs, 1).cells.len()));
+    group.finish();
+}
+
+/// Cases 2 & 4 pipeline: fault injection over simulated timelines.
+fn bench_cases24(c: &mut Criterion) {
+    let cs = quick_cs();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("cases24_four_quadrants", |b| {
+        b.iter(|| cases24::four_cases(cs, 10, 64, 10.0, 0.0, 10, 3).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_table3,
+    bench_fig78,
+    bench_fig9,
+    bench_cases24
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Substrate benches: Reed–Solomon codec throughput, symbolic-regression
+//! fitting, Monte-Carlo ensembles, testbed sampling.
+
+use besst_bench::{bsp_app, bsp_arch};
+use besst_core::montecarlo::run_ensemble;
+use besst_core::sim::SimConfig;
+use besst_fti::ReedSolomon;
+use besst_machine::{presets, BlockWork, Testbed};
+use besst_models::symreg::{fit, Dataset, SymRegConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reed_solomon");
+    let shard_len = 1 << 16; // 64 KiB shards
+    for &(k, m) in &[(2usize, 2usize), (4, 2), (8, 4)] {
+        let rs = ReedSolomon::new(k, m);
+        let data: Vec<Vec<u8>> =
+            (0..k).map(|i| (0..shard_len).map(|j| (i * 31 + j) as u8).collect()).collect();
+        group.throughput(Throughput::Bytes((k * shard_len) as u64));
+        group.bench_with_input(BenchmarkId::new("encode", format!("{k}+{m}")), &rs, |b, rs| {
+            b.iter(|| rs.encode(&data).expect("encode"))
+        });
+        let parity = rs.encode(&data).expect("encode");
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        for shard in shards.iter_mut().take(m) {
+            *shard = None;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_max_loss", format!("{k}+{m}")),
+            &rs,
+            |b, rs| b.iter(|| rs.reconstruct(&shards).expect("reconstruct")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_symreg(c: &mut Criterion) {
+    // The case-study shape: 25 points of f(epr, ranks).
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for &epr in &[5.0f64, 10.0, 15.0, 20.0, 25.0] {
+        for &ranks in &[8.0f64, 64.0, 216.0, 512.0, 1000.0] {
+            x.push(vec![epr, ranks]);
+            y.push(1e-6 * epr.powi(3) * (1.0 + 0.05 * ranks.ln()));
+        }
+    }
+    let data = Dataset::new(x, y);
+    let cfg = SymRegConfig { population: 128, generations: 20, ..Default::default() };
+    c.bench_function("symreg_fit_25pts_20gen", |b| b.iter(|| fit(&data, None, &cfg)));
+}
+
+fn bench_testbed(c: &mut Criterion) {
+    let machine = presets::quartz();
+    let tb = Testbed::new(&machine);
+    let blocks = vec![
+        BlockWork::Compute { flops: 1e9, mem_bytes: 1e7, cores_used: 1 },
+        BlockWork::Barrier { ranks: 1000 },
+        BlockWork::LocalWrite { bytes: 1 << 24 },
+    ];
+    let mut group = c.benchmark_group("testbed_sampling");
+    for &sync in &[64u32, 1000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("measure_region", sync), &sync, |b, &s| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| tb.measure_region(&blocks, s, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let app = bsp_app(64, 50);
+    let arch = bsp_arch();
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+    for &replicas in &[8u32, 32] {
+        group.bench_with_input(BenchmarkId::new("ensemble", replicas), &replicas, |b, &r| {
+            b.iter(|| run_ensemble(&app, &arch, &SimConfig::default(), r).stat.mean())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reed_solomon, bench_symreg, bench_testbed, bench_monte_carlo);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! # besst-bench — benchmark harnesses
+//!
+//! Criterion benchmarks for the FT-BE-SST stack, in two groups:
+//!
+//! * **substrate micro/meso benches** — DES engine throughput (sequential
+//!   vs conservative-parallel), GF(2⁸) Reed–Solomon encode/reconstruct,
+//!   symbolic-regression fitting, Monte-Carlo ensembles;
+//! * **per-figure end-to-end benches** — one bench per paper table/figure
+//!   pipeline (`bench_fig1`, `bench_table3`, `bench_fig78`, `bench_fig9`,
+//!   `bench_cases24`), each running a reduced-size version of the same
+//!   code path the `repro` binary uses.
+//!
+//! Shared workload builders live here so benches and tests agree on what
+//! is being measured.
+
+use besst_core::beo::{AppBeo, ArchBeo, Instr, SyncMarker};
+use besst_models::{Interpolation, ModelBundle, PerfModel, SampleTable};
+
+/// A fixed-duration kernel bundle for simulator benchmarks (no model
+/// evaluation cost — measures the engine, not the models).
+pub fn fixed_bundle(pairs: &[(&str, f64)]) -> ModelBundle {
+    let mut b = ModelBundle::new();
+    for &(name, secs) in pairs {
+        let mut t = SampleTable::new(&["p"], Interpolation::Nearest);
+        t.insert(&[1.0], secs);
+        b.insert(name, PerfModel::Table(t));
+    }
+    b
+}
+
+/// A bulk-synchronous AppBEO: `steps` iterations of work + allreduce.
+pub fn bsp_app(ranks: u32, steps: u32) -> AppBeo {
+    AppBeo::new(
+        "bench-bsp",
+        ranks,
+        vec![Instr::Loop {
+            count: steps,
+            body: vec![
+                Instr::Kernel { kernel: "work".into(), params: vec![1.0] },
+                Instr::SyncKernel {
+                    kernel: "reduce".into(),
+                    params: vec![1.0],
+                    marker: SyncMarker::StepEnd,
+                },
+            ],
+        }],
+    )
+}
+
+/// The matching ArchBEO.
+pub fn bsp_arch() -> ArchBeo {
+    ArchBeo::new(
+        besst_machine::presets::quartz(),
+        36,
+        fixed_bundle(&[("work", 0.001), ("reduce", 0.0001)]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use besst_core::sim::{simulate, SimConfig};
+
+    #[test]
+    fn bench_workloads_run() {
+        let app = bsp_app(8, 5);
+        let arch = bsp_arch();
+        let res = simulate(&app, &arch, &SimConfig { monte_carlo: false, ..Default::default() });
+        assert_eq!(res.step_completions.len(), 5);
+    }
+}

@@ -1,0 +1,295 @@
+//! Behavioral Emulation Objects: AppBEOs and ArchBEOs.
+//!
+//! "An AppBEO is a list of abstract instructions that represents the major
+//! functions and control flow of the application under study. An ArchBEO
+//! describes the system hardware architecture that is simulated, defines
+//! system operations, and connects the performance models to the
+//! instructions listed in the AppBEO." (§III-A)
+//!
+//! The FT-aware extension adds checkpoint instructions carrying their
+//! [`CkptLevel`], so the same AppBEO machinery expresses both the plain
+//! and the fault-tolerant version of an application (paper Fig. 3).
+
+use besst_fti::CkptLevel;
+use besst_machine::Machine;
+use besst_models::ModelBundle;
+use serde::{Deserialize, Serialize};
+
+/// Why a synchronized instruction matters to the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncMarker {
+    /// Ends one application timestep (drives Figs. 7–8 cumulative plots).
+    StepEnd,
+    /// A coordinated checkpoint at this level (the black dots in
+    /// Figs. 7–8).
+    Checkpoint(CkptLevel),
+    /// Synchronization with no special reporting role.
+    Plain,
+}
+
+/// One abstract instruction of an AppBEO.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// A local modeled block: every rank independently "executes" the
+    /// kernel; the simulator polls the ArchBEO model named `kernel` with
+    /// `params` for its duration.
+    Kernel {
+        /// Model name in the ArchBEO bundle.
+        kernel: String,
+        /// Model inputs (e.g. `[epr, ranks]`).
+        params: Vec<f64>,
+    },
+    /// A synchronized modeled block: all ranks rendezvous, then the
+    /// operation's modeled duration elapses once, globally (coordinated
+    /// checkpoints, allreduces).
+    SyncKernel {
+        /// Model name in the ArchBEO bundle.
+        kernel: String,
+        /// Model inputs.
+        params: Vec<f64>,
+        /// Trace role.
+        marker: SyncMarker,
+    },
+    /// Pure barrier: rendezvous with no modeled duration.
+    Barrier,
+    /// Counted loop over a body (keeps AppBEOs compact; flattened before
+    /// simulation).
+    Loop {
+        /// Iterations.
+        count: u32,
+        /// Body instructions.
+        body: Vec<Instr>,
+    },
+}
+
+/// The flattened instruction stream the simulator executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlatInstr {
+    /// Per-rank local block.
+    Local {
+        /// Model name.
+        kernel: String,
+        /// Model inputs.
+        params: Vec<f64>,
+    },
+    /// Globally synchronized block.
+    Sync {
+        /// Model name; `None` for a pure barrier.
+        kernel: Option<String>,
+        /// Model inputs.
+        params: Vec<f64>,
+        /// Trace role.
+        marker: SyncMarker,
+    },
+}
+
+/// An application Behavioral Emulation Object.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppBeo {
+    /// Application name.
+    pub name: String,
+    /// MPI ranks the program runs on.
+    pub ranks: u32,
+    /// Abstract instruction list.
+    pub instrs: Vec<Instr>,
+}
+
+impl AppBeo {
+    /// Build and validate (ranks ≥ 1, non-empty program).
+    pub fn new(name: &str, ranks: u32, instrs: Vec<Instr>) -> Self {
+        assert!(ranks >= 1, "AppBEO needs at least one rank");
+        assert!(!instrs.is_empty(), "AppBEO has no instructions");
+        AppBeo { name: name.to_string(), ranks, instrs }
+    }
+
+    /// Flatten loops into a linear stream.
+    pub fn flatten(&self) -> Vec<FlatInstr> {
+        fn walk(instrs: &[Instr], out: &mut Vec<FlatInstr>) {
+            for i in instrs {
+                match i {
+                    Instr::Kernel { kernel, params } => out.push(FlatInstr::Local {
+                        kernel: kernel.clone(),
+                        params: params.clone(),
+                    }),
+                    Instr::SyncKernel { kernel, params, marker } => out.push(FlatInstr::Sync {
+                        kernel: Some(kernel.clone()),
+                        params: params.clone(),
+                        marker: *marker,
+                    }),
+                    Instr::Barrier => out.push(FlatInstr::Sync {
+                        kernel: None,
+                        params: Vec::new(),
+                        marker: SyncMarker::Plain,
+                    }),
+                    Instr::Loop { count, body } => {
+                        for _ in 0..*count {
+                            walk(body, out);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.instrs, &mut out);
+        out
+    }
+
+    /// Names of every kernel the program references (for ArchBEO
+    /// completeness checks).
+    pub fn kernels(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .flatten()
+            .iter()
+            .filter_map(|f| match f {
+                FlatInstr::Local { kernel, .. } => Some(kernel.clone()),
+                FlatInstr::Sync { kernel, .. } => kernel.clone(),
+            })
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Number of `StepEnd` markers (application timesteps).
+    pub fn n_steps(&self) -> usize {
+        self.flatten()
+            .iter()
+            .filter(|f| {
+                matches!(f, FlatInstr::Sync { marker: SyncMarker::StepEnd, .. })
+            })
+            .count()
+    }
+}
+
+/// An architecture Behavioral Emulation Object: the machine description
+/// plus the calibrated model bindings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArchBeo {
+    /// The machine being emulated.
+    pub machine: Machine,
+    /// MPI ranks placed per physical node.
+    pub ranks_per_node: u32,
+    /// Kernel name → calibrated performance model.
+    pub models: ModelBundle,
+}
+
+impl ArchBeo {
+    /// Build and validate.
+    pub fn new(machine: Machine, ranks_per_node: u32, models: ModelBundle) -> Self {
+        assert!(ranks_per_node >= 1, "need at least one rank per node");
+        ArchBeo { machine, ranks_per_node, models }
+    }
+
+    /// Verify every kernel an AppBEO references has a bound model.
+    pub fn check_covers(&self, app: &AppBeo) -> Result<(), Vec<String>> {
+        let missing: Vec<String> = app
+            .kernels()
+            .into_iter()
+            .filter(|k| self.models.get(k).is_none())
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(missing)
+        }
+    }
+
+    /// Swap one kernel's model — the paper's *algorithmic DSE* primitive
+    /// ("interchanging models to determine how different algorithms affect
+    /// the performance of the overall application", §III-B).
+    pub fn with_model(mut self, kernel: &str, model: besst_models::PerfModel) -> Self {
+        self.models.insert(kernel, model);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(name: &str) -> Instr {
+        Instr::Kernel { kernel: name.into(), params: vec![1.0] }
+    }
+
+    fn step_end() -> Instr {
+        Instr::SyncKernel {
+            kernel: "allreduce".into(),
+            params: vec![8.0],
+            marker: SyncMarker::StepEnd,
+        }
+    }
+
+    #[test]
+    fn flatten_expands_loops() {
+        let app = AppBeo::new(
+            "t",
+            4,
+            vec![Instr::Loop { count: 3, body: vec![k("a"), step_end()] }],
+        );
+        let flat = app.flatten();
+        assert_eq!(flat.len(), 6);
+        assert_eq!(app.n_steps(), 3);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let inner = Instr::Loop { count: 2, body: vec![k("x")] };
+        let app = AppBeo::new("t", 1, vec![Instr::Loop { count: 3, body: vec![inner] }]);
+        assert_eq!(app.flatten().len(), 6);
+    }
+
+    #[test]
+    fn kernels_are_deduped_and_sorted() {
+        let app = AppBeo::new(
+            "t",
+            2,
+            vec![k("b"), k("a"), step_end(), k("b"), Instr::Barrier],
+        );
+        assert_eq!(app.kernels(), vec!["a".to_string(), "allreduce".into(), "b".into()]);
+    }
+
+    #[test]
+    fn barrier_flattens_to_kernel_less_sync() {
+        let app = AppBeo::new("t", 2, vec![Instr::Barrier]);
+        match &app.flatten()[0] {
+            FlatInstr::Sync { kernel: None, marker: SyncMarker::Plain, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_marker_is_preserved() {
+        let app = AppBeo::new(
+            "t",
+            8,
+            vec![Instr::SyncKernel {
+                kernel: "ckpt_l1".into(),
+                params: vec![10.0, 8.0],
+                marker: SyncMarker::Checkpoint(CkptLevel::L1),
+            }],
+        );
+        match &app.flatten()[0] {
+            FlatInstr::Sync { marker: SyncMarker::Checkpoint(CkptLevel::L1), .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arch_coverage_check() {
+        use besst_models::{Interpolation, PerfModel, SampleTable};
+        let app = AppBeo::new("t", 2, vec![k("present"), k("absent")]);
+        let mut bundle = ModelBundle::new();
+        let mut t = SampleTable::new(&["x"], Interpolation::Nearest);
+        t.insert(&[1.0], 0.5);
+        bundle.insert("present", PerfModel::Table(t));
+        let arch = ArchBeo::new(besst_machine::presets::quartz(), 36, bundle);
+        let missing = arch.check_covers(&app).unwrap_err();
+        assert_eq!(missing, vec!["absent".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no instructions")]
+    fn empty_program_panics() {
+        AppBeo::new("t", 1, Vec::new());
+    }
+}

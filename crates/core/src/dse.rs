@@ -1,0 +1,193 @@
+//! Design-space exploration drivers.
+//!
+//! The Co-Design half of the workflow (paper Fig. 2, right): sweep the
+//! design space — problem size × ranks × fault-tolerance scenario — with
+//! low-cost simulations and reduce the results into the overhead matrices
+//! of Fig. 9. Scenario construction is delegated to the caller through a
+//! builder closure so any application (LULESH, CMT-bone, user apps) plugs
+//! in.
+
+use crate::beo::{AppBeo, ArchBeo};
+use crate::sim::{simulate, SimConfig};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One cell of a DSE sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Problem size (elements per rank for LULESH).
+    pub problem_size: u32,
+    /// MPI ranks.
+    pub ranks: u32,
+    /// Scenario label ("No FT", "L1", "L1 & L2", ...).
+    pub scenario: String,
+    /// Simulated total runtime, seconds.
+    pub total_seconds: f64,
+}
+
+/// A full sweep result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Sweep {
+    /// All simulated cells.
+    pub cells: Vec<SweepCell>,
+}
+
+impl Sweep {
+    /// Look up one cell.
+    pub fn get(&self, problem_size: u32, ranks: u32, scenario: &str) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.problem_size == problem_size && c.ranks == ranks && c.scenario == scenario
+        })
+    }
+
+    /// Overhead of every cell relative to a baseline cell, in percent
+    /// (Fig. 9: "amount of overhead for different points in the design
+    /// space", 100% = baseline runtime).
+    pub fn overhead_matrix(
+        &self,
+        base_size: u32,
+        base_ranks: u32,
+        base_scenario: &str,
+    ) -> Vec<(SweepCell, f64)> {
+        let base = self
+            .get(base_size, base_ranks, base_scenario)
+            .unwrap_or_else(|| panic!("baseline cell ({base_size}, {base_ranks}, {base_scenario}) missing"))
+            .total_seconds;
+        assert!(base > 0.0, "baseline runtime must be positive");
+        self.cells
+            .iter()
+            .map(|c| (c.clone(), 100.0 * c.total_seconds / base))
+            .collect()
+    }
+}
+
+/// Sweep the design space.
+///
+/// `build` maps a `(problem_size, ranks, scenario)` triple to the AppBEO
+/// and ArchBEO to simulate (the ArchBEO varies too: FT-aware scenarios
+/// bind checkpoint models — and algorithmic DSE may swap kernel models).
+/// Cells run in parallel; each gets a deterministic per-cell seed.
+pub fn sweep<F>(
+    problem_sizes: &[u32],
+    ranks: &[u32],
+    scenarios: &[&str],
+    base_cfg: &SimConfig,
+    build: F,
+) -> Sweep
+where
+    F: Fn(u32, u32, &str) -> (AppBeo, ArchBeo) + Sync,
+{
+    let mut grid = Vec::new();
+    for &ps in problem_sizes {
+        for &r in ranks {
+            for &sc in scenarios {
+                grid.push((ps, r, sc.to_string()));
+            }
+        }
+    }
+    let cells: Vec<SweepCell> = grid
+        .into_par_iter()
+        .enumerate()
+        .map(|(i, (ps, r, sc))| {
+            let (app, arch) = build(ps, r, &sc);
+            let cfg = SimConfig {
+                seed: base_cfg.seed.wrapping_add(i as u64 * 0x9E37),
+                monte_carlo: base_cfg.monte_carlo,
+                engine: base_cfg.engine,
+            };
+            let res = simulate(&app, &arch, &cfg);
+            SweepCell { problem_size: ps, ranks: r, scenario: sc, total_seconds: res.total_seconds }
+        })
+        .collect();
+    Sweep { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beo::{Instr, SyncMarker};
+    use besst_models::{Interpolation, ModelBundle, PerfModel, SampleTable};
+
+    fn fixed(name: &str, secs: f64, bundle: &mut ModelBundle) {
+        let mut t = SampleTable::new(&["p"], Interpolation::Nearest);
+        t.insert(&[1.0], secs);
+        bundle.insert(name, PerfModel::Table(t));
+    }
+
+    fn builder(ps: u32, ranks: u32, scenario: &str) -> (AppBeo, ArchBeo) {
+        let steps = 5u32;
+        let mut instrs = Vec::new();
+        for s in 1..=steps {
+            instrs.push(Instr::Kernel { kernel: "work".into(), params: vec![1.0] });
+            instrs.push(Instr::SyncKernel {
+                kernel: "reduce".into(),
+                params: vec![1.0],
+                marker: SyncMarker::StepEnd,
+            });
+            if scenario != "No FT" && s % 5 == 0 {
+                instrs.push(Instr::SyncKernel {
+                    kernel: "ckpt".into(),
+                    params: vec![1.0],
+                    marker: SyncMarker::Checkpoint(besst_fti::CkptLevel::L1),
+                });
+            }
+        }
+        let app = AppBeo::new("t", ranks.min(8), instrs);
+        let mut bundle = ModelBundle::new();
+        // Work scales with problem size so the matrix is non-trivial.
+        fixed("work", 0.01 * ps as f64, &mut bundle);
+        fixed("reduce", 0.001, &mut bundle);
+        fixed("ckpt", if scenario == "L1 & L2" { 0.2 } else { 0.1 }, &mut bundle);
+        let arch = ArchBeo::new(besst_machine::presets::quartz(), 36, bundle);
+        (app, arch)
+    }
+
+    fn test_cfg() -> SimConfig {
+        SimConfig { monte_carlo: false, ..Default::default() }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let s = sweep(&[10, 20], &[8], &["No FT", "L1"], &test_cfg(), builder);
+        assert_eq!(s.cells.len(), 4);
+        assert!(s.get(10, 8, "No FT").is_some());
+        assert!(s.get(20, 8, "L1").is_some());
+        assert!(s.get(30, 8, "L1").is_none());
+    }
+
+    #[test]
+    fn overhead_matrix_normalizes_to_baseline() {
+        let s = sweep(&[10, 20], &[8], &["No FT", "L1", "L1 & L2"], &test_cfg(), builder);
+        let m = s.overhead_matrix(10, 8, "No FT");
+        let base = m
+            .iter()
+            .find(|(c, _)| c.problem_size == 10 && c.scenario == "No FT")
+            .unwrap();
+        assert!((base.1 - 100.0).abs() < 1e-9, "baseline is 100%");
+        // FT scenarios cost more than the baseline at the same point.
+        let l1 = m.iter().find(|(c, _)| c.problem_size == 10 && c.scenario == "L1").unwrap();
+        let l12 =
+            m.iter().find(|(c, _)| c.problem_size == 10 && c.scenario == "L1 & L2").unwrap();
+        assert!(l1.1 > 100.0);
+        assert!(l12.1 > l1.1, "higher level, higher overhead");
+        // Bigger problems cost more.
+        let big = m.iter().find(|(c, _)| c.problem_size == 20 && c.scenario == "No FT").unwrap();
+        assert!(big.1 > 100.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = sweep(&[10], &[8], &["No FT", "L1"], &test_cfg(), builder);
+        let b = sweep(&[10], &[8], &["No FT", "L1"], &test_cfg(), builder);
+        let ta: Vec<f64> = a.cells.iter().map(|c| c.total_seconds).collect();
+        let tb: Vec<f64> = b.cells.iter().map(|c| c.total_seconds).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline cell")]
+    fn missing_baseline_panics() {
+        let s = sweep(&[10], &[8], &["No FT"], &test_cfg(), builder);
+        s.overhead_matrix(99, 8, "No FT");
+    }
+}

@@ -1,0 +1,549 @@
+//! Fault injection — the paper's Fig. 4 Cases 2 & 4 (listed as future
+//! work; implemented here as the natural extension).
+//!
+//! The BE simulation produces a failure-free timeline of timesteps and
+//! checkpoint completions. This module overlays a fault process on that
+//! timeline: exponential fail-stop node failures at rate
+//! `n_nodes / node_mtbf`. On a failure,
+//!
+//! * **with checkpointing** (Case 4) the run rolls back to the last
+//!   checkpoint whose level survives the failure (FTI recovery
+//!   semantics from `besst-fti`), pays the restart cost, and re-executes;
+//! * **without** (Case 2) it restarts from the beginning.
+//!
+//! The injector is validated against Daly's analytic expected-runtime
+//! model in the integration tests.
+
+use besst_fti::{CkptLevel, FailureScenario, GroupLayout};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Inter-arrival distribution of failures.
+///
+/// Field studies (the paper's refs \[1\]–\[3\]) report that HPC failures are
+/// *not* memoryless: Weibull fits with shape < 1 (bursty, decreasing
+/// hazard — infant mortality after maintenance) describe production logs
+/// better than exponentials. Both are supported; the mean inter-arrival
+/// is the system MTBF either way, so analytic comparisons stay apples to
+/// apples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultDistribution {
+    /// Memoryless failures (Young/Daly's assumption).
+    Exponential,
+    /// Weibull with the given shape `k` (k < 1: bursty; k = 1 reduces to
+    /// exponential; k > 1: wear-out clustering).
+    Weibull {
+        /// Shape parameter k.
+        shape: f64,
+    },
+}
+
+/// Γ(1 + x) for x in (0, ~10] via the Lanczos approximation — needed to
+/// scale a Weibull to a target mean.
+fn gamma_1p(x: f64) -> f64 {
+    // Lanczos g=7, n=9 coefficients.
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    // Γ(1+x) = x·Γ(x); compute Γ(z) for z = x+1 directly.
+    let z = x; // Γ(1+x) with Lanczos on z
+    let mut a = C[0];
+    for (i, &c) in C.iter().enumerate().skip(1) {
+        a += c / (z + i as f64);
+    }
+    let t = z + G + 0.5;
+    (2.0 * std::f64::consts::PI).sqrt() * t.powf(z + 0.5) * (-t).exp() * a
+}
+
+/// The fault process.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FaultProcess {
+    /// MTBF of one node, seconds.
+    pub node_mtbf: f64,
+    /// Number of nodes exposed to failure.
+    pub n_nodes: u32,
+    /// Probability a failure destroys the node's local checkpoint data
+    /// (vs a process crash with storage intact).
+    pub data_loss_prob: f64,
+    /// Inter-arrival distribution.
+    pub distribution: FaultDistribution,
+}
+
+impl FaultProcess {
+    /// Exponential failures (the default and the Young/Daly assumption).
+    pub fn new(node_mtbf: f64, n_nodes: u32, data_loss_prob: f64) -> Self {
+        assert!(node_mtbf > 0.0, "node MTBF must be positive");
+        assert!(n_nodes >= 1, "need at least one node");
+        assert!((0.0..=1.0).contains(&data_loss_prob), "probability in [0,1]");
+        FaultProcess {
+            node_mtbf,
+            n_nodes,
+            data_loss_prob,
+            distribution: FaultDistribution::Exponential,
+        }
+    }
+
+    /// Switch to Weibull inter-arrivals with shape `k`, keeping the mean
+    /// inter-arrival equal to the system MTBF.
+    pub fn with_weibull(mut self, shape: f64) -> Self {
+        assert!(shape > 0.05 && shape <= 10.0, "Weibull shape out of supported range");
+        self.distribution = FaultDistribution::Weibull { shape };
+        self
+    }
+
+    /// System-level failure rate (per second).
+    pub fn system_rate(&self) -> f64 {
+        self.n_nodes as f64 / self.node_mtbf
+    }
+
+    /// Draw the next inter-arrival time (mean = 1/system_rate for every
+    /// distribution).
+    fn next_interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let mean = 1.0 / self.system_rate();
+        match self.distribution {
+            FaultDistribution::Exponential => -u.ln() * mean,
+            FaultDistribution::Weibull { shape } => {
+                // Inverse CDF: scale · (−ln u)^{1/k}; scale chosen so the
+                // mean (scale·Γ(1+1/k)) equals the system MTBF.
+                let scale = mean / gamma_1p(1.0 / shape);
+                scale * (-u.ln()).powf(1.0 / shape)
+            }
+        }
+    }
+}
+
+/// The failure-free timeline the injector replays.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Duration of each application timestep, seconds.
+    pub step_durations: Vec<f64>,
+    /// Checkpoints: (after step index 1-based, level, duration seconds).
+    pub checkpoints: Vec<(usize, CkptLevel, f64)>,
+    /// Restart cost per level, seconds (level → cost); restart from
+    /// scratch is free beyond re-execution.
+    pub restart_costs: Vec<(CkptLevel, f64)>,
+}
+
+impl Timeline {
+    /// Build from a [`crate::sim::SimResult`]-shaped trace.
+    pub fn from_completions(
+        step_completions: &[f64],
+        ckpt_completions: &[(usize, CkptLevel, f64)],
+        restart_costs: Vec<(CkptLevel, f64)>,
+    ) -> Self {
+        assert!(!step_completions.is_empty(), "timeline needs at least one step");
+        // Recover durations from cumulative completion times, subtracting
+        // checkpoint durations that landed between steps.
+        let mut events: Vec<(f64, Option<(usize, CkptLevel)>)> = Vec::new();
+        for (i, &t) in step_completions.iter().enumerate() {
+            events.push((t, None));
+            let _ = i;
+        }
+        // Checkpoint durations: completion minus the previous event time.
+        let mut checkpoints = Vec::new();
+        let mut all: Vec<(f64, Option<(usize, CkptLevel)>)> = events;
+        for &(after_step, level, t) in ckpt_completions {
+            all.push((t, Some((after_step, level))));
+        }
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let mut prev = 0.0;
+        let mut step_durations = Vec::new();
+        for (t, tag) in all {
+            let d = (t - prev).max(0.0);
+            match tag {
+                None => step_durations.push(d),
+                Some((after_step, level)) => checkpoints.push((after_step, level, d)),
+            }
+            prev = t;
+        }
+        Timeline { step_durations, checkpoints, restart_costs }
+    }
+
+    /// Total failure-free makespan.
+    pub fn failure_free_makespan(&self) -> f64 {
+        self.step_durations.iter().sum::<f64>()
+            + self.checkpoints.iter().map(|c| c.2).sum::<f64>()
+    }
+
+    fn restart_cost(&self, level: CkptLevel) -> f64 {
+        self.restart_costs
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Outcome of one fault-injected run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultedRun {
+    /// Wall-clock makespan including rework and restarts, seconds.
+    pub makespan: f64,
+    /// Failures that struck during the run.
+    pub n_faults: u32,
+    /// Work re-executed due to rollbacks, seconds.
+    pub lost_work: f64,
+    /// Time spent in restart procedures, seconds.
+    pub restart_time: f64,
+    /// True when the run completed within the injector's fault budget.
+    pub completed: bool,
+}
+
+/// Inject faults into a timeline.
+///
+/// `layout` gives the FTI geometry for recovery-semantics checks; pass
+/// `None` for the no-FT case (Case 2), where every fault restarts the run
+/// from step zero.
+pub fn inject(
+    timeline: &Timeline,
+    process: &FaultProcess,
+    layout: Option<&GroupLayout>,
+    seed: u64,
+    max_faults: u32,
+) -> FaultedRun {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_steps = timeline.step_durations.len();
+
+    // Recovery-point ledger, as FTI keeps it: the newest checkpoint of
+    // *each level* at-or-before every step boundary. Recovery tries the
+    // newest surviving candidate first and falls back to older/other
+    // levels — rolling further back beats restarting from scratch.
+    // `ledger[boundary]` = candidates sorted newest-first, each
+    // (step, level).
+    let ledger: Vec<Vec<(usize, CkptLevel)>> = {
+        let mut ckpts = timeline.checkpoints.clone();
+        ckpts.sort_by_key(|c| c.0);
+        let mut newest_per_level: Vec<(CkptLevel, usize)> = Vec::new();
+        let mut out = Vec::with_capacity(n_steps + 1);
+        let mut ci = 0;
+        for boundary in 0..=n_steps {
+            while ci < ckpts.len() && ckpts[ci].0 <= boundary {
+                let (step, level, _) = ckpts[ci];
+                match newest_per_level.iter_mut().find(|(l, _)| *l == level) {
+                    Some(entry) => entry.1 = step,
+                    None => newest_per_level.push((level, step)),
+                }
+                ci += 1;
+            }
+            let mut candidates: Vec<(usize, CkptLevel)> =
+                newest_per_level.iter().map(|&(l, s)| (s, l)).collect();
+            // Newest first; at equal age, the more resilient level first.
+            candidates.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
+            out.push(candidates);
+        }
+        out
+    };
+
+    let mut wall = 0.0_f64;
+    let mut lost_work = 0.0_f64;
+    let mut restart_time = 0.0_f64;
+    let mut n_faults = 0u32;
+    let mut next_fault = process.next_interarrival(&mut rng);
+
+    // Current progress: next step to execute (0-based) and the wall time
+    // already invested since the last recovery point.
+    let mut step = 0usize;
+    let mut completed = false;
+
+    loop {
+        if n_faults >= max_faults {
+            break;
+        }
+        if step >= n_steps {
+            completed = true;
+            break;
+        }
+        // Duration of this step plus any checkpoints right after it.
+        let mut segment = timeline.step_durations[step];
+        for &(after, _, d) in &timeline.checkpoints {
+            if after == step + 1 {
+                segment += d;
+            }
+        }
+        if wall + segment <= next_fault {
+            wall += segment;
+            step += 1;
+            continue;
+        }
+        // A fault strikes inside this segment: the partial segment is
+        // wasted wall time, and completed steps since the recovery point
+        // will be re-executed below.
+        n_faults += 1;
+        wall = next_fault;
+        let fault_wall = wall;
+        next_fault = fault_wall + process.next_interarrival(&mut rng);
+
+        // Decide recoverability: walk the ledger newest-first and take
+        // the first checkpoint whose level survives this failure.
+        let recovery = match layout {
+            None => None, // Case 2: no FT, restart from scratch.
+            Some(lay) => {
+                // Sample which node failed and whether its data is lost.
+                let data_lost = rng.gen::<f64>() < process.data_loss_prob;
+                let scenario = if data_lost {
+                    let node = rng.gen_range(0..lay.n_nodes());
+                    FailureScenario::of([node])
+                } else {
+                    FailureScenario::none()
+                };
+                ledger[step]
+                    .iter()
+                    .copied()
+                    .find(|&(_, level)| besst_fti::survives(level, lay, &scenario))
+            }
+        };
+
+        match recovery {
+            Some((ck_step, level)) => {
+                let rc = timeline.restart_cost(level);
+                restart_time += rc;
+                wall += rc;
+                // Lost work: everything since the checkpointed step.
+                let redo: f64 = timeline.step_durations[ck_step..step].iter().sum();
+                lost_work += redo;
+                step = ck_step;
+            }
+            None => {
+                // Restart from scratch (Case 2, or unrecoverable loss).
+                let redo: f64 = timeline.step_durations[..step].iter().sum();
+                lost_work += redo;
+                step = 0;
+            }
+        }
+    }
+
+    FaultedRun { makespan: wall, n_faults, lost_work, restart_time, completed }
+}
+
+/// Convenience: expected makespan over `n` injection replicas.
+///
+/// Returns `f64::INFINITY` when no replica completed within the fault
+/// budget — the configuration cannot make progress under this fault rate
+/// (e.g. some segment between recovery points is longer than the MTBF),
+/// which is itself a meaningful DSE verdict.
+pub fn expected_makespan(
+    timeline: &Timeline,
+    process: &FaultProcess,
+    layout: Option<&GroupLayout>,
+    seed: u64,
+    replicas: u32,
+) -> f64 {
+    assert!(replicas >= 1, "need at least one replica");
+    let mut total = 0.0;
+    let mut counted = 0u32;
+    for i in 0..replicas {
+        let run = inject(timeline, process, layout, seed.wrapping_add(i as u64), 10_000);
+        if run.completed {
+            total += run.makespan;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        return f64::INFINITY;
+    }
+    total / counted as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use besst_fti::FtiConfig;
+
+    fn flat_timeline(steps: usize, step_s: f64, ckpt_every: usize, ckpt_s: f64) -> Timeline {
+        let checkpoints = (1..=steps)
+            .filter(|s| ckpt_every > 0 && s % ckpt_every == 0)
+            .map(|s| (s, CkptLevel::L1, ckpt_s))
+            .collect();
+        Timeline {
+            step_durations: vec![step_s; steps],
+            checkpoints,
+            restart_costs: vec![(CkptLevel::L1, 2.0 * ckpt_s)],
+        }
+    }
+
+    fn layout64() -> GroupLayout {
+        GroupLayout::new(&FtiConfig::l1_only(10), 64)
+    }
+
+    #[test]
+    fn no_faults_means_failure_free_makespan() {
+        let tl = flat_timeline(100, 1.0, 10, 0.5);
+        // Essentially infinite MTBF.
+        let p = FaultProcess::new(1e15, 1, 0.0);
+        let run = inject(&tl, &p, Some(&layout64()), 1, 100);
+        assert!(run.completed);
+        assert_eq!(run.n_faults, 0);
+        assert!((run.makespan - tl.failure_free_makespan()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faults_inflate_makespan() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        // MTBF of the system ≈ 50 s → several faults over a ~210 s run.
+        let p = FaultProcess::new(3200.0, 64, 0.0);
+        let run = inject(&tl, &p, Some(&layout64()), 42, 10_000);
+        assert!(run.completed);
+        assert!(run.n_faults > 0, "expected some faults");
+        assert!(run.makespan > tl.failure_free_makespan());
+        assert!(run.lost_work > 0.0);
+    }
+
+    #[test]
+    fn checkpointing_beats_no_ft_under_faults() {
+        // Case 4 vs Case 2, the paper's Fig. 4 quadrants.
+        let with_ckpt = flat_timeline(200, 1.0, 10, 0.5);
+        let without = flat_timeline(200, 1.0, 0, 0.0);
+        let p = FaultProcess::new(6400.0, 64, 0.0); // system MTBF 100 s
+        let t_ft = expected_makespan(&with_ckpt, &p, Some(&layout64()), 7, 30);
+        let t_noft = expected_makespan(&without, &p, None, 7, 30);
+        assert!(
+            t_ft < t_noft,
+            "checkpointing must win under faults: {t_ft} vs {t_noft}"
+        );
+    }
+
+    #[test]
+    fn rollback_goes_to_latest_surviving_checkpoint() {
+        let tl = flat_timeline(20, 1.0, 5, 0.1);
+        let p = FaultProcess::new(1.0, 1, 0.0);
+        // Force exactly one early fault by a tiny MTBF then huge budget of
+        // one fault.
+        let run = inject(&tl, &p, Some(&layout64()), 3, 1);
+        // With max_faults = 1 the run stops counting after the first
+        // fault; lost work is bounded by the checkpoint period.
+        assert!(run.lost_work <= 5.0 + 1e-9, "lost {} > period", run.lost_work);
+    }
+
+    #[test]
+    fn data_loss_with_l1_only_restarts_from_scratch() {
+        let tl = flat_timeline(50, 1.0, 5, 0.1);
+        // Every fault destroys node data; L1 alone cannot recover.
+        let p = FaultProcess::new(2000.0, 64, 1.0);
+        let lay = layout64();
+        let mut any_scratch = false;
+        for seed in 0..20 {
+            let run = inject(&tl, &p, Some(&lay), seed, 10_000);
+            if run.n_faults > 0 && run.lost_work > 5.0 {
+                any_scratch = true;
+                break;
+            }
+        }
+        assert!(any_scratch, "L1-only with data loss must sometimes lose > one period");
+    }
+
+    #[test]
+    fn injector_tracks_daly_order_of_magnitude() {
+        // Compare against Daly's analytic expectation at matched
+        // parameters (coarse: within 2×).
+        use besst_analytic_shim::CrParams;
+        let step = 1.0;
+        let period = 10usize;
+        let delta = 0.5;
+        let steps = 500usize;
+        let tl = flat_timeline(steps, step, period, delta);
+        let node_mtbf = 32000.0;
+        let nodes = 64;
+        let p = FaultProcess::new(node_mtbf, nodes, 0.0);
+        let sim = expected_makespan(&tl, &p, Some(&layout64()), 11, 40);
+        let cr = CrParams::new(delta, 2.0 * delta, node_mtbf / nodes as f64);
+        let analytic = cr.expected_runtime(steps as f64 * step, period as f64 * step);
+        let ratio = sim / analytic;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "simulated {sim} vs Daly {analytic} (ratio {ratio})"
+        );
+    }
+
+    // Local alias so the test above reads naturally without adding a hard
+    // dependency: besst-analytic is a dev-style dependency of this crate
+    // purely for validation.
+    mod besst_analytic_shim {
+        pub use besst_analytic::CrParams;
+    }
+
+    #[test]
+    fn gamma_matches_known_values() {
+        // Γ(1+1) = 1, Γ(1+0.5) = √π/2, Γ(1+2) = 2, Γ(1+3) = 6.
+        assert!((gamma_1p(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma_1p(0.5) - std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-10);
+        assert!((gamma_1p(2.0) - 2.0).abs() < 1e-9);
+        assert!((gamma_1p(3.0) - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn weibull_interarrivals_have_target_mean_and_burstiness() {
+        use rand::SeedableRng;
+        let expo = FaultProcess::new(1000.0, 1, 0.0);
+        let bursty = FaultProcess::new(1000.0, 1, 0.0).with_weibull(0.6);
+        let stats = |p: &FaultProcess, seed: u64| -> (f64, f64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 60_000;
+            let xs: Vec<f64> = (0..n).map(|_| p.next_interarrival(&mut rng)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            (mean, var.sqrt() / mean)
+        };
+        let (me, cve) = stats(&expo, 1);
+        let (mw, cvw) = stats(&bursty, 1);
+        assert!((me / 1000.0 - 1.0).abs() < 0.03, "exponential mean {me}");
+        assert!((mw / 1000.0 - 1.0).abs() < 0.03, "weibull mean {mw}");
+        assert!((cve - 1.0).abs() < 0.05, "exponential CV {cve}");
+        assert!(cvw > 1.3, "shape<1 must be burstier: CV {cvw}");
+    }
+
+    #[test]
+    fn bursty_faults_run_through_injector() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(6400.0, 64, 0.0).with_weibull(0.7);
+        let run = inject(&tl, &p, Some(&layout64()), 5, 10_000);
+        assert!(run.completed);
+        assert!(run.makespan >= tl.failure_free_makespan());
+    }
+
+    #[test]
+    fn ledger_falls_back_to_older_surviving_level() {
+        // L1 checkpoints every 5 steps; one L2 checkpoint at step 10.
+        // With every fault destroying node data, L1 never survives — the
+        // run must roll back to the (older) L2 point rather than scratch.
+        let mut tl = flat_timeline(40, 1.0, 5, 0.2);
+        tl.checkpoints.push((10, CkptLevel::L2, 0.4));
+        tl.restart_costs.push((CkptLevel::L2, 1.0));
+        let p = FaultProcess::new(64.0 * 20.0, 64, 1.0); // data always lost
+        let lay = layout64();
+        let mut saw_l2_recovery = false;
+        for seed in 0..30 {
+            let run = inject(&tl, &p, Some(&lay), seed, 10_000);
+            if !run.completed || run.n_faults == 0 {
+                continue;
+            }
+            // A fault after step 10 that recovered must have used L2:
+            // lost work capped by (step - 10) rather than full scratch.
+            // Detect via restart_time: L2 restarts cost 1.0, scratch 0.
+            if run.restart_time > 0.0 {
+                saw_l2_recovery = true;
+            }
+            // No L1 recovery is possible: restart_time must be a
+            // multiple of the L2 cost alone (within float fuzz).
+            let per = run.restart_time / 1.0;
+            assert!((per - per.round()).abs() < 1e-9, "only L2 restarts expected");
+        }
+        assert!(saw_l2_recovery, "some run must recover from the older L2 point");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_timeline_panics() {
+        Timeline::from_completions(&[], &[], vec![]);
+    }
+}

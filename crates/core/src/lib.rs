@@ -1,0 +1,41 @@
+//! # besst-core — fault-tolerance-aware Behavioral Emulation
+//!
+//! The paper's primary contribution, rebuilt: the Behavioral Emulation
+//! layer of BE-SST with the fault-tolerance-awareness extensions of
+//! Johnson & Lam (CLUSTER 2021).
+//!
+//! * [`beo`] — AppBEOs (abstract instruction lists, now including
+//!   checkpoint instructions with their FTI level) and ArchBEOs (machine
+//!   description + calibrated model bindings), with the model-interchange
+//!   primitive for algorithmic DSE;
+//! * [`sim`] — the BE-SST simulator on the `besst-des` engine: per-rank
+//!   components advance their clocks by model draws, a coordinator
+//!   mediates synchronized operations; sequential and conservative-
+//!   parallel execution produce identical trajectories;
+//! * [`montecarlo`] — seed-parallel ensembles reproducing calibrated
+//!   machine variance (the Fig. 1 pop-out distributions);
+//! * [`faults`] — fault injection over simulated timelines with FTI
+//!   recovery semantics (Fig. 4 Cases 2 & 4, the paper's future work);
+//! * [`dse`] — design-space sweep drivers and the Fig. 9 overhead
+//!   matrices.
+//!
+//! The four cases of paper Fig. 4 map to configurations:
+//!
+//! | | no faults | faults |
+//! |---|---|---|
+//! | **no FT models** | Case 1: plain [`sim::simulate`] | Case 2: [`faults::inject`] with `layout = None` |
+//! | **FT models** | Case 3: [`sim::simulate`] with checkpoint instructions | Case 4: [`faults::inject`] with the FTI layout |
+
+#![warn(missing_docs)]
+
+pub mod beo;
+pub mod dse;
+pub mod faults;
+pub mod montecarlo;
+pub mod sim;
+
+pub use beo::{AppBeo, ArchBeo, FlatInstr, Instr, SyncMarker};
+pub use dse::{sweep, Sweep, SweepCell};
+pub use faults::{expected_makespan, inject, FaultDistribution, FaultProcess, FaultedRun, Timeline};
+pub use montecarlo::{run_ensemble, summarize, EnsembleSummary};
+pub use sim::{simulate, EngineKind, SimConfig, SimResult};

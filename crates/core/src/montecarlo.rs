@@ -1,0 +1,122 @@
+//! Monte-Carlo ensembles of BE-SST simulations.
+//!
+//! "Because actual machine performance is non-deterministic due to noise
+//! and other factors, BE-SST implements Monte Carlo simulations to capture
+//! the variance that exists in the calibration samples" (§III, Fig. 1
+//! pop-out). An ensemble runs the same simulation under different seeds —
+//! in parallel with rayon — and reduces the replicas into distribution
+//! summaries.
+
+use crate::beo::{AppBeo, ArchBeo};
+use crate::sim::{simulate, SimConfig, SimResult};
+use besst_des::stats::ScalarStat;
+use rayon::prelude::*;
+
+/// Distribution summary of an ensemble.
+#[derive(Debug, Clone)]
+pub struct EnsembleSummary {
+    /// Per-replica total runtimes, seconds, in replica order.
+    pub totals: Vec<f64>,
+    /// Reduction of `totals`.
+    pub stat: ScalarStat,
+    /// 5th / 50th / 95th percentiles of the total runtime.
+    pub p5: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+/// Run `replicas` Monte-Carlo simulations (seeds `base_seed + i`) in
+/// parallel and summarize.
+pub fn run_ensemble(
+    app: &AppBeo,
+    arch: &ArchBeo,
+    base: &SimConfig,
+    replicas: u32,
+) -> EnsembleSummary {
+    assert!(replicas >= 1, "need at least one replica");
+    let results: Vec<SimResult> = (0..replicas)
+        .into_par_iter()
+        .map(|i| {
+            let cfg = SimConfig {
+                seed: base.seed.wrapping_add(i as u64),
+                monte_carlo: true,
+                engine: base.engine,
+            };
+            simulate(app, arch, &cfg)
+        })
+        .collect();
+    summarize(results.iter().map(|r| r.total_seconds).collect())
+}
+
+/// Reduce a vector of replica totals.
+pub fn summarize(totals: Vec<f64>) -> EnsembleSummary {
+    assert!(!totals.is_empty(), "empty ensemble");
+    let mut stat = ScalarStat::new();
+    for &t in &totals {
+        stat.record(t);
+    }
+    let q = |p: f64| besst_models::quantile(&totals, p);
+    EnsembleSummary { p5: q(0.05), p50: q(0.5), p95: q(0.95), stat, totals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beo::{Instr, SyncMarker};
+    use besst_models::{Expr, ModelBundle, PerfModel};
+
+    fn noisy_arch() -> ArchBeo {
+        // A regression model with visible spread.
+        let x: Vec<Vec<f64>> = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let y = vec![0.12, 0.09, 0.11, 0.095];
+        let work = PerfModel::from_expr(Expr::Const(0.1), &x, &y);
+        let reduce = PerfModel::from_expr(Expr::Const(0.01), &x, &y);
+        let mut b = ModelBundle::new();
+        b.insert("work", work);
+        b.insert("reduce", reduce);
+        ArchBeo::new(besst_machine::presets::quartz(), 36, b)
+    }
+
+    fn app() -> AppBeo {
+        AppBeo::new(
+            "mc",
+            4,
+            vec![Instr::Loop {
+                count: 10,
+                body: vec![
+                    Instr::Kernel { kernel: "work".into(), params: vec![1.0] },
+                    Instr::SyncKernel {
+                        kernel: "reduce".into(),
+                        params: vec![1.0],
+                        marker: SyncMarker::StepEnd,
+                    },
+                ],
+            }],
+        )
+    }
+
+    #[test]
+    fn ensemble_spreads_and_orders() {
+        let summary = run_ensemble(&app(), &noisy_arch(), &SimConfig::default(), 32);
+        assert_eq!(summary.totals.len(), 32);
+        assert!(summary.p5 <= summary.p50);
+        assert!(summary.p50 <= summary.p95);
+        assert!(summary.stat.std_dev() > 0.0, "MC replicas must vary");
+        assert!(summary.stat.mean() > 0.0);
+    }
+
+    #[test]
+    fn ensemble_is_deterministic_for_fixed_base_seed() {
+        let a = run_ensemble(&app(), &noisy_arch(), &SimConfig::default(), 8);
+        let b = run_ensemble(&app(), &noisy_arch(), &SimConfig::default(), 8);
+        assert_eq!(a.totals, b.totals, "rayon order must not leak into results");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ensemble")]
+    fn empty_summary_panics() {
+        summarize(Vec::new());
+    }
+}

@@ -1,0 +1,561 @@
+//! The FT-aware BE-SST simulator.
+//!
+//! Executes an [`AppBeo`] against an [`ArchBeo`] on the `besst-des`
+//! engine. Each MPI rank is a DES component holding its program counter;
+//! a coordinator component mediates synchronized operations (collectives
+//! and coordinated checkpoints) in a star topology. "Each instruction in
+//! the AppBEO causes the simulator to poll the ArchBEO to determine the
+//! runtime for that event and advance the simulator clock for that rank"
+//! (§III-C) — local kernels advance one rank's clock by a per-rank model
+//! draw; synchronized kernels rendezvous all ranks, elapse one global
+//! model draw, and release.
+//!
+//! With `monte_carlo` enabled, model draws sample the calibrated
+//! distributions (Fig. 1 pop-out); disabled, they use point estimates.
+
+use crate::beo::{AppBeo, ArchBeo, FlatInstr, SyncMarker};
+use besst_des::prelude::*;
+use besst_fti::CkptLevel;
+use besst_models::ModelBundle;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Messages exchanged between rank components and the coordinator.
+#[derive(Debug, Clone)]
+pub enum BeMsg {
+    /// Rank self-event: advance to the next instruction.
+    Proceed,
+    /// Rank → coordinator: arrived at the sync instruction `sync_idx`.
+    Arrive {
+        /// Sender rank.
+        rank: u32,
+        /// Which sync instruction.
+        sync_idx: u32,
+    },
+    /// Coordinator → rank: sync `sync_idx` completed; continue.
+    Release {
+        /// Which sync instruction.
+        sync_idx: u32,
+    },
+    /// Rank → coordinator: program finished.
+    Done {
+        /// Sender rank.
+        rank: u32,
+    },
+}
+
+/// Which engine executes the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Single-threaded reference engine.
+    Sequential,
+    /// Conservative parallel engine over `n` worker threads.
+    Parallel(usize),
+}
+
+/// Simulation controls.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Seed for every stochastic draw (same seed → identical result).
+    pub seed: u64,
+    /// Sample model distributions (true) or use point estimates (false).
+    pub monte_carlo: bool,
+    /// Engine selection.
+    pub engine: EngineKind,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0xBE57, monte_carlo: true, engine: EngineKind::Sequential }
+    }
+}
+
+/// What one simulation produced.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// Total application makespan, seconds.
+    pub total_seconds: f64,
+    /// Cumulative seconds at the completion of each application timestep
+    /// (the Figs. 7–8 series).
+    pub step_completions: Vec<f64>,
+    /// Checkpoint completions: (after step index, level, cumulative
+    /// seconds) — the black dots of Figs. 7–8.
+    pub ckpt_completions: Vec<(usize, CkptLevel, f64)>,
+    /// Events the DES engine delivered (for engine benchmarks).
+    pub events_delivered: u64,
+}
+
+impl SimResult {
+    /// Total checkpoint overhead: sum of modeled durations of checkpoint
+    /// syncs (derivable from the trace for reporting).
+    pub fn n_checkpoints(&self) -> usize {
+        self.ckpt_completions.len()
+    }
+}
+
+/// A synchronized operation, precomputed from the flattened program.
+#[derive(Debug, Clone)]
+struct SyncOp {
+    kernel: Option<String>,
+    params: Vec<f64>,
+    marker: SyncMarker,
+}
+
+#[derive(Debug, Default)]
+struct Trace {
+    step_completions: Vec<f64>,
+    ckpt_completions: Vec<(usize, CkptLevel, f64)>,
+    done_ranks: u32,
+    total_seconds: f64,
+}
+
+/// The port on the coordinator that ranks send to.
+const COORD_IN: PortId = PortId(0);
+/// The rank-side port wired to the coordinator.
+const RANK_TO_COORD: PortId = PortId(0);
+/// The rank-side port for self-scheduling.
+const RANK_SELF: PortId = PortId(1);
+
+/// Star-link latency. Absorbed into every sync; negligible against
+/// modeled kernel durations (µs vs ms–s) but large enough to give the
+/// parallel engine a usable lookahead window.
+const STAR_LATENCY: SimTime = SimTime::from_micros(1);
+
+struct RankComponent {
+    rank: u32,
+    program: Arc<Vec<FlatInstr>>,
+    pc: usize,
+    next_sync: u32,
+    models: Arc<ModelBundle>,
+    rng: StdRng,
+    monte_carlo: bool,
+    done: bool,
+}
+
+impl RankComponent {
+    fn price_local(&mut self, kernel: &str, params: &[f64]) -> f64 {
+        let model = self
+            .models
+            .get(kernel)
+            .unwrap_or_else(|| panic!("no model bound for kernel '{kernel}'"));
+        if self.monte_carlo {
+            model.sample(params, &mut self.rng)
+        } else {
+            model.predict(params)
+        }
+    }
+
+    /// Execute instructions until the rank blocks (on a timer or a sync)
+    /// or finishes.
+    fn advance(&mut self, ctx: &mut Ctx<'_, BeMsg>) {
+        debug_assert!(!self.done, "rank advanced after completion");
+        if self.pc >= self.program.len() {
+            self.done = true;
+            ctx.send(RANK_TO_COORD, BeMsg::Done { rank: self.rank });
+            return;
+        }
+        let program = Arc::clone(&self.program);
+        match &program[self.pc] {
+            FlatInstr::Local { kernel, params } => {
+                let secs = self.price_local(kernel, params);
+                self.pc += 1;
+                ctx.schedule_self_on(
+                    RANK_SELF,
+                    SimTime::from_secs_f64(secs),
+                    BeMsg::Proceed,
+                    Priority::NORMAL,
+                );
+            }
+            FlatInstr::Sync { .. } => {
+                let idx = self.next_sync;
+                ctx.send(RANK_TO_COORD, BeMsg::Arrive { rank: self.rank, sync_idx: idx });
+            }
+        }
+    }
+}
+
+impl Component<BeMsg> for RankComponent {
+    fn name(&self) -> &str {
+        "rank"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BeMsg>) {
+        ctx.schedule_self_on(RANK_SELF, SimTime::ZERO, BeMsg::Proceed, Priority::NORMAL);
+    }
+
+    fn on_event(&mut self, event: Event<BeMsg>, ctx: &mut Ctx<'_, BeMsg>) {
+        match event.payload {
+            BeMsg::Proceed => self.advance(ctx),
+            BeMsg::Release { sync_idx } => {
+                assert_eq!(sync_idx, self.next_sync, "rank released out of order");
+                self.next_sync += 1;
+                self.pc += 1;
+                self.advance(ctx);
+            }
+            other => panic!("rank {} received unexpected message {other:?}", self.rank),
+        }
+    }
+}
+
+struct Coordinator {
+    n_ranks: u32,
+    syncs: Arc<Vec<SyncOp>>,
+    current_sync: u32,
+    arrived: u32,
+    step_counter: usize,
+    models: Arc<ModelBundle>,
+    rng: StdRng,
+    monte_carlo: bool,
+    trace: Arc<Mutex<Trace>>,
+}
+
+impl Coordinator {
+    fn price_sync(&mut self, op: &SyncOp) -> f64 {
+        match &op.kernel {
+            None => 0.0,
+            Some(kernel) => {
+                let model = self
+                    .models
+                    .get(kernel)
+                    .unwrap_or_else(|| panic!("no model bound for kernel '{kernel}'"));
+                if self.monte_carlo {
+                    model.sample(&op.params, &mut self.rng)
+                } else {
+                    model.predict(&op.params)
+                }
+            }
+        }
+    }
+}
+
+impl Component<BeMsg> for Coordinator {
+    fn name(&self) -> &str {
+        "coordinator"
+    }
+
+    fn on_event(&mut self, event: Event<BeMsg>, ctx: &mut Ctx<'_, BeMsg>) {
+        match event.payload {
+            BeMsg::Arrive { rank: _, sync_idx } => {
+                assert_eq!(
+                    sync_idx, self.current_sync,
+                    "coordinator saw a sync from the future"
+                );
+                self.arrived += 1;
+                if self.arrived < self.n_ranks {
+                    return;
+                }
+                // All ranks arrived: the op's modeled duration elapses
+                // once, globally.
+                self.arrived = 0;
+                let op = self.syncs[self.current_sync as usize].clone();
+                let secs = self.price_sync(&op);
+                let duration = SimTime::from_secs_f64(secs);
+                let complete = ctx.now().saturating_add(duration).saturating_add(STAR_LATENCY);
+                {
+                    let mut tr = self.trace.lock();
+                    let t = complete.as_secs_f64();
+                    match op.marker {
+                        SyncMarker::StepEnd => {
+                            self.step_counter += 1;
+                            tr.step_completions.push(t);
+                        }
+                        SyncMarker::Checkpoint(level) => {
+                            tr.ckpt_completions.push((self.step_counter, level, t));
+                        }
+                        SyncMarker::Plain => {}
+                    }
+                }
+                let idx = self.current_sync;
+                self.current_sync += 1;
+                for r in 0..self.n_ranks {
+                    ctx.send_extra(
+                        PortId(r as u16),
+                        BeMsg::Release { sync_idx: idx },
+                        duration,
+                        Priority::NORMAL,
+                    );
+                }
+            }
+            BeMsg::Done { rank: _ } => {
+                let mut tr = self.trace.lock();
+                tr.done_ranks += 1;
+                tr.total_seconds = tr.total_seconds.max(ctx.now().as_secs_f64());
+            }
+            other => panic!("coordinator received unexpected message {other:?}"),
+        }
+    }
+}
+
+fn sync_ops(program: &[FlatInstr]) -> Vec<SyncOp> {
+    program
+        .iter()
+        .filter_map(|f| match f {
+            FlatInstr::Sync { kernel, params, marker } => Some(SyncOp {
+                kernel: kernel.clone(),
+                params: params.clone(),
+                marker: *marker,
+            }),
+            FlatInstr::Local { .. } => None,
+        })
+        .collect()
+}
+
+fn build(
+    app: &AppBeo,
+    arch: &ArchBeo,
+    cfg: &SimConfig,
+    trace: Arc<Mutex<Trace>>,
+) -> EngineBuilder<BeMsg> {
+    if let Err(missing) = arch.check_covers(app) {
+        panic!("ArchBEO is missing models for kernels: {missing:?}");
+    }
+    assert!(
+        app.ranks <= u16::MAX as u32,
+        "star coordinator supports at most {} ranks",
+        u16::MAX
+    );
+    let program = Arc::new(app.flatten());
+    let syncs = Arc::new(sync_ops(&program));
+    let models = Arc::new(arch.models.clone());
+
+    let mut b = EngineBuilder::new();
+    let coord = b.add_component(Box::new(Coordinator {
+        n_ranks: app.ranks,
+        syncs,
+        current_sync: 0,
+        arrived: 0,
+        step_counter: 0,
+        models: Arc::clone(&models),
+        rng: StdRng::seed_from_u64(cfg.seed ^ 0xC00D),
+        monte_carlo: cfg.monte_carlo,
+        trace,
+    }));
+    for rank in 0..app.ranks {
+        let id = b.add_component(Box::new(RankComponent {
+            rank,
+            program: Arc::clone(&program),
+            pc: 0,
+            next_sync: 0,
+            models: Arc::clone(&models),
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(1).wrapping_mul(0x9E37_79B9).wrapping_add(rank as u64)),
+            monte_carlo: cfg.monte_carlo,
+            done: false,
+        }));
+        // Rank → coordinator and coordinator → rank star links.
+        b.connect(id, RANK_TO_COORD, coord, COORD_IN, STAR_LATENCY);
+        b.connect(coord, PortId(rank as u16), id, PortId(0), STAR_LATENCY);
+    }
+    b
+}
+
+/// Run one FT-aware BE-SST simulation.
+pub fn simulate(app: &AppBeo, arch: &ArchBeo, cfg: &SimConfig) -> SimResult {
+    let trace = Arc::new(Mutex::new(Trace::default()));
+    let builder = build(app, arch, cfg, Arc::clone(&trace));
+    let delivered = match cfg.engine {
+        EngineKind::Sequential => {
+            let mut engine = builder.build();
+            let outcome = engine.run_to_completion();
+            assert_eq!(outcome, RunOutcome::Drained, "simulation did not drain: {outcome:?}");
+            engine.delivered()
+        }
+        EngineKind::Parallel(n) => {
+            assert!(n >= 1, "need at least one worker");
+            let par = ParallelEngine::new(builder, Partitioning::Blocks(n));
+            let report = par.run();
+            assert_eq!(
+                report.outcome,
+                RunOutcome::Drained,
+                "simulation did not drain"
+            );
+            report.delivered
+        }
+    };
+    let tr = trace.lock();
+    assert_eq!(tr.done_ranks, app.ranks, "not all ranks completed");
+    SimResult {
+        total_seconds: tr.total_seconds,
+        step_completions: tr.step_completions.clone(),
+        ckpt_completions: tr.ckpt_completions.clone(),
+        events_delivered: delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beo::{Instr, SyncMarker};
+    use besst_models::{Interpolation, ModelBundle, PerfModel, SampleTable};
+
+    /// A bundle with fixed-duration kernels (table models, single sample).
+    fn fixed_models(pairs: &[(&str, f64)]) -> ModelBundle {
+        let mut b = ModelBundle::new();
+        for &(name, secs) in pairs {
+            let mut t = SampleTable::new(&["p"], Interpolation::Nearest);
+            t.insert(&[1.0], secs);
+            b.insert(name, PerfModel::Table(t));
+        }
+        b
+    }
+
+    fn arch(pairs: &[(&str, f64)]) -> ArchBeo {
+        ArchBeo::new(besst_machine::presets::quartz(), 36, fixed_models(pairs))
+    }
+
+    fn step_app(ranks: u32, steps: u32) -> AppBeo {
+        AppBeo::new(
+            "bsp",
+            ranks,
+            vec![Instr::Loop {
+                count: steps,
+                body: vec![
+                    Instr::Kernel { kernel: "work".into(), params: vec![1.0] },
+                    Instr::SyncKernel {
+                        kernel: "reduce".into(),
+                        params: vec![1.0],
+                        marker: SyncMarker::StepEnd,
+                    },
+                ],
+            }],
+        )
+    }
+
+    #[test]
+    fn deterministic_program_times_add_up() {
+        let app = step_app(4, 10);
+        let arch = arch(&[("work", 0.5), ("reduce", 0.1)]);
+        let cfg = SimConfig { monte_carlo: false, ..Default::default() };
+        let res = simulate(&app, &arch, &cfg);
+        // 10 steps × (0.5 + 0.1) = 6.0 s, plus µs-scale star latency.
+        assert!((res.total_seconds - 6.0).abs() < 1e-3, "total {}", res.total_seconds);
+        assert_eq!(res.step_completions.len(), 10);
+        // Step completions are evenly spaced.
+        let d1 = res.step_completions[1] - res.step_completions[0];
+        assert!((d1 - 0.6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn checkpoint_instructions_appear_in_trace() {
+        let mut body = vec![
+            Instr::Kernel { kernel: "work".into(), params: vec![1.0] },
+            Instr::SyncKernel {
+                kernel: "reduce".into(),
+                params: vec![1.0],
+                marker: SyncMarker::StepEnd,
+            },
+        ];
+        let mut instrs = Vec::new();
+        for step in 1..=8u32 {
+            instrs.append(&mut body.clone());
+            if step % 4 == 0 {
+                instrs.push(Instr::SyncKernel {
+                    kernel: "ckpt".into(),
+                    params: vec![1.0],
+                    marker: SyncMarker::Checkpoint(besst_fti::CkptLevel::L1),
+                });
+            }
+        }
+        body.clear();
+        let app = AppBeo::new("ckpt-app", 4, instrs);
+        let arch = arch(&[("work", 0.5), ("reduce", 0.1), ("ckpt", 1.0)]);
+        let cfg = SimConfig { monte_carlo: false, ..Default::default() };
+        let res = simulate(&app, &arch, &cfg);
+        assert_eq!(res.n_checkpoints(), 2);
+        assert_eq!(res.ckpt_completions[0].0, 4, "after step 4");
+        assert_eq!(res.ckpt_completions[1].0, 8, "after step 8");
+        // Total = 8×0.6 + 2×1.0.
+        assert!((res.total_seconds - 6.8).abs() < 1e-3, "total {}", res.total_seconds);
+    }
+
+    #[test]
+    fn ft_aware_run_costs_more_than_baseline() {
+        // The paper's core comparison: scenario 2/3 vs scenario 1.
+        let base = step_app(8, 20);
+        let arch_base = arch(&[("work", 0.2), ("reduce", 0.05)]);
+        let cfg = SimConfig { monte_carlo: false, ..Default::default() };
+        let t_base = simulate(&base, &arch_base, &cfg).total_seconds;
+
+        let mut instrs = Vec::new();
+        for step in 1..=20u32 {
+            instrs.push(Instr::Kernel { kernel: "work".into(), params: vec![1.0] });
+            instrs.push(Instr::SyncKernel {
+                kernel: "reduce".into(),
+                params: vec![1.0],
+                marker: SyncMarker::StepEnd,
+            });
+            if step % 5 == 0 {
+                instrs.push(Instr::SyncKernel {
+                    kernel: "ckpt".into(),
+                    params: vec![1.0],
+                    marker: SyncMarker::Checkpoint(besst_fti::CkptLevel::L1),
+                });
+            }
+        }
+        let ft = AppBeo::new("ft", 8, instrs);
+        let arch_ft = arch(&[("work", 0.2), ("reduce", 0.05), ("ckpt", 0.4)]);
+        let t_ft = simulate(&ft, &arch_ft, &cfg).total_seconds;
+        assert!(t_ft > t_base, "{t_ft} vs {t_base}");
+        assert!((t_ft - t_base - 4.0 * 0.4).abs() < 1e-2, "overhead = 4 checkpoints");
+    }
+
+    #[test]
+    fn monte_carlo_varies_with_seed_point_estimate_does_not() {
+        use besst_models::Expr;
+        // A regression model with spread.
+        let x: Vec<Vec<f64>> = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0.11, 0.09, 0.105];
+        let noisy = PerfModel::from_expr(Expr::Const(0.1), &x, &y);
+        let mut bundle = fixed_models(&[("reduce", 0.01)]);
+        bundle.insert("work", noisy);
+        let arch = ArchBeo::new(besst_machine::presets::quartz(), 36, bundle);
+        let app = step_app(4, 10);
+
+        let mc1 = simulate(&app, &arch, &SimConfig { seed: 1, monte_carlo: true, engine: EngineKind::Sequential });
+        let mc2 = simulate(&app, &arch, &SimConfig { seed: 2, monte_carlo: true, engine: EngineKind::Sequential });
+        assert_ne!(mc1.total_seconds, mc2.total_seconds, "MC must vary by seed");
+
+        let p1 = simulate(&app, &arch, &SimConfig { seed: 1, monte_carlo: false, engine: EngineKind::Sequential });
+        let p2 = simulate(&app, &arch, &SimConfig { seed: 2, monte_carlo: false, engine: EngineKind::Sequential });
+        assert_eq!(p1.total_seconds, p2.total_seconds, "point estimates are seed-free");
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let app = step_app(8, 15);
+        let arch = arch(&[("work", 0.3), ("reduce", 0.02)]);
+        let cfg = SimConfig { seed: 77, monte_carlo: true, engine: EngineKind::Sequential };
+        let a = simulate(&app, &arch, &cfg);
+        let b = simulate(&app, &arch, &cfg);
+        assert_eq!(a.total_seconds, b.total_seconds);
+        assert_eq!(a.step_completions, b.step_completions);
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential() {
+        let app = step_app(16, 12);
+        let arch = arch(&[("work", 0.25), ("reduce", 0.05)]);
+        let seq = simulate(
+            &app,
+            &arch,
+            &SimConfig { seed: 5, monte_carlo: true, engine: EngineKind::Sequential },
+        );
+        let par = simulate(
+            &app,
+            &arch,
+            &SimConfig { seed: 5, monte_carlo: true, engine: EngineKind::Parallel(4) },
+        );
+        assert_eq!(seq.total_seconds, par.total_seconds);
+        assert_eq!(seq.step_completions, par.step_completions);
+        assert_eq!(seq.events_delivered, par.events_delivered);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing models")]
+    fn unbound_kernel_panics() {
+        let app = step_app(2, 1);
+        let arch = arch(&[("work", 0.1)]); // no "reduce"
+        simulate(&app, &arch, &SimConfig::default());
+    }
+}

@@ -1,0 +1,208 @@
+//! Components and the context handed to them on every event delivery.
+//!
+//! A [`Component`] is the unit of model composition: it owns private state
+//! and reacts to events. All interaction with the rest of the simulation
+//! goes through the [`Ctx`] — sending on wired output ports, scheduling
+//! self-events, and reading the clock. Components never see each other
+//! directly, which is what lets the engine distribute them across threads.
+
+use crate::event::{ComponentId, Event, PortId, Priority, TieKey};
+use crate::link::LinkTable;
+use crate::time::SimTime;
+
+/// A simulation component generic over the engine's payload type `P`.
+pub trait Component<P>: Send {
+    /// Human-readable name used in diagnostics.
+    fn name(&self) -> &str {
+        "component"
+    }
+
+    /// Called once before the first event, at time zero. Typically used to
+    /// kick off initial self-events.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, P>) {}
+
+    /// Called for every event delivered to this component.
+    fn on_event(&mut self, event: Event<P>, ctx: &mut Ctx<'_, P>);
+
+    /// Called once after the event queue drains or the horizon is reached.
+    fn on_finish(&mut self, _now: SimTime) {}
+}
+
+/// An event emitted by a component during a delivery, before the engine
+/// routes it into a queue.
+#[derive(Debug)]
+pub(crate) struct Emitted<P> {
+    pub event: Event<P>,
+}
+
+/// The component's window into the engine for the duration of one callback.
+pub struct Ctx<'a, P> {
+    pub(crate) now: SimTime,
+    pub(crate) self_id: ComponentId,
+    pub(crate) links: &'a LinkTable,
+    pub(crate) out: &'a mut Vec<Emitted<P>>,
+    pub(crate) seq: &'a mut u64,
+    pub(crate) halt: &'a mut bool,
+}
+
+impl<'a, P> Ctx<'a, P> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This component's id.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    fn next_key(&mut self) -> TieKey {
+        let key = TieKey { src: self.self_id, seq: *self.seq };
+        *self.seq += 1;
+        key
+    }
+
+    /// Send `payload` on output `port`; it arrives after the link latency.
+    ///
+    /// Panics if the port is not wired — with a latency-bearing link model a
+    /// silently dropped message is indistinguishable from deadlock, so we
+    /// fail loudly instead.
+    pub fn send(&mut self, port: PortId, payload: P) {
+        self.send_extra(port, payload, SimTime::ZERO, Priority::NORMAL);
+    }
+
+    /// Like [`Ctx::send`] but adds `extra` delay on top of the link latency
+    /// (e.g. serialization time) and lets the caller pick a priority class.
+    pub fn send_extra(&mut self, port: PortId, payload: P, extra: SimTime, priority: Priority) {
+        let link = self
+            .links
+            .resolve(self.self_id, port)
+            .unwrap_or_else(|| {
+                panic!(
+                    "component {:?} sent on unwired output port {:?}",
+                    self.self_id, port
+                )
+            })
+            .to_owned();
+        let key = self.next_key();
+        self.out.push(Emitted {
+            event: Event {
+                time: self.now.saturating_add(link.latency).saturating_add(extra),
+                priority,
+                key,
+                target: link.dst,
+                port: link.dst_port,
+                payload,
+            },
+        });
+    }
+
+    /// Schedule an event to this component itself after `delay`.
+    pub fn schedule_self(&mut self, delay: SimTime, payload: P) {
+        self.schedule_self_on(PortId::DEFAULT, delay, payload, Priority::NORMAL);
+    }
+
+    /// Self-event with explicit input port and priority.
+    pub fn schedule_self_on(
+        &mut self,
+        port: PortId,
+        delay: SimTime,
+        payload: P,
+        priority: Priority,
+    ) {
+        let key = self.next_key();
+        let target = self.self_id;
+        self.out.push(Emitted {
+            event: Event {
+                time: self.now.saturating_add(delay),
+                priority,
+                key,
+                target,
+                port,
+                payload,
+            },
+        });
+    }
+
+    /// Ask the engine to stop after the current delivery completes.
+    /// Remaining queued events are discarded.
+    pub fn halt(&mut self) {
+        *self.halt = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Link;
+
+    #[test]
+    fn ctx_send_applies_link_latency_and_sequences_keys() {
+        let mut links = LinkTable::new(2);
+        links.connect(Link {
+            src: ComponentId(0),
+            src_port: PortId(0),
+            dst: ComponentId(1),
+            dst_port: PortId(3),
+            latency: SimTime::from_nanos(42),
+        });
+        let mut out = Vec::new();
+        let mut seq = 7u64;
+        let mut halt = false;
+        let mut ctx = Ctx {
+            now: SimTime::from_nanos(100),
+            self_id: ComponentId(0),
+            links: &links,
+            out: &mut out,
+            seq: &mut seq,
+            halt: &mut halt,
+        };
+        ctx.send(PortId(0), 1u32);
+        ctx.send_extra(PortId(0), 2u32, SimTime::from_nanos(8), Priority::URGENT);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].event.time, SimTime::from_nanos(142));
+        assert_eq!(out[0].event.port, PortId(3));
+        assert_eq!(out[0].event.key.seq, 7);
+        assert_eq!(out[1].event.time, SimTime::from_nanos(150));
+        assert_eq!(out[1].event.priority, Priority::URGENT);
+        assert_eq!(out[1].event.key.seq, 8);
+        assert_eq!(seq, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unwired output port")]
+    fn send_on_unwired_port_panics() {
+        let links = LinkTable::new(1);
+        let mut out: Vec<Emitted<u32>> = Vec::new();
+        let mut seq = 0;
+        let mut halt = false;
+        let mut ctx = Ctx {
+            now: SimTime::ZERO,
+            self_id: ComponentId(0),
+            links: &links,
+            out: &mut out,
+            seq: &mut seq,
+            halt: &mut halt,
+        };
+        ctx.send(PortId(0), 0u32);
+    }
+
+    #[test]
+    fn schedule_self_targets_self() {
+        let links = LinkTable::new(1);
+        let mut out: Vec<Emitted<u32>> = Vec::new();
+        let mut seq = 0;
+        let mut halt = false;
+        let mut ctx = Ctx {
+            now: SimTime::from_nanos(10),
+            self_id: ComponentId(0),
+            links: &links,
+            out: &mut out,
+            seq: &mut seq,
+            halt: &mut halt,
+        };
+        ctx.schedule_self(SimTime::from_nanos(5), 9u32);
+        assert_eq!(out[0].event.target, ComponentId(0));
+        assert_eq!(out[0].event.time, SimTime::from_nanos(15));
+    }
+}

@@ -1,0 +1,281 @@
+//! Reusable component library — the SST "elements" analogue.
+//!
+//! Small, composable components for building machine models directly in
+//! the DES (finer-grained than the analytic cost models): a
+//! store-and-forward [`SharedChannel`] that serializes messages by
+//! bandwidth (congestion emerges from queueing rather than a closed
+//! form), a [`DelayLine`], a counting [`Sink`], and a [`Generator`] that
+//! emits a configurable message train.
+//!
+//! All components are generic over any payload that exposes a size via
+//! [`Sized64`], so they compose with user payload types.
+
+use crate::component::{Component, Ctx};
+use crate::event::{Event, PortId};
+use crate::time::SimTime;
+
+/// Payloads that know their on-wire size.
+pub trait Sized64 {
+    /// Message size in bytes (used for serialization delay).
+    fn size_bytes(&self) -> u64;
+}
+
+impl Sized64 for u64 {
+    fn size_bytes(&self) -> u64 {
+        *self
+    }
+}
+
+/// A store-and-forward channel with finite bandwidth: messages are
+/// forwarded in arrival order, each occupying the channel for
+/// `size / bandwidth` seconds. Contention shows up as queueing delay —
+/// the emergent version of the analytic `pt2pt_shared` cost.
+pub struct SharedChannel {
+    /// Bytes per second.
+    bandwidth_bps: f64,
+    /// When the channel becomes free (virtual time).
+    free_at: SimTime,
+    /// Messages forwarded.
+    forwarded: u64,
+    /// Total queueing delay (time spent waiting behind earlier messages).
+    queueing: SimTime,
+}
+
+impl SharedChannel {
+    /// New channel with the given bandwidth.
+    pub fn new(bandwidth_bps: f64) -> Self {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        SharedChannel {
+            bandwidth_bps,
+            free_at: SimTime::ZERO,
+            forwarded: 0,
+            queueing: SimTime::ZERO,
+        }
+    }
+
+    /// Messages forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Accumulated queueing delay.
+    pub fn total_queueing(&self) -> SimTime {
+        self.queueing
+    }
+}
+
+impl<P: Sized64 + Send + 'static> Component<P> for SharedChannel {
+    fn name(&self) -> &str {
+        "shared-channel"
+    }
+
+    fn on_event(&mut self, ev: Event<P>, ctx: &mut Ctx<'_, P>) {
+        let now = ctx.now();
+        let start = self.free_at.max(now);
+        self.queueing += start - now;
+        let ser = SimTime::from_secs_f64(ev.payload.size_bytes() as f64 / self.bandwidth_bps);
+        self.free_at = start.saturating_add(ser);
+        let extra = self.free_at - now;
+        self.forwarded += 1;
+        ctx.send_extra(PortId(0), ev.payload, extra, crate::event::Priority::NORMAL);
+    }
+}
+
+/// A fixed extra delay in the path (switch pipeline, software stack).
+pub struct DelayLine {
+    delay: SimTime,
+}
+
+impl DelayLine {
+    /// New delay line.
+    pub fn new(delay: SimTime) -> Self {
+        DelayLine { delay }
+    }
+}
+
+impl<P: Send + 'static> Component<P> for DelayLine {
+    fn name(&self) -> &str {
+        "delay-line"
+    }
+
+    fn on_event(&mut self, ev: Event<P>, ctx: &mut Ctx<'_, P>) {
+        ctx.send_extra(PortId(0), ev.payload, self.delay, crate::event::Priority::NORMAL);
+    }
+}
+
+/// Terminal sink: counts deliveries and records the last arrival time.
+/// State is observable through a shared handle.
+pub struct Sink {
+    state: std::sync::Arc<parking_lot::Mutex<SinkState>>,
+}
+
+/// Observable sink state.
+#[derive(Debug, Clone, Default)]
+pub struct SinkState {
+    /// Messages received.
+    pub received: u64,
+    /// Bytes received.
+    pub bytes: u64,
+    /// Timestamp of the last delivery.
+    pub last_arrival: SimTime,
+}
+
+impl Sink {
+    /// New sink plus the observation handle.
+    pub fn new() -> (Self, std::sync::Arc<parking_lot::Mutex<SinkState>>) {
+        let state = std::sync::Arc::new(parking_lot::Mutex::new(SinkState::default()));
+        (Sink { state: std::sync::Arc::clone(&state) }, state)
+    }
+}
+
+impl<P: Sized64 + Send + 'static> Component<P> for Sink {
+    fn name(&self) -> &str {
+        "sink"
+    }
+
+    fn on_event(&mut self, ev: Event<P>, _ctx: &mut Ctx<'_, P>) {
+        let mut s = self.state.lock();
+        s.received += 1;
+        s.bytes += ev.payload.size_bytes();
+        s.last_arrival = ev.time;
+    }
+}
+
+/// Emits `count` messages of `size` bytes, `gap` apart, starting at t=0.
+pub struct Generator {
+    count: u64,
+    size: u64,
+    gap: SimTime,
+    sent: u64,
+}
+
+impl Generator {
+    /// New generator.
+    pub fn new(count: u64, size: u64, gap: SimTime) -> Self {
+        assert!(count > 0, "generator needs at least one message");
+        Generator { count, size, gap, sent: 0 }
+    }
+}
+
+impl Component<u64> for Generator {
+    fn name(&self) -> &str {
+        "generator"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.schedule_self_on(PortId(1), SimTime::ZERO, 0, crate::event::Priority::NORMAL);
+    }
+
+    fn on_event(&mut self, _ev: Event<u64>, ctx: &mut Ctx<'_, u64>) {
+        if self.sent < self.count {
+            ctx.send(PortId(0), self.size);
+            self.sent += 1;
+            if self.sent < self.count {
+                ctx.schedule_self_on(PortId(1), self.gap, 0, crate::event::Priority::NORMAL);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use crate::prelude::*;
+
+    /// generator → channel → sink, wired with 1 µs links.
+    fn pipeline(
+        count: u64,
+        size: u64,
+        gap: SimTime,
+        bw: f64,
+    ) -> (Engine<u64>, std::sync::Arc<parking_lot::Mutex<SinkState>>) {
+        let mut b = EngineBuilder::new();
+        let gen = b.add_component(Box::new(Generator::new(count, size, gap)));
+        let chan = b.add_component(Box::new(SharedChannel::new(bw)));
+        let (sink, state) = Sink::new();
+        let sink_id = b.add_component(Box::new(sink));
+        let lat = SimTime::from_micros(1);
+        b.connect(gen, PortId(0), chan, PortId(0), lat);
+        // Generator self-loop port.
+        b.connect(gen, PortId(1), gen, PortId(0), SimTime::from_nanos(1));
+        b.connect(chan, PortId(0), sink_id, PortId(0), lat);
+        (b.build(), state)
+    }
+
+    #[test]
+    fn uncontended_channel_adds_serialization_only() {
+        // One 1 MB message over 1 GB/s: 1 ms serialization + 2 µs links.
+        let (mut e, state) = pipeline(1, 1_000_000, SimTime::from_secs(1), 1e9);
+        assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+        let s = state.lock();
+        assert_eq!(s.received, 1);
+        assert_eq!(s.bytes, 1_000_000);
+        let expect = SimTime::from_micros(2).saturating_add(SimTime::from_millis(1));
+        assert_eq!(s.last_arrival, expect);
+    }
+
+    #[test]
+    fn burst_queues_behind_the_channel() {
+        // 10 × 1 MB arriving back-to-back (1 ns gaps) over 1 GB/s: the
+        // last message leaves at ~10 ms (pipeline full), not ~1 ms.
+        let (mut e, state) = pipeline(10, 1_000_000, SimTime::from_nanos(1), 1e9);
+        e.run_to_completion();
+        let s = state.lock();
+        assert_eq!(s.received, 10);
+        let arrival_ms = s.last_arrival.as_secs_f64() * 1e3;
+        assert!((9.9..10.2).contains(&arrival_ms), "last arrival {arrival_ms} ms");
+    }
+
+    #[test]
+    fn paced_traffic_sees_no_queueing() {
+        // Messages spaced wider than their serialization time: queueing 0.
+        let (mut e, state) = pipeline(10, 1_000_000, SimTime::from_millis(2), 1e9);
+        e.run_to_completion();
+        let s = state.lock();
+        assert_eq!(s.received, 10);
+        // Last send at 18 ms + 1 ms serialization + 2 µs links.
+        let expect = 18.0e-3 + 1.0e-3 + 2.0e-6;
+        assert!((s.last_arrival.as_secs_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emergent_congestion_matches_analytic_shared_cost() {
+        // Two senders sharing one channel each effectively get half the
+        // bandwidth — the queueing model reproduces pt2pt_shared(0.5).
+        let mut b = EngineBuilder::new();
+        let g1 = b.add_component(Box::new(Generator::new(5, 2_000_000, SimTime::from_nanos(1))));
+        let g2 = b.add_component(Box::new(Generator::new(5, 2_000_000, SimTime::from_nanos(2))));
+        let chan = b.add_component(Box::new(SharedChannel::new(1e9)));
+        let (sink, state) = Sink::new();
+        let sink_id = b.add_component(Box::new(sink));
+        let lat = SimTime::from_micros(1);
+        b.connect(g1, PortId(0), chan, PortId(0), lat);
+        b.connect(g2, PortId(0), chan, PortId(0), lat);
+        b.connect(g1, PortId(1), g1, PortId(0), SimTime::from_nanos(1));
+        b.connect(g2, PortId(1), g2, PortId(0), SimTime::from_nanos(1));
+        b.connect(chan, PortId(0), sink_id, PortId(0), lat);
+        let mut e = b.build();
+        e.run_to_completion();
+        let s = state.lock();
+        assert_eq!(s.received, 10);
+        // 10 × 2 MB = 20 MB over 1 GB/s → 20 ms total occupancy.
+        assert!((s.last_arrival.as_secs_f64() - 20e-3).abs() < 1e-4, "{}", s.last_arrival);
+    }
+
+    #[test]
+    fn delay_line_shifts_arrivals() {
+        let mut b = EngineBuilder::new();
+        let gen = b.add_component(Box::new(Generator::new(1, 8, SimTime::from_secs(1))));
+        let dl = b.add_component(Box::new(DelayLine::new(SimTime::from_millis(5))));
+        let (sink, state) = Sink::new();
+        let sink_id = b.add_component(Box::new(sink));
+        b.connect(gen, PortId(0), dl, PortId(0), SimTime::from_micros(1));
+        b.connect(gen, PortId(1), gen, PortId(0), SimTime::from_nanos(1));
+        b.connect(dl, PortId(0), sink_id, PortId(0), SimTime::from_micros(1));
+        let mut e = b.build();
+        e.run_to_completion();
+        let s = state.lock();
+        assert_eq!(s.last_arrival, SimTime::from_micros(2).saturating_add(SimTime::from_millis(5)));
+    }
+}

@@ -1,0 +1,374 @@
+//! The sequential discrete-event engine.
+//!
+//! This is the reference engine: a single binary heap of events, delivered
+//! in `(time, priority, tie-key)` order. The conservative parallel engine in
+//! [`crate::parallel`] is required (and tested) to produce the same
+//! trajectory.
+
+use crate::component::{Component, Ctx, Emitted};
+use crate::event::{ComponentId, Event, HeapEntry, PortId, Priority, TieKey};
+use crate::link::{Link, LinkTable};
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// Construction-time view of the simulation: components and links.
+pub struct EngineBuilder<P> {
+    components: Vec<Box<dyn Component<P>>>,
+    links: Vec<Link>,
+}
+
+impl<P> Default for EngineBuilder<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> EngineBuilder<P> {
+    /// Empty builder.
+    pub fn new() -> Self {
+        EngineBuilder { components: Vec::new(), links: Vec::new() }
+    }
+
+    /// Register a component; returns its id (dense, in registration order).
+    pub fn add_component(&mut self, c: Box<dyn Component<P>>) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(c);
+        id
+    }
+
+    /// Wire a unidirectional link.
+    pub fn connect(
+        &mut self,
+        src: ComponentId,
+        src_port: PortId,
+        dst: ComponentId,
+        dst_port: PortId,
+        latency: SimTime,
+    ) {
+        self.links.push(Link { src, src_port, dst, dst_port, latency });
+    }
+
+    /// Wire a symmetric pair of links (one in each direction, same ports and
+    /// latency) — the common case for node-to-node channels.
+    pub fn connect_bidir(
+        &mut self,
+        a: ComponentId,
+        a_port: PortId,
+        b: ComponentId,
+        b_port: PortId,
+        latency: SimTime,
+    ) {
+        self.connect(a, a_port, b, b_port, latency);
+        self.connect(b, b_port, a, a_port, latency);
+    }
+
+    /// Number of components registered so far.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Finalize into a runnable sequential engine.
+    pub fn build(self) -> Engine<P> {
+        let mut table = LinkTable::new(self.components.len());
+        for l in &self.links {
+            assert!(
+                (l.dst.0 as usize) < self.components.len(),
+                "link destination {:?} is not a registered component",
+                l.dst
+            );
+            table.connect(*l);
+        }
+        Engine {
+            components: self.components,
+            links: table,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seqs: Vec::new(),
+            delivered: 0,
+            halted: false,
+            started: false,
+        }
+    }
+
+    /// Consume the builder parts for the parallel engine.
+    pub(crate) fn into_parts(self) -> (Vec<Box<dyn Component<P>>>, Vec<Link>) {
+        (self.components, self.links)
+    }
+}
+
+/// Outcome of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The horizon passed with events still queued.
+    HorizonReached,
+    /// A component called [`Ctx::halt`].
+    Halted,
+    /// The delivery budget was exhausted (runaway-model backstop).
+    BudgetExhausted,
+}
+
+/// Sequential discrete-event engine.
+pub struct Engine<P> {
+    components: Vec<Box<dyn Component<P>>>,
+    links: LinkTable,
+    queue: BinaryHeap<HeapEntry<P>>,
+    now: SimTime,
+    seqs: Vec<u64>,
+    delivered: u64,
+    halted: bool,
+    started: bool,
+}
+
+/// Sender id used for events injected from outside any component.
+pub const EXTERNAL: ComponentId = ComponentId(u32::MAX);
+
+impl<P> Engine<P> {
+    /// Current simulated time (the timestamp of the last delivered event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events currently queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Inject an event from outside the simulation (e.g. the initial
+    /// workload). `seq` disambiguates multiple external injections.
+    pub fn inject(
+        &mut self,
+        time: SimTime,
+        target: ComponentId,
+        port: PortId,
+        payload: P,
+        seq: u64,
+    ) {
+        assert!(
+            (target.0 as usize) < self.components.len(),
+            "inject target {:?} is not a registered component",
+            target
+        );
+        self.queue.push(HeapEntry(Event {
+            time,
+            priority: Priority::NORMAL,
+            key: TieKey { src: EXTERNAL, seq },
+            target,
+            port,
+            payload,
+        }));
+    }
+
+    /// Borrow a registered component (for post-run inspection).
+    pub fn component(&self, id: ComponentId) -> &dyn Component<P> {
+        self.components[id.0 as usize].as_ref()
+    }
+
+    /// Mutably borrow a registered component.
+    pub fn component_mut(&mut self, id: ComponentId) -> &mut dyn Component<P> {
+        self.components[id.0 as usize].as_mut()
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.seqs = vec![0; self.components.len()];
+        let mut out: Vec<Emitted<P>> = Vec::new();
+        for (i, c) in self.components.iter_mut().enumerate() {
+            let mut ctx = Ctx {
+                now: SimTime::ZERO,
+                self_id: ComponentId(i as u32),
+                links: &self.links,
+                out: &mut out,
+                seq: &mut self.seqs[i],
+                halt: &mut self.halted,
+            };
+            c.on_start(&mut ctx);
+        }
+        for e in out.drain(..) {
+            self.queue.push(HeapEntry(e.event));
+        }
+    }
+
+    /// Run until the queue drains, the horizon passes, a component halts, or
+    /// `max_deliveries` events have been delivered.
+    pub fn run(&mut self, horizon: SimTime, max_deliveries: u64) -> RunOutcome {
+        self.ensure_started();
+        let mut out: Vec<Emitted<P>> = Vec::new();
+        while let Some(entry) = self.queue.peek() {
+            if self.halted {
+                return RunOutcome::Halted;
+            }
+            if entry.0.time > horizon {
+                return RunOutcome::HorizonReached;
+            }
+            if self.delivered >= max_deliveries {
+                return RunOutcome::BudgetExhausted;
+            }
+            let event = self.queue.pop().expect("peeked entry vanished").0;
+            debug_assert!(event.time >= self.now, "event queue yielded a past event");
+            self.now = event.time;
+            let idx = event.target.0 as usize;
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: event.target,
+                links: &self.links,
+                out: &mut out,
+                seq: &mut self.seqs[idx],
+                halt: &mut self.halted,
+            };
+            self.components[idx].on_event(event, &mut ctx);
+            self.delivered += 1;
+            for e in out.drain(..) {
+                self.queue.push(HeapEntry(e.event));
+            }
+        }
+        if self.halted {
+            return RunOutcome::Halted;
+        }
+        let now = self.now;
+        for c in &mut self.components {
+            c.on_finish(now);
+        }
+        RunOutcome::Drained
+    }
+
+    /// Run to completion with no horizon and a very large delivery budget.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run(SimTime::MAX, u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong: two components bounce a counter until it reaches a limit.
+    struct Pinger {
+        limit: u32,
+        last_seen: u32,
+        finish_time: SimTime,
+    }
+
+    impl Component<u32> for Pinger {
+        fn name(&self) -> &str {
+            "pinger"
+        }
+        fn on_event(&mut self, ev: Event<u32>, ctx: &mut Ctx<'_, u32>) {
+            self.last_seen = ev.payload;
+            if ev.payload < self.limit {
+                ctx.send(PortId(0), ev.payload + 1);
+            }
+        }
+        fn on_finish(&mut self, now: SimTime) {
+            self.finish_time = now;
+        }
+    }
+
+    fn pingpong(limit: u32) -> (Engine<u32>, ComponentId, ComponentId) {
+        let mut b = EngineBuilder::new();
+        let a = b.add_component(Box::new(Pinger {
+            limit,
+            last_seen: 0,
+            finish_time: SimTime::ZERO,
+        }));
+        let c = b.add_component(Box::new(Pinger {
+            limit,
+            last_seen: 0,
+            finish_time: SimTime::ZERO,
+        }));
+        b.connect(a, PortId(0), c, PortId(0), SimTime::from_nanos(10));
+        b.connect(c, PortId(0), a, PortId(0), SimTime::from_nanos(10));
+        (b.build(), a, c)
+    }
+
+    #[test]
+    fn pingpong_runs_to_completion() {
+        let (mut e, _a, _c) = pingpong(100);
+        e.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+        assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+        // 101 deliveries: payloads 0..=100.
+        assert_eq!(e.delivered(), 101);
+        // Each hop is 10ns; the last delivery is hop #100.
+        assert_eq!(e.now(), SimTime::from_nanos(1000));
+    }
+
+    #[test]
+    fn horizon_stops_early() {
+        let (mut e, _a, _c) = pingpong(1_000_000);
+        e.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+        assert_eq!(e.run(SimTime::from_nanos(95), u64::MAX), RunOutcome::HorizonReached);
+        assert!(e.now() <= SimTime::from_nanos(95));
+        assert!(e.pending() > 0);
+    }
+
+    #[test]
+    fn budget_stops_runaway() {
+        let (mut e, _a, _c) = pingpong(u32::MAX);
+        e.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+        assert_eq!(e.run(SimTime::MAX, 50), RunOutcome::BudgetExhausted);
+        assert_eq!(e.delivered(), 50);
+    }
+
+    struct Halter;
+    impl Component<u32> for Halter {
+        fn on_event(&mut self, _ev: Event<u32>, ctx: &mut Ctx<'_, u32>) {
+            ctx.halt();
+        }
+    }
+
+    #[test]
+    fn halt_stops_immediately() {
+        let mut b = EngineBuilder::new();
+        let h = b.add_component(Box::new(Halter));
+        let mut e = b.build();
+        e.inject(SimTime::ZERO, h, PortId(0), 0, 0);
+        e.inject(SimTime::from_nanos(5), h, PortId(0), 0, 1);
+        assert_eq!(e.run_to_completion(), RunOutcome::Halted);
+        assert_eq!(e.delivered(), 1);
+    }
+
+    struct Starter;
+    impl Component<u32> for Starter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.schedule_self(SimTime::from_nanos(3), 7);
+        }
+        fn on_event(&mut self, ev: Event<u32>, _ctx: &mut Ctx<'_, u32>) {
+            assert_eq!(ev.payload, 7);
+        }
+    }
+
+    #[test]
+    fn on_start_events_are_delivered() {
+        let mut b = EngineBuilder::new();
+        b.add_component(Box::new(Starter));
+        let mut e = b.build();
+        assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(e.delivered(), 1);
+        assert_eq!(e.now(), SimTime::from_nanos(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a registered component")]
+    fn inject_to_unknown_component_panics() {
+        let (mut e, _, _) = pingpong(1);
+        e.inject(SimTime::ZERO, ComponentId(99), PortId(0), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "link destination")]
+    fn build_rejects_dangling_link() {
+        let mut b: EngineBuilder<u32> = EngineBuilder::new();
+        let a = b.add_component(Box::new(Halter));
+        b.connect(a, PortId(0), ComponentId(42), PortId(0), SimTime::from_nanos(1));
+        let _ = b.build();
+    }
+}

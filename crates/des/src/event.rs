@@ -1,0 +1,164 @@
+//! Events and their total ordering.
+//!
+//! An [`Event`] is a timestamped payload delivered to one component's input
+//! port. The engine orders events by `(time, priority, key)` where `key` is a
+//! deterministic tie-breaker derived from the sender; this makes the
+//! sequential and the conservative-parallel engines produce *identical*
+//! delivery orders for the same workload, which is asserted by tests.
+
+use crate::time::SimTime;
+use core::cmp::Ordering;
+
+/// Identifies a component registered with an engine. Densely allocated in
+/// registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub u32);
+
+/// A port index local to a component. Output ports are wired to input ports
+/// through [`crate::link::Link`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// The conventional default port for components with a single input.
+    pub const DEFAULT: PortId = PortId(0);
+}
+
+/// Scheduling priority: lower value is delivered first among events with the
+/// same timestamp. The default is 100 so both urgent (<100) and lazy (>100)
+/// classes exist around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// Delivered before anything else at the same instant.
+    pub const URGENT: Priority = Priority(0);
+    /// The default class.
+    pub const NORMAL: Priority = Priority(100);
+    /// Delivered after everything else at the same instant.
+    pub const LAZY: Priority = Priority(200);
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::NORMAL
+    }
+}
+
+/// Deterministic tie-break key: (sender component, per-sender sequence
+/// number). Two events can never compare equal end-to-end because a single
+/// sender's sequence numbers are unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TieKey {
+    /// The component that scheduled the event (engine-injected events use
+    /// `ComponentId(u32::MAX)`).
+    pub src: ComponentId,
+    /// Monotonic per-sender counter.
+    pub seq: u64,
+}
+
+/// A scheduled event: payload `P` arriving at `target`'s input `port` at
+/// `time`.
+#[derive(Debug, Clone)]
+pub struct Event<P> {
+    /// Delivery timestamp.
+    pub time: SimTime,
+    /// Same-instant ordering class.
+    pub priority: Priority,
+    /// Deterministic tie-breaker.
+    pub key: TieKey,
+    /// Receiving component.
+    pub target: ComponentId,
+    /// Input port at the receiver.
+    pub port: PortId,
+    /// User payload.
+    pub payload: P,
+}
+
+impl<P> Event<P> {
+    /// The full ordering key `(time, priority, tie)`; smaller is delivered
+    /// first.
+    pub fn order_key(&self) -> (SimTime, Priority, TieKey) {
+        (self.time, self.priority, self.key)
+    }
+}
+
+/// Wrapper that turns the min-ordering of [`Event::order_key`] into the
+/// max-ordering `BinaryHeap` expects.
+#[derive(Debug)]
+pub(crate) struct HeapEntry<P>(pub Event<P>);
+
+impl<P> PartialEq for HeapEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.order_key() == other.0.order_key()
+    }
+}
+
+impl<P> Eq for HeapEntry<P> {}
+
+impl<P> PartialOrd for HeapEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for HeapEntry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on
+        // top.
+        other.0.order_key().cmp(&self.0.order_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(t: u64, prio: u8, src: u32, seq: u64) -> Event<u32> {
+        Event {
+            time: SimTime::from_nanos(t),
+            priority: Priority(prio),
+            key: TieKey { src: ComponentId(src), seq },
+            target: ComponentId(0),
+            port: PortId::DEFAULT,
+            payload: 0,
+        }
+    }
+
+    #[test]
+    fn heap_pops_in_time_order() {
+        let mut h = BinaryHeap::new();
+        for t in [5u64, 1, 9, 3, 7] {
+            h.push(HeapEntry(ev(t, 100, 0, t)));
+        }
+        let times: Vec<u64> = std::iter::from_fn(|| h.pop())
+            .map(|e| e.0.time.as_nanos())
+            .collect();
+        assert_eq!(times, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn priority_breaks_time_ties() {
+        let mut h = BinaryHeap::new();
+        h.push(HeapEntry(ev(5, 200, 0, 0)));
+        h.push(HeapEntry(ev(5, 0, 0, 1)));
+        h.push(HeapEntry(ev(5, 100, 0, 2)));
+        let prios: Vec<u8> = std::iter::from_fn(|| h.pop())
+            .map(|e| e.0.priority.0)
+            .collect();
+        assert_eq!(prios, vec![0, 100, 200]);
+    }
+
+    #[test]
+    fn tie_key_breaks_remaining_ties() {
+        let mut h = BinaryHeap::new();
+        h.push(HeapEntry(ev(5, 100, 2, 0)));
+        h.push(HeapEntry(ev(5, 100, 1, 9)));
+        h.push(HeapEntry(ev(5, 100, 1, 3)));
+        let keys: Vec<(u32, u64)> = std::iter::from_fn(|| h.pop())
+            .map(|e| (e.0.key.src.0, e.0.key.seq))
+            .collect();
+        assert_eq!(keys, vec![(1, 3), (1, 9), (2, 0)]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Links: latency-bearing wires between component ports.
+//!
+//! As in SST, every connection between two components is a [`Link`] with a
+//! non-negative latency. Sending on an output port enqueues the payload for
+//! delivery at `now + latency (+ optional extra delay)`. Links are the unit
+//! of lookahead for the conservative parallel engine: a partition boundary
+//! may only be crossed by links with strictly positive latency.
+
+use crate::event::{ComponentId, PortId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One directed connection: `(src component, src output port)` →
+/// `(dst component, dst input port)` with a fixed delivery latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// Sending component.
+    #[serde(skip, default = "invalid_component")]
+    pub src: ComponentId,
+    /// Output port index at the sender.
+    #[serde(skip, default = "default_port")]
+    pub src_port: PortId,
+    /// Receiving component.
+    #[serde(skip, default = "invalid_component")]
+    pub dst: ComponentId,
+    /// Input port index at the receiver.
+    #[serde(skip, default = "default_port")]
+    pub dst_port: PortId,
+    /// Wire latency added to every send.
+    pub latency: SimTime,
+}
+
+fn invalid_component() -> ComponentId {
+    ComponentId(u32::MAX)
+}
+
+fn default_port() -> PortId {
+    PortId::DEFAULT
+}
+
+/// Per-component table of outgoing links, indexed by output port.
+///
+/// Built once at engine construction; lookup during simulation is a direct
+/// slice index.
+#[derive(Debug, Default, Clone)]
+pub struct LinkTable {
+    // outgoing[component][output port] -> link
+    outgoing: Vec<Vec<Option<Link>>>,
+}
+
+impl LinkTable {
+    /// Create a table for `n_components` components with no links.
+    pub fn new(n_components: usize) -> Self {
+        LinkTable { outgoing: vec![Vec::new(); n_components] }
+    }
+
+    /// Register a link. Panics if the output port is already wired — SST
+    /// links are point-to-point, and silently overwriting a wire is always a
+    /// model bug.
+    pub fn connect(&mut self, link: Link) {
+        let comp = link.src.0 as usize;
+        assert!(
+            comp < self.outgoing.len(),
+            "link source {:?} is not a registered component",
+            link.src
+        );
+        let port = link.src_port.0 as usize;
+        let ports = &mut self.outgoing[comp];
+        if ports.len() <= port {
+            ports.resize(port + 1, None);
+        }
+        assert!(
+            ports[port].is_none(),
+            "output port {:?} of component {:?} is already wired",
+            link.src_port,
+            link.src
+        );
+        ports[port] = Some(link);
+    }
+
+    /// Resolve an output port to its link, if wired.
+    pub fn resolve(&self, src: ComponentId, port: PortId) -> Option<&Link> {
+        self.outgoing
+            .get(src.0 as usize)?
+            .get(port.0 as usize)?
+            .as_ref()
+    }
+
+    /// Iterate over every registered link.
+    pub fn iter(&self) -> impl Iterator<Item = &Link> {
+        self.outgoing.iter().flatten().filter_map(|l| l.as_ref())
+    }
+
+    /// The smallest latency among links whose endpoints live in different
+    /// partitions, per the provided partition map. `None` when no link
+    /// crosses a partition boundary.
+    pub fn min_cross_partition_latency(&self, partition_of: &[usize]) -> Option<SimTime> {
+        self.iter()
+            .filter(|l| partition_of[l.src.0 as usize] != partition_of[l.dst.0 as usize])
+            .map(|l| l.latency)
+            .min()
+    }
+
+    /// Number of components the table was sized for.
+    pub fn n_components(&self) -> usize {
+        self.outgoing.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(src: u32, sp: u16, dst: u32, dp: u16, lat: u64) -> Link {
+        Link {
+            src: ComponentId(src),
+            src_port: PortId(sp),
+            dst: ComponentId(dst),
+            dst_port: PortId(dp),
+            latency: SimTime::from_nanos(lat),
+        }
+    }
+
+    #[test]
+    fn connect_and_resolve() {
+        let mut t = LinkTable::new(3);
+        t.connect(link(0, 0, 1, 0, 10));
+        t.connect(link(0, 1, 2, 0, 20));
+        assert_eq!(t.resolve(ComponentId(0), PortId(0)).unwrap().dst, ComponentId(1));
+        assert_eq!(t.resolve(ComponentId(0), PortId(1)).unwrap().latency, SimTime::from_nanos(20));
+        assert!(t.resolve(ComponentId(1), PortId(0)).is_none());
+        assert!(t.resolve(ComponentId(9), PortId(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wire_panics() {
+        let mut t = LinkTable::new(2);
+        t.connect(link(0, 0, 1, 0, 10));
+        t.connect(link(0, 0, 1, 0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a registered component")]
+    fn out_of_range_source_panics() {
+        let mut t = LinkTable::new(1);
+        t.connect(link(5, 0, 0, 0, 10));
+    }
+
+    #[test]
+    fn min_cross_partition_latency() {
+        let mut t = LinkTable::new(4);
+        t.connect(link(0, 0, 1, 0, 5)); // same partition
+        t.connect(link(1, 0, 2, 0, 30)); // cross
+        t.connect(link(2, 0, 3, 0, 7)); // same
+        t.connect(link(3, 0, 0, 0, 12)); // cross
+        let parts = [0usize, 0, 1, 1];
+        assert_eq!(t.min_cross_partition_latency(&parts), Some(SimTime::from_nanos(12)));
+        let one = [0usize, 0, 0, 0];
+        assert_eq!(t.min_cross_partition_latency(&one), None);
+    }
+
+    #[test]
+    fn iter_counts_links() {
+        let mut t = LinkTable::new(3);
+        t.connect(link(0, 0, 1, 0, 1));
+        t.connect(link(1, 0, 2, 0, 1));
+        assert_eq!(t.iter().count(), 2);
+    }
+}

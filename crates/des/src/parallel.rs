@@ -1,0 +1,589 @@
+//! Conservative, windowed parallel discrete-event engine.
+//!
+//! SST executes components in parallel across MPI ranks and threads using
+//! conservative synchronization: the minimum latency of any link that
+//! crosses a partition boundary is a *lookahead* guarantee — no partition
+//! can be affected by another within that horizon. We reproduce that scheme
+//! with threads:
+//!
+//! 1. the coordinator computes the global minimum next-event time `T`;
+//! 2. every worker processes its local events with `time < T + lookahead`,
+//!    routing cross-partition sends directly into the target worker's
+//!    mailbox (safe: a cross-partition event's timestamp is at least
+//!    `T + lookahead`, i.e. beyond the current window);
+//! 3. workers acknowledge, the coordinator waits for all acknowledgements,
+//!    then asks each worker to drain its mailbox and report its new minimum
+//!    next-event time; repeat.
+//!
+//! Within a window each worker delivers its events in exactly the global
+//! `(time, priority, tie-key)` order restricted to its components, and each
+//! component's events are totally ordered across windows, so the trajectory
+//! every individual component observes is identical to the sequential
+//! engine's — a property the test-suite checks event-for-event.
+
+use crate::component::{Component, Ctx, Emitted};
+use crate::engine::{EngineBuilder, RunOutcome};
+use crate::event::{ComponentId, Event, HeapEntry, PortId, Priority, TieKey};
+use crate::link::{Link, LinkTable};
+use crate::time::SimTime;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// How components are assigned to worker threads.
+#[derive(Debug, Clone)]
+pub enum Partitioning {
+    /// `partition_of[component] = worker index`.
+    Explicit(Vec<usize>),
+    /// Round-robin over `n` workers.
+    RoundRobin(usize),
+    /// Contiguous blocks over `n` workers (preserves locality of
+    /// consecutively registered components, e.g. the ranks of one node).
+    Blocks(usize),
+}
+
+impl Partitioning {
+    fn resolve(&self, n_components: usize) -> Vec<usize> {
+        match self {
+            Partitioning::Explicit(map) => {
+                assert_eq!(map.len(), n_components, "partition map length mismatch");
+                map.clone()
+            }
+            Partitioning::RoundRobin(n) => {
+                assert!(*n > 0, "need at least one partition");
+                (0..n_components).map(|i| i % n).collect()
+            }
+            Partitioning::Blocks(n) => {
+                assert!(*n > 0, "need at least one partition");
+                let per = n_components.div_ceil(*n).max(1);
+                (0..n_components).map(|i| (i / per).min(n - 1)).collect()
+            }
+        }
+    }
+}
+
+enum Command {
+    /// Process all local events strictly before the given window end.
+    Window(SimTime),
+    /// Drain mailbox, then report local minimum next-event time.
+    Report,
+    /// Call `on_finish` and return the components.
+    Finish(SimTime),
+}
+
+struct WorkerReply {
+    min_next: Option<SimTime>,
+    delivered: u64,
+    max_time: SimTime,
+}
+
+struct Worker<P> {
+    index: usize,
+    // Dense component storage for this worker; `local_index[c]` maps global
+    // component id to a slot here (usize::MAX when foreign).
+    components: Vec<(ComponentId, Box<dyn Component<P>>)>,
+    local_index: Arc<Vec<usize>>,
+    partition_of: Arc<Vec<usize>>,
+    links: Arc<LinkTable>,
+    queue: BinaryHeap<HeapEntry<P>>,
+    seqs: Vec<u64>,
+    mailbox: Receiver<Event<P>>,
+    peers: Vec<Sender<Event<P>>>,
+    halt: Arc<AtomicBool>,
+    delivered: u64,
+    max_time: SimTime,
+}
+
+impl<P: Send + 'static> Worker<P> {
+    fn start(&mut self) {
+        let mut out: Vec<Emitted<P>> = Vec::new();
+        let mut halt_flag = false;
+        for i in 0..self.components.len() {
+            let (id, comp) = &mut self.components[i];
+            let mut ctx = Ctx {
+                now: SimTime::ZERO,
+                self_id: *id,
+                links: &self.links,
+                out: &mut out,
+                seq: &mut self.seqs[i],
+                halt: &mut halt_flag,
+            };
+            comp.on_start(&mut ctx);
+        }
+        if halt_flag {
+            self.halt.store(true, Ordering::SeqCst);
+        }
+        let emitted = std::mem::take(&mut out);
+        for e in emitted {
+            self.route(e.event);
+        }
+    }
+
+    fn route(&mut self, event: Event<P>) {
+        let target_part = self.partition_of[event.target.0 as usize];
+        if target_part == self.index {
+            self.queue.push(HeapEntry(event));
+        } else {
+            // Channel is unbounded and the receiver lives as long as the
+            // run; a send failure means a worker panicked, so propagate.
+            self.peers[target_part]
+                .send(event)
+                .expect("peer worker disappeared mid-run");
+        }
+    }
+
+    fn process_window(&mut self, end: SimTime) {
+        let mut out: Vec<Emitted<P>> = Vec::new();
+        while let Some(entry) = self.queue.peek() {
+            if entry.0.time >= end {
+                break;
+            }
+            if self.halt.load(Ordering::Relaxed) {
+                return;
+            }
+            let event = self.queue.pop().expect("peeked entry vanished").0;
+            let slot = self.local_index[event.target.0 as usize];
+            debug_assert!(slot != usize::MAX, "event routed to wrong partition");
+            let now = event.time;
+            self.max_time = self.max_time.max(now);
+            let (id, comp) = &mut self.components[slot];
+            let mut halt_flag = false;
+            let mut ctx = Ctx {
+                now,
+                self_id: *id,
+                links: &self.links,
+                out: &mut out,
+                seq: &mut self.seqs[slot],
+                halt: &mut halt_flag,
+            };
+            comp.on_event(event, &mut ctx);
+            self.delivered += 1;
+            if halt_flag {
+                self.halt.store(true, Ordering::SeqCst);
+            }
+            let emitted = std::mem::take(&mut out);
+            for e in emitted {
+                self.route(e.event);
+            }
+        }
+    }
+
+    fn drain_mailbox(&mut self) {
+        while let Ok(ev) = self.mailbox.try_recv() {
+            self.queue.push(HeapEntry(ev));
+        }
+    }
+
+    fn min_next(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.0.time)
+    }
+
+    fn run(
+        mut self,
+        commands: Receiver<Command>,
+        replies: Sender<WorkerReply>,
+    ) -> Vec<(ComponentId, Box<dyn Component<P>>)> {
+        self.start();
+        // Initial report so the coordinator can pick the first window.
+        self.drain_mailbox();
+        replies
+            .send(WorkerReply {
+                min_next: self.min_next(),
+                delivered: self.delivered,
+                max_time: self.max_time,
+            })
+            .expect("coordinator disappeared");
+        while let Ok(cmd) = commands.recv() {
+            match cmd {
+                Command::Window(end) => {
+                    self.process_window(end);
+                    replies
+                        .send(WorkerReply {
+                            min_next: None,
+                            delivered: self.delivered,
+                            max_time: self.max_time,
+                        })
+                        .expect("coordinator disappeared");
+                }
+                Command::Report => {
+                    self.drain_mailbox();
+                    replies
+                        .send(WorkerReply {
+                            min_next: self.min_next(),
+                            delivered: self.delivered,
+                            max_time: self.max_time,
+                        })
+                        .expect("coordinator disappeared");
+                }
+                Command::Finish(now) => {
+                    for (_, c) in &mut self.components {
+                        c.on_finish(now);
+                    }
+                    break;
+                }
+            }
+        }
+        self.components
+    }
+}
+
+/// Result of a parallel run.
+pub struct ParallelReport<P> {
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// Total events delivered across all workers.
+    pub delivered: u64,
+    /// Largest event timestamp delivered.
+    pub end_time: SimTime,
+    /// The components, returned for post-run inspection, ordered by
+    /// [`ComponentId`].
+    pub components: Vec<Box<dyn Component<P>>>,
+}
+
+/// Conservative parallel engine. Built from the same [`EngineBuilder`] as
+/// the sequential engine.
+pub struct ParallelEngine<P> {
+    components: Vec<Box<dyn Component<P>>>,
+    links: Vec<Link>,
+    partition_of: Vec<usize>,
+    n_workers: usize,
+    lookahead: SimTime,
+    initial: Vec<Event<P>>,
+}
+
+impl<P: Send + 'static> ParallelEngine<P> {
+    /// Partition the builder's components across workers.
+    ///
+    /// Panics if any link crossing a partition boundary has zero latency —
+    /// conservative synchronization needs strictly positive lookahead.
+    pub fn new(builder: EngineBuilder<P>, partitioning: Partitioning) -> Self {
+        let (components, links) = builder.into_parts();
+        let partition_of = partitioning.resolve(components.len());
+        let n_workers = partition_of.iter().copied().max().map_or(1, |m| m + 1);
+        let mut table = LinkTable::new(components.len());
+        for l in &links {
+            table.connect(*l);
+        }
+        let lookahead = match table.min_cross_partition_latency(&partition_of) {
+            Some(l) => {
+                assert!(
+                    l > SimTime::ZERO,
+                    "zero-latency link crosses a partition boundary; conservative \
+                     parallel execution requires positive lookahead"
+                );
+                l
+            }
+            // No cross-partition links: partitions are independent, any
+            // window works.
+            None => SimTime::from_secs(1),
+        };
+        ParallelEngine {
+            components,
+            links,
+            partition_of,
+            n_workers,
+            lookahead,
+            initial: Vec::new(),
+        }
+    }
+
+    /// The synchronization window derived from cross-partition link
+    /// latencies.
+    pub fn lookahead(&self) -> SimTime {
+        self.lookahead
+    }
+
+    /// Number of worker threads that will run.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Inject an initial event, as [`crate::engine::Engine::inject`].
+    pub fn inject(
+        &mut self,
+        time: SimTime,
+        target: ComponentId,
+        port: PortId,
+        payload: P,
+        seq: u64,
+    ) {
+        assert!(
+            (target.0 as usize) < self.components.len(),
+            "inject target {:?} is not a registered component",
+            target
+        );
+        self.initial.push(Event {
+            time,
+            priority: Priority::NORMAL,
+            key: TieKey { src: crate::engine::EXTERNAL, seq },
+            target,
+            port,
+            payload,
+        });
+    }
+
+    /// Run to completion (queue drain or halt) and return the report.
+    pub fn run(self) -> ParallelReport<P> {
+        let ParallelEngine {
+            components,
+            links,
+            partition_of,
+            n_workers,
+            lookahead,
+            mut initial,
+        } = self;
+        let n_components = components.len();
+        let mut table = LinkTable::new(n_components);
+        for l in &links {
+            table.connect(*l);
+        }
+        let links = Arc::new(table);
+        let partition_of = Arc::new(partition_of);
+        let halt = Arc::new(AtomicBool::new(false));
+
+        // Mailboxes: one per worker; every worker holds senders to all.
+        let mut mail_tx = Vec::with_capacity(n_workers);
+        let mut mail_rx = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let (tx, rx) = unbounded::<Event<P>>();
+            mail_tx.push(tx);
+            mail_rx.push(rx);
+        }
+
+        // local_index: global component id -> dense slot within its worker.
+        type OwnedComponents<P> = Vec<(ComponentId, Box<dyn Component<P>>)>;
+        let mut local_index = vec![usize::MAX; n_components];
+        let mut per_worker: Vec<OwnedComponents<P>> =
+            (0..n_workers).map(|_| Vec::new()).collect();
+        for (i, c) in components.into_iter().enumerate() {
+            let w = partition_of[i];
+            local_index[i] = per_worker[w].len();
+            per_worker[w].push((ComponentId(i as u32), c));
+        }
+        let local_index = Arc::new(local_index);
+
+        // Pre-seed mailboxes with the injected events.
+        for ev in initial.drain(..) {
+            let w = partition_of[ev.target.0 as usize];
+            mail_tx[w].send(ev).expect("mailbox closed before run");
+        }
+
+        let (reply_tx, reply_rx) = unbounded::<WorkerReply>();
+        let mut cmd_tx: Vec<Sender<Command>> = Vec::with_capacity(n_workers);
+        let mut cmd_rx: Vec<Option<Receiver<Command>>> = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let (tx, rx) = unbounded::<Command>();
+            cmd_tx.push(tx);
+            cmd_rx.push(Some(rx));
+        }
+
+        let mut report = ParallelReport {
+            outcome: RunOutcome::Drained,
+            delivered: 0,
+            end_time: SimTime::ZERO,
+            components: Vec::new(),
+        };
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_workers);
+            for (w, comps) in per_worker.into_iter().enumerate() {
+                let n_local = comps.len();
+                let worker = Worker {
+                    index: w,
+                    components: comps,
+                    local_index: Arc::clone(&local_index),
+                    partition_of: Arc::clone(&partition_of),
+                    links: Arc::clone(&links),
+                    queue: BinaryHeap::new(),
+                    seqs: vec![0; n_local],
+                    mailbox: mail_rx.remove(0),
+                    peers: mail_tx.clone(),
+                    halt: Arc::clone(&halt),
+                    delivered: 0,
+                    max_time: SimTime::ZERO,
+                };
+                let commands = cmd_rx[w].take().expect("command receiver taken twice");
+                let replies = reply_tx.clone();
+                handles.push(scope.spawn(move || worker.run(commands, replies)));
+            }
+            drop(reply_tx);
+
+            let collect =
+                |rx: &Receiver<WorkerReply>| -> (Option<SimTime>, u64, SimTime) {
+                    let mut min_next: Option<SimTime> = None;
+                    let mut delivered = 0;
+                    let mut max_time = SimTime::ZERO;
+                    for _ in 0..n_workers {
+                        let r = rx.recv().expect("worker died before replying");
+                        delivered += r.delivered;
+                        max_time = max_time.max(r.max_time);
+                        min_next = match (min_next, r.min_next) {
+                            (None, x) => x,
+                            (x, None) => x,
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                        };
+                    }
+                    (min_next, delivered, max_time)
+                };
+
+            // Initial report round (workers report after on_start + seed
+            // drain).
+            let (mut min_next, _, _) = collect(&reply_rx);
+
+            loop {
+                if halt.load(Ordering::SeqCst) {
+                    report.outcome = RunOutcome::Halted;
+                    break;
+                }
+                let start = match min_next {
+                    Some(t) => t,
+                    None => {
+                        report.outcome = RunOutcome::Drained;
+                        break;
+                    }
+                };
+                let end = start.saturating_add(lookahead);
+                for tx in &cmd_tx {
+                    tx.send(Command::Window(end)).expect("worker died");
+                }
+                let _ = collect(&reply_rx);
+                for tx in &cmd_tx {
+                    tx.send(Command::Report).expect("worker died");
+                }
+                let (mn, delivered, max_time) = collect(&reply_rx);
+                min_next = mn;
+                report.delivered = delivered;
+                report.end_time = max_time;
+            }
+
+            for tx in &cmd_tx {
+                tx.send(Command::Finish(report.end_time)).expect("worker died");
+            }
+            let mut gathered: Vec<(ComponentId, Box<dyn Component<P>>)> = Vec::new();
+            for h in handles {
+                gathered.extend(h.join().expect("worker panicked"));
+            }
+            gathered.sort_by_key(|(id, _)| *id);
+            report.components = gathered.into_iter().map(|(_, c)| c).collect();
+        });
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Ctx;
+
+    /// Each component forwards a hop counter around a ring, recording the
+    /// payloads it saw.
+    struct RingNode {
+        hops_left: u32,
+        seen: Vec<u32>,
+    }
+
+    impl Component<u32> for RingNode {
+        fn on_event(&mut self, ev: Event<u32>, ctx: &mut Ctx<'_, u32>) {
+            self.seen.push(ev.payload);
+            if ev.payload < self.hops_left {
+                ctx.send(PortId(0), ev.payload + 1);
+            }
+        }
+    }
+
+    fn ring_builder(n: usize, hops: u32) -> EngineBuilder<u32> {
+        let mut b = EngineBuilder::new();
+        let ids: Vec<ComponentId> = (0..n)
+            .map(|_| b.add_component(Box::new(RingNode { hops_left: hops, seen: Vec::new() })))
+            .collect();
+        for i in 0..n {
+            b.connect(
+                ids[i],
+                PortId(0),
+                ids[(i + 1) % n],
+                PortId(0),
+                SimTime::from_nanos(50),
+            );
+        }
+        b
+    }
+
+    fn seen_of(c: &dyn Component<u32>) -> &[u32] {
+        // Downcast-free inspection helper: rebuild through pointer cast is
+        // unsafe; instead tests use the sequential engine's typed access.
+        // For the parallel engine we only compare delivered counts and end
+        // times here; the cross-engine equivalence test lives in
+        // tests/engine_equivalence.rs with a payload-recording harness.
+        let _ = c;
+        &[]
+    }
+
+    #[test]
+    fn ring_parallel_matches_sequential_counts() {
+        let hops = 500u32;
+        let n = 8;
+
+        let mut seq = ring_builder(n, hops).build();
+        seq.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+        seq.run_to_completion();
+
+        let mut par = ParallelEngine::new(ring_builder(n, hops), Partitioning::RoundRobin(4));
+        par.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+        let report = par.run();
+
+        assert_eq!(report.outcome, RunOutcome::Drained);
+        assert_eq!(report.delivered, seq.delivered());
+        assert_eq!(report.end_time, seq.now());
+        let _ = seen_of(report.components[0].as_ref());
+    }
+
+    #[test]
+    fn single_partition_equals_sequential() {
+        let mut par = ParallelEngine::new(ring_builder(4, 100), Partitioning::RoundRobin(1));
+        par.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+        let report = par.run();
+        assert_eq!(report.delivered, 101);
+        assert_eq!(report.end_time, SimTime::from_nanos(100 * 50));
+    }
+
+    #[test]
+    fn blocks_partitioning_covers_all() {
+        let p = Partitioning::Blocks(3).resolve(10);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.iter().copied().max(), Some(2));
+        // Contiguity: non-decreasing.
+        assert!(p.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_latency_cross_link_panics() {
+        let mut b = EngineBuilder::new();
+        let a = b.add_component(Box::new(RingNode { hops_left: 0, seen: Vec::new() }));
+        let c = b.add_component(Box::new(RingNode { hops_left: 0, seen: Vec::new() }));
+        b.connect(a, PortId(0), c, PortId(0), SimTime::ZERO);
+        let _ = ParallelEngine::new(b, Partitioning::RoundRobin(2));
+    }
+
+    #[test]
+    fn independent_partitions_run_without_cross_links() {
+        let mut b = EngineBuilder::new();
+        let a = b.add_component(Box::new(RingNode { hops_left: 10, seen: Vec::new() }));
+        let c = b.add_component(Box::new(RingNode { hops_left: 10, seen: Vec::new() }));
+        b.connect(a, PortId(0), a, PortId(0), SimTime::from_nanos(5));
+        b.connect(c, PortId(0), c, PortId(0), SimTime::from_nanos(5));
+        let mut par = ParallelEngine::new(b, Partitioning::RoundRobin(2));
+        par.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+        par.inject(SimTime::ZERO, ComponentId(1), PortId(0), 0, 1);
+        let report = par.run();
+        assert_eq!(report.outcome, RunOutcome::Drained);
+        assert_eq!(report.delivered, 22);
+    }
+
+    #[test]
+    fn partitioning_explicit_mismatch_panics() {
+        let r = std::panic::catch_unwind(|| Partitioning::Explicit(vec![0, 1]).resolve(3));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Architectural DSE — the Fig. 2 "C" extension ("including
+//! fault-tolerance awareness in the architecture under study requires
+//! incorporating FT-aware hardware parameters ... changing system scale,
+//! hardware architecture and algorithms are all decisions that can
+//! affect the fault rate and fault-tolerance of a system").
+//!
+//! Four notional Quartz variants (base, 8× faster node-local storage,
+//! 10× faster metadata service, 8× slower PFS) are each calibrated from
+//! scratch, and every FTI level is costed on each. Under a fixed fault
+//! process the experiment reports which level each *architecture* makes
+//! optimal — hardware choices move the best FT design point, the paper's
+//! co-design thesis.
+
+use crate::calibration::{calibrate, CalibrationConfig, ModelMethod};
+use crate::paper::RANKS_PER_NODE;
+use crate::report::{fmt_pct, write_csv, TextTable};
+use besst_apps::lulesh::{self, LuleshConfig};
+use besst_core::beo::ArchBeo;
+use besst_core::faults::{expected_makespan, FaultProcess, Timeline};
+use besst_core::sim::{simulate, SimConfig};
+use besst_fti::{CkptLevel, FtiConfig, GroupLayout, LevelSchedule};
+use besst_machine::{presets, Machine, Testbed};
+use besst_models::Interpolation;
+
+const EPR: u32 = 20;
+const RANKS: u32 = 512;
+const STEPS: u32 = 200;
+const PERIOD: u32 = 40;
+
+/// The architecture variants under study.
+pub fn variants() -> Vec<Machine> {
+    let base = presets::quartz();
+
+    let mut fast_local = base.clone();
+    fast_local.name = "quartz+fast-local-storage".into();
+    fast_local.local_store.write_bps *= 8.0;
+    fast_local.local_store.read_bps *= 8.0;
+
+    let mut fast_mds = base.clone();
+    fast_mds.name = "quartz+fast-metadata".into();
+    fast_mds.pfs.metadata_op_s /= 10.0;
+
+    let mut slow_pfs = base.clone();
+    slow_pfs.name = "quartz+slow-pfs".into();
+    slow_pfs.pfs.aggregate_write_bps /= 8.0;
+    slow_pfs.pfs.per_node_bps /= 8.0;
+
+    vec![base, fast_local, fast_mds, slow_pfs]
+}
+
+fn level_config(level: CkptLevel) -> FtiConfig {
+    FtiConfig::paper_case_study(vec![LevelSchedule { level, period: PERIOD }])
+}
+
+/// Run and print the architectural DSE.
+pub fn run_arch_dse(base_cal: &CalibrationConfig) -> String {
+    let levels = [CkptLevel::L1, CkptLevel::L2, CkptLevel::L3, CkptLevel::L4];
+    let all_levels = FtiConfig {
+        schedules: levels.iter().map(|&l| LevelSchedule { level: l, period: PERIOD }).collect(),
+        ..FtiConfig::paper_case_study(vec![])
+    };
+    let grid = [(15u32, RANKS), (EPR, RANKS), (25, RANKS)];
+    let cfg = LuleshConfig::new(EPR, RANKS);
+
+    let mut table = TextTable::new(&[
+        "architecture",
+        "L1 overhead",
+        "L2 overhead",
+        "L3 overhead",
+        "L4 overhead",
+        "best level under faults",
+    ]);
+
+    for machine in variants() {
+        // Per-architecture calibration (table method: this sweep is about
+        // the hardware, not the fitter).
+        let cal = calibrate(
+            &machine,
+            |epr, ranks| {
+                lulesh::instrumented_regions(
+                    &LuleshConfig::new(epr, ranks),
+                    &all_levels,
+                    &machine,
+                    RANKS_PER_NODE,
+                )
+            },
+            &grid,
+            &CalibrationConfig {
+                method: ModelMethod::Table(Interpolation::Multilinear),
+                ..base_cal.clone()
+            },
+        );
+        let arch = ArchBeo::new(machine.clone(), RANKS_PER_NODE, cal.bundle);
+        let sim_cfg = SimConfig { seed: 0xA2C, monte_carlo: true, ..Default::default() };
+
+        let baseline =
+            simulate(&lulesh::appbeo(&cfg, &FtiConfig::none(), STEPS), &arch, &sim_cfg)
+                .total_seconds;
+
+        // Fault process fixed across architectures: same machine scale,
+        // same failure physics; 30% of faults destroy node data.
+        let n_nodes = RANKS.div_ceil(RANKS_PER_NODE);
+        let mut overheads = Vec::new();
+        let mut best: Option<(CkptLevel, f64)> = None;
+        for &level in &levels {
+            let fti = level_config(level);
+            let res = simulate(&lulesh::appbeo(&cfg, &fti, STEPS), &arch, &sim_cfg);
+            overheads.push(100.0 * (res.total_seconds - baseline) / baseline);
+
+            let tb = Testbed::new(&machine);
+            let restart = tb.deterministic_region_cost(&lulesh::restart_blocks_for(
+                &cfg,
+                &fti,
+                &machine,
+                RANKS_PER_NODE,
+                level,
+            ));
+            let tl = Timeline::from_completions(
+                &res.step_completions,
+                &res.ckpt_completions,
+                vec![(level, restart)],
+            );
+            let process = FaultProcess::new(
+                tl.failure_free_makespan() * n_nodes as f64 / 3.0,
+                n_nodes,
+                0.3,
+            );
+            let layout = GroupLayout::new(&fti, RANKS);
+            let m = expected_makespan(&tl, &process, Some(&layout), 0xA2D, 25);
+            if best.as_ref().is_none_or(|(_, b)| m < *b) {
+                best = Some((level, m));
+            }
+        }
+        let (best_level, _) = best.expect("levels evaluated");
+        table.row(&[
+            machine.name.clone(),
+            fmt_pct(overheads[0]),
+            fmt_pct(overheads[1]),
+            fmt_pct(overheads[2]),
+            fmt_pct(overheads[3]),
+            best_level.to_string(),
+        ]);
+    }
+    let path = write_csv("arch_dse", &table);
+    format!(
+        "Architectural DSE — FT overhead per level across hardware variants\n\
+         (LULESH epr {EPR}, {RANKS} ranks, {STEPS} steps, period {PERIOD};\n\
+         overhead relative to each architecture's own No-FT run; best level\n\
+         judged by expected makespan under ≈3 faults/run with 30% data loss)\n\n{}\n(written to {})\n",
+        table.render(),
+        path.display()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_differ_where_intended() {
+        let v = variants();
+        assert_eq!(v.len(), 4);
+        assert!(v[1].local_store.write_bps > v[0].local_store.write_bps * 7.0);
+        assert!(v[2].pfs.metadata_op_s < v[0].pfs.metadata_op_s);
+        assert!(v[3].pfs.aggregate_write_bps < v[0].pfs.aggregate_write_bps);
+    }
+
+    #[test]
+    fn arch_dse_runs_and_reports_every_variant() {
+        let cfg = CalibrationConfig { samples_per_point: 4, ..Default::default() };
+        let out = run_arch_dse(&cfg);
+        for name in ["quartz", "fast-local-storage", "fast-metadata", "slow-pfs"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+        assert!(out.contains("best level"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Fig. 4 Cases 2 & 4 — fault injection, the paper's announced future
+//! work, implemented as an extension experiment.
+//!
+//! Case 1 (no faults, no FT) and Case 3 (no faults, FT overhead) are the
+//! paper's measured quadrants. Here we add the fault axis: exponential
+//! node failures injected into the simulated timelines, without FT
+//! (restart from scratch) and with L1/L1&L2 checkpointing (rollback under
+//! FTI recovery semantics). Whether checkpointing wins at a given design
+//! point depends on the fault rate versus the checkpoint overhead — the
+//! cost-benefit balance the paper's DSE is ultimately about, and exactly
+//! what this quadrant table puts on one page. (`repro ablation-period`
+//! explores the same trade-off across checkpoint periods.)
+
+use crate::paper::{CaseStudy, Scenario, CKPT_PERIOD, RANKS_PER_NODE};
+use crate::report::{fmt_secs, write_csv, TextTable};
+use besst_apps::lulesh::{self, LuleshConfig};
+use besst_core::faults::{expected_makespan, FaultProcess, Timeline};
+use besst_core::sim::{simulate, SimConfig};
+use besst_fti::{CkptLevel, GroupLayout};
+use besst_machine::Testbed;
+
+/// One quadrant result.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Quadrant label ("Case 1" … "Case 4").
+    pub case: String,
+    /// Scenario (FT configuration).
+    pub scenario: Scenario,
+    /// Expected makespan, seconds.
+    pub makespan: f64,
+}
+
+/// Restart cost (seconds) per level for the given configuration, priced
+/// on the noise-free testbed.
+fn restart_costs(cs: &CaseStudy, epr: u32, ranks: u32, scenario: Scenario) -> Vec<(CkptLevel, f64)> {
+    let fti = scenario.fti();
+    if !fti.is_ft_aware() {
+        return Vec::new();
+    }
+    let cfg = LuleshConfig::new(epr, ranks);
+    let tb = Testbed::new(&cs.machine);
+    fti.schedules
+        .iter()
+        .map(|s| {
+            let blocks =
+                lulesh::restart_blocks_for(&cfg, &fti, &cs.machine, RANKS_PER_NODE, s.level);
+            (s.level, tb.deterministic_region_cost(&blocks))
+        })
+        .collect()
+}
+
+/// Build the fault-free timeline of a scenario from a BE-SST simulation.
+fn timeline(cs: &CaseStudy, epr: u32, ranks: u32, scenario: Scenario, seed: u64) -> Timeline {
+    let app = cs.appbeo(epr, ranks, scenario);
+    let arch = cs.archbeo();
+    let res = simulate(&app, &arch, &SimConfig { seed, monte_carlo: true, ..Default::default() });
+    Timeline::from_completions(
+        &res.step_completions,
+        &res.ckpt_completions,
+        restart_costs(cs, epr, ranks, scenario),
+    )
+}
+
+/// Run all four quadrants at one design point.
+pub fn four_cases(
+    cs: &CaseStudy,
+    epr: u32,
+    ranks: u32,
+    node_mtbf_s: f64,
+    data_loss_prob: f64,
+    replicas: u32,
+    seed: u64,
+) -> Vec<CaseResult> {
+    let n_nodes = ranks.div_ceil(RANKS_PER_NODE);
+    let process = FaultProcess::new(node_mtbf_s, n_nodes, data_loss_prob);
+    let mut out = Vec::new();
+
+    // Case 1: no faults, no FT.
+    let tl_noft = timeline(cs, epr, ranks, Scenario::NoFt, seed);
+    out.push(CaseResult {
+        case: "Case 1 (no faults, no FT)".into(),
+        scenario: Scenario::NoFt,
+        makespan: tl_noft.failure_free_makespan(),
+    });
+
+    // Case 3: no faults, FT overhead.
+    let tl_l1 = timeline(cs, epr, ranks, Scenario::L1, seed ^ 1);
+    let tl_l12 = timeline(cs, epr, ranks, Scenario::L1L2, seed ^ 2);
+    out.push(CaseResult {
+        case: "Case 3 (no faults, L1)".into(),
+        scenario: Scenario::L1,
+        makespan: tl_l1.failure_free_makespan(),
+    });
+    out.push(CaseResult {
+        case: "Case 3 (no faults, L1 & L2)".into(),
+        scenario: Scenario::L1L2,
+        makespan: tl_l12.failure_free_makespan(),
+    });
+
+    // Case 2: faults, no FT — every failure restarts the run.
+    out.push(CaseResult {
+        case: "Case 2 (faults, no FT)".into(),
+        scenario: Scenario::NoFt,
+        makespan: expected_makespan(&tl_noft, &process, None, seed ^ 3, replicas),
+    });
+
+    // Case 4: faults with checkpointing.
+    let lay_l1 = GroupLayout::new(&Scenario::L1.fti(), ranks);
+    let lay_l12 = GroupLayout::new(&Scenario::L1L2.fti(), ranks);
+    out.push(CaseResult {
+        case: "Case 4 (faults, L1)".into(),
+        scenario: Scenario::L1,
+        makespan: expected_makespan(&tl_l1, &process, Some(&lay_l1), seed ^ 4, replicas),
+    });
+    out.push(CaseResult {
+        case: "Case 4 (faults, L1 & L2)".into(),
+        scenario: Scenario::L1L2,
+        makespan: expected_makespan(&tl_l12, &process, Some(&lay_l12), seed ^ 5, replicas),
+    });
+    out
+}
+
+/// Run and print the Cases 2 & 4 extension.
+pub fn run_cases24(cs: &CaseStudy) -> String {
+    let epr = 20;
+    let ranks: u32 = 512;
+    // A harsh synthetic MTBF so several faults strike within a run —
+    // fault effects must be visible at simulation scale. Derive the rate
+    // from the *longest* scenario so every configuration can still make
+    // progress between failures.
+    let longest = {
+        let tl = timeline(cs, epr, ranks, Scenario::L1L2, 0xC0DE);
+        tl.failure_free_makespan()
+    };
+    let n_nodes = ranks.div_ceil(RANKS_PER_NODE) as f64;
+    let node_mtbf = longest * n_nodes / 4.0; // ≈ 4 faults per L1&L2 run
+    let results = four_cases(cs, epr, ranks, node_mtbf, 0.3, 40, 0x24);
+
+    let mut table = TextTable::new(&["Quadrant", "Expected makespan (s)", "vs Case 1"]);
+    let base = results[0].makespan;
+    for r in &results {
+        table.row(&[
+            r.case.clone(),
+            fmt_secs(r.makespan),
+            format!("{:.0}%", 100.0 * r.makespan / base),
+        ]);
+    }
+    let path = write_csv("cases24", &table);
+    format!(
+        "Fig. 4 quadrants — fault injection extension (epr {epr}, {ranks} ranks,\n\
+         checkpoint period {CKPT_PERIOD}, synthetic node MTBF {node_mtbf:.0} s → ≈4 faults/run)\n\n{}\n(written to {})\n",
+        table.render(),
+        path.display()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn quick_cs() -> &'static CaseStudy {
+        static CS: OnceLock<CaseStudy> = OnceLock::new();
+        CS.get_or_init(CaseStudy::build_quick)
+    }
+
+    #[test]
+    fn four_cases_ordering() {
+        let cs = quick_cs();
+        let epr = 10;
+        let ranks = 64;
+        // Fault rate: ≈4 faults per *No-FT* run, fail-stop only (no data
+        // loss) so the quick-fidelity models' inflated checkpoint costs
+        // don't put L1 into an unwinnable regime — the recovery-semantics
+        // interplay with data loss is covered by besst-core's own tests.
+        let base = timeline(cs, epr, ranks, Scenario::NoFt, 1).failure_free_makespan();
+        let n_nodes = ranks.div_ceil(RANKS_PER_NODE) as f64;
+        let mtbf = base * n_nodes / 4.0;
+        let results = four_cases(cs, epr, ranks, mtbf, 0.0, 20, 7);
+        assert_eq!(results.len(), 6);
+        let get = |case_prefix: &str| -> f64 {
+            results
+                .iter()
+                .find(|r| r.case.starts_with(case_prefix))
+                .map(|r| r.makespan)
+                .unwrap()
+        };
+        // Case 1 is the floor.
+        let c1 = get("Case 1");
+        for r in &results {
+            assert!(r.makespan >= c1 * 0.999, "{}: {}", r.case, r.makespan);
+        }
+        // Faults must cost something relative to the fault-free quadrants.
+        let c2 = get("Case 2");
+        assert!(c2 > c1, "faults must inflate the no-FT makespan: {c2} vs {c1}");
+        let c3_l1 = get("Case 3 (no faults, L1)");
+        let c4_l1 = get("Case 4 (faults, L1)");
+        assert!(c4_l1.is_finite(), "recoverable faults must not livelock");
+        assert!(c4_l1 > c3_l1 * 0.999, "faults must inflate the L1 makespan");
+        // Which of Case 2 / Case 4 wins is a genuine DSE outcome (it
+        // depends on ckpt overhead vs fault rate); the controlled-regime
+        // "checkpointing wins" property is asserted in besst-core.
+    }
+
+    #[test]
+    fn restart_costs_cover_scheduled_levels() {
+        let cs = quick_cs();
+        let rc = restart_costs(cs, 10, 64, Scenario::L1L2);
+        assert_eq!(rc.len(), 2);
+        assert!(rc.iter().all(|(_, c)| *c > 0.0));
+        assert!(restart_costs(cs, 10, 64, Scenario::NoFt).is_empty());
+    }
+}

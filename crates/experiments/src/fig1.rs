@@ -1,0 +1,200 @@
+//! Figure 1: the BE-SST validation-and-prediction demonstration —
+//! CMT-bone on Vulcan.
+//!
+//! The paper's Fig. 1 shows benchmarked (orange) and simulated (blue)
+//! per-timestep runtimes of CMT-bone on Vulcan across MPI-rank counts up
+//! to the 128k-core allocation, with simulation-only predictions
+//! continuing to 1M cores, and a pop-out showing that each simulated
+//! point is a Monte-Carlo *distribution*. We reproduce all three
+//! elements: validation scatter over the benchmarked region, prediction
+//! beyond it, and the distribution summary at every point.
+
+use crate::calibration::{calibrate, measured_means, validation_mape, CalibrationConfig};
+use crate::report::{fmt_pct, write_csv, TextTable};
+use besst_apps::cmtbone::{self, CmtBoneConfig};
+use besst_machine::presets;
+use besst_models::quantile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Rank counts with benchmark data (Vulcan allocation: 128k cores).
+pub const VALIDATED_RANKS: [u32; 5] = [2048, 8192, 32_768, 65_536, 131_072];
+/// Prediction-only rank counts (up to 1M cores, beyond the physical
+/// 400k-core machine — "exploring more hypothetical areas of the design
+/// space").
+pub const PREDICTED_RANKS: [u32; 3] = [262_144, 524_288, 1_048_576];
+/// Elements-per-rank sweep (the problem-size axis of the scatter).
+pub const ELEMENTS: [u32; 3] = [64, 128, 256];
+/// Polynomial order used throughout (CMT-nek production order).
+pub const POLY_ORDER: u32 = 5;
+
+/// One Fig. 1 point: a Monte-Carlo distribution of the per-timestep
+/// runtime.
+#[derive(Debug, Clone)]
+pub struct Fig1Point {
+    /// MPI ranks (cores).
+    pub ranks: u32,
+    /// Elements per rank.
+    pub elements: u32,
+    /// Benchmarked mean, seconds (`None` in the prediction region).
+    pub measured: Option<f64>,
+    /// Simulated mean, seconds.
+    pub sim_mean: f64,
+    /// Simulated 5th percentile.
+    pub sim_p5: f64,
+    /// Simulated 95th percentile.
+    pub sim_p95: f64,
+}
+
+/// The full Fig. 1 dataset plus the validation MAPE.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// All scatter points.
+    pub points: Vec<Fig1Point>,
+    /// MAPE over the validated region.
+    pub validation_mape: f64,
+}
+
+fn grid_for(ranks: &[u32]) -> Vec<(u32, u32)> {
+    let mut g = Vec::new();
+    for &e in &ELEMENTS {
+        for &r in ranks {
+            g.push((e, r));
+        }
+    }
+    g
+}
+
+/// Build the Fig. 1 dataset: calibrate the CMT-bone timestep model on the
+/// synthetic Vulcan, validate over the benchmarked region, and predict
+/// (with Monte-Carlo spread) out to 1M ranks.
+pub fn fig1(cfg: &CalibrationConfig, mc_draws: usize) -> Fig1 {
+    assert!(mc_draws >= 10, "need enough draws for percentiles");
+    let machine = presets::vulcan();
+    let regions = |elements: u32, ranks: u32| {
+        cmtbone::instrumented_regions(&CmtBoneConfig::new(elements, POLY_ORDER, ranks))
+    };
+    let validated = grid_for(&VALIDATED_RANKS);
+    let cal = calibrate(&machine, regions, &validated, cfg);
+    let measured = measured_means(&machine, regions, &validated, 8, cfg.seed ^ 0xF161);
+
+    let model = cal.bundle.get(cmtbone::kernels::TIMESTEP).expect("calibrated");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1F16);
+    let mut points = Vec::new();
+    for &elements in &ELEMENTS {
+        for (&ranks, is_validated) in VALIDATED_RANKS
+            .iter()
+            .zip(std::iter::repeat(true))
+            .chain(PREDICTED_RANKS.iter().zip(std::iter::repeat(false)))
+        {
+            let params = [elements as f64, POLY_ORDER as f64, ranks as f64];
+            let draws: Vec<f64> = (0..mc_draws).map(|_| model.sample(&params, &mut rng)).collect();
+            let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+            let meas = if is_validated {
+                measured[cmtbone::kernels::TIMESTEP]
+                    .iter()
+                    .find(|(p, _)| p[0] == elements as f64 && p[2] == ranks as f64)
+                    .map(|(_, m)| *m)
+            } else {
+                None
+            };
+            points.push(Fig1Point {
+                ranks,
+                elements,
+                measured: meas,
+                sim_mean: mean,
+                sim_p5: quantile(&draws, 0.05),
+                sim_p95: quantile(&draws, 0.95),
+            });
+        }
+    }
+    let vmape = validation_mape(
+        &cal,
+        cmtbone::kernels::TIMESTEP,
+        &measured[cmtbone::kernels::TIMESTEP],
+    );
+    Fig1 { points, validation_mape: vmape }
+}
+
+/// Run and print Fig. 1.
+pub fn run_fig1(cfg: &CalibrationConfig) -> String {
+    let f = fig1(cfg, 200);
+    let mut table = TextTable::new(&[
+        "elements/rank",
+        "ranks",
+        "measured (s)",
+        "sim mean (s)",
+        "sim p5 (s)",
+        "sim p95 (s)",
+        "region",
+    ]);
+    for p in &f.points {
+        table.row(&[
+            p.elements.to_string(),
+            p.ranks.to_string(),
+            p.measured.map_or("-".into(), |m| format!("{m:.6}")),
+            format!("{:.6}", p.sim_mean),
+            format!("{:.6}", p.sim_p5),
+            format!("{:.6}", p.sim_p95),
+            if p.measured.is_some() { "validation".into() } else { "prediction".into() },
+        ]);
+    }
+    let path = write_csv("fig1", &table);
+    format!(
+        "Fig. 1 — CMT-bone on Vulcan: validation scatter to 128k ranks, prediction to 1M;\n\
+         every simulated point is a Monte-Carlo distribution (pop-out = p5..p95)\n\n{}\n\
+         validation MAPE: {}\n(written to {})\n",
+        table.render(),
+        fmt_pct(f.validation_mape),
+        path.display()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use besst_models::SymRegConfig;
+
+    fn quick_cfg() -> CalibrationConfig {
+        CalibrationConfig {
+            samples_per_point: 5,
+            symreg: SymRegConfig { population: 96, generations: 12, ..Default::default() },
+            symreg_restarts: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig1_has_both_regions_and_distributions() {
+        let f = fig1(&quick_cfg(), 50);
+        assert_eq!(f.points.len(), ELEMENTS.len() * (VALIDATED_RANKS.len() + PREDICTED_RANKS.len()));
+        let validated = f.points.iter().filter(|p| p.measured.is_some()).count();
+        assert_eq!(validated, ELEMENTS.len() * VALIDATED_RANKS.len());
+        for p in &f.points {
+            assert!(p.sim_p5 <= p.sim_mean && p.sim_mean <= p.sim_p95 + 1e-12);
+            assert!(p.sim_mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn prediction_region_grows_with_ranks() {
+        // Per-timestep time grows (slowly) with ranks at fixed elements —
+        // the straggler/collective trend the model should carry outward.
+        let f = fig1(&quick_cfg(), 50);
+        let at = |ranks: u32| -> f64 {
+            f.points
+                .iter()
+                .find(|p| p.ranks == ranks && p.elements == 128)
+                .map(|p| p.sim_mean)
+                .unwrap()
+        };
+        assert!(at(1_048_576) > at(2048) * 0.9, "model should not collapse at scale");
+    }
+
+    #[test]
+    fn validation_mape_is_sane() {
+        let f = fig1(&quick_cfg(), 50);
+        assert!(f.validation_mape > 0.0);
+        assert!(f.validation_mape < 60.0, "MAPE {}", f.validation_mape);
+    }
+}

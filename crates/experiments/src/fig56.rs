@@ -1,0 +1,225 @@
+//! Figures 5 & 6 and Table III: instance-model validation and prediction.
+//!
+//! Fig. 5 plots measured and modeled runtimes of the three instrumented
+//! functions against problem size (epr), with a predicted region beyond
+//! the benchmarked sizes (epr = 30, a notional bigger-memory node).
+//! Fig. 6 plots the same against rank count, predicting 1331 ranks —
+//! above the 1000-rank allocation. Table III reports the per-kernel MAPE
+//! over the whole 25-point validation grid: paper values 6.64 %
+//! (timestep), 16.68 % (L1), 14.50 % (L2).
+
+use crate::calibration::validation_mape;
+use crate::paper::{paper_kernels, CaseStudy, EPR_GRID, EPR_PREDICTED, RANKS_PREDICTED, RANK_GRID};
+use crate::report::{fmt_pct, fmt_secs, write_csv, TextTable};
+
+/// One point of a validation/prediction series.
+#[derive(Debug, Clone)]
+pub struct SeriesPoint {
+    /// Problem size.
+    pub epr: u32,
+    /// Rank count.
+    pub ranks: u32,
+    /// Fresh measured mean, seconds (`None` in the predicted region).
+    pub measured: Option<f64>,
+    /// Model prediction, seconds.
+    pub modeled: f64,
+}
+
+/// The Fig. 5 / Fig. 6 data: per kernel, a series of points.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// Paper label of the kernel.
+    pub label: String,
+    /// The series.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Fig. 5: sweep problem size at fixed ranks (the paper plots the grid
+/// grouped by epr; we fix ranks at 512 for the printed series and export
+/// the full grid to CSV).
+pub fn fig5(cs: &CaseStudy, fixed_ranks: u32) -> Vec<FigureSeries> {
+    paper_kernels()
+        .into_iter()
+        .map(|(kernel, label)| {
+            let model = cs.cal.bundle.get(kernel).expect("calibrated kernel");
+            let mut points: Vec<SeriesPoint> = EPR_GRID
+                .iter()
+                .map(|&epr| SeriesPoint {
+                    epr,
+                    ranks: fixed_ranks,
+                    measured: Some(cs.measured_at(kernel, epr, fixed_ranks)),
+                    modeled: model.predict(&[epr as f64, fixed_ranks as f64]),
+                })
+                .collect();
+            points.push(SeriesPoint {
+                epr: EPR_PREDICTED,
+                ranks: fixed_ranks,
+                measured: None,
+                modeled: model.predict(&[EPR_PREDICTED as f64, fixed_ranks as f64]),
+            });
+            FigureSeries { label: label.to_string(), points }
+        })
+        .collect()
+}
+
+/// Fig. 6: sweep ranks at fixed problem size (epr = 20 printed).
+pub fn fig6(cs: &CaseStudy, fixed_epr: u32) -> Vec<FigureSeries> {
+    paper_kernels()
+        .into_iter()
+        .map(|(kernel, label)| {
+            let model = cs.cal.bundle.get(kernel).expect("calibrated kernel");
+            let mut points: Vec<SeriesPoint> = RANK_GRID
+                .iter()
+                .map(|&ranks| SeriesPoint {
+                    epr: fixed_epr,
+                    ranks,
+                    measured: Some(cs.measured_at(kernel, fixed_epr, ranks)),
+                    modeled: model.predict(&[fixed_epr as f64, ranks as f64]),
+                })
+                .collect();
+            points.push(SeriesPoint {
+                epr: fixed_epr,
+                ranks: RANKS_PREDICTED,
+                measured: None,
+                modeled: model.predict(&[fixed_epr as f64, RANKS_PREDICTED as f64]),
+            });
+            FigureSeries { label: label.to_string(), points }
+        })
+        .collect()
+}
+
+/// Table III: per-kernel validation MAPE over the full 25-point grid.
+pub fn table3(cs: &CaseStudy) -> Vec<(String, f64)> {
+    paper_kernels()
+        .into_iter()
+        .map(|(kernel, label)| {
+            let measured = &cs.measured[kernel];
+            (label.to_string(), validation_mape(&cs.cal, kernel, measured))
+        })
+        .collect()
+}
+
+fn render_series(name: &str, sweep_label: &str, series: &[FigureSeries]) -> String {
+    let mut table = TextTable::new(&[
+        "kernel",
+        sweep_label,
+        "epr",
+        "ranks",
+        "measured (s)",
+        "modeled (s)",
+        "region",
+    ]);
+    for s in series {
+        for p in &s.points {
+            let sweep_val =
+                if sweep_label == "epr" { p.epr.to_string() } else { p.ranks.to_string() };
+            table.row(&[
+                s.label.clone(),
+                sweep_val,
+                p.epr.to_string(),
+                p.ranks.to_string(),
+                p.measured.map_or("-".into(), fmt_secs),
+                fmt_secs(p.modeled),
+                if p.measured.is_some() { "validation".into() } else { "prediction".into() },
+            ]);
+        }
+    }
+    let path = write_csv(name, &table);
+    format!("{}\n(written to {})\n", table.render(), path.display())
+}
+
+/// Run and print Fig. 5.
+pub fn run_fig5(cs: &CaseStudy) -> String {
+    let series = fig5(cs, 512);
+    let mut out = String::from(
+        "Fig. 5 — model validation vs problem size (epr), ranks fixed at 512;\n\
+         epr=30 is the predicted region (notional bigger-memory node)\n\n",
+    );
+    out.push_str(&render_series("fig5", "epr", &series));
+    out
+}
+
+/// Run and print Fig. 6.
+pub fn run_fig6(cs: &CaseStudy) -> String {
+    let series = fig6(cs, 20);
+    let mut out = String::from(
+        "Fig. 6 — model validation vs ranks, epr fixed at 20;\n\
+         1331 ranks is the predicted region (above the 1000-rank allocation)\n\n",
+    );
+    out.push_str(&render_series("fig6", "ranks", &series));
+    out
+}
+
+/// Run and print Table III with the paper's reference values.
+pub fn run_table3(cs: &CaseStudy) -> String {
+    let rows = table3(cs);
+    let paper = [6.64, 16.68, 14.50];
+    let mut table = TextTable::new(&["Kernel", "MAPE (ours)", "MAPE (paper)"]);
+    for ((label, mape), paper_val) in rows.iter().zip(paper) {
+        table.row(&[label.clone(), fmt_pct(*mape), fmt_pct(paper_val)]);
+    }
+    let path = write_csv("table3", &table);
+    format!(
+        "Table III — instance-model validation (MAPE over the 25-point grid)\n\n{}\n(written to {})\n",
+        table.render(),
+        path.display()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::Scenario;
+    use besst_apps::lulesh;
+    use std::sync::OnceLock;
+
+    fn quick_cs() -> &'static CaseStudy {
+        static CS: OnceLock<CaseStudy> = OnceLock::new();
+        CS.get_or_init(CaseStudy::build_quick)
+    }
+
+    #[test]
+    fn fig5_has_validation_and_prediction_regions() {
+        let series = fig5(quick_cs(), 512);
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            assert_eq!(s.points.len(), 6);
+            assert_eq!(s.points.iter().filter(|p| p.measured.is_none()).count(), 1);
+            // Prediction is at the largest epr.
+            assert_eq!(s.points.last().unwrap().epr, EPR_PREDICTED);
+            // Runtimes are positive and broadly increasing with epr.
+            assert!(s.points.iter().all(|p| p.modeled > 0.0));
+        }
+    }
+
+    #[test]
+    fn fig6_prediction_exceeds_allocation() {
+        let series = fig6(quick_cs(), 20);
+        for s in &series {
+            assert_eq!(s.points.last().unwrap().ranks, RANKS_PREDICTED);
+        }
+    }
+
+    #[test]
+    fn relative_cost_ordering_matches_paper() {
+        // "the relative costs of the functions stay mostly ordered": the
+        // timestep is cheapest; checkpointing levels cost more.
+        let cs = quick_cs();
+        let ts = cs.measured_at(lulesh::kernels::TIMESTEP, 20, 512);
+        let l1 = cs.measured_at(lulesh::kernels::CKPT_L1, 20, 512);
+        let l2 = cs.measured_at(lulesh::kernels::CKPT_L2, 20, 512);
+        assert!(ts < l1, "timestep {ts} < L1 {l1}");
+        assert!(l1 < l2, "L1 {l1} < L2 {l2}");
+        let _ = Scenario::ALL;
+    }
+
+    #[test]
+    fn table3_mapes_are_reasonable() {
+        let rows = table3(quick_cs());
+        assert_eq!(rows.len(), 3);
+        for (label, m) in &rows {
+            assert!(*m > 0.0, "{label} MAPE must be positive");
+            assert!(*m < 60.0, "{label} MAPE {m} out of plausible band (quick build)");
+        }
+    }
+}

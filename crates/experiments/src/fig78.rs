@@ -1,0 +1,275 @@
+//! Figures 7 & 8 and Table IV: full-system simulation vs measurement.
+//!
+//! 200 timesteps of LULESH under three fault-tolerance scenarios
+//! (No FT / L1 / L1 & L2, checkpoint period 40), at 64 ranks (Fig. 7) and
+//! 1000 ranks (Fig. 8). The "measured" series replays the instrumented
+//! regions step-by-step on the fine-grained testbed (one noisy run, as a
+//! real benchmark is); the "predicted" series is the BE-SST Monte-Carlo
+//! simulation using the calibrated models. Table IV reports the MAPE of
+//! the cumulative-runtime series pooled over both rank counts: paper
+//! values 20.13 % (No FT), 17.64 % (L1), 14.54 % (L1 & L2).
+
+use crate::paper::{CaseStudy, Scenario, CKPT_PERIOD, FULL_RUN_STEPS, RANKS_PER_NODE};
+use crate::report::{fmt_pct, fmt_secs, write_csv, TextTable};
+use besst_apps::lulesh::{self, LuleshConfig};
+use besst_apps::InstrumentedRegion;
+use besst_core::sim::{simulate, SimConfig};
+use besst_fti::CkptLevel;
+use besst_machine::Testbed;
+use besst_models::mape;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One full-system run: cumulative runtime at the end of each timestep.
+#[derive(Debug, Clone)]
+pub struct RunSeries {
+    /// Scenario.
+    pub scenario: Scenario,
+    /// Ranks.
+    pub ranks: u32,
+    /// Cumulative seconds at steps 1..=200, measured on the testbed.
+    pub measured: Vec<f64>,
+    /// Cumulative seconds at steps 1..=200, BE-SST prediction.
+    pub predicted: Vec<f64>,
+    /// Checkpoint markers: (after step, level, predicted cumulative s).
+    pub ckpt_markers: Vec<(usize, CkptLevel, f64)>,
+}
+
+impl RunSeries {
+    /// MAPE of the predicted cumulative series against the measured one.
+    pub fn series_mape(&self) -> f64 {
+        mape(&self.predicted, &self.measured)
+    }
+}
+
+/// Replay one full run on the fine-grained testbed: per-step timestep
+/// region plus the scheduled checkpoint regions, all with sampled noise —
+/// the ground-truth "benchmarked" curve.
+pub fn measured_series(
+    cs: &CaseStudy,
+    epr: u32,
+    ranks: u32,
+    scenario: Scenario,
+    seed: u64,
+) -> Vec<f64> {
+    let cfg = LuleshConfig::new(epr, ranks);
+    let fti = scenario.fti();
+    let testbed = Testbed::new(&cs.machine);
+    let regions = lulesh::instrumented_regions(&cfg, &fti, &cs.machine, RANKS_PER_NODE);
+    let find = |kernel: &str| -> &InstrumentedRegion {
+        regions
+            .iter()
+            .find(|r| r.kernel == kernel)
+            .unwrap_or_else(|| panic!("region {kernel} missing"))
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    // One benchmark run = one job: allocation-level drift applies to all
+    // of its compute-domain measurements.
+    let job = testbed.start_job(&mut rng);
+    let mut cum = 0.0;
+    let mut series = Vec::with_capacity(FULL_RUN_STEPS as usize);
+    for step in 1..=FULL_RUN_STEPS {
+        let ts = find(lulesh::kernels::TIMESTEP);
+        cum += testbed.measure_region_in_job(&job, &ts.blocks, ts.sync_ranks, &mut rng);
+        for level in fti.levels_due(step) {
+            let ck = find(lulesh::kernels::ckpt(level));
+            cum += testbed.measure_region_in_job(&job, &ck.blocks, ck.sync_ranks, &mut rng);
+        }
+        series.push(cum);
+    }
+    series
+}
+
+/// Run one scenario at one rank count: measured replay + BE-SST
+/// Monte-Carlo prediction.
+pub fn run_series(cs: &CaseStudy, epr: u32, ranks: u32, scenario: Scenario, seed: u64) -> RunSeries {
+    let measured = measured_series(cs, epr, ranks, scenario, seed ^ 0x0B5E);
+    let app = cs.appbeo(epr, ranks, scenario);
+    let arch = cs.archbeo();
+    let res = simulate(
+        &app,
+        &arch,
+        &SimConfig { seed, monte_carlo: true, ..Default::default() },
+    );
+    assert_eq!(res.step_completions.len(), FULL_RUN_STEPS as usize);
+    RunSeries {
+        scenario,
+        ranks,
+        measured,
+        predicted: res.step_completions,
+        ckpt_markers: res.ckpt_completions,
+    }
+}
+
+/// The Fig. 7 (64 ranks) or Fig. 8 (1000 ranks) bundle: all three
+/// scenarios at the given rank count, epr fixed at 20.
+pub fn figure(cs: &CaseStudy, ranks: u32, seed: u64) -> Vec<RunSeries> {
+    Scenario::ALL
+        .iter()
+        .map(|&sc| run_series(cs, 20, ranks, sc, seed ^ ((sc as u64 + 1) * 0x9E37)))
+        .collect()
+}
+
+/// Table IV: per-scenario MAPE pooled over the 64- and 1000-rank series.
+pub fn table4(fig7: &[RunSeries], fig8: &[RunSeries]) -> Vec<(String, f64)> {
+    Scenario::ALL
+        .iter()
+        .map(|&sc| {
+            let mut pred = Vec::new();
+            let mut meas = Vec::new();
+            for series in fig7.iter().chain(fig8) {
+                if series.scenario == sc {
+                    pred.extend_from_slice(&series.predicted);
+                    meas.extend_from_slice(&series.measured);
+                }
+            }
+            (format!("LULESH + {}", sc.label()), mape(&pred, &meas))
+        })
+        .collect()
+}
+
+fn render_figure(name: &str, ranks: u32, runs: &[RunSeries]) -> String {
+    let mut table = TextTable::new(&[
+        "scenario",
+        "step",
+        "measured cum (s)",
+        "predicted cum (s)",
+    ]);
+    // CSV gets every step; the printed table samples every 20th.
+    for r in runs {
+        for (i, (&m, &p)) in r.measured.iter().zip(&r.predicted).enumerate() {
+            table.row(&[
+                r.scenario.label().into(),
+                (i + 1).to_string(),
+                format!("{m:.6}"),
+                format!("{p:.6}"),
+            ]);
+        }
+    }
+    let path = write_csv(name, &table);
+
+    let mut shown = TextTable::new(&[
+        "scenario",
+        "step",
+        "measured (s)",
+        "predicted (s)",
+        "err",
+    ]);
+    for r in runs {
+        for step in (20..=FULL_RUN_STEPS as usize).step_by(20) {
+            let m = r.measured[step - 1];
+            let p = r.predicted[step - 1];
+            shown.row(&[
+                r.scenario.label().into(),
+                step.to_string(),
+                fmt_secs(m),
+                fmt_secs(p),
+                fmt_pct(100.0 * (p - m) / m),
+            ]);
+        }
+    }
+    let mut out = format!(
+        "Full application runtime prediction, {ranks} ranks, epr 20, 200 timesteps,\n\
+         checkpoint period {CKPT_PERIOD} (markers at ",
+    );
+    let markers: Vec<String> = runs
+        .iter()
+        .find(|r| r.scenario == Scenario::L1)
+        .map(|r| r.ckpt_markers.iter().map(|(s, l, _)| format!("{l}@{s}")).collect())
+        .unwrap_or_default();
+    out.push_str(&markers.join(", "));
+    out.push_str(")\n\n");
+    out.push_str(&shown.render());
+    for r in runs {
+        out.push_str(&format!(
+            "\n{}: series MAPE {}",
+            r.scenario.label(),
+            fmt_pct(r.series_mape())
+        ));
+    }
+    out.push_str(&format!("\n(full series written to {})\n", path.display()));
+    out
+}
+
+/// Run and print Fig. 7 (64 ranks).
+pub fn run_fig7(cs: &CaseStudy) -> String {
+    let runs = figure(cs, 64, 0x716);
+    format!("Fig. 7 — {}", render_figure("fig7", 64, &runs))
+}
+
+/// Run and print Fig. 8 (1000 ranks).
+pub fn run_fig8(cs: &CaseStudy) -> String {
+    let runs = figure(cs, 1000, 0x817);
+    format!("Fig. 8 — {}", render_figure("fig8", 1000, &runs))
+}
+
+/// Run and print Table IV with the paper's reference values.
+pub fn run_table4(cs: &CaseStudy) -> String {
+    let fig7 = figure(cs, 64, 0x716);
+    let fig8 = figure(cs, 1000, 0x817);
+    let rows = table4(&fig7, &fig8);
+    let paper = [20.13, 17.64, 14.54];
+    let mut table = TextTable::new(&["Fault-Tolerance Level", "MAPE (ours)", "MAPE (paper)"]);
+    for ((label, m), paper_val) in rows.iter().zip(paper) {
+        table.row(&[label.clone(), fmt_pct(*m), fmt_pct(paper_val)]);
+    }
+    let path = write_csv("table4", &table);
+    format!(
+        "Table IV — full-system simulation validation (cumulative-series MAPE,\n\
+         pooled over 64 and 1000 ranks, epr 20)\n\n{}\n(written to {})\n",
+        table.render(),
+        path.display()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn quick_cs() -> &'static CaseStudy {
+        static CS: OnceLock<CaseStudy> = OnceLock::new();
+        CS.get_or_init(CaseStudy::build_quick)
+    }
+
+    #[test]
+    fn measured_series_is_monotone_and_scenario_ordered() {
+        let cs = quick_cs();
+        let noft = measured_series(cs, 10, 64, Scenario::NoFt, 1);
+        let l1 = measured_series(cs, 10, 64, Scenario::L1, 1);
+        let l12 = measured_series(cs, 10, 64, Scenario::L1L2, 1);
+        assert_eq!(noft.len(), FULL_RUN_STEPS as usize);
+        assert!(noft.windows(2).all(|w| w[1] >= w[0]), "cumulative series must grow");
+        // FT overhead ordering at the end of the run.
+        let last = FULL_RUN_STEPS as usize - 1;
+        assert!(l1[last] > noft[last], "L1 adds overhead");
+        assert!(l12[last] > l1[last], "L1&L2 adds more");
+    }
+
+    #[test]
+    fn run_series_prediction_tracks_measurement() {
+        let cs = quick_cs();
+        let run = run_series(cs, 10, 64, Scenario::L1, 3);
+        assert_eq!(run.predicted.len(), run.measured.len());
+        let m = run.series_mape();
+        assert!(m < 60.0, "quick-build full-system MAPE {m} out of band");
+        // Checkpoint markers at multiples of the period.
+        assert_eq!(run.ckpt_markers.len(), (FULL_RUN_STEPS / CKPT_PERIOD) as usize);
+        for (after, level, _) in &run.ckpt_markers {
+            assert_eq!(*after as u32 % CKPT_PERIOD, 0);
+            assert_eq!(*level, CkptLevel::L1);
+        }
+    }
+
+    #[test]
+    fn table4_covers_all_scenarios() {
+        let cs = quick_cs();
+        // Smaller rank count keeps the quick test fast; pooling logic is
+        // rank-agnostic.
+        let a = vec![run_series(cs, 10, 64, Scenario::NoFt, 5), run_series(cs, 10, 64, Scenario::L1, 6), run_series(cs, 10, 64, Scenario::L1L2, 7)];
+        let b = vec![run_series(cs, 10, 216, Scenario::NoFt, 8), run_series(cs, 10, 216, Scenario::L1, 9), run_series(cs, 10, 216, Scenario::L1L2, 10)];
+        let rows = table4(&a, &b);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|(_, m)| *m > 0.0 && *m < 80.0), "{rows:?}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Figure 9: the overhead-prediction matrix for design-space exploration.
+//!
+//! "Fig. 9 demonstrates this by displaying the amount of overhead for
+//! different points in the design space based on the problem size, number
+//! of ranks, and fault-tolerance level" — two sub-tables (64 and 1000
+//! ranks) over epr ∈ {10, 15, 20, 25} × {No FT, L1, L1 & L2}, as
+//! percentages of the 64-rank epr-10 No-FT baseline runtime.
+
+use crate::paper::{CaseStudy, Scenario};
+use crate::report::{write_csv, TextTable};
+use besst_core::dse::{sweep, Sweep};
+use besst_core::sim::SimConfig;
+
+/// The epr values of the Fig. 9 matrix.
+pub const FIG9_EPR: [u32; 4] = [10, 15, 20, 25];
+/// The rank counts of the Fig. 9 matrix.
+pub const FIG9_RANKS: [u32; 2] = [64, 1000];
+
+/// Run the sweep behind Fig. 9.
+pub fn fig9_sweep(cs: &CaseStudy, seed: u64) -> Sweep {
+    let scenario_names: Vec<&str> = Scenario::ALL.iter().map(|s| s.label()).collect();
+    let arch = cs.archbeo();
+    sweep(
+        &FIG9_EPR,
+        &FIG9_RANKS,
+        &scenario_names,
+        &SimConfig { seed, monte_carlo: true, ..Default::default() },
+        |epr, ranks, scenario_label| {
+            let scenario = Scenario::ALL
+                .iter()
+                .copied()
+                .find(|s| s.label() == scenario_label)
+                .expect("known scenario");
+            (cs.appbeo(epr, ranks, scenario), arch.clone())
+        },
+    )
+}
+
+/// Render the two Fig. 9 sub-tables.
+///
+/// Normalization follows the paper's table: every cell is a percentage of
+/// the 64-rank No-FT runtime *at the same problem size* (which is why the
+/// paper's 64-rank No-FT row hovers around 100%, its 1000-rank No-FT row
+/// shows the weak-scaling loss, and the FT rows show checkpoint
+/// overhead).
+pub fn run_fig9(cs: &CaseStudy) -> String {
+    let sw = fig9_sweep(cs, 0x0F19);
+    let raw = |epr: u32, ranks: u32, sc: Scenario| -> f64 {
+        sw.get(epr, ranks, sc.label()).expect("cell present").total_seconds
+    };
+    // Independent baseline runs per epr column (a separate MC draw, as
+    // the paper's baseline is a separate benchmarked run).
+    let base_sw = fig9_sweep(cs, 0x0F20);
+    let pct = |epr: u32, ranks: u32, sc: Scenario| -> f64 {
+        let base = base_sw
+            .get(epr, 64, Scenario::NoFt.label())
+            .expect("baseline present")
+            .total_seconds;
+        100.0 * raw(epr, ranks, sc) / base
+    };
+
+    let mut out = String::from(
+        "Fig. 9 — overhead prediction for full-system simulation\n\
+         (100% = 64-rank No-FT runtime at the same problem size)\n\n",
+    );
+    for &ranks in &FIG9_RANKS {
+        let mut table = TextTable::new(&["scenario \\ epr", "10", "15", "20", "25"]);
+        for &sc in &Scenario::ALL {
+            let mut row = vec![sc.label().to_string()];
+            for &epr in &FIG9_EPR {
+                row.push(format!("{:.0}%", pct(epr, ranks, sc)));
+            }
+            table.row(&row);
+        }
+        out.push_str(&format!("{ranks} Ranks:\n{}\n", table.render()));
+        let path = write_csv(&format!("fig9_{ranks}ranks"), &table);
+        out.push_str(&format!("(written to {})\n\n", path.display()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn quick_cs() -> &'static CaseStudy {
+        static CS: OnceLock<CaseStudy> = OnceLock::new();
+        CS.get_or_init(CaseStudy::build_quick)
+    }
+
+    fn quick_sweep() -> &'static Sweep {
+        static SW: OnceLock<Sweep> = OnceLock::new();
+        SW.get_or_init(|| fig9_sweep(quick_cs(), 1))
+    }
+
+    #[test]
+    fn sweep_covers_fig9_grid() {
+        let sw = quick_sweep();
+        assert_eq!(sw.cells.len(), 4 * 2 * 3);
+    }
+
+    #[test]
+    fn overhead_shape_matches_paper() {
+        // The paper's Fig. 9 shape: overhead grows with epr, with ranks,
+        // and with FT level; the 1000-rank L1&L2 corner is the most
+        // expensive cell.
+        let sw = quick_sweep();
+        let m = sw.overhead_matrix(10, 64, "No FT");
+        let get = |epr: u32, ranks: u32, sc: &str| -> f64 {
+            m.iter()
+                .find(|(c, _)| c.problem_size == epr && c.ranks == ranks && c.scenario == sc)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        // Baseline is 100%.
+        assert!((get(10, 64, "No FT") - 100.0).abs() < 1e-9);
+        // FT level ordering at every grid point.
+        for &ranks in &FIG9_RANKS {
+            for &epr in &FIG9_EPR {
+                let noft = get(epr, ranks, "No FT");
+                let l1 = get(epr, ranks, "L1");
+                let l12 = get(epr, ranks, "L1 & L2");
+                assert!(l1 > noft, "L1 > NoFT at ({epr},{ranks})");
+                assert!(l12 > l1, "L1&L2 > L1 at ({epr},{ranks})");
+            }
+        }
+        // Problem-size growth within the No-FT row.
+        assert!(get(25, 64, "No FT") > get(10, 64, "No FT"));
+        // The expensive corner.
+        let corner = get(25, 1000, "L1 & L2");
+        for (c, v) in &m {
+            assert!(
+                *v <= corner + 1e-9,
+                "corner must dominate: {} at ({}, {}, {})",
+                v,
+                c.problem_size,
+                c.ranks,
+                c.scenario
+            );
+        }
+    }
+}

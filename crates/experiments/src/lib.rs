@@ -1,0 +1,71 @@
+//! # besst-experiments — the reproduction harness
+//!
+//! One module per table/figure of the paper, all driven by the `repro`
+//! binary:
+//!
+//! | Command | Paper artifact |
+//! |---|---|
+//! | `repro fig1` | Fig. 1 — CMT-bone/Vulcan validation & 1M-rank prediction |
+//! | `repro table2` | Table II — case-study parameter grid & constraints |
+//! | `repro fig5` / `repro fig6` | Figs. 5–6 — instance-model validation & prediction |
+//! | `repro table3` | Table III — instance-model MAPE |
+//! | `repro fig7` / `repro fig8` | Figs. 7–8 — full-system runs, 3 scenarios |
+//! | `repro table4` | Table IV — full-system MAPE |
+//! | `repro fig9` | Fig. 9 — overhead-prediction matrices |
+//! | `repro cases24` | Fig. 4 Cases 2 & 4 — fault-injection extension |
+//! | `repro ablation-models` / `-mc` / `-period` | design-choice ablations |
+//! | `repro ablation-abft` | ABFT vs C/R for the matrix solver (§III-B) |
+//! | `repro ablation-granularity` | function- vs phase-level models (§III) |
+//! | `repro arch-dse` | FT level × hardware variants (Fig. 2 "C") |
+//! | `repro all` | everything above |
+//!
+//! Each command prints the paper-shaped rows and writes CSVs under
+//! `results/`. Everything is seeded: same binary, same output.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod abft_dse;
+pub mod arch_dse;
+pub mod calibration;
+pub mod cases24;
+pub mod fig1;
+pub mod fig56;
+pub mod fig78;
+pub mod fig9;
+pub mod paper;
+pub mod report;
+
+use crate::report::TextTable;
+
+/// Table II: print the case-study parameter grid with constraint checks.
+pub fn run_table2() -> String {
+    let mut table = TextTable::new(&["Parameter", "Values"]);
+    table.row(&[
+        "Problem Size (epr)".into(),
+        paper::EPR_GRID.map(|v| v.to_string()).join(", "),
+    ]);
+    table.row(&["Ranks".into(), paper::RANK_GRID.map(|v| v.to_string()).join(", ")]);
+    table.row(&["Group Size".into(), "4".into()]);
+    table.row(&["Node Size".into(), "2".into()]);
+    let mut out = format!("Table II — case-study parameters\n\n{}\n", table.render());
+    out.push_str(
+        "constraints: ranks are perfect cubes (LULESH) divisible by group_size*node_size = 8 (FTI)\n",
+    );
+    let computed = besst_apps::LuleshConfig::paper_rank_grid(1000);
+    out.push_str(&format!("derived rank grid up to 1000: {computed:?}\n"));
+    assert_eq!(computed, paper::RANK_GRID.to_vec());
+    let path = report::write_csv("table2", &table);
+    out.push_str(&format!("(written to {})\n", path.display()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table2_renders() {
+        let out = super::run_table2();
+        assert!(out.contains("Problem Size"));
+        assert!(out.contains("[8, 64, 216, 512, 1000]"));
+    }
+}

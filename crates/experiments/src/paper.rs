@@ -1,0 +1,218 @@
+//! The paper's case-study setup, shared by every table/figure harness.
+//!
+//! Target machine: Quartz (synthetic preset). Application: LULESH with
+//! FTI. Parameters (paper Table II): problem size `epr ∈ {5,10,15,20,25}`,
+//! ranks `∈ {8,64,216,512,1000}` (every perfect cube divisible by
+//! `group_size × node_size = 8` up to the 1000-rank allocation), group
+//! size 4, node size 2. Checkpoint period: 40 timesteps for both L1 and
+//! L2 (Figs. 7–8); full runs are 200 timesteps.
+
+use crate::calibration::{calibrate, measured_means, Calibration, CalibrationConfig, ModelMethod};
+use besst_apps::lulesh::{self, LuleshConfig};
+use besst_apps::InstrumentedRegion;
+use besst_core::beo::{AppBeo, ArchBeo};
+use besst_fti::{CkptLevel, FtiConfig};
+use besst_machine::{presets, Machine};
+use besst_models::SymRegConfig;
+use std::collections::BTreeMap;
+
+/// Problem sizes of Table II.
+pub const EPR_GRID: [u32; 5] = [5, 10, 15, 20, 25];
+/// Rank counts of Table II.
+pub const RANK_GRID: [u32; 5] = [8, 64, 216, 512, 1000];
+/// The predicted-region problem size of Fig. 5 (beyond the benchmarked
+/// range — a notional system with more memory per node).
+pub const EPR_PREDICTED: u32 = 30;
+/// The predicted-region rank count of Fig. 6 (above the 1000-rank
+/// allocation limit; 11³ = 1331).
+pub const RANKS_PREDICTED: u32 = 1331;
+/// Checkpoint period of the full-system runs, timesteps.
+pub const CKPT_PERIOD: u32 = 40;
+/// Timesteps in the full-system runs.
+pub const FULL_RUN_STEPS: u32 = 200;
+/// Ranks per node in the case study (one rank per core on Quartz).
+pub const RANKS_PER_NODE: u32 = 36;
+
+/// The three fault-tolerance scenarios of Figs. 7–9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Scenario 1: no fault-tolerance (the traditional BE-SST baseline).
+    NoFt,
+    /// Scenario 2: Level-1 checkpointing every [`CKPT_PERIOD`] steps.
+    L1,
+    /// Scenario 3: Levels 1 & 2, both every [`CKPT_PERIOD`] steps.
+    L1L2,
+}
+
+impl Scenario {
+    /// All three, in paper order.
+    pub const ALL: [Scenario; 3] = [Scenario::NoFt, Scenario::L1, Scenario::L1L2];
+
+    /// Paper label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::NoFt => "No FT",
+            Scenario::L1 => "L1",
+            Scenario::L1L2 => "L1 & L2",
+        }
+    }
+
+    /// The FTI configuration of the scenario.
+    pub fn fti(&self) -> FtiConfig {
+        match self {
+            Scenario::NoFt => FtiConfig::none(),
+            Scenario::L1 => FtiConfig::l1_only(CKPT_PERIOD),
+            Scenario::L1L2 => FtiConfig::l1_l2(CKPT_PERIOD),
+        }
+    }
+}
+
+/// The fully calibrated case study: machine, models, and fresh measured
+/// means for validation.
+pub struct CaseStudy {
+    /// The synthetic Quartz.
+    pub machine: Machine,
+    /// Calibrated models for the timestep and both checkpoint levels.
+    pub cal: Calibration,
+    /// Fresh measured means per kernel over the 25-point grid.
+    pub measured: BTreeMap<String, Vec<(Vec<f64>, f64)>>,
+}
+
+/// The 25-point (epr, ranks) grid.
+pub fn grid() -> Vec<(u32, u32)> {
+    let mut g = Vec::new();
+    for &epr in &EPR_GRID {
+        for &ranks in &RANK_GRID {
+            g.push((epr, ranks));
+        }
+    }
+    g
+}
+
+/// Instrumented regions of the FT-aware LULESH at one grid point (always
+/// calibrates all three kernels via the L1&L2 configuration).
+pub fn regions(machine: &Machine) -> impl Fn(u32, u32) -> Vec<InstrumentedRegion> + '_ {
+    move |epr, ranks| {
+        lulesh::instrumented_regions(
+            &LuleshConfig::new(epr, ranks),
+            &Scenario::L1L2.fti(),
+            machine,
+            RANKS_PER_NODE,
+        )
+    }
+}
+
+/// Campaign configuration used by the headline experiments.
+pub fn default_calibration() -> CalibrationConfig {
+    CalibrationConfig {
+        samples_per_point: 15,
+        seed: 0xCA5E_57D1,
+        method: ModelMethod::SymReg,
+        symreg: SymRegConfig { population: 384, generations: 70, ..Default::default() },
+        symreg_restarts: 6,
+        test_frac: 0.2,
+    }
+}
+
+impl CaseStudy {
+    /// Run the full campaign (benchmark → fit → fresh measurement).
+    pub fn build(cfg: &CalibrationConfig) -> Self {
+        let machine = presets::quartz();
+        let cal = calibrate(&machine, regions(&machine), &grid(), cfg);
+        // Validation compares against a *small* number of fresh runs per
+        // point (the paper validates against individual benchmarked runs,
+        // not long-averaged means) — storage/comm-bound kernels are
+        // noisier and correspondingly harder to validate, the paper's
+        // explanation for the higher checkpoint MAPE.
+        let measured = measured_means(&machine, regions(&machine), &grid(), 3, cfg.seed ^ 0xFEED);
+        CaseStudy { machine, cal, measured }
+    }
+
+    /// Build with the default configuration.
+    pub fn build_default() -> Self {
+        Self::build(&default_calibration())
+    }
+
+    /// A faster, lower-fidelity build for tests.
+    pub fn build_quick() -> Self {
+        let cfg = CalibrationConfig {
+            samples_per_point: 6,
+            symreg: SymRegConfig { population: 96, generations: 15, ..Default::default() },
+            symreg_restarts: 2,
+            ..default_calibration()
+        };
+        Self::build(&cfg)
+    }
+
+    /// The ArchBEO binding the calibrated models to the machine.
+    pub fn archbeo(&self) -> ArchBeo {
+        ArchBeo::new(self.machine.clone(), RANKS_PER_NODE, self.cal.bundle.clone())
+    }
+
+    /// The AppBEO of a full-system run under a scenario.
+    pub fn appbeo(&self, epr: u32, ranks: u32, scenario: Scenario) -> AppBeo {
+        lulesh::appbeo(&LuleshConfig::new(epr, ranks), &scenario.fti(), FULL_RUN_STEPS)
+    }
+
+    /// Measured mean at one grid point for a kernel (panics off-grid).
+    pub fn measured_at(&self, kernel: &str, epr: u32, ranks: u32) -> f64 {
+        self.measured
+            .get(kernel)
+            .and_then(|v| {
+                v.iter()
+                    .find(|(p, _)| p[0] == epr as f64 && p[1] == ranks as f64)
+                    .map(|(_, m)| *m)
+            })
+            .unwrap_or_else(|| panic!("no measurement for {kernel} at ({epr}, {ranks})"))
+    }
+}
+
+/// Kernel names in paper order with the paper's labels.
+pub fn paper_kernels() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (lulesh::kernels::TIMESTEP, "LULESH Timestep"),
+        (lulesh::kernels::CKPT_L1, "Level 1 Checkpointing"),
+        (lulesh::kernels::CKPT_L2, "Level 2 Checkpointing"),
+    ]
+}
+
+/// The checkpoint kernel used by a level (re-export for harnesses).
+pub fn ckpt_kernel(level: CkptLevel) -> &'static str {
+    lulesh::kernels::ckpt(level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_25_points() {
+        let g = grid();
+        assert_eq!(g.len(), 25);
+        assert!(g.contains(&(5, 8)));
+        assert!(g.contains(&(25, 1000)));
+    }
+
+    #[test]
+    fn scenarios_map_to_fti_configs() {
+        assert!(!Scenario::NoFt.fti().is_ft_aware());
+        assert_eq!(Scenario::L1.fti().schedules.len(), 1);
+        assert_eq!(Scenario::L1L2.fti().schedules.len(), 2);
+        for s in Scenario::ALL {
+            for &ranks in &RANK_GRID {
+                assert!(s.fti().validate(ranks).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_regions_are_outside_table_ii() {
+        assert!(!EPR_GRID.contains(&EPR_PREDICTED));
+        assert!(!RANK_GRID.contains(&RANKS_PREDICTED));
+        // 1331 = 11³ is a legal LULESH rank count but not a legal FTI one
+        // (not divisible by 8) — exactly why the paper stops at 1000 for
+        // benchmarking and only *predicts* 1331.
+        let _ = LuleshConfig::new(10, RANKS_PREDICTED);
+        assert!(Scenario::L1.fti().validate(RANKS_PREDICTED).is_err());
+    }
+}

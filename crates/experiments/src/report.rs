@@ -1,0 +1,147 @@
+//! Reporting helpers: aligned text tables for the terminal and CSV files
+//! for downstream plotting. Every `repro` subcommand prints the rows the
+//! paper's table/figure reports and writes the same data under
+//! `results/`.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Results directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new("results").to_path_buf();
+    fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Write a CSV under `results/` and return its path.
+pub fn write_csv(name: &str, table: &TextTable) -> PathBuf {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("cannot create CSV file");
+    f.write_all(table.to_csv().as_bytes()).expect("cannot write CSV");
+    path
+}
+
+/// Format seconds with sensible precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.1}")
+    } else if s >= 1.0 {
+        format!("{s:.3}")
+    } else {
+        format!("{:.3}ms", s * 1e3)
+    }
+}
+
+/// Format a percentage.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{p:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["Kernel", "MAPE"]);
+        t.row(&["LULESH Timestep".into(), "6.64%".into()]);
+        t.row(&["L1".into(), "16.68%".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Kernel"));
+        assert!(lines[2].contains("6.64%"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_secs(123.456), "123.5");
+        assert_eq!(fmt_secs(1.23456), "1.235");
+        assert_eq!(fmt_secs(0.01234), "12.340ms");
+        assert_eq!(fmt_pct(16.678), "16.68%");
+    }
+}

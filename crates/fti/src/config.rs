@@ -1,0 +1,289 @@
+//! FTI configuration: checkpoint levels in use, group geometry, and
+//! checkpoint frequencies (Table I / Table II of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The four FTI checkpoint levels (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CkptLevel {
+    /// Checkpoint file saved on the local node.
+    L1,
+    /// Saved locally AND sent to neighbour node(s) in the FTI group.
+    L2,
+    /// Checkpoint files Reed–Solomon encoded across the group.
+    L3,
+    /// All checkpoint files flushed to the parallel file system.
+    L4,
+}
+
+impl CkptLevel {
+    /// All levels, in increasing resilience order.
+    pub const ALL: [CkptLevel; 4] = [CkptLevel::L1, CkptLevel::L2, CkptLevel::L3, CkptLevel::L4];
+
+    /// Numeric level (1–4).
+    pub fn number(self) -> u8 {
+        match self {
+            CkptLevel::L1 => 1,
+            CkptLevel::L2 => 2,
+            CkptLevel::L3 => 3,
+            CkptLevel::L4 => 4,
+        }
+    }
+
+    /// The Table I description.
+    pub fn description(self) -> &'static str {
+        match self {
+            CkptLevel::L1 => "checkpoint file saved on local node",
+            CkptLevel::L2 => {
+                "checkpoint file saved on local node and sent to neighbor node(s) in group"
+            }
+            CkptLevel::L3 => "checkpoint files encoded via Reed-Solomon erasure code",
+            CkptLevel::L4 => "all checkpoint files flushed to parallel file system",
+        }
+    }
+}
+
+impl std::fmt::Display for CkptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.number())
+    }
+}
+
+/// One active level with its own period, in application timesteps.
+/// FTI lets each level checkpoint at an independent frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelSchedule {
+    /// Which level.
+    pub level: CkptLevel,
+    /// Checkpoint every `period` timesteps.
+    pub period: u32,
+}
+
+/// The full FTI configuration for a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FtiConfig {
+    /// Nodes per FTI encoding/partner group (`group_size`).
+    pub group_size: u32,
+    /// Ranks per FTI virtual node (`node_size`).
+    pub node_size: u32,
+    /// Partner copies sent by L2 (the paper's setup sends to two
+    /// neighbouring nodes; stock FTI sends one partner copy).
+    pub l2_copies: u32,
+    /// Active levels with their periods, in ascending level order.
+    pub schedules: Vec<LevelSchedule>,
+}
+
+/// Configuration validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `ranks` is not a multiple of `group_size * node_size`.
+    RanksNotMultiple {
+        /// Rank count checked.
+        ranks: u32,
+        /// Required divisor.
+        divisor: u32,
+    },
+    /// group_size < 2 cannot form partner/encoding groups.
+    GroupTooSmall(u32),
+    /// L2 needs at least one partner copy and fewer copies than the group.
+    BadCopyCount {
+        /// Copies requested.
+        copies: u32,
+        /// Group size.
+        group_size: u32,
+    },
+    /// A period of zero timesteps never checkpoints.
+    ZeroPeriod(CkptLevel),
+    /// The same level appears twice in the schedule.
+    DuplicateLevel(CkptLevel),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::RanksNotMultiple { ranks, divisor } => write!(
+                f,
+                "FTI requires ranks to be a multiple of group_size*node_size: \
+                 {ranks} % {divisor} != 0"
+            ),
+            ConfigError::GroupTooSmall(g) => write!(f, "group_size {g} < 2"),
+            ConfigError::BadCopyCount { copies, group_size } => {
+                write!(f, "L2 copies {copies} invalid for group of {group_size}")
+            }
+            ConfigError::ZeroPeriod(l) => write!(f, "{l} has zero checkpoint period"),
+            ConfigError::DuplicateLevel(l) => write!(f, "{l} scheduled twice"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl FtiConfig {
+    /// The paper's case-study configuration: group_size 4, node_size 2,
+    /// two partner copies, with the given schedules.
+    pub fn paper_case_study(schedules: Vec<LevelSchedule>) -> Self {
+        FtiConfig { group_size: 4, node_size: 2, l2_copies: 2, schedules }
+    }
+
+    /// L1-only at `period` (paper scenario 2).
+    pub fn l1_only(period: u32) -> Self {
+        FtiConfig::paper_case_study(vec![LevelSchedule { level: CkptLevel::L1, period }])
+    }
+
+    /// L1 & L2 both at `period` (paper scenario 3).
+    pub fn l1_l2(period: u32) -> Self {
+        FtiConfig::paper_case_study(vec![
+            LevelSchedule { level: CkptLevel::L1, period },
+            LevelSchedule { level: CkptLevel::L2, period },
+        ])
+    }
+
+    /// No checkpointing at all (paper scenario 1 baseline).
+    pub fn none() -> Self {
+        FtiConfig::paper_case_study(Vec::new())
+    }
+
+    /// Validate the configuration against a rank count.
+    pub fn validate(&self, ranks: u32) -> Result<(), ConfigError> {
+        if self.group_size < 2 {
+            return Err(ConfigError::GroupTooSmall(self.group_size));
+        }
+        let divisor = self.group_size * self.node_size;
+        if !ranks.is_multiple_of(divisor) {
+            return Err(ConfigError::RanksNotMultiple { ranks, divisor });
+        }
+        if self.l2_copies == 0 || self.l2_copies >= self.group_size {
+            return Err(ConfigError::BadCopyCount {
+                copies: self.l2_copies,
+                group_size: self.group_size,
+            });
+        }
+        let mut seen = Vec::new();
+        for s in &self.schedules {
+            if s.period == 0 {
+                return Err(ConfigError::ZeroPeriod(s.level));
+            }
+            if seen.contains(&s.level) {
+                return Err(ConfigError::DuplicateLevel(s.level));
+            }
+            seen.push(s.level);
+        }
+        Ok(())
+    }
+
+    /// Which levels checkpoint at timestep `step` (1-based step count;
+    /// level fires when `step % period == 0`). When several levels fire on
+    /// the same step FTI performs only the *highest* (most resilient) one;
+    /// this helper returns them all, callers pick.
+    pub fn levels_due(&self, step: u32) -> Vec<CkptLevel> {
+        assert!(step >= 1, "timesteps are 1-based");
+        self.schedules
+            .iter()
+            .filter(|s| step.is_multiple_of(s.period))
+            .map(|s| s.level)
+            .collect()
+    }
+
+    /// FTI virtual nodes for `ranks` ranks.
+    pub fn fti_nodes(&self, ranks: u32) -> u32 {
+        ranks / self.node_size
+    }
+
+    /// Number of FTI groups for `ranks` ranks.
+    pub fn groups(&self, ranks: u32) -> u32 {
+        self.fti_nodes(ranks) / self.group_size
+    }
+
+    /// True when any checkpointing is configured.
+    pub fn is_ft_aware(&self) -> bool {
+        !self.schedules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_descriptions_exist() {
+        for l in CkptLevel::ALL {
+            assert!(!l.description().is_empty());
+        }
+        assert_eq!(CkptLevel::L3.number(), 3);
+        assert_eq!(format!("{}", CkptLevel::L4), "L4");
+    }
+
+    #[test]
+    fn paper_rank_grid_is_valid() {
+        // Table II: every perfect-cube rank count divisible by
+        // group_size*node_size = 8.
+        let cfg = FtiConfig::l1_only(40);
+        for ranks in [8u32, 64, 216, 512, 1000] {
+            assert!(cfg.validate(ranks).is_ok(), "ranks {ranks}");
+        }
+    }
+
+    #[test]
+    fn non_multiple_ranks_rejected() {
+        let cfg = FtiConfig::l1_only(40);
+        // 27 is a perfect cube but not a multiple of 8 — excluded by the
+        // paper for exactly this reason.
+        assert_eq!(
+            cfg.validate(27),
+            Err(ConfigError::RanksNotMultiple { ranks: 27, divisor: 8 })
+        );
+    }
+
+    #[test]
+    fn levels_due_follows_periods() {
+        let cfg = FtiConfig::l1_l2(40);
+        assert!(cfg.levels_due(1).is_empty());
+        assert!(cfg.levels_due(39).is_empty());
+        assert_eq!(cfg.levels_due(40), vec![CkptLevel::L1, CkptLevel::L2]);
+        assert_eq!(cfg.levels_due(80), vec![CkptLevel::L1, CkptLevel::L2]);
+    }
+
+    #[test]
+    fn mixed_periods() {
+        let cfg = FtiConfig::paper_case_study(vec![
+            LevelSchedule { level: CkptLevel::L1, period: 10 },
+            LevelSchedule { level: CkptLevel::L4, period: 100 },
+        ]);
+        assert_eq!(cfg.levels_due(10), vec![CkptLevel::L1]);
+        assert_eq!(cfg.levels_due(100), vec![CkptLevel::L1, CkptLevel::L4]);
+    }
+
+    #[test]
+    fn geometry_counts() {
+        let cfg = FtiConfig::l1_only(40);
+        assert_eq!(cfg.fti_nodes(1000), 500);
+        assert_eq!(cfg.groups(1000), 125);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = FtiConfig::l1_only(40);
+        cfg.group_size = 1;
+        assert!(matches!(cfg.validate(8), Err(ConfigError::GroupTooSmall(1))));
+
+        let mut cfg = FtiConfig::l1_only(0);
+        cfg.schedules[0].period = 0;
+        assert!(matches!(cfg.validate(8), Err(ConfigError::ZeroPeriod(CkptLevel::L1))));
+
+        let mut cfg = FtiConfig::l1_only(40);
+        cfg.l2_copies = 4;
+        assert!(matches!(cfg.validate(8), Err(ConfigError::BadCopyCount { .. })));
+
+        let mut cfg = FtiConfig::l1_l2(40);
+        cfg.schedules[1].level = CkptLevel::L1;
+        assert!(matches!(cfg.validate(8), Err(ConfigError::DuplicateLevel(CkptLevel::L1))));
+    }
+
+    #[test]
+    fn no_ft_config() {
+        let cfg = FtiConfig::none();
+        assert!(!cfg.is_ft_aware());
+        assert!(cfg.levels_due(40).is_empty());
+        assert!(cfg.validate(64).is_ok());
+    }
+}

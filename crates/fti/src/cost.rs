@@ -1,0 +1,275 @@
+//! Checkpoint and restart cost composition.
+//!
+//! Maps one FTI checkpoint (or restart) instance at a given level onto the
+//! sequence of instrumented machine blocks it executes — the same
+//! decomposition the paper's instrumentation timed on Quartz. The blocks
+//! are priced by the fine-grained testbed (benchmarking) or by fitted
+//! performance models (simulation); this module only knows the *structure*
+//! of each level.
+
+use crate::config::CkptLevel;
+use crate::group::GroupLayout;
+use besst_machine::{BlockWork, Machine};
+use serde::{Deserialize, Serialize};
+
+/// Size information for one checkpoint instance.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CkptShape {
+    /// Protected data per rank, bytes (application state registered with
+    /// FTI).
+    pub bytes_per_rank: u64,
+    /// Ranks in the job.
+    pub ranks: u32,
+    /// Ranks co-located per physical node (write aggregation).
+    pub ranks_per_node: u32,
+}
+
+impl CkptShape {
+    /// Bytes written per physical node.
+    pub fn bytes_per_node(&self) -> u64 {
+        self.bytes_per_rank * self.ranks_per_node as u64
+    }
+
+    /// Physical nodes participating.
+    pub fn n_phys_nodes(&self) -> u32 {
+        self.ranks.div_ceil(self.ranks_per_node)
+    }
+
+    /// Total checkpoint volume across the job.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_rank * self.ranks as u64
+    }
+}
+
+/// The blocks executed by one checkpoint instance at `level`.
+///
+/// All levels begin with FTI's coordination barrier (FTI is a coordinated
+/// checkpointing library), then:
+///
+/// * **L1** — write the local checkpoint file;
+/// * **L2** — L1, then send partner copies and write the received copies;
+/// * **L3** — L1, then Reed–Solomon encode and scatter within the group;
+/// * **L4** — L1, then flush to the parallel file system.
+pub fn checkpoint_blocks(
+    level: CkptLevel,
+    shape: &CkptShape,
+    layout: &GroupLayout,
+    _machine: &Machine,
+) -> Vec<BlockWork> {
+    let per_node = shape.bytes_per_node();
+    let mut blocks = vec![
+        BlockWork::Barrier { ranks: shape.ranks },
+        // FTI creates/updates per-node checkpoint files and status entries
+        // through the shared metadata path on *every* level — the
+        // coordination term that makes checkpoint cost scale with the
+        // level of parallelism even when the data stays node-local.
+        BlockWork::PfsMetadata { ops: layout.n_nodes() },
+        BlockWork::LocalWrite { bytes: per_node },
+    ];
+    match level {
+        CkptLevel::L1 => {}
+        CkptLevel::L2 => {
+            blocks.push(BlockWork::PartnerExchange {
+                bytes: per_node,
+                copies: layout.l2_copies,
+            });
+            // Received partner copies also land on local storage.
+            blocks.push(BlockWork::LocalWrite {
+                bytes: per_node * layout.l2_copies as u64,
+            });
+        }
+        CkptLevel::L3 => {
+            blocks.push(BlockWork::RsEncode { bytes: per_node, group_size: layout.group_size });
+            // Each node writes the group_size-1 encoded slices it receives.
+            let slice = per_node / layout.group_size as u64;
+            blocks.push(BlockWork::LocalWrite {
+                bytes: slice * (layout.group_size - 1) as u64,
+            });
+        }
+        CkptLevel::L4 => {
+            blocks.push(BlockWork::PfsWrite {
+                bytes: per_node,
+                writers: shape.n_phys_nodes(),
+            });
+        }
+    }
+    blocks
+}
+
+/// The blocks executed by a restart from a `level` checkpoint (used by the
+/// fault-injection extension, paper Fig. 4 Cases 2 & 4).
+pub fn restart_blocks(
+    level: CkptLevel,
+    shape: &CkptShape,
+    layout: &GroupLayout,
+    _machine: &Machine,
+) -> Vec<BlockWork> {
+    let per_node = shape.bytes_per_node();
+    let mut blocks = vec![
+        BlockWork::Barrier { ranks: shape.ranks },
+        BlockWork::PfsMetadata { ops: layout.n_nodes() },
+    ];
+    match level {
+        CkptLevel::L1 => {
+            blocks.push(BlockWork::LocalRead { bytes: per_node });
+        }
+        CkptLevel::L2 => {
+            // Survivors read locally; replacements pull the partner copy
+            // over the fabric. Worst case per node: one remote fetch +
+            // local write + read.
+            blocks.push(BlockWork::PartnerExchange { bytes: per_node, copies: 1 });
+            blocks.push(BlockWork::LocalWrite { bytes: per_node });
+            blocks.push(BlockWork::LocalRead { bytes: per_node });
+        }
+        CkptLevel::L3 => {
+            // Decode costs the same matrix arithmetic as encode, plus
+            // gathering the surviving slices.
+            blocks.push(BlockWork::RsEncode { bytes: per_node, group_size: layout.group_size });
+            blocks.push(BlockWork::LocalRead { bytes: per_node });
+        }
+        CkptLevel::L4 => {
+            blocks.push(BlockWork::PfsRead {
+                bytes: per_node,
+                readers: shape.n_phys_nodes(),
+            });
+        }
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FtiConfig;
+    use besst_machine::presets;
+    use besst_machine::Testbed;
+
+    fn shape(ranks: u32, bytes_per_rank: u64) -> CkptShape {
+        CkptShape { bytes_per_rank, ranks, ranks_per_node: 36 }
+    }
+
+    fn layout(ranks: u32) -> GroupLayout {
+        GroupLayout::new(&FtiConfig::l1_l2(40), ranks)
+    }
+
+    #[test]
+    fn shape_arithmetic() {
+        let s = shape(64, 1 << 20);
+        assert_eq!(s.bytes_per_node(), 36 << 20);
+        assert_eq!(s.n_phys_nodes(), 2);
+        assert_eq!(s.total_bytes(), 64 << 20);
+    }
+
+    #[test]
+    fn all_levels_start_with_coordination_then_local_write() {
+        let m = presets::quartz();
+        let s = shape(64, 1 << 20);
+        let l = layout(64);
+        for level in CkptLevel::ALL {
+            let blocks = checkpoint_blocks(level, &s, &l, &m);
+            assert!(matches!(blocks[0], BlockWork::Barrier { ranks: 64 }), "{level}");
+            // FTI's metadata coordination: one op per FTI node (64/2=32).
+            assert!(matches!(blocks[1], BlockWork::PfsMetadata { ops: 32 }), "{level}");
+            assert!(matches!(blocks[2], BlockWork::LocalWrite { .. }), "{level}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_cost_scales_with_ranks() {
+        // The paper's Fig. 6 observation: checkpoint cost grows much
+        // faster with ranks than the timestep does. Two mechanisms: MDS
+        // metadata serialization (deterministic, linear in FTI nodes) and
+        // rare storage-interference events that the slowest of many nodes
+        // almost always hits (stochastic). Check both.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let m = presets::quartz();
+        let tb = Testbed::new(&m);
+        // Paper-realistic checkpoint payload: epr = 20 -> 20^3 elements x
+        // 12 fields x 8 bytes = 768 KB per rank.
+        let bytes = 20u64.pow(3) * 96;
+        let blocks64 = checkpoint_blocks(CkptLevel::L1, &shape(64, bytes), &layout(64), &m);
+        let blocks1000 =
+            checkpoint_blocks(CkptLevel::L1, &shape(1000, bytes), &layout(1000), &m);
+        let det64 = tb.deterministic_region_cost(&blocks64);
+        let det1000 = tb.deterministic_region_cost(&blocks1000);
+        assert!(det1000 > 1.3 * det64, "deterministic: {det1000} vs {det64}");
+        // Measured (noise-inclusive) means scale harder than deterministic.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mean = |blocks: &[BlockWork], ranks: u32, rng: &mut StdRng| -> f64 {
+            let s = tb.sample_region(blocks, ranks, 200, rng);
+            s.iter().sum::<f64>() / s.len() as f64
+        };
+        let m64 = mean(&blocks64, 64, &mut rng);
+        let m1000 = mean(&blocks1000, 1000, &mut rng);
+        assert!(m1000 > 1.8 * m64, "measured: {m1000} vs {m64}");
+    }
+
+    #[test]
+    fn level_cost_ordering_holds() {
+        // Higher levels must cost more: the paper's premise that
+        // resilience buys overhead.
+        let m = presets::quartz();
+        let tb = Testbed::new(&m);
+        let s = shape(512, 8 << 20);
+        let l = layout(512);
+        let costs: Vec<f64> = CkptLevel::ALL
+            .iter()
+            .map(|&lv| tb.deterministic_region_cost(&checkpoint_blocks(lv, &s, &l, &m)))
+            .collect();
+        assert!(costs[0] < costs[1], "L1 {} < L2 {}", costs[0], costs[1]);
+        assert!(costs[0] < costs[2], "L1 < L3");
+        assert!(costs[0] < costs[3], "L1 < L4");
+    }
+
+    #[test]
+    fn checkpoint_cost_grows_with_problem_size_and_ranks() {
+        let m = presets::quartz();
+        let tb = Testbed::new(&m);
+        let l = layout(64);
+        let small =
+            tb.deterministic_region_cost(&checkpoint_blocks(CkptLevel::L2, &shape(64, 1 << 20), &l, &m));
+        let big =
+            tb.deterministic_region_cost(&checkpoint_blocks(CkptLevel::L2, &shape(64, 8 << 20), &l, &m));
+        assert!(big > small);
+
+        let l1000 = layout(1000);
+        let few = tb.deterministic_region_cost(&checkpoint_blocks(
+            CkptLevel::L4,
+            &shape(64, 4 << 20),
+            &l,
+            &m,
+        ));
+        let many = tb.deterministic_region_cost(&checkpoint_blocks(
+            CkptLevel::L4,
+            &shape(1000, 4 << 20),
+            &l1000,
+            &m,
+        ));
+        assert!(many > few, "PFS contention with more writers");
+    }
+
+    #[test]
+    fn l2_sends_configured_copies() {
+        let m = presets::quartz();
+        let s = shape(64, 1 << 20);
+        let l = layout(64);
+        let blocks = checkpoint_blocks(CkptLevel::L2, &s, &l, &m);
+        assert!(blocks
+            .iter()
+            .any(|b| matches!(b, BlockWork::PartnerExchange { copies: 2, .. })));
+    }
+
+    #[test]
+    fn restart_blocks_exist_for_all_levels() {
+        let m = presets::quartz();
+        let tb = Testbed::new(&m);
+        let s = shape(64, 1 << 20);
+        let l = layout(64);
+        for level in CkptLevel::ALL {
+            let blocks = restart_blocks(level, &s, &l, &m);
+            assert!(!blocks.is_empty());
+            assert!(tb.deterministic_region_cost(&blocks) > 0.0, "{level}");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! GF(2⁸) arithmetic for Reed–Solomon erasure coding.
+//!
+//! The field is GF(2)\[x\] modulo the primitive polynomial
+//! x⁸ + x⁴ + x³ + x² + 1 (0x11D), the conventional choice for storage
+//! erasure codes. Multiplication and inversion go through log/antilog
+//! tables built once at first use; addition is XOR.
+
+use std::sync::OnceLock;
+
+/// The primitive polynomial, including the x⁸ term.
+pub const POLY: u16 = 0x11D;
+
+/// The multiplicative generator used to build the tables.
+pub const GENERATOR: u8 = 0x02;
+
+struct Tables {
+    /// exp[i] = g^i for i in 0..512 (doubled to skip a mod-255 in mul).
+    exp: [u8; 512],
+    /// log[a] = i with g^i = a, for a in 1..=255. log[0] is a sentinel.
+    log: [u16; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        #[allow(clippy::needless_range_loop)] // i indexes both tables
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        log[0] = 0xFFFF; // sentinel: log(0) is undefined
+        Tables { exp, log }
+    })
+}
+
+/// Field addition (= subtraction): XOR.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication via log tables.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    let la = t.log[a as usize] as usize;
+    let lb = t.log[b as usize] as usize;
+    t.exp[la + lb]
+}
+
+/// Field division `a / b`. Panics on division by zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "GF(256) division by zero");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let la = t.log[a as usize] as usize;
+    let lb = t.log[b as usize] as usize;
+    t.exp[la + 255 - lb]
+}
+
+/// Multiplicative inverse. Panics on zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    div(1, a)
+}
+
+/// `a` raised to the integer power `n` (n may exceed 255).
+pub fn pow(a: u8, n: u32) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let la = t.log[a as usize] as u64;
+    let e = (la * n as u64) % 255;
+    t.exp[e as usize]
+}
+
+/// `g^i` for the generator g.
+#[inline]
+pub fn exp(i: u32) -> u8 {
+    pow(GENERATOR, i)
+}
+
+/// Multiply-accumulate a slice: `dst[i] ^= coeff * src[i]`.
+///
+/// This is the inner loop of RS encoding; kept as a standalone function so
+/// the codec and the benchmarks share one implementation.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], coeff: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_acc slice length mismatch");
+    if coeff == 0 {
+        return;
+    }
+    if coeff == 1 {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[coeff as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if s != 0 {
+            *d ^= t.exp[lc + t.log[s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor_and_self_inverse() {
+        for a in 0..=255u8 {
+            assert_eq!(add(a, a), 0);
+            assert_eq!(add(a, 0), a);
+        }
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn mul_commutative_exhaustive() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_carryless_reference() {
+        // Slow bit-by-bit reference multiplication.
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut acc: u8 = 0;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                let carry = a & 0x80 != 0;
+                a <<= 1;
+                if carry {
+                    a ^= (POLY & 0xFF) as u8;
+                }
+                b >>= 1;
+            }
+            acc
+        }
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            let ia = inv(a);
+            assert_eq!(mul(a, ia), 1, "a={a} inv={ia}");
+        }
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                assert_eq!(div(mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        div(3, 0);
+    }
+
+    #[test]
+    fn pow_laws() {
+        for a in 1..=20u8 {
+            assert_eq!(pow(a, 0), 1);
+            assert_eq!(pow(a, 1), a);
+            assert_eq!(pow(a, 2), mul(a, a));
+            assert_eq!(pow(a, 255), 1, "Fermat: a^255 = 1");
+            assert_eq!(pow(a, 256), a);
+        }
+        assert_eq!(pow(0, 5), 0);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // g^i for i in 0..255 must hit every nonzero element exactly once.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = exp(i);
+            assert!(!seen[v as usize], "generator order < 255 at i={i}");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_loop() {
+        let src: Vec<u8> = (0..=255).collect();
+        for coeff in [0u8, 1, 2, 87, 255] {
+            let mut dst = vec![0xAAu8; 256];
+            let mut expect = dst.clone();
+            mul_acc(&mut dst, &src, coeff);
+            for (e, &s) in expect.iter_mut().zip(&src) {
+                *e ^= mul(coeff, s);
+            }
+            assert_eq!(dst, expect, "coeff={coeff}");
+        }
+    }
+
+    #[test]
+    fn distributivity_spot_checks() {
+        for a in [3u8, 29, 115, 200] {
+            for b in [7u8, 54, 190] {
+                for c in [11u8, 99, 250] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! FTI group geometry: which ranks form virtual nodes, which nodes form
+//! groups, and who is whose partner for L2 copies.
+//!
+//! FTI organizes the job into a virtual topology: `node_size` ranks form
+//! an *FTI node*, `group_size` FTI nodes form a *group*. L2 partner copies
+//! and L3 Reed–Solomon encoding both stay within a group, making each
+//! group a semi-independent fault-tolerance region.
+
+use crate::config::FtiConfig;
+use serde::{Deserialize, Serialize};
+
+/// An FTI virtual node index (0-based, `ranks / node_size` of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FtiNode(pub u32);
+
+/// An FTI group index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+/// Resolved group geometry for a concrete rank count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupLayout {
+    /// Ranks in the job.
+    pub ranks: u32,
+    /// Ranks per FTI node.
+    pub node_size: u32,
+    /// FTI nodes per group.
+    pub group_size: u32,
+    /// Partner copies for L2.
+    pub l2_copies: u32,
+}
+
+impl GroupLayout {
+    /// Build a layout from a validated configuration.
+    pub fn new(cfg: &FtiConfig, ranks: u32) -> Self {
+        cfg.validate(ranks).expect("FTI configuration invalid for rank count");
+        GroupLayout {
+            ranks,
+            node_size: cfg.node_size,
+            group_size: cfg.group_size,
+            l2_copies: cfg.l2_copies,
+        }
+    }
+
+    /// Total FTI nodes.
+    pub fn n_nodes(&self) -> u32 {
+        self.ranks / self.node_size
+    }
+
+    /// Total groups.
+    pub fn n_groups(&self) -> u32 {
+        self.n_nodes() / self.group_size
+    }
+
+    /// The FTI node hosting a rank.
+    pub fn node_of_rank(&self, rank: u32) -> FtiNode {
+        assert!(rank < self.ranks, "rank {rank} outside job of {}", self.ranks);
+        FtiNode(rank / self.node_size)
+    }
+
+    /// The group containing an FTI node.
+    pub fn group_of(&self, node: FtiNode) -> GroupId {
+        assert!(node.0 < self.n_nodes(), "node {} outside layout", node.0);
+        GroupId(node.0 / self.group_size)
+    }
+
+    /// The FTI nodes of a group, in ring order.
+    pub fn members(&self, group: GroupId) -> Vec<FtiNode> {
+        assert!(group.0 < self.n_groups(), "group {} outside layout", group.0);
+        let base = group.0 * self.group_size;
+        (base..base + self.group_size).map(FtiNode).collect()
+    }
+
+    /// A node's position within its group ring.
+    pub fn position_in_group(&self, node: FtiNode) -> u32 {
+        node.0 % self.group_size
+    }
+
+    /// The partners that hold copies of `node`'s L2 checkpoint: the next
+    /// `l2_copies` neighbours around the group ring.
+    pub fn partners_of(&self, node: FtiNode) -> Vec<FtiNode> {
+        let group = self.group_of(node);
+        let base = group.0 * self.group_size;
+        let pos = self.position_in_group(node);
+        (1..=self.l2_copies)
+            .map(|k| FtiNode(base + (pos + k) % self.group_size))
+            .collect()
+    }
+
+    /// Maximum concurrent node losses per group that L3's Reed–Solomon
+    /// encoding tolerates: "up to ½ of the nodes" (paper §IV-A).
+    pub fn l3_tolerance(&self) -> u32 {
+        self.group_size / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FtiConfig;
+
+    fn layout(ranks: u32) -> GroupLayout {
+        GroupLayout::new(&FtiConfig::l1_l2(40), ranks)
+    }
+
+    #[test]
+    fn paper_geometry_64_ranks() {
+        // group_size 4, node_size 2 → 32 FTI nodes, 8 groups.
+        let l = layout(64);
+        assert_eq!(l.n_nodes(), 32);
+        assert_eq!(l.n_groups(), 8);
+        assert_eq!(l.node_of_rank(0), FtiNode(0));
+        assert_eq!(l.node_of_rank(1), FtiNode(0));
+        assert_eq!(l.node_of_rank(2), FtiNode(1));
+        assert_eq!(l.group_of(FtiNode(0)), GroupId(0));
+        assert_eq!(l.group_of(FtiNode(4)), GroupId(1));
+    }
+
+    #[test]
+    fn members_are_contiguous_rings() {
+        let l = layout(64);
+        assert_eq!(
+            l.members(GroupId(1)),
+            vec![FtiNode(4), FtiNode(5), FtiNode(6), FtiNode(7)]
+        );
+    }
+
+    #[test]
+    fn partners_wrap_around_ring() {
+        let l = layout(64); // l2_copies = 2
+        assert_eq!(l.partners_of(FtiNode(0)), vec![FtiNode(1), FtiNode(2)]);
+        assert_eq!(l.partners_of(FtiNode(3)), vec![FtiNode(0), FtiNode(1)]);
+        // Partners stay inside the group.
+        for n in 0..l.n_nodes() {
+            let g = l.group_of(FtiNode(n));
+            for p in l.partners_of(FtiNode(n)) {
+                assert_eq!(l.group_of(p), g);
+                assert_ne!(p, FtiNode(n), "a node is never its own partner");
+            }
+        }
+    }
+
+    #[test]
+    fn partner_load_is_balanced() {
+        // Every node holds exactly l2_copies foreign checkpoints.
+        let l = layout(1000);
+        let mut held = vec![0u32; l.n_nodes() as usize];
+        for n in 0..l.n_nodes() {
+            for p in l.partners_of(FtiNode(n)) {
+                held[p.0 as usize] += 1;
+            }
+        }
+        assert!(held.iter().all(|&h| h == l.l2_copies));
+    }
+
+    #[test]
+    fn l3_tolerance_is_half_group() {
+        assert_eq!(layout(64).l3_tolerance(), 2);
+        let cfg = FtiConfig {
+            group_size: 8,
+            node_size: 2,
+            l2_copies: 1,
+            schedules: Vec::new(),
+        };
+        // The smallest valid rank count is one full group.
+        assert_eq!(GroupLayout::new(&cfg, 16).l3_tolerance(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside job")]
+    fn rank_out_of_range_panics() {
+        layout(8).node_of_rank(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for rank count")]
+    fn invalid_rank_count_panics() {
+        layout(12); // not a multiple of 8
+    }
+}

@@ -1,0 +1,33 @@
+//! # besst-fti — the Fault Tolerance Interface substrate
+//!
+//! A from-scratch behavioural model of FTI (Bautista-Gomez et al., SC'11),
+//! the multi-level checkpointing library the paper's case study measures:
+//!
+//! * [`config`] — the four checkpoint levels (paper Table I), per-level
+//!   schedules, and the `group_size`/`node_size` constraints of Table II;
+//! * [`group`] — FTI's virtual topology: ranks → FTI nodes → groups, with
+//!   L2 partner assignment around the group ring;
+//! * [`gf256`] / [`reed_solomon`] — a real GF(2⁸) systematic Reed–Solomon
+//!   erasure codec (FTI L3 is not just a cost entry: it encodes,
+//!   loses, and reconstructs actual bytes in the tests);
+//! * [`recovery`] — which failure scenarios each level survives, as a fast
+//!   predicate *and* as an executable byte-level model, property-tested to
+//!   agree;
+//! * [`cost`] — the machine-block decomposition of one checkpoint/restart
+//!   instance per level, priced by the `besst-machine` testbed or by
+//!   fitted performance models.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod gf256;
+pub mod group;
+pub mod recovery;
+pub mod reed_solomon;
+
+pub use config::{CkptLevel, ConfigError, FtiConfig, LevelSchedule};
+pub use cost::{checkpoint_blocks, restart_blocks, CkptShape};
+pub use group::{FtiNode, GroupId, GroupLayout};
+pub use recovery::{survives, survives_any, EncodedGroup, FailureScenario};
+pub use reed_solomon::{ReedSolomon, RsError};

@@ -1,0 +1,297 @@
+//! Recovery semantics: which failure scenarios each checkpoint level
+//! survives — both as a fast predicate used by fault-injection simulation
+//! and as an *executable* model that actually stores, encodes, loses, and
+//! reconstructs checkpoint bytes with the Reed–Solomon codec. Property
+//! tests assert the two agree.
+
+use crate::config::CkptLevel;
+use crate::group::{FtiNode, GroupLayout};
+use crate::reed_solomon::ReedSolomon;
+use std::collections::BTreeSet;
+
+/// A failure scenario: the set of FTI nodes that failed *and lost their
+/// locally stored checkpoint data*. (A process crash that preserves node
+/// storage is the empty scenario — every level, including L1, survives
+/// it.)
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureScenario {
+    /// FTI nodes whose local storage is gone.
+    pub lost_nodes: BTreeSet<FtiNode>,
+}
+
+impl FailureScenario {
+    /// No data loss.
+    pub fn none() -> Self {
+        FailureScenario::default()
+    }
+
+    /// Lose the given nodes.
+    pub fn of(nodes: impl IntoIterator<Item = u32>) -> Self {
+        FailureScenario { lost_nodes: nodes.into_iter().map(FtiNode).collect() }
+    }
+
+    /// Number of lost nodes.
+    pub fn n_lost(&self) -> usize {
+        self.lost_nodes.len()
+    }
+
+    /// Lost nodes within one group.
+    pub fn lost_in_group(&self, layout: &GroupLayout, group: crate::group::GroupId) -> usize {
+        layout
+            .members(group)
+            .iter()
+            .filter(|n| self.lost_nodes.contains(n))
+            .count()
+    }
+}
+
+/// Does a checkpoint taken at `level` survive `scenario`? (Paper Table I
+/// semantics.)
+pub fn survives(level: CkptLevel, layout: &GroupLayout, scenario: &FailureScenario) -> bool {
+    for n in &scenario.lost_nodes {
+        assert!(n.0 < layout.n_nodes(), "failure scenario references node outside layout");
+    }
+    match level {
+        // L1: the checkpoint only exists on the node itself.
+        CkptLevel::L1 => scenario.lost_nodes.is_empty(),
+        // L2: each lost node needs at least one surviving partner holding
+        // its copy.
+        CkptLevel::L2 => scenario.lost_nodes.iter().all(|&n| {
+            layout
+                .partners_of(n)
+                .iter()
+                .any(|p| !scenario.lost_nodes.contains(p))
+        }),
+        // L3: Reed–Solomon within each group tolerates up to
+        // ⌊group_size/2⌋ concurrent losses.
+        CkptLevel::L3 => (0..layout.n_groups()).all(|g| {
+            scenario.lost_in_group(layout, crate::group::GroupId(g))
+                <= layout.l3_tolerance() as usize
+        }),
+        // L4: the PFS is outside the failure domain of compute nodes.
+        CkptLevel::L4 => true,
+    }
+}
+
+/// The strongest guarantee: survives with *any* of the given levels
+/// available (an application checkpointing at several levels restarts from
+/// the highest level that still has a recoverable checkpoint).
+pub fn survives_any(
+    levels: &[CkptLevel],
+    layout: &GroupLayout,
+    scenario: &FailureScenario,
+) -> bool {
+    levels.iter().any(|&l| survives(l, layout, scenario))
+}
+
+/// Executable L3 model: one group's checkpoints, actually RS-encoded.
+///
+/// Each member's checkpoint file is split into `k = group_size − p` data
+/// chunks (p = ⌊group_size/2⌋ parity), encoded to `group_size` chunks, and
+/// chunk `i` is stored on member `i`. Losing a member loses one chunk of
+/// *every* file; any `k` surviving members suffice to rebuild all files.
+#[derive(Debug)]
+pub struct EncodedGroup {
+    group_size: usize,
+    rs: ReedSolomon,
+    /// `chunks[file][member]` — the encoded chunk of `file` held by
+    /// `member`, until the member fails.
+    chunks: Vec<Vec<Option<Vec<u8>>>>,
+    /// Original file lengths (files are zero-padded to a multiple of k).
+    lengths: Vec<usize>,
+}
+
+impl EncodedGroup {
+    /// Encode one group's files. `files.len()` must equal the group size
+    /// (one checkpoint file per member).
+    pub fn encode(files: &[Vec<u8>]) -> Self {
+        let group_size = files.len();
+        assert!(group_size >= 2, "RS encoding needs a group of at least 2");
+        let parity = group_size / 2;
+        let data = group_size - parity;
+        let rs = ReedSolomon::new(data, parity);
+        let mut chunks = Vec::with_capacity(files.len());
+        let mut lengths = Vec::with_capacity(files.len());
+        for file in files {
+            lengths.push(file.len());
+            let chunk_len = file.len().div_ceil(data).max(1);
+            let mut data_chunks: Vec<Vec<u8>> = Vec::with_capacity(data);
+            for i in 0..data {
+                let start = (i * chunk_len).min(file.len());
+                let end = ((i + 1) * chunk_len).min(file.len());
+                let mut c = file[start..end].to_vec();
+                c.resize(chunk_len, 0);
+                data_chunks.push(c);
+            }
+            let parity_chunks = rs.encode(&data_chunks).expect("encode cannot fail");
+            chunks.push(
+                data_chunks
+                    .into_iter()
+                    .chain(parity_chunks)
+                    .map(Some)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        EncodedGroup { group_size, rs, chunks, lengths }
+    }
+
+    /// A member fails: every chunk it held is gone.
+    pub fn fail_member(&mut self, member: usize) {
+        assert!(member < self.group_size, "member {member} outside group");
+        for file in &mut self.chunks {
+            file[member] = None;
+        }
+    }
+
+    /// Attempt to rebuild one member's original checkpoint file.
+    pub fn recover_file(&self, file: usize) -> Option<Vec<u8>> {
+        let shards = &self.chunks[file];
+        let rec = self.rs.reconstruct(shards).ok()?;
+        let mut out: Vec<u8> = rec.into_iter().flatten().collect();
+        out.truncate(self.lengths[file]);
+        Some(out)
+    }
+
+    /// Attempt to rebuild all files.
+    pub fn recover_all(&self) -> Option<Vec<Vec<u8>>> {
+        (0..self.chunks.len()).map(|f| self.recover_file(f)).collect()
+    }
+
+    /// Losses the code is guaranteed to tolerate.
+    pub fn tolerance(&self) -> usize {
+        self.rs.parity_shards()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FtiConfig;
+
+    fn layout() -> GroupLayout {
+        GroupLayout::new(&FtiConfig::l1_l2(40), 64) // 32 nodes, 8 groups of 4
+    }
+
+    #[test]
+    fn l1_survives_only_clean_scenarios() {
+        let l = layout();
+        assert!(survives(CkptLevel::L1, &l, &FailureScenario::none()));
+        assert!(!survives(CkptLevel::L1, &l, &FailureScenario::of([0])));
+    }
+
+    #[test]
+    fn l2_survives_single_loss_anywhere() {
+        let l = layout();
+        for n in 0..l.n_nodes() {
+            assert!(survives(CkptLevel::L2, &l, &FailureScenario::of([n])), "node {n}");
+        }
+    }
+
+    #[test]
+    fn l2_dies_when_node_and_all_partners_lost() {
+        let l = layout(); // copies = 2: node 0's partners are 1 and 2
+        assert!(!survives(CkptLevel::L2, &l, &FailureScenario::of([0, 1, 2])));
+        // But node + one partner is fine (other partner holds the copy).
+        assert!(survives(CkptLevel::L2, &l, &FailureScenario::of([0, 1])));
+    }
+
+    #[test]
+    fn l3_tolerates_half_the_group() {
+        let l = layout(); // tolerance 2 per group of 4
+        assert!(survives(CkptLevel::L3, &l, &FailureScenario::of([0, 1])));
+        assert!(survives(CkptLevel::L3, &l, &FailureScenario::of([0, 1, 4, 5])));
+        assert!(!survives(CkptLevel::L3, &l, &FailureScenario::of([0, 1, 2])));
+    }
+
+    #[test]
+    fn l4_survives_everything() {
+        let l = layout();
+        let all: Vec<u32> = (0..l.n_nodes()).collect();
+        assert!(survives(CkptLevel::L4, &l, &FailureScenario::of(all)));
+    }
+
+    #[test]
+    fn resilience_is_monotone_in_level_for_uniform_losses() {
+        // For contiguous-burst scenarios, a higher level never does worse.
+        let l = layout();
+        for burst in 0..=4u32 {
+            let sc = FailureScenario::of(0..burst);
+            let ok: Vec<bool> = CkptLevel::ALL
+                .iter()
+                .map(|&lv| survives(lv, &l, &sc))
+                .collect();
+            for w in ok.windows(2) {
+                assert!(
+                    !w[0] || w[1],
+                    "level ordering violated for burst {burst}: {ok:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survives_any_takes_the_best() {
+        let l = layout();
+        let sc = FailureScenario::of([0]);
+        assert!(survives_any(&[CkptLevel::L1, CkptLevel::L2], &l, &sc));
+        assert!(!survives_any(&[CkptLevel::L1], &l, &sc));
+        assert!(!survives_any(&[], &l, &sc));
+    }
+
+    #[test]
+    fn encoded_group_roundtrip_no_loss() {
+        let files: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 100 + i * 7]).collect();
+        let g = EncodedGroup::encode(&files);
+        assert_eq!(g.recover_all().unwrap(), files);
+    }
+
+    #[test]
+    fn encoded_group_survives_tolerance_losses() {
+        let files: Vec<Vec<u8>> = (0..4).map(|i| (0..333u32).map(|j| (i * 31 + j) as u8).collect()).collect();
+        let mut g = EncodedGroup::encode(&files);
+        assert_eq!(g.tolerance(), 2);
+        g.fail_member(1);
+        g.fail_member(3);
+        assert_eq!(g.recover_all().unwrap(), files);
+    }
+
+    #[test]
+    fn encoded_group_dies_past_tolerance() {
+        let files: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 64]).collect();
+        let mut g = EncodedGroup::encode(&files);
+        g.fail_member(0);
+        g.fail_member(1);
+        g.fail_member(2);
+        assert!(g.recover_all().is_none());
+    }
+
+    #[test]
+    fn predicate_matches_codec_for_every_group4_pattern() {
+        // The semantic predicate (survives L3) and the executable codec
+        // must agree on every failure pattern of one group of 4.
+        let cfg = FtiConfig { group_size: 4, node_size: 2, l2_copies: 1, schedules: vec![] };
+        let l = GroupLayout::new(&cfg, 8); // exactly one group
+        let files: Vec<Vec<u8>> = (0..4).map(|i| vec![0xA0 + i as u8; 50]).collect();
+        for mask in 0u32..16 {
+            let mut g = EncodedGroup::encode(&files);
+            let mut lost = Vec::new();
+            for m in 0..4 {
+                if mask & (1 << m) != 0 {
+                    g.fail_member(m as usize);
+                    lost.push(m);
+                }
+            }
+            let predicate = survives(CkptLevel::L3, &l, &FailureScenario::of(lost));
+            let actual = g.recover_all().is_some();
+            assert_eq!(predicate, actual, "mask {mask:04b}");
+        }
+    }
+
+    #[test]
+    fn empty_file_encodes() {
+        let files: Vec<Vec<u8>> = vec![vec![], vec![1, 2, 3], vec![9; 10], vec![7]];
+        let mut g = EncodedGroup::encode(&files);
+        g.fail_member(0);
+        assert_eq!(g.recover_all().unwrap(), files);
+    }
+}

@@ -1,0 +1,447 @@
+//! Systematic Reed–Solomon erasure coding over GF(2⁸).
+//!
+//! FTI Level-3 checkpointing encodes each group's checkpoint files with an
+//! RS erasure code so that any `parity` lost members can be rebuilt from
+//! the survivors. This is a real codec, not a cost model: it encodes and
+//! reconstructs byte buffers, and the recovery-semantics property tests in
+//! this crate run on it.
+//!
+//! Construction: start from the (k+m)×k Vandermonde matrix over GF(2⁸)
+//! (rows `[α_i⁰, α_i¹, …]` with distinct α_i), then column-reduce so the
+//! top k×k block is the identity. The resulting matrix is systematic (data
+//! shards pass through unchanged) and every k×k submatrix remains
+//! invertible, which is the erasure-recovery guarantee.
+
+use crate::gf256;
+
+/// Dense matrix over GF(2⁸), row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Vandermonde matrix with α_i = gⁱ (distinct for rows < 255).
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= 255, "GF(256) Vandermonde limited to 255 rows");
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            let alpha = gf256::exp(r as u32);
+            for c in 0..cols {
+                m.set(r, c, gf256::pow(alpha, c as u32));
+            }
+        }
+        m
+    }
+
+    /// Element at (r, c).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at (r, c).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix product.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in matrix multiply");
+        let mut out = Matrix::zero(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    let v = out.get(r, c) ^ gf256::mul(a, other.get(k, c));
+                    out.set(r, c, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Extract the sub-matrix made of the given rows.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r < self.rows, "row {r} out of range");
+            for c in 0..self.cols {
+                out.set(i, c, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Invert a square matrix by Gauss–Jordan elimination. Returns `None`
+    /// if singular.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                for c in 0..n {
+                    let (x, y) = (a.get(col, c), a.get(pivot, c));
+                    a.set(col, c, y);
+                    a.set(pivot, c, x);
+                    let (x, y) = (inv.get(col, c), inv.get(pivot, c));
+                    inv.set(col, c, y);
+                    inv.set(pivot, c, x);
+                }
+            }
+            // Normalize pivot row.
+            let p = a.get(col, col);
+            let pinv = gf256::inv(p);
+            for c in 0..n {
+                a.set(col, c, gf256::mul(a.get(col, c), pinv));
+                inv.set(col, c, gf256::mul(inv.get(col, c), pinv));
+            }
+            // Eliminate the column elsewhere.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a.get(r, col);
+                if f == 0 {
+                    continue;
+                }
+                for c in 0..n {
+                    let v = a.get(r, c) ^ gf256::mul(f, a.get(col, c));
+                    a.set(r, c, v);
+                    let v = inv.get(r, c) ^ gf256::mul(f, inv.get(col, c));
+                    inv.set(r, c, v);
+                }
+            }
+        }
+        Some(inv)
+    }
+}
+
+/// A systematic Reed–Solomon erasure code with `data` data shards and
+/// `parity` parity shards.
+///
+/// ```
+/// use besst_fti::ReedSolomon;
+/// // FTI-L3-shaped code: a group of 4 tolerating half the group.
+/// let rs = ReedSolomon::new(2, 2);
+/// let data = vec![vec![1u8, 2, 3], vec![4, 5, 6]];
+/// let parity = rs.encode(&data).unwrap();
+/// // Lose one data and one parity shard...
+/// let shards = vec![None, Some(data[1].clone()), None, Some(parity[1].clone())];
+/// // ...and reconstruct the originals exactly.
+/// assert_eq!(rs.reconstruct(&shards).unwrap(), data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    data: usize,
+    parity: usize,
+    /// The (data+parity)×data systematic encoding matrix.
+    matrix: Matrix,
+}
+
+/// Errors surfaced by the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// Fewer surviving shards than data shards.
+    NotEnoughShards {
+        /// Shards available.
+        have: usize,
+        /// Shards required (= data shard count).
+        need: usize,
+    },
+    /// Shards passed in have inconsistent lengths.
+    ShardSizeMismatch,
+    /// A shard index was out of range or duplicated.
+    BadShardIndex(usize),
+}
+
+impl std::fmt::Display for RsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsError::NotEnoughShards { have, need } => {
+                write!(f, "not enough shards to reconstruct: have {have}, need {need}")
+            }
+            RsError::ShardSizeMismatch => write!(f, "shard sizes are inconsistent"),
+            RsError::BadShardIndex(i) => write!(f, "bad shard index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+impl ReedSolomon {
+    /// Build a codec. `data + parity` must fit in the field (≤ 255).
+    pub fn new(data: usize, parity: usize) -> Self {
+        assert!(data >= 1, "need at least one data shard");
+        assert!(parity >= 1, "need at least one parity shard");
+        assert!(data + parity <= 255, "data + parity must be <= 255 for GF(256)");
+        // Systematize a Vandermonde matrix: V -> V * (top k rows)^-1.
+        let v = Matrix::vandermonde(data + parity, data);
+        let top: Vec<usize> = (0..data).collect();
+        let top_inv = v
+            .select_rows(&top)
+            .inverse()
+            .expect("Vandermonde top block is always invertible");
+        let matrix = v.mul(&top_inv);
+        ReedSolomon { data, parity, matrix }
+    }
+
+    /// Data shard count.
+    pub fn data_shards(&self) -> usize {
+        self.data
+    }
+
+    /// Parity shard count.
+    pub fn parity_shards(&self) -> usize {
+        self.parity
+    }
+
+    /// Total shard count.
+    pub fn total_shards(&self) -> usize {
+        self.data + self.parity
+    }
+
+    /// Encode: given `data` equal-length shards, produce `parity` parity
+    /// shards.
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+        if data.len() != self.data {
+            return Err(RsError::NotEnoughShards { have: data.len(), need: self.data });
+        }
+        let len = data[0].len();
+        if data.iter().any(|s| s.len() != len) {
+            return Err(RsError::ShardSizeMismatch);
+        }
+        let mut parity = vec![vec![0u8; len]; self.parity];
+        for (p, row) in parity.iter_mut().zip(self.data..self.total_shards()) {
+            for (c, shard) in data.iter().enumerate() {
+                gf256::mul_acc(p, shard, self.matrix.get(row, c));
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Reconstruct the original data shards from any `data`-sized subset of
+    /// survivors. `shards[i] = Some(bytes)` for surviving shard `i`
+    /// (data shards are `0..data`, parity shards `data..data+parity`).
+    pub fn reconstruct(
+        &self,
+        shards: &[Option<Vec<u8>>],
+    ) -> Result<Vec<Vec<u8>>, RsError> {
+        if shards.len() != self.total_shards() {
+            return Err(RsError::BadShardIndex(shards.len()));
+        }
+        let available: Vec<usize> =
+            shards.iter().enumerate().filter(|(_, s)| s.is_some()).map(|(i, _)| i).collect();
+        if available.len() < self.data {
+            return Err(RsError::NotEnoughShards { have: available.len(), need: self.data });
+        }
+        let chosen = &available[..self.data];
+        let len = shards[chosen[0]].as_ref().expect("chosen shard present").len();
+        if chosen.iter().any(|&i| shards[i].as_ref().expect("present").len() != len) {
+            return Err(RsError::ShardSizeMismatch);
+        }
+        // Fast path: all data shards survive.
+        if chosen.iter().enumerate().all(|(i, &s)| i == s) {
+            return Ok(chosen
+                .iter()
+                .map(|&i| shards[i].as_ref().expect("present").clone())
+                .collect());
+        }
+        let sub = self.matrix.select_rows(chosen);
+        let dec = sub
+            .inverse()
+            .expect("any k rows of a systematized Vandermonde matrix are independent");
+        let mut out = vec![vec![0u8; len]; self.data];
+        for (r, o) in out.iter_mut().enumerate() {
+            for (c, &idx) in chosen.iter().enumerate() {
+                let shard = shards[idx].as_ref().expect("present");
+                gf256::mul_acc(o, shard, dec.get(r, c));
+            }
+        }
+        Ok(out)
+    }
+
+    /// FTI-style helper: maximum concurrent shard losses the code
+    /// tolerates.
+    pub fn max_losses(&self) -> usize {
+        self.parity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(k: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| (seed as usize ^ (i * 37 + j * 13)) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let rs = ReedSolomon::new(4, 2);
+        // The top of the matrix is identity: data rows pass through.
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(rs.matrix.get(i, j), u8::from(i == j));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_no_loss() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = shards(4, 64, 1);
+        let parity = rs.encode(&data).unwrap();
+        let mut all: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        all.truncate(6);
+        let rec = rs.reconstruct(&all).unwrap();
+        assert_eq!(rec, data);
+    }
+
+    #[test]
+    fn recovers_from_max_losses() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = shards(4, 128, 7);
+        let parity = rs.encode(&data).unwrap();
+        // Lose two data shards (the max).
+        let mut all: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        all[0] = None;
+        all[2] = None;
+        let rec = rs.reconstruct(&all).unwrap();
+        assert_eq!(rec, data);
+    }
+
+    #[test]
+    fn every_loss_pattern_up_to_parity_recovers() {
+        let (k, m) = (4usize, 2usize);
+        let rs = ReedSolomon::new(k, m);
+        let data = shards(k, 32, 3);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+        let n = k + m;
+        // All subsets of size <= m to erase.
+        for mask in 0u32..(1 << n) {
+            if (mask.count_ones() as usize) > m {
+                continue;
+            }
+            let all: Vec<Option<Vec<u8>>> = (0..n)
+                .map(|i| if mask & (1 << i) != 0 { None } else { Some(full[i].clone()) })
+                .collect();
+            let rec = rs.reconstruct(&all).unwrap_or_else(|e| {
+                panic!("mask {mask:06b} failed: {e}");
+            });
+            assert_eq!(rec, data, "mask {mask:06b}");
+        }
+    }
+
+    #[test]
+    fn too_many_losses_reports_error() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = shards(4, 16, 9);
+        let parity = rs.encode(&data).unwrap();
+        let mut all: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        all[0] = None;
+        all[1] = None;
+        all[4] = None;
+        match rs.reconstruct(&all) {
+            Err(RsError::NotEnoughShards { have: 3, need: 4 }) => {}
+            other => panic!("expected NotEnoughShards, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_size_mismatch_detected() {
+        let rs = ReedSolomon::new(2, 1);
+        let bad = vec![vec![1, 2, 3], vec![1, 2]];
+        assert_eq!(rs.encode(&bad), Err(RsError::ShardSizeMismatch));
+    }
+
+    #[test]
+    fn fti_group_shape() {
+        // FTI group of 4 nodes tolerating half the group: k=2 survivors
+        // required... the paper states "up to 1/2 of the nodes" — an RS(k=2,
+        // m=2) code over a group of 4.
+        let rs = ReedSolomon::new(2, 2);
+        assert_eq!(rs.max_losses(), 2);
+        assert_eq!(rs.total_shards(), 4);
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrip() {
+        let m = Matrix::vandermonde(5, 5);
+        let inv = m.inverse().expect("Vandermonde with distinct alphas inverts");
+        let prod = m.mul(&inv);
+        assert_eq!(prod, Matrix::identity(5));
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let mut m = Matrix::zero(3, 3);
+        // Two identical rows.
+        for c in 0..3 {
+            m.set(0, c, c as u8 + 1);
+            m.set(1, c, c as u8 + 1);
+            m.set(2, c, 7);
+        }
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn large_code_roundtrip() {
+        let rs = ReedSolomon::new(16, 8);
+        let data = shards(16, 1024, 5);
+        let parity = rs.encode(&data).unwrap();
+        let mut all: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        // Erase 8 alternating shards.
+        for i in (0..24).step_by(3) {
+            all[i] = None;
+        }
+        let rec = rs.reconstruct(&all).unwrap();
+        assert_eq!(rec, data);
+    }
+}

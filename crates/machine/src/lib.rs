@@ -1,0 +1,36 @@
+//! # besst-machine — hardware descriptions and the synthetic testbed
+//!
+//! BE-SST's Model Development phase starts from *benchmarking data
+//! collected on existing machines*. This crate supplies both halves of
+//! that sentence for the reproduction:
+//!
+//! * **hardware descriptions** — [`node::NodeSpec`] (roofline compute
+//!   timing), [`storage`] (node-local tiers and the contended parallel
+//!   file system), [`testbed::Machine`] (the full system: node + fabric +
+//!   storage + noise), and [`presets`] for Quartz, Vulcan, and notional
+//!   extensions;
+//! * **the synthetic testbed** — [`testbed::Testbed`], a fine-grained
+//!   executor that "runs" instrumented blocks ([`testbed::BlockWork`]) by
+//!   computing their deterministic cost and multiplying by sampled machine
+//!   noise ([`noise::NoiseModel`]), standing in for a real allocation on
+//!   Quartz.
+//!
+//! The straggler model deserves a note: operations that synchronize `n`
+//! ranks (coordinated checkpoints, barriers) are charged the *maximum* of
+//! `n` noise draws, which grows like `σ·√(2 ln n)`. This is the mechanism
+//! by which the testbed reproduces the paper's observation that
+//! checkpointing scales "much more quickly" with parallelism than the
+//! compute it protects.
+
+#![warn(missing_docs)]
+
+pub mod noise;
+pub mod node;
+pub mod presets;
+pub mod storage;
+pub mod testbed;
+
+pub use noise::NoiseModel;
+pub use node::NodeSpec;
+pub use storage::{ParallelFileSystem, StorageTier};
+pub use testbed::{BlockWork, Interconnect, Machine, NoiseDomain, Testbed};

@@ -1,0 +1,132 @@
+//! Compute-node hardware description and roofline-style compute timing.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of one compute node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Marketing name, e.g. "2x Xeon E5-2695v4".
+    pub name: String,
+    /// CPU sockets per node.
+    pub sockets: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Sustained double-precision rate per core, FLOP/s (not peak —
+    /// calibrated sustained throughput on the target kernels).
+    pub flops_per_core: f64,
+    /// Main-memory capacity in bytes.
+    pub mem_bytes: u64,
+    /// Sustained main-memory bandwidth per node, bytes/s (STREAM-like).
+    pub mem_bw_bps: f64,
+    /// Parallel efficiency exponent: using `c` cores delivers
+    /// `c^efficiency` speedup (1.0 = perfect scaling; 0.9 models shared
+    /// cache/membus interference).
+    pub parallel_efficiency: f64,
+}
+
+impl NodeSpec {
+    /// Total physical cores.
+    pub fn cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Effective speedup of `cores_used` cores under the node's parallel
+    /// efficiency model.
+    pub fn core_speedup(&self, cores_used: u32) -> f64 {
+        assert!(cores_used >= 1, "need at least one core");
+        assert!(
+            cores_used <= self.cores(),
+            "asked for {cores_used} cores, node has {}",
+            self.cores()
+        );
+        (cores_used as f64).powf(self.parallel_efficiency)
+    }
+
+    /// Roofline compute time: a kernel with `flops` floating-point work and
+    /// `mem_bytes` memory traffic on `cores_used` cores is limited by
+    /// whichever of the compute and memory roofs it hits.
+    pub fn compute_time(&self, flops: f64, mem_bytes: f64, cores_used: u32) -> f64 {
+        assert!(flops >= 0.0 && mem_bytes >= 0.0, "work must be non-negative");
+        let speedup = self.core_speedup(cores_used);
+        let t_flops = flops / (self.flops_per_core * speedup);
+        // Memory bandwidth is a node-shared resource: one core cannot
+        // saturate it, all cores together can. Scale achievable bandwidth
+        // with the fraction of cores used (floor 1/cores to avoid zero).
+        let bw_frac = (cores_used as f64 / self.cores() as f64).max(1.0 / self.cores() as f64);
+        let t_mem = mem_bytes / (self.mem_bw_bps * bw_frac);
+        t_flops.max(t_mem)
+    }
+
+    /// Arithmetic intensity (FLOP/byte) at which this node transitions from
+    /// memory-bound to compute-bound when using all cores.
+    pub fn roofline_knee(&self) -> f64 {
+        let peak = self.flops_per_core * self.core_speedup(self.cores());
+        peak / self.mem_bw_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xeon() -> NodeSpec {
+        NodeSpec {
+            name: "test-xeon".into(),
+            sockets: 2,
+            cores_per_socket: 18,
+            flops_per_core: 1.0e10,
+            mem_bytes: 128 << 30,
+            mem_bw_bps: 65.0e9,
+            parallel_efficiency: 0.95,
+        }
+    }
+
+    #[test]
+    fn core_count() {
+        assert_eq!(xeon().cores(), 36);
+    }
+
+    #[test]
+    fn speedup_is_sublinear() {
+        let n = xeon();
+        let s36 = n.core_speedup(36);
+        assert!(s36 < 36.0);
+        assert!(s36 > 28.0);
+        assert_eq!(n.core_speedup(1), 1.0);
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_cores() {
+        let n = xeon();
+        // High arithmetic intensity: flops dominate.
+        let t1 = n.compute_time(1e12, 1e6, 1);
+        let t36 = n.compute_time(1e12, 1e6, 36);
+        assert!(t1 / t36 > 20.0, "got speedup {}", t1 / t36);
+    }
+
+    #[test]
+    fn memory_bound_kernel_hits_bandwidth_roof() {
+        let n = xeon();
+        // 1 GB of traffic, trivial flops, all cores.
+        let t = n.compute_time(1.0, 1e9, 36);
+        assert!((t - 1e9 / 65.0e9).abs() / t < 1e-9);
+    }
+
+    #[test]
+    fn roofline_knee_is_positive() {
+        let knee = xeon().roofline_knee();
+        assert!(knee > 1.0 && knee < 100.0, "knee {knee} FLOP/byte");
+    }
+
+    #[test]
+    #[should_panic(expected = "node has 36")]
+    fn too_many_cores_panics() {
+        xeon().core_speedup(37);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_work_panics() {
+        xeon().compute_time(-1.0, 0.0, 1);
+    }
+}

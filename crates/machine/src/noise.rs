@@ -1,0 +1,192 @@
+//! Machine noise: the stochastic part of measured runtimes.
+//!
+//! The paper stresses that "actual machine performance is non-deterministic
+//! due to noise and other factors", which is why BE-SST keeps *samples*
+//! rather than means and runs Monte Carlo simulations. Our synthetic
+//! testbed reproduces that: every measured duration is
+//! `deterministic cost × noise`, where noise is a multiplicative
+//! log-normal factor with unit mean plus an occasional heavy-tail
+//! "interference" slowdown (OS jitter, shared-fabric contention).
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Uniform};
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative noise model with unit mean.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// σ of the underlying normal; the log-normal is parameterized with
+    /// μ = −σ²/2 so that E\[noise\] = 1 exactly.
+    pub sigma: f64,
+    /// Probability that a sample additionally suffers an interference
+    /// slowdown.
+    pub tail_prob: f64,
+    /// Slowdown factor range for interference events, multiplicative.
+    pub tail_range: (f64, f64),
+}
+
+impl NoiseModel {
+    /// Plain log-normal noise, no heavy tail.
+    pub fn lognormal(sigma: f64) -> Self {
+        NoiseModel { sigma, tail_prob: 0.0, tail_range: (1.0, 1.0) }
+    }
+
+    /// Log-normal plus occasional interference events.
+    pub fn with_tail(sigma: f64, tail_prob: f64, lo: f64, hi: f64) -> Self {
+        assert!((0.0..=1.0).contains(&tail_prob), "tail probability in [0,1]");
+        assert!(lo >= 1.0 && hi >= lo, "tail slowdown range must be >= 1 and ordered");
+        NoiseModel { sigma, tail_prob, tail_range: (lo, hi) }
+    }
+
+    /// No noise at all (testing / point-estimate ablations).
+    pub fn none() -> Self {
+        NoiseModel::lognormal(0.0)
+    }
+
+    /// Draw one multiplicative noise factor (> 0, mean ≈ 1 plus tail mass).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        assert!(self.sigma >= 0.0, "sigma must be non-negative");
+        let base = if self.sigma == 0.0 {
+            1.0
+        } else {
+            let mu = -self.sigma * self.sigma / 2.0;
+            LogNormal::new(mu, self.sigma)
+                .expect("valid log-normal parameters")
+                .sample(rng)
+        };
+        if self.tail_prob > 0.0 && rng.gen::<f64>() < self.tail_prob {
+            let (lo, hi) = self.tail_range;
+            let slow = if hi > lo {
+                Uniform::new(lo, hi).sample(rng)
+            } else {
+                lo
+            };
+            base * slow
+        } else {
+            base
+        }
+    }
+
+    /// Maximum of `n` independent noise draws — the straggler factor seen
+    /// by an operation that synchronizes `n` ranks (coordinated
+    /// checkpointing, barriers). Grows slowly (≈√(2 ln n)·σ) with n, which
+    /// is exactly why coordinated FT operations scale worse with
+    /// parallelism than the compute they protect.
+    pub fn sample_max<R: Rng + ?Sized>(&self, rng: &mut R, n: u32) -> f64 {
+        assert!(n >= 1, "need at least one participant");
+        // Sampling n draws is exact but O(n); for large n use the exact
+        // method up to a cutoff then the Gumbel-type asymptotic of the
+        // log-normal maximum, keeping determinism per (seed, call).
+        const EXACT_CUTOFF: u32 = 4096;
+        if n <= EXACT_CUTOFF {
+            let mut m = f64::MIN;
+            for _ in 0..n {
+                m = m.max(self.sample(rng));
+            }
+            m
+        } else {
+            // E[max of n lognormal(μ,σ)] ≈ exp(μ + σ·√(2 ln n)); jitter the
+            // asymptotic with one more draw to stay stochastic.
+            let mu = -self.sigma * self.sigma / 2.0;
+            let loc = (mu + self.sigma * (2.0 * (n as f64).ln()).sqrt()).exp();
+            loc * self.sample(rng).powf(0.5)
+        }
+    }
+
+    /// Expected straggler factor for `n` synchronized participants (the
+    /// deterministic counterpart of [`NoiseModel::sample_max`], used by
+    /// point-estimate models).
+    pub fn expected_max(&self, n: u32) -> f64 {
+        if self.sigma == 0.0 || n <= 1 {
+            return 1.0;
+        }
+        let mu = -self.sigma * self.sigma / 2.0;
+        (mu + self.sigma * (2.0 * (n as f64).ln()).sqrt()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_mean() {
+        let nm = NoiseModel::lognormal(0.1);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| nm.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let nm = NoiseModel::none();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(nm.sample(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let nm = NoiseModel::with_tail(0.3, 0.05, 1.5, 3.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(nm.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn tail_raises_mean() {
+        let base = NoiseModel::lognormal(0.1);
+        let tailed = NoiseModel::with_tail(0.1, 0.1, 2.0, 3.0);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let m1: f64 = (0..n).map(|_| base.sample(&mut r1)).sum::<f64>() / n as f64;
+        let m2: f64 = (0..n).map(|_| tailed.sample(&mut r2)).sum::<f64>() / n as f64;
+        assert!(m2 > m1 * 1.05, "tailed mean {m2} vs base {m1}");
+    }
+
+    #[test]
+    fn straggler_factor_grows_with_n() {
+        let nm = NoiseModel::lognormal(0.15);
+        let mut rng = StdRng::seed_from_u64(9);
+        let reps = 300;
+        let avg_max = |n: u32, rng: &mut StdRng| -> f64 {
+            (0..reps).map(|_| nm.sample_max(rng, n)).sum::<f64>() / reps as f64
+        };
+        let m1 = avg_max(1, &mut rng);
+        let m64 = avg_max(64, &mut rng);
+        let m1000 = avg_max(1000, &mut rng);
+        assert!(m64 > m1, "{m64} > {m1}");
+        assert!(m1000 > m64, "{m1000} > {m64}");
+    }
+
+    #[test]
+    fn expected_max_matches_simulated_roughly() {
+        let nm = NoiseModel::lognormal(0.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let reps = 2000;
+        let n = 256;
+        let sim: f64 = (0..reps).map(|_| nm.sample_max(&mut rng, n)).sum::<f64>() / reps as f64;
+        let ana = nm.expected_max(n);
+        assert!((sim / ana - 1.0).abs() < 0.15, "sim {sim} vs analytic {ana}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let nm = NoiseModel::with_tail(0.2, 0.02, 1.5, 2.0);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..100).map(|_| nm.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..100).map(|_| nm.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,191 @@
+//! Storage hierarchy: node-local tiers and the shared parallel file system.
+//!
+//! FTI's checkpoint levels stress different storage stages — L1 writes to
+//! node-local storage, L4 flushes to the PFS — so both are modeled with the
+//! contention behaviour that matters at scale: local tiers are private,
+//! the PFS is a shared aggregate pipe.
+
+use serde::{Deserialize, Serialize};
+
+/// A node-private storage tier (tmpfs, node-local SSD, burst buffer slice).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StorageTier {
+    /// Sustained write bandwidth, bytes/s.
+    pub write_bps: f64,
+    /// Sustained read bandwidth, bytes/s.
+    pub read_bps: f64,
+    /// Per-operation setup latency, seconds (open/sync overhead).
+    pub latency_s: f64,
+}
+
+impl StorageTier {
+    /// Construct with validation.
+    pub fn new(write_bps: f64, read_bps: f64, latency_s: f64) -> Self {
+        assert!(write_bps > 0.0 && read_bps > 0.0, "bandwidths must be positive");
+        assert!(latency_s >= 0.0, "latency must be non-negative");
+        StorageTier { write_bps, read_bps, latency_s }
+    }
+
+    /// Time to write `bytes`.
+    pub fn write_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.write_bps
+    }
+
+    /// Time to read `bytes`.
+    pub fn read_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.read_bps
+    }
+}
+
+/// The shared parallel file system (Lustre/GPFS class).
+///
+/// Writers share `aggregate_write_bps`; a single writer is additionally
+/// capped by `per_node_bps` (its injection limit into the I/O fabric).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ParallelFileSystem {
+    /// Total backend write bandwidth, bytes/s.
+    pub aggregate_write_bps: f64,
+    /// Total backend read bandwidth, bytes/s.
+    pub aggregate_read_bps: f64,
+    /// Per-client cap, bytes/s.
+    pub per_node_bps: f64,
+    /// Metadata/open latency per operation, seconds.
+    pub latency_s: f64,
+    /// Serialized cost per metadata operation at the metadata server,
+    /// seconds. Coordinated checkpointing libraries (FTI included) create
+    /// and update per-node files/status entries through a shared metadata
+    /// path on every checkpoint, which serializes at the MDS — the reason
+    /// coordinated checkpoint cost grows ~linearly with node count even
+    /// at levels whose *data* stays node-local.
+    pub metadata_op_s: f64,
+}
+
+impl ParallelFileSystem {
+    /// Construct with validation.
+    pub fn new(
+        aggregate_write_bps: f64,
+        aggregate_read_bps: f64,
+        per_node_bps: f64,
+        latency_s: f64,
+    ) -> Self {
+        assert!(
+            aggregate_write_bps > 0.0 && aggregate_read_bps > 0.0 && per_node_bps > 0.0,
+            "bandwidths must be positive"
+        );
+        assert!(latency_s >= 0.0, "latency must be non-negative");
+        ParallelFileSystem {
+            aggregate_write_bps,
+            aggregate_read_bps,
+            per_node_bps,
+            latency_s,
+            metadata_op_s: 1.0e-4,
+        }
+    }
+
+    /// Override the per-operation metadata-server cost.
+    pub fn with_metadata_op(mut self, metadata_op_s: f64) -> Self {
+        assert!(metadata_op_s >= 0.0, "metadata cost must be non-negative");
+        self.metadata_op_s = metadata_op_s;
+        self
+    }
+
+    /// Time for `ops` metadata operations arriving concurrently: they
+    /// serialize at the metadata server.
+    pub fn metadata_time(&self, ops: u32) -> f64 {
+        self.latency_s + ops as f64 * self.metadata_op_s
+    }
+
+    /// Effective per-writer bandwidth with `writers` concurrent clients.
+    pub fn write_share_bps(&self, writers: u32) -> f64 {
+        assert!(writers >= 1, "need at least one writer");
+        (self.aggregate_write_bps / writers as f64).min(self.per_node_bps)
+    }
+
+    /// Effective per-reader bandwidth with `readers` concurrent clients.
+    pub fn read_share_bps(&self, readers: u32) -> f64 {
+        assert!(readers >= 1, "need at least one reader");
+        (self.aggregate_read_bps / readers as f64).min(self.per_node_bps)
+    }
+
+    /// Time for one of `writers` concurrent clients to write `bytes`.
+    pub fn write_time(&self, bytes: u64, writers: u32) -> f64 {
+        self.latency_s + bytes as f64 / self.write_share_bps(writers)
+    }
+
+    /// Time for one of `readers` concurrent clients to read `bytes`.
+    pub fn read_time(&self, bytes: u64, readers: u32) -> f64 {
+        self.latency_s + bytes as f64 / self.read_share_bps(readers)
+    }
+
+    /// Number of concurrent writers at which the aggregate pipe, not the
+    /// per-node cap, becomes the bottleneck.
+    pub fn saturation_writers(&self) -> u32 {
+        (self.aggregate_write_bps / self.per_node_bps).ceil() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfs() -> ParallelFileSystem {
+        // 90 GB/s aggregate, 2 GB/s per node, 5 ms metadata.
+        ParallelFileSystem::new(90e9, 120e9, 2e9, 5e-3)
+    }
+
+    #[test]
+    fn local_tier_times() {
+        let t = StorageTier::new(1e9, 2e9, 1e-4);
+        assert!((t.write_time(1 << 30) - (1e-4 + (1u64 << 30) as f64 / 1e9)).abs() < 1e-12);
+        assert!(t.read_time(1 << 30) < t.write_time(1 << 30));
+    }
+
+    #[test]
+    fn single_writer_hits_per_node_cap() {
+        let p = pfs();
+        assert_eq!(p.write_share_bps(1), 2e9);
+    }
+
+    #[test]
+    fn many_writers_share_aggregate() {
+        let p = pfs();
+        // 90 GB/s over 90 writers = 1 GB/s < per-node cap.
+        assert!((p.write_share_bps(90) - 1e9).abs() < 1.0);
+        assert!(p.write_share_bps(900) < p.write_share_bps(90));
+    }
+
+    #[test]
+    fn saturation_point() {
+        let p = pfs();
+        assert_eq!(p.saturation_writers(), 45);
+        // Below saturation adding writers does not slow each down.
+        assert_eq!(p.write_share_bps(10), p.write_share_bps(45 - 1).min(2e9));
+    }
+
+    #[test]
+    fn metadata_serializes_linearly() {
+        let p = pfs().with_metadata_op(1e-4);
+        let t32 = p.metadata_time(32);
+        let t1000 = p.metadata_time(1000);
+        assert!(t1000 > t32);
+        // Linear in ops beyond the fixed latency.
+        assert!(((t1000 - p.latency_s) / (t32 - p.latency_s) - 1000.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_time_monotone_in_writers() {
+        let p = pfs();
+        let mut prev = 0.0;
+        for w in [1u32, 10, 45, 100, 1000] {
+            let t = p.write_time(1 << 30, w);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one writer")]
+    fn zero_writers_panics() {
+        pfs().write_share_bps(0);
+    }
+}

@@ -1,0 +1,539 @@
+//! The fine-grained synthetic testbed — our stand-in for the real machine.
+//!
+//! The BE-SST workflow begins by *running instrumented code on an existing
+//! machine* to collect timing samples. We have no Quartz allocation, so
+//! this module provides the machine: a [`Machine`] description (node,
+//! fabric, storage, noise) and a [`Testbed`] that "executes" instrumented
+//! blocks ([`BlockWork`]) by computing their fine-grained deterministic
+//! cost and multiplying by sampled machine noise. Every downstream step —
+//! benchmarking, model fitting, validation, full-system simulation — is
+//! identical to the paper's workflow; only the source of the samples is
+//! synthetic.
+
+use crate::noise::NoiseModel;
+use crate::node::NodeSpec;
+use crate::storage::{ParallelFileSystem, StorageTier};
+use besst_topology::collectives::CollectiveModel;
+use besst_topology::cost::CostModel;
+use besst_topology::dragonfly::Dragonfly;
+use besst_topology::fattree::FatTree;
+use besst_topology::torus::Torus;
+use besst_topology::Topology;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The interconnect of a machine (closed enum so machines are
+/// serializable and cheaply cloneable).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Interconnect {
+    /// Two-stage fat-tree (Quartz / Omni-Path class).
+    FatTree(FatTree),
+    /// N-dimensional torus (Vulcan / BG/Q class).
+    Torus(Torus),
+    /// Dragonfly (notional systems).
+    Dragonfly(Dragonfly),
+}
+
+impl Interconnect {
+    /// Borrow the topology interface.
+    pub fn topology(&self) -> &dyn Topology {
+        match self {
+            Interconnect::FatTree(t) => t,
+            Interconnect::Torus(t) => t,
+            Interconnect::Dragonfly(t) => t,
+        }
+    }
+
+    /// Bandwidth share available to global traffic on contended stages
+    /// (fat-tree taper; 1.0 for the direct networks).
+    pub fn bandwidth_share(&self) -> f64 {
+        match self {
+            Interconnect::FatTree(t) => t.core_bandwidth_share(),
+            Interconnect::Torus(_) | Interconnect::Dragonfly(_) => 1.0,
+        }
+    }
+}
+
+/// One instrumented block of work — the unit the benchmarking campaign
+/// times. The FTI substrate and the proxy apps express themselves as
+/// sequences of these.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BlockWork {
+    /// On-node kernel under the roofline model.
+    Compute {
+        /// Floating-point work, FLOP.
+        flops: f64,
+        /// Memory traffic, bytes.
+        mem_bytes: f64,
+        /// Cores used by the kernel on this node.
+        cores_used: u32,
+    },
+    /// Nearest-neighbour halo exchange: `neighbors` peers, `bytes` each.
+    HaloExchange {
+        /// Ranks participating (affects nothing but kept for records).
+        ranks: u32,
+        /// Number of neighbour peers per rank.
+        neighbors: u32,
+        /// Bytes exchanged with each neighbour.
+        bytes: u64,
+    },
+    /// Allreduce over `ranks` of a `bytes` payload.
+    Allreduce {
+        /// Participating ranks.
+        ranks: u32,
+        /// Payload bytes per rank.
+        bytes: u64,
+    },
+    /// Dissemination barrier over `ranks`.
+    Barrier {
+        /// Participating ranks.
+        ranks: u32,
+    },
+    /// Write `bytes` to node-local storage.
+    LocalWrite {
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// Read `bytes` from node-local storage.
+    LocalRead {
+        /// Bytes read.
+        bytes: u64,
+    },
+    /// Send a checkpoint copy of `bytes` to `copies` partner nodes
+    /// (FTI L2 partner-copy).
+    PartnerExchange {
+        /// Bytes per copy.
+        bytes: u64,
+        /// Number of partner copies sent (FTI sends to neighbours in the
+        /// group).
+        copies: u32,
+    },
+    /// Reed–Solomon encode `bytes` for a group of `group_size` nodes and
+    /// scatter the parity (FTI L3).
+    RsEncode {
+        /// Checkpoint bytes per node.
+        bytes: u64,
+        /// FTI group size.
+        group_size: u32,
+    },
+    /// Write `bytes` to the PFS with `writers` concurrent clients (FTI L4).
+    PfsWrite {
+        /// Bytes per writer.
+        bytes: u64,
+        /// Concurrent writers.
+        writers: u32,
+    },
+    /// Read `bytes` from the PFS with `readers` concurrent clients.
+    PfsRead {
+        /// Bytes per reader.
+        bytes: u64,
+        /// Concurrent readers.
+        readers: u32,
+    },
+    /// `ops` concurrent metadata operations serializing at the PFS
+    /// metadata server (file creates/status updates of a coordinated
+    /// checkpointing library).
+    PfsMetadata {
+        /// Concurrent metadata operations.
+        ops: u32,
+    },
+}
+
+impl BlockWork {
+    /// Which noise domain this block draws from.
+    pub fn domain(&self) -> NoiseDomain {
+        match self {
+            BlockWork::Compute { .. } | BlockWork::RsEncode { .. } => NoiseDomain::Compute,
+            BlockWork::HaloExchange { .. }
+            | BlockWork::Allreduce { .. }
+            | BlockWork::Barrier { .. }
+            | BlockWork::PartnerExchange { .. } => NoiseDomain::Network,
+            BlockWork::LocalWrite { .. }
+            | BlockWork::LocalRead { .. }
+            | BlockWork::PfsWrite { .. }
+            | BlockWork::PfsRead { .. }
+            | BlockWork::PfsMetadata { .. } => NoiseDomain::Storage,
+        }
+    }
+}
+
+/// Noise domains: different machine subsystems jitter differently
+/// (storage and shared fabric are noisier than on-node compute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseDomain {
+    /// On-node computation.
+    Compute,
+    /// Fabric communication.
+    Network,
+    /// Local and parallel storage.
+    Storage,
+}
+
+/// Full machine description: everything the testbed and the BE models need.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    /// Machine name ("quartz", "vulcan", ...).
+    pub name: String,
+    /// Per-node hardware.
+    pub node: NodeSpec,
+    /// Number of compute nodes available.
+    pub n_nodes: usize,
+    /// Interconnect topology.
+    pub interconnect: Interconnect,
+    /// Fabric timing parameters.
+    pub fabric: CostModel,
+    /// Node-local storage tier (FTI L1 target).
+    pub local_store: StorageTier,
+    /// Shared parallel file system (FTI L4 target).
+    pub pfs: ParallelFileSystem,
+    /// Reed–Solomon encode throughput per node, bytes/s of checkpoint data
+    /// per parity stream (FTI L3 compute cost).
+    pub rs_encode_bps: f64,
+    /// Compute-domain noise.
+    pub compute_noise: NoiseModel,
+    /// Network-domain noise.
+    pub network_noise: NoiseModel,
+    /// Storage-domain noise.
+    pub storage_noise: NoiseModel,
+    /// Background load on shared storage services (PFS data + metadata)
+    /// from *other tenants*: a per-operation multiplicative factor drawn
+    /// uniformly from this range. Unlike per-rank straggler noise, this
+    /// does not concentrate away with scale — it is the day-to-day
+    /// variance every real checkpointing benchmark fights.
+    pub storage_background: (f64, f64),
+    /// Job-level performance drift: a multiplicative factor drawn once
+    /// per *job* (allocation locality, power states, OS daemons) and
+    /// applied to every compute-domain measurement of that job. This is
+    /// why short, compute-only benchmark runs are the hardest to predict
+    /// (paper §IV-C insight 2).
+    pub job_drift: (f64, f64),
+}
+
+impl Machine {
+    /// Total cores across the machine.
+    pub fn total_cores(&self) -> u64 {
+        self.n_nodes as u64 * self.node.cores() as u64
+    }
+
+    /// Nodes needed to host `ranks` MPI ranks at `ranks_per_node`.
+    pub fn nodes_for_ranks(&self, ranks: u32, ranks_per_node: u32) -> u32 {
+        assert!(ranks_per_node >= 1, "need at least one rank per node");
+        ranks.div_ceil(ranks_per_node)
+    }
+
+    /// The collective cost model over this machine's fabric.
+    pub fn collective_model(&self) -> CollectiveModel {
+        CollectiveModel::new(
+            self.fabric,
+            self.interconnect.topology().mean_hops(),
+            self.interconnect.bandwidth_share(),
+        )
+    }
+
+    /// Noise model for a domain.
+    pub fn noise(&self, domain: NoiseDomain) -> &NoiseModel {
+        match domain {
+            NoiseDomain::Compute => &self.compute_noise,
+            NoiseDomain::Network => &self.network_noise,
+            NoiseDomain::Storage => &self.storage_noise,
+        }
+    }
+}
+
+/// The fine-grained executor: deterministic block costs + noise sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct Testbed<'a> {
+    machine: &'a Machine,
+}
+
+/// Per-job context: the drift factor of one allocation. Obtain from
+/// [`Testbed::start_job`] and pass to [`Testbed::measure_in_job`] for
+/// every measurement belonging to the same job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobContext {
+    /// Compute-domain multiplicative drift for this job.
+    pub compute_drift: f64,
+}
+
+impl<'a> Testbed<'a> {
+    /// Attach to a machine.
+    pub fn new(machine: &'a Machine) -> Self {
+        Testbed { machine }
+    }
+
+    /// The machine under test.
+    pub fn machine(&self) -> &Machine {
+        self.machine
+    }
+
+    /// Fine-grained deterministic cost of one block, in seconds.
+    pub fn deterministic_cost(&self, block: &BlockWork) -> f64 {
+        let m = self.machine;
+        let coll = m.collective_model();
+        match *block {
+            BlockWork::Compute { flops, mem_bytes, cores_used } => {
+                m.node.compute_time(flops, mem_bytes, cores_used)
+            }
+            BlockWork::HaloExchange { ranks: _, neighbors, bytes } => {
+                coll.halo_exchange(neighbors as usize, bytes)
+            }
+            BlockWork::Allreduce { ranks, bytes } => coll.allreduce(ranks as usize, bytes),
+            BlockWork::Barrier { ranks } => coll.barrier(ranks as usize),
+            BlockWork::LocalWrite { bytes } => m.local_store.write_time(bytes),
+            BlockWork::LocalRead { bytes } => m.local_store.read_time(bytes),
+            BlockWork::PartnerExchange { bytes, copies } => {
+                // Copies are serialized at the injection port; partners are
+                // topologically near (same leaf / adjacent), so use a short
+                // fixed path rather than the global mean.
+                let hops = 2.min(m.interconnect.topology().diameter());
+                copies as f64 * m.fabric.pt2pt_shared(bytes, hops, 1.0)
+            }
+            BlockWork::RsEncode { bytes, group_size } => {
+                assert!(group_size >= 2, "RS group needs at least two members");
+                // Encode cost scales with data volume times parity streams
+                // (group-1 coefficients per output byte) ...
+                let parity_streams = (group_size - 1) as f64;
+                let encode = bytes as f64 * parity_streams / m.rs_encode_bps;
+                // ... plus scattering one 1/group-size slice to each peer.
+                let slice = bytes / group_size as u64;
+                let hops = 2.min(m.interconnect.topology().diameter());
+                let scatter = (group_size - 1) as f64
+                    * m.fabric.pt2pt_shared(slice.max(1), hops, 1.0);
+                encode + scatter
+            }
+            BlockWork::PfsWrite { bytes, writers } => m.pfs.write_time(bytes, writers),
+            BlockWork::PfsRead { bytes, readers } => m.pfs.read_time(bytes, readers),
+            BlockWork::PfsMetadata { ops } => m.pfs.metadata_time(ops),
+        }
+    }
+
+    /// Measure one block as the testbed "runs" it: deterministic cost times
+    /// the straggler-aware noise of `sync_ranks` synchronized participants
+    /// (1 for unsynchronized work).
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        block: &BlockWork,
+        sync_ranks: u32,
+        rng: &mut R,
+    ) -> f64 {
+        let det = self.deterministic_cost(block);
+        let domain = block.domain();
+        let mut noise = self.machine.noise(domain).sample_max(rng, sync_ranks.max(1));
+        if domain == NoiseDomain::Storage {
+            let (lo, hi) = self.machine.storage_background;
+            if hi > lo {
+                noise *= rng.gen_range(lo..hi);
+            } else {
+                noise *= lo;
+            }
+        }
+        det * noise
+    }
+
+    /// Measure a whole instrumented region (a sequence of blocks executed
+    /// back-to-back, e.g. "the L2 checkpoint function").
+    pub fn measure_region<R: Rng + ?Sized>(
+        &self,
+        blocks: &[BlockWork],
+        sync_ranks: u32,
+        rng: &mut R,
+    ) -> f64 {
+        blocks.iter().map(|b| self.measure(b, sync_ranks, rng)).sum()
+    }
+
+    /// Deterministic cost of a whole region.
+    pub fn deterministic_region_cost(&self, blocks: &[BlockWork]) -> f64 {
+        blocks.iter().map(|b| self.deterministic_cost(b)).sum()
+    }
+
+    /// Begin a "job": draw the allocation-level drift factor.
+    pub fn start_job<R: Rng + ?Sized>(&self, rng: &mut R) -> JobContext {
+        let (lo, hi) = self.machine.job_drift;
+        let compute_drift = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+        JobContext { compute_drift }
+    }
+
+    /// Measure a block within a job: compute-domain blocks additionally
+    /// carry the job's drift factor.
+    pub fn measure_in_job<R: Rng + ?Sized>(
+        &self,
+        job: &JobContext,
+        block: &BlockWork,
+        sync_ranks: u32,
+        rng: &mut R,
+    ) -> f64 {
+        let base = self.measure(block, sync_ranks, rng);
+        if block.domain() == NoiseDomain::Compute {
+            base * job.compute_drift
+        } else {
+            base
+        }
+    }
+
+    /// Measure a whole region within a job.
+    pub fn measure_region_in_job<R: Rng + ?Sized>(
+        &self,
+        job: &JobContext,
+        blocks: &[BlockWork],
+        sync_ranks: u32,
+        rng: &mut R,
+    ) -> f64 {
+        blocks.iter().map(|b| self.measure_in_job(job, b, sync_ranks, rng)).sum()
+    }
+
+    /// Collect `n` samples of a region — one benchmarking campaign cell.
+    pub fn sample_region<R: Rng + ?Sized>(
+        &self,
+        blocks: &[BlockWork],
+        sync_ranks: u32,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        (0..n).map(|_| self.measure_region(blocks, sync_ranks, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quartz() -> Machine {
+        presets::quartz()
+    }
+
+    #[test]
+    fn compute_block_uses_roofline() {
+        let m = quartz();
+        let tb = Testbed::new(&m);
+        let t = tb.deterministic_cost(&BlockWork::Compute {
+            flops: 1e9,
+            mem_bytes: 1e6,
+            cores_used: 1,
+        });
+        assert!((t - 1e9 / m.node.flops_per_core).abs() / t < 1e-9);
+    }
+
+    #[test]
+    fn pfs_contention_shows_up() {
+        let m = quartz();
+        let tb = Testbed::new(&m);
+        let few = tb.deterministic_cost(&BlockWork::PfsWrite { bytes: 1 << 30, writers: 4 });
+        let many = tb.deterministic_cost(&BlockWork::PfsWrite { bytes: 1 << 30, writers: 2000 });
+        assert!(many > few);
+    }
+
+    #[test]
+    fn rs_encode_scales_with_group() {
+        let m = quartz();
+        let tb = Testbed::new(&m);
+        let g4 = tb.deterministic_cost(&BlockWork::RsEncode { bytes: 1 << 28, group_size: 4 });
+        let g8 = tb.deterministic_cost(&BlockWork::RsEncode { bytes: 1 << 28, group_size: 8 });
+        assert!(g8 > g4);
+    }
+
+    #[test]
+    fn measurement_is_noisy_but_centered() {
+        let m = quartz();
+        let tb = Testbed::new(&m);
+        // Compute blocks: unit-mean noise, so samples center on the
+        // deterministic cost.
+        let block = BlockWork::Compute { flops: 1e9, mem_bytes: 1e6, cores_used: 1 };
+        let det = tb.deterministic_cost(&block);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = tb.sample_region(std::slice::from_ref(&block), 1, 4000, &mut rng);
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean / det - 1.0).abs() < 0.1, "mean {mean} vs det {det}");
+        let distinct: std::collections::BTreeSet<u64> =
+            samples.iter().map(|s| s.to_bits()).collect();
+        assert!(distinct.len() > samples.len() / 2, "samples should vary");
+    }
+
+    #[test]
+    fn storage_measurements_carry_background_load() {
+        // Storage blocks see the shared-service background factor: the
+        // sample mean sits near det × mean(background), not det.
+        let m = quartz();
+        let tb = Testbed::new(&m);
+        let block = BlockWork::LocalWrite { bytes: 1 << 28 };
+        let det = tb.deterministic_cost(&block);
+        let (lo, hi) = m.storage_background;
+        let bg_mean = (lo + hi) / 2.0;
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples = tb.sample_region(std::slice::from_ref(&block), 1, 6000, &mut rng);
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(
+            (mean / (det * bg_mean) - 1.0).abs() < 0.1,
+            "mean {mean} vs det*bg {}",
+            det * bg_mean
+        );
+    }
+
+    #[test]
+    fn job_drift_shifts_whole_runs() {
+        let m = quartz();
+        let tb = Testbed::new(&m);
+        let block = BlockWork::Compute { flops: 1e10, mem_bytes: 1e6, cores_used: 1 };
+        let mut rng = StdRng::seed_from_u64(7);
+        // Two jobs with different drift factors produce systematically
+        // different means for identical work.
+        let mut job_means = Vec::new();
+        for _ in 0..2 {
+            let job = tb.start_job(&mut rng);
+            let n = 300;
+            let mean: f64 = (0..n)
+                .map(|_| tb.measure_in_job(&job, &block, 1, &mut rng))
+                .sum::<f64>()
+                / n as f64;
+            job_means.push((job.compute_drift, mean));
+        }
+        let (d0, m0) = job_means[0];
+        let (d1, m1) = job_means[1];
+        assert_ne!(d0, d1, "jobs should draw different drift");
+        // Mean ratio tracks the drift ratio.
+        assert!(((m0 / m1) / (d0 / d1) - 1.0).abs() < 0.05, "{job_means:?}");
+    }
+
+    #[test]
+    fn synchronized_measurement_is_slower() {
+        let m = quartz();
+        let tb = Testbed::new(&m);
+        let block = BlockWork::Barrier { ranks: 64 };
+        let mut rng = StdRng::seed_from_u64(11);
+        let reps = 500;
+        let solo: f64 = (0..reps).map(|_| tb.measure(&block, 1, &mut rng)).sum::<f64>();
+        let synced: f64 = (0..reps).map(|_| tb.measure(&block, 1000, &mut rng)).sum::<f64>();
+        assert!(synced > solo, "straggler effect missing: {synced} vs {solo}");
+    }
+
+    #[test]
+    fn region_cost_adds() {
+        let m = quartz();
+        let tb = Testbed::new(&m);
+        let blocks = vec![
+            BlockWork::LocalWrite { bytes: 1 << 20 },
+            BlockWork::Barrier { ranks: 8 },
+        ];
+        let total = tb.deterministic_region_cost(&blocks);
+        let parts: f64 = blocks.iter().map(|b| tb.deterministic_cost(b)).sum();
+        assert_eq!(total, parts);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let m = quartz();
+        let tb = Testbed::new(&m);
+        let block = BlockWork::Allreduce { ranks: 64, bytes: 1 << 16 };
+        let a = {
+            let mut rng = StdRng::seed_from_u64(99);
+            tb.sample_region(std::slice::from_ref(&block), 64, 50, &mut rng)
+        };
+        let b = {
+            let mut rng = StdRng::seed_from_u64(99);
+            tb.sample_region(std::slice::from_ref(&block), 64, 50, &mut rng)
+        };
+        assert_eq!(a, b);
+    }
+}

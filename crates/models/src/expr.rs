@@ -1,0 +1,462 @@
+//! Expression trees for symbolic regression.
+//!
+//! The genome of the genetic-programming fitter in [`crate::symreg`]:
+//! arithmetic expression trees over input variables, constants, and a set
+//! of protected operators. "Protected" means every operator is total —
+//! division by (near-)zero, logs of non-positive numbers, etc. return
+//! defined values instead of NaN, the standard Koza-style convention that
+//! keeps evolution from drowning in invalid individuals.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Protected division: `a/b`, but `a` when `|b| < 1e-12`.
+    Div,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Protected square root: `sqrt(|x|)`.
+    Sqrt,
+    /// Protected natural log: `ln(|x| + 1)` (zero at zero, monotone).
+    Log,
+    /// Square.
+    Sq,
+    /// Cube.
+    Cube,
+}
+
+/// An expression tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A constant.
+    Const(f64),
+    /// Input variable by index.
+    Var(usize),
+    /// Unary application.
+    Unary(UnOp, Box<Expr>),
+    /// Binary application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluate on an input vector. Panics if a variable index is out of
+    /// range (a genome referencing unknown variables is a construction
+    /// bug, not a data condition).
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(i) => {
+                assert!(*i < x.len(), "variable {i} out of range for {} inputs", x.len());
+                x[*i]
+            }
+            Expr::Unary(op, a) => {
+                let v = a.eval(x);
+                match op {
+                    UnOp::Sqrt => v.abs().sqrt(),
+                    UnOp::Log => (v.abs() + 1.0).ln(),
+                    UnOp::Sq => v * v,
+                    UnOp::Cube => v * v * v,
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let va = a.eval(x);
+                let vb = b.eval(x);
+                match op {
+                    BinOp::Add => va + vb,
+                    BinOp::Sub => va - vb,
+                    BinOp::Mul => va * vb,
+                    BinOp::Div => {
+                        if vb.abs() < 1e-12 {
+                            va
+                        } else {
+                            va / vb
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Unary(_, a) => 1 + a.size(),
+            Expr::Binary(_, a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Tree depth (leaf = 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Unary(_, a) => 1 + a.depth(),
+            Expr::Binary(_, a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
+    /// Borrow the node at pre-order index `idx` (0 = root).
+    pub fn node_at(&self, idx: usize) -> Option<&Expr> {
+        fn walk<'a>(e: &'a Expr, idx: usize, counter: &mut usize) -> Option<&'a Expr> {
+            if *counter == idx {
+                return Some(e);
+            }
+            *counter += 1;
+            match e {
+                Expr::Const(_) | Expr::Var(_) => None,
+                Expr::Unary(_, a) => walk(a, idx, counter),
+                Expr::Binary(_, a, b) => {
+                    walk(a, idx, counter).or_else(|| walk(b, idx, counter))
+                }
+            }
+        }
+        walk(self, idx, &mut 0)
+    }
+
+    /// Replace the node at pre-order index `idx` with `new`, returning the
+    /// modified tree (self is consumed).
+    pub fn replace_at(self, idx: usize, new: Expr) -> Expr {
+        fn walk(e: Expr, idx: usize, counter: &mut usize, new: &mut Option<Expr>) -> Expr {
+            if *counter == idx {
+                *counter += 1;
+                return new.take().expect("replacement applied twice");
+            }
+            *counter += 1;
+            match e {
+                leaf @ (Expr::Const(_) | Expr::Var(_)) => leaf,
+                Expr::Unary(op, a) => Expr::Unary(op, Box::new(walk(*a, idx, counter, new))),
+                Expr::Binary(op, a, b) => {
+                    let a = walk(*a, idx, counter, new);
+                    let b = walk(*b, idx, counter, new);
+                    Expr::Binary(op, Box::new(a), Box::new(b))
+                }
+            }
+        }
+        let mut new = Some(new);
+        let out = walk(self, idx, &mut 0, &mut new);
+        assert!(new.is_none(), "replace index {idx} out of range");
+        out
+    }
+
+    /// Collect the constants in pre-order (for constant optimization).
+    pub fn constants(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        fn walk(e: &Expr, out: &mut Vec<f64>) {
+            match e {
+                Expr::Const(c) => out.push(*c),
+                Expr::Var(_) => {}
+                Expr::Unary(_, a) => walk(a, out),
+                Expr::Binary(_, a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Rewrite the constants in pre-order from `values` (must match
+    /// [`Expr::constants`] count).
+    pub fn with_constants(&self, values: &[f64]) -> Expr {
+        fn walk(e: &Expr, values: &[f64], i: &mut usize) -> Expr {
+            match e {
+                Expr::Const(_) => {
+                    let v = values[*i];
+                    *i += 1;
+                    Expr::Const(v)
+                }
+                Expr::Var(v) => Expr::Var(*v),
+                Expr::Unary(op, a) => Expr::Unary(*op, Box::new(walk(a, values, i))),
+                Expr::Binary(op, a, b) => Expr::Binary(
+                    *op,
+                    Box::new(walk(a, values, i)),
+                    Box::new(walk(b, values, i)),
+                ),
+            }
+        }
+        let mut i = 0;
+        let out = walk(self, values, &mut i);
+        assert_eq!(i, values.len(), "constant count mismatch");
+        out
+    }
+
+    /// Rewrite every `Var(i)` as `Var(i) * scales[i]` — used to undo input
+    /// normalization so a model fitted on scaled inputs evaluates on raw
+    /// ones.
+    pub fn scale_inputs(&self, scales: &[f64]) -> Expr {
+        match self {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Var(i) => {
+                assert!(*i < scales.len(), "no scale for variable {i}");
+                Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::Const(scales[*i])),
+                    Box::new(Expr::Var(*i)),
+                )
+            }
+            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(a.scale_inputs(scales))),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.scale_inputs(scales)),
+                Box::new(b.scale_inputs(scales)),
+            ),
+        }
+    }
+
+    /// Structural simplification: constant folding plus the cheap identity
+    /// rules (x±0, x·1, x·0, x/1, 0/x). Semantics-preserving given the
+    /// protected operators.
+    pub fn simplify(self) -> Expr {
+        match self {
+            Expr::Unary(op, a) => {
+                let a = a.simplify();
+                if let Expr::Const(c) = a {
+                    return Expr::Const(Expr::Unary(op, Box::new(Expr::Const(c))).eval(&[]));
+                }
+                Expr::Unary(op, Box::new(a))
+            }
+            Expr::Binary(op, a, b) => {
+                let a = a.simplify();
+                let b = b.simplify();
+                match (&a, &b) {
+                    (Expr::Const(ca), Expr::Const(cb)) => {
+                        return Expr::Const(
+                            Expr::Binary(
+                                op,
+                                Box::new(Expr::Const(*ca)),
+                                Box::new(Expr::Const(*cb)),
+                            )
+                            .eval(&[]),
+                        );
+                    }
+                    (_, Expr::Const(c)) if *c == 0.0 && matches!(op, BinOp::Add | BinOp::Sub) => {
+                        return a;
+                    }
+                    (Expr::Const(c), _) if *c == 0.0 && matches!(op, BinOp::Add) => return b,
+                    (_, Expr::Const(c)) if *c == 1.0 && matches!(op, BinOp::Mul | BinOp::Div) => {
+                        return a;
+                    }
+                    (Expr::Const(c), _) if *c == 1.0 && matches!(op, BinOp::Mul) => return b,
+                    (Expr::Const(c), _) if *c == 0.0 && matches!(op, BinOp::Mul | BinOp::Div) => {
+                        return Expr::Const(0.0);
+                    }
+                    (_, Expr::Const(c)) if *c == 0.0 && matches!(op, BinOp::Mul) => {
+                        return Expr::Const(0.0);
+                    }
+                    _ => {}
+                }
+                Expr::Binary(op, Box::new(a), Box::new(b))
+            }
+            leaf => leaf,
+        }
+    }
+
+    /// Generate a random tree with the "grow" method: leaves become more
+    /// likely as depth increases, hard cap at `max_depth`.
+    pub fn random<R: Rng + ?Sized>(
+        rng: &mut R,
+        n_vars: usize,
+        max_depth: usize,
+        const_range: (f64, f64),
+    ) -> Expr {
+        assert!(n_vars >= 1, "need at least one input variable");
+        assert!(max_depth >= 1, "depth must be at least 1");
+        if max_depth == 1 || rng.gen_bool(0.3) {
+            // Leaf: variable-biased (constants are refined later).
+            if rng.gen_bool(0.6) {
+                Expr::Var(rng.gen_range(0..n_vars))
+            } else {
+                Expr::Const(rng.gen_range(const_range.0..=const_range.1))
+            }
+        } else if rng.gen_bool(0.25) {
+            let op = match rng.gen_range(0..4) {
+                0 => UnOp::Sqrt,
+                1 => UnOp::Log,
+                2 => UnOp::Sq,
+                _ => UnOp::Cube,
+            };
+            Expr::Unary(op, Box::new(Expr::random(rng, n_vars, max_depth - 1, const_range)))
+        } else {
+            let op = match rng.gen_range(0..4) {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                _ => BinOp::Div,
+            };
+            Expr::Binary(
+                op,
+                Box::new(Expr::random(rng, n_vars, max_depth - 1, const_range)),
+                Box::new(Expr::random(rng, n_vars, max_depth - 1, const_range)),
+            )
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c:.4}"),
+            Expr::Var(i) => write!(f, "x{i}"),
+            Expr::Unary(op, a) => {
+                let name = match op {
+                    UnOp::Sqrt => "sqrt",
+                    UnOp::Log => "log1p",
+                    UnOp::Sq => "sq",
+                    UnOp::Cube => "cube",
+                };
+                write!(f, "{name}({a})")
+            }
+            Expr::Binary(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn x0() -> Expr {
+        Expr::Var(0)
+    }
+
+    fn c(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        // (x0 + 2) * x1
+        let e = bin(BinOp::Mul, bin(BinOp::Add, x0(), c(2.0)), Expr::Var(1));
+        assert_eq!(e.eval(&[3.0, 4.0]), 20.0);
+    }
+
+    #[test]
+    fn protected_division() {
+        let e = bin(BinOp::Div, c(5.0), c(0.0));
+        assert_eq!(e.eval(&[]), 5.0);
+        let e = bin(BinOp::Div, c(6.0), c(2.0));
+        assert_eq!(e.eval(&[]), 3.0);
+    }
+
+    #[test]
+    fn protected_unaries_are_total() {
+        for v in [-10.0, -1.0, 0.0, 1.0, 10.0] {
+            for op in [UnOp::Sqrt, UnOp::Log, UnOp::Sq, UnOp::Cube] {
+                let out = Expr::Unary(op, Box::new(c(v))).eval(&[]);
+                assert!(out.is_finite(), "{op:?}({v}) = {out}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let e = bin(BinOp::Add, x0(), bin(BinOp::Mul, c(2.0), x0()));
+        assert_eq!(e.size(), 5);
+        assert_eq!(e.depth(), 3);
+    }
+
+    #[test]
+    fn node_at_preorder() {
+        let e = bin(BinOp::Add, x0(), c(7.0));
+        assert!(matches!(e.node_at(0), Some(Expr::Binary(BinOp::Add, _, _))));
+        assert!(matches!(e.node_at(1), Some(Expr::Var(0))));
+        assert!(matches!(e.node_at(2), Some(Expr::Const(_))));
+        assert!(e.node_at(3).is_none());
+    }
+
+    #[test]
+    fn replace_at_swaps_subtree() {
+        let e = bin(BinOp::Add, x0(), c(7.0));
+        let e = e.replace_at(2, c(9.0));
+        assert_eq!(e.eval(&[1.0]), 10.0);
+        let e = e.replace_at(0, c(0.5));
+        assert_eq!(e.eval(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn constants_roundtrip() {
+        let e = bin(BinOp::Mul, c(2.0), bin(BinOp::Add, x0(), c(3.0)));
+        assert_eq!(e.constants(), vec![2.0, 3.0]);
+        let e2 = e.with_constants(&[4.0, 5.0]);
+        assert_eq!(e2.constants(), vec![4.0, 5.0]);
+        assert_eq!(e2.eval(&[1.0]), 24.0);
+    }
+
+    #[test]
+    fn simplify_preserves_semantics() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..200 {
+            let e = Expr::random(&mut rng, 2, 5, (-5.0, 5.0));
+            let s = e.clone().simplify();
+            for x in [[1.0, 2.0], [0.0, 0.0], [-3.0, 7.5], [100.0, 0.001]] {
+                let a = e.eval(&x);
+                let b = s.eval(&x);
+                assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0) || (a.is_nan() && b.is_nan()),
+                    "simplify changed {e} -> {s} at {x:?}: {a} vs {b}"
+                );
+            }
+            assert!(s.size() <= e.size(), "simplify grew the tree");
+        }
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let e = bin(BinOp::Add, c(2.0), c(3.0));
+        assert_eq!(e.simplify(), c(5.0));
+        let e = bin(BinOp::Mul, x0(), c(0.0));
+        assert_eq!(e.simplify(), c(0.0));
+        let e = bin(BinOp::Mul, x0(), c(1.0));
+        assert_eq!(e.simplify(), x0());
+        let e = bin(BinOp::Add, x0(), c(0.0));
+        assert_eq!(e.simplify(), x0());
+    }
+
+    #[test]
+    fn random_respects_depth_cap() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let e = Expr::random(&mut rng, 3, 4, (-1.0, 1.0));
+            assert!(e.depth() <= 4);
+        }
+    }
+
+    #[test]
+    fn display_is_parseable_shape() {
+        let e = bin(BinOp::Div, Expr::Unary(UnOp::Sqrt, Box::new(x0())), c(2.0));
+        assert_eq!(format!("{e}"), "(sqrt(x0) / 2.0000)");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn eval_unknown_var_panics() {
+        Expr::Var(2).eval(&[1.0]);
+    }
+}

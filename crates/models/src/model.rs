@@ -1,0 +1,302 @@
+//! The performance-model interface BE-SST simulations consume.
+//!
+//! Whatever the fitting method — lookup table, symbolic regression, power
+//! law — the simulator only needs two things from a model: a point
+//! estimate (`predict`) and a Monte-Carlo draw (`sample`). Regression
+//! models carry the residual spread observed during calibration and
+//! reproduce it as multiplicative log-normal scatter, which is what makes
+//! BE-SST's Monte-Carlo mode emulate real machine variance (paper §III,
+//! Fig. 1 pop-out).
+
+use crate::expr::Expr;
+use crate::powerlaw::PowerLaw;
+use crate::table::SampleTable;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A calibrated performance model for one instrumented kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PerfModel {
+    /// Lookup-table model (keeps the raw sample distributions).
+    Table(SampleTable),
+    /// Symbolic-regression model with residual spread.
+    Regression {
+        /// The fitted expression.
+        expr: Expr,
+        /// Standard deviation of `ln(actual / predicted)` on the training
+        /// set — the multiplicative residual.
+        residual_sigma: f64,
+        /// Smallest plausible prediction (floor against pathological
+        /// expression regions), seconds.
+        floor: f64,
+    },
+    /// Power-law model with residual spread.
+    PowerLaw {
+        /// The fitted law.
+        law: PowerLaw,
+        /// Multiplicative residual σ (as above).
+        residual_sigma: f64,
+        /// Prediction floor, seconds.
+        floor: f64,
+    },
+}
+
+impl PerfModel {
+    /// Wrap a fitted expression, estimating the residual spread on the
+    /// training data.
+    pub fn from_expr(expr: Expr, train_x: &[Vec<f64>], train_y: &[f64]) -> Self {
+        let (sigma, floor) = residuals(|r| expr.eval(r), train_x, train_y);
+        PerfModel::Regression { expr, residual_sigma: sigma, floor }
+    }
+
+    /// Wrap a fitted power law, estimating the residual spread.
+    pub fn from_power_law(law: PowerLaw, train_x: &[Vec<f64>], train_y: &[f64]) -> Self {
+        let (sigma, floor) = residuals(|r| law.eval(r), train_x, train_y);
+        PerfModel::PowerLaw { law, residual_sigma: sigma, floor }
+    }
+
+    /// Point-estimate prediction, seconds (always positive and finite).
+    pub fn predict(&self, params: &[f64]) -> f64 {
+        match self {
+            PerfModel::Table(t) => t.predict(params).max(1e-12),
+            PerfModel::Regression { expr, floor, .. } => {
+                let p = expr.eval(params);
+                if p.is_finite() {
+                    p.max(*floor)
+                } else {
+                    *floor
+                }
+            }
+            PerfModel::PowerLaw { law, floor, .. } => law.eval(params).max(*floor),
+        }
+    }
+
+    /// Monte-Carlo draw: prediction with calibrated machine variance.
+    pub fn sample<R: Rng + ?Sized>(&self, params: &[f64], rng: &mut R) -> f64 {
+        match self {
+            PerfModel::Table(t) => t.sample(params, rng).max(1e-12),
+            PerfModel::Regression { residual_sigma, .. }
+            | PerfModel::PowerLaw { residual_sigma, .. } => {
+                let mean = self.predict(params);
+                mean * lognormal_unit_mean(*residual_sigma, rng)
+            }
+        }
+    }
+
+    /// The calibrated residual spread (0 for table models, which carry the
+    /// raw distribution instead).
+    pub fn residual_sigma(&self) -> f64 {
+        match self {
+            PerfModel::Table(_) => 0.0,
+            PerfModel::Regression { residual_sigma, .. }
+            | PerfModel::PowerLaw { residual_sigma, .. } => *residual_sigma,
+        }
+    }
+
+    /// Short description for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            PerfModel::Table(t) => {
+                format!("table[{} pts, {} dims]", t.n_points(), t.n_dims())
+            }
+            PerfModel::Regression { expr, residual_sigma, .. } => {
+                format!("symreg[{expr}, sigma={residual_sigma:.3}]")
+            }
+            PerfModel::PowerLaw { law, residual_sigma, .. } => format!(
+                "powerlaw[{}, sigma={residual_sigma:.3}]",
+                law.formula(&["x0", "x1", "x2", "x3"][..law.exponents.len().min(4)])
+            ),
+        }
+    }
+}
+
+/// Unit-mean multiplicative log-normal draw (σ = 0 → exactly 1).
+fn lognormal_unit_mean<R: Rng + ?Sized>(sigma: f64, rng: &mut R) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    // Box-Muller on two uniform draws keeps us independent of rand_distr
+    // here (this crate only depends on rand).
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (-sigma * sigma / 2.0 + sigma * z).exp()
+}
+
+/// σ of ln(actual/pred) plus a floor (1% of the smallest training target).
+fn residuals(
+    predict: impl Fn(&[f64]) -> f64,
+    train_x: &[Vec<f64>],
+    train_y: &[f64],
+) -> (f64, f64) {
+    assert_eq!(train_x.len(), train_y.len(), "row count mismatch");
+    assert!(!train_x.is_empty(), "empty training set");
+    let mut logs = Vec::with_capacity(train_y.len());
+    for (row, &actual) in train_x.iter().zip(train_y) {
+        assert!(actual > 0.0, "targets must be positive");
+        let p = predict(row);
+        if p.is_finite() && p > 0.0 {
+            logs.push((actual / p).ln());
+        }
+    }
+    let sigma = if logs.len() < 2 {
+        0.0
+    } else {
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var =
+            logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / (logs.len() - 1) as f64;
+        // Cap: a multiplicative residual beyond ~0.75 means the *trend*
+        // is wrong, not that the machine is noisy; letting it leak into
+        // Monte-Carlo sampling produces absurd draws (10×+ outliers) that
+        // no real machine-variance measurement shows.
+        var.sqrt().min(0.75)
+    };
+    let floor = train_y.iter().copied().fold(f64::INFINITY, f64::min) * 0.01;
+    (sigma, floor)
+}
+
+/// A named collection of models — the ArchBEO's model bindings, on disk.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Kernel name → model.
+    pub models: BTreeMap<String, PerfModel>,
+}
+
+impl ModelBundle {
+    /// Empty bundle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a model under a kernel name.
+    pub fn insert(&mut self, name: &str, model: PerfModel) {
+        self.models.insert(name.to_string(), model);
+    }
+
+    /// Look up a model.
+    pub fn get(&self, name: &str) -> Option<&PerfModel> {
+        self.models.get(name)
+    }
+
+    /// Serialize to pretty JSON (the Model Development artifact format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("models are serializable")
+    }
+
+    /// Load from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::table::{Interpolation, SampleTable};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn linear_expr() -> Expr {
+        // 2*x0 + 1
+        Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Binary(
+                BinOp::Mul,
+                Box::new(Expr::Const(2.0)),
+                Box::new(Expr::Var(0)),
+            )),
+            Box::new(Expr::Const(1.0)),
+        )
+    }
+
+    fn train() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (1..=5).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn regression_model_predicts() {
+        let (x, y) = train();
+        let m = PerfModel::from_expr(linear_expr(), &x, &y);
+        assert!((m.predict(&[3.0]) - 7.0).abs() < 1e-12);
+        assert_eq!(m.residual_sigma(), 0.0, "perfect fit has zero residual");
+    }
+
+    #[test]
+    fn noisy_fit_gets_positive_sigma() {
+        let (x, mut y) = train();
+        for (i, v) in y.iter_mut().enumerate() {
+            *v *= 1.0 + 0.1 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let m = PerfModel::from_expr(linear_expr(), &x, &y);
+        assert!(m.residual_sigma() > 0.05);
+    }
+
+    #[test]
+    fn sampling_reproduces_residual_spread() {
+        let (x, mut y) = train();
+        for (i, v) in y.iter_mut().enumerate() {
+            *v *= 1.0 + 0.2 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let m = PerfModel::from_expr(linear_expr(), &x, &y);
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws: Vec<f64> = (0..20_000).map(|_| m.sample(&[3.0], &mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean / m.predict(&[3.0]) - 1.0).abs() < 0.02, "unit-mean noise");
+        let min = draws.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = draws.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > min * 1.2, "spread should be visible");
+        assert!(min > 0.0);
+    }
+
+    #[test]
+    fn floor_guards_pathological_predictions() {
+        // An expression that goes negative outside the training range.
+        let e = Expr::Binary(
+            BinOp::Sub,
+            Box::new(Expr::Const(1.0)),
+            Box::new(Expr::Var(0)),
+        );
+        let x: Vec<Vec<f64>> = vec![vec![0.5], vec![0.25]];
+        let y = vec![0.5, 0.75];
+        let m = PerfModel::from_expr(e, &x, &y);
+        let p = m.predict(&[100.0]);
+        assert!(p > 0.0, "floored prediction must stay positive, got {p}");
+    }
+
+    #[test]
+    fn table_model_roundtrip() {
+        let mut t = SampleTable::new(&["x"], Interpolation::Multilinear);
+        t.insert_all(&[1.0], &[2.0, 2.2]);
+        t.insert_all(&[2.0], &[4.0, 4.4]);
+        let m = PerfModel::Table(t);
+        assert!((m.predict(&[1.5]) - 3.15).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = m.sample(&[1.0], &mut rng);
+        assert!(s == 2.0 || s == 2.2);
+    }
+
+    #[test]
+    fn bundle_json_roundtrip() {
+        let (x, y) = train();
+        let mut b = ModelBundle::new();
+        b.insert("timestep", PerfModel::from_expr(linear_expr(), &x, &y));
+        let mut t = SampleTable::new(&["x"], Interpolation::Nearest);
+        t.insert(&[1.0], 5.0);
+        b.insert("ckpt_l1", PerfModel::Table(t));
+        let json = b.to_json();
+        let back = ModelBundle::from_json(&json).unwrap();
+        assert_eq!(back.models.len(), 2);
+        assert!((back.get("timestep").unwrap().predict(&[3.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let (x, y) = train();
+        let m = PerfModel::from_expr(linear_expr(), &x, &y);
+        assert!(m.describe().starts_with("symreg["));
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic power-law regression: `t(x) = c₀ + c·Π xᵢ^aᵢ`.
+//!
+//! A third model family alongside the paper's two (lookup tables and GP
+//! symbolic regression), used in the ablation benches: runtimes of
+//! weak-scaling kernels are overwhelmingly products of parameter powers,
+//! and this fitter finds them by coordinate descent over the exponents
+//! with a closed-form solve for the coefficients. Unlike GP it is fully
+//! deterministic with no seed sensitivity, which makes it a useful
+//! reference point when judging symreg stability.
+
+use crate::stats::mape;
+use serde::{Deserialize, Serialize};
+
+/// A fitted power law.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerLaw {
+    /// Additive offset c₀ (≥ 0).
+    pub offset: f64,
+    /// Multiplicative coefficient c.
+    pub coeff: f64,
+    /// Per-input exponents aᵢ.
+    pub exponents: Vec<f64>,
+}
+
+impl PowerLaw {
+    /// Evaluate at a parameter point.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.exponents.len(), "arity mismatch");
+        let mut prod = self.coeff;
+        for (&v, &a) in x.iter().zip(&self.exponents) {
+            assert!(v > 0.0, "power-law inputs must be positive, got {v}");
+            prod *= v.powf(a);
+        }
+        self.offset + prod
+    }
+
+    /// Human-readable form.
+    pub fn formula(&self, names: &[&str]) -> String {
+        let terms: Vec<String> = self
+            .exponents
+            .iter()
+            .zip(names)
+            .map(|(a, n)| format!("{n}^{a:.3}"))
+            .collect();
+        format!("{:.3e} + {:.3e}*{}", self.offset, self.coeff, terms.join("*"))
+    }
+}
+
+/// Weighted least squares for `(offset, coeff)` given fixed exponents,
+/// minimizing squared *relative* error (weights 1/y²).
+fn solve_coeffs(x: &[Vec<f64>], y: &[f64], exponents: &[f64]) -> (f64, f64) {
+    // Basis: phi_i = prod_j x_ij^a_j ; model y ≈ c0 + c*phi.
+    let phi: Vec<f64> = x
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(exponents)
+                .map(|(&v, &a)| v.powf(a))
+                .product()
+        })
+        .collect();
+    // Normal equations with weights w = 1/y^2.
+    let (mut s_w, mut s_wp, mut s_wpp, mut s_wy, mut s_wpy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for (&p, &t) in phi.iter().zip(y) {
+        let w = 1.0 / (t * t);
+        s_w += w;
+        s_wp += w * p;
+        s_wpp += w * p * p;
+        s_wy += w * t;
+        s_wpy += w * p * t;
+    }
+    let det = s_w * s_wpp - s_wp * s_wp;
+    if det.abs() < 1e-30 {
+        // Degenerate basis (e.g. all-zero exponents): pure offset fit.
+        return (s_wy / s_w, 0.0);
+    }
+    let mut c0 = (s_wy * s_wpp - s_wpy * s_wp) / det;
+    let mut c = (s_w * s_wpy - s_wp * s_wy) / det;
+    // Runtimes are non-negative; clamp a negative offset and re-solve the
+    // slope alone.
+    if c0 < 0.0 {
+        c0 = 0.0;
+        c = s_wpy / s_wpp;
+    }
+    (c0, c)
+}
+
+fn fit_mape(x: &[Vec<f64>], y: &[f64], law: &PowerLaw) -> f64 {
+    let pred: Vec<f64> = x.iter().map(|r| law.eval(r)).collect();
+    mape(&pred, y)
+}
+
+/// Fit a power law by coordinate descent on the exponents.
+///
+/// All inputs must be positive (parameters like `epr` and `ranks` are).
+pub fn fit(x: &[Vec<f64>], y: &[f64]) -> PowerLaw {
+    assert_eq!(x.len(), y.len(), "row count mismatch");
+    assert!(!x.is_empty(), "empty dataset");
+    let arity = x[0].len();
+    assert!(x.iter().all(|r| r.len() == arity), "ragged rows");
+    assert!(
+        x.iter().flatten().all(|&v| v > 0.0) && y.iter().all(|&v| v > 0.0),
+        "power-law fitting needs positive inputs and targets"
+    );
+
+    let mut exponents = vec![0.0; arity];
+    let (c0, c) = solve_coeffs(x, y, &exponents);
+    let mut best = PowerLaw { offset: c0, coeff: c, exponents: exponents.clone() };
+    let mut best_err = fit_mape(x, y, &best);
+
+    // Coordinate descent with a shrinking exponent step.
+    let mut step = 1.0;
+    for _round in 0..24 {
+        let mut improved = false;
+        for d in 0..arity {
+            for delta in [step, -step] {
+                let mut trial = exponents.clone();
+                trial[d] = (trial[d] + delta).clamp(-4.0, 4.0);
+                let (c0, c) = solve_coeffs(x, y, &trial);
+                let law = PowerLaw { offset: c0, coeff: c, exponents: trial.clone() };
+                let err = fit_mape(x, y, &law);
+                if err < best_err - 1e-12 {
+                    best_err = err;
+                    best = law;
+                    exponents = trial;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            step *= 0.5;
+            if step < 1e-3 {
+                break;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid2(xs: &[f64], ys: &[f64]) -> Vec<Vec<f64>> {
+        let mut rows = Vec::new();
+        for &a in xs {
+            for &b in ys {
+                rows.push(vec![a, b]);
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn recovers_pure_power_law() {
+        let rows = grid2(&[5.0, 10.0, 15.0, 20.0, 25.0], &[8.0, 64.0, 216.0]);
+        let y: Vec<f64> = rows.iter().map(|r| 2.5e-6 * r[0].powi(3) * r[1].powf(0.5)).collect();
+        let law = fit(&rows, &y);
+        let err = fit_mape(&rows, &y, &law);
+        assert!(err < 1.0, "MAPE {err} law {}", law.formula(&["epr", "ranks"]));
+        assert!((law.exponents[0] - 3.0).abs() < 0.2, "{:?}", law.exponents);
+        assert!((law.exponents[1] - 0.5).abs() < 0.2, "{:?}", law.exponents);
+    }
+
+    #[test]
+    fn recovers_offset_plus_power() {
+        let rows: Vec<Vec<f64>> = [1.0, 2.0, 4.0, 8.0, 16.0].iter().map(|&v| vec![v]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 + 0.5 * r[0] * r[0]).collect();
+        let law = fit(&rows, &y);
+        assert!(fit_mape(&rows, &y, &law) < 2.0, "{}", law.formula(&["x"]));
+    }
+
+    #[test]
+    fn constant_target_fits_offset() {
+        let rows: Vec<Vec<f64>> = [1.0, 2.0, 3.0].iter().map(|&v| vec![v]).collect();
+        let y = vec![7.0, 7.0, 7.0];
+        let law = fit(&rows, &y);
+        assert!(fit_mape(&rows, &y, &law) < 0.5);
+    }
+
+    #[test]
+    fn noisy_data_fits_trend() {
+        let rows = grid2(&[5.0, 10.0, 15.0, 20.0, 25.0], &[8.0, 64.0, 216.0, 512.0, 1000.0]);
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let noise = 1.0 + 0.1 * ((i as f64 * 2.399).sin());
+                1e-5 * r[0].powi(3) * (1.0 + 0.05 * r[1].ln()) * noise
+            })
+            .collect();
+        let law = fit(&rows, &y);
+        assert!(fit_mape(&rows, &y, &law) < 15.0, "{}", law.formula(&["epr", "ranks"]));
+    }
+
+    #[test]
+    fn prediction_is_positive_and_monotone_for_positive_exponents() {
+        let rows = grid2(&[1.0, 2.0, 4.0], &[1.0, 2.0]);
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * r[1] + 0.1).collect();
+        let law = fit(&rows, &y);
+        let mut prev = 0.0;
+        for v in [1.0, 2.0, 4.0, 8.0, 16.0] {
+            let p = law.eval(&[v, 2.0]);
+            assert!(p > 0.0);
+            assert!(p >= prev, "monotone extrapolation expected");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let rows = grid2(&[1.0, 3.0, 9.0], &[2.0, 4.0]);
+        let y: Vec<f64> = rows.iter().map(|r| r[0].powf(1.5) + r[1]).collect();
+        let a = fit(&rows, &y);
+        let b = fit(&rows, &y);
+        assert_eq!(a.exponents, b.exponents);
+        assert_eq!(a.coeff, b.coeff);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_inputs() {
+        fit(&[vec![0.0]], &[1.0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Validation statistics for performance models.
+//!
+//! The paper's error metric is Mean Average Percentage Error (MAPE),
+//! reported per kernel (Table III) and per full-system scenario
+//! (Table IV). This module provides MAPE plus the companions used in the
+//! analysis (MPE for bias, RMSE, R², quantiles) and a deterministic
+//! train/test splitter for the symbolic-regression workflow.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Mean Absolute Percentage Error, in percent.
+///
+/// `mape = 100/n · Σ |pred − actual| / |actual|`. Pairs with
+/// `actual == 0` are rejected (percentage error is undefined there).
+pub fn mape(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len(), "prediction/actual length mismatch");
+    assert!(!pred.is_empty(), "MAPE of an empty set is undefined");
+    let mut total = 0.0;
+    for (&p, &a) in pred.iter().zip(actual) {
+        assert!(a != 0.0, "MAPE undefined for zero actual value");
+        total += ((p - a) / a).abs();
+    }
+    100.0 * total / pred.len() as f64
+}
+
+/// Mean (signed) Percentage Error — positive means over-prediction.
+pub fn mpe(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len(), "prediction/actual length mismatch");
+    assert!(!pred.is_empty(), "MPE of an empty set is undefined");
+    let mut total = 0.0;
+    for (&p, &a) in pred.iter().zip(actual) {
+        assert!(a != 0.0, "MPE undefined for zero actual value");
+        total += (p - a) / a;
+    }
+    100.0 * total / pred.len() as f64
+}
+
+/// Root-mean-square error.
+pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len(), "prediction/actual length mismatch");
+    assert!(!pred.is_empty(), "RMSE of an empty set is undefined");
+    let ss: f64 = pred.iter().zip(actual).map(|(&p, &a)| (p - a) * (p - a)).sum();
+    (ss / pred.len() as f64).sqrt()
+}
+
+/// Coefficient of determination R². 1 is perfect; can go negative for
+/// models worse than predicting the mean.
+pub fn r_squared(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len(), "prediction/actual length mismatch");
+    assert!(pred.len() >= 2, "R^2 needs at least two points");
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = pred.iter().zip(actual).map(|(&p, &a)| (a - p) * (a - p)).sum();
+    if ss_tot == 0.0 {
+        // All actuals identical: perfect iff residuals vanish.
+        return if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` of a sample set.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of an empty set is undefined");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("samples must be comparable"));
+    let pos = q * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let frac = pos - lo as f64;
+        s[lo] * (1.0 - frac) + s[hi] * frac
+    }
+}
+
+/// Deterministic shuffled train/test split of index `0..n`:
+/// returns `(train_indices, test_indices)` with `test_frac` of points in
+/// the test set (at least 1 of each when `n >= 2`).
+pub fn train_test_split(n: usize, test_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(n >= 2, "cannot split fewer than two points");
+    assert!((0.0..1.0).contains(&test_frac), "test fraction must be in [0, 1)");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((n as f64 * test_frac).round() as usize).clamp(1, n - 1);
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basic() {
+        let actual = [100.0, 200.0];
+        let pred = [110.0, 180.0];
+        // |10/100| + |20/200| = 0.1 + 0.1 → 10%.
+        assert!((mape(&pred, &actual) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_perfect_is_zero() {
+        let a = [3.0, 5.0, 7.0];
+        assert_eq!(mape(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mpe_signs() {
+        let actual = [100.0, 100.0];
+        assert!(mpe(&[110.0, 110.0], &actual) > 0.0);
+        assert!(mpe(&[90.0, 90.0], &actual) < 0.0);
+        // Symmetric errors cancel in MPE but not MAPE.
+        assert!((mpe(&[110.0, 90.0], &actual)).abs() < 1e-12);
+        assert!(mape(&[110.0, 90.0], &actual) > 9.0);
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        let actual = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 5.0];
+        let expect = ((1.0 + 0.0 + 4.0) / 3.0f64).sqrt();
+        assert!((rmse(&pred, &actual) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_bounds() {
+        let actual = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&actual, &actual) - 1.0).abs() < 1e-12);
+        // Predicting the mean gives exactly 0.
+        let mean = [2.5, 2.5, 2.5, 2.5];
+        assert!(r_squared(&mean, &actual).abs() < 1e-12);
+        // Anti-correlated predictions go negative.
+        let anti = [4.0, 3.0, 2.0, 1.0];
+        assert!(r_squared(&anti, &actual) < 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&s, 0.0), 1.0);
+        assert_eq!(quantile(&s, 1.0), 4.0);
+        assert!((quantile(&s, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&s, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let (tr1, te1) = train_test_split(25, 0.2, 42);
+        let (tr2, te2) = train_test_split(25, 0.2, 42);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+        assert_eq!(te1.len(), 5);
+        let mut all: Vec<usize> = tr1.iter().chain(&te1).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_differs_by_seed() {
+        let (_, te1) = train_test_split(25, 0.2, 1);
+        let (_, te2) = train_test_split(25, 0.2, 2);
+        assert_ne!(te1, te2);
+    }
+
+    #[test]
+    fn split_always_keeps_both_sides_nonempty() {
+        let (tr, te) = train_test_split(2, 0.01, 0);
+        assert_eq!(tr.len(), 1);
+        assert_eq!(te.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero actual")]
+    fn mape_rejects_zero_actual() {
+        mape(&[1.0], &[0.0]);
+    }
+}

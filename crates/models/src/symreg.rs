@@ -1,0 +1,474 @@
+//! Genetic-programming symbolic regression — BE-SST's second modeling
+//! method (Chenna et al., "Multi-parameter performance modeling using
+//! symbolic regression", HPCS 2019).
+//!
+//! "In the symbolic regression method, the benchmarking data is split into
+//! training data and testing data. The training data is used as input to
+//! our symbolic regression tool to create models through an iterative
+//! process. The testing data is used to evaluate model accuracy at each
+//! iteration." (§III-A)
+//!
+//! The fitter is a conventional Koza-style GP: tournament selection,
+//! subtree crossover, point/subtree mutation, MAPE fitness with a
+//! parsimony pressure, plus a hill-climbing constant-refinement pass on
+//! the incumbent. Everything is seeded and deterministic; fitness
+//! evaluation fans out over rayon.
+
+use crate::expr::Expr;
+use crate::stats::mape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A regression dataset: rows of inputs and their targets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Input rows (each of the same arity).
+    pub x: Vec<Vec<f64>>,
+    /// Targets (strictly positive — runtimes).
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Build and validate.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "row count mismatch");
+        assert!(!x.is_empty(), "dataset is empty");
+        let arity = x[0].len();
+        assert!(arity >= 1, "need at least one input column");
+        assert!(x.iter().all(|r| r.len() == arity), "ragged input rows");
+        assert!(
+            y.iter().all(|&v| v.is_finite() && v > 0.0),
+            "targets must be finite and positive (runtimes)"
+        );
+        Dataset { x, y }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when empty (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Input arity.
+    pub fn arity(&self) -> usize {
+        self.x[0].len()
+    }
+
+    /// Select a subset of rows by index.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset::new(
+            idx.iter().map(|&i| self.x[i].clone()).collect(),
+            idx.iter().map(|&i| self.y[i]).collect(),
+        )
+    }
+}
+
+/// GP hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SymRegConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Maximum tree depth for generated/created trees.
+    pub max_depth: usize,
+    /// Tournament size for selection.
+    pub tournament: usize,
+    /// Probability an offspring comes from crossover (else mutation).
+    pub crossover_prob: f64,
+    /// Range for randomly generated constants.
+    pub const_range: (f64, f64),
+    /// Fitness penalty per tree node, in MAPE percentage points.
+    pub parsimony: f64,
+    /// RNG seed — same seed, same model.
+    pub seed: u64,
+}
+
+impl Default for SymRegConfig {
+    fn default() -> Self {
+        SymRegConfig {
+            population: 256,
+            generations: 40,
+            max_depth: 6,
+            tournament: 5,
+            crossover_prob: 0.7,
+            const_range: (-10.0, 10.0),
+            parsimony: 0.02,
+            seed: 0xBE57,
+        }
+    }
+}
+
+/// The outcome of a fit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SymRegResult {
+    /// The best expression found (simplified).
+    pub expr: Expr,
+    /// MAPE on the training set, percent.
+    pub train_mape: f64,
+    /// MAPE on the test set, percent (when a test set was given).
+    pub test_mape: Option<f64>,
+    /// Best raw fitness per generation (for convergence plots).
+    pub history: Vec<f64>,
+}
+
+fn fitness(expr: &Expr, data: &Dataset, parsimony: f64) -> f64 {
+    let mut total = 0.0;
+    for (row, &target) in data.x.iter().zip(&data.y) {
+        let p = expr.eval(row);
+        if !p.is_finite() {
+            return f64::INFINITY;
+        }
+        total += ((p - target) / target).abs();
+    }
+    100.0 * total / data.len() as f64 + parsimony * expr.size() as f64
+}
+
+fn tournament_select<'a, R: Rng>(
+    pop: &'a [(Expr, f64)],
+    k: usize,
+    rng: &mut R,
+) -> &'a Expr {
+    let mut best: Option<&(Expr, f64)> = None;
+    for _ in 0..k {
+        let cand = &pop[rng.gen_range(0..pop.len())];
+        if best.is_none_or(|b| cand.1 < b.1) {
+            best = Some(cand);
+        }
+    }
+    &best.expect("tournament of k >= 1").0
+}
+
+fn crossover<R: Rng>(a: &Expr, b: &Expr, max_depth: usize, rng: &mut R) -> Expr {
+    let donor_idx = rng.gen_range(0..b.size());
+    let donor = b.node_at(donor_idx).expect("index in range").clone();
+    let target_idx = rng.gen_range(0..a.size());
+    let child = a.clone().replace_at(target_idx, donor);
+    if child.depth() > max_depth + 2 {
+        a.clone() // reject bloated offspring
+    } else {
+        child
+    }
+}
+
+fn mutate<R: Rng>(a: &Expr, cfg: &SymRegConfig, n_vars: usize, rng: &mut R) -> Expr {
+    match rng.gen_range(0..3) {
+        // Subtree replacement.
+        0 => {
+            let idx = rng.gen_range(0..a.size());
+            let sub = Expr::random(rng, n_vars, 3, cfg.const_range);
+            let child = a.clone().replace_at(idx, sub);
+            if child.depth() > cfg.max_depth + 2 {
+                a.clone()
+            } else {
+                child
+            }
+        }
+        // Constant jitter.
+        1 => {
+            let consts = a.constants();
+            if consts.is_empty() {
+                Expr::random(rng, n_vars, cfg.max_depth, cfg.const_range)
+            } else {
+                let mut c = consts.clone();
+                let i = rng.gen_range(0..c.len());
+                let scale = 1.0 + rng.gen_range(-0.3..0.3);
+                c[i] = c[i] * scale + rng.gen_range(-0.5..0.5);
+                a.with_constants(&c)
+            }
+        }
+        // Fresh individual (keeps diversity up).
+        _ => Expr::random(rng, n_vars, cfg.max_depth, cfg.const_range),
+    }
+}
+
+/// Hill-climb the constants of `expr` against `data` (a few rounds of
+/// multiplicative and additive probes per constant).
+fn refine_constants(expr: &Expr, data: &Dataset, parsimony: f64) -> Expr {
+    let mut best = expr.clone();
+    let mut best_fit = fitness(&best, data, parsimony);
+    for _ in 0..4 {
+        let consts = best.constants();
+        if consts.is_empty() {
+            break;
+        }
+        let mut improved = false;
+        for i in 0..consts.len() {
+            for step in [1.1, 0.9, 1.01, 0.99] {
+                let mut c = best.constants();
+                c[i] *= step;
+                let cand = best.with_constants(&c);
+                let f = fitness(&cand, data, parsimony);
+                if f < best_fit {
+                    best_fit = f;
+                    best = cand;
+                    improved = true;
+                }
+            }
+            for delta in [0.1, -0.1] {
+                let mut c = best.constants();
+                c[i] += delta;
+                let cand = best.with_constants(&c);
+                let f = fitness(&cand, data, parsimony);
+                if f < best_fit {
+                    best_fit = f;
+                    best = cand;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+/// Fit an expression to `train`; report accuracy on `test` when given.
+///
+/// Inputs are normalized per-column (divided by the column mean) and
+/// targets by their geometric mean before evolution — runtimes and
+/// parameters span orders of magnitude and GP constants do not. The
+/// returned expression has the normalization folded back in and evaluates
+/// on *raw* inputs.
+pub fn fit(train: &Dataset, test: Option<&Dataset>, cfg: &SymRegConfig) -> SymRegResult {
+    assert!(cfg.population >= 4, "population too small");
+    assert!(cfg.tournament >= 1, "tournament size must be >= 1");
+    let n_vars = train.arity();
+
+    // Normalization: x'_i = x_i / mean_i, y' = y / geomean(y).
+    let x_mean: Vec<f64> = (0..n_vars)
+        .map(|d| {
+            let m = train.x.iter().map(|r| r[d].abs()).sum::<f64>() / train.len() as f64;
+            if m > 0.0 {
+                m
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let y_scale = (train.y.iter().map(|v| v.ln()).sum::<f64>() / train.len() as f64).exp();
+    let norm = Dataset::new(
+        train
+            .x
+            .iter()
+            .map(|r| r.iter().zip(&x_mean).map(|(v, m)| v / m).collect())
+            .collect(),
+        train.y.iter().map(|v| v / y_scale).collect(),
+    );
+    let raw_train = train;
+    let train = &norm;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Initial population: ramped random trees plus seeded templates —
+    // the bare variables and the product/power shapes that dominate HPC
+    // runtime models (xᵢ³, xᵢ·xⱼ, xᵢ³·log xⱼ, ...). Seeding priors is
+    // standard GP practice and costs nothing: bad seeds die in one
+    // generation.
+    use crate::expr::{BinOp, UnOp};
+    let mut pop_exprs: Vec<Expr> = Vec::new();
+    for i in 0..n_vars {
+        let xi = Expr::Var(i);
+        pop_exprs.push(xi.clone());
+        for op in [UnOp::Cube, UnOp::Sq, UnOp::Sqrt, UnOp::Log] {
+            pop_exprs.push(Expr::Unary(op, Box::new(xi.clone())));
+        }
+        for j in 0..n_vars {
+            if i == j {
+                continue;
+            }
+            let xj = Expr::Var(j);
+            let cube_i = Expr::Unary(UnOp::Cube, Box::new(xi.clone()));
+            pop_exprs.push(Expr::Binary(BinOp::Mul, Box::new(xi.clone()), Box::new(xj.clone())));
+            for shape in [UnOp::Log, UnOp::Sqrt] {
+                pop_exprs.push(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(cube_i.clone()),
+                    Box::new(Expr::Unary(shape, Box::new(xj.clone()))),
+                ));
+            }
+            // c·xᵢ³·(1 + d·log xⱼ) — weak multiplicative correction.
+            pop_exprs.push(Expr::Binary(
+                BinOp::Mul,
+                Box::new(cube_i),
+                Box::new(Expr::Binary(
+                    BinOp::Add,
+                    Box::new(Expr::Const(1.0)),
+                    Box::new(Expr::Binary(
+                        BinOp::Mul,
+                        Box::new(Expr::Const(0.1)),
+                        Box::new(Expr::Unary(UnOp::Log, Box::new(xj.clone()))),
+                    )),
+                )),
+            ));
+        }
+    }
+    pop_exprs.truncate(cfg.population / 2);
+    while pop_exprs.len() < cfg.population {
+        let depth = rng.gen_range(2..=cfg.max_depth);
+        pop_exprs.push(Expr::random(&mut rng, n_vars, depth, cfg.const_range));
+    }
+
+    let eval_pop = |exprs: Vec<Expr>| -> Vec<(Expr, f64)> {
+        exprs
+            .into_par_iter()
+            .map(|e| {
+                let f = fitness(&e, train, cfg.parsimony);
+                (e, f)
+            })
+            .collect()
+    };
+
+    let mut pop = eval_pop(pop_exprs);
+    let mut history = Vec::with_capacity(cfg.generations);
+
+    for gen in 0..cfg.generations {
+        pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("fitness is not NaN"));
+        history.push(pop[0].1);
+
+        let elite = pop[0].0.clone();
+        let mut next: Vec<Expr> = vec![elite.clone()];
+        // Periodically refine the incumbent's constants.
+        if gen % 5 == 4 {
+            next.push(refine_constants(&elite, train, cfg.parsimony));
+        }
+        while next.len() < cfg.population {
+            let child = if rng.gen_bool(cfg.crossover_prob) {
+                let a = tournament_select(&pop, cfg.tournament, &mut rng).clone();
+                let b = tournament_select(&pop, cfg.tournament, &mut rng).clone();
+                crossover(&a, &b, cfg.max_depth, &mut rng)
+            } else {
+                let a = tournament_select(&pop, cfg.tournament, &mut rng).clone();
+                mutate(&a, cfg, n_vars, &mut rng)
+            };
+            next.push(child);
+        }
+        pop = eval_pop(next);
+    }
+
+    pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("fitness is not NaN"));
+    let best_norm = refine_constants(&pop[0].0, train, cfg.parsimony).simplify();
+
+    // Fold the normalization back in: best(x) = y_scale * best'(x / mean).
+    let inv_scales: Vec<f64> = x_mean.iter().map(|m| 1.0 / m).collect();
+    let best = Expr::Binary(
+        crate::expr::BinOp::Mul,
+        Box::new(Expr::Const(y_scale)),
+        Box::new(best_norm.scale_inputs(&inv_scales)),
+    )
+    .simplify();
+
+    let predict_all = |d: &Dataset| -> Vec<f64> { d.x.iter().map(|r| best.eval(r)).collect() };
+    let train_mape = mape(&predict_all(raw_train), &raw_train.y);
+    let test_mape = test.map(|t| mape(&predict_all(t), &t.y));
+    SymRegResult { expr: best, train_mape, test_mape, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(seed: u64) -> SymRegConfig {
+        SymRegConfig { population: 128, generations: 25, seed, ..Default::default() }
+    }
+
+    fn dataset_from(f: impl Fn(&[f64]) -> f64, rows: &[Vec<f64>]) -> Dataset {
+        let y = rows.iter().map(|r| f(r)).collect();
+        Dataset::new(rows.to_vec(), y)
+    }
+
+    fn grid2(xs: &[f64], ys: &[f64]) -> Vec<Vec<f64>> {
+        let mut rows = Vec::new();
+        for &a in xs {
+            for &b in ys {
+                rows.push(vec![a, b]);
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn recovers_linear_relationship() {
+        let rows = grid2(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 2.0, 3.0]);
+        let d = dataset_from(|r| 3.0 * r[0] + 2.0, &rows);
+        let res = fit(&d, None, &quick_cfg(11));
+        assert!(res.train_mape < 5.0, "MAPE {} expr {}", res.train_mape, res.expr);
+    }
+
+    #[test]
+    fn recovers_multiplicative_relationship() {
+        let rows = grid2(&[1.0, 2.0, 4.0, 8.0], &[1.0, 3.0, 9.0]);
+        let d = dataset_from(|r| r[0] * r[1], &rows);
+        let res = fit(&d, None, &quick_cfg(5));
+        assert!(res.train_mape < 5.0, "MAPE {} expr {}", res.train_mape, res.expr);
+    }
+
+    #[test]
+    fn approximates_cubic_scaling() {
+        // The LULESH shape: work ~ epr^3.
+        let rows: Vec<Vec<f64>> = [5.0, 10.0, 15.0, 20.0, 25.0].iter().map(|&e| vec![e]).collect();
+        let d = dataset_from(|r| 1e-4 * r[0] * r[0] * r[0] + 0.01, &rows);
+        let res = fit(&d, None, &quick_cfg(7));
+        assert!(res.train_mape < 10.0, "MAPE {} expr {}", res.train_mape, res.expr);
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let rows = grid2(&[1.0, 2.0, 3.0], &[1.0, 2.0]);
+        let d = dataset_from(|r| r[0] + r[1], &rows);
+        let a = fit(&d, None, &quick_cfg(99));
+        let b = fit(&d, None, &quick_cfg(99));
+        assert_eq!(a.expr, b.expr);
+        assert_eq!(a.train_mape, b.train_mape);
+    }
+
+    #[test]
+    fn test_split_reported() {
+        let rows = grid2(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.0, 3.0]);
+        let d = dataset_from(|r| 2.0 * r[0] + r[1], &rows);
+        let (tr, te) = crate::stats::train_test_split(d.len(), 0.25, 1);
+        let res = fit(&d.subset(&tr), Some(&d.subset(&te)), &quick_cfg(3));
+        let tm = res.test_mape.expect("test set given");
+        assert!(tm < 25.0, "test MAPE {tm}");
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let rows = grid2(&[1.0, 2.0, 3.0], &[1.0, 2.0]);
+        let d = dataset_from(|r| r[0] * 5.0 + r[1], &rows);
+        let res = fit(&d, None, &quick_cfg(21));
+        for w in res.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "elitism guarantees monotonicity: {:?}", res.history);
+        }
+    }
+
+    #[test]
+    fn noisy_targets_still_fit_trend() {
+        // Deterministic pseudo-noise; the fitter should land near the trend.
+        let rows = grid2(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.0, 4.0]);
+        let d = dataset_from(
+            |r| (10.0 * r[0] + r[1]) * (1.0 + 0.05 * ((r[0] * 7.0 + r[1]).sin())),
+            &rows,
+        );
+        let res = fit(&d, None, &quick_cfg(13));
+        assert!(res.train_mape < 12.0, "MAPE {}", res.train_mape);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn dataset_rejects_nonpositive_targets() {
+        Dataset::new(vec![vec![1.0]], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn dataset_rejects_ragged_rows() {
+        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,399 @@
+//! Lookup-table performance models — BE-SST's interpolation method.
+//!
+//! "For our interpolation method of modeling, the training data is
+//! organized into lookup tables based on the corresponding system
+//! parameters. When a function from the AppBEO is called during
+//! simulation, the corresponding lookup table is searched for the function
+//! arguments, and one of many samples is selected for a runtime
+//! prediction. If the parameters ... do not have an existing sample, the
+//! simulator estimates a value ... to interpolate a data point" (§III-A).
+//!
+//! A [`SampleTable`] keeps *all* samples per grid point (the Monte-Carlo
+//! source), answers exact lookups by drawing a sample, and answers
+//! off-grid queries by multilinear interpolation over the grid cell (with
+//! clamped extrapolation outside the calibrated hull, nearest-neighbour as
+//! the fallback for incomplete grids).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How off-grid queries are answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interpolation {
+    /// Take the nearest calibrated point (normalized Euclidean distance).
+    Nearest,
+    /// Multilinear over the enclosing grid cell; clamps outside the hull;
+    /// falls back to nearest when a cell corner was never calibrated.
+    Multilinear,
+}
+
+/// A multi-parameter sample table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleTable {
+    dim_names: Vec<String>,
+    /// Calibrated points, sorted lexicographically by coordinates.
+    points: Vec<(Vec<f64>, Vec<f64>)>,
+    method: Interpolation,
+}
+
+impl SampleTable {
+    /// Empty table over the named parameters.
+    pub fn new(dim_names: &[&str], method: Interpolation) -> Self {
+        assert!(!dim_names.is_empty(), "table needs at least one parameter");
+        SampleTable {
+            dim_names: dim_names.iter().map(|s| s.to_string()).collect(),
+            points: Vec::new(),
+            method,
+        }
+    }
+
+    /// Parameter names.
+    pub fn dim_names(&self) -> &[String] {
+        &self.dim_names
+    }
+
+    /// Number of calibrated grid points.
+    pub fn n_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Dimensionality.
+    pub fn n_dims(&self) -> usize {
+        self.dim_names.len()
+    }
+
+    fn cmp_coords(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+        for (x, y) in a.iter().zip(b) {
+            match x.partial_cmp(y).expect("coordinates must be comparable") {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Record one timing sample at a parameter point.
+    pub fn insert(&mut self, coords: &[f64], sample: f64) {
+        assert_eq!(coords.len(), self.n_dims(), "coordinate arity mismatch");
+        assert!(sample.is_finite() && sample >= 0.0, "samples must be finite non-negative");
+        assert!(coords.iter().all(|c| c.is_finite()), "coordinates must be finite");
+        match self
+            .points
+            .binary_search_by(|(c, _)| Self::cmp_coords(c, coords))
+        {
+            Ok(i) => self.points[i].1.push(sample),
+            Err(i) => self.points.insert(i, (coords.to_vec(), vec![sample])),
+        }
+    }
+
+    /// Record many samples at once.
+    pub fn insert_all(&mut self, coords: &[f64], samples: &[f64]) {
+        for &s in samples {
+            self.insert(coords, s);
+        }
+    }
+
+    /// The raw samples at an exactly-calibrated point.
+    pub fn samples(&self, coords: &[f64]) -> Option<&[f64]> {
+        self.points
+            .binary_search_by(|(c, _)| Self::cmp_coords(c, coords))
+            .ok()
+            .map(|i| self.points[i].1.as_slice())
+    }
+
+    /// Mean at an exactly-calibrated point.
+    pub fn mean_at(&self, coords: &[f64]) -> Option<f64> {
+        self.samples(coords)
+            .map(|s| s.iter().sum::<f64>() / s.len() as f64)
+    }
+
+    /// Sorted unique coordinates per dimension (the grid axes).
+    pub fn axes(&self) -> Vec<Vec<f64>> {
+        let mut axes = vec![Vec::new(); self.n_dims()];
+        for (c, _) in &self.points {
+            for (d, &v) in c.iter().enumerate() {
+                if !axes[d].contains(&v) {
+                    axes[d].push(v);
+                }
+            }
+        }
+        for a in &mut axes {
+            a.sort_by(|x, y| x.partial_cmp(y).expect("finite coordinates"));
+        }
+        axes
+    }
+
+    /// Whether every combination of axis values is calibrated.
+    pub fn is_complete_grid(&self) -> bool {
+        let expected: usize = self.axes().iter().map(|a| a.len()).product();
+        expected == self.n_points()
+    }
+
+    fn nearest_index(&self, coords: &[f64]) -> usize {
+        assert!(!self.points.is_empty(), "cannot query an empty table");
+        let axes = self.axes();
+        let spans: Vec<f64> = axes
+            .iter()
+            .map(|a| {
+                let span = a.last().expect("non-empty axis") - a[0];
+                if span > 0.0 {
+                    span
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, (c, _)) in self.points.iter().enumerate() {
+            let d: f64 = c
+                .iter()
+                .zip(coords)
+                .zip(&spans)
+                .map(|((&a, &b), &s)| ((a - b) / s).powi(2))
+                .sum();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Bracketing (lo, hi, weight-of-hi) per dimension, clamped to the
+    /// calibrated hull.
+    fn brackets(&self, coords: &[f64]) -> Vec<(f64, f64, f64)> {
+        let axes = self.axes();
+        coords
+            .iter()
+            .zip(&axes)
+            .map(|(&v, axis)| {
+                let first = axis[0];
+                let last = *axis.last().expect("non-empty axis");
+                if v <= first {
+                    (first, first, 0.0)
+                } else if v >= last {
+                    (last, last, 0.0)
+                } else {
+                    let hi_idx = axis.partition_point(|&a| a < v);
+                    let hi = axis[hi_idx];
+                    if hi == v {
+                        (v, v, 0.0)
+                    } else {
+                        let lo = axis[hi_idx - 1];
+                        (lo, hi, (v - lo) / (hi - lo))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Predict with a caller-supplied per-corner evaluator (mean or random
+    /// sample), combining corners multilinearly.
+    fn combine<F: FnMut(&[f64]) -> Option<f64>>(
+        &self,
+        coords: &[f64],
+        mut corner_value: F,
+    ) -> Option<f64> {
+        let br = self.brackets(coords);
+        let n = br.len();
+        let mut total = 0.0;
+        let mut weight_sum = 0.0;
+        for mask in 0u32..(1 << n) {
+            let mut corner = Vec::with_capacity(n);
+            let mut w = 1.0;
+            for (d, &(lo, hi, t)) in br.iter().enumerate() {
+                if mask & (1 << d) != 0 {
+                    corner.push(hi);
+                    w *= t;
+                } else {
+                    corner.push(lo);
+                    w *= 1.0 - t;
+                }
+            }
+            if w == 0.0 {
+                continue;
+            }
+            let v = corner_value(&corner)?;
+            total += w * v;
+            weight_sum += w;
+        }
+        if weight_sum == 0.0 {
+            None
+        } else {
+            Some(total / weight_sum)
+        }
+    }
+
+    /// Point-estimate prediction (mean-based).
+    pub fn predict(&self, coords: &[f64]) -> f64 {
+        assert_eq!(coords.len(), self.n_dims(), "coordinate arity mismatch");
+        assert!(!self.points.is_empty(), "cannot query an empty table");
+        if let Some(m) = self.mean_at(coords) {
+            return m;
+        }
+        match self.method {
+            Interpolation::Nearest => {
+                let i = self.nearest_index(coords);
+                let s = &self.points[i].1;
+                s.iter().sum::<f64>() / s.len() as f64
+            }
+            Interpolation::Multilinear => self
+                .combine(coords, |corner| self.mean_at(corner))
+                .unwrap_or_else(|| {
+                    // Incomplete grid: missing corner — nearest fallback.
+                    let i = self.nearest_index(coords);
+                    let s = &self.points[i].1;
+                    s.iter().sum::<f64>() / s.len() as f64
+                }),
+        }
+    }
+
+    /// Monte-Carlo prediction: draw from the sample distributions ("one of
+    /// many samples is selected").
+    pub fn sample<R: Rng + ?Sized>(&self, coords: &[f64], rng: &mut R) -> f64 {
+        assert_eq!(coords.len(), self.n_dims(), "coordinate arity mismatch");
+        assert!(!self.points.is_empty(), "cannot query an empty table");
+        let draw = |samples: &[f64], rng: &mut R| -> f64 {
+            samples[rng.gen_range(0..samples.len())]
+        };
+        if let Some(s) = self.samples(coords) {
+            return draw(s, rng);
+        }
+        match self.method {
+            Interpolation::Nearest => {
+                let i = self.nearest_index(coords);
+                draw(&self.points[i].1, rng)
+            }
+            Interpolation::Multilinear => {
+                // Randomly pick one sample per corner, combine linearly —
+                // preserves both trend and spread.
+                let result = self.combine(coords, |corner| {
+                    self.samples(corner).map(|s| s[rng.gen_range(0..s.len())])
+                });
+                match result {
+                    Some(v) => v,
+                    None => {
+                        let i = self.nearest_index(coords);
+                        draw(&self.points[i].1, rng)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_table(method: Interpolation) -> SampleTable {
+        // f(x, y) = 10x + y over x in {1,2,3}, y in {10, 20}.
+        let mut t = SampleTable::new(&["x", "y"], method);
+        for &x in &[1.0, 2.0, 3.0] {
+            for &y in &[10.0, 20.0] {
+                t.insert(&[x, y], 10.0 * x + y);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn exact_lookup_returns_mean() {
+        let mut t = grid_table(Interpolation::Multilinear);
+        t.insert(&[1.0, 10.0], 22.0); // second sample at a point
+        assert_eq!(t.samples(&[1.0, 10.0]).unwrap().len(), 2);
+        assert!((t.predict(&[1.0, 10.0]) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multilinear_recovers_linear_function() {
+        let t = grid_table(Interpolation::Multilinear);
+        // Interior point: linear function must be reproduced exactly.
+        assert!((t.predict(&[1.5, 15.0]) - 30.0).abs() < 1e-9);
+        assert!((t.predict(&[2.25, 12.0]) - 34.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_hull_clamps() {
+        let t = grid_table(Interpolation::Multilinear);
+        assert!((t.predict(&[0.0, 15.0]) - 25.0).abs() < 1e-9); // clamp x to 1
+        assert!((t.predict(&[5.0, 10.0]) - 40.0).abs() < 1e-9); // clamp x to 3
+    }
+
+    #[test]
+    fn nearest_method_snaps() {
+        let t = grid_table(Interpolation::Nearest);
+        assert!((t.predict(&[1.1, 10.5]) - 20.0).abs() < 1e-9);
+        assert!((t.predict(&[2.9, 19.0]) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_draws_from_recorded_distribution() {
+        let mut t = SampleTable::new(&["x"], Interpolation::Multilinear);
+        t.insert_all(&[1.0], &[10.0, 20.0, 30.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let v = t.sample(&[1.0], &mut rng);
+            assert!([10.0, 20.0, 30.0].contains(&v));
+            seen.insert(v.to_bits());
+        }
+        assert_eq!(seen.len(), 3, "all samples eventually drawn");
+    }
+
+    #[test]
+    fn interpolated_sampling_stays_in_range() {
+        let mut t = SampleTable::new(&["x"], Interpolation::Multilinear);
+        t.insert_all(&[1.0], &[10.0, 12.0]);
+        t.insert_all(&[2.0], &[20.0, 24.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = t.sample(&[1.5], &mut rng);
+            assert!((14.0..=19.0).contains(&v), "sample {v} out of convex range");
+        }
+    }
+
+    #[test]
+    fn axes_and_completeness() {
+        let t = grid_table(Interpolation::Multilinear);
+        assert_eq!(t.axes(), vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0]]);
+        assert!(t.is_complete_grid());
+        let mut t2 = t.clone();
+        t2.insert(&[9.0, 10.0], 1.0); // rags the grid
+        assert!(!t2.is_complete_grid());
+    }
+
+    #[test]
+    fn incomplete_grid_falls_back_to_nearest() {
+        let mut t = SampleTable::new(&["x", "y"], Interpolation::Multilinear);
+        t.insert(&[1.0, 1.0], 1.0);
+        t.insert(&[2.0, 2.0], 4.0);
+        // Cell corners (1,2) and (2,1) missing.
+        let v = t.predict(&[1.4, 1.4]);
+        assert!(v == 1.0 || v == 4.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = grid_table(Interpolation::Multilinear);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: SampleTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_points(), t.n_points());
+        assert_eq!(back.predict(&[1.5, 15.0]), t.predict(&[1.5, 15.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn empty_table_query_panics() {
+        SampleTable::new(&["x"], Interpolation::Nearest).predict(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        grid_table(Interpolation::Nearest).predict(&[1.0]);
+    }
+}

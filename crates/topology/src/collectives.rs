@@ -1,0 +1,172 @@
+//! Collective-operation cost models.
+//!
+//! Coarse-grained analytic costs for the MPI collectives the proxy apps and
+//! the FTI checkpointing layer use. All models are the standard
+//! logarithmic-algorithm costs (binomial-tree broadcast/barrier,
+//! Rabenseifner allreduce, ring allgather) expressed over a
+//! [`CostModel`](crate::cost::CostModel) and a mean hop count, which is how
+//! BE-SST abstracts the fabric when it expands a communication instruction.
+
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// Context for costing a collective: fabric timing plus the average routed
+/// distance between participants.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CollectiveModel {
+    /// Point-to-point fabric model.
+    pub fabric: CostModel,
+    /// Mean switch hops between communicating peers.
+    pub mean_hops: f64,
+    /// Effective bandwidth share on contended stages (taper/congestion).
+    pub bandwidth_share: f64,
+}
+
+impl CollectiveModel {
+    /// Build a collective cost context.
+    pub fn new(fabric: CostModel, mean_hops: f64, bandwidth_share: f64) -> Self {
+        assert!(mean_hops >= 0.0 && mean_hops.is_finite());
+        assert!(bandwidth_share > 0.0 && bandwidth_share <= 1.0);
+        CollectiveModel { fabric, mean_hops, bandwidth_share }
+    }
+
+    fn step_latency(&self) -> f64 {
+        self.fabric.overhead_s + self.mean_hops * self.fabric.hop_latency_s
+    }
+
+    fn bw_time(&self, bytes: f64) -> f64 {
+        bytes / (self.fabric.bandwidth_bps * self.bandwidth_share)
+    }
+
+    /// Ceil of log2(p), 0 for p ≤ 1.
+    pub fn rounds(p: usize) -> u32 {
+        if p <= 1 {
+            0
+        } else {
+            usize::BITS - (p - 1).leading_zeros()
+        }
+    }
+
+    /// Dissemination barrier: ⌈log₂ p⌉ zero-byte rounds.
+    pub fn barrier(&self, p: usize) -> f64 {
+        Self::rounds(p) as f64 * self.step_latency()
+    }
+
+    /// Binomial-tree broadcast of `bytes` from one root.
+    pub fn broadcast(&self, p: usize, bytes: u64) -> f64 {
+        let r = Self::rounds(p) as f64;
+        r * (self.step_latency() + self.bw_time(bytes as f64))
+    }
+
+    /// Rabenseifner allreduce: reduce-scatter + allgather,
+    /// `2·log₂p` latency rounds and `2·(p−1)/p` of the data over the wire.
+    pub fn allreduce(&self, p: usize, bytes: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let r = Self::rounds(p) as f64;
+        let frac = 2.0 * (p as f64 - 1.0) / p as f64;
+        2.0 * r * self.step_latency() + self.bw_time(frac * bytes as f64)
+    }
+
+    /// Ring allgather of `bytes` contributed per rank.
+    pub fn allgather(&self, p: usize, bytes_per_rank: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let steps = (p - 1) as f64;
+        steps * (self.step_latency() + self.bw_time(bytes_per_rank as f64))
+    }
+
+    /// Halo exchange with `neighbors` peers, `bytes` each way, overlapped
+    /// sends: one latency, bandwidth serialized at the injection port.
+    pub fn halo_exchange(&self, neighbors: usize, bytes: u64) -> f64 {
+        if neighbors == 0 {
+            return 0.0;
+        }
+        self.step_latency() + self.bw_time((neighbors as u64 * bytes) as f64)
+    }
+
+    /// Point-to-point partner send (FTI L2 partner-copy): one message of
+    /// `bytes` to a dedicated partner.
+    pub fn partner_send(&self, bytes: u64) -> f64 {
+        self.step_latency() + self.bw_time(bytes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CollectiveModel {
+        CollectiveModel::new(CostModel::omni_path(), 4.0, 1.0)
+    }
+
+    #[test]
+    fn rounds_is_ceil_log2() {
+        assert_eq!(CollectiveModel::rounds(1), 0);
+        assert_eq!(CollectiveModel::rounds(2), 1);
+        assert_eq!(CollectiveModel::rounds(3), 2);
+        assert_eq!(CollectiveModel::rounds(4), 2);
+        assert_eq!(CollectiveModel::rounds(5), 3);
+        assert_eq!(CollectiveModel::rounds(1024), 10);
+        assert_eq!(CollectiveModel::rounds(1025), 11);
+    }
+
+    #[test]
+    fn barrier_scales_logarithmically() {
+        let m = model();
+        let b8 = m.barrier(8);
+        let b64 = m.barrier(64);
+        assert!((b64 / b8 - 2.0).abs() < 1e-9, "log2(64)/log2(8) = 2");
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let m = model();
+        assert_eq!(m.barrier(1), 0.0);
+        assert_eq!(m.allreduce(1, 1 << 20), 0.0);
+        assert_eq!(m.allgather(1, 1 << 20), 0.0);
+        assert_eq!(m.broadcast(1, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn allreduce_bandwidth_term_saturates_with_p() {
+        let m = model();
+        // The fraction 2(p-1)/p approaches 2; latency grows with log p.
+        let big = m.allreduce(1 << 20, 8);
+        let bigger = m.allreduce(1 << 20, 8);
+        assert_eq!(big, bigger);
+        let t64 = m.allreduce(64, 1 << 24);
+        let t1024 = m.allreduce(1024, 1 << 24);
+        // Bandwidth-dominated: large message → modest growth with p.
+        assert!(t1024 < 1.5 * t64);
+    }
+
+    #[test]
+    fn halo_exchange_serializes_injection() {
+        let m = model();
+        let one = m.halo_exchange(1, 1 << 20);
+        let six = m.halo_exchange(6, 1 << 20);
+        let bw = (1u64 << 20) as f64 / m.fabric.bandwidth_bps;
+        assert!((six - one - 5.0 * bw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_participants() {
+        let m = model();
+        for p in [2usize, 4, 8, 16, 32] {
+            assert!(m.barrier(p) <= m.barrier(p * 2));
+            assert!(m.allreduce(p, 4096) <= m.allreduce(p * 2, 4096));
+            assert!(m.allgather(p, 4096) <= m.allgather(p * 2, 4096));
+        }
+    }
+
+    #[test]
+    fn taper_increases_cost() {
+        let full = CollectiveModel::new(CostModel::omni_path(), 4.0, 1.0);
+        let tapered = CollectiveModel::new(CostModel::omni_path(), 4.0, 0.5);
+        assert!(tapered.allreduce(64, 1 << 20) > full.allreduce(64, 1 << 20));
+        assert!(tapered.partner_send(1 << 20) > full.partner_send(1 << 20));
+    }
+}

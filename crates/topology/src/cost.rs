@@ -1,0 +1,139 @@
+//! Point-to-point communication cost model.
+//!
+//! The classic postal / Hockney model extended with per-hop switching
+//! latency and an optional congestion factor:
+//!
+//! ```text
+//! t(bytes, hops) = overhead + hops * hop_latency + bytes / (bandwidth * share)
+//! ```
+//!
+//! where `share ∈ (0, 1]` reflects contention on shared stages (e.g. the
+//! tapered core of a fat-tree under global traffic). All times are seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// Fabric timing parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Software/injection overhead per message, seconds (MPI stack, NIC).
+    pub overhead_s: f64,
+    /// Per-switch-hop latency, seconds.
+    pub hop_latency_s: f64,
+    /// Link bandwidth, bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl CostModel {
+    /// Construct; all parameters must be positive and finite.
+    pub fn new(overhead_s: f64, hop_latency_s: f64, bandwidth_bps: f64) -> Self {
+        assert!(
+            overhead_s >= 0.0 && overhead_s.is_finite(),
+            "overhead must be finite and non-negative"
+        );
+        assert!(
+            hop_latency_s >= 0.0 && hop_latency_s.is_finite(),
+            "hop latency must be finite and non-negative"
+        );
+        assert!(
+            bandwidth_bps > 0.0 && bandwidth_bps.is_finite(),
+            "bandwidth must be finite and positive"
+        );
+        CostModel { overhead_s, hop_latency_s, bandwidth_bps }
+    }
+
+    /// Omni-Path-like parameters (100 Gb/s links, ~110 ns per switch hop,
+    /// ~1 µs MPI overhead) — the Quartz fabric class.
+    pub fn omni_path() -> Self {
+        CostModel::new(1.0e-6, 110.0e-9, 100.0e9 / 8.0)
+    }
+
+    /// BlueGene/Q torus-like parameters (2 GB/s per link, ~40 ns hops).
+    pub fn bgq_torus() -> Self {
+        CostModel::new(1.2e-6, 40.0e-9, 2.0e9)
+    }
+
+    /// Time for one message of `bytes` over `hops` switch hops, full link
+    /// bandwidth.
+    pub fn pt2pt(&self, bytes: u64, hops: u32) -> f64 {
+        self.pt2pt_shared(bytes, hops, 1.0)
+    }
+
+    /// Like [`CostModel::pt2pt`] but with only `share` of the link
+    /// bandwidth available (congestion / taper).
+    pub fn pt2pt_shared(&self, bytes: u64, hops: u32, share: f64) -> f64 {
+        assert!(share > 0.0 && share <= 1.0, "bandwidth share must be in (0, 1]");
+        self.overhead_s
+            + hops as f64 * self.hop_latency_s
+            + bytes as f64 / (self.bandwidth_bps * share)
+    }
+
+    /// Pure latency of a zero-byte message over `hops` hops.
+    pub fn latency(&self, hops: u32) -> f64 {
+        self.overhead_s + hops as f64 * self.hop_latency_s
+    }
+
+    /// Bytes/second effectively delivered for a message of `bytes` over
+    /// `hops` (i.e. including latency), useful for sanity checks.
+    pub fn effective_bandwidth(&self, bytes: u64, hops: u32) -> f64 {
+        bytes as f64 / self.pt2pt(bytes, hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pt2pt_components_add() {
+        let m = CostModel::new(1e-6, 100e-9, 1e9);
+        let t = m.pt2pt(1000, 4);
+        let expect = 1e-6 + 4.0 * 100e-9 + 1000.0 / 1e9;
+        assert!((t - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_byte_message_is_pure_latency() {
+        let m = CostModel::omni_path();
+        assert!((m.pt2pt(0, 3) - m.latency(3)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn shared_bandwidth_slows_transfer() {
+        let m = CostModel::omni_path();
+        let full = m.pt2pt(1 << 20, 4);
+        let half = m.pt2pt_shared(1 << 20, 4, 0.5);
+        assert!(half > full);
+        // The bandwidth term exactly doubles.
+        let bw_term = (1u64 << 20) as f64 / m.bandwidth_bps;
+        assert!((half - full - bw_term).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_link_rate() {
+        let m = CostModel::omni_path();
+        let small = m.effective_bandwidth(64, 4);
+        let large = m.effective_bandwidth(1 << 30, 4);
+        assert!(small < large);
+        assert!(large < m.bandwidth_bps);
+        assert!(large > 0.99 * m.bandwidth_bps);
+    }
+
+    #[test]
+    fn monotone_in_size_and_hops() {
+        let m = CostModel::bgq_torus();
+        assert!(m.pt2pt(100, 2) < m.pt2pt(200, 2));
+        assert!(m.pt2pt(100, 2) < m.pt2pt(100, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth share")]
+    fn zero_share_panics() {
+        CostModel::omni_path().pt2pt_shared(1, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be finite and positive")]
+    fn bad_bandwidth_panics() {
+        CostModel::new(0.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Two-stage bidirectional fat-tree (the Quartz / Omni-Path fabric shape).
+//!
+//! Nodes attach to *leaf* (edge) switches; every leaf connects upward to a
+//! set of *core* switches. Routing is up-down:
+//!
+//! * same node: 0 hops (memory),
+//! * same leaf switch: 2 hops (node → leaf → node),
+//! * different leaf: 4 hops (node → leaf → core → leaf → node).
+//!
+//! The up:down port ratio (taper) does not change hop counts but scales the
+//! effective per-node bandwidth into the core, which the cost model uses
+//! for congestion on global traffic.
+
+use crate::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A two-stage fat-tree: `n_leaves` leaf switches × `nodes_per_leaf` nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FatTree {
+    nodes_per_leaf: usize,
+    n_leaves: usize,
+    /// Uplinks per leaf ÷ downlinks per leaf; 1.0 = full bisection,
+    /// 0.5 = 2:1 taper, etc.
+    taper: f64,
+}
+
+impl FatTree {
+    /// Build a fat-tree. `taper` in `(0, 1]`; Quartz's Omni-Path fabric is
+    /// approximately 2:1 tapered (`taper = 0.5`).
+    pub fn new(n_leaves: usize, nodes_per_leaf: usize, taper: f64) -> Self {
+        assert!(n_leaves > 0, "need at least one leaf switch");
+        assert!(nodes_per_leaf > 0, "need at least one node per leaf");
+        assert!(taper > 0.0 && taper <= 1.0, "taper must be in (0, 1]");
+        FatTree { nodes_per_leaf, n_leaves, taper }
+    }
+
+    /// Smallest fat-tree with `nodes_per_leaf` downlinks that fits
+    /// `n_nodes` nodes.
+    pub fn fitting(n_nodes: usize, nodes_per_leaf: usize, taper: f64) -> Self {
+        assert!(n_nodes > 0, "need at least one node");
+        let n_leaves = n_nodes.div_ceil(nodes_per_leaf);
+        FatTree::new(n_leaves, nodes_per_leaf, taper)
+    }
+
+    /// Which leaf switch a node hangs off.
+    pub fn leaf_of(&self, n: NodeId) -> usize {
+        assert!(n.0 < self.n_nodes(), "node {:?} outside topology", n);
+        n.0 / self.nodes_per_leaf
+    }
+
+    /// Number of leaf switches.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Nodes attached per leaf switch.
+    pub fn nodes_per_leaf(&self) -> usize {
+        self.nodes_per_leaf
+    }
+
+    /// Up:down port ratio.
+    pub fn taper(&self) -> f64 {
+        self.taper
+    }
+
+    /// Fraction of node-pair traffic that must traverse the core stage
+    /// under uniform traffic (used for congestion modeling).
+    pub fn core_traffic_fraction(&self) -> f64 {
+        if self.n_leaves <= 1 {
+            return 0.0;
+        }
+        let n = self.n_nodes() as f64;
+        let same_leaf_peers = (self.nodes_per_leaf - 1) as f64;
+        1.0 - same_leaf_peers / (n - 1.0)
+    }
+
+    /// Effective per-node share of core bandwidth relative to the injection
+    /// link, `taper` at full population.
+    pub fn core_bandwidth_share(&self) -> f64 {
+        self.taper
+    }
+}
+
+impl Topology for FatTree {
+    fn name(&self) -> &str {
+        "fat-tree-2stage"
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.n_leaves * self.nodes_per_leaf
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        assert!(a.0 < self.n_nodes() && b.0 < self.n_nodes(), "node outside topology");
+        if a == b {
+            0
+        } else if self.leaf_of(a) == self.leaf_of(b) {
+            2
+        } else {
+            4
+        }
+    }
+
+    fn diameter(&self) -> u32 {
+        if self.n_leaves > 1 {
+            4
+        } else if self.nodes_per_leaf > 1 {
+            2
+        } else {
+            0
+        }
+    }
+
+    fn mean_hops(&self) -> f64 {
+        let n = self.n_nodes();
+        if n < 2 {
+            return 0.0;
+        }
+        // Closed form: a node has (nodes_per_leaf - 1) 2-hop peers and the
+        // rest are 4-hop.
+        let same = (self.nodes_per_leaf - 1) as f64;
+        let other = (n - self.nodes_per_leaf) as f64;
+        (2.0 * same + 4.0 * other) / (n as f64 - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mean_hops_exhaustive;
+
+    #[test]
+    fn hop_counts() {
+        let ft = FatTree::new(4, 8, 0.5);
+        assert_eq!(ft.n_nodes(), 32);
+        assert_eq!(ft.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(ft.hops(NodeId(0), NodeId(7)), 2); // same leaf
+        assert_eq!(ft.hops(NodeId(0), NodeId(8)), 4); // next leaf
+        assert_eq!(ft.hops(NodeId(31), NodeId(0)), 4);
+        assert_eq!(ft.diameter(), 4);
+    }
+
+    #[test]
+    fn mean_hops_matches_exhaustive() {
+        let ft = FatTree::new(3, 5, 1.0);
+        let exact = mean_hops_exhaustive(&ft);
+        assert!((ft.mean_hops() - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fitting_rounds_up() {
+        let ft = FatTree::fitting(100, 32, 0.5);
+        assert_eq!(ft.n_leaves(), 4);
+        assert!(ft.n_nodes() >= 100);
+    }
+
+    #[test]
+    fn single_leaf_degenerates() {
+        let ft = FatTree::new(1, 4, 1.0);
+        assert_eq!(ft.diameter(), 2);
+        assert_eq!(ft.hops(NodeId(0), NodeId(3)), 2);
+        assert_eq!(ft.core_traffic_fraction(), 0.0);
+    }
+
+    #[test]
+    fn core_traffic_fraction_bounds() {
+        let ft = FatTree::new(93, 32, 0.5); // Quartz-ish: 2976 nodes
+        let f = ft.core_traffic_fraction();
+        assert!(f > 0.98 && f < 1.0, "nearly all traffic crosses the core: {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn out_of_range_panics() {
+        let ft = FatTree::new(2, 2, 1.0);
+        ft.hops(NodeId(0), NodeId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "taper")]
+    fn bad_taper_panics() {
+        FatTree::new(2, 2, 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! # besst-topology — interconnect topologies and communication cost models
+//!
+//! BE-SST describes the machine's interconnect abstractly: a topology that
+//! answers "how many hops between node A and node B", plus a cost model
+//! turning (hops, message size) into time. This crate provides the
+//! topologies used by the paper's machines —
+//!
+//! * [`fattree::FatTree`]: the two-stage bidirectional fat-tree of LLNL
+//!   Quartz (Omni-Path),
+//! * [`torus::Torus`]: the 5-D torus of LLNL Vulcan (BlueGene/Q),
+//! * [`dragonfly::Dragonfly`]: for notional-system DSE,
+//!
+//! — together with point-to-point ([`cost::CostModel`]) and collective
+//! ([`collectives`]) communication cost models used by both the fine-grained
+//! testbed and the coarse-grained BE simulator.
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod cost;
+pub mod dragonfly;
+pub mod fattree;
+pub mod torus;
+
+/// A compute-node index within a topology, `0..n_nodes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Minimal interface every interconnect topology provides.
+pub trait Topology: Send + Sync {
+    /// Human-readable topology name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Number of compute nodes attached.
+    fn n_nodes(&self) -> usize;
+
+    /// Switch/router hop count on the routed path between two nodes.
+    /// `hops(a, a) == 0` by convention (intra-node communication goes
+    /// through memory, not the fabric).
+    fn hops(&self, a: NodeId, b: NodeId) -> u32;
+
+    /// Largest hop count between any two nodes.
+    fn diameter(&self) -> u32;
+
+    /// Average hop count under a uniform traffic pattern, computed exactly
+    /// for small systems and via closed form where available.
+    fn mean_hops(&self) -> f64;
+}
+
+/// Exhaustive mean-hops helper for tests / small topologies.
+pub(crate) fn mean_hops_exhaustive(t: &dyn Topology) -> f64 {
+    let n = t.n_nodes();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                total += t.hops(NodeId(a), NodeId(b)) as u64;
+                pairs += 1;
+            }
+        }
+    }
+    total as f64 / pairs as f64
+}

@@ -1,0 +1,189 @@
+//! N-dimensional torus (the Vulcan / BlueGene/Q fabric shape).
+//!
+//! Nodes sit on an N-dimensional grid with wraparound links in every
+//! dimension; BG/Q used a 5-D torus. Dimension-ordered shortest-path
+//! routing gives a hop count equal to the sum of per-dimension wrap
+//! distances.
+
+use crate::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A torus with the given per-dimension extents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Torus {
+    dims: Vec<usize>,
+    name: String,
+}
+
+impl Torus {
+    /// Build a torus; every dimension must have extent ≥ 1.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "torus needs at least one dimension");
+        assert!(dims.iter().all(|&d| d >= 1), "torus dimensions must be >= 1");
+        Torus { dims: dims.to_vec(), name: format!("torus-{}d", dims.len()) }
+    }
+
+    /// The per-dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Convert a linear node id to grid coordinates (row-major, first
+    /// dimension varies slowest).
+    pub fn coords(&self, n: NodeId) -> Vec<usize> {
+        assert!(n.0 < self.n_nodes(), "node {:?} outside topology", n);
+        let mut rem = n.0;
+        let mut out = vec![0; self.dims.len()];
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            out[i] = rem % d;
+            rem /= d;
+        }
+        out
+    }
+
+    /// Convert grid coordinates back to a linear node id.
+    pub fn node_at(&self, coords: &[usize]) -> NodeId {
+        assert_eq!(coords.len(), self.dims.len(), "coordinate arity mismatch");
+        let mut id = 0usize;
+        for (c, &d) in coords.iter().zip(&self.dims) {
+            assert!(*c < d, "coordinate {c} outside dimension extent {d}");
+            id = id * d + c;
+        }
+        NodeId(id)
+    }
+
+    fn wrap_distance(extent: usize, a: usize, b: usize) -> u32 {
+        let fwd = (b + extent - a) % extent;
+        let bwd = (a + extent - b) % extent;
+        fwd.min(bwd) as u32
+    }
+}
+
+impl Topology for Torus {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        ca.iter()
+            .zip(&cb)
+            .zip(&self.dims)
+            .map(|((&x, &y), &d)| Self::wrap_distance(d, x, y))
+            .sum()
+    }
+
+    fn diameter(&self) -> u32 {
+        self.dims.iter().map(|&d| (d / 2) as u32).sum()
+    }
+
+    fn mean_hops(&self) -> f64 {
+        // Per-dimension mean wrap distance; dimensions are independent so
+        // means add. For extent d the mean over ordered pairs (including
+        // x == y) is:
+        //   even d: d/4 * d/(d-? ) — computed exactly below by summation
+        // (cheap: extents are small), then combined excluding the
+        // all-dims-equal self pair via inclusion of the exact pair count.
+        let n = self.n_nodes() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        // Sum over all ordered pairs (a, b) of hop counts equals
+        // sum over dims of (mean wrap distance in that dim) * n^2.
+        let mut total: f64 = 0.0;
+        for &d in &self.dims {
+            let mut dim_sum = 0u64;
+            for a in 0..d {
+                for b in 0..d {
+                    dim_sum += Self::wrap_distance(d, a, b) as u64;
+                }
+            }
+            // Every (a_i, b_i) pair in this dim appears (n/d)^2 times.
+            let reps = (self.n_nodes() / d) as f64;
+            total += dim_sum as f64 * reps * reps;
+        }
+        // Exclude self-pairs (zero distance) from the average.
+        total / (n * n - n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mean_hops_exhaustive;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Torus::new(&[3, 4, 5]);
+        for i in 0..t.n_nodes() {
+            let c = t.coords(NodeId(i));
+            assert_eq!(t.node_at(&c), NodeId(i));
+        }
+    }
+
+    #[test]
+    fn wrap_distance_is_shortest() {
+        assert_eq!(Torus::wrap_distance(8, 0, 7), 1);
+        assert_eq!(Torus::wrap_distance(8, 0, 4), 4);
+        assert_eq!(Torus::wrap_distance(8, 2, 2), 0);
+        assert_eq!(Torus::wrap_distance(5, 0, 3), 2);
+    }
+
+    #[test]
+    fn hops_ring() {
+        let t = Torus::new(&[6]);
+        assert_eq!(t.hops(NodeId(0), NodeId(3)), 3);
+        assert_eq!(t.hops(NodeId(0), NodeId(5)), 1);
+        assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn hops_symmetric_and_triangle() {
+        let t = Torus::new(&[3, 3, 2]);
+        for a in 0..t.n_nodes() {
+            for b in 0..t.n_nodes() {
+                assert_eq!(t.hops(NodeId(a), NodeId(b)), t.hops(NodeId(b), NodeId(a)));
+                for c in 0..t.n_nodes() {
+                    assert!(
+                        t.hops(NodeId(a), NodeId(c))
+                            <= t.hops(NodeId(a), NodeId(b)) + t.hops(NodeId(b), NodeId(c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_hops_matches_exhaustive() {
+        for dims in [vec![4usize], vec![3, 4], vec![2, 3, 4]] {
+            let t = Torus::new(&dims);
+            let exact = mean_hops_exhaustive(&t);
+            assert!(
+                (t.mean_hops() - exact).abs() < 1e-9,
+                "dims {dims:?}: closed {} vs exhaustive {exact}",
+                t.mean_hops()
+            );
+        }
+    }
+
+    #[test]
+    fn vulcan_shape() {
+        // Vulcan was 24k nodes on a 5-D torus; use the BG/Q-documented
+        // midplane shape scaled down for the unit test.
+        let t = Torus::new(&[4, 4, 4, 4, 2]);
+        assert_eq!(t.n_nodes(), 512);
+        assert_eq!(t.diameter(), 2 + 2 + 2 + 2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside dimension extent")]
+    fn bad_coords_panic() {
+        let t = Torus::new(&[2, 2]);
+        t.node_at(&[0, 2]);
+    }
+}

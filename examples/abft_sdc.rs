@@ -1,0 +1,68 @@
+//! ABFT vs silent data corruption — the fault class checkpointing cannot
+//! even see.
+//!
+//! Three copies of the same executing matrix solver run side by side:
+//! a clean reference, an unprotected copy, and a Huang–Abraham-protected
+//! copy. Silent data corruptions (bit-flip-style perturbations of the
+//! product matrix) strike the latter two at the same steps. The
+//! unprotected copy silently diverges; the protected copy locates and
+//! corrects every single-element corruption in place and stays
+//! bit-faithful to the reference.
+//!
+//! ```sh
+//! cargo run --release --example abft_sdc
+//! ```
+
+use besst::abft::{Solver, SolverConfig};
+
+fn main() {
+    let n = 32;
+    let steps = 40;
+    let sdc_steps = [7usize, 15, 23, 31];
+
+    println!("matrix power iteration, n = {n}, {steps} steps");
+    println!("SDC strikes at steps {sdc_steps:?} (single corrupted element each)\n");
+
+    let mut clean = Solver::new(n, 2024);
+    let mut plain = Solver::new(n, 2024);
+    let mut abft = Solver::new(n, 2024);
+
+    println!("{:>5} {:>16} {:>16} {:>12}", "step", "plain drift", "ABFT drift", "corrections");
+    for step in 0..steps {
+        let sdc = if sdc_steps.contains(&step) {
+            // Corrupt a pseudo-random element by a magnitude large enough
+            // to matter, small enough to hide from eyeballs.
+            Some(((step * 5) % n as usize, (step * 11) % n as usize, 0.37))
+        } else {
+            None
+        };
+        clean.step_unprotected(None);
+        plain.step_unprotected(sdc);
+        abft.step_protected(sdc);
+        if step % 8 == 7 {
+            println!(
+                "{:>5} {:>16.3e} {:>16.3e} {:>12}",
+                step + 1,
+                clean.diff(&plain),
+                clean.diff(&abft),
+                abft.corrections
+            );
+        }
+    }
+
+    println!(
+        "\nfinal: unprotected ended {:.3e} from the truth (and no alarm was raised);\n\
+         ABFT ended {:.3e} away after {} in-place corrections and {} recomputes.",
+        clean.diff(&plain),
+        clean.diff(&abft),
+        abft.corrections,
+        abft.recomputes,
+    );
+    println!(
+        "\nOverhead price of that protection (from the work model): {:+.2}% flops at n={n};\n\
+         {:+.2}% at n=1024 — ABFT gets cheaper exactly where problems get big.",
+        (SolverConfig::new(n, 1).abft_overhead() - 1.0) * 100.0,
+        (SolverConfig::new(1024, 1).abft_overhead() - 1.0) * 100.0,
+    );
+    println!("\nCheckpoint/restart would have restored... the already-corrupted state.");
+}

@@ -1,0 +1,87 @@
+//! Fault injection across the four quadrants of paper Fig. 4, validated
+//! against the Young/Daly analytic model.
+//!
+//! Case 1: no faults, no FT — the traditional BE-SST simulation.
+//! Case 2: faults, no FT — every failure restarts the application.
+//! Case 3: no faults, FT — checkpoint overhead only.
+//! Case 4: faults + FT — rollback/recovery under FTI semantics.
+//!
+//! The injector's Case-4 expectation is compared against Daly's
+//! closed-form expected runtime at matched parameters; agreement within
+//! tens of percent is expected (Daly assumes continuous checkpointing,
+//! the simulation checkpoints at step boundaries).
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use besst::analytic::CrParams;
+use besst::core::faults::{expected_makespan, FaultProcess, Timeline};
+use besst::fti::{CkptLevel, FtiConfig, GroupLayout};
+
+fn main() {
+    // A synthetic bulk-synchronous application: 1000 steps of 1 s, L1
+    // checkpoints of 5 s every 25 steps, 10 s restarts.
+    let steps = 1000usize;
+    let step_s = 1.0;
+    let period = 25usize;
+    let ckpt_s = 5.0;
+    let restart_s = 10.0;
+    let ranks = 64u32;
+
+    let fti = FtiConfig::l1_only(period as u32);
+    let layout = GroupLayout::new(&fti, ranks);
+    let ft_timeline = Timeline {
+        step_durations: vec![step_s; steps],
+        checkpoints: (1..=steps)
+            .filter(|s| s % period == 0)
+            .map(|s| (s, CkptLevel::L1, ckpt_s))
+            .collect(),
+        restart_costs: vec![(CkptLevel::L1, restart_s)],
+    };
+    let no_ft_timeline = Timeline {
+        step_durations: vec![step_s; steps],
+        checkpoints: vec![],
+        restart_costs: vec![],
+    };
+
+    println!("workload: {steps} × {step_s:.0}s steps; L1 ckpt {ckpt_s:.0}s every {period} steps\n");
+    println!(
+        "{:>24} | {:>12} {:>12} {:>12} {:>12}",
+        "system MTBF", "Case 1 (s)", "Case 2 (s)", "Case 3 (s)", "Case 4 (s)"
+    );
+    println!("{}", "-".repeat(80));
+
+    let case1 = no_ft_timeline.failure_free_makespan();
+    let case3 = ft_timeline.failure_free_makespan();
+
+    for mtbf in [2000.0f64, 500.0, 200.0] {
+        // 64 ranks on 2 nodes; the process models node failures.
+        let process = FaultProcess::new(mtbf * 2.0, 2, 0.0);
+        let case2 = expected_makespan(&no_ft_timeline, &process, None, 42, 60);
+        let case4 = expected_makespan(&ft_timeline, &process, Some(&layout), 42, 60);
+        println!(
+            "{:>22}s  | {:>12.0} {:>12} {:>12.0} {:>12.0}",
+            mtbf,
+            case1,
+            if case2.is_finite() { format!("{case2:.0}") } else { "∞".into() },
+            case3,
+            case4,
+        );
+
+        // Analytic cross-check for Case 4.
+        let cr = CrParams::new(ckpt_s, restart_s, mtbf);
+        let daly = cr.expected_runtime(steps as f64 * step_s, period as f64 * step_s);
+        let young = cr.young_interval();
+        println!(
+            "{:>24} | Daly expectation {:.0}s (ratio {:.2}); Young τ* = {:.0}s ≈ {:.0} steps",
+            "", daly, case4 / daly, young, young / step_s
+        );
+    }
+
+    println!(
+        "\nAt a gentle MTBF checkpointing is pure overhead (Case 3 > Case 1, Case 4 ≈ Case 3);\n\
+         as the MTBF shrinks, Case 2 explodes (restart-from-scratch is exponential in the\n\
+         fault rate) while Case 4 degrades gracefully — the classic C/R trade."
+    );
+}

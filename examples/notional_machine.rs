@@ -1,0 +1,75 @@
+//! Architectural DSE on notional machines — BE-SST's plug-and-play
+//! promise.
+//!
+//! "BE-SST also facilitates DSE through the plug-and-play nature of SST
+//! to perform notional system simulation. Models from different machine
+//! subsystems ... can be used together to construct and simulate full
+//! notional system designs." We calibrate CMT-bone per machine on three
+//! systems — the synthetic Quartz, the synthetic Vulcan, and a notional
+//! dragonfly — and predict scaling beyond each machine's benchmarked
+//! region, exactly the Fig. 1 workflow applied across architectures.
+//!
+//! ```sh
+//! cargo run --release --example notional_machine
+//! ```
+
+use besst::apps::cmtbone::{self, CmtBoneConfig};
+use besst::experiments::calibration::{calibrate, CalibrationConfig, ModelMethod};
+use besst::machine::{presets, Machine};
+use besst::models::SymRegConfig;
+
+const ELEMENTS: u32 = 128;
+const POLY: u32 = 5;
+
+fn study(machine: &Machine, benchmarked: &[u32], predicted: &[u32]) {
+    // Calibrate the timestep model on the benchmarked rank range.
+    let grid: Vec<(u32, u32)> = benchmarked.iter().map(|&r| (ELEMENTS, r)).collect();
+    let cal = calibrate(
+        machine,
+        |elements, ranks| {
+            cmtbone::instrumented_regions(&CmtBoneConfig::new(elements, POLY, ranks))
+        },
+        &grid,
+        &CalibrationConfig {
+            samples_per_point: 8,
+            method: ModelMethod::SymReg,
+            symreg: SymRegConfig { population: 128, generations: 25, ..Default::default() },
+            symreg_restarts: 2,
+            ..Default::default()
+        },
+    );
+    let model = cal.bundle.get(cmtbone::kernels::TIMESTEP).expect("calibrated");
+
+    println!(
+        "\n{} ({} nodes, {}):",
+        machine.name,
+        machine.n_nodes,
+        machine.interconnect.topology().name()
+    );
+    println!("  fitted timestep model: {}", model.describe());
+    for (&ranks, region) in benchmarked
+        .iter()
+        .zip(std::iter::repeat("validated"))
+        .chain(predicted.iter().zip(std::iter::repeat("PREDICTED")))
+    {
+        let t = model.predict(&[ELEMENTS as f64, POLY as f64, ranks as f64]);
+        println!("  {ranks:>9} ranks: {:>10.3} ms/timestep  [{region}]", t * 1e3);
+    }
+}
+
+fn main() {
+    println!(
+        "CMT-bone ({} elements/rank, N={}) across three architectures —\n\
+         validation region + notional-scale prediction:",
+        ELEMENTS, POLY
+    );
+
+    study(&presets::quartz(), &[64, 512, 4096, 32_768], &[100_000]);
+    study(&presets::vulcan(), &[2048, 16_384, 131_072], &[400_000, 1_000_000]);
+    study(&presets::notional_dragonfly(), &[64, 512, 4096], &[33_000]);
+
+    println!(
+        "\nSame AppBEO, three ArchBEOs: swapping the machine description is\n\
+         the whole cost of exploring a notional architecture."
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the whole FT-aware BE-SST workflow on one page.
+//!
+//! 1. describe a machine,
+//! 2. run the Model Development phase (benchmark → fit models),
+//! 3. run FT-aware full-system simulations for three checkpointing
+//!    scenarios, and
+//! 4. compare their predicted overheads.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use besst::apps::lulesh::{self, LuleshConfig};
+use besst::core::beo::ArchBeo;
+use besst::core::sim::{simulate, SimConfig};
+use besst::experiments::calibration::{calibrate, CalibrationConfig, ModelMethod};
+use besst::fti::FtiConfig;
+use besst::models::Interpolation;
+
+fn main() {
+    // ── 1. The machine ────────────────────────────────────────────────
+    // The synthetic Quartz: 2,988 dual-Xeon nodes on an Omni-Path
+    // fat-tree, with calibrated noise models standing in for the real
+    // allocation the paper benchmarked on.
+    let machine = besst::machine::presets::quartz();
+    println!("machine: {} ({} nodes, {} cores/node)", machine.name, machine.n_nodes, machine.node.cores());
+
+    // ── 2. Model Development ──────────────────────────────────────────
+    // Benchmark the instrumented kernels (timestep + checkpoint levels)
+    // over a small parameter grid and organize the samples into lookup
+    // tables. Swap `Table` for `SymReg` to use the paper's GP fitter.
+    let fti_all = FtiConfig::l1_l2(40);
+    let grid: Vec<(u32, u32)> = [5u32, 10, 15]
+        .iter()
+        .flat_map(|&epr| [8u32, 64].iter().map(move |&r| (epr, r)))
+        .collect();
+    let cal = calibrate(
+        &machine,
+        |epr, ranks| {
+            lulesh::instrumented_regions(&LuleshConfig::new(epr, ranks), &fti_all, &machine, 36)
+        },
+        &grid,
+        &CalibrationConfig {
+            samples_per_point: 8,
+            method: ModelMethod::Table(Interpolation::Multilinear),
+            ..Default::default()
+        },
+    );
+    println!("\ncalibrated models:");
+    for k in &cal.kernels {
+        println!("  {:18} {} (fit MAPE {:.2}%)", k.kernel, k.model.describe(), k.fit_mape);
+    }
+
+    // ── 3. FT-aware full-system simulation ────────────────────────────
+    let cfg = LuleshConfig::new(10, 64);
+    let arch = ArchBeo::new(machine, 36, cal.bundle);
+    let scenarios = [
+        ("No FT", FtiConfig::none()),
+        ("L1 @40", FtiConfig::l1_only(40)),
+        ("L1+L2 @40", FtiConfig::l1_l2(40)),
+    ];
+    println!("\n200-timestep LULESH run, epr 10, 64 ranks:");
+    let mut baseline = None;
+    for (label, fti) in scenarios {
+        let app = lulesh::appbeo(&cfg, &fti, 200);
+        let res = simulate(&app, &arch, &SimConfig::default());
+        let base = *baseline.get_or_insert(res.total_seconds);
+        println!(
+            "  {label:10}  total {:8.4} s   checkpoints {:2}   overhead {:6.1}%",
+            res.total_seconds,
+            res.n_checkpoints(),
+            100.0 * (res.total_seconds - base) / base,
+        );
+    }
+
+    // ── 4. The DSE punchline ──────────────────────────────────────────
+    println!(
+        "\nEach scenario is one point of the fault-tolerance design space;\n\
+         `repro fig9` sweeps the full problem-size × ranks × FT-level grid."
+    );
+}

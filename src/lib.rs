@@ -1,0 +1,68 @@
+//! # besst — fault-tolerance-aware system-level modeling and simulation
+//!
+//! A from-scratch Rust reproduction of *"Incorporating Fault-Tolerance
+//! Awareness into System-Level Modeling and Simulation"* (Johnson & Lam,
+//! IEEE CLUSTER 2021): the BE-SST coarse-grained modeling & simulation
+//! workflow with its fault-tolerance-awareness extensions, plus every
+//! substrate it stands on.
+//!
+//! This crate is a facade: it re-exports the workspace members under
+//! stable names. See the individual crates for the full APIs:
+//!
+//! * [`des`] — SST-like (parallel) discrete-event simulation engine
+//! * [`topology`] — fat-tree / torus / dragonfly interconnects & cost models
+//! * [`machine`] — hardware descriptions, noise models, the synthetic testbed
+//! * [`fti`] — multi-level checkpointing (FTI) with a real Reed–Solomon codec
+//! * [`models`] — lookup-table & symbolic-regression performance models
+//! * [`core`] — BEOs, the FT-aware BE simulator, Monte Carlo, fault injection
+//! * [`apps`] — LULESH and CMT-bone proxy applications
+//! * [`analytic`] — Amdahl/Gustafson/Young–Daly/Cavelan/Zheng/Hussain/Jin baselines
+//! * [`experiments`] — regeneration harness for every table and figure
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use besst::apps::lulesh::{self, LuleshConfig};
+//! use besst::core::sim::{simulate, SimConfig};
+//! use besst::core::beo::ArchBeo;
+//! use besst::fti::FtiConfig;
+//! use besst::experiments::calibration::{calibrate, CalibrationConfig, ModelMethod};
+//! use besst::models::Interpolation;
+//!
+//! // 1. Describe the machine (the synthetic Quartz preset).
+//! let machine = besst::machine::presets::quartz();
+//!
+//! // 2. Model Development: benchmark the instrumented kernels on the
+//! //    testbed and fit performance models (table method here, fast).
+//! let fti = FtiConfig::l1_only(10);
+//! let grid = [(5u32, 8u32), (10, 8)];
+//! let cal = calibrate(
+//!     &machine,
+//!     |epr, ranks| lulesh::instrumented_regions(
+//!         &LuleshConfig::new(epr, ranks), &fti, &machine, 36),
+//!     &grid,
+//!     &CalibrationConfig {
+//!         samples_per_point: 4,
+//!         method: ModelMethod::Table(Interpolation::Multilinear),
+//!         ..Default::default()
+//!     },
+//! );
+//!
+//! // 3. Co-Design: simulate the FT-aware application.
+//! let app = lulesh::appbeo(&LuleshConfig::new(10, 8), &fti, 30);
+//! let arch = ArchBeo::new(machine, 36, cal.bundle);
+//! let result = simulate(&app, &arch, &SimConfig::default());
+//! assert_eq!(result.step_completions.len(), 30);
+//! assert_eq!(result.n_checkpoints(), 3);
+//! ```
+
+pub use besst_analytic as analytic;
+pub use besst_apps as apps;
+pub use besst_core as core;
+pub use besst_des as des;
+pub use besst_abft as abft;
+pub use besst_experiments as experiments;
+pub use besst_fti as fti;
+pub use besst_machine as machine;
+pub use besst_models as models;
+pub use besst_topology as topology;

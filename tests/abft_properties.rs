@@ -1,0 +1,110 @@
+//! Property tests for the ABFT substrate: Huang–Abraham correction over
+//! random matrices, corruption positions, and magnitudes; and the
+//! solver-level guarantee that protected runs stay on the clean
+//! trajectory.
+
+use besst::abft::checksum::{protected_mul, recommended_tol, verify_and_correct, AbftOutcome, Mat};
+use besst::abft::Solver;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any single data-element corruption above the tolerance is located
+    /// exactly and corrected to within rounding.
+    #[test]
+    fn single_corruption_always_corrected(
+        n in 3usize..16,
+        seed in any::<u64>(),
+        row_frac in 0.0f64..1.0,
+        col_frac in 0.0f64..1.0,
+        delta in prop_oneof![Just(0.5f64), Just(-1.25), Just(3.0), Just(-0.75)],
+    ) {
+        let a = Mat::random(n, n, seed);
+        let b = Mat::random(n, n, seed ^ 0xBEEF);
+        let clean = protected_mul(&a, &b);
+        let tol = recommended_tol(n, 1.0);
+        let r = ((row_frac * n as f64) as usize).min(n - 1);
+        let c = ((col_frac * n as f64) as usize).min(n - 1);
+        let mut corrupted = clean.clone();
+        corrupted.set(r, c, corrupted.get(r, c) + delta);
+        match verify_and_correct(&mut corrupted, tol) {
+            AbftOutcome::Corrected { row, col, .. } => {
+                prop_assert_eq!((row, col), (r, c), "located the corruption");
+                prop_assert!((corrupted.get(r, c) - clean.get(r, c)).abs() < tol * 8.0);
+            }
+            other => prop_assert!(false, "expected correction, got {other:?}"),
+        }
+    }
+
+    /// A clean product never triggers a (false-positive) correction.
+    #[test]
+    fn no_false_positives(n in 2usize..20, seed in any::<u64>()) {
+        let a = Mat::random(n, n, seed);
+        let b = Mat::random(n, n, seed ^ 0xCAFE);
+        let mut c = protected_mul(&a, &b);
+        prop_assert_eq!(verify_and_correct(&mut c, recommended_tol(n, 1.0)), AbftOutcome::Clean);
+    }
+
+    /// Two corruptions in distinct rows AND columns are always flagged
+    /// uncorrectable — never silently "fixed" wrongly.
+    #[test]
+    fn double_corruption_detected(
+        n in 4usize..14,
+        seed in any::<u64>(),
+        pos in 0usize..100,
+    ) {
+        let a = Mat::random(n, n, seed);
+        let b = Mat::random(n, n, seed ^ 0xD00D);
+        let mut c = protected_mul(&a, &b);
+        let r1 = pos % (n / 2);
+        let c1 = (pos / 7) % (n / 2);
+        let r2 = n / 2 + pos % (n - n / 2);
+        let c2 = n / 2 + (pos / 3) % (n - n / 2);
+        c.set(r1, c1, c.get(r1, c1) + 1.0);
+        c.set(r2, c2, c.get(r2, c2) - 2.0);
+        prop_assert_eq!(
+            verify_and_correct(&mut c, recommended_tol(n, 1.0)),
+            AbftOutcome::Uncorrectable
+        );
+    }
+
+    /// Solver-level: wherever single SDCs strike, the protected run ends
+    /// bit-close to the clean trajectory and counts exactly the injected
+    /// corruptions.
+    #[test]
+    fn protected_solver_tracks_clean_run(
+        seed in any::<u64>(),
+        strikes in proptest::collection::btree_set(0usize..20, 0..4),
+    ) {
+        let n = 10u32;
+        let mut clean = Solver::new(n, seed);
+        let mut abft = Solver::new(n, seed);
+        for step in 0..20 {
+            let sdc = if strikes.contains(&step) {
+                Some((step % 10, (step * 3 + 1) % 10, 1.0 + step as f64 * 0.1))
+            } else {
+                None
+            };
+            clean.step_unprotected(None);
+            abft.step_protected(sdc);
+        }
+        prop_assert_eq!(abft.corrections as usize, strikes.len());
+        prop_assert_eq!(abft.recomputes, 0);
+        prop_assert!(clean.diff(&abft) < 1e-8, "drift {}", clean.diff(&abft));
+    }
+}
+
+/// The ABFT work-model overhead formula matches a direct flop count.
+#[test]
+fn overhead_formula_is_consistent() {
+    use besst::abft::SolverConfig;
+    for n in [8u32, 64, 512] {
+        let cfg = SolverConfig::new(n, 1);
+        let n = n as f64;
+        let expect = (2.0 * (n + 1.0) * (n + 1.0) * n + 4.0 * n * n) / (2.0 * n * n * n);
+        assert!((cfg.abft_overhead() - expect).abs() < 1e-12);
+        // Asymptotically 1 + 2/n.
+        assert!((cfg.abft_overhead() - 1.0 - 2.0 / n).abs() < 8.0 / (n * n) + 2.0 / n);
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end pipeline tests spanning every crate: benchmark → fit →
+//! validate → simulate → explore, on small grids so the whole thing runs
+//! in seconds.
+
+use besst::apps::lulesh::{self, LuleshConfig};
+use besst::core::beo::ArchBeo;
+use besst::core::sim::{simulate, SimConfig};
+use besst::experiments::calibration::{
+    calibrate, measured_means, validation_mape, CalibrationConfig, ModelMethod,
+};
+use besst::fti::FtiConfig;
+use besst::machine::presets;
+use besst::models::{Interpolation, ModelBundle, SymRegConfig};
+
+fn small_grid() -> Vec<(u32, u32)> {
+    vec![(5, 8), (10, 8), (15, 8), (5, 64), (10, 64), (15, 64)]
+}
+
+fn quick_cfg(method: ModelMethod) -> CalibrationConfig {
+    CalibrationConfig {
+        samples_per_point: 6,
+        method,
+        symreg: SymRegConfig { population: 96, generations: 12, ..Default::default() },
+        symreg_restarts: 2,
+        ..Default::default()
+    }
+}
+
+/// The complete Model Development → Co-Design loop: calibrate on the
+/// testbed, persist the models to JSON, reload, simulate, and check the
+/// prediction against a fresh testbed measurement of the same full run.
+#[test]
+fn full_workflow_roundtrip() {
+    let machine = presets::quartz();
+    let fti = FtiConfig::l1_only(10);
+    let regions = |epr: u32, ranks: u32| {
+        lulesh::instrumented_regions(&LuleshConfig::new(epr, ranks), &fti, &machine, 36)
+    };
+
+    // Model Development.
+    let cal = calibrate(&machine, regions, &small_grid(), &quick_cfg(ModelMethod::Table(Interpolation::Multilinear)));
+
+    // Persist + reload (the ArchBEO artifact contract).
+    let json = cal.bundle.to_json();
+    let bundle = ModelBundle::from_json(&json).expect("model bundle parses");
+
+    // Co-Design: full-system simulation with the reloaded models.
+    let app = lulesh::appbeo(&LuleshConfig::new(10, 64), &fti, 50);
+    let arch = ArchBeo::new(machine.clone(), 36, bundle);
+    arch.check_covers(&app).expect("all kernels bound");
+    let sim = simulate(&app, &arch, &SimConfig { seed: 5, monte_carlo: true, ..Default::default() });
+    assert_eq!(sim.step_completions.len(), 50);
+    assert_eq!(sim.n_checkpoints(), 5);
+
+    // Ground truth: replay the same run on the testbed.
+    let tb = besst::machine::Testbed::new(&machine);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(77);
+    let rs = regions(10, 64);
+    let ts = rs.iter().find(|r| r.kernel == lulesh::kernels::TIMESTEP).expect("timestep region");
+    let ck = rs.iter().find(|r| r.kernel == lulesh::kernels::CKPT_L1).expect("ckpt region");
+    let mut measured = 0.0;
+    for step in 1..=50u32 {
+        measured += ts.measure(&tb, &mut rng);
+        if step % 10 == 0 {
+            measured += ck.measure(&tb, &mut rng);
+        }
+    }
+    let err = (sim.total_seconds - measured).abs() / measured;
+    assert!(
+        err < 0.6,
+        "simulated {:.4}s vs measured {:.4}s ({:.0}% off)",
+        sim.total_seconds,
+        measured,
+        100.0 * err
+    );
+}
+
+/// Calibration quality: every model family validates within its expected
+/// band on fresh testbed draws.
+#[test]
+fn all_model_families_validate() {
+    let machine = presets::quartz();
+    let fti = FtiConfig::l1_l2(10);
+    let regions = |epr: u32, ranks: u32| {
+        lulesh::instrumented_regions(&LuleshConfig::new(epr, ranks), &fti, &machine, 36)
+    };
+    let grid = small_grid();
+    let measured = measured_means(&machine, regions, &grid, 5, 1234);
+    for (method, band) in [
+        (ModelMethod::Table(Interpolation::Multilinear), 45.0),
+        (ModelMethod::PowerLaw, 60.0),
+        (ModelMethod::SymReg, 60.0),
+    ] {
+        let cal = calibrate(&machine, regions, &grid, &quick_cfg(method));
+        for kernel in [lulesh::kernels::TIMESTEP, lulesh::kernels::CKPT_L1, lulesh::kernels::CKPT_L2] {
+            let v = validation_mape(&cal, kernel, &measured[kernel]);
+            assert!(
+                v < band,
+                "{method:?} on {kernel}: validation MAPE {v:.1}% above band {band}%"
+            );
+        }
+    }
+}
+
+/// Scenario ordering must hold end-to-end through the real pipeline:
+/// No FT < L1 < L1 & L2 in total runtime, at every grid point tried.
+#[test]
+fn scenario_ordering_end_to_end() {
+    let machine = presets::quartz();
+    let all = FtiConfig::l1_l2(10);
+    let regions = |epr: u32, ranks: u32| {
+        lulesh::instrumented_regions(&LuleshConfig::new(epr, ranks), &all, &machine, 36)
+    };
+    let cal = calibrate(
+        &machine,
+        regions,
+        &small_grid(),
+        &quick_cfg(ModelMethod::Table(Interpolation::Multilinear)),
+    );
+    let arch = ArchBeo::new(machine, 36, cal.bundle);
+    for &(epr, ranks) in &[(10u32, 8u32), (15, 64)] {
+        let cfg = LuleshConfig::new(epr, ranks);
+        let run = |fti: &FtiConfig, seed: u64| -> f64 {
+            let app = lulesh::appbeo(&cfg, fti, 40);
+            simulate(&app, &arch, &SimConfig { seed, monte_carlo: false, ..Default::default() })
+                .total_seconds
+        };
+        let noft = run(&FtiConfig::none(), 1);
+        let l1 = run(&FtiConfig::l1_only(10), 2);
+        let l12 = run(&FtiConfig::l1_l2(10), 3);
+        assert!(noft < l1, "({epr},{ranks}): {noft} < {l1}");
+        assert!(l1 < l12, "({epr},{ranks}): {l1} < {l12}");
+    }
+}
+
+/// Algorithmic DSE: swapping a kernel's model (the paper's FFT example,
+/// §III-B) changes exactly that kernel's contribution.
+#[test]
+fn algorithmic_dse_model_interchange() {
+    use besst::models::{PerfModel, SampleTable};
+    let machine = presets::quartz();
+    let mk = |secs: f64| -> PerfModel {
+        let mut t = SampleTable::new(&["epr", "ranks"], Interpolation::Nearest);
+        t.insert(&[10.0, 8.0], secs);
+        PerfModel::Table(t)
+    };
+    let mut bundle = ModelBundle::new();
+    bundle.insert(lulesh::kernels::TIMESTEP, mk(0.01));
+    let arch_slow = ArchBeo::new(machine, 36, bundle);
+    // "Algorithm B" is 2× faster.
+    let arch_fast = arch_slow.clone().with_model(lulesh::kernels::TIMESTEP, mk(0.005));
+
+    let app = lulesh::appbeo(&LuleshConfig::new(10, 8), &FtiConfig::none(), 30);
+    let cfg = SimConfig { monte_carlo: false, ..Default::default() };
+    let slow = simulate(&app, &arch_slow, &cfg).total_seconds;
+    let fast = simulate(&app, &arch_fast, &cfg).total_seconds;
+    assert!((slow / fast - 2.0).abs() < 0.01, "swap halves runtime: {slow} vs {fast}");
+}
+
+/// Cross-machine portability: the same AppBEO simulates on Quartz,
+/// Vulcan, and the notional dragonfly with per-machine calibrations.
+#[test]
+fn plug_and_play_across_machines() {
+    for machine in [presets::quartz(), presets::vulcan(), presets::notional_dragonfly()] {
+        let fti = FtiConfig::none();
+        let regions = |epr: u32, ranks: u32| {
+            lulesh::instrumented_regions(&LuleshConfig::new(epr, ranks), &fti, &machine, 16)
+        };
+        let cal = calibrate(
+            &machine,
+            regions,
+            &[(5, 8), (10, 8)],
+            &quick_cfg(ModelMethod::Table(Interpolation::Multilinear)),
+        );
+        let app = lulesh::appbeo(&LuleshConfig::new(10, 8), &fti, 10);
+        let arch = ArchBeo::new(machine.clone(), 16, cal.bundle);
+        let sim = simulate(&app, &arch, &SimConfig::default());
+        assert!(sim.total_seconds > 0.0, "{}", machine.name);
+        assert_eq!(sim.step_completions.len(), 10, "{}", machine.name);
+    }
+}

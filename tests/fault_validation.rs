@@ -1,0 +1,149 @@
+//! Validation of the fault injector against the analytical models it
+//! should agree with: Daly's expected-runtime formula, the Young/Daly
+//! interval optimum, and the reliability-aware speedup's qualitative
+//! behaviour.
+
+use besst::analytic::{CrParams, ParallelWorkload, ReliabilityParams};
+use besst::core::faults::{expected_makespan, FaultProcess, Timeline};
+use besst::fti::{CkptLevel, FtiConfig, GroupLayout};
+
+fn flat_timeline(steps: usize, step_s: f64, period: usize, ckpt_s: f64, restart_s: f64) -> Timeline {
+    Timeline {
+        step_durations: vec![step_s; steps],
+        checkpoints: (1..=steps)
+            .filter(|s| period > 0 && s % period == 0)
+            .map(|s| (s, CkptLevel::L1, ckpt_s))
+            .collect(),
+        restart_costs: vec![(CkptLevel::L1, restart_s)],
+    }
+}
+
+fn layout() -> GroupLayout {
+    GroupLayout::new(&FtiConfig::l1_only(10), 64)
+}
+
+/// The injector's expected makespan tracks Daly's closed form across a
+/// sweep of MTBFs and checkpoint periods (within 25 % — Daly assumes
+/// memoryless re-failure during recovery; the simulation checkpoints at
+/// discrete step boundaries).
+#[test]
+fn injector_matches_daly_across_regimes() {
+    let steps = 600usize;
+    let step_s = 1.0;
+    let restart = 8.0;
+    let lay = layout();
+    for &period in &[15usize, 30, 60] {
+        for &mtbf in &[400.0f64, 1200.0, 4800.0] {
+            let ckpt = 4.0;
+            let tl = flat_timeline(steps, step_s, period, ckpt, restart);
+            let process = FaultProcess::new(mtbf * 64.0, 64, 0.0);
+            let sim = expected_makespan(&tl, &process, Some(&lay), 99, 60);
+            let cr = CrParams::new(ckpt, restart, mtbf);
+            let daly = cr.expected_runtime(steps as f64 * step_s, period as f64 * step_s);
+            let ratio = sim / daly;
+            assert!(
+                (0.75..1.25).contains(&ratio),
+                "period {period}, MTBF {mtbf}: sim {sim:.1} vs Daly {daly:.1} (ratio {ratio:.3})"
+            );
+        }
+    }
+}
+
+/// Simulated makespan over checkpoint periods is U-shaped with its
+/// minimum near the Young interval.
+#[test]
+fn simulated_period_optimum_brackets_young() {
+    let steps = 800usize;
+    let step_s = 1.0;
+    let ckpt = 3.0;
+    let restart = 6.0;
+    let mtbf = 300.0;
+    let lay = layout();
+    let process = FaultProcess::new(mtbf * 64.0, 64, 0.0);
+
+    let young = CrParams::new(ckpt, restart, mtbf).young_interval(); // ≈ 42 s
+    let young_steps = (young / step_s).round() as usize;
+
+    let makespan = |period: usize| -> f64 {
+        let tl = flat_timeline(steps, step_s, period, ckpt, restart);
+        expected_makespan(&tl, &process, Some(&lay), 7, 80)
+    };
+    let near = makespan(young_steps);
+    let too_often = makespan((young_steps / 6).max(1));
+    let too_rare = makespan(young_steps * 6);
+    assert!(near < too_often, "near-Young {near} vs over-checkpointing {too_often}");
+    assert!(near < too_rare, "near-Young {near} vs under-checkpointing {too_rare}");
+}
+
+/// Data-loss-aware recovery: with multi-level checkpoints, the injector
+/// restores from the surviving level — L1&L2 beats L1-only when faults
+/// destroy node data.
+#[test]
+fn multilevel_recovery_beats_single_level_under_data_loss() {
+    let steps = 400usize;
+    let period = 20usize;
+    let l1_only = flat_timeline(steps, 1.0, period, 2.0, 4.0);
+    // Same schedule with an additional L2 checkpoint (costing more) at
+    // the same steps.
+    let mut both = l1_only.clone();
+    for s in (period..=steps).step_by(period) {
+        both.checkpoints.push((s, CkptLevel::L2, 3.0));
+    }
+    both.restart_costs.push((CkptLevel::L2, 6.0));
+
+    // Every fault destroys a node's data: L1-only restarts from scratch,
+    // L1&L2 recovers from the partner copy.
+    let process = FaultProcess::new(430.0 * 64.0, 64, 1.0);
+    let lay = layout();
+    let t_l1 = expected_makespan(&l1_only, &process, Some(&lay), 21, 40);
+    let t_both = expected_makespan(&both, &process, Some(&lay), 21, 40);
+    assert!(
+        t_both < t_l1,
+        "L2's survivability must beat L1's lower overhead under data loss: {t_both} vs {t_l1}"
+    );
+}
+
+/// The reliability-aware speedup model and the injector agree on the
+/// qualitative claim: with faults and C/R, doubling nodes beyond the
+/// optimum stops helping.
+#[test]
+fn more_nodes_stop_helping_under_faults() {
+    // Strong scaling: total work fixed; per-step time ∝ 1/nodes.
+    let total_work = 2.0e6; // seconds of sequential work: faults must bite at scale
+    let steps = 600usize;
+    let node_mtbf = 40_000.0;
+    let lay_for = |ranks: u32| GroupLayout::new(&FtiConfig::l1_only(10), ranks);
+
+    let makespan_at = |nodes: u32| -> f64 {
+        let step_s = total_work / steps as f64 / nodes as f64;
+        let ckpt = 5.0; // scale-independent checkpoint cost
+        let period_steps =
+            ((CrParams::new(ckpt, 2.0 * ckpt, node_mtbf / nodes as f64).young_interval() / step_s)
+                .round() as usize)
+                .max(1);
+        let tl = flat_timeline(steps, step_s, period_steps, ckpt, 2.0 * ckpt);
+        let process = FaultProcess::new(node_mtbf, nodes, 0.0);
+        expected_makespan(&tl, &process, Some(&lay_for(64)), 3, 40)
+    };
+
+    let t64 = makespan_at(64);
+    let t512 = makespan_at(512);
+    let t8192 = makespan_at(8192);
+    // Parallelism helps at first...
+    assert!(t512 < t64, "512 nodes {t512} should beat 64 nodes {t64}");
+    // ...but the speedup per node collapses at scale (reliability-aware
+    // efficiency decline — Zheng/Cavelan's headline).
+    let eff_512 = (t64 / t512) / (512.0 / 64.0);
+    let eff_8192 = (t64 / t8192) / (8192.0 / 64.0);
+    assert!(
+        eff_8192 < eff_512 * 0.8,
+        "efficiency must decline: {eff_8192} vs {eff_512}"
+    );
+
+    // And the analytic model draws the same curve.
+    let w = ParallelWorkload::new(1.0);
+    let r = ReliabilityParams::new(node_mtbf, 5.0, 10.0);
+    let s512 = besst::analytic::strong_speedup(&w, &r, total_work, 512);
+    let s8192 = besst::analytic::strong_speedup(&w, &r, total_work, 8192);
+    assert!(s512 / 512.0 > s8192 / 8192.0, "analytic efficiency declines too");
+}

@@ -1,0 +1,196 @@
+//! Property tests for the FTI substrate: the Reed–Solomon codec, the
+//! recovery-semantics lattice, and the end-to-end path from an executing
+//! application's checkpoint payload through the real erasure code.
+
+use besst::apps::lulesh::Domain;
+use besst::fti::{
+    survives, CkptLevel, EncodedGroup, FailureScenario, FtiConfig, GroupLayout, ReedSolomon,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RS round-trips any data under any erasure pattern within the
+    /// parity budget.
+    #[test]
+    fn rs_roundtrip_any_pattern(
+        k in 1usize..8,
+        m in 1usize..5,
+        shard_len in 1usize..200,
+        data_seed in any::<u64>(),
+        loss_mask in any::<u16>(),
+    ) {
+        let rs = ReedSolomon::new(k, m);
+        let mut state = data_seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as u8
+        };
+        let data: Vec<Vec<u8>> =
+            (0..k).map(|_| (0..shard_len).map(|_| next()).collect()).collect();
+        let parity = rs.encode(&data).expect("encode");
+        let n = k + m;
+        // Restrict the mask to at most m losses.
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        let mut losses = 0;
+        for (i, shard) in shards.iter_mut().enumerate().take(n) {
+            if loss_mask & (1 << i) != 0 && losses < m {
+                *shard = None;
+                losses += 1;
+            }
+        }
+        let rec = rs.reconstruct(&shards).expect("within budget");
+        prop_assert_eq!(rec, data);
+    }
+
+    /// Losing more than `parity` shards must fail loudly, never return
+    /// wrong data.
+    #[test]
+    fn rs_overbudget_is_error(
+        k in 1usize..6,
+        m in 1usize..4,
+        shard_len in 1usize..64,
+    ) {
+        let rs = ReedSolomon::new(k, m);
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; shard_len]).collect();
+        let parity = rs.encode(&data).expect("encode");
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        for shard in shards.iter_mut().take(m + 1) {
+            *shard = None;
+        }
+        if k > 1 {
+            prop_assert!(rs.reconstruct(&shards).is_err());
+        }
+    }
+
+    /// Recovery-semantics lattice: for single-node losses, higher levels
+    /// never do worse than lower ones; L4 survives everything; L1
+    /// survives only the empty scenario.
+    #[test]
+    fn recovery_lattice(
+        groups in 1u32..6,
+        group_size in 2u32..7,
+        lost in proptest::collection::btree_set(0u32..36, 0..6),
+    ) {
+        let cfg = FtiConfig {
+            group_size,
+            node_size: 2,
+            l2_copies: 1,
+            schedules: vec![],
+        };
+        let ranks = groups * group_size * 2;
+        let layout = GroupLayout::new(&cfg, ranks);
+        let lost: Vec<u32> = lost.into_iter().filter(|&n| n < layout.n_nodes()).collect();
+        let sc = FailureScenario::of(lost.clone());
+
+        let l1 = survives(CkptLevel::L1, &layout, &sc);
+        let l2 = survives(CkptLevel::L2, &layout, &sc);
+        let l3 = survives(CkptLevel::L3, &layout, &sc);
+        let l4 = survives(CkptLevel::L4, &layout, &sc);
+
+        prop_assert_eq!(l1, lost.is_empty());
+        prop_assert!(l4, "L4 always survives");
+        // L1 ⊆ L2, L1 ⊆ L3, everything ⊆ L4.
+        prop_assert!(!l1 || l2, "L2 dominates L1");
+        prop_assert!(!l1 || l3, "L3 dominates L1");
+        // Single losses are always survivable above L1.
+        if lost.len() == 1 {
+            prop_assert!(l2, "one loss, one partner copy");
+            if group_size >= 2 {
+                prop_assert!(l3, "one loss within RS tolerance");
+            }
+        }
+    }
+
+    /// The L3 predicate agrees with the actual RS codec for arbitrary
+    /// group sizes and loss patterns.
+    #[test]
+    fn l3_predicate_matches_codec(
+        group_size in 2usize..7,
+        loss_mask in any::<u8>(),
+        payload_len in 1usize..120,
+    ) {
+        let files: Vec<Vec<u8>> = (0..group_size)
+            .map(|i| (0..payload_len).map(|j| (i * 131 + j * 7) as u8).collect())
+            .collect();
+        let mut g = EncodedGroup::encode(&files);
+        let cfg = FtiConfig {
+            group_size: group_size as u32,
+            node_size: 2,
+            l2_copies: 1,
+            schedules: vec![],
+        };
+        let layout = GroupLayout::new(&cfg, group_size as u32 * 2);
+        let mut lost = Vec::new();
+        for m in 0..group_size {
+            if loss_mask & (1 << m) != 0 {
+                g.fail_member(m);
+                lost.push(m as u32);
+            }
+        }
+        let predicate = survives(CkptLevel::L3, &layout, &FailureScenario::of(lost));
+        let recovered = g.recover_all();
+        prop_assert_eq!(predicate, recovered.is_some());
+        if let Some(rec) = recovered {
+            prop_assert_eq!(rec, files);
+        }
+    }
+}
+
+/// End-to-end: an executing LULESH domain's checkpoint payload goes
+/// through the real codec, members die, the payload is reconstructed,
+/// and the restored domain continues identically.
+#[test]
+fn lulesh_checkpoint_through_reed_solomon() {
+    let group_size = 4;
+    let mut domains: Vec<Domain> = (0..group_size).map(|_| Domain::new(5)).collect();
+    // Advance each domain differently so payloads differ.
+    for (i, d) in domains.iter_mut().enumerate() {
+        d.run(5 + i as u32);
+    }
+    let payloads: Vec<Vec<u8>> = domains.iter().map(|d| d.checkpoint_payload()).collect();
+    let mut group = EncodedGroup::encode(&payloads);
+
+    // Keep reference copies, advance the originals, then "lose" two
+    // members (the L3 tolerance for a group of 4).
+    let snapshots = domains.clone();
+    for d in &mut domains {
+        d.run(10);
+    }
+    group.fail_member(0);
+    group.fail_member(2);
+
+    let recovered = group.recover_all().expect("within tolerance");
+    for (i, payload) in recovered.iter().enumerate() {
+        domains[i].restore(payload);
+        assert_eq!(domains[i].energy, snapshots[i].energy, "member {i}");
+        assert_eq!(domains[i].pressure, snapshots[i].pressure, "member {i}");
+    }
+
+    // Restored domains evolve identically to never-failed copies.
+    let mut reference = snapshots[1].clone();
+    reference.run(7);
+    domains[1].run(7);
+    assert_eq!(reference.energy, domains[1].energy);
+}
+
+/// A third member loss (beyond tolerance) must be detected, not silently
+/// mis-recovered.
+#[test]
+fn lulesh_checkpoint_loss_beyond_tolerance_detected() {
+    let payloads: Vec<Vec<u8>> = (0..4).map(|i| {
+        let mut d = Domain::new(4);
+        d.run(i + 1);
+        d.checkpoint_payload()
+    }).collect();
+    let mut group = EncodedGroup::encode(&payloads);
+    group.fail_member(0);
+    group.fail_member(1);
+    group.fail_member(3);
+    assert!(group.recover_all().is_none());
+}

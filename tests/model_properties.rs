@@ -1,0 +1,196 @@
+//! Property tests for the performance-model layer: interpolation bounds,
+//! metric invariants, expression semantics, and fit determinism.
+
+use besst::models::{
+    mape, powerlaw, quantile, r_squared, symreg, Dataset, Expr, Interpolation, PerfModel,
+    SampleTable, SymRegConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Multilinear interpolation of a 1-D table stays within the convex
+    /// hull of the recorded sample means for in-range queries.
+    #[test]
+    fn interpolation_stays_in_hull(
+        values in proptest::collection::vec(0.001f64..1000.0, 2..8),
+        query_t in 0.0f64..1.0,
+    ) {
+        let mut table = SampleTable::new(&["x"], Interpolation::Multilinear);
+        for (i, &v) in values.iter().enumerate() {
+            table.insert(&[i as f64], v);
+        }
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let x = query_t * (values.len() - 1) as f64;
+        let p = table.predict(&[x]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+
+    /// Out-of-hull queries clamp to the edge values.
+    #[test]
+    fn interpolation_clamps_outside_hull(
+        a in 0.1f64..10.0,
+        b in 0.1f64..10.0,
+        beyond in 1.0f64..100.0,
+    ) {
+        let mut table = SampleTable::new(&["x"], Interpolation::Multilinear);
+        table.insert(&[0.0], a);
+        table.insert(&[1.0], b);
+        prop_assert!((table.predict(&[-beyond]) - a).abs() < 1e-12);
+        prop_assert!((table.predict(&[1.0 + beyond]) - b).abs() < 1e-12);
+    }
+
+    /// MAPE is zero iff predictions equal actuals; scale-invariant; and
+    /// permutation-invariant.
+    #[test]
+    fn mape_invariants(
+        actual in proptest::collection::vec(0.01f64..1e6, 1..20),
+        scale in 0.001f64..1000.0,
+        noise in proptest::collection::vec(0.5f64..2.0, 1..20),
+    ) {
+        prop_assert!(mape(&actual, &actual).abs() < 1e-12);
+        let pred: Vec<f64> = actual.iter().zip(noise.iter().cycle()).map(|(a, n)| a * n).collect();
+        let m1 = mape(&pred, &actual);
+        // Scale both sides: MAPE unchanged.
+        let sa: Vec<f64> = actual.iter().map(|v| v * scale).collect();
+        let sp: Vec<f64> = pred.iter().map(|v| v * scale).collect();
+        let m2 = mape(&sp, &sa);
+        prop_assert!((m1 - m2).abs() < 1e-6 * m1.max(1.0), "{m1} vs {m2}");
+        prop_assert!(m1 >= 0.0);
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_monotone(
+        samples in proptest::collection::vec(-1e6f64..1e6, 1..50),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let v1 = quantile(&samples, lo);
+        let v2 = quantile(&samples, hi);
+        prop_assert!(v1 <= v2 + 1e-9);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v1 >= min - 1e-9 && v2 <= max + 1e-9);
+    }
+
+    /// Expression simplification preserves evaluation on random trees and
+    /// never grows them.
+    #[test]
+    fn simplify_sound(seed in any::<u64>(), x0 in -100.0f64..100.0, x1 in -100.0f64..100.0) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = Expr::random(&mut rng, 2, 6, (-8.0, 8.0));
+        let s = e.clone().simplify();
+        let a = e.eval(&[x0, x1]);
+        let b = s.eval(&[x0, x1]);
+        prop_assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0) || (a.is_nan() && b.is_nan()),
+            "{e} -> {s}: {a} vs {b}"
+        );
+        prop_assert!(s.size() <= e.size());
+    }
+
+    /// Power-law fitting recovers positive monotone trends: predictions
+    /// at larger inputs are >= predictions at smaller inputs when the
+    /// data is monotone.
+    #[test]
+    fn powerlaw_preserves_monotone_trends(
+        c in 0.001f64..10.0,
+        a in 0.2f64..2.5,
+    ) {
+        let xs: Vec<Vec<f64>> = (1..=8).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| c * r[0].powf(a)).collect();
+        let law = powerlaw::fit(&xs, &ys);
+        let mut prev = 0.0;
+        for i in 1..=12 {
+            let p = law.eval(&[i as f64]);
+            prop_assert!(p >= prev - 1e-9, "non-monotone at {i}: {p} < {prev}");
+            prev = p;
+        }
+    }
+}
+
+/// Regression-model Monte-Carlo draws have the residual spread the
+/// training data showed: empirical CV of draws ≈ calibrated sigma.
+#[test]
+fn regression_sampling_matches_residual_spread() {
+    use rand::{rngs::StdRng, SeedableRng};
+    let x: Vec<Vec<f64>> = (1..=40).map(|i| vec![i as f64]).collect();
+    // 20% multiplicative wobble around 2x.
+    let y: Vec<f64> = x
+        .iter()
+        .enumerate()
+        .map(|(i, r)| 2.0 * r[0] * (1.0 + 0.2 * ((i as f64 * 1.7).sin())))
+        .collect();
+    let expr = Expr::Binary(
+        besst::models::expr::BinOp::Mul,
+        Box::new(Expr::Const(2.0)),
+        Box::new(Expr::Var(0)),
+    );
+    let model = PerfModel::from_expr(expr, &x, &y);
+    let sigma = model.residual_sigma();
+    assert!(sigma > 0.05 && sigma < 0.3, "calibrated sigma {sigma}");
+    let mut rng = StdRng::seed_from_u64(5);
+    let draws: Vec<f64> = (0..30_000).map(|_| model.sample(&[10.0], &mut rng)).collect();
+    let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+    let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / draws.len() as f64;
+    let cv = var.sqrt() / mean;
+    assert!(
+        (cv / sigma - 1.0).abs() < 0.15,
+        "draw CV {cv} should track sigma {sigma}"
+    );
+}
+
+/// Symbolic regression is bit-deterministic per seed even with rayon
+/// parallel fitness evaluation.
+#[test]
+fn symreg_parallel_determinism() {
+    let x: Vec<Vec<f64>> = (1..=12).map(|i| vec![i as f64, (i * i) as f64]).collect();
+    let y: Vec<f64> = x.iter().map(|r| 0.5 * r[0] + 0.01 * r[1]).collect();
+    let data = Dataset::new(x, y);
+    let cfg = SymRegConfig { population: 64, generations: 10, seed: 99, ..Default::default() };
+    let results: Vec<_> = (0..3).map(|_| symreg::fit(&data, None, &cfg)).collect();
+    assert_eq!(results[0].expr, results[1].expr);
+    assert_eq!(results[1].expr, results[2].expr);
+    assert_eq!(results[0].train_mape, results[2].train_mape);
+}
+
+/// R² of a reasonable fit beats R² of the mean predictor, which is 0.
+#[test]
+fn r_squared_ranks_models() {
+    let actual: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+    let good: Vec<f64> = actual.iter().map(|a| a * 1.05).collect();
+    let mean = vec![10.5; 20];
+    assert!(r_squared(&good, &actual) > 0.9);
+    assert!(r_squared(&mean, &actual).abs() < 1e-9);
+}
+
+/// Model bundles survive JSON round-trips with identical predictions —
+/// the Model Development artifact contract.
+#[test]
+fn bundle_persistence_preserves_predictions() {
+    use besst::models::ModelBundle;
+    let x: Vec<Vec<f64>> = (1..=10).map(|i| vec![i as f64]).collect();
+    let y: Vec<f64> = x.iter().map(|r| 3.0 + r[0].powf(1.7)).collect();
+    let law = powerlaw::fit(&x, &y);
+    let mut bundle = ModelBundle::new();
+    bundle.insert("kernel", PerfModel::from_power_law(law, &x, &y));
+    let mut table = SampleTable::new(&["x"], Interpolation::Multilinear);
+    table.insert_all(&[1.0], &[0.5, 0.6]);
+    table.insert_all(&[2.0], &[1.0, 1.1]);
+    bundle.insert("table_kernel", PerfModel::Table(table));
+
+    let json = bundle.to_json();
+    let back = ModelBundle::from_json(&json).expect("parse");
+    for name in ["kernel", "table_kernel"] {
+        for q in [1.0, 1.5, 2.0, 5.0] {
+            let a = bundle.get(name).unwrap().predict(&[q]);
+            let b = back.get(name).unwrap().predict(&[q]);
+            assert_eq!(a, b, "{name} at {q}");
+        }
+    }
+}

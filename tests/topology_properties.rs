@@ -1,0 +1,125 @@
+//! Property tests for the interconnect substrate: metric axioms on every
+//! topology family, closed-form vs exhaustive agreement, and cost-model
+//! monotonicity.
+
+use besst::topology::cost::CostModel;
+use besst::topology::dragonfly::Dragonfly;
+use besst::topology::fattree::FatTree;
+use besst::topology::torus::Torus;
+use besst::topology::{NodeId, Topology};
+use proptest::prelude::*;
+
+fn check_metric_axioms(t: &dyn Topology) {
+    let n = t.n_nodes().min(24); // keep the O(n³) triangle check bounded
+    let diam = t.diameter();
+    for a in 0..n {
+        assert_eq!(t.hops(NodeId(a), NodeId(a)), 0, "identity");
+        for b in 0..n {
+            let ab = t.hops(NodeId(a), NodeId(b));
+            assert_eq!(ab, t.hops(NodeId(b), NodeId(a)), "symmetry");
+            assert!(ab <= diam, "diameter bound: {ab} > {diam}");
+            for c in 0..n {
+                assert!(
+                    t.hops(NodeId(a), NodeId(c)) <= ab + t.hops(NodeId(b), NodeId(c)) + 2,
+                    "relaxed triangle inequality (±2 for up/down detours)"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fattree_metric_axioms(leaves in 1usize..6, per in 1usize..6) {
+        let t = FatTree::new(leaves, per, 0.5);
+        check_metric_axioms(&t);
+        // Closed-form mean equals exhaustive mean (recomputed here).
+        let n = t.n_nodes();
+        if n >= 2 {
+            let mut total = 0u64;
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        total += t.hops(NodeId(a), NodeId(b)) as u64;
+                    }
+                }
+            }
+            let exhaustive = total as f64 / (n * (n - 1)) as f64;
+            prop_assert!((t.mean_hops() - exhaustive).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn torus_metric_axioms(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let t = Torus::new(&dims);
+        check_metric_axioms(&t);
+        // Torus is vertex-transitive: the hop histogram from any node is
+        // the same; spot-check two sources.
+        let n = t.n_nodes();
+        if n >= 2 {
+            let hist = |src: usize| -> Vec<u32> {
+                let mut h: Vec<u32> = (0..n).map(|b| t.hops(NodeId(src), NodeId(b))).collect();
+                h.sort_unstable();
+                h
+            };
+            prop_assert_eq!(hist(0), hist(n / 2));
+        }
+    }
+
+    #[test]
+    fn dragonfly_metric_axioms(g in 1usize..5, r in 1usize..5, p in 1usize..4) {
+        let t = Dragonfly::new(g, r, p);
+        check_metric_axioms(&t);
+    }
+
+    #[test]
+    fn cost_model_monotonicity(
+        bytes_a in 0u64..1_000_000,
+        extra in 1u64..1_000_000,
+        hops in 0u32..8,
+    ) {
+        let m = CostModel::omni_path();
+        // More bytes never costs less; more hops never costs less.
+        prop_assert!(m.pt2pt(bytes_a + extra, hops) >= m.pt2pt(bytes_a, hops));
+        prop_assert!(m.pt2pt(bytes_a, hops + 1) >= m.pt2pt(bytes_a, hops));
+        // Sharing bandwidth never speeds things up.
+        prop_assert!(m.pt2pt_shared(bytes_a, hops, 0.5) >= m.pt2pt(bytes_a, hops) - 1e-15);
+    }
+
+    #[test]
+    fn collectives_scale_with_participants(p in 1usize..2000, bytes in 1u64..1_000_000) {
+        use besst::topology::collectives::CollectiveModel;
+        let m = CollectiveModel::new(CostModel::omni_path(), 4.0, 0.5);
+        prop_assert!(m.barrier(p * 2) >= m.barrier(p));
+        prop_assert!(m.allreduce(p * 2, bytes) >= m.allreduce(p, bytes) - 1e-15);
+        prop_assert!(m.allgather(p + 1, bytes) >= m.allgather(p, bytes));
+        // Collectives on one rank are free.
+        prop_assert!(m.allreduce(1, bytes) == 0.0);
+    }
+}
+
+/// The Quartz fat-tree specifically: 93 leaves × 32 nodes covers the
+/// 2,988-node machine with 4-hop diameter and nearly all traffic crossing
+/// the core.
+#[test]
+fn quartz_fabric_shape() {
+    let t = FatTree::fitting(2988, 32, 0.5);
+    assert!(t.n_nodes() >= 2988);
+    assert_eq!(t.diameter(), 4);
+    assert!(t.core_traffic_fraction() > 0.98);
+    assert!((t.mean_hops() - 4.0).abs() < 0.05, "mean hops ≈ 4 at this scale");
+}
+
+/// The Vulcan torus: 24,576 nodes on a 5-D shape with the documented
+/// wraparound distances.
+#[test]
+fn vulcan_fabric_shape() {
+    let t = Torus::new(&[8, 8, 8, 8, 6]);
+    assert_eq!(t.n_nodes(), 24_576);
+    assert_eq!(t.diameter(), 4 * 4 + 3);
+    // Mean hops should be close to the sum of per-dimension means
+    // (≈ d/4 each for even extents).
+    assert!((t.mean_hops() - (4.0 * 2.0 + 1.5)).abs() < 0.35, "{}", t.mean_hops());
+}
