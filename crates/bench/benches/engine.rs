@@ -80,7 +80,12 @@ fn bench_be_sim(c: &mut Criterion) {
                 simulate(
                     &app,
                     &arch,
-                    &SimConfig { monte_carlo: true, engine: EngineKind::Sequential, seed: 1 },
+                    &SimConfig {
+                        monte_carlo: true,
+                        engine: EngineKind::Sequential,
+                        seed: 1,
+                        ..Default::default()
+                    },
                 )
                 .events_delivered
             })

@@ -13,6 +13,8 @@
 //! Shared workload builders live here so benches and tests agree on what
 //! is being measured.
 
+#![warn(missing_docs)]
+
 use besst_core::beo::{AppBeo, ArchBeo, Instr, SyncMarker};
 use besst_models::{Interpolation, ModelBundle, PerfModel, SampleTable};
 

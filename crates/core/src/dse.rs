@@ -94,6 +94,7 @@ where
                 seed: base_cfg.seed.wrapping_add(i as u64 * 0x9E37),
                 monte_carlo: base_cfg.monte_carlo,
                 engine: base_cfg.engine,
+                buggify: base_cfg.buggify,
             };
             let res = simulate(&app, &arch, &cfg);
             SweepCell { problem_size: ps, ranks: r, scenario: sc, total_seconds: res.total_seconds }

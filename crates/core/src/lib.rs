@@ -19,6 +19,11 @@
 //! * [`dse`] — design-space sweep drivers and the Fig. 9 overhead
 //!   matrices.
 //!
+//! Substrate-level fault injection (buggify) is re-exported from
+//! [`besst_des::buggify`]: set [`sim::SimConfig::buggify`] to a delay-type
+//! schedule (e.g. [`buggify::FaultConfig::jitter_only`]) to stress the
+//! simulator's own delivery paths; see `docs/DST_GUIDE.md`.
+//!
 //! The four cases of paper Fig. 4 map to configurations:
 //!
 //! | | no faults | faults |
@@ -33,6 +38,9 @@ pub mod dse;
 pub mod faults;
 pub mod montecarlo;
 pub mod sim;
+
+pub use besst_des::buggify;
+pub use besst_des::buggify::{FaultConfig, FaultInjector, FaultPreset, FaultStats};
 
 pub use beo::{AppBeo, ArchBeo, FlatInstr, Instr, SyncMarker};
 pub use dse::{sweep, Sweep, SweepCell};

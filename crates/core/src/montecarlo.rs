@@ -43,6 +43,7 @@ pub fn run_ensemble(
                 seed: base.seed.wrapping_add(i as u64),
                 monte_carlo: true,
                 engine: base.engine,
+                buggify: base.buggify,
             };
             simulate(app, arch, &cfg)
         })

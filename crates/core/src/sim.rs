@@ -64,11 +64,28 @@ pub struct SimConfig {
     pub monte_carlo: bool,
     /// Engine selection.
     pub engine: EngineKind,
+    /// Optional substrate-level fault schedule (see
+    /// [`besst_des::buggify`]). `None` — the default — runs the engine's
+    /// zero-cost fault-free path.
+    ///
+    /// The star coordinator protocol assumes reliable message delivery
+    /// (its in-order sync assertions would deadlock under loss), so only
+    /// delay-type schedules such as [`FaultConfig::jitter_only`] are valid
+    /// here; drop/duplication schedules belong to the DST workloads in
+    /// `besst_des::dst`. Jitter only ever *adds* latency, which is safe
+    /// for conservative parallel execution and leaves the modeled
+    /// trajectory deterministic per seed.
+    pub buggify: Option<FaultConfig>,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0xBE57, monte_carlo: true, engine: EngineKind::Sequential }
+        SimConfig {
+            seed: 0xBE57,
+            monte_carlo: true,
+            engine: EngineKind::Sequential,
+            buggify: None,
+        }
     }
 }
 
@@ -85,6 +102,9 @@ pub struct SimResult {
     pub ckpt_completions: Vec<(usize, CkptLevel, f64)>,
     /// Events the DES engine delivered (for engine benchmarks).
     pub events_delivered: u64,
+    /// Substrate fault counters when [`SimConfig::buggify`] was set
+    /// (`None` on the fault-free path).
+    pub substrate_faults: Option<FaultStats>,
 }
 
 impl SimResult {
@@ -353,7 +373,13 @@ fn build(
 /// Run one FT-aware BE-SST simulation.
 pub fn simulate(app: &AppBeo, arch: &ArchBeo, cfg: &SimConfig) -> SimResult {
     let trace = Arc::new(Mutex::new(Trace::default()));
-    let builder = build(app, arch, cfg, Arc::clone(&trace));
+    let mut builder = build(app, arch, cfg, Arc::clone(&trace));
+    let injector = cfg
+        .buggify
+        .map(|fc| Arc::new(FaultInjector::new(cfg.seed ^ 0xB166, fc)));
+    if let Some(inj) = &injector {
+        builder.set_fault_injector(Arc::clone(inj));
+    }
     let delivered = match cfg.engine {
         EngineKind::Sequential => {
             let mut engine = builder.build();
@@ -380,6 +406,7 @@ pub fn simulate(app: &AppBeo, arch: &ArchBeo, cfg: &SimConfig) -> SimResult {
         step_completions: tr.step_completions.clone(),
         ckpt_completions: tr.ckpt_completions.clone(),
         events_delivered: delivered,
+        substrate_faults: injector.map(|i| i.stats()),
     }
 }
 
@@ -512,12 +539,12 @@ mod tests {
         let arch = ArchBeo::new(besst_machine::presets::quartz(), 36, bundle);
         let app = step_app(4, 10);
 
-        let mc1 = simulate(&app, &arch, &SimConfig { seed: 1, monte_carlo: true, engine: EngineKind::Sequential });
-        let mc2 = simulate(&app, &arch, &SimConfig { seed: 2, monte_carlo: true, engine: EngineKind::Sequential });
+        let mc1 = simulate(&app, &arch, &SimConfig { seed: 1, monte_carlo: true, ..Default::default() });
+        let mc2 = simulate(&app, &arch, &SimConfig { seed: 2, monte_carlo: true, ..Default::default() });
         assert_ne!(mc1.total_seconds, mc2.total_seconds, "MC must vary by seed");
 
-        let p1 = simulate(&app, &arch, &SimConfig { seed: 1, monte_carlo: false, engine: EngineKind::Sequential });
-        let p2 = simulate(&app, &arch, &SimConfig { seed: 2, monte_carlo: false, engine: EngineKind::Sequential });
+        let p1 = simulate(&app, &arch, &SimConfig { seed: 1, monte_carlo: false, ..Default::default() });
+        let p2 = simulate(&app, &arch, &SimConfig { seed: 2, monte_carlo: false, ..Default::default() });
         assert_eq!(p1.total_seconds, p2.total_seconds, "point estimates are seed-free");
     }
 
@@ -525,7 +552,7 @@ mod tests {
     fn same_seed_reproduces_exactly() {
         let app = step_app(8, 15);
         let arch = arch(&[("work", 0.3), ("reduce", 0.02)]);
-        let cfg = SimConfig { seed: 77, monte_carlo: true, engine: EngineKind::Sequential };
+        let cfg = SimConfig { seed: 77, monte_carlo: true, ..Default::default() };
         let a = simulate(&app, &arch, &cfg);
         let b = simulate(&app, &arch, &cfg);
         assert_eq!(a.total_seconds, b.total_seconds);
@@ -539,16 +566,48 @@ mod tests {
         let seq = simulate(
             &app,
             &arch,
-            &SimConfig { seed: 5, monte_carlo: true, engine: EngineKind::Sequential },
+            &SimConfig { seed: 5, monte_carlo: true, ..Default::default() },
         );
         let par = simulate(
             &app,
             &arch,
-            &SimConfig { seed: 5, monte_carlo: true, engine: EngineKind::Parallel(4) },
+            &SimConfig {
+                seed: 5,
+                monte_carlo: true,
+                engine: EngineKind::Parallel(4),
+                ..Default::default()
+            },
         );
         assert_eq!(seq.total_seconds, par.total_seconds);
         assert_eq!(seq.step_completions, par.step_completions);
         assert_eq!(seq.events_delivered, par.events_delivered);
+    }
+
+    #[test]
+    fn buggified_jitter_preserves_engine_equivalence() {
+        // The one substrate fault schedule that is safe for the star
+        // protocol (it only delays deliveries, never loses them): both
+        // engines must still agree bit-for-bit, and the injector must
+        // actually have fired.
+        let app = step_app(8, 10);
+        let arch = arch(&[("work", 0.2), ("reduce", 0.05)]);
+        let cfg = SimConfig {
+            seed: 9,
+            monte_carlo: true,
+            engine: EngineKind::Sequential,
+            buggify: Some(FaultConfig::jitter_only(1.0, SimTime::from_nanos(500))),
+        };
+        let seq = simulate(&app, &arch, &cfg);
+        let par = simulate(&app, &arch, &SimConfig { engine: EngineKind::Parallel(4), ..cfg });
+        assert_eq!(seq.total_seconds, par.total_seconds);
+        assert_eq!(seq.step_completions, par.step_completions);
+        assert_eq!(seq.events_delivered, par.events_delivered);
+        let stats = seq.substrate_faults.expect("injector was attached");
+        assert!(stats.jitters > 0, "certain-probability jitter never fired");
+        assert_eq!(stats, par.substrate_faults.expect("injector was attached"));
+        // The default path reports no stats at all.
+        let plain = simulate(&app, &arch, &SimConfig { seed: 9, ..Default::default() });
+        assert!(plain.substrate_faults.is_none());
     }
 
     #[test]

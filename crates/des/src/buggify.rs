@@ -1,0 +1,614 @@
+//! Buggify-style deterministic fault injection for the DES substrate.
+//!
+//! FoundationDB and TigerBeetle popularized *deterministic simulation
+//! testing* (DST): run the system inside a simulator, inject faults from a
+//! seeded source at well-known sites, and replay any failure bit-for-bit
+//! from its seed. This module is the fault-injection half of that story for
+//! `besst-des`; the driver half lives in [`crate::dst`].
+//!
+//! ## Design: hash decisions, not RNG streams
+//!
+//! The substrate's headline guarantee is that the sequential [`Engine`] and
+//! the conservative [`ParallelEngine`] produce *identical* trajectories.
+//! Fault injection must not break that, so fault decisions are **pure
+//! functions** of `(seed, fault site, event identity)` — a keyed hash, not
+//! a draw from a sequential RNG stream. Both engines evaluate the same
+//! decision for the same event no matter how deliveries interleave across
+//! worker threads, which is exactly what lets [`crate::dst`] assert
+//! bit-for-bit equivalence *under* fault schedules.
+//!
+//! ## Fault catalog
+//!
+//! | Site | Where it fires | Effect |
+//! |---|---|---|
+//! | [`sites::LINK_JITTER`] | [`Ctx::send_extra`] | extra delivery latency, up to [`FaultConfig::link_jitter_max`] |
+//! | [`sites::LINK_DROP`] | [`Ctx::send_extra`], lossy links | the event is never enqueued |
+//! | [`sites::LINK_DUP`] | [`Ctx::send_extra`], lossy links | a cloned copy with a fresh tie-key is also enqueued |
+//! | [`sites::COMPONENT_STALL`] | event delivery in both engines | the target drops every delivery after a per-component onset time |
+//! | [`sites::WINDOW_SKEW`] | [`ParallelEngine`] coordinator | the synchronization window shrinks below the full lookahead (always safe, stresses the protocol) |
+//!
+//! Drop and duplication only target links wired with
+//! [`EngineBuilder::connect_lossy`] unless
+//! [`FaultConfig::all_links_lossy`] is set. The default engine path carries
+//! no injector at all — one `Option` check per hook site, nothing else.
+//!
+//! [`Engine`]: crate::engine::Engine
+//! [`ParallelEngine`]: crate::parallel::ParallelEngine
+//! [`EngineBuilder::connect_lossy`]: crate::engine::EngineBuilder::connect_lossy
+//! [`Ctx::send_extra`]: crate::component::Ctx::send_extra
+
+use crate::event::{ComponentId, TieKey};
+use crate::time::SimTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fault-site identifiers, used to key hash decisions and as arguments to
+/// [`FaultInjector::fires`] / the [`buggify!`](crate::buggify!) macro.
+pub mod sites {
+    /// Extra latency added to a link traversal.
+    pub const LINK_JITTER: u64 = 0xB1;
+    /// An event silently dropped on a lossy link.
+    pub const LINK_DROP: u64 = 0xB2;
+    /// An event duplicated on a lossy link.
+    pub const LINK_DUP: u64 = 0xB3;
+    /// A component that stops accepting deliveries after an onset time.
+    pub const COMPONENT_STALL: u64 = 0xB4;
+    /// A shrunken conservative-synchronization window in the parallel
+    /// engine.
+    pub const WINDOW_SKEW: u64 = 0xB5;
+
+    /// Every built-in fault site with its display name, for catalogs and
+    /// diagnostics.
+    pub const ALL: [(u64, &str); 5] = [
+        (LINK_JITTER, "link-jitter"),
+        (LINK_DROP, "link-drop"),
+        (LINK_DUP, "link-dup"),
+        (COMPONENT_STALL, "component-stall"),
+        (WINDOW_SKEW, "window-skew"),
+    ];
+}
+
+/// SplitMix64: a tiny, fast, seedable PRNG with a full 2^64 period.
+///
+/// Used by the DST driver to derive workloads from a single `u64` seed
+/// without depending on any external RNG crate — the generated topology is
+/// therefore stable across toolchain and dependency upgrades, which keeps
+/// `seed=…` repro lines valid forever.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "next_below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        to_unit(self.next_u64())
+    }
+}
+
+/// The SplitMix64 finalizer: a high-quality 64-bit mixer.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to a uniform float in `[0, 1)` using the top 53 bits.
+#[inline]
+fn to_unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One keyed decision hash: `(seed, site, a, b) -> u64`. Pure — the heart
+/// of cross-engine determinism.
+#[inline]
+fn decision(seed: u64, site: u64, a: u64, b: u64) -> u64 {
+    mix(mix(mix(seed ^ site.wrapping_mul(0xA24B_AED4_963E_E407)) ^ a) ^ b)
+}
+
+/// Per-site probabilities and magnitudes for one fault schedule.
+///
+/// Plain data, `Copy`, and embeddable in higher-level configs (see
+/// `besst_core::sim::SimConfig::buggify`). Presets [`FaultConfig::calm`],
+/// [`FaultConfig::moderate`] and [`FaultConfig::chaos`] match the catalog
+/// table in `docs/DST_GUIDE.md`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a link traversal picks up extra latency.
+    pub link_jitter_p: f64,
+    /// Upper bound (inclusive) of the injected extra latency.
+    pub link_jitter_max: SimTime,
+    /// Probability a lossy-link traversal drops the event.
+    pub link_drop_p: f64,
+    /// Probability a lossy-link traversal duplicates the event (requires
+    /// [`crate::engine::EngineBuilder::enable_event_duplication`]).
+    pub link_dup_p: f64,
+    /// Probability a given component stalls at all during the run.
+    pub stall_p: f64,
+    /// A stalled component's onset time is hash-uniform in
+    /// `[0, stall_onset_max]`; deliveries at or after the onset are
+    /// dropped.
+    pub stall_onset_max: SimTime,
+    /// Probability a parallel synchronization round runs with a shrunken
+    /// (but still safe) window.
+    pub window_skew_p: f64,
+    /// Treat every link as lossy, regardless of how it was wired.
+    pub all_links_lossy: bool,
+}
+
+impl FaultConfig {
+    /// No faults at all: every probability zero.
+    pub fn off() -> Self {
+        FaultConfig {
+            link_jitter_p: 0.0,
+            link_jitter_max: SimTime::ZERO,
+            link_drop_p: 0.0,
+            link_dup_p: 0.0,
+            stall_p: 0.0,
+            stall_onset_max: SimTime::ZERO,
+            window_skew_p: 0.0,
+            all_links_lossy: false,
+        }
+    }
+
+    /// Gentle weather: occasional latency jitter and mild window skew, no
+    /// loss. Every workload that drains without faults drains under calm.
+    pub fn calm() -> Self {
+        FaultConfig {
+            link_jitter_p: 0.02,
+            link_jitter_max: SimTime::from_nanos(200),
+            window_skew_p: 0.10,
+            ..FaultConfig::off()
+        }
+    }
+
+    /// The default DST schedule: jitter, rare loss and duplication on
+    /// lossy links, occasional component stalls, frequent window skew.
+    pub fn moderate() -> Self {
+        FaultConfig {
+            link_jitter_p: 0.10,
+            link_jitter_max: SimTime::from_micros(1),
+            link_drop_p: 0.02,
+            link_dup_p: 0.01,
+            stall_p: 0.05,
+            stall_onset_max: SimTime::from_micros(20),
+            window_skew_p: 0.25,
+            all_links_lossy: false,
+        }
+    }
+
+    /// Everything, often, everywhere: every link is lossy, drops outpace
+    /// duplications (keeping event populations subcritical), stalls are
+    /// common, and most synchronization windows are skewed.
+    pub fn chaos() -> Self {
+        FaultConfig {
+            link_jitter_p: 0.30,
+            link_jitter_max: SimTime::from_micros(5),
+            link_drop_p: 0.08,
+            link_dup_p: 0.05,
+            stall_p: 0.15,
+            stall_onset_max: SimTime::from_micros(10),
+            window_skew_p: 0.75,
+            all_links_lossy: true,
+        }
+    }
+
+    /// Latency jitter only — the schedule that is safe for *any* model,
+    /// including protocols (like the BE-SST star coordinator) that assume
+    /// reliable delivery. This is the schedule to wire into Monte-Carlo
+    /// paths.
+    pub fn jitter_only(p: f64, max: SimTime) -> Self {
+        FaultConfig { link_jitter_p: p, link_jitter_max: max, ..FaultConfig::off() }
+    }
+
+    /// The configured probability for a fault site (0.0 for unknown
+    /// sites).
+    pub fn probability(&self, site: u64) -> f64 {
+        match site {
+            sites::LINK_JITTER => self.link_jitter_p,
+            sites::LINK_DROP => self.link_drop_p,
+            sites::LINK_DUP => self.link_dup_p,
+            sites::COMPONENT_STALL => self.stall_p,
+            sites::WINDOW_SKEW => self.window_skew_p,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Named fault schedules, in increasing order of hostility.
+///
+/// The DST driver iterates [`FaultPreset::ALL`]; each preset resolves to a
+/// [`FaultConfig`] via [`FaultPreset::config`] and prints as its
+/// [`FaultPreset::name`] in `seed=… preset=…` repro lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPreset {
+    /// [`FaultConfig::off`] — no faults.
+    Off,
+    /// [`FaultConfig::calm`].
+    Calm,
+    /// [`FaultConfig::moderate`].
+    Moderate,
+    /// [`FaultConfig::chaos`].
+    Chaos,
+}
+
+impl FaultPreset {
+    /// Every preset, mildest first.
+    pub const ALL: [FaultPreset; 4] =
+        [FaultPreset::Off, FaultPreset::Calm, FaultPreset::Moderate, FaultPreset::Chaos];
+
+    /// The preset's fault schedule.
+    pub fn config(self) -> FaultConfig {
+        match self {
+            FaultPreset::Off => FaultConfig::off(),
+            FaultPreset::Calm => FaultConfig::calm(),
+            FaultPreset::Moderate => FaultConfig::moderate(),
+            FaultPreset::Chaos => FaultConfig::chaos(),
+        }
+    }
+
+    /// Stable lowercase name used in repro lines and snapshot files.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPreset::Off => "off",
+            FaultPreset::Calm => "calm",
+            FaultPreset::Moderate => "moderate",
+            FaultPreset::Chaos => "chaos",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Counts of faults actually injected during a run.
+///
+/// The event-level counters (`jitters`, `drops`, `dups`, `stall_drops`)
+/// are deterministic functions of the workload and seed, so the DST driver
+/// asserts they are identical between the sequential and parallel engines.
+/// `window_skews` only fires in the parallel engine and is excluded from
+/// that comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Link traversals that picked up extra latency.
+    pub jitters: u64,
+    /// Events dropped on lossy links.
+    pub drops: u64,
+    /// Events duplicated on lossy links.
+    pub dups: u64,
+    /// Deliveries dropped because the target component had stalled.
+    pub stall_drops: u64,
+    /// Parallel synchronization rounds run with a shrunken window.
+    pub window_skews: u64,
+}
+
+/// A seeded fault source shared (behind an `Arc`) by an engine and its
+/// workers.
+///
+/// Attach with [`crate::engine::EngineBuilder::set_fault_injector`]; keep
+/// a clone of the `Arc` to read [`FaultInjector::stats`] after the run.
+/// All decisions are keyed hashes of the seed — two injectors with the
+/// same seed and config make identical decisions, which is what makes a
+/// `seed=…` repro line sufficient to replay a failure.
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    config: FaultConfig,
+    jitters: AtomicU64,
+    drops: AtomicU64,
+    dups: AtomicU64,
+    stall_drops: AtomicU64,
+    window_skews: AtomicU64,
+}
+
+impl FaultInjector {
+    /// New injector with the given decision seed and schedule.
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        FaultInjector {
+            seed,
+            config,
+            jitters: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            dups: AtomicU64::new(0),
+            stall_drops: AtomicU64::new(0),
+            window_skews: AtomicU64::new(0),
+        }
+    }
+
+    /// The decision seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault schedule.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Snapshot the injected-fault counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            jitters: self.jitters.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            dups: self.dups.load(Ordering::Relaxed),
+            stall_drops: self.stall_drops.load(Ordering::Relaxed),
+            window_skews: self.window_skews.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pure keyed decision: does fault `site` fire for identity `(a, b)`
+    /// under this seed and the site's configured probability? Counts
+    /// nothing — custom components can build their own fault sites on top
+    /// of this (see the [`buggify!`](crate::buggify!) macro).
+    pub fn fires(&self, site: u64, a: u64, b: u64) -> bool {
+        let p = self.config.probability(site);
+        p > 0.0 && to_unit(decision(self.seed, site, a, b)) < p
+    }
+
+    /// Link-drop decision for the event with tie-key `key`; counts when it
+    /// fires. Only lossy links are eligible.
+    pub(crate) fn roll_link_drop(&self, key: TieKey, lossy: bool) -> bool {
+        if !(lossy || self.config.all_links_lossy) {
+            return false;
+        }
+        let hit = self.fires(sites::LINK_DROP, key.src.0 as u64, key.seq);
+        if hit {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Link-duplication decision; counts when it fires. Only lossy links
+    /// are eligible. The caller is responsible for actually cloning and
+    /// enqueueing the copy.
+    pub(crate) fn roll_link_dup(&self, key: TieKey, lossy: bool) -> bool {
+        if !(lossy || self.config.all_links_lossy) {
+            return false;
+        }
+        let hit = self.fires(sites::LINK_DUP, key.src.0 as u64, key.seq);
+        if hit {
+            self.dups.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Extra latency for the event with tie-key `key` ([`SimTime::ZERO`]
+    /// when the jitter site does not fire); counts when nonzero.
+    pub(crate) fn link_jitter(&self, key: TieKey) -> SimTime {
+        if !self.fires(sites::LINK_JITTER, key.src.0 as u64, key.seq) {
+            return SimTime::ZERO;
+        }
+        let max = self.config.link_jitter_max.as_nanos();
+        if max == 0 {
+            return SimTime::ZERO;
+        }
+        let magnitude = decision(self.seed, sites::LINK_JITTER ^ 0xFF, key.src.0 as u64, key.seq);
+        self.jitters.fetch_add(1, Ordering::Relaxed);
+        SimTime::from_nanos(1 + magnitude % max)
+    }
+
+    /// Should the delivery of an event at `time` to `target` be dropped
+    /// because the component has stalled? Counts when it fires. The stall
+    /// decision and its onset time are per-component hash functions, so
+    /// both engines agree on every delivery.
+    pub(crate) fn roll_stall_drop(&self, target: ComponentId, time: SimTime) -> bool {
+        let p = self.config.stall_p;
+        if p <= 0.0 {
+            return false;
+        }
+        if to_unit(decision(self.seed, sites::COMPONENT_STALL, target.0 as u64, 0)) >= p {
+            return false;
+        }
+        let span = self.config.stall_onset_max.as_nanos();
+        let onset = if span == 0 {
+            0
+        } else {
+            decision(self.seed, sites::COMPONENT_STALL, target.0 as u64, 1) % (span + 1)
+        };
+        let hit = time.as_nanos() >= onset;
+        if hit {
+            self.stall_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// The end of synchronization round `round` that starts at `start`
+    /// with the engine's full `lookahead`. Either the full window or a
+    /// deterministically shrunken one (never empty — at least 1 ns past
+    /// `start` — so progress is always guaranteed). Counts when shrunken.
+    pub(crate) fn window_end(&self, round: u64, start: SimTime, lookahead: SimTime) -> SimTime {
+        let full = start.saturating_add(lookahead);
+        if !self.fires(sites::WINDOW_SKEW, round, 0) {
+            return full;
+        }
+        let fraction = to_unit(decision(self.seed, sites::WINDOW_SKEW, round, 1));
+        let span = ((lookahead.as_nanos() as f64) * fraction) as u64;
+        self.window_skews.fetch_add(1, Ordering::Relaxed);
+        start.saturating_add(SimTime::from_nanos(span.max(1)))
+    }
+}
+
+/// Evaluate a custom fault site against an optional injector.
+///
+/// Mirrors FoundationDB's `BUGGIFY` macro: returns `false` when no
+/// injector is attached, otherwise the keyed decision for
+/// `(site, a, b)` at that site's configured probability. Intended for use
+/// inside components via [`crate::component::Ctx::fault_injector`]:
+///
+/// ```
+/// use besst_des::buggify;
+/// use besst_des::buggify::{sites, FaultConfig, FaultInjector};
+///
+/// let inj = FaultInjector::new(7, FaultConfig::chaos());
+/// // Probability is looked up from the injector's config by site id.
+/// let fired = buggify!(Some(&inj), sites::LINK_DROP, 3, 41);
+/// let never = buggify!(Option::<&FaultInjector>::None, sites::LINK_DROP, 3, 41);
+/// assert!(!never);
+/// let _ = fired;
+/// ```
+#[macro_export]
+macro_rules! buggify {
+    ($injector:expr, $site:expr, $a:expr, $b:expr) => {
+        match $injector {
+            Some(inj) => $crate::buggify::FaultInjector::fires(inj, $site, $a as u64, $b as u64),
+            None => false,
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_varies() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        let mut c = SplitMix64::new(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn unit_fraction_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn off_config_never_fires() {
+        let inj = FaultInjector::new(1, FaultConfig::off());
+        for s in 0..200u64 {
+            assert!(!inj.fires(sites::LINK_DROP, s, s));
+            assert_eq!(inj.link_jitter(TieKey { src: ComponentId(0), seq: s }), SimTime::ZERO);
+            assert!(!inj.roll_stall_drop(ComponentId(s as u32), SimTime::from_nanos(s)));
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn certain_probability_always_fires() {
+        let cfg = FaultConfig { link_drop_p: 1.0, all_links_lossy: true, ..FaultConfig::off() };
+        let inj = FaultInjector::new(9, cfg);
+        for seq in 0..100 {
+            assert!(inj.roll_link_drop(TieKey { src: ComponentId(3), seq }, false));
+        }
+        assert_eq!(inj.stats().drops, 100);
+    }
+
+    #[test]
+    fn decisions_are_pure_and_seed_keyed() {
+        let a = FaultInjector::new(5, FaultConfig::chaos());
+        let b = FaultInjector::new(5, FaultConfig::chaos());
+        let c = FaultInjector::new(6, FaultConfig::chaos());
+        let same: Vec<bool> = (0..512).map(|i| a.fires(sites::LINK_DROP, 1, i)).collect();
+        let again: Vec<bool> = (0..512).map(|i| b.fires(sites::LINK_DROP, 1, i)).collect();
+        let other: Vec<bool> = (0..512).map(|i| c.fires(sites::LINK_DROP, 1, i)).collect();
+        assert_eq!(same, again, "same seed, same decisions");
+        assert_ne!(same, other, "different seed, different schedule");
+        // Purity: fires() does not advance any state.
+        assert!(same.iter().filter(|&&x| x).count() > 0, "chaos drop rate must be visible");
+    }
+
+    #[test]
+    fn empirical_rate_tracks_probability() {
+        let cfg = FaultConfig { link_drop_p: 0.25, all_links_lossy: true, ..FaultConfig::off() };
+        let inj = FaultInjector::new(11, cfg);
+        let n = 20_000u64;
+        let hits = (0..n)
+            .filter(|&i| inj.fires(sites::LINK_DROP, i, i.wrapping_mul(31)))
+            .count() as f64;
+        let rate = hits / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn stall_has_an_onset_time() {
+        let cfg = FaultConfig {
+            stall_p: 1.0,
+            stall_onset_max: SimTime::from_micros(100),
+            ..FaultConfig::off()
+        };
+        // Find a component whose onset is strictly positive, then check
+        // deliveries before it pass and after it drop.
+        let inj = FaultInjector::new(3, cfg);
+        let mut checked = false;
+        for c in 0..64u32 {
+            let id = ComponentId(c);
+            if !inj.roll_stall_drop(id, SimTime::ZERO) {
+                assert!(
+                    inj.roll_stall_drop(id, SimTime::from_micros(100)),
+                    "every component stalls by the onset horizon"
+                );
+                checked = true;
+                break;
+            }
+        }
+        assert!(checked, "expected at least one component with a positive onset");
+    }
+
+    #[test]
+    fn window_end_is_bounded_and_progressing() {
+        let inj = FaultInjector::new(13, FaultConfig { window_skew_p: 1.0, ..FaultConfig::off() });
+        let start = SimTime::from_micros(10);
+        let lookahead = SimTime::from_nanos(500);
+        for round in 0..200 {
+            let end = inj.window_end(round, start, lookahead);
+            assert!(end > start, "window must make progress");
+            assert!(end <= start.saturating_add(lookahead), "window must stay conservative");
+        }
+        assert_eq!(inj.stats().window_skews, 200);
+    }
+
+    #[test]
+    fn preset_probabilities_match_catalog() {
+        let m = FaultConfig::moderate();
+        assert_eq!(m.probability(sites::LINK_JITTER), 0.10);
+        assert_eq!(m.probability(sites::LINK_DROP), 0.02);
+        assert_eq!(m.probability(sites::LINK_DUP), 0.01);
+        assert_eq!(m.probability(sites::COMPONENT_STALL), 0.05);
+        assert_eq!(m.probability(sites::WINDOW_SKEW), 0.25);
+        assert_eq!(m.probability(0xDEAD), 0.0);
+        // Chaos must stay subcritical: drops at least balance dups so
+        // duplicated event populations cannot grow without bound.
+        let c = FaultConfig::chaos();
+        assert!(c.link_drop_p >= c.link_dup_p);
+        assert!(c.all_links_lossy);
+        assert!(FaultConfig::calm().link_drop_p == 0.0);
+    }
+
+    #[test]
+    fn buggify_macro_handles_absent_injector() {
+        let inj = FaultInjector::new(2, FaultConfig::chaos());
+        let with: bool = buggify!(Some(&inj), sites::LINK_JITTER, 1u32, 2u64);
+        let without: bool = buggify!(Option::<&FaultInjector>::None, sites::LINK_JITTER, 1u32, 2u64);
+        assert_eq!(with, inj.fires(sites::LINK_JITTER, 1, 2));
+        assert!(!without);
+    }
+}

@@ -6,6 +6,7 @@
 //! self-events, and reading the clock. Components never see each other
 //! directly, which is what lets the engine distribute them across threads.
 
+use crate::buggify::FaultInjector;
 use crate::event::{ComponentId, Event, PortId, Priority, TieKey};
 use crate::link::LinkTable;
 use crate::time::SimTime;
@@ -43,6 +44,8 @@ pub struct Ctx<'a, P> {
     pub(crate) out: &'a mut Vec<Emitted<P>>,
     pub(crate) seq: &'a mut u64,
     pub(crate) halt: &'a mut bool,
+    pub(crate) faults: Option<&'a FaultInjector>,
+    pub(crate) dup: Option<fn(&P) -> P>,
 }
 
 impl<'a, P> Ctx<'a, P> {
@@ -54,6 +57,13 @@ impl<'a, P> Ctx<'a, P> {
     /// This component's id.
     pub fn self_id(&self) -> ComponentId {
         self.self_id
+    }
+
+    /// The engine's fault injector, if one is attached. Components can use
+    /// this with the [`buggify!`](crate::buggify!) macro to define their
+    /// own fault sites; `None` on the default (fault-free) path.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults
     }
 
     fn next_key(&mut self) -> TieKey {
@@ -73,6 +83,14 @@ impl<'a, P> Ctx<'a, P> {
 
     /// Like [`Ctx::send`] but adds `extra` delay on top of the link latency
     /// (e.g. serialization time) and lets the caller pick a priority class.
+    ///
+    /// When a [`FaultInjector`] is attached this is the injection site for
+    /// the link fault family: the send may be dropped (lossy links),
+    /// jittered, or duplicated. All decisions are keyed on the event's
+    /// [`TieKey`], so they are identical in the sequential and parallel
+    /// engines. The tie-key is consumed *before* the drop decision, which
+    /// keeps per-sender sequence streams aligned whether or not the drop
+    /// fires; a duplicate consumes a second key only when it fires.
     pub fn send_extra(&mut self, port: PortId, payload: P, extra: SimTime, priority: Priority) {
         let link = self
             .links
@@ -85,9 +103,32 @@ impl<'a, P> Ctx<'a, P> {
             })
             .to_owned();
         let key = self.next_key();
+        let mut time = self.now.saturating_add(link.latency).saturating_add(extra);
+        if let Some(f) = self.faults {
+            if f.roll_link_drop(key, link.lossy) {
+                return;
+            }
+            time = time.saturating_add(f.link_jitter(key));
+            if let Some(dup) = self.dup {
+                if f.roll_link_dup(key, link.lossy) {
+                    let copy = dup(&payload);
+                    let copy_key = self.next_key();
+                    self.out.push(Emitted {
+                        event: Event {
+                            time,
+                            priority,
+                            key: copy_key,
+                            target: link.dst,
+                            port: link.dst_port,
+                            payload: copy,
+                        },
+                    });
+                }
+            }
+        }
         self.out.push(Emitted {
             event: Event {
-                time: self.now.saturating_add(link.latency).saturating_add(extra),
+                time,
                 priority,
                 key,
                 target: link.dst,
@@ -145,6 +186,7 @@ mod tests {
             dst: ComponentId(1),
             dst_port: PortId(3),
             latency: SimTime::from_nanos(42),
+            lossy: false,
         });
         let mut out = Vec::new();
         let mut seq = 7u64;
@@ -156,6 +198,8 @@ mod tests {
             out: &mut out,
             seq: &mut seq,
             halt: &mut halt,
+            faults: None,
+            dup: None,
         };
         ctx.send(PortId(0), 1u32);
         ctx.send_extra(PortId(0), 2u32, SimTime::from_nanos(8), Priority::URGENT);
@@ -183,6 +227,8 @@ mod tests {
             out: &mut out,
             seq: &mut seq,
             halt: &mut halt,
+            faults: None,
+            dup: None,
         };
         ctx.send(PortId(0), 0u32);
     }
@@ -200,6 +246,8 @@ mod tests {
             out: &mut out,
             seq: &mut seq,
             halt: &mut halt,
+            faults: None,
+            dup: None,
         };
         ctx.schedule_self(SimTime::from_nanos(5), 9u32);
         assert_eq!(out[0].event.target, ComponentId(0));

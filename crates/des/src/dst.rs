@@ -1,0 +1,484 @@
+//! Deterministic simulation testing (DST) driver for the DES substrate.
+//!
+//! One `u64` seed deterministically expands into a random component graph,
+//! a workload, and a fault schedule (see [`crate::buggify`]). The driver
+//! runs that workload under the sequential [`Engine`] and under the
+//! conservative [`ParallelEngine`] for several [`Partitioning`]s — all with
+//! the *same* fault schedule — and asserts:
+//!
+//! * **bit-for-bit trajectory equivalence**: every component observes the
+//!   identical `(time, payload)` delivery sequence in every engine;
+//! * **outcome agreement**: drained-vs-halted-vs-stalled outcomes match;
+//! * **event conservation**: `delivered = injected + sends + dups − drops
+//!   − stall_drops` — no event is lost or invented except by a counted
+//!   fault;
+//! * **monotone time**: each component's deliveries never go backwards;
+//! * **fault-schedule equivalence**: the event-level fault counters
+//!   ([`FaultStats`]) are identical across engines.
+//!
+//! Any violation panics with a one-line repro —
+//! `DST FAILURE seed=0x… preset=… partitioning=…` — sufficient to replay
+//! the exact failure with [`run_dst`]. See `docs/DST_GUIDE.md` for the
+//! harness recipes.
+//!
+//! [`Engine`]: crate::engine::Engine
+//! [`ParallelEngine`]: crate::parallel::ParallelEngine
+
+use crate::buggify::{FaultInjector, FaultPreset, FaultStats, SplitMix64};
+use crate::component::{Component, Ctx};
+use crate::engine::{Engine, EngineBuilder, RunOutcome};
+use crate::event::{ComponentId, Event, PortId};
+use crate::parallel::{ParallelEngine, Partitioning};
+use crate::time::SimTime;
+use std::sync::{Arc, Mutex};
+
+/// Delivery budget per engine run — a runaway-model backstop far above any
+/// workload [`build_workload`] can generate.
+const DELIVERY_BUDGET: u64 = 2_000_000;
+
+/// One recorded delivery: `(time in ns, payload)`.
+pub type TraceEntry = (u64, u64);
+
+/// A shared, per-component delivery trace.
+pub type Trace = Arc<Mutex<Vec<TraceEntry>>>;
+
+/// The DST workhorse component: records every delivery it sees into its
+/// trace, then forwards `payload − 1` on a payload-selected output port
+/// until the payload reaches zero.
+///
+/// The payload-selected port makes the traffic pattern a function of the
+/// (fault-perturbed) payload stream, so drops and duplications reshape the
+/// downstream workload — exactly the kind of divergence amplification a
+/// trajectory-equivalence check wants.
+pub struct DstNode {
+    fanout: u16,
+    trace: Trace,
+}
+
+impl DstNode {
+    /// A node with `fanout` wired output ports recording into `trace`.
+    pub fn new(fanout: u16, trace: Trace) -> Self {
+        assert!(fanout > 0, "DstNode needs at least one output port");
+        DstNode { fanout, trace }
+    }
+}
+
+impl Component<u64> for DstNode {
+    fn name(&self) -> &str {
+        "dst-node"
+    }
+
+    fn on_event(&mut self, ev: Event<u64>, ctx: &mut Ctx<'_, u64>) {
+        self.trace
+            .lock()
+            .expect("trace mutex poisoned")
+            .push((ev.time.as_nanos(), ev.payload));
+        if ev.payload > 0 {
+            let port = PortId((ev.payload % self.fanout as u64) as u16);
+            ctx.send(port, ev.payload - 1);
+        }
+    }
+}
+
+/// A seed-derived workload, ready to run under either engine.
+pub struct Workload {
+    /// The wired builder (fault injector attached, duplication enabled).
+    pub builder: EngineBuilder<u64>,
+    /// One trace handle per component, indexed by [`ComponentId`].
+    pub traces: Vec<Trace>,
+    /// The attached injector (for post-run [`FaultStats`]).
+    pub injector: Arc<FaultInjector>,
+    /// Initial external events as `(time, target, payload, seq)`.
+    pub initial: Vec<(SimTime, ComponentId, u64, u64)>,
+}
+
+/// Expand `seed` + `preset` into a random component graph and workload.
+///
+/// Everything — topology, latencies, lossiness, injection times, fault
+/// schedule — is a pure function of the arguments, using the crate's own
+/// [`SplitMix64`] so the expansion is stable across toolchains and
+/// dependency versions. Call it again with the same arguments to get an
+/// identical (but freshly allocated) workload for the next engine.
+pub fn build_workload(seed: u64, preset: FaultPreset) -> Workload {
+    let mut rng = SplitMix64::new(seed);
+    let n = 3 + (rng.next_below(10) as usize);
+    let fanout = 1 + rng.next_below(3) as u16;
+
+    let mut builder = EngineBuilder::new();
+    let mut traces = Vec::with_capacity(n);
+    for _ in 0..n {
+        let trace: Trace = Arc::new(Mutex::new(Vec::new()));
+        traces.push(Arc::clone(&trace));
+        builder.add_component(Box::new(DstNode::new(fanout, trace)));
+    }
+
+    // Port 0 closes a ring (keeps every node reachable); higher ports point
+    // at pseudo-random targets. Latencies are strictly positive so every
+    // partitioning has positive lookahead; lossiness is a per-link coin
+    // flip (chaos marks all links lossy regardless).
+    for i in 0..n {
+        for port in 0..fanout {
+            let dst = if port == 0 { (i + 1) % n } else { rng.next_below(n as u64) as usize };
+            let latency = SimTime::from_nanos(1 + rng.next_below(500));
+            let lossy = rng.next_below(2) == 1;
+            let (src, dst) = (ComponentId(i as u32), ComponentId(dst as u32));
+            if lossy {
+                builder.connect_lossy(src, PortId(port), dst, PortId(0), latency);
+            } else {
+                builder.connect(src, PortId(port), dst, PortId(0), latency);
+            }
+        }
+    }
+
+    let injector = Arc::new(FaultInjector::new(seed ^ 0xD57, preset.config()));
+    builder.set_fault_injector(Arc::clone(&injector));
+    builder.enable_event_duplication();
+
+    let n_injections = 1 + rng.next_below(4);
+    let initial = (0..n_injections)
+        .map(|j| {
+            let time = SimTime::from_nanos(rng.next_below(1000));
+            let target = ComponentId(rng.next_below(n as u64) as u32);
+            let hops = 20 + rng.next_below(120);
+            (time, target, hops, j)
+        })
+        .collect();
+
+    Workload { builder, traces, injector, initial }
+}
+
+/// The partitionings exercised for a given seed: the fixed spread plus one
+/// seed-derived random explicit map.
+pub fn partitionings(seed: u64, n_components: usize) -> Vec<Partitioning> {
+    let mut rng = SplitMix64::new(seed ^ 0x9A27);
+    let workers = 2 + rng.next_below(3) as usize;
+    let explicit: Vec<usize> =
+        (0..n_components).map(|_| rng.next_below(workers as u64) as usize).collect();
+    vec![
+        Partitioning::RoundRobin(1),
+        Partitioning::RoundRobin(2),
+        Partitioning::RoundRobin(3),
+        Partitioning::Blocks(2),
+        Partitioning::Blocks(4),
+        Partitioning::Explicit(explicit),
+    ]
+}
+
+/// Summary of one engine run, in directly comparable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RunRecord {
+    outcome: RunOutcome,
+    delivered: u64,
+    end_time: SimTime,
+    traces: Vec<Vec<TraceEntry>>,
+    faults: FaultStats,
+}
+
+impl RunRecord {
+    /// Event-level fault counters only: `window_skews` is a parallel-only
+    /// site and legitimately differs between engines.
+    fn event_faults(&self) -> (u64, u64, u64, u64) {
+        (self.faults.jitters, self.faults.drops, self.faults.dups, self.faults.stall_drops)
+    }
+}
+
+/// Aggregated result of one full DST check for a `(seed, preset)` pair.
+#[derive(Debug, Clone)]
+pub struct DstReport {
+    /// The workload seed.
+    pub seed: u64,
+    /// The fault preset.
+    pub preset: FaultPreset,
+    /// Components in the generated graph.
+    pub n_components: usize,
+    /// Events delivered (identical in every engine, by assertion).
+    pub delivered: u64,
+    /// Final simulated time.
+    pub end_time: SimTime,
+    /// FNV-1a digest of the full trajectory — two runs agree iff their
+    /// digests agree, which is what the snapshot regression tests pin.
+    pub digest: u64,
+    /// How many parallel partitionings were checked against sequential.
+    pub partitionings_checked: usize,
+    /// Fault counters from the sequential run.
+    pub faults: FaultStats,
+}
+
+impl DstReport {
+    /// The one-line form used by snapshot files and repro output.
+    pub fn snapshot_line(&self) -> String {
+        format!(
+            "seed={:#018x} preset={} components={} delivered={} end_time_ns={} digest={:#018x}",
+            self.seed,
+            self.preset,
+            self.n_components,
+            self.delivered,
+            self.end_time.as_nanos(),
+            self.digest,
+        )
+    }
+}
+
+macro_rules! dst_assert {
+    ($cond:expr, $seed:expr, $preset:expr, $part:expr, $($msg:tt)+) => {
+        if !$cond {
+            panic!(
+                "DST FAILURE seed={:#018x} preset={} partitioning={:?} :: {}\n\
+                 replay: besst_des::dst::run_dst({:#018x}, FaultPreset::{:?})",
+                $seed, $preset, $part, format_args!($($msg)+), $seed, $preset,
+            );
+        }
+    };
+}
+
+fn run_sequential(seed: u64, preset: FaultPreset) -> (RunRecord, usize) {
+    let w = build_workload(seed, preset);
+    let n = w.traces.len();
+    let mut engine: Engine<u64> = w.builder.build();
+    for (time, target, payload, seq) in &w.initial {
+        engine.inject(*time, *target, PortId(0), *payload, *seq);
+    }
+    let outcome = engine.run(SimTime::MAX, DELIVERY_BUDGET);
+    let record = RunRecord {
+        outcome,
+        delivered: engine.delivered(),
+        end_time: engine.now(),
+        traces: collect_traces(&w.traces),
+        faults: w.injector.stats(),
+    };
+    (record, n)
+}
+
+fn run_parallel(seed: u64, preset: FaultPreset, partitioning: Partitioning) -> RunRecord {
+    let w = build_workload(seed, preset);
+    let mut engine = ParallelEngine::new(w.builder, partitioning);
+    for (time, target, payload, seq) in &w.initial {
+        engine.inject(*time, *target, PortId(0), *payload, *seq);
+    }
+    let report = engine.run();
+    RunRecord {
+        outcome: report.outcome,
+        delivered: report.delivered,
+        end_time: report.end_time,
+        traces: collect_traces(&w.traces),
+        faults: w.injector.stats(),
+    }
+}
+
+fn collect_traces(traces: &[Trace]) -> Vec<Vec<TraceEntry>> {
+    traces
+        .iter()
+        .map(|t| t.lock().expect("trace mutex poisoned").clone())
+        .collect()
+}
+
+/// FNV-1a over the complete trajectory.
+fn digest(record: &RunRecord) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    };
+    eat(record.delivered);
+    eat(record.end_time.as_nanos());
+    for (i, trace) in record.traces.iter().enumerate() {
+        eat(i as u64);
+        eat(trace.len() as u64);
+        for &(t, p) in trace {
+            eat(t);
+            eat(p);
+        }
+    }
+    h
+}
+
+/// Shadow-state invariants that hold for *any* engine's run of a
+/// [`build_workload`] workload, faults included.
+fn check_invariants(
+    record: &RunRecord,
+    injected: u64,
+    seed: u64,
+    preset: FaultPreset,
+    part: &str,
+) {
+    dst_assert!(
+        record.outcome == RunOutcome::Drained,
+        seed,
+        preset,
+        part,
+        "expected Drained, got {:?} (delivered={})",
+        record.outcome,
+        record.delivered
+    );
+    let traced: u64 = record.traces.iter().map(|t| t.len() as u64).sum();
+    dst_assert!(
+        traced == record.delivered,
+        seed,
+        preset,
+        part,
+        "trace entries ({traced}) != delivered ({})",
+        record.delivered
+    );
+    for (i, trace) in record.traces.iter().enumerate() {
+        dst_assert!(
+            trace.windows(2).all(|w| w[0].0 <= w[1].0),
+            seed,
+            preset,
+            part,
+            "component {i} observed time moving backwards"
+        );
+    }
+    // Conservation: every delivery is either an injection, a recorded
+    // forward (payload > 0 sends exactly once), or a counted duplication;
+    // drops and stall-drops are the only sinks.
+    let sends: u64 = record
+        .traces
+        .iter()
+        .flatten()
+        .filter(|&&(_, payload)| payload > 0)
+        .count() as u64;
+    let f = &record.faults;
+    let expected = injected + sends + f.dups - f.drops - f.stall_drops;
+    dst_assert!(
+        record.delivered == expected,
+        seed,
+        preset,
+        part,
+        "event conservation violated: delivered={} but injected({injected}) + sends({sends}) \
+         + dups({}) - drops({}) - stall_drops({}) = {expected}",
+        record.delivered,
+        f.dups,
+        f.drops,
+        f.stall_drops
+    );
+}
+
+/// Run the full DST check for one `(seed, preset)` pair: sequential
+/// reference run, invariants, then every [`partitionings`] entry compared
+/// trajectory-for-trajectory. Panics with a `DST FAILURE seed=…` repro
+/// line on any violation; returns the [`DstReport`] otherwise.
+pub fn run_dst(seed: u64, preset: FaultPreset) -> DstReport {
+    let (reference, n) = run_sequential(seed, preset);
+    let injected = build_workload(seed, preset).initial.len() as u64;
+    check_invariants(&reference, injected, seed, preset, "Sequential");
+
+    let parts = partitionings(seed, n);
+    let n_parts = parts.len();
+    for part in parts {
+        let record = run_parallel(seed, preset, part.clone());
+        check_invariants(&record, injected, seed, preset, &format!("{part:?}"));
+        dst_assert!(
+            record.event_faults() == reference.event_faults(),
+            seed,
+            preset,
+            format!("{part:?}"),
+            "fault schedules diverged: parallel {:?} vs sequential {:?}",
+            record.faults,
+            reference.faults
+        );
+        dst_assert!(
+            record.delivered == reference.delivered,
+            seed,
+            preset,
+            format!("{part:?}"),
+            "delivered {} != sequential {}",
+            record.delivered,
+            reference.delivered
+        );
+        dst_assert!(
+            record.end_time == reference.end_time,
+            seed,
+            preset,
+            format!("{part:?}"),
+            "end_time {:?} != sequential {:?}",
+            record.end_time,
+            reference.end_time
+        );
+        for i in 0..n {
+            dst_assert!(
+                record.traces[i] == reference.traces[i],
+                seed,
+                preset,
+                format!("{part:?}"),
+                "component {i} trajectory diverged: parallel saw {} deliveries, sequential {} \
+                 (first divergence at index {})",
+                record.traces[i].len(),
+                reference.traces[i].len(),
+                record.traces[i]
+                    .iter()
+                    .zip(&reference.traces[i])
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| record.traces[i].len().min(reference.traces[i].len()))
+            );
+        }
+    }
+
+    DstReport {
+        seed,
+        preset,
+        n_components: n,
+        delivered: reference.delivered,
+        end_time: reference.end_time,
+        digest: digest(&reference),
+        partitionings_checked: n_parts,
+        faults: reference.faults,
+    }
+}
+
+/// Run [`run_dst`] over `count` consecutive seeds starting at `base`.
+pub fn run_seed_block(base: u64, count: u64, preset: FaultPreset) -> Vec<DstReport> {
+    (0..count).map(|i| run_dst(base.wrapping_add(i), preset)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_expansion_is_deterministic() {
+        let a = build_workload(42, FaultPreset::Moderate);
+        let b = build_workload(42, FaultPreset::Moderate);
+        assert_eq!(a.traces.len(), b.traces.len());
+        assert_eq!(a.initial, b.initial);
+        assert_eq!(a.injector.seed(), b.injector.seed());
+        let c = build_workload(43, FaultPreset::Moderate);
+        // Different seeds almost surely differ somewhere visible.
+        assert!(a.traces.len() != c.traces.len() || a.initial != c.initial);
+    }
+
+    #[test]
+    fn single_seed_roundtrip_off() {
+        let r = run_dst(7, FaultPreset::Off);
+        assert!(r.delivered > 0);
+        assert_eq!(r.faults, FaultStats::default());
+        assert_eq!(r.partitionings_checked, 6);
+    }
+
+    #[test]
+    fn single_seed_roundtrip_chaos() {
+        let r = run_dst(7, FaultPreset::Chaos);
+        assert!(r.delivered > 0);
+        // Chaos over a whole workload essentially always jitters something.
+        assert!(r.faults.jitters + r.faults.drops + r.faults.stall_drops > 0);
+    }
+
+    #[test]
+    fn report_is_reproducible() {
+        let a = run_dst(99, FaultPreset::Calm);
+        let b = run_dst(99, FaultPreset::Calm);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.snapshot_line(), b.snapshot_line());
+    }
+
+    #[test]
+    fn snapshot_line_contains_repro_fields() {
+        let r = run_dst(1, FaultPreset::Off);
+        let line = r.snapshot_line();
+        assert!(line.contains("seed=0x"));
+        assert!(line.contains("preset=off"));
+        assert!(line.contains("digest=0x"));
+    }
+}

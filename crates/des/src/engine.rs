@@ -5,16 +5,21 @@
 //! [`crate::parallel`] is required (and tested) to produce the same
 //! trajectory.
 
+use crate::buggify::FaultInjector;
 use crate::component::{Component, Ctx, Emitted};
 use crate::event::{ComponentId, Event, HeapEntry, PortId, Priority, TieKey};
 use crate::link::{Link, LinkTable};
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
-/// Construction-time view of the simulation: components and links.
+/// Construction-time view of the simulation: components, links, and an
+/// optional fault schedule.
 pub struct EngineBuilder<P> {
     components: Vec<Box<dyn Component<P>>>,
     links: Vec<Link>,
+    faults: Option<Arc<FaultInjector>>,
+    dup: Option<fn(&P) -> P>,
 }
 
 impl<P> Default for EngineBuilder<P> {
@@ -26,7 +31,7 @@ impl<P> Default for EngineBuilder<P> {
 impl<P> EngineBuilder<P> {
     /// Empty builder.
     pub fn new() -> Self {
-        EngineBuilder { components: Vec::new(), links: Vec::new() }
+        EngineBuilder { components: Vec::new(), links: Vec::new(), faults: None, dup: None }
     }
 
     /// Register a component; returns its id (dense, in registration order).
@@ -45,7 +50,28 @@ impl<P> EngineBuilder<P> {
         dst_port: PortId,
         latency: SimTime,
     ) {
-        self.links.push(Link { src, src_port, dst, dst_port, latency });
+        self.links.push(Link { src, src_port, dst, dst_port, latency, lossy: false });
+    }
+
+    /// Wire a unidirectional link that is eligible for buggify loss and
+    /// duplication faults (see [`crate::buggify`]). Without an attached
+    /// [`FaultInjector`] it behaves exactly like [`EngineBuilder::connect`].
+    pub fn connect_lossy(
+        &mut self,
+        src: ComponentId,
+        src_port: PortId,
+        dst: ComponentId,
+        dst_port: PortId,
+        latency: SimTime,
+    ) {
+        self.links.push(Link { src, src_port, dst, dst_port, latency, lossy: true });
+    }
+
+    /// Attach a seeded fault injector. Sends, deliveries, and (in the
+    /// parallel engine) synchronization windows consult it; `None` — the
+    /// default — costs one branch per hook site.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.faults = Some(injector);
     }
 
     /// Wire a symmetric pair of links (one in each direction, same ports and
@@ -65,6 +91,11 @@ impl<P> EngineBuilder<P> {
     /// Number of components registered so far.
     pub fn n_components(&self) -> usize {
         self.components.len()
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
     }
 
     /// Finalize into a runnable sequential engine.
@@ -87,12 +118,34 @@ impl<P> EngineBuilder<P> {
             delivered: 0,
             halted: false,
             started: false,
+            faults: self.faults,
+            dup: self.dup,
         }
     }
 
     /// Consume the builder parts for the parallel engine.
-    pub(crate) fn into_parts(self) -> (Vec<Box<dyn Component<P>>>, Vec<Link>) {
-        (self.components, self.links)
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        Vec<Box<dyn Component<P>>>,
+        Vec<Link>,
+        Option<Arc<FaultInjector>>,
+        Option<fn(&P) -> P>,
+    ) {
+        (self.components, self.links, self.faults, self.dup)
+    }
+}
+
+impl<P: Clone> EngineBuilder<P> {
+    /// Opt in to the event-duplication fault site ([`crate::buggify::sites::LINK_DUP`]).
+    ///
+    /// Duplication requires cloning payloads, and the engine is generic
+    /// over payload types that may not be `Clone` — so the capability is
+    /// registered explicitly here rather than bounding the whole engine.
+    /// Without this call, duplication never fires even under chaos presets.
+    pub fn enable_event_duplication(&mut self) {
+        self.dup = Some((|p: &P| p.clone()) as fn(&P) -> P);
     }
 }
 
@@ -119,6 +172,8 @@ pub struct Engine<P> {
     delivered: u64,
     halted: bool,
     started: bool,
+    faults: Option<Arc<FaultInjector>>,
+    dup: Option<fn(&P) -> P>,
 }
 
 /// Sender id used for events injected from outside any component.
@@ -190,6 +245,8 @@ impl<P> Engine<P> {
                 out: &mut out,
                 seq: &mut self.seqs[i],
                 halt: &mut self.halted,
+                faults: self.faults.as_deref(),
+                dup: self.dup,
             };
             c.on_start(&mut ctx);
         }
@@ -215,6 +272,14 @@ impl<P> Engine<P> {
             }
             let event = self.queue.pop().expect("peeked entry vanished").0;
             debug_assert!(event.time >= self.now, "event queue yielded a past event");
+            if let Some(f) = &self.faults {
+                // Stalled components silently drop deliveries. The drop
+                // happens before `now` advances and is not counted as a
+                // delivery, mirroring the parallel engine exactly.
+                if f.roll_stall_drop(event.target, event.time) {
+                    continue;
+                }
+            }
             self.now = event.time;
             let idx = event.target.0 as usize;
             let mut ctx = Ctx {
@@ -224,6 +289,8 @@ impl<P> Engine<P> {
                 out: &mut out,
                 seq: &mut self.seqs[idx],
                 halt: &mut self.halted,
+                faults: self.faults.as_deref(),
+                dup: self.dup,
             };
             self.components[idx].on_event(event, &mut ctx);
             self.delivered += 1;
@@ -370,5 +437,129 @@ mod tests {
         let a = b.add_component(Box::new(Halter));
         b.connect(a, PortId(0), ComponentId(42), PortId(0), SimTime::from_nanos(1));
         let _ = b.build();
+    }
+
+    mod buggify_hooks {
+        use super::*;
+        use crate::buggify::{FaultConfig, FaultInjector};
+
+        #[test]
+        fn certain_drop_on_lossy_links_kills_the_pingpong() {
+            let mut b = EngineBuilder::new();
+            let a = b.add_component(Box::new(Pinger {
+                limit: 100,
+                last_seen: 0,
+                finish_time: SimTime::ZERO,
+            }));
+            let c = b.add_component(Box::new(Pinger {
+                limit: 100,
+                last_seen: 0,
+                finish_time: SimTime::ZERO,
+            }));
+            b.connect_lossy(a, PortId(0), c, PortId(0), SimTime::from_nanos(10));
+            b.connect_lossy(c, PortId(0), a, PortId(0), SimTime::from_nanos(10));
+            let inj = Arc::new(FaultInjector::new(
+                1,
+                FaultConfig { link_drop_p: 1.0, ..FaultConfig::off() },
+            ));
+            b.set_fault_injector(inj.clone());
+            let mut e = b.build();
+            e.inject(SimTime::ZERO, a, PortId(0), 0, 0);
+            // The injected event is delivered; the reply is dropped on the
+            // wire, so the queue drains after exactly one delivery.
+            assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+            assert_eq!(e.delivered(), 1);
+            assert_eq!(inj.stats().drops, 1);
+        }
+
+        #[test]
+        fn drop_does_not_touch_reliable_links() {
+            let (mut e, _a, _c) = {
+                let mut b = EngineBuilder::new();
+                let a = b.add_component(Box::new(Pinger {
+                    limit: 100,
+                    last_seen: 0,
+                    finish_time: SimTime::ZERO,
+                }));
+                let c = b.add_component(Box::new(Pinger {
+                    limit: 100,
+                    last_seen: 0,
+                    finish_time: SimTime::ZERO,
+                }));
+                b.connect(a, PortId(0), c, PortId(0), SimTime::from_nanos(10));
+                b.connect(c, PortId(0), a, PortId(0), SimTime::from_nanos(10));
+                b.set_fault_injector(Arc::new(FaultInjector::new(
+                    1,
+                    FaultConfig { link_drop_p: 1.0, ..FaultConfig::off() },
+                )));
+                (b.build(), a, c)
+            };
+            e.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+            assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+            assert_eq!(e.delivered(), 101, "reliable links never drop");
+        }
+
+        #[test]
+        fn certain_stall_with_zero_onset_drops_every_delivery() {
+            let (mut e, a, _c) = pingpong(100);
+            // pingpong() has no injector; rebuild with one.
+            let mut b = EngineBuilder::new();
+            let a2 = b.add_component(Box::new(Pinger {
+                limit: 100,
+                last_seen: 0,
+                finish_time: SimTime::ZERO,
+            }));
+            let c2 = b.add_component(Box::new(Pinger {
+                limit: 100,
+                last_seen: 0,
+                finish_time: SimTime::ZERO,
+            }));
+            b.connect(a2, PortId(0), c2, PortId(0), SimTime::from_nanos(10));
+            b.connect(c2, PortId(0), a2, PortId(0), SimTime::from_nanos(10));
+            let inj = Arc::new(FaultInjector::new(
+                2,
+                FaultConfig { stall_p: 1.0, ..FaultConfig::off() },
+            ));
+            b.set_fault_injector(inj.clone());
+            let mut stalled = b.build();
+            stalled.inject(SimTime::ZERO, a2, PortId(0), 0, 0);
+            assert_eq!(stalled.run_to_completion(), RunOutcome::Drained);
+            assert_eq!(stalled.delivered(), 0, "every component stalls at t=0");
+            assert_eq!(inj.stats().stall_drops, 1);
+            // Sanity: the fault-free twin still completes.
+            e.inject(SimTime::ZERO, a, PortId(0), 0, 0);
+            assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+            assert_eq!(e.delivered(), 101);
+        }
+
+        #[test]
+        fn duplication_requires_opt_in_and_clone() {
+            let mut b = EngineBuilder::new();
+            let a = b.add_component(Box::new(Pinger {
+                limit: 0, // receive only, never reply
+                last_seen: 0,
+                finish_time: SimTime::ZERO,
+            }));
+            let c = b.add_component(Box::new(Pinger {
+                limit: 1,
+                last_seen: 0,
+                finish_time: SimTime::ZERO,
+            }));
+            b.connect_lossy(c, PortId(0), a, PortId(0), SimTime::from_nanos(10));
+            b.connect_lossy(a, PortId(0), c, PortId(0), SimTime::from_nanos(10));
+            let inj = Arc::new(FaultInjector::new(
+                3,
+                FaultConfig { link_dup_p: 1.0, ..FaultConfig::off() },
+            ));
+            b.set_fault_injector(inj.clone());
+            b.enable_event_duplication();
+            let mut e = b.build();
+            e.inject(SimTime::ZERO, c, PortId(0), 0, 0);
+            // c receives 0 < 1, replies once; the reply duplicates, so `a`
+            // receives two copies (and replies to neither, limit=0).
+            assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+            assert_eq!(e.delivered(), 3);
+            assert_eq!(inj.stats().dups, 1);
+        }
     }
 }

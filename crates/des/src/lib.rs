@@ -13,7 +13,12 @@
 //! * the [`parallel::ParallelEngine`] executes partitions of components on
 //!   threads under conservative (lookahead-window) synchronization, with a
 //!   trajectory identical to the sequential engine;
-//! * [`stats`] provides SST-style statistics attachment points.
+//! * [`stats`] provides SST-style statistics attachment points;
+//! * [`buggify`] injects seeded faults (jitter, loss, duplication, stalls,
+//!   window skew) at engine hook sites, and [`dst`] drives deterministic
+//!   simulation testing: random workloads from a single `u64` seed, run
+//!   under both engines with identical fault schedules and compared
+//!   bit-for-bit (see `docs/DST_GUIDE.md`).
 //!
 //! Simulated time ([`time::SimTime`]) is integer nanoseconds: event ordering
 //! is exact and reproducible bit-for-bit across runs and engines.
@@ -45,8 +50,10 @@
 
 #![warn(missing_docs)]
 
+pub mod buggify;
 pub mod component;
 pub mod components;
+pub mod dst;
 pub mod engine;
 pub mod event;
 pub mod link;
@@ -56,6 +63,7 @@ pub mod time;
 
 /// One-stop import for building simulations.
 pub mod prelude {
+    pub use crate::buggify::{FaultConfig, FaultInjector, FaultPreset, FaultStats};
     pub use crate::component::{Component, Ctx};
     pub use crate::components::{DelayLine, Generator, SharedChannel, Sink, SinkState, Sized64};
     pub use crate::engine::{Engine, EngineBuilder, RunOutcome};

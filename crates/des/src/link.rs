@@ -28,6 +28,11 @@ pub struct Link {
     pub dst_port: PortId,
     /// Wire latency added to every send.
     pub latency: SimTime,
+    /// Whether this link is eligible for buggify loss/duplication faults
+    /// (see [`crate::buggify`]). Wired via
+    /// `EngineBuilder::connect_lossy`; plain `connect` leaves it `false`.
+    #[serde(skip, default)]
+    pub lossy: bool,
 }
 
 fn invalid_component() -> ComponentId {
@@ -118,6 +123,7 @@ mod tests {
             dst: ComponentId(dst),
             dst_port: PortId(dp),
             latency: SimTime::from_nanos(lat),
+            lossy: false,
         }
     }
 

@@ -21,6 +21,7 @@
 //! every individual component observes is identical to the sequential
 //! engine's — a property the test-suite checks event-for-event.
 
+use crate::buggify::FaultInjector;
 use crate::component::{Component, Ctx, Emitted};
 use crate::engine::{EngineBuilder, RunOutcome};
 use crate::event::{ComponentId, Event, HeapEntry, PortId, Priority, TieKey};
@@ -93,6 +94,8 @@ struct Worker<P> {
     halt: Arc<AtomicBool>,
     delivered: u64,
     max_time: SimTime,
+    faults: Option<Arc<FaultInjector>>,
+    dup: Option<fn(&P) -> P>,
 }
 
 impl<P: Send + 'static> Worker<P> {
@@ -108,6 +111,8 @@ impl<P: Send + 'static> Worker<P> {
                 out: &mut out,
                 seq: &mut self.seqs[i],
                 halt: &mut halt_flag,
+                faults: self.faults.as_deref(),
+                dup: self.dup,
             };
             comp.on_start(&mut ctx);
         }
@@ -145,6 +150,15 @@ impl<P: Send + 'static> Worker<P> {
             let event = self.queue.pop().expect("peeked entry vanished").0;
             let slot = self.local_index[event.target.0 as usize];
             debug_assert!(slot != usize::MAX, "event routed to wrong partition");
+            if let Some(f) = &self.faults {
+                // Mirror the sequential engine: a stalled component's
+                // delivery is dropped before the clock advances and is not
+                // counted. The decision is a pure hash of (seed, target,
+                // time), so both engines drop exactly the same deliveries.
+                if f.roll_stall_drop(event.target, event.time) {
+                    continue;
+                }
+            }
             let now = event.time;
             self.max_time = self.max_time.max(now);
             let (id, comp) = &mut self.components[slot];
@@ -156,6 +170,8 @@ impl<P: Send + 'static> Worker<P> {
                 out: &mut out,
                 seq: &mut self.seqs[slot],
                 halt: &mut halt_flag,
+                faults: self.faults.as_deref(),
+                dup: self.dup,
             };
             comp.on_event(event, &mut ctx);
             self.delivered += 1;
@@ -250,6 +266,8 @@ pub struct ParallelEngine<P> {
     n_workers: usize,
     lookahead: SimTime,
     initial: Vec<Event<P>>,
+    faults: Option<Arc<FaultInjector>>,
+    dup: Option<fn(&P) -> P>,
 }
 
 impl<P: Send + 'static> ParallelEngine<P> {
@@ -258,7 +276,7 @@ impl<P: Send + 'static> ParallelEngine<P> {
     /// Panics if any link crossing a partition boundary has zero latency —
     /// conservative synchronization needs strictly positive lookahead.
     pub fn new(builder: EngineBuilder<P>, partitioning: Partitioning) -> Self {
-        let (components, links) = builder.into_parts();
+        let (components, links, faults, dup) = builder.into_parts();
         let partition_of = partitioning.resolve(components.len());
         let n_workers = partition_of.iter().copied().max().map_or(1, |m| m + 1);
         let mut table = LinkTable::new(components.len());
@@ -285,6 +303,8 @@ impl<P: Send + 'static> ParallelEngine<P> {
             n_workers,
             lookahead,
             initial: Vec::new(),
+            faults,
+            dup,
         }
     }
 
@@ -332,6 +352,8 @@ impl<P: Send + 'static> ParallelEngine<P> {
             n_workers,
             lookahead,
             mut initial,
+            faults,
+            dup,
         } = self;
         let n_components = components.len();
         let mut table = LinkTable::new(n_components);
@@ -402,6 +424,8 @@ impl<P: Send + 'static> ParallelEngine<P> {
                     halt: Arc::clone(&halt),
                     delivered: 0,
                     max_time: SimTime::ZERO,
+                    faults: faults.clone(),
+                    dup,
                 };
                 let commands = cmd_rx[w].take().expect("command receiver taken twice");
                 let replies = reply_tx.clone();
@@ -431,6 +455,7 @@ impl<P: Send + 'static> ParallelEngine<P> {
             // drain).
             let (mut min_next, _, _) = collect(&reply_rx);
 
+            let mut round: u64 = 0;
             loop {
                 if halt.load(Ordering::SeqCst) {
                     report.outcome = RunOutcome::Halted;
@@ -443,7 +468,15 @@ impl<P: Send + 'static> ParallelEngine<P> {
                         break;
                     }
                 };
-                let end = start.saturating_add(lookahead);
+                // Window-skew fault site: a shrunken window is always
+                // conservative (it only delays deliveries into later
+                // rounds), so this stresses synchronization without ever
+                // changing the trajectory.
+                let end = match &faults {
+                    Some(f) => f.window_end(round, start, lookahead),
+                    None => start.saturating_add(lookahead),
+                };
+                round += 1;
                 for tx in &cmd_tx {
                     tx.send(Command::Window(end)).expect("worker died");
                 }
@@ -585,5 +618,34 @@ mod tests {
     fn partitioning_explicit_mismatch_panics() {
         let r = std::panic::catch_unwind(|| Partitioning::Explicit(vec![0, 1]).resolve(3));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn window_skew_preserves_the_trajectory() {
+        use crate::buggify::{FaultConfig, FaultInjector};
+
+        let hops = 500u32;
+        let n = 8;
+
+        let mut seq = ring_builder(n, hops).build();
+        seq.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+        seq.run_to_completion();
+
+        // Skew every synchronization window: the parallel engine runs many
+        // more, smaller rounds, but the delivered trajectory is unchanged.
+        let mut b = ring_builder(n, hops);
+        let inj = Arc::new(FaultInjector::new(
+            0xA11,
+            FaultConfig { window_skew_p: 1.0, ..FaultConfig::off() },
+        ));
+        b.set_fault_injector(inj.clone());
+        let mut par = ParallelEngine::new(b, Partitioning::RoundRobin(4));
+        par.inject(SimTime::ZERO, ComponentId(0), PortId(0), 0, 0);
+        let report = par.run();
+
+        assert_eq!(report.outcome, RunOutcome::Drained);
+        assert_eq!(report.delivered, seq.delivered());
+        assert_eq!(report.end_time, seq.now());
+        assert!(inj.stats().window_skews > 0, "skew site must have fired");
     }
 }

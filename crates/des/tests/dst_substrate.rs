@@ -1,0 +1,113 @@
+//! Deterministic simulation testing of the DES substrate.
+//!
+//! Every test here reduces to one fact: for a fixed `(seed, preset)` the
+//! sequential `Engine` and every `Partitioning` of `ParallelEngine` must
+//! produce bit-identical trajectories under identical fault schedules. A
+//! failure panics with a `DST FAILURE seed=… preset=… partitioning=…` line
+//! that replays via `besst_des::dst::run_dst(seed, preset)`.
+//!
+//! The `snapshot_*` tests additionally pin one hand-picked seed per preset
+//! to a golden file under `tests/snapshots/`, so silent trajectory drift
+//! in a future refactor fails loudly. Regenerate intentionally-changed
+//! snapshots with `DST_BLESS=1 cargo test -p besst-des --test dst_substrate`.
+
+use besst_des::buggify::FaultPreset;
+use besst_des::dst::{run_dst, run_seed_block};
+use std::path::PathBuf;
+
+/// Base of the fixed 64-seed CI block. Changing this invalidates every
+/// recorded repro line, so treat it as frozen.
+const SEED_BASE: u64 = 0xBE57_0000;
+const SEED_COUNT: u64 = 64;
+
+#[test]
+fn dst_block_off() {
+    let reports = run_seed_block(SEED_BASE, SEED_COUNT, FaultPreset::Off);
+    assert_eq!(reports.len() as u64, SEED_COUNT);
+    assert!(reports.iter().all(|r| r.delivered > 0));
+    // Without faults the counters must be exactly zero.
+    assert!(reports.iter().all(|r| r.faults == Default::default()));
+}
+
+#[test]
+fn dst_block_calm() {
+    let reports = run_seed_block(SEED_BASE, SEED_COUNT, FaultPreset::Calm);
+    assert_eq!(reports.len() as u64, SEED_COUNT);
+    // Calm never drops or stalls.
+    assert!(reports.iter().all(|r| r.faults.drops == 0 && r.faults.stall_drops == 0));
+}
+
+#[test]
+fn dst_block_moderate() {
+    let reports = run_seed_block(SEED_BASE, SEED_COUNT, FaultPreset::Moderate);
+    assert_eq!(reports.len() as u64, SEED_COUNT);
+}
+
+#[test]
+fn dst_block_chaos() {
+    let reports = run_seed_block(SEED_BASE, SEED_COUNT, FaultPreset::Chaos);
+    assert_eq!(reports.len() as u64, SEED_COUNT);
+    // Chaos over 64 workloads must actually exercise every event-level
+    // fault site — otherwise the harness is silently not injecting.
+    let total = |f: fn(&besst_des::buggify::FaultStats) -> u64| -> u64 {
+        reports.iter().map(|r| f(&r.faults)).sum()
+    };
+    assert!(total(|f| f.jitters) > 0, "chaos block never jittered");
+    assert!(total(|f| f.drops) > 0, "chaos block never dropped");
+    assert!(total(|f| f.dups) > 0, "chaos block never duplicated");
+    assert!(total(|f| f.stall_drops) > 0, "chaos block never stalled");
+}
+
+/// Golden-file regression: one hand-picked seed per preset. The snapshot
+/// records the full `snapshot_line()` (delivered count, final time, and a
+/// trajectory digest); any drift fails with both lines plus the repro.
+///
+/// Missing snapshot files are written on first run (self-blessing), so the
+/// suite bootstraps in a fresh checkout; CI commits them thereafter.
+fn check_snapshot(seed: u64, preset: FaultPreset) {
+    let report = run_dst(seed, preset);
+    let line = report.snapshot_line();
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.push("tests");
+    path.push("snapshots");
+    path.push(format!("dst_{preset}.snap"));
+    let bless = std::env::var_os("DST_BLESS").is_some();
+    match std::fs::read_to_string(&path) {
+        Ok(expected) if !bless => {
+            let expected = expected.trim();
+            assert_eq!(
+                expected,
+                line,
+                "\nDST SNAPSHOT DRIFT for seed={seed:#018x} preset={preset}\n  \
+                 expected: {expected}\n  actual:   {line}\n\
+                 replay: besst_des::dst::run_dst({seed:#018x}, FaultPreset::{preset:?})\n\
+                 bless (if intentional): DST_BLESS=1 cargo test -p besst-des --test dst_substrate"
+            );
+        }
+        _ => {
+            std::fs::create_dir_all(path.parent().expect("snapshot path has a parent"))
+                .expect("create snapshots dir");
+            std::fs::write(&path, format!("{line}\n")).expect("write snapshot");
+        }
+    }
+}
+
+#[test]
+fn snapshot_off() {
+    check_snapshot(0xBE57_0001, FaultPreset::Off);
+}
+
+#[test]
+fn snapshot_calm() {
+    check_snapshot(0xBE57_0002, FaultPreset::Calm);
+}
+
+#[test]
+fn snapshot_moderate() {
+    check_snapshot(0xBE57_0003, FaultPreset::Moderate);
+}
+
+#[test]
+fn snapshot_chaos() {
+    check_snapshot(0xBE57_0004, FaultPreset::Chaos);
+}

@@ -1,0 +1,39 @@
+# FT-BE-SST task runner. Install `just` (https://github.com/casey/just)
+# or copy the underlying cargo commands by hand — every recipe is one line.
+
+# List available recipes.
+default:
+    @just --list
+
+# Build the whole workspace in release mode.
+build:
+    cargo build --workspace --release
+
+# Run the full unit/property/integration suite.
+test:
+    cargo test --workspace
+
+# Deterministic Simulation Testing: 64-seed blocks per fault preset plus
+# golden-snapshot regressions. See docs/DST_GUIDE.md.
+dst:
+    cargo test -p besst-des --test dst_substrate
+
+# Re-bless DST golden snapshots after an intentional trajectory change.
+dst-bless:
+    DST_BLESS=1 cargo test -p besst-des --test dst_substrate
+
+# Buggify fault-injection unit tests only.
+buggify:
+    cargo test -p besst-des buggify
+
+# Build API docs, treating rustdoc warnings as errors (matches CI).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Regenerate every paper table and figure.
+repro:
+    cargo run --release -p besst-experiments --bin repro -- all
+
+# Criterion benchmarks.
+bench:
+    cargo bench -p besst-bench

@@ -56,6 +56,8 @@
 //! assert_eq!(result.n_checkpoints(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use besst_analytic as analytic;
 pub use besst_apps as apps;
 pub use besst_core as core;

@@ -117,6 +117,17 @@ fn large_graph_trace_equivalence() {
     assert_eq!(total, 5001);
 }
 
+/// Spot-check that the DST harness is reachable and green through the
+/// `besst` facade — the full 64-seed blocks live in
+/// `crates/des/tests/dst_substrate.rs`.
+#[test]
+fn dst_spot_check_via_facade() {
+    use besst::des::buggify::FaultPreset;
+    let r = besst::des::dst::run_dst(0xFACADE, FaultPreset::Moderate);
+    assert!(r.delivered > 0);
+    assert_eq!(r.partitionings_checked, 6);
+}
+
 #[test]
 fn be_simulation_equivalent_across_engines_and_partitionings() {
     use besst::core::sim::{simulate, EngineKind, SimConfig};
@@ -130,12 +141,17 @@ fn be_simulation_equivalent_across_engines_and_partitionings() {
     t.insert(&[5.0, 64.0], 0.01);
     bundle.insert(besst::apps::lulesh::kernels::TIMESTEP, besst::models::PerfModel::Table(t));
     let arch = besst::core::beo::ArchBeo::new(besst::machine::presets::quartz(), 36, bundle);
-    let seq = simulate(&app, &arch, &SimConfig { seed: 3, monte_carlo: true, engine: EngineKind::Sequential });
+    let seq = simulate(&app, &arch, &SimConfig { seed: 3, monte_carlo: true, ..Default::default() });
     for workers in [2usize, 3, 7] {
         let par = simulate(
             &app,
             &arch,
-            &SimConfig { seed: 3, monte_carlo: true, engine: EngineKind::Parallel(workers) },
+            &SimConfig {
+                seed: 3,
+                monte_carlo: true,
+                engine: EngineKind::Parallel(workers),
+                ..Default::default()
+            },
         );
         assert_eq!(seq.total_seconds, par.total_seconds, "workers = {workers}");
         assert_eq!(seq.step_completions, par.step_completions);
