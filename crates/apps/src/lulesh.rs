@@ -97,6 +97,24 @@ impl LuleshConfig {
     }
 }
 
+/// Step-duration multiplier after a communicator shrink, for
+/// `besst_core::online::OnlineConfig::shrink_multiplier`.
+///
+/// LULESH decomposes the cubic domain over a perfect-cube rank count, so a
+/// shrunken communicator cannot use every survivor: the job re-decomposes
+/// over the largest perfect cube `≤ surviving` and the total work
+/// redistributes onto those ranks. The multiplier is therefore
+/// `initial / usable_cube(surviving)` — a step function that jumps at each
+/// cube boundary rather than the smooth `initial / surviving` of
+/// [`besst_core::online::proportional_shrink`].
+pub fn shrink_step_multiplier(initial: u32, surviving: u32) -> f64 {
+    assert!(surviving >= 1, "no survivors to re-decompose onto");
+    assert!(surviving <= initial, "survivors exceed the initial allocation");
+    let edge = icbrt(surviving);
+    let usable = (edge * edge * edge).max(1);
+    initial as f64 / usable as f64
+}
+
 fn is_perfect_cube(n: u32) -> bool {
     let c = icbrt(n);
     c * c * c == n
@@ -536,6 +554,20 @@ impl Domain {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shrink_multiplier_respects_cube_decomposition() {
+        // Losing one node from a 64-rank cube drops the usable cube to 27.
+        assert!((shrink_step_multiplier(64, 63) - 64.0 / 27.0).abs() < 1e-12);
+        // No loss: no dilation.
+        assert!((shrink_step_multiplier(64, 64) - 1.0).abs() < 1e-12);
+        // The multiplier is a step function: constant within a cube band.
+        assert_eq!(shrink_step_multiplier(64, 63), shrink_step_multiplier(64, 27));
+        // And never below the proportional floor.
+        for s in 1..=64u32 {
+            assert!(shrink_step_multiplier(64, s) >= 64.0 / s as f64 - 1e-12);
+        }
+    }
 
     #[test]
     fn perfect_cube_validation() {

@@ -83,7 +83,7 @@ fn bench_cases24(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
     group.bench_function("cases24_four_quadrants", |b| {
-        b.iter(|| cases24::four_cases(cs, 10, 64, 10.0, 0.0, 10, 3).len())
+        b.iter(|| cases24::four_cases(cs, 10, 64, 10.0, 0.0, 10, 3).unwrap().len())
     });
     group.finish();
 }

@@ -95,6 +95,7 @@ where
                 monte_carlo: base_cfg.monte_carlo,
                 engine: base_cfg.engine,
                 buggify: base_cfg.buggify,
+                recovery: base_cfg.recovery,
             };
             let res = simulate(&app, &arch, &cfg);
             SweepCell { problem_size: ps, ranks: r, scenario: sc, total_seconds: res.total_seconds }

@@ -14,7 +14,7 @@
 //! The injector is validated against Daly's analytic expected-runtime
 //! model in the integration tests.
 
-use besst_fti::{CkptLevel, FailureScenario, GroupLayout};
+use besst_fti::{CkptLevel, FailureScenario, GroupLayout, RecoveryError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -107,8 +107,9 @@ impl FaultProcess {
     }
 
     /// Draw the next inter-arrival time (mean = 1/system_rate for every
-    /// distribution).
-    fn next_interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    /// distribution). Crate-visible so the online engine
+    /// ([`crate::online`]) draws from the identical stream.
+    pub(crate) fn next_interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.gen_range(f64::EPSILON..1.0);
         let mean = 1.0 / self.system_rate();
         match self.distribution {
@@ -176,7 +177,7 @@ impl Timeline {
             + self.checkpoints.iter().map(|c| c.2).sum::<f64>()
     }
 
-    fn restart_cost(&self, level: CkptLevel) -> f64 {
+    pub(crate) fn restart_cost(&self, level: CkptLevel) -> f64 {
         self.restart_costs
             .iter()
             .find(|(l, _)| *l == level)
@@ -200,50 +201,54 @@ pub struct FaultedRun {
     pub completed: bool,
 }
 
+/// Recovery-point ledger, as FTI keeps it: the newest checkpoint of
+/// *each level* at-or-before every step boundary. Recovery tries the
+/// newest surviving candidate first and falls back to older/other
+/// levels — rolling further back beats restarting from scratch.
+/// `ledger[boundary]` = candidates sorted newest-first, each
+/// (step, level). Shared by the post-hoc overlay ([`inject`]) and the
+/// online engine ([`crate::online`]) so both walk identical candidates.
+pub(crate) fn recovery_ledger(timeline: &Timeline) -> Vec<Vec<(usize, CkptLevel)>> {
+    let n_steps = timeline.step_durations.len();
+    let mut ckpts = timeline.checkpoints.clone();
+    ckpts.sort_by_key(|c| c.0);
+    let mut newest_per_level: Vec<(CkptLevel, usize)> = Vec::new();
+    let mut out = Vec::with_capacity(n_steps + 1);
+    let mut ci = 0;
+    for boundary in 0..=n_steps {
+        while ci < ckpts.len() && ckpts[ci].0 <= boundary {
+            let (step, level, _) = ckpts[ci];
+            match newest_per_level.iter_mut().find(|(l, _)| *l == level) {
+                Some(entry) => entry.1 = step,
+                None => newest_per_level.push((level, step)),
+            }
+            ci += 1;
+        }
+        let mut candidates: Vec<(usize, CkptLevel)> =
+            newest_per_level.iter().map(|&(l, s)| (s, l)).collect();
+        // Newest first; at equal age, the more resilient level first.
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
+        out.push(candidates);
+    }
+    out
+}
+
 /// Inject faults into a timeline.
 ///
 /// `layout` gives the FTI geometry for recovery-semantics checks; pass
 /// `None` for the no-FT case (Case 2), where every fault restarts the run
-/// from step zero.
+/// from step zero. A scenario/layout mismatch surfaces as a typed
+/// [`RecoveryError`] instead of a panic.
 pub fn inject(
     timeline: &Timeline,
     process: &FaultProcess,
     layout: Option<&GroupLayout>,
     seed: u64,
     max_faults: u32,
-) -> FaultedRun {
+) -> Result<FaultedRun, RecoveryError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let n_steps = timeline.step_durations.len();
-
-    // Recovery-point ledger, as FTI keeps it: the newest checkpoint of
-    // *each level* at-or-before every step boundary. Recovery tries the
-    // newest surviving candidate first and falls back to older/other
-    // levels — rolling further back beats restarting from scratch.
-    // `ledger[boundary]` = candidates sorted newest-first, each
-    // (step, level).
-    let ledger: Vec<Vec<(usize, CkptLevel)>> = {
-        let mut ckpts = timeline.checkpoints.clone();
-        ckpts.sort_by_key(|c| c.0);
-        let mut newest_per_level: Vec<(CkptLevel, usize)> = Vec::new();
-        let mut out = Vec::with_capacity(n_steps + 1);
-        let mut ci = 0;
-        for boundary in 0..=n_steps {
-            while ci < ckpts.len() && ckpts[ci].0 <= boundary {
-                let (step, level, _) = ckpts[ci];
-                match newest_per_level.iter_mut().find(|(l, _)| *l == level) {
-                    Some(entry) => entry.1 = step,
-                    None => newest_per_level.push((level, step)),
-                }
-                ci += 1;
-            }
-            let mut candidates: Vec<(usize, CkptLevel)> =
-                newest_per_level.iter().map(|&(l, s)| (s, l)).collect();
-            // Newest first; at equal age, the more resilient level first.
-            candidates.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
-            out.push(candidates);
-        }
-        out
-    };
+    let ledger = recovery_ledger(timeline);
 
     let mut wall = 0.0_f64;
     let mut lost_work = 0.0_f64;
@@ -297,10 +302,14 @@ pub fn inject(
                 } else {
                     FailureScenario::none()
                 };
-                ledger[step]
-                    .iter()
-                    .copied()
-                    .find(|&(_, level)| besst_fti::survives(level, lay, &scenario))
+                let mut found = None;
+                for &(ck_step, level) in &ledger[step] {
+                    if besst_fti::survives(level, lay, &scenario)? {
+                        found = Some((ck_step, level));
+                        break;
+                    }
+                }
+                found
             }
         };
 
@@ -323,7 +332,7 @@ pub fn inject(
         }
     }
 
-    FaultedRun { makespan: wall, n_faults, lost_work, restart_time, completed }
+    Ok(FaultedRun { makespan: wall, n_faults, lost_work, restart_time, completed })
 }
 
 /// Convenience: expected makespan over `n` injection replicas.
@@ -338,21 +347,21 @@ pub fn expected_makespan(
     layout: Option<&GroupLayout>,
     seed: u64,
     replicas: u32,
-) -> f64 {
+) -> Result<f64, RecoveryError> {
     assert!(replicas >= 1, "need at least one replica");
     let mut total = 0.0;
     let mut counted = 0u32;
     for i in 0..replicas {
-        let run = inject(timeline, process, layout, seed.wrapping_add(i as u64), 10_000);
+        let run = inject(timeline, process, layout, seed.wrapping_add(i as u64), 10_000)?;
         if run.completed {
             total += run.makespan;
             counted += 1;
         }
     }
     if counted == 0 {
-        return f64::INFINITY;
+        return Ok(f64::INFINITY);
     }
-    total / counted as f64
+    Ok(total / counted as f64)
 }
 
 #[cfg(test)]
@@ -381,7 +390,7 @@ mod tests {
         let tl = flat_timeline(100, 1.0, 10, 0.5);
         // Essentially infinite MTBF.
         let p = FaultProcess::new(1e15, 1, 0.0);
-        let run = inject(&tl, &p, Some(&layout64()), 1, 100);
+        let run = inject(&tl, &p, Some(&layout64()), 1, 100).unwrap();
         assert!(run.completed);
         assert_eq!(run.n_faults, 0);
         assert!((run.makespan - tl.failure_free_makespan()).abs() < 1e-9);
@@ -392,7 +401,7 @@ mod tests {
         let tl = flat_timeline(200, 1.0, 10, 0.5);
         // MTBF of the system ≈ 50 s → several faults over a ~210 s run.
         let p = FaultProcess::new(3200.0, 64, 0.0);
-        let run = inject(&tl, &p, Some(&layout64()), 42, 10_000);
+        let run = inject(&tl, &p, Some(&layout64()), 42, 10_000).unwrap();
         assert!(run.completed);
         assert!(run.n_faults > 0, "expected some faults");
         assert!(run.makespan > tl.failure_free_makespan());
@@ -405,8 +414,8 @@ mod tests {
         let with_ckpt = flat_timeline(200, 1.0, 10, 0.5);
         let without = flat_timeline(200, 1.0, 0, 0.0);
         let p = FaultProcess::new(6400.0, 64, 0.0); // system MTBF 100 s
-        let t_ft = expected_makespan(&with_ckpt, &p, Some(&layout64()), 7, 30);
-        let t_noft = expected_makespan(&without, &p, None, 7, 30);
+        let t_ft = expected_makespan(&with_ckpt, &p, Some(&layout64()), 7, 30).unwrap();
+        let t_noft = expected_makespan(&without, &p, None, 7, 30).unwrap();
         assert!(
             t_ft < t_noft,
             "checkpointing must win under faults: {t_ft} vs {t_noft}"
@@ -419,7 +428,7 @@ mod tests {
         let p = FaultProcess::new(1.0, 1, 0.0);
         // Force exactly one early fault by a tiny MTBF then huge budget of
         // one fault.
-        let run = inject(&tl, &p, Some(&layout64()), 3, 1);
+        let run = inject(&tl, &p, Some(&layout64()), 3, 1).unwrap();
         // With max_faults = 1 the run stops counting after the first
         // fault; lost work is bounded by the checkpoint period.
         assert!(run.lost_work <= 5.0 + 1e-9, "lost {} > period", run.lost_work);
@@ -433,7 +442,7 @@ mod tests {
         let lay = layout64();
         let mut any_scratch = false;
         for seed in 0..20 {
-            let run = inject(&tl, &p, Some(&lay), seed, 10_000);
+            let run = inject(&tl, &p, Some(&lay), seed, 10_000).unwrap();
             if run.n_faults > 0 && run.lost_work > 5.0 {
                 any_scratch = true;
                 break;
@@ -455,7 +464,7 @@ mod tests {
         let node_mtbf = 32000.0;
         let nodes = 64;
         let p = FaultProcess::new(node_mtbf, nodes, 0.0);
-        let sim = expected_makespan(&tl, &p, Some(&layout64()), 11, 40);
+        let sim = expected_makespan(&tl, &p, Some(&layout64()), 11, 40).unwrap();
         let cr = CrParams::new(delta, 2.0 * delta, node_mtbf / nodes as f64);
         let analytic = cr.expected_runtime(steps as f64 * step, period as f64 * step);
         let ratio = sim / analytic;
@@ -479,6 +488,40 @@ mod tests {
         assert!((gamma_1p(0.5) - std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-10);
         assert!((gamma_1p(2.0) - 2.0).abs() < 1e-9);
         assert!((gamma_1p(3.0) - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gamma_matches_non_integer_values() {
+        // Γ(1+x) at non-integer x, against half-integer closed forms and a
+        // high-precision reference value:
+        // Γ(1+1.5) = (3/4)√π, Γ(1+2.5) = (15/8)√π, Γ(1+0.25) ≈ 0.906402…
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        assert!((gamma_1p(1.5) - 0.75 * sqrt_pi).abs() < 1e-9);
+        assert!((gamma_1p(2.5) - 1.875 * sqrt_pi).abs() < 1e-8);
+        assert!((gamma_1p(0.25) - 0.906_402_477_055_477).abs() < 1e-10);
+        // 1/k values the Weibull scaling actually exercises for bursty
+        // shapes: Γ(1+1/0.6) ≈ Γ(2.666…) = 1.666…·Γ(1.666…).
+        assert!((gamma_1p(1.0 / 0.6) - 1.504_575_488_251_556_3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_mean_scaling_round_trips_across_shapes() {
+        // For each supported hazard regime (bursty k=0.5, memoryless
+        // k=1.0, wear-out k=2.0) the sampled mean inter-arrival must
+        // round-trip to the configured system MTBF: the Γ(1+1/k) scale
+        // factor is exactly what makes that hold.
+        let mtbf = 250.0;
+        for shape in [0.5, 1.0, 2.0] {
+            let p = FaultProcess::new(mtbf, 1, 0.0).with_weibull(shape);
+            let mut rng = StdRng::seed_from_u64(0xC0FF_EE00 + shape.to_bits() % 97);
+            let n = 60_000;
+            let mean =
+                (0..n).map(|_| p.next_interarrival(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean / mtbf - 1.0).abs() < 0.05,
+                "shape {shape}: sampled mean {mean} vs target {mtbf}"
+            );
+        }
     }
 
     #[test]
@@ -506,7 +549,7 @@ mod tests {
     fn bursty_faults_run_through_injector() {
         let tl = flat_timeline(200, 1.0, 10, 0.5);
         let p = FaultProcess::new(6400.0, 64, 0.0).with_weibull(0.7);
-        let run = inject(&tl, &p, Some(&layout64()), 5, 10_000);
+        let run = inject(&tl, &p, Some(&layout64()), 5, 10_000).unwrap();
         assert!(run.completed);
         assert!(run.makespan >= tl.failure_free_makespan());
     }
@@ -523,7 +566,7 @@ mod tests {
         let lay = layout64();
         let mut saw_l2_recovery = false;
         for seed in 0..30 {
-            let run = inject(&tl, &p, Some(&lay), seed, 10_000);
+            let run = inject(&tl, &p, Some(&lay), seed, 10_000).unwrap();
             if !run.completed || run.n_faults == 0 {
                 continue;
             }

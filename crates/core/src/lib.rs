@@ -14,13 +14,19 @@
 //!   parallel execution produce identical trajectories;
 //! * [`montecarlo`] — seed-parallel ensembles reproducing calibrated
 //!   machine variance (the Fig. 1 pop-out distributions);
-//! * [`faults`] — fault injection over simulated timelines with FTI
-//!   recovery semantics (Fig. 4 Cases 2 & 4, the paper's future work);
+//! * [`faults`] — post-hoc fault injection over simulated timelines with
+//!   FTI recovery semantics (Fig. 4 Cases 2 & 4, the paper's future
+//!   work);
+//! * [`online`] — crash/repair as first-class DES events: a seeded fault
+//!   driver interrupts the running BE timeline, recovery is selected via
+//!   the FTI survivability predicate and priced on the machine's
+//!   storage/network paths, with restart-on-spares and
+//!   communicator-shrink policies;
 //! * [`dse`] — design-space sweep drivers and the Fig. 9 overhead
 //!   matrices.
 //!
 //! Substrate-level fault injection (buggify) is re-exported from
-//! [`besst_des::buggify`]: set [`sim::SimConfig::buggify`] to a delay-type
+//! [`mod@besst_des::buggify`]: set [`sim::SimConfig::buggify`] to a delay-type
 //! schedule (e.g. [`buggify::FaultConfig::jitter_only`]) to stress the
 //! simulator's own delivery paths; see `docs/DST_GUIDE.md`.
 //!
@@ -37,6 +43,7 @@ pub mod beo;
 pub mod dse;
 pub mod faults;
 pub mod montecarlo;
+pub mod online;
 pub mod sim;
 
 pub use besst_des::buggify;
@@ -46,4 +53,8 @@ pub use beo::{AppBeo, ArchBeo, FlatInstr, Instr, SyncMarker};
 pub use dse::{sweep, Sweep, SweepCell};
 pub use faults::{expected_makespan, inject, FaultDistribution, FaultProcess, FaultedRun, Timeline};
 pub use montecarlo::{run_ensemble, summarize, EnsembleSummary};
-pub use sim::{simulate, EngineKind, SimConfig, SimResult};
+pub use online::{
+    expected_makespan_online, machine_restart_costs, run_online, run_online_partitioned,
+    FaultEvent, OnlineConfig, OnlineRun, RecoveryPolicy,
+};
+pub use sim::{simulate, simulate_with_faults, EngineKind, SimConfig, SimResult};

@@ -44,6 +44,7 @@ pub fn run_ensemble(
                 monte_carlo: true,
                 engine: base.engine,
                 buggify: base.buggify,
+                recovery: base.recovery,
             };
             simulate(app, arch, &cfg)
         })

@@ -1,0 +1,832 @@
+//! Online fail-stop fault injection: crash/repair as first-class DES
+//! events.
+//!
+//! [`crate::faults::inject`] overlays a fault process on a *finished*
+//! timeline after the fact. This module runs the same fault process
+//! *inside* the DES: a `FaultDriver` component draws failure
+//! inter-arrivals from the seeded [`FaultProcess`] and delivers
+//! `Crash { node, data_lost }` / `Repair` events over 1 ns links to a
+//! `RunController` component that replays the BE timeline segment by
+//! segment. A crash interrupts the running segment at the crash instant,
+//! the controller selects the deepest surviving checkpoint by walking the
+//! shared recovery ledger with [`besst_fti::survives`], pays the
+//! level-priced restart (L1 local reload, L2 partner fetch, L3 RS decode,
+//! L4 PFS read — see [`machine_restart_costs`]), applies the configured
+//! [`RecoveryPolicy`], and re-executes.
+//!
+//! ## Determinism contract
+//!
+//! The driver draws from `FaultProcess::next_interarrival` in *exactly*
+//! the order the post-hoc overlay does (next arrival, then the data-loss
+//! coin, then the failed node — the last two only when an FTI layout is
+//! present), and the controller mirrors the overlay's `f64` wall-clock
+//! arithmetic operation for operation. Two consequences, both tested:
+//!
+//! * with [`RecoveryPolicy::RestartOnSpares`] at zero integration cost the
+//!   online run reproduces [`crate::faults::inject`] — same makespan,
+//!   fault count, lost work and restart time for the same seed;
+//! * the fault/recovery timeline ([`OnlineRun::events`]) is bit-for-bit
+//!   identical between the sequential engine and every conservative
+//!   parallel partitioning, because all cross-component messages carry
+//!   their `f64` timestamps and the DES only orders them.
+//!
+//! Event-time quantization (ns ticks) orders a segment boundary before a
+//! crash landing within the same nanosecond; the overlay's `<=` tie rule
+//! matches because segment-completion self-events run at
+//! [`Priority::URGENT`] while crash deliveries arrive a link-latency
+//! later.
+
+use crate::faults::{recovery_ledger, FaultProcess, Timeline};
+use crate::sim::EngineKind;
+use besst_des::prelude::*;
+use besst_fti::{
+    restart_blocks, CkptLevel, CkptShape, FailureScenario, GroupLayout,
+};
+use besst_machine::{Machine, Testbed};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// What happens to the job after a node is lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryPolicy {
+    /// Restart the rolled-back section on spare nodes at full width.
+    RestartOnSpares {
+        /// Spare nodes available for swap-in. Once exhausted, recovery
+        /// additionally waits for the crashed node's `Repair` event.
+        spares: u32,
+        /// Extra seconds to integrate a spare into the communicator
+        /// (zero makes this policy reproduce the post-hoc overlay
+        /// exactly).
+        integration_s: f64,
+    },
+    /// Shrink the communicator: continue on the surviving nodes with the
+    /// work re-decomposed, so every remaining segment dilates by the
+    /// configured shrink multiplier.
+    ShrinkCommunicator,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::RestartOnSpares { spares: u32::MAX, integration_s: 0.0 }
+    }
+}
+
+/// Perfect weak-scaling re-decomposition: work per survivor grows by
+/// `initial / surviving`. The default [`OnlineConfig::shrink_multiplier`];
+/// applications with decomposition constraints supply their own (see
+/// `besst_apps::lulesh::shrink_step_multiplier`).
+pub fn proportional_shrink(initial: u32, surviving: u32) -> f64 {
+    assert!(surviving >= 1, "no survivors to shrink onto");
+    initial as f64 / surviving as f64
+}
+
+/// Configuration of one online fault-injection run.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// The fault process (same type the overlay uses).
+    pub process: FaultProcess,
+    /// FTI geometry for recovery-semantics checks; `None` is the no-FT
+    /// case, where every crash restarts the run from scratch.
+    pub layout: Option<GroupLayout>,
+    /// Recovery policy applied at each crash.
+    pub policy: RecoveryPolicy,
+    /// Seconds until a crashed node's `Repair` event fires. Zero disables
+    /// repair events (crashes are permanent; spare-exhausted recoveries
+    /// proceed immediately rather than deadlock).
+    pub repair_s: f64,
+    /// Fault budget: the run is abandoned (not completed) at this count.
+    pub max_faults: u32,
+    /// Step-duration multiplier under [`RecoveryPolicy::ShrinkCommunicator`]
+    /// as a function of `(initial_nodes, surviving_nodes)`.
+    pub shrink_multiplier: fn(u32, u32) -> f64,
+}
+
+impl OnlineConfig {
+    /// Defaults mirroring the post-hoc overlay: infinite free spares, no
+    /// repair events, the overlay's fault budget.
+    pub fn new(process: FaultProcess, layout: Option<GroupLayout>) -> Self {
+        OnlineConfig {
+            process,
+            layout,
+            policy: RecoveryPolicy::default(),
+            repair_s: 0.0,
+            max_faults: 10_000,
+            shrink_multiplier: proportional_shrink,
+        }
+    }
+
+    /// Replace the recovery policy.
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the node repair delay.
+    pub fn with_repair(mut self, repair_s: f64) -> Self {
+        assert!(repair_s >= 0.0, "repair delay must be non-negative");
+        self.repair_s = repair_s;
+        self
+    }
+}
+
+/// One entry of the online fault/recovery timeline.
+///
+/// `PartialEq` compares the `f64` fields exactly — the DST-style
+/// engine-equivalence tests assert bit-identical timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// A node crashed at wall-clock `at`.
+    Crash {
+        /// Wall-clock seconds of the crash.
+        at: f64,
+        /// The failed node, when the fault process sampled one (an FTI
+        /// layout is present and the crash lost data).
+        node: Option<u32>,
+        /// Whether the node's checkpoint data was destroyed.
+        data_lost: bool,
+        /// The recovery point taken: `Some((step, level))` rolled back to
+        /// that checkpoint; `None` restarted from scratch.
+        recovered_to: Option<(usize, CkptLevel)>,
+        /// Wall-clock seconds at which re-execution resumed (after
+        /// restart pricing, policy costs and any repair wait).
+        resumed_at: f64,
+    },
+    /// A crashed node came back at wall-clock `at`.
+    Repair {
+        /// Wall-clock seconds of the repair.
+        at: f64,
+    },
+}
+
+/// Outcome of one online fault-injected run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineRun {
+    /// Wall-clock makespan including rework, restarts and repair waits.
+    pub makespan: f64,
+    /// Crashes that struck during the run.
+    pub n_faults: u32,
+    /// Work re-executed due to rollbacks, seconds.
+    pub lost_work: f64,
+    /// Time spent in restart procedures (and spare integration), seconds.
+    pub restart_time: f64,
+    /// True when the run completed within the fault budget.
+    pub completed: bool,
+    /// The full fault/recovery timeline, in processing order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Messages between the fault driver and the run controller.
+#[derive(Debug, Clone)]
+enum OnlineMsg {
+    /// Driver self-event: the next failure fires now.
+    Tick,
+    /// Driver → controller: a node fail-stopped.
+    Crash {
+        /// Wall-clock seconds of the failure (exact, pre-quantization).
+        at: f64,
+        node: Option<u32>,
+        data_lost: bool,
+    },
+    /// Driver → controller: a crashed node is back.
+    Repair { at: f64 },
+    /// Controller self-event: the current segment finished, if `epoch`
+    /// still matches (a crash in between invalidates it).
+    SegmentDone { epoch: u64 },
+    /// Controller → driver: the run is over; stop scheduling failures.
+    Stop,
+}
+
+const TO_PEER: PortId = PortId(0);
+const SELF_PORT: PortId = PortId(1);
+/// Driver↔controller link latency. Only orders deliveries — all wall-clock
+/// math uses the `f64` timestamps carried in the messages.
+const LINK_LATENCY: SimTime = SimTime::from_nanos(1);
+
+struct FaultDriver {
+    process: FaultProcess,
+    rng: StdRng,
+    /// `Some(n_nodes)` when an FTI layout is present: draw the data-loss
+    /// coin and the failed node, exactly as the overlay does.
+    layout_nodes: Option<u32>,
+    repair_s: f64,
+    /// Wall-clock time of the next failure (mirrors the overlay's
+    /// `next_fault` variable).
+    next_fault: f64,
+    stopped: bool,
+}
+
+impl Component<OnlineMsg> for FaultDriver {
+    fn name(&self) -> &str {
+        "fault-driver"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, OnlineMsg>) {
+        self.next_fault = self.process.next_interarrival(&mut self.rng);
+        ctx.schedule_self_on(
+            SELF_PORT,
+            SimTime::from_secs_f64(self.next_fault),
+            OnlineMsg::Tick,
+            Priority::NORMAL,
+        );
+    }
+
+    fn on_event(&mut self, event: Event<OnlineMsg>, ctx: &mut Ctx<'_, OnlineMsg>) {
+        match event.payload {
+            OnlineMsg::Tick => {
+                if self.stopped {
+                    return;
+                }
+                let at = self.next_fault;
+                // Overlay draw order: next inter-arrival first, then the
+                // data-loss coin, then the failed node (layout only).
+                self.next_fault = at + self.process.next_interarrival(&mut self.rng);
+                let delay = SimTime::from_secs_f64(self.next_fault)
+                    .saturating_sub(ctx.now());
+                ctx.schedule_self_on(SELF_PORT, delay, OnlineMsg::Tick, Priority::NORMAL);
+                let (node, data_lost) = match self.layout_nodes {
+                    None => (None, false),
+                    Some(n) => {
+                        let data_lost = self.rng.gen::<f64>() < self.process.data_loss_prob;
+                        let node =
+                            if data_lost { Some(self.rng.gen_range(0..n)) } else { None };
+                        (node, data_lost)
+                    }
+                };
+                ctx.send(TO_PEER, OnlineMsg::Crash { at, node, data_lost });
+                if self.repair_s > 0.0 {
+                    ctx.send_extra(
+                        TO_PEER,
+                        OnlineMsg::Repair { at: at + self.repair_s },
+                        SimTime::from_secs_f64(self.repair_s),
+                        Priority::NORMAL,
+                    );
+                }
+            }
+            OnlineMsg::Stop => self.stopped = true,
+            ref other => panic!("fault driver received unexpected message {other:?}"),
+        }
+    }
+}
+
+struct RunController {
+    timeline: Timeline,
+    ledger: Vec<Vec<(usize, CkptLevel)>>,
+    layout: Option<GroupLayout>,
+    policy: RecoveryPolicy,
+    repair_s: f64,
+    max_faults: u32,
+    shrink_multiplier: fn(u32, u32) -> f64,
+    initial_nodes: u32,
+    // --- run state, mirroring the overlay's locals ---
+    step: usize,
+    wall: f64,
+    lost_work: f64,
+    restart_time: f64,
+    n_faults: u32,
+    spares_left: u32,
+    surviving_nodes: u32,
+    work_multiplier: f64,
+    epoch: u64,
+    /// `Some(pending_restart_seconds)` while recovery waits for a repair.
+    awaiting_repair: Option<f64>,
+    finished: bool,
+    out: Arc<Mutex<Option<OnlineRun>>>,
+    events: Vec<FaultEvent>,
+}
+
+impl RunController {
+    /// Duration of the current segment (step + trailing checkpoints) under
+    /// the current shrink multiplier.
+    fn segment(&self) -> f64 {
+        let step = self.step;
+        let mut segment = self.timeline.step_durations[step];
+        for &(after, _, d) in &self.timeline.checkpoints {
+            if after == step + 1 {
+                segment += d;
+            }
+        }
+        segment * self.work_multiplier
+    }
+
+    fn schedule_segment(&mut self, ctx: &mut Ctx<'_, OnlineMsg>) {
+        let end = self.wall + self.segment();
+        let delay = SimTime::from_secs_f64(end).saturating_sub(ctx.now());
+        let epoch = self.epoch;
+        ctx.schedule_self_on(SELF_PORT, delay, OnlineMsg::SegmentDone { epoch }, Priority::URGENT);
+    }
+
+    fn finish(&mut self, completed: bool, ctx: &mut Ctx<'_, OnlineMsg>) {
+        self.finished = true;
+        ctx.send(TO_PEER, OnlineMsg::Stop);
+        *self.out.lock() = Some(OnlineRun {
+            makespan: self.wall,
+            n_faults: self.n_faults,
+            lost_work: self.lost_work,
+            restart_time: self.restart_time,
+            completed,
+            events: std::mem::take(&mut self.events),
+        });
+    }
+
+    /// Complete recovery bookkeeping (restart pricing + policy) and resume
+    /// execution — or finish, when the fault budget is exhausted.
+    fn resume(&mut self, restart_s: f64, ctx: &mut Ctx<'_, OnlineMsg>) {
+        self.restart_time += restart_s;
+        self.wall += restart_s;
+        if let Some(FaultEvent::Crash { resumed_at, .. }) = self.events.last_mut() {
+            *resumed_at = self.wall;
+        }
+        if self.n_faults >= self.max_faults {
+            self.finish(false, ctx);
+            return;
+        }
+        if self.step >= self.timeline.step_durations.len() {
+            self.finish(true, ctx);
+            return;
+        }
+        self.schedule_segment(ctx);
+    }
+
+    fn on_crash(
+        &mut self,
+        at: f64,
+        node: Option<u32>,
+        data_lost: bool,
+        ctx: &mut Ctx<'_, OnlineMsg>,
+    ) {
+        self.n_faults += 1;
+        self.epoch += 1; // cancel the in-flight segment
+        // The fault instant becomes the new wall clock — even when it is
+        // *earlier* than the current wall, which happens when the next
+        // fault strikes during the restart procedure itself (inter-arrival
+        // shorter than the restart cost). The overlay's `wall = next_fault`
+        // has exactly this semantics, and recovery re-prices the restart
+        // from the fault instant.
+        self.wall = at;
+
+        // Recovery-point selection: identical ledger walk to the overlay.
+        let recovery = match &self.layout {
+            None => None,
+            Some(lay) => {
+                let scenario = match node {
+                    Some(n) => FailureScenario::of([n]),
+                    None => FailureScenario::none(),
+                };
+                let mut found = None;
+                for &(ck_step, level) in &self.ledger[self.step] {
+                    let ok = besst_fti::survives(level, lay, &scenario)
+                        .expect("driver draws nodes inside the layout");
+                    if ok {
+                        found = Some((ck_step, level));
+                        break;
+                    }
+                }
+                found
+            }
+        };
+        match recovery {
+            Some((ck_step, _)) => {
+                let redo: f64 =
+                    self.timeline.step_durations[ck_step..self.step].iter().sum();
+                self.lost_work += redo;
+                self.step = ck_step;
+            }
+            None => {
+                let redo: f64 = self.timeline.step_durations[..self.step].iter().sum();
+                self.lost_work += redo;
+                self.step = 0;
+            }
+        }
+        self.events.push(FaultEvent::Crash {
+            at,
+            node,
+            data_lost,
+            recovered_to: recovery,
+            resumed_at: self.wall, // patched in resume()
+        });
+
+        let restart_s = recovery
+            .map(|(_, level)| self.timeline.restart_cost(level))
+            .unwrap_or(0.0);
+        match self.policy {
+            RecoveryPolicy::RestartOnSpares { spares: _, integration_s } => {
+                if self.spares_left > 0 {
+                    self.spares_left -= 1;
+                    self.resume(restart_s + integration_s, ctx);
+                } else if self.repair_s > 0.0 {
+                    // No spare: recovery stalls until the node is back.
+                    self.awaiting_repair = Some(restart_s + integration_s);
+                } else {
+                    self.resume(restart_s + integration_s, ctx);
+                }
+            }
+            RecoveryPolicy::ShrinkCommunicator => {
+                if self.surviving_nodes <= 1 {
+                    // Nobody left to shrink onto: the run is stuck.
+                    self.finish(false, ctx);
+                    return;
+                }
+                self.surviving_nodes -= 1;
+                self.work_multiplier =
+                    (self.shrink_multiplier)(self.initial_nodes, self.surviving_nodes);
+                self.resume(restart_s, ctx);
+            }
+        }
+    }
+}
+
+impl Component<OnlineMsg> for RunController {
+    fn name(&self) -> &str {
+        "run-controller"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, OnlineMsg>) {
+        if self.timeline.step_durations.is_empty() {
+            self.finish(true, ctx);
+            return;
+        }
+        self.schedule_segment(ctx);
+    }
+
+    fn on_event(&mut self, event: Event<OnlineMsg>, ctx: &mut Ctx<'_, OnlineMsg>) {
+        if self.finished {
+            return;
+        }
+        match event.payload {
+            OnlineMsg::SegmentDone { epoch } => {
+                if epoch != self.epoch {
+                    return; // a crash interrupted this segment
+                }
+                self.wall += self.segment();
+                self.step += 1;
+                if self.step >= self.timeline.step_durations.len() {
+                    self.finish(true, ctx);
+                } else {
+                    self.schedule_segment(ctx);
+                }
+            }
+            OnlineMsg::Crash { at, node, data_lost } => {
+                if self.awaiting_repair.is_some() {
+                    // The job is already down; record the crash but no
+                    // additional work is in flight to lose.
+                    self.n_faults += 1;
+                    self.events.push(FaultEvent::Crash {
+                        at,
+                        node,
+                        data_lost,
+                        recovered_to: None,
+                        resumed_at: at,
+                    });
+                    return;
+                }
+                self.on_crash(at, node, data_lost, ctx);
+            }
+            OnlineMsg::Repair { at } => {
+                self.events.push(FaultEvent::Repair { at });
+                if let Some(restart_s) = self.awaiting_repair.take() {
+                    self.wall = at.max(self.wall);
+                    self.resume(restart_s, ctx);
+                }
+            }
+            ref other => panic!("run controller received unexpected message {other:?}"),
+        }
+    }
+}
+
+fn build_online(
+    timeline: &Timeline,
+    cfg: &OnlineConfig,
+    seed: u64,
+    out: Arc<Mutex<Option<OnlineRun>>>,
+) -> EngineBuilder<OnlineMsg> {
+    let spares = match cfg.policy {
+        RecoveryPolicy::RestartOnSpares { spares, .. } => spares,
+        RecoveryPolicy::ShrinkCommunicator => 0,
+    };
+    let mut b = EngineBuilder::new();
+    let controller = b.add_component(Box::new(RunController {
+        timeline: timeline.clone(),
+        ledger: recovery_ledger(timeline),
+        layout: cfg.layout.clone(),
+        policy: cfg.policy,
+        repair_s: cfg.repair_s,
+        max_faults: cfg.max_faults,
+        shrink_multiplier: cfg.shrink_multiplier,
+        initial_nodes: cfg.process.n_nodes,
+        step: 0,
+        wall: 0.0,
+        lost_work: 0.0,
+        restart_time: 0.0,
+        n_faults: 0,
+        spares_left: spares,
+        surviving_nodes: cfg.process.n_nodes,
+        work_multiplier: 1.0,
+        epoch: 0,
+        awaiting_repair: None,
+        finished: false,
+        out,
+        events: Vec::new(),
+    }));
+    let driver = b.add_component(Box::new(FaultDriver {
+        process: cfg.process,
+        rng: StdRng::seed_from_u64(seed),
+        layout_nodes: cfg.layout.as_ref().map(|l| l.n_nodes()),
+        repair_s: cfg.repair_s,
+        next_fault: 0.0,
+        stopped: false,
+    }));
+    b.connect(driver, TO_PEER, controller, PortId(0), LINK_LATENCY);
+    b.connect(controller, TO_PEER, driver, PortId(0), LINK_LATENCY);
+    b
+}
+
+fn take_run(out: &Arc<Mutex<Option<OnlineRun>>>) -> OnlineRun {
+    out.lock().take().expect("controller did not finish the run")
+}
+
+/// Run one online fault-injected replay of `timeline` on the chosen
+/// engine.
+pub fn run_online(
+    timeline: &Timeline,
+    cfg: &OnlineConfig,
+    seed: u64,
+    engine: EngineKind,
+) -> OnlineRun {
+    match engine {
+        EngineKind::Sequential => {
+            let out = Arc::new(Mutex::new(None));
+            let mut e = build_online(timeline, cfg, seed, Arc::clone(&out)).build();
+            let outcome = e.run_to_completion();
+            assert!(
+                matches!(outcome, RunOutcome::Drained | RunOutcome::Halted),
+                "online run did not finish: {outcome:?}"
+            );
+            take_run(&out)
+        }
+        EngineKind::Parallel(n) => {
+            run_online_partitioned(timeline, cfg, seed, Partitioning::Blocks(n.max(1)))
+        }
+    }
+}
+
+/// Run the online injection on the conservative parallel engine under an
+/// explicit partitioning (for engine-equivalence tests).
+pub fn run_online_partitioned(
+    timeline: &Timeline,
+    cfg: &OnlineConfig,
+    seed: u64,
+    partitioning: Partitioning,
+) -> OnlineRun {
+    let out = Arc::new(Mutex::new(None));
+    let b = build_online(timeline, cfg, seed, Arc::clone(&out));
+    let par = ParallelEngine::new(b, partitioning);
+    let report = par.run();
+    assert!(
+        matches!(report.outcome, RunOutcome::Drained | RunOutcome::Halted),
+        "online run did not finish: {:?}",
+        report.outcome
+    );
+    take_run(&out)
+}
+
+/// Expected makespan over `n` online replicas — the online twin of
+/// [`crate::faults::expected_makespan`]: replica `i` uses seed
+/// `seed + i`, only completed replicas are averaged, and `INFINITY`
+/// signals that no replica completed within the fault budget.
+pub fn expected_makespan_online(
+    timeline: &Timeline,
+    cfg: &OnlineConfig,
+    seed: u64,
+    replicas: u32,
+) -> f64 {
+    assert!(replicas >= 1, "need at least one replica");
+    let mut total = 0.0;
+    let mut counted = 0u32;
+    for i in 0..replicas {
+        let run = run_online(timeline, cfg, seed.wrapping_add(i as u64), EngineKind::Sequential);
+        if run.completed {
+            total += run.makespan;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        return f64::INFINITY;
+    }
+    total / counted as f64
+}
+
+/// Price a restart per level on the machine's storage/network paths: each
+/// level's [`restart_blocks`] (L1 local reload, L2 partner-copy fetch,
+/// L3 RS-decode reads, L4 PFS data + metadata) costed by the noise-free
+/// testbed. The result plugs directly into [`Timeline::restart_costs`].
+pub fn machine_restart_costs(
+    machine: &Machine,
+    shape: &CkptShape,
+    layout: &GroupLayout,
+    levels: &[CkptLevel],
+) -> Vec<(CkptLevel, f64)> {
+    let tb = Testbed::new(machine);
+    levels
+        .iter()
+        .map(|&level| {
+            let blocks = restart_blocks(level, shape, layout, machine);
+            (level, tb.deterministic_region_cost(&blocks))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{expected_makespan, inject};
+    use besst_fti::FtiConfig;
+
+    fn flat_timeline(steps: usize, step_s: f64, ckpt_every: usize, ckpt_s: f64) -> Timeline {
+        let checkpoints = (1..=steps)
+            .filter(|s| ckpt_every > 0 && s % ckpt_every == 0)
+            .map(|s| (s, CkptLevel::L1, ckpt_s))
+            .collect();
+        Timeline {
+            step_durations: vec![step_s; steps],
+            checkpoints,
+            restart_costs: vec![(CkptLevel::L1, 2.0 * ckpt_s)],
+        }
+    }
+
+    fn layout64() -> GroupLayout {
+        GroupLayout::new(&FtiConfig::l1_only(10), 64)
+    }
+
+    fn overlay_cfg(process: FaultProcess, layout: Option<GroupLayout>) -> OnlineConfig {
+        OnlineConfig::new(process, layout)
+    }
+
+    #[test]
+    fn zero_cost_recovery_reproduces_the_overlay_exactly() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.3);
+        let lay = layout64();
+        for seed in 0..12u64 {
+            let overlay = inject(&tl, &p, Some(&lay), seed, 10_000).unwrap();
+            let online =
+                run_online(&tl, &overlay_cfg(p, Some(lay.clone())), seed, EngineKind::Sequential);
+            assert_eq!(online.completed, overlay.completed, "seed {seed}");
+            assert_eq!(online.n_faults, overlay.n_faults, "seed {seed}");
+            let rel = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+            assert!(
+                rel(online.makespan, overlay.makespan),
+                "seed {seed}: online {} vs overlay {}",
+                online.makespan,
+                overlay.makespan
+            );
+            assert!(rel(online.lost_work, overlay.lost_work), "seed {seed} lost_work");
+            assert!(rel(online.restart_time, overlay.restart_time), "seed {seed} restart");
+        }
+    }
+
+    #[test]
+    fn zero_cost_expected_makespan_matches_overlay() {
+        let tl = flat_timeline(120, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.0);
+        let lay = layout64();
+        let overlay = expected_makespan(&tl, &p, Some(&lay), 5, 20).unwrap();
+        let online =
+            expected_makespan_online(&tl, &overlay_cfg(p, Some(lay)), 5, 20);
+        let rel = (online - overlay).abs() / overlay;
+        assert!(rel < 1e-9, "online {online} vs overlay {overlay} (rel {rel})");
+    }
+
+    #[test]
+    fn no_ft_case_restarts_from_scratch_like_the_overlay() {
+        let tl = flat_timeline(100, 1.0, 0, 0.0);
+        let p = FaultProcess::new(12800.0, 64, 0.0);
+        for seed in 0..6u64 {
+            let overlay = inject(&tl, &p, None, seed, 10_000).unwrap();
+            let online = run_online(&tl, &overlay_cfg(p, None), seed, EngineKind::Sequential);
+            assert_eq!(online.n_faults, overlay.n_faults);
+            assert!((online.makespan - overlay.makespan).abs() < 1e-9);
+            assert!(online
+                .events
+                .iter()
+                .all(|e| matches!(e, FaultEvent::Crash { recovered_to: None, .. })));
+        }
+    }
+
+    #[test]
+    fn online_tracks_young_daly_bound() {
+        use besst_analytic::CrParams;
+        let step = 1.0;
+        let period = 10usize;
+        let delta = 0.5;
+        let steps = 500usize;
+        let tl = flat_timeline(steps, step, period, delta);
+        let node_mtbf = 32000.0;
+        let nodes = 64;
+        let p = FaultProcess::new(node_mtbf, nodes, 0.0);
+        let sim = expected_makespan_online(&tl, &overlay_cfg(p, Some(layout64())), 11, 40);
+        let cr = CrParams::new(delta, 2.0 * delta, node_mtbf / nodes as f64);
+        let analytic = cr.expected_runtime(steps as f64 * step, period as f64 * step);
+        let ratio = sim / analytic;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "online {sim} vs Daly {analytic} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn spare_integration_cost_inflates_the_makespan() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.0);
+        let lay = layout64();
+        let free = overlay_cfg(p, Some(lay.clone()));
+        let costly = overlay_cfg(p, Some(lay)).with_policy(
+            RecoveryPolicy::RestartOnSpares { spares: u32::MAX, integration_s: 30.0 },
+        );
+        let a = run_online(&tl, &free, 3, EngineKind::Sequential);
+        let b = run_online(&tl, &costly, 3, EngineKind::Sequential);
+        assert!(a.n_faults > 0, "test needs faults to be meaningful");
+        // Fault arrivals are wall-clock, so pushing the job later shifts
+        // which steps later faults strike — the cost is at least one full
+        // integration, not exactly additive.
+        assert!(
+            b.makespan >= a.makespan + 30.0 - 1e-9,
+            "integration cost must show up: {} vs {}",
+            b.makespan,
+            a.makespan
+        );
+        assert!(b.restart_time > a.restart_time, "integration is restart time");
+    }
+
+    #[test]
+    fn exhausted_spares_wait_for_repair_events() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.0);
+        let lay = layout64();
+        let base = overlay_cfg(p, Some(lay.clone()));
+        let no_spares = overlay_cfg(p, Some(lay))
+            .with_policy(RecoveryPolicy::RestartOnSpares { spares: 0, integration_s: 0.0 })
+            .with_repair(25.0);
+        let a = run_online(&tl, &base, 9, EngineKind::Sequential);
+        let b = run_online(&tl, &no_spares, 9, EngineKind::Sequential);
+        assert!(a.n_faults > 0, "test needs faults to be meaningful");
+        assert!(
+            b.makespan > a.makespan,
+            "repair waits must cost time: {} vs {}",
+            b.makespan,
+            a.makespan
+        );
+        assert!(
+            b.events.iter().any(|e| matches!(e, FaultEvent::Repair { .. })),
+            "repair events must appear in the timeline"
+        );
+    }
+
+    #[test]
+    fn shrink_policy_dilates_remaining_steps() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.0);
+        let lay = layout64();
+        let spares = overlay_cfg(p, Some(lay.clone()));
+        let shrink =
+            overlay_cfg(p, Some(lay)).with_policy(RecoveryPolicy::ShrinkCommunicator);
+        let a = run_online(&tl, &spares, 4, EngineKind::Sequential);
+        let b = run_online(&tl, &shrink, 4, EngineKind::Sequential);
+        assert_eq!(a.n_faults, b.n_faults, "fault schedule is policy-independent");
+        if a.n_faults > 0 && a.completed && b.completed {
+            assert!(
+                b.makespan > a.makespan,
+                "shrunken communicators must run longer: {} vs {}",
+                b.makespan,
+                a.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_timelines_are_bit_identical() {
+        let tl = flat_timeline(150, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.3);
+        let cfg = overlay_cfg(p, Some(layout64())).with_repair(12.0);
+        let seq = run_online(&tl, &cfg, 21, EngineKind::Sequential);
+        for part in [Partitioning::RoundRobin(2), Partitioning::Blocks(2)] {
+            let par = run_online_partitioned(&tl, &cfg, 21, part.clone());
+            assert_eq!(seq, par, "partitioning {part:?} diverged");
+        }
+    }
+
+    #[test]
+    fn machine_restart_pricing_orders_levels() {
+        let machine = besst_machine::presets::quartz();
+        let lay = GroupLayout::new(&FtiConfig::l1_l2(40), 512);
+        let shape = CkptShape { bytes_per_rank: 1 << 20, ranks: 512, ranks_per_node: 36 };
+        let costs = machine_restart_costs(&machine, &shape, &lay, &CkptLevel::ALL);
+        assert_eq!(costs.len(), 4);
+        assert!(costs.iter().all(|(_, c)| *c > 0.0));
+        let get = |lv: CkptLevel| costs.iter().find(|(l, _)| *l == lv).unwrap().1;
+        // Local reload is the cheapest path; the PFS round-trip the most
+        // expensive.
+        assert!(get(CkptLevel::L1) < get(CkptLevel::L4));
+    }
+}

@@ -65,7 +65,7 @@ pub struct SimConfig {
     /// Engine selection.
     pub engine: EngineKind,
     /// Optional substrate-level fault schedule (see
-    /// [`besst_des::buggify`]). `None` — the default — runs the engine's
+    /// [`mod@besst_des::buggify`]). `None` — the default — runs the engine's
     /// zero-cost fault-free path.
     ///
     /// The star coordinator protocol assumes reliable message delivery
@@ -76,6 +76,10 @@ pub struct SimConfig {
     /// for conservative parallel execution and leaves the modeled
     /// trajectory deterministic per seed.
     pub buggify: Option<FaultConfig>,
+    /// Recovery policy for online fault injection (see [`crate::online`]):
+    /// what happens to the job after a fail-stop node loss. Ignored by
+    /// plain [`simulate`]; consumed by [`simulate_with_faults`].
+    pub recovery: crate::online::RecoveryPolicy,
 }
 
 impl Default for SimConfig {
@@ -85,6 +89,7 @@ impl Default for SimConfig {
             monte_carlo: true,
             engine: EngineKind::Sequential,
             buggify: None,
+            recovery: crate::online::RecoveryPolicy::default(),
         }
     }
 }
@@ -370,6 +375,33 @@ fn build(
     b
 }
 
+/// Run one FT-aware BE-SST simulation and then an online fault-injected
+/// replay of the produced timeline.
+///
+/// The BE run yields the failure-free step/checkpoint trace; it is turned
+/// into a [`crate::faults::Timeline`] with the given per-level restart
+/// costs (price them with [`crate::online::machine_restart_costs`]) and
+/// replayed under `online`'s fault process with `cfg.recovery` as the
+/// recovery policy. Returns both the failure-free result and the
+/// fault-injected outcome.
+pub fn simulate_with_faults(
+    app: &AppBeo,
+    arch: &ArchBeo,
+    cfg: &SimConfig,
+    online: &crate::online::OnlineConfig,
+    restart_costs: Vec<(CkptLevel, f64)>,
+) -> (SimResult, crate::online::OnlineRun) {
+    let res = simulate(app, arch, cfg);
+    let timeline = crate::faults::Timeline::from_completions(
+        &res.step_completions,
+        &res.ckpt_completions,
+        restart_costs,
+    );
+    let ocfg = online.clone().with_policy(cfg.recovery);
+    let run = crate::online::run_online(&timeline, &ocfg, cfg.seed, cfg.engine);
+    (res, run)
+}
+
 /// Run one FT-aware BE-SST simulation.
 pub fn simulate(app: &AppBeo, arch: &ArchBeo, cfg: &SimConfig) -> SimResult {
     let trace = Arc::new(Mutex::new(Trace::default()));
@@ -596,6 +628,7 @@ mod tests {
             monte_carlo: true,
             engine: EngineKind::Sequential,
             buggify: Some(FaultConfig::jitter_only(1.0, SimTime::from_nanos(500))),
+            ..Default::default()
         };
         let seq = simulate(&app, &arch, &cfg);
         let par = simulate(&app, &arch, &SimConfig { engine: EngineKind::Parallel(4), ..cfg });

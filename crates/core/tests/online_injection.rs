@@ -1,0 +1,116 @@
+//! Online fault injection — engine-equivalence and validation gates.
+//!
+//! The acceptance contract for the online injector, checked three ways:
+//!
+//! 1. **DST-style equivalence**: for the same seed, the fault/recovery
+//!    timeline is bit-for-bit identical under the sequential engine and
+//!    every conservative parallel partitioning;
+//! 2. **overlay equivalence**: with zero-cost spare recovery the online
+//!    run reproduces the post-hoc overlay's expected makespan;
+//! 3. **analytic sanity**: the online expected makespan stays within the
+//!    Young–Daly order of magnitude at matched parameters.
+
+use besst_core::faults::{expected_makespan, FaultProcess, Timeline};
+use besst_core::online::{
+    expected_makespan_online, run_online, run_online_partitioned, OnlineConfig, RecoveryPolicy,
+};
+use besst_core::sim::EngineKind;
+use besst_des::prelude::Partitioning;
+use besst_fti::{CkptLevel, FtiConfig, GroupLayout};
+
+fn flat_timeline(steps: usize, step_s: f64, ckpt_every: usize, ckpt_s: f64) -> Timeline {
+    let checkpoints = (1..=steps)
+        .filter(|s| ckpt_every > 0 && s % ckpt_every == 0)
+        .map(|s| (s, CkptLevel::L1, ckpt_s))
+        .collect();
+    Timeline {
+        step_durations: vec![step_s; steps],
+        checkpoints,
+        restart_costs: vec![(CkptLevel::L1, 2.0 * ckpt_s)],
+    }
+}
+
+fn layout64() -> GroupLayout {
+    GroupLayout::new(&FtiConfig::l1_only(10), 64)
+}
+
+/// Every partitioning shape the two-component online system admits.
+fn partitionings() -> Vec<Partitioning> {
+    vec![
+        Partitioning::RoundRobin(1),
+        Partitioning::RoundRobin(2),
+        Partitioning::Blocks(2),
+        Partitioning::Explicit(vec![0, 1]),
+        Partitioning::Explicit(vec![1, 0]),
+    ]
+}
+
+#[test]
+fn fault_timeline_is_bit_identical_across_engines() {
+    let tl = flat_timeline(150, 1.0, 10, 0.5);
+    let p = FaultProcess::new(3200.0, 64, 0.3);
+    let cfg = OnlineConfig::new(p, Some(layout64())).with_repair(12.0);
+    for seed in [0u64, 7, 21, 0xBE57] {
+        let seq = run_online(&tl, &cfg, seed, EngineKind::Sequential);
+        assert!(seq.n_faults > 0 || seq.completed, "degenerate run for seed {seed}");
+        for part in partitionings() {
+            let par = run_online_partitioned(&tl, &cfg, seed, part.clone());
+            assert_eq!(
+                seq, par,
+                "seed {seed}: sequential vs {part:?} fault/recovery timeline diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn both_policies_stay_engine_equivalent() {
+    let tl = flat_timeline(100, 1.0, 10, 0.5);
+    let p = FaultProcess::new(3200.0, 64, 0.5);
+    for policy in [
+        RecoveryPolicy::RestartOnSpares { spares: 1, integration_s: 5.0 },
+        RecoveryPolicy::ShrinkCommunicator,
+    ] {
+        let cfg = OnlineConfig::new(p, Some(layout64())).with_policy(policy).with_repair(8.0);
+        let seq = run_online(&tl, &cfg, 42, EngineKind::Sequential);
+        for part in partitionings() {
+            let par = run_online_partitioned(&tl, &cfg, 42, part.clone());
+            assert_eq!(seq, par, "{policy:?} under {part:?} diverged");
+        }
+    }
+}
+
+#[test]
+fn zero_cost_online_matches_overlay_expected_makespan() {
+    let tl = flat_timeline(200, 1.0, 10, 0.5);
+    let p = FaultProcess::new(3200.0, 64, 0.3);
+    let lay = layout64();
+    let overlay = expected_makespan(&tl, &p, Some(&lay), 17, 25).unwrap();
+    let online = expected_makespan_online(&tl, &OnlineConfig::new(p, Some(lay)), 17, 25);
+    let rel = (online - overlay).abs() / overlay;
+    assert!(
+        rel < 1e-9,
+        "online {online} vs overlay {overlay} (rel {rel}) — zero-cost recovery must reproduce the overlay"
+    );
+}
+
+#[test]
+fn online_expected_makespan_within_young_daly_bound() {
+    use besst_analytic::CrParams;
+    let step = 1.0;
+    let period = 10usize;
+    let delta = 0.5;
+    let steps = 400usize;
+    let tl = flat_timeline(steps, step, period, delta);
+    let node_mtbf = 32000.0;
+    let nodes = 64;
+    let p = FaultProcess::new(node_mtbf, nodes, 0.0);
+    let sim = expected_makespan_online(&tl, &OnlineConfig::new(p, Some(layout64())), 23, 40);
+    let cr = CrParams::new(delta, 2.0 * delta, node_mtbf / nodes as f64);
+    let analytic = cr.expected_runtime(steps as f64 * step, period as f64 * step);
+    let ratio = sim / analytic;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "online {sim} vs Young-Daly {analytic} (ratio {ratio})"
+    );
+}

@@ -26,6 +26,8 @@
 //! | [`sites::LINK_DUP`] | [`Ctx::send_extra`], lossy links | a cloned copy with a fresh tie-key is also enqueued |
 //! | [`sites::COMPONENT_STALL`] | event delivery in both engines | the target drops every delivery after a per-component onset time |
 //! | [`sites::WINDOW_SKEW`] | [`ParallelEngine`] coordinator | the synchronization window shrinks below the full lookahead (always safe, stresses the protocol) |
+//! | [`sites::NODE_CRASH`] | event delivery in both engines | the target fail-stops at a per-component onset and drops every delivery while down |
+//! | [`sites::NODE_REPAIR`] | — | keys the repair-delay hash of [`sites::NODE_CRASH`]; never fires on its own |
 //!
 //! Drop and duplication only target links wired with
 //! [`EngineBuilder::connect_lossy`] unless
@@ -55,15 +57,24 @@ pub mod sites {
     /// A shrunken conservative-synchronization window in the parallel
     /// engine.
     pub const WINDOW_SKEW: u64 = 0xB5;
+    /// A component that fail-stops at a per-component onset time and drops
+    /// every delivery while down.
+    pub const NODE_CRASH: u64 = 0xB6;
+    /// The repair side of [`NODE_CRASH`]: keys the hash that decides how
+    /// long a crashed component stays down before accepting deliveries
+    /// again.
+    pub const NODE_REPAIR: u64 = 0xB7;
 
     /// Every built-in fault site with its display name, for catalogs and
     /// diagnostics.
-    pub const ALL: [(u64, &str); 5] = [
+    pub const ALL: [(u64, &str); 7] = [
         (LINK_JITTER, "link-jitter"),
         (LINK_DROP, "link-drop"),
         (LINK_DUP, "link-dup"),
         (COMPONENT_STALL, "component-stall"),
         (WINDOW_SKEW, "window-skew"),
+        (NODE_CRASH, "node-crash"),
+        (NODE_REPAIR, "node-repair"),
     ];
 }
 
@@ -149,6 +160,16 @@ pub struct FaultConfig {
     /// Probability a parallel synchronization round runs with a shrunken
     /// (but still safe) window.
     pub window_skew_p: f64,
+    /// Probability a given component fail-stops (crashes) during the run.
+    pub crash_p: f64,
+    /// A crashed component's onset time is hash-uniform in
+    /// `[0, crash_onset_max]`; deliveries in the down window are dropped.
+    pub crash_onset_max: SimTime,
+    /// Upper bound (inclusive) of the per-component repair delay. The
+    /// down window is `[onset, onset + delay)` with the delay hash-uniform
+    /// in `[1 ns, crash_repair_after]`; [`SimTime::ZERO`] means the crash
+    /// is permanent (fail-stop without repair).
+    pub crash_repair_after: SimTime,
     /// Treat every link as lossy, regardless of how it was wired.
     pub all_links_lossy: bool,
 }
@@ -164,6 +185,9 @@ impl FaultConfig {
             stall_p: 0.0,
             stall_onset_max: SimTime::ZERO,
             window_skew_p: 0.0,
+            crash_p: 0.0,
+            crash_onset_max: SimTime::ZERO,
+            crash_repair_after: SimTime::ZERO,
             all_links_lossy: false,
         }
     }
@@ -190,6 +214,9 @@ impl FaultConfig {
             stall_p: 0.05,
             stall_onset_max: SimTime::from_micros(20),
             window_skew_p: 0.25,
+            crash_p: 0.0,
+            crash_onset_max: SimTime::ZERO,
+            crash_repair_after: SimTime::ZERO,
             all_links_lossy: false,
         }
     }
@@ -206,7 +233,26 @@ impl FaultConfig {
             stall_p: 0.15,
             stall_onset_max: SimTime::from_micros(10),
             window_skew_p: 0.75,
+            crash_p: 0.0,
+            crash_onset_max: SimTime::ZERO,
+            crash_repair_after: SimTime::ZERO,
             all_links_lossy: true,
+        }
+    }
+
+    /// Fail-stop crash/repair weather: a quarter of the components crash
+    /// at a hash-chosen onset and come back after a bounded repair delay,
+    /// plus mild jitter so crashes interleave with reordered deliveries.
+    /// No loss or duplication — every observed drop is a crash drop.
+    pub fn crash() -> Self {
+        FaultConfig {
+            link_jitter_p: 0.05,
+            link_jitter_max: SimTime::from_nanos(500),
+            crash_p: 0.25,
+            crash_onset_max: SimTime::from_micros(20),
+            crash_repair_after: SimTime::from_micros(30),
+            window_skew_p: 0.25,
+            ..FaultConfig::off()
         }
     }
 
@@ -219,7 +265,8 @@ impl FaultConfig {
     }
 
     /// The configured probability for a fault site (0.0 for unknown
-    /// sites).
+    /// sites). [`sites::NODE_REPAIR`] reports 0.0: it never fires on its
+    /// own, it only keys the repair-delay hash of [`sites::NODE_CRASH`].
     pub fn probability(&self, site: u64) -> f64 {
         match site {
             sites::LINK_JITTER => self.link_jitter_p,
@@ -227,6 +274,7 @@ impl FaultConfig {
             sites::LINK_DUP => self.link_dup_p,
             sites::COMPONENT_STALL => self.stall_p,
             sites::WINDOW_SKEW => self.window_skew_p,
+            sites::NODE_CRASH => self.crash_p,
             _ => 0.0,
         }
     }
@@ -247,12 +295,19 @@ pub enum FaultPreset {
     Moderate,
     /// [`FaultConfig::chaos`].
     Chaos,
+    /// [`FaultConfig::crash`] — fail-stop crash/repair weather.
+    Crash,
 }
 
 impl FaultPreset {
     /// Every preset, mildest first.
-    pub const ALL: [FaultPreset; 4] =
-        [FaultPreset::Off, FaultPreset::Calm, FaultPreset::Moderate, FaultPreset::Chaos];
+    pub const ALL: [FaultPreset; 5] = [
+        FaultPreset::Off,
+        FaultPreset::Calm,
+        FaultPreset::Moderate,
+        FaultPreset::Chaos,
+        FaultPreset::Crash,
+    ];
 
     /// The preset's fault schedule.
     pub fn config(self) -> FaultConfig {
@@ -261,6 +316,7 @@ impl FaultPreset {
             FaultPreset::Calm => FaultConfig::calm(),
             FaultPreset::Moderate => FaultConfig::moderate(),
             FaultPreset::Chaos => FaultConfig::chaos(),
+            FaultPreset::Crash => FaultConfig::crash(),
         }
     }
 
@@ -271,6 +327,7 @@ impl FaultPreset {
             FaultPreset::Calm => "calm",
             FaultPreset::Moderate => "moderate",
             FaultPreset::Chaos => "chaos",
+            FaultPreset::Crash => "crash",
         }
     }
 }
@@ -298,6 +355,9 @@ pub struct FaultStats {
     pub dups: u64,
     /// Deliveries dropped because the target component had stalled.
     pub stall_drops: u64,
+    /// Deliveries dropped because the target component had crashed and
+    /// was not yet repaired.
+    pub crash_drops: u64,
     /// Parallel synchronization rounds run with a shrunken window.
     pub window_skews: u64,
 }
@@ -318,6 +378,7 @@ pub struct FaultInjector {
     drops: AtomicU64,
     dups: AtomicU64,
     stall_drops: AtomicU64,
+    crash_drops: AtomicU64,
     window_skews: AtomicU64,
 }
 
@@ -331,6 +392,7 @@ impl FaultInjector {
             drops: AtomicU64::new(0),
             dups: AtomicU64::new(0),
             stall_drops: AtomicU64::new(0),
+            crash_drops: AtomicU64::new(0),
             window_skews: AtomicU64::new(0),
         }
     }
@@ -352,6 +414,7 @@ impl FaultInjector {
             drops: self.drops.load(Ordering::Relaxed),
             dups: self.dups.load(Ordering::Relaxed),
             stall_drops: self.stall_drops.load(Ordering::Relaxed),
+            crash_drops: self.crash_drops.load(Ordering::Relaxed),
             window_skews: self.window_skews.load(Ordering::Relaxed),
         }
     }
@@ -428,6 +491,45 @@ impl FaultInjector {
         let hit = time.as_nanos() >= onset;
         if hit {
             self.stall_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// True when a delivery to `target` at `time` lands inside the
+    /// component's crash window and must be dropped. Counts when it fires.
+    ///
+    /// Whether a component crashes at all, its onset time, and its repair
+    /// delay are all pure hashes of `(seed, site, component)`, so both
+    /// engines agree on every crash window regardless of delivery
+    /// interleaving. With [`FaultConfig::crash_repair_after`] at
+    /// [`SimTime::ZERO`] the crash is permanent; otherwise the component is
+    /// down for `[onset, onset + delay)` with the delay hash-uniform in
+    /// `[1 ns, crash_repair_after]`.
+    pub(crate) fn roll_crash_drop(&self, target: ComponentId, time: SimTime) -> bool {
+        let p = self.config.crash_p;
+        if p <= 0.0 {
+            return false;
+        }
+        if to_unit(decision(self.seed, sites::NODE_CRASH, target.0 as u64, 0)) >= p {
+            return false;
+        }
+        let span = self.config.crash_onset_max.as_nanos();
+        let onset = if span == 0 {
+            0
+        } else {
+            decision(self.seed, sites::NODE_CRASH, target.0 as u64, 1) % (span + 1)
+        };
+        let rspan = self.config.crash_repair_after.as_nanos();
+        let hit = if rspan == 0 {
+            // Permanent fail-stop: never repaired.
+            time.as_nanos() >= onset
+        } else {
+            let delay = 1 + decision(self.seed, sites::NODE_REPAIR, target.0 as u64, 1) % rspan;
+            let t = time.as_nanos();
+            t >= onset && t < onset.saturating_add(delay)
+        };
+        if hit {
+            self.crash_drops.fetch_add(1, Ordering::Relaxed);
         }
         hit
     }
@@ -574,6 +676,56 @@ mod tests {
     }
 
     #[test]
+    fn crash_window_has_onset_and_repair() {
+        let cfg = FaultConfig {
+            crash_p: 1.0,
+            crash_onset_max: SimTime::from_micros(50),
+            crash_repair_after: SimTime::from_micros(10),
+            ..FaultConfig::off()
+        };
+        // Every component crashes; scan one component's timeline and check
+        // the down window is contiguous: up, then down, then up again.
+        let inj = FaultInjector::new(7, cfg);
+        let mut saw_repair = false;
+        for c in 0..64u32 {
+            let id = ComponentId(c);
+            let horizon = 70_000u64; // past onset_max + repair_after, in ns
+            let probe: Vec<bool> =
+                (0..=horizon).step_by(100).map(|t| inj.roll_crash_drop(id, SimTime::from_nanos(t))).collect();
+            let first_down = probe.iter().position(|&d| d);
+            let Some(first_down) = first_down else { continue };
+            let back_up = probe[first_down..].iter().position(|&d| !d);
+            if let Some(rel) = back_up {
+                // Once repaired, the component stays up.
+                assert!(
+                    probe[first_down + rel..].iter().all(|&d| !d),
+                    "repair is permanent for component {c}"
+                );
+                saw_repair = true;
+            }
+        }
+        assert!(saw_repair, "expected at least one crash window to close within the horizon");
+    }
+
+    #[test]
+    fn zero_repair_means_permanent_crash() {
+        let cfg = FaultConfig {
+            crash_p: 1.0,
+            crash_onset_max: SimTime::from_micros(5),
+            crash_repair_after: SimTime::ZERO,
+            ..FaultConfig::off()
+        };
+        let inj = FaultInjector::new(11, cfg);
+        for c in 0..16u32 {
+            let id = ComponentId(c);
+            // Everything at/after the onset horizon is down, forever.
+            assert!(inj.roll_crash_drop(id, SimTime::from_micros(5)));
+            assert!(inj.roll_crash_drop(id, SimTime::from_secs(1)));
+        }
+        assert!(inj.stats().crash_drops >= 32);
+    }
+
+    #[test]
     fn window_end_is_bounded_and_progressing() {
         let inj = FaultInjector::new(13, FaultConfig { window_skew_p: 1.0, ..FaultConfig::off() });
         let start = SimTime::from_micros(10);
@@ -601,6 +753,15 @@ mod tests {
         assert!(c.link_drop_p >= c.link_dup_p);
         assert!(c.all_links_lossy);
         assert!(FaultConfig::calm().link_drop_p == 0.0);
+        // The crash preset crashes nodes but never stalls them, and the
+        // repair site never fires on its own.
+        let k = FaultConfig::crash();
+        assert_eq!(k.probability(sites::NODE_CRASH), 0.25);
+        assert_eq!(k.probability(sites::NODE_REPAIR), 0.0);
+        assert_eq!(k.probability(sites::COMPONENT_STALL), 0.0);
+        assert!(k.crash_repair_after > SimTime::ZERO);
+        assert_eq!(FaultPreset::Crash.config(), k);
+        assert_eq!(FaultPreset::Crash.name(), "crash");
     }
 
     #[test]

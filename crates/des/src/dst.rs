@@ -1,7 +1,7 @@
 //! Deterministic simulation testing (DST) driver for the DES substrate.
 //!
 //! One `u64` seed deterministically expands into a random component graph,
-//! a workload, and a fault schedule (see [`crate::buggify`]). The driver
+//! a workload, and a fault schedule (see [`mod@crate::buggify`]). The driver
 //! runs that workload under the sequential [`Engine`] and under the
 //! conservative [`ParallelEngine`] for several [`Partitioning`]s — all with
 //! the *same* fault schedule — and asserts:
@@ -10,8 +10,8 @@
 //!   identical `(time, payload)` delivery sequence in every engine;
 //! * **outcome agreement**: drained-vs-halted-vs-stalled outcomes match;
 //! * **event conservation**: `delivered = injected + sends + dups − drops
-//!   − stall_drops` — no event is lost or invented except by a counted
-//!   fault;
+//!   − stall_drops − crash_drops` — no event is lost or invented except by
+//!   a counted fault;
 //! * **monotone time**: each component's deliveries never go backwards;
 //! * **fault-schedule equivalence**: the event-level fault counters
 //!   ([`FaultStats`]) are identical across engines.
@@ -177,8 +177,14 @@ struct RunRecord {
 impl RunRecord {
     /// Event-level fault counters only: `window_skews` is a parallel-only
     /// site and legitimately differs between engines.
-    fn event_faults(&self) -> (u64, u64, u64, u64) {
-        (self.faults.jitters, self.faults.drops, self.faults.dups, self.faults.stall_drops)
+    fn event_faults(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.faults.jitters,
+            self.faults.drops,
+            self.faults.dups,
+            self.faults.stall_drops,
+            self.faults.crash_drops,
+        )
     }
 }
 
@@ -341,18 +347,19 @@ fn check_invariants(
         .filter(|&&(_, payload)| payload > 0)
         .count() as u64;
     let f = &record.faults;
-    let expected = injected + sends + f.dups - f.drops - f.stall_drops;
+    let expected = injected + sends + f.dups - f.drops - f.stall_drops - f.crash_drops;
     dst_assert!(
         record.delivered == expected,
         seed,
         preset,
         part,
         "event conservation violated: delivered={} but injected({injected}) + sends({sends}) \
-         + dups({}) - drops({}) - stall_drops({}) = {expected}",
+         + dups({}) - drops({}) - stall_drops({}) - crash_drops({}) = {expected}",
         record.delivered,
         f.dups,
         f.drops,
-        f.stall_drops
+        f.stall_drops,
+        f.crash_drops
     );
 }
 

@@ -54,7 +54,7 @@ impl<P> EngineBuilder<P> {
     }
 
     /// Wire a unidirectional link that is eligible for buggify loss and
-    /// duplication faults (see [`crate::buggify`]). Without an attached
+    /// duplication faults (see [`mod@crate::buggify`]). Without an attached
     /// [`FaultInjector`] it behaves exactly like [`EngineBuilder::connect`].
     pub fn connect_lossy(
         &mut self,
@@ -277,6 +277,11 @@ impl<P> Engine<P> {
                 // happens before `now` advances and is not counted as a
                 // delivery, mirroring the parallel engine exactly.
                 if f.roll_stall_drop(event.target, event.time) {
+                    continue;
+                }
+                // Crashed components likewise drop every delivery that
+                // lands inside their down window.
+                if f.roll_crash_drop(event.target, event.time) {
                     continue;
                 }
             }

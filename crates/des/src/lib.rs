@@ -14,7 +14,7 @@
 //!   threads under conservative (lookahead-window) synchronization, with a
 //!   trajectory identical to the sequential engine;
 //! * [`stats`] provides SST-style statistics attachment points;
-//! * [`buggify`] injects seeded faults (jitter, loss, duplication, stalls,
+//! * [`mod@buggify`] injects seeded faults (jitter, loss, duplication, stalls,
 //!   window skew) at engine hook sites, and [`dst`] drives deterministic
 //!   simulation testing: random workloads from a single `u64` seed, run
 //!   under both engines with identical fault schedules and compared

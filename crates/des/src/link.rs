@@ -29,16 +29,21 @@ pub struct Link {
     /// Wire latency added to every send.
     pub latency: SimTime,
     /// Whether this link is eligible for buggify loss/duplication faults
-    /// (see [`crate::buggify`]). Wired via
+    /// (see [`mod@crate::buggify`]). Wired via
     /// `EngineBuilder::connect_lossy`; plain `connect` leaves it `false`.
     #[serde(skip, default)]
     pub lossy: bool,
 }
 
+// Referenced only through the `#[serde(default = …)]` attribute strings
+// above — builds whose serde derive expands to nothing (see
+// docs/OFFLINE_BUILDS.md) cannot see those references.
+#[allow(dead_code)]
 fn invalid_component() -> ComponentId {
     ComponentId(u32::MAX)
 }
 
+#[allow(dead_code)]
 fn default_port() -> PortId {
     PortId::DEFAULT
 }

@@ -158,6 +158,10 @@ impl<P: Send + 'static> Worker<P> {
                 if f.roll_stall_drop(event.target, event.time) {
                     continue;
                 }
+                // Crash windows drop deliveries by the same pure-hash rule.
+                if f.roll_crash_drop(event.target, event.time) {
+                    continue;
+                }
             }
             let now = event.time;
             self.max_time = self.max_time.max(now);

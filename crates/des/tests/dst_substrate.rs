@@ -58,6 +58,16 @@ fn dst_block_chaos() {
     assert!(total(|f| f.stall_drops) > 0, "chaos block never stalled");
 }
 
+#[test]
+fn dst_block_crash() {
+    let reports = run_seed_block(SEED_BASE, SEED_COUNT, FaultPreset::Crash);
+    assert_eq!(reports.len() as u64, SEED_COUNT);
+    // The crash preset must actually crash somebody across 64 workloads,
+    // and both engines must agree on every drop (checked inside run_dst).
+    let crashes: u64 = reports.iter().map(|r| r.faults.crash_drops).sum();
+    assert!(crashes > 0, "crash block never crashed a component");
+}
+
 /// Golden-file regression: one hand-picked seed per preset. The snapshot
 /// records the full `snapshot_line()` (delivered count, final time, and a
 /// trajectory digest); any drift fails with both lines plus the repro.
@@ -110,4 +120,9 @@ fn snapshot_moderate() {
 #[test]
 fn snapshot_chaos() {
     check_snapshot(0xBE57_0004, FaultPreset::Chaos);
+}
+
+#[test]
+fn snapshot_crash() {
+    check_snapshot(0xBE57_0005, FaultPreset::Crash);
 }

@@ -156,7 +156,8 @@ pub fn run_ablation_period(cs: &CaseStudy) -> String {
             vec![(CkptLevel::L1, restart_s)],
         );
         let layout = GroupLayout::new(&fti, ranks);
-        let m = expected_makespan(&tl, &process, Some(&layout), 0xAB5, 30);
+        let m = expected_makespan(&tl, &process, Some(&layout), 0xAB5, 30)
+            .expect("drawn fault nodes lie inside the FTI layout");
         let note = if period == daly_period_steps {
             "≈ Young/Daly optimum".to_string()
         } else if period == 40 {

@@ -126,7 +126,8 @@ pub fn run_arch_dse(base_cal: &CalibrationConfig) -> String {
                 0.3,
             );
             let layout = GroupLayout::new(&fti, RANKS);
-            let m = expected_makespan(&tl, &process, Some(&layout), 0xA2D, 25);
+            let m = expected_makespan(&tl, &process, Some(&layout), 0xA2D, 25)
+                .expect("drawn fault nodes lie inside the FTI layout");
             if best.as_ref().is_none_or(|(_, b)| m < *b) {
                 best = Some((level, m));
             }

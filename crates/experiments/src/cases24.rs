@@ -15,8 +15,9 @@ use crate::paper::{CaseStudy, Scenario, CKPT_PERIOD, RANKS_PER_NODE};
 use crate::report::{fmt_secs, write_csv, TextTable};
 use besst_apps::lulesh::{self, LuleshConfig};
 use besst_core::faults::{expected_makespan, FaultProcess, Timeline};
+use besst_core::online::{expected_makespan_online, OnlineConfig};
 use besst_core::sim::{simulate, SimConfig};
-use besst_fti::{CkptLevel, GroupLayout};
+use besst_fti::{CkptLevel, GroupLayout, RecoveryError};
 use besst_machine::Testbed;
 
 /// One quadrant result.
@@ -26,8 +27,13 @@ pub struct CaseResult {
     pub case: String,
     /// Scenario (FT configuration).
     pub scenario: Scenario,
-    /// Expected makespan, seconds.
+    /// Expected makespan from the post-hoc overlay injector, seconds.
     pub makespan: f64,
+    /// Expected makespan from the online DES injector
+    /// ([`besst_core::online`]) at zero-cost spare recovery — `None` for
+    /// the fault-free quadrants. Agreement with [`Self::makespan`] is the
+    /// overlay-vs-online cross-validation on one page.
+    pub makespan_online: Option<f64>,
 }
 
 /// Restart cost (seconds) per level for the given configuration, priced
@@ -70,7 +76,7 @@ pub fn four_cases(
     data_loss_prob: f64,
     replicas: u32,
     seed: u64,
-) -> Vec<CaseResult> {
+) -> Result<Vec<CaseResult>, RecoveryError> {
     let n_nodes = ranks.div_ceil(RANKS_PER_NODE);
     let process = FaultProcess::new(node_mtbf_s, n_nodes, data_loss_prob);
     let mut out = Vec::new();
@@ -81,6 +87,7 @@ pub fn four_cases(
         case: "Case 1 (no faults, no FT)".into(),
         scenario: Scenario::NoFt,
         makespan: tl_noft.failure_free_makespan(),
+        makespan_online: None,
     });
 
     // Case 3: no faults, FT overhead.
@@ -90,18 +97,27 @@ pub fn four_cases(
         case: "Case 3 (no faults, L1)".into(),
         scenario: Scenario::L1,
         makespan: tl_l1.failure_free_makespan(),
+        makespan_online: None,
     });
     out.push(CaseResult {
         case: "Case 3 (no faults, L1 & L2)".into(),
         scenario: Scenario::L1L2,
         makespan: tl_l12.failure_free_makespan(),
+        makespan_online: None,
     });
 
-    // Case 2: faults, no FT — every failure restarts the run.
+    // Case 2: faults, no FT — every failure restarts the run. Overlay and
+    // online injectors run side by side from the same seed.
     out.push(CaseResult {
         case: "Case 2 (faults, no FT)".into(),
         scenario: Scenario::NoFt,
-        makespan: expected_makespan(&tl_noft, &process, None, seed ^ 3, replicas),
+        makespan: expected_makespan(&tl_noft, &process, None, seed ^ 3, replicas)?,
+        makespan_online: Some(expected_makespan_online(
+            &tl_noft,
+            &OnlineConfig::new(process, None),
+            seed ^ 3,
+            replicas,
+        )),
     });
 
     // Case 4: faults with checkpointing.
@@ -110,14 +126,26 @@ pub fn four_cases(
     out.push(CaseResult {
         case: "Case 4 (faults, L1)".into(),
         scenario: Scenario::L1,
-        makespan: expected_makespan(&tl_l1, &process, Some(&lay_l1), seed ^ 4, replicas),
+        makespan: expected_makespan(&tl_l1, &process, Some(&lay_l1), seed ^ 4, replicas)?,
+        makespan_online: Some(expected_makespan_online(
+            &tl_l1,
+            &OnlineConfig::new(process, Some(lay_l1)),
+            seed ^ 4,
+            replicas,
+        )),
     });
     out.push(CaseResult {
         case: "Case 4 (faults, L1 & L2)".into(),
         scenario: Scenario::L1L2,
-        makespan: expected_makespan(&tl_l12, &process, Some(&lay_l12), seed ^ 5, replicas),
+        makespan: expected_makespan(&tl_l12, &process, Some(&lay_l12), seed ^ 5, replicas)?,
+        makespan_online: Some(expected_makespan_online(
+            &tl_l12,
+            &OnlineConfig::new(process, Some(lay_l12)),
+            seed ^ 5,
+            replicas,
+        )),
     });
-    out
+    Ok(out)
 }
 
 /// Run and print the Cases 2 & 4 extension.
@@ -134,14 +162,21 @@ pub fn run_cases24(cs: &CaseStudy) -> String {
     };
     let n_nodes = ranks.div_ceil(RANKS_PER_NODE) as f64;
     let node_mtbf = longest * n_nodes / 4.0; // ≈ 4 faults per L1&L2 run
-    let results = four_cases(cs, epr, ranks, node_mtbf, 0.3, 40, 0x24);
+    let results = four_cases(cs, epr, ranks, node_mtbf, 0.3, 40, 0x24)
+        .expect("drawn fault nodes lie inside the FTI layout");
 
-    let mut table = TextTable::new(&["Quadrant", "Expected makespan (s)", "vs Case 1"]);
+    let mut table = TextTable::new(&[
+        "Quadrant",
+        "Overlay E[makespan] (s)",
+        "Online E[makespan] (s)",
+        "vs Case 1",
+    ]);
     let base = results[0].makespan;
     for r in &results {
         table.row(&[
             r.case.clone(),
             fmt_secs(r.makespan),
+            r.makespan_online.map_or_else(|| "—".into(), fmt_secs),
             format!("{:.0}%", 100.0 * r.makespan / base),
         ]);
     }
@@ -176,8 +211,28 @@ mod tests {
         let base = timeline(cs, epr, ranks, Scenario::NoFt, 1).failure_free_makespan();
         let n_nodes = ranks.div_ceil(RANKS_PER_NODE) as f64;
         let mtbf = base * n_nodes / 4.0;
-        let results = four_cases(cs, epr, ranks, mtbf, 0.0, 20, 7);
+        let results = four_cases(cs, epr, ranks, mtbf, 0.0, 20, 7).unwrap();
         assert_eq!(results.len(), 6);
+        // Overlay-vs-online cross-validation: the online injector at
+        // zero-cost spare recovery must reproduce the overlay column on
+        // every faulted quadrant.
+        for r in &results {
+            if let Some(online) = r.makespan_online {
+                let rel = (online - r.makespan).abs() / r.makespan.max(1.0);
+                assert!(
+                    rel < 1e-9,
+                    "{}: online {online} vs overlay {} (rel {rel})",
+                    r.case,
+                    r.makespan
+                );
+            } else {
+                assert!(
+                    r.case.starts_with("Case 1") || r.case.starts_with("Case 3"),
+                    "faulted rows must carry an online column: {}",
+                    r.case
+                );
+            }
+        }
         let get = |case_prefix: &str| -> f64 {
             results
                 .iter()

@@ -29,5 +29,5 @@ pub mod reed_solomon;
 pub use config::{CkptLevel, ConfigError, FtiConfig, LevelSchedule};
 pub use cost::{checkpoint_blocks, restart_blocks, CkptShape};
 pub use group::{FtiNode, GroupId, GroupLayout};
-pub use recovery::{survives, survives_any, EncodedGroup, FailureScenario};
+pub use recovery::{survives, survives_any, EncodedGroup, FailureScenario, RecoveryError};
 pub use reed_solomon::{ReedSolomon, RsError};

@@ -9,6 +9,33 @@ use crate::group::{FtiNode, GroupLayout};
 use crate::reed_solomon::ReedSolomon;
 use std::collections::BTreeSet;
 
+/// Typed error for recovery-semantics queries. Returned instead of
+/// aborting the whole simulation when a failure scenario is inconsistent
+/// with the layout it is applied to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The scenario lost a node that does not exist in the layout.
+    NodeOutsideLayout {
+        /// The offending FTI node index.
+        node: u32,
+        /// Number of FTI nodes in the layout the scenario was applied to.
+        n_nodes: u32,
+    },
+}
+
+impl core::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            RecoveryError::NodeOutsideLayout { node, n_nodes } => write!(
+                f,
+                "failure scenario references node {node} outside layout of {n_nodes} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
 /// A failure scenario: the set of FTI nodes that failed *and lost their
 /// locally stored checkpoint data*. (A process crash that preserves node
 /// storage is the empty scenario — every level, including L1, survives
@@ -30,6 +57,30 @@ impl FailureScenario {
         FailureScenario { lost_nodes: nodes.into_iter().map(FtiNode).collect() }
     }
 
+    /// Lose the given nodes, checked against a layout: every node must
+    /// exist in `layout`, otherwise a typed [`RecoveryError`] is returned.
+    pub fn validated(
+        nodes: impl IntoIterator<Item = u32>,
+        layout: &GroupLayout,
+    ) -> Result<Self, RecoveryError> {
+        let scenario = FailureScenario::of(nodes);
+        scenario.check(layout)?;
+        Ok(scenario)
+    }
+
+    /// Check this scenario against a layout without consuming it.
+    pub fn check(&self, layout: &GroupLayout) -> Result<(), RecoveryError> {
+        for n in &self.lost_nodes {
+            if n.0 >= layout.n_nodes() {
+                return Err(RecoveryError::NodeOutsideLayout {
+                    node: n.0,
+                    n_nodes: layout.n_nodes(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Number of lost nodes.
     pub fn n_lost(&self) -> usize {
         self.lost_nodes.len()
@@ -46,12 +97,15 @@ impl FailureScenario {
 }
 
 /// Does a checkpoint taken at `level` survive `scenario`? (Paper Table I
-/// semantics.)
-pub fn survives(level: CkptLevel, layout: &GroupLayout, scenario: &FailureScenario) -> bool {
-    for n in &scenario.lost_nodes {
-        assert!(n.0 < layout.n_nodes(), "failure scenario references node outside layout");
-    }
-    match level {
+/// semantics.) A scenario referencing nodes outside the layout yields a
+/// typed [`RecoveryError`] instead of aborting the simulation.
+pub fn survives(
+    level: CkptLevel,
+    layout: &GroupLayout,
+    scenario: &FailureScenario,
+) -> Result<bool, RecoveryError> {
+    scenario.check(layout)?;
+    Ok(match level {
         // L1: the checkpoint only exists on the node itself.
         CkptLevel::L1 => scenario.lost_nodes.is_empty(),
         // L2: each lost node needs at least one surviving partner holding
@@ -70,7 +124,7 @@ pub fn survives(level: CkptLevel, layout: &GroupLayout, scenario: &FailureScenar
         }),
         // L4: the PFS is outside the failure domain of compute nodes.
         CkptLevel::L4 => true,
-    }
+    })
 }
 
 /// The strongest guarantee: survives with *any* of the given levels
@@ -80,8 +134,13 @@ pub fn survives_any(
     levels: &[CkptLevel],
     layout: &GroupLayout,
     scenario: &FailureScenario,
-) -> bool {
-    levels.iter().any(|&l| survives(l, layout, scenario))
+) -> Result<bool, RecoveryError> {
+    for &l in levels {
+        if survives(l, layout, scenario)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
 }
 
 /// Executable L3 model: one group's checkpoints, actually RS-encoded.
@@ -175,39 +234,39 @@ mod tests {
     #[test]
     fn l1_survives_only_clean_scenarios() {
         let l = layout();
-        assert!(survives(CkptLevel::L1, &l, &FailureScenario::none()));
-        assert!(!survives(CkptLevel::L1, &l, &FailureScenario::of([0])));
+        assert!(survives(CkptLevel::L1, &l, &FailureScenario::none()).unwrap());
+        assert!(!survives(CkptLevel::L1, &l, &FailureScenario::of([0])).unwrap());
     }
 
     #[test]
     fn l2_survives_single_loss_anywhere() {
         let l = layout();
         for n in 0..l.n_nodes() {
-            assert!(survives(CkptLevel::L2, &l, &FailureScenario::of([n])), "node {n}");
+            assert!(survives(CkptLevel::L2, &l, &FailureScenario::of([n])).unwrap(), "node {n}");
         }
     }
 
     #[test]
     fn l2_dies_when_node_and_all_partners_lost() {
         let l = layout(); // copies = 2: node 0's partners are 1 and 2
-        assert!(!survives(CkptLevel::L2, &l, &FailureScenario::of([0, 1, 2])));
+        assert!(!survives(CkptLevel::L2, &l, &FailureScenario::of([0, 1, 2])).unwrap());
         // But node + one partner is fine (other partner holds the copy).
-        assert!(survives(CkptLevel::L2, &l, &FailureScenario::of([0, 1])));
+        assert!(survives(CkptLevel::L2, &l, &FailureScenario::of([0, 1])).unwrap());
     }
 
     #[test]
     fn l3_tolerates_half_the_group() {
         let l = layout(); // tolerance 2 per group of 4
-        assert!(survives(CkptLevel::L3, &l, &FailureScenario::of([0, 1])));
-        assert!(survives(CkptLevel::L3, &l, &FailureScenario::of([0, 1, 4, 5])));
-        assert!(!survives(CkptLevel::L3, &l, &FailureScenario::of([0, 1, 2])));
+        assert!(survives(CkptLevel::L3, &l, &FailureScenario::of([0, 1])).unwrap());
+        assert!(survives(CkptLevel::L3, &l, &FailureScenario::of([0, 1, 4, 5])).unwrap());
+        assert!(!survives(CkptLevel::L3, &l, &FailureScenario::of([0, 1, 2])).unwrap());
     }
 
     #[test]
     fn l4_survives_everything() {
         let l = layout();
         let all: Vec<u32> = (0..l.n_nodes()).collect();
-        assert!(survives(CkptLevel::L4, &l, &FailureScenario::of(all)));
+        assert!(survives(CkptLevel::L4, &l, &FailureScenario::of(all)).unwrap());
     }
 
     #[test]
@@ -218,7 +277,7 @@ mod tests {
             let sc = FailureScenario::of(0..burst);
             let ok: Vec<bool> = CkptLevel::ALL
                 .iter()
-                .map(|&lv| survives(lv, &l, &sc))
+                .map(|&lv| survives(lv, &l, &sc).unwrap())
                 .collect();
             for w in ok.windows(2) {
                 assert!(
@@ -230,12 +289,34 @@ mod tests {
     }
 
     #[test]
+    fn node_outside_layout_is_a_typed_error_not_a_panic() {
+        let l = layout(); // 32 nodes
+        let bad = FailureScenario::of([31, 99]);
+        let err = survives(CkptLevel::L4, &l, &bad).unwrap_err();
+        assert_eq!(err, RecoveryError::NodeOutsideLayout { node: 99, n_nodes: 32 });
+        assert!(err.to_string().contains("node 99"));
+        let err = survives_any(&[CkptLevel::L1, CkptLevel::L4], &l, &bad).unwrap_err();
+        assert_eq!(err, RecoveryError::NodeOutsideLayout { node: 99, n_nodes: 32 });
+    }
+
+    #[test]
+    fn validated_constructor_checks_the_layout() {
+        let l = layout();
+        let ok = FailureScenario::validated([0, 31], &l).unwrap();
+        assert_eq!(ok, FailureScenario::of([0, 31]));
+        assert_eq!(
+            FailureScenario::validated([32], &l).unwrap_err(),
+            RecoveryError::NodeOutsideLayout { node: 32, n_nodes: 32 }
+        );
+    }
+
+    #[test]
     fn survives_any_takes_the_best() {
         let l = layout();
         let sc = FailureScenario::of([0]);
-        assert!(survives_any(&[CkptLevel::L1, CkptLevel::L2], &l, &sc));
-        assert!(!survives_any(&[CkptLevel::L1], &l, &sc));
-        assert!(!survives_any(&[], &l, &sc));
+        assert!(survives_any(&[CkptLevel::L1, CkptLevel::L2], &l, &sc).unwrap());
+        assert!(!survives_any(&[CkptLevel::L1], &l, &sc).unwrap());
+        assert!(!survives_any(&[], &l, &sc).unwrap());
     }
 
     #[test]
@@ -281,7 +362,7 @@ mod tests {
                     lost.push(m);
                 }
             }
-            let predicate = survives(CkptLevel::L3, &l, &FailureScenario::of(lost));
+            let predicate = survives(CkptLevel::L3, &l, &FailureScenario::of(lost)).unwrap();
             let actual = g.recover_all().is_some();
             assert_eq!(predicate, actual, "mask {mask:04b}");
         }

@@ -4,7 +4,7 @@
 //! the FTI checkpointing layer use. All models are the standard
 //! logarithmic-algorithm costs (binomial-tree broadcast/barrier,
 //! Rabenseifner allreduce, ring allgather) expressed over a
-//! [`CostModel`](crate::cost::CostModel) and a mean hop count, which is how
+//! [`CostModel`] and a mean hop count, which is how
 //! BE-SST abstracts the fabric when it expands a communication instruction.
 
 use crate::cost::CostModel;

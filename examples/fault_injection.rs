@@ -58,8 +58,10 @@ fn main() {
     for mtbf in [2000.0f64, 500.0, 200.0] {
         // 64 ranks on 2 nodes; the process models node failures.
         let process = FaultProcess::new(mtbf * 2.0, 2, 0.0);
-        let case2 = expected_makespan(&no_ft_timeline, &process, None, 42, 60);
-        let case4 = expected_makespan(&ft_timeline, &process, Some(&layout), 42, 60);
+        let case2 = expected_makespan(&no_ft_timeline, &process, None, 42, 60)
+            .expect("no-FT injection cannot reference layout nodes");
+        let case4 = expected_makespan(&ft_timeline, &process, Some(&layout), 42, 60)
+            .expect("fault scenarios stay inside the layout");
         println!(
             "{:>22}s  | {:>12.0} {:>12} {:>12.0} {:>12.0}",
             mtbf,

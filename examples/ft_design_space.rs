@@ -108,7 +108,8 @@ fn main() {
                 restart_costs,
             );
             let layout = level.map(|_| GroupLayout::new(&fti, ranks));
-            let faulted = expected_makespan(&tl, &process, layout.as_ref(), 0xD5E, 25);
+            let faulted = expected_makespan(&tl, &process, layout.as_ref(), 0xD5E, 25)
+                .expect("fault scenarios stay inside the layout");
 
             let level_label = level.map_or("none".to_string(), |l| l.to_string());
             let period_label = if level.is_some() { period.to_string() } else { "-".into() };

@@ -26,6 +26,11 @@ dst-bless:
 buggify:
     cargo test -p besst-des buggify
 
+# Fig. 4 Cases 2 & 4: overlay vs online fault injection side by side.
+# See docs/FAULT_INJECTION.md.
+faults:
+    cargo run --release -p besst-experiments --bin repro -- cases24
+
 # Build API docs, treating rustdoc warnings as errors (matches CI).
 doc:
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

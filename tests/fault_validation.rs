@@ -37,7 +37,7 @@ fn injector_matches_daly_across_regimes() {
             let ckpt = 4.0;
             let tl = flat_timeline(steps, step_s, period, ckpt, restart);
             let process = FaultProcess::new(mtbf * 64.0, 64, 0.0);
-            let sim = expected_makespan(&tl, &process, Some(&lay), 99, 60);
+            let sim = expected_makespan(&tl, &process, Some(&lay), 99, 60).unwrap();
             let cr = CrParams::new(ckpt, restart, mtbf);
             let daly = cr.expected_runtime(steps as f64 * step_s, period as f64 * step_s);
             let ratio = sim / daly;
@@ -66,7 +66,7 @@ fn simulated_period_optimum_brackets_young() {
 
     let makespan = |period: usize| -> f64 {
         let tl = flat_timeline(steps, step_s, period, ckpt, restart);
-        expected_makespan(&tl, &process, Some(&lay), 7, 80)
+        expected_makespan(&tl, &process, Some(&lay), 7, 80).unwrap()
     };
     let near = makespan(young_steps);
     let too_often = makespan((young_steps / 6).max(1));
@@ -95,8 +95,8 @@ fn multilevel_recovery_beats_single_level_under_data_loss() {
     // L1&L2 recovers from the partner copy.
     let process = FaultProcess::new(430.0 * 64.0, 64, 1.0);
     let lay = layout();
-    let t_l1 = expected_makespan(&l1_only, &process, Some(&lay), 21, 40);
-    let t_both = expected_makespan(&both, &process, Some(&lay), 21, 40);
+    let t_l1 = expected_makespan(&l1_only, &process, Some(&lay), 21, 40).unwrap();
+    let t_both = expected_makespan(&both, &process, Some(&lay), 21, 40).unwrap();
     assert!(
         t_both < t_l1,
         "L2's survivability must beat L1's lower overhead under data loss: {t_both} vs {t_l1}"
@@ -123,7 +123,7 @@ fn more_nodes_stop_helping_under_faults() {
                 .max(1);
         let tl = flat_timeline(steps, step_s, period_steps, ckpt, 2.0 * ckpt);
         let process = FaultProcess::new(node_mtbf, nodes, 0.0);
-        expected_makespan(&tl, &process, Some(&lay_for(64)), 3, 40)
+        expected_makespan(&tl, &process, Some(&lay_for(64)), 3, 40).unwrap()
     };
 
     let t64 = makespan_at(64);

@@ -88,10 +88,10 @@ proptest! {
         let lost: Vec<u32> = lost.into_iter().filter(|&n| n < layout.n_nodes()).collect();
         let sc = FailureScenario::of(lost.clone());
 
-        let l1 = survives(CkptLevel::L1, &layout, &sc);
-        let l2 = survives(CkptLevel::L2, &layout, &sc);
-        let l3 = survives(CkptLevel::L3, &layout, &sc);
-        let l4 = survives(CkptLevel::L4, &layout, &sc);
+        let l1 = survives(CkptLevel::L1, &layout, &sc).unwrap();
+        let l2 = survives(CkptLevel::L2, &layout, &sc).unwrap();
+        let l3 = survives(CkptLevel::L3, &layout, &sc).unwrap();
+        let l4 = survives(CkptLevel::L4, &layout, &sc).unwrap();
 
         prop_assert_eq!(l1, lost.is_empty());
         prop_assert!(l4, "L4 always survives");
@@ -133,7 +133,7 @@ proptest! {
                 lost.push(m as u32);
             }
         }
-        let predicate = survives(CkptLevel::L3, &layout, &FailureScenario::of(lost));
+        let predicate = survives(CkptLevel::L3, &layout, &FailureScenario::of(lost)).unwrap();
         let recovered = g.recover_all();
         prop_assert_eq!(predicate, recovered.is_some());
         if let Some(rec) = recovered {
