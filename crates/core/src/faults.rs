@@ -157,7 +157,9 @@ impl Timeline {
         for &(after_step, level, t) in ckpt_completions {
             all.push((t, Some((after_step, level))));
         }
-        all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        // total_cmp: deterministic for every input including NaN, and no
+        // panic path (besst-lint D5).
+        all.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut prev = 0.0;
         let mut step_durations = Vec::new();
         for (t, tag) in all {

@@ -457,6 +457,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full DST roundtrip exceeds Miri's budget; engine unit tests cover Miri")]
     fn single_seed_roundtrip_off() {
         let r = run_dst(7, FaultPreset::Off);
         assert!(r.delivered > 0);
@@ -465,6 +466,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full DST roundtrip exceeds Miri's budget; engine unit tests cover Miri")]
     fn single_seed_roundtrip_chaos() {
         let r = run_dst(7, FaultPreset::Chaos);
         assert!(r.delivered > 0);
@@ -473,6 +475,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full DST roundtrip exceeds Miri's budget; engine unit tests cover Miri")]
     fn report_is_reproducible() {
         let a = run_dst(99, FaultPreset::Calm);
         let b = run_dst(99, FaultPreset::Calm);
@@ -481,6 +484,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "full DST roundtrip exceeds Miri's budget; engine unit tests cover Miri")]
     fn snapshot_line_contains_repro_fields() {
         let r = run_dst(1, FaultPreset::Off);
         let line = r.snapshot_line();

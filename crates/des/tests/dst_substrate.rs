@@ -20,52 +20,85 @@ use std::path::PathBuf;
 const SEED_BASE: u64 = 0xBE57_0000;
 const SEED_COUNT: u64 = 64;
 
+/// Seeds per block: `DST_SEEDS=<n>` overrides the full 64 for expensive
+/// instrumented runs (ThreadSanitizer, Miri) — same `SEED_BASE`, so any
+/// failure line still replays identically under the plain suite. The
+/// block-aggregate fault assertions below only apply at the full count;
+/// the per-seed equivalence/conservation invariants always do.
+fn seed_count() -> u64 {
+    match std::env::var("DST_SEEDS") {
+        Ok(s) => {
+            let n: u64 = s.parse().expect("DST_SEEDS must be a positive integer");
+            assert!(n >= 1, "DST_SEEDS must be >= 1");
+            n.min(SEED_COUNT)
+        }
+        Err(_) => SEED_COUNT,
+    }
+}
+
+/// Whether block-aggregate assertions (e.g. "chaos must have jittered")
+/// are statistically meaningful for this run.
+fn full_block() -> bool {
+    seed_count() == SEED_COUNT
+}
+
 #[test]
+#[cfg_attr(miri, ignore = "full seed blocks exceed Miri's budget; the unit-test subset covers Miri")]
 fn dst_block_off() {
-    let reports = run_seed_block(SEED_BASE, SEED_COUNT, FaultPreset::Off);
-    assert_eq!(reports.len() as u64, SEED_COUNT);
+    let reports = run_seed_block(SEED_BASE, seed_count(), FaultPreset::Off);
+    assert_eq!(reports.len() as u64, seed_count());
     assert!(reports.iter().all(|r| r.delivered > 0));
     // Without faults the counters must be exactly zero.
     assert!(reports.iter().all(|r| r.faults == Default::default()));
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "full seed blocks exceed Miri's budget; the unit-test subset covers Miri")]
 fn dst_block_calm() {
-    let reports = run_seed_block(SEED_BASE, SEED_COUNT, FaultPreset::Calm);
-    assert_eq!(reports.len() as u64, SEED_COUNT);
+    let reports = run_seed_block(SEED_BASE, seed_count(), FaultPreset::Calm);
+    assert_eq!(reports.len() as u64, seed_count());
     // Calm never drops or stalls.
     assert!(reports.iter().all(|r| r.faults.drops == 0 && r.faults.stall_drops == 0));
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "full seed blocks exceed Miri's budget; the unit-test subset covers Miri")]
 fn dst_block_moderate() {
-    let reports = run_seed_block(SEED_BASE, SEED_COUNT, FaultPreset::Moderate);
-    assert_eq!(reports.len() as u64, SEED_COUNT);
+    let reports = run_seed_block(SEED_BASE, seed_count(), FaultPreset::Moderate);
+    assert_eq!(reports.len() as u64, seed_count());
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "full seed blocks exceed Miri's budget; the unit-test subset covers Miri")]
 fn dst_block_chaos() {
-    let reports = run_seed_block(SEED_BASE, SEED_COUNT, FaultPreset::Chaos);
-    assert_eq!(reports.len() as u64, SEED_COUNT);
+    let reports = run_seed_block(SEED_BASE, seed_count(), FaultPreset::Chaos);
+    assert_eq!(reports.len() as u64, seed_count());
     // Chaos over 64 workloads must actually exercise every event-level
-    // fault site — otherwise the harness is silently not injecting.
-    let total = |f: fn(&besst_des::buggify::FaultStats) -> u64| -> u64 {
-        reports.iter().map(|r| f(&r.faults)).sum()
-    };
-    assert!(total(|f| f.jitters) > 0, "chaos block never jittered");
-    assert!(total(|f| f.drops) > 0, "chaos block never dropped");
-    assert!(total(|f| f.dups) > 0, "chaos block never duplicated");
-    assert!(total(|f| f.stall_drops) > 0, "chaos block never stalled");
+    // fault site — otherwise the harness is silently not injecting. (Only
+    // meaningful over the full block; reduced DST_SEEDS runs keep the
+    // per-seed equivalence checks inside run_seed_block.)
+    if full_block() {
+        let total = |f: fn(&besst_des::buggify::FaultStats) -> u64| -> u64 {
+            reports.iter().map(|r| f(&r.faults)).sum()
+        };
+        assert!(total(|f| f.jitters) > 0, "chaos block never jittered");
+        assert!(total(|f| f.drops) > 0, "chaos block never dropped");
+        assert!(total(|f| f.dups) > 0, "chaos block never duplicated");
+        assert!(total(|f| f.stall_drops) > 0, "chaos block never stalled");
+    }
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "full seed blocks exceed Miri's budget; the unit-test subset covers Miri")]
 fn dst_block_crash() {
-    let reports = run_seed_block(SEED_BASE, SEED_COUNT, FaultPreset::Crash);
-    assert_eq!(reports.len() as u64, SEED_COUNT);
+    let reports = run_seed_block(SEED_BASE, seed_count(), FaultPreset::Crash);
+    assert_eq!(reports.len() as u64, seed_count());
     // The crash preset must actually crash somebody across 64 workloads,
     // and both engines must agree on every drop (checked inside run_dst).
-    let crashes: u64 = reports.iter().map(|r| r.faults.crash_drops).sum();
-    assert!(crashes > 0, "crash block never crashed a component");
+    if full_block() {
+        let crashes: u64 = reports.iter().map(|r| r.faults.crash_drops).sum();
+        assert!(crashes > 0, "crash block never crashed a component");
+    }
 }
 
 /// Golden-file regression: one hand-picked seed per preset. The snapshot
@@ -103,26 +136,31 @@ fn check_snapshot(seed: u64, preset: FaultPreset) {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "full DST roundtrip exceeds Miri's budget")]
 fn snapshot_off() {
     check_snapshot(0xBE57_0001, FaultPreset::Off);
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "full DST roundtrip exceeds Miri's budget")]
 fn snapshot_calm() {
     check_snapshot(0xBE57_0002, FaultPreset::Calm);
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "full DST roundtrip exceeds Miri's budget")]
 fn snapshot_moderate() {
     check_snapshot(0xBE57_0003, FaultPreset::Moderate);
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "full DST roundtrip exceeds Miri's budget")]
 fn snapshot_chaos() {
     check_snapshot(0xBE57_0004, FaultPreset::Chaos);
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "full DST roundtrip exceeds Miri's budget")]
 fn snapshot_crash() {
     check_snapshot(0xBE57_0005, FaultPreset::Crash);
 }

@@ -32,7 +32,12 @@ pub struct GroupLayout {
 
 impl GroupLayout {
     /// Build a layout from a validated configuration.
+    ///
+    /// Panics if `cfg` is invalid for `ranks`; use [`GroupLayout::try_new`]
+    /// to get the typed [`crate::config::ConfigError`] instead.
     pub fn new(cfg: &FtiConfig, ranks: u32) -> Self {
+        // lint: allow(panic-path) -- documented panicking convenience over
+        // `try_new`; every caller constructs cfg from validated presets.
         cfg.validate(ranks).expect("FTI configuration invalid for rank count");
         GroupLayout {
             ranks,
@@ -40,6 +45,21 @@ impl GroupLayout {
             group_size: cfg.group_size,
             l2_copies: cfg.l2_copies,
         }
+    }
+
+    /// Build a layout, surfacing an invalid configuration as the typed
+    /// [`crate::config::ConfigError`] instead of panicking.
+    pub fn try_new(
+        cfg: &FtiConfig,
+        ranks: u32,
+    ) -> Result<Self, crate::config::ConfigError> {
+        cfg.validate(ranks)?;
+        Ok(GroupLayout {
+            ranks,
+            node_size: cfg.node_size,
+            group_size: cfg.group_size,
+            l2_copies: cfg.l2_copies,
+        })
     }
 
     /// Total FTI nodes.

@@ -182,6 +182,9 @@ impl EncodedGroup {
                 c.resize(chunk_len, 0);
                 data_chunks.push(c);
             }
+            // lint: allow(panic-path) -- shard count and equal chunk
+            // lengths are established by the loop just above, so `encode`'s
+            // two error cases are unreachable here by construction.
             let parity_chunks = rs.encode(&data_chunks).expect("encode cannot fail");
             chunks.push(
                 data_chunks

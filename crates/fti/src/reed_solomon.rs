@@ -216,6 +216,9 @@ impl ReedSolomon {
         let top_inv = v
             .select_rows(&top)
             .inverse()
+            // lint: allow(panic-path) -- mathematical invariant: the top
+            // k×k block of a Vandermonde matrix over distinct GF(256)
+            // points is always invertible, so this expect is unreachable.
             .expect("Vandermonde top block is always invertible");
         let matrix = v.mul(&top_inv);
         ReedSolomon { data, parity, matrix }
@@ -265,31 +268,33 @@ impl ReedSolomon {
         if shards.len() != self.total_shards() {
             return Err(RsError::BadShardIndex(shards.len()));
         }
-        let available: Vec<usize> =
-            shards.iter().enumerate().filter(|(_, s)| s.is_some()).map(|(i, _)| i).collect();
+        // Carry the surviving shard references alongside their indices so
+        // no later step has to re-unwrap an `Option` (besst-lint D3).
+        let available: Vec<(usize, &Vec<u8>)> =
+            shards.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (i, v))).collect();
         if available.len() < self.data {
             return Err(RsError::NotEnoughShards { have: available.len(), need: self.data });
         }
         let chosen = &available[..self.data];
-        let len = shards[chosen[0]].as_ref().expect("chosen shard present").len();
-        if chosen.iter().any(|&i| shards[i].as_ref().expect("present").len() != len) {
+        let len = chosen[0].1.len();
+        if chosen.iter().any(|&(_, s)| s.len() != len) {
             return Err(RsError::ShardSizeMismatch);
         }
         // Fast path: all data shards survive.
-        if chosen.iter().enumerate().all(|(i, &s)| i == s) {
-            return Ok(chosen
-                .iter()
-                .map(|&i| shards[i].as_ref().expect("present").clone())
-                .collect());
+        if chosen.iter().enumerate().all(|(i, &(s, _))| i == s) {
+            return Ok(chosen.iter().map(|&(_, s)| s.clone()).collect());
         }
-        let sub = self.matrix.select_rows(chosen);
+        let idxs: Vec<usize> = chosen.iter().map(|&(i, _)| i).collect();
+        let sub = self.matrix.select_rows(&idxs);
         let dec = sub
             .inverse()
+            // lint: allow(panic-path) -- mathematical invariant: any k rows
+            // of a systematized Vandermonde matrix are linearly
+            // independent, so the inverse always exists.
             .expect("any k rows of a systematized Vandermonde matrix are independent");
         let mut out = vec![vec![0u8; len]; self.data];
         for (r, o) in out.iter_mut().enumerate() {
-            for (c, &idx) in chosen.iter().enumerate() {
-                let shard = shards[idx].as_ref().expect("present");
+            for (c, &(_, shard)) in chosen.iter().enumerate() {
                 gf256::mul_acc(o, shard, dec.get(r, c));
             }
         }

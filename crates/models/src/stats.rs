@@ -65,7 +65,7 @@ pub fn quantile(samples: &[f64], q: f64) -> f64 {
     assert!(!samples.is_empty(), "quantile of an empty set is undefined");
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     let mut s = samples.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("samples must be comparable"));
+    s.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (s.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -329,7 +329,7 @@ pub fn fit(train: &Dataset, test: Option<&Dataset>, cfg: &SymRegConfig) -> SymRe
     let mut history = Vec::with_capacity(cfg.generations);
 
     for gen in 0..cfg.generations {
-        pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("fitness is not NaN"));
+        pop.sort_by(|a, b| a.1.total_cmp(&b.1));
         history.push(pop[0].1);
 
         let elite = pop[0].0.clone();
@@ -352,7 +352,7 @@ pub fn fit(train: &Dataset, test: Option<&Dataset>, cfg: &SymRegConfig) -> SymRe
         pop = eval_pop(next);
     }
 
-    pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("fitness is not NaN"));
+    pop.sort_by(|a, b| a.1.total_cmp(&b.1));
     let best_norm = refine_constants(&pop[0].0, train, cfg.parsimony).simplify();
 
     // Fold the normalization back in: best(x) = y_scale * best'(x / mean).

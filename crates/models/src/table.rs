@@ -64,7 +64,7 @@ impl SampleTable {
 
     fn cmp_coords(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
         for (x, y) in a.iter().zip(b) {
-            match x.partial_cmp(y).expect("coordinates must be comparable") {
+            match x.total_cmp(y) {
                 std::cmp::Ordering::Equal => continue,
                 o => return o,
             }
@@ -118,7 +118,7 @@ impl SampleTable {
             }
         }
         for a in &mut axes {
-            a.sort_by(|x, y| x.partial_cmp(y).expect("finite coordinates"));
+            a.sort_by(|x, y| x.total_cmp(y));
         }
         axes
     }

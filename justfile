@@ -31,6 +31,30 @@ buggify:
 faults:
     cargo run --release -p besst-experiments --bin repro -- cases24
 
+# besst-lint: repo-specific determinism/soundness rules D1–D5 over every
+# workspace crate. Exits nonzero on findings. See docs/STATIC_ANALYSIS.md.
+lint:
+    cargo run -p xtask -- lint
+
+# Miri (nightly): undefined-behavior interpreter over the besst-des unit
+# tests. Heavy DST roundtrips are `#[cfg_attr(miri, ignore)]`-gated.
+miri:
+    cargo +nightly miri test -p besst-des --lib
+
+# ThreadSanitizer (nightly): data-race detection over the parallel engine,
+# driven by a reduced DST seed block across every partitioning.
+tsan:
+    RUSTFLAGS="-Zsanitizer=thread" DST_SEEDS=4 cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu -p besst-des --test dst_substrate
+
+# Exhaustive-interleaving model check of the parallel engine's cross-rank
+# handoff (pure std; the loom variant needs `--cfg loom` + the loom crate).
+handoff:
+    cargo test -p besst-des --test rank_handoff
+
+# cargo-deny: advisories, license allow-list, duplicate-version bans.
+deny:
+    cargo deny check
+
 # Build API docs, treating rustdoc warnings as errors (matches CI).
 doc:
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

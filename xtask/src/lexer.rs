@@ -1,0 +1,333 @@
+//! A minimal, line-oriented lexer for Rust source.
+//!
+//! The lint rules in [`crate::rules`] are lexical: they match identifiers
+//! and operators that must never appear in certain crates. For that to be
+//! sound we must not match inside string literals, char literals, or
+//! comments — `// documentation that mentions HashMap` is not a finding,
+//! and neither is `println!("Instant::now")`. This module splits every
+//! source line into its *code* text (literals blanked out) and its
+//! *comment* text (used to find `// lint: allow(...)` justifications and
+//! `// SAFETY:` documentation), and marks which lines belong to test-only
+//! regions (`#[cfg(test)] mod … { … }` bodies, `#[test]` functions).
+//!
+//! The lexer is deliberately dependency-free (no `syn`): the workspace
+//! builds against an offline stub registry (docs/OFFLINE_BUILDS.md), so the
+//! linter hand-rolls the small subset of Rust lexing it needs. It handles
+//! line/block comments (nested), string/raw-string/byte-string literals,
+//! char literals vs. lifetimes, and escapes. It does not need to be a full
+//! parser: brace counting on code text is enough to delimit test modules.
+
+/// One source line, split into code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text with every string/char literal replaced by `""`/`' '` and
+    /// comments removed. Identifier and operator positions are preserved
+    /// well enough for column reporting.
+    pub code: String,
+    /// Concatenated comment text on this line (without `//`/`/*` markers).
+    pub comment: String,
+    /// True if this line is inside test-only code: a `#[cfg(test)]` module
+    /// body, a `#[test]`/`#[cfg(test)]`-attributed item, or a
+    /// `#[cfg(miri)]`/`#[cfg(loom)]` region (dynamic-analysis shims).
+    pub is_test: bool,
+}
+
+/// Lex a whole file into per-line code/comment channels.
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut state = State::Normal;
+
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let n = bytes.len();
+    while i <= n {
+        let c = if i < n { bytes[i] } else { '\n' };
+        let next = if i + 1 < n { bytes[i + 1] } else { '\0' };
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            lines.push(Line { code: std::mem::take(&mut code), comment: std::mem::take(&mut comment), is_test: false });
+            i += 1;
+            if i > n {
+                break;
+            }
+            if i == n {
+                break;
+            }
+            continue;
+        }
+        match state {
+            State::Normal => match c {
+                '/' if next == '/' => {
+                    state = State::LineComment;
+                    i += 2;
+                    // Swallow doc-comment markers too (`///`, `//!`).
+                    while i < n && (bytes[i] == '/' || bytes[i] == '!') {
+                        i += 1;
+                    }
+                }
+                '/' if next == '*' => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    code.push_str("\"\"");
+                    state = State::Str;
+                    i += 1;
+                }
+                'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                    let (hashes, consumed) = raw_string_open(&bytes, i);
+                    code.push_str("\"\"");
+                    state = State::RawStr(hashes);
+                    i += consumed;
+                }
+                // Lifetime (`'a`) vs char literal (`'a'`). A lifetime is
+                // `'` + ident-start not followed by a closing quote.
+                '\'' if is_char_literal(&bytes, i) => {
+                    code.push_str("' '");
+                    state = State::Char;
+                    i += 1;
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == '/' {
+                    state = if depth == 1 { State::Normal } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_string_closes(&bytes, i, hashes) {
+                    state = State::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// `r"…"`, `r#"…"#`, `br"…"`, `b"…"` starts. Called with `bytes[i]` being
+/// `r` or `b`.
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // Must not be the tail of a longer identifier (`for`, `ptr`, …).
+    if i > 0 {
+        let p = bytes[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if j < bytes.len() && bytes[j] == '"' {
+            return true; // b"…" — plain byte string, handled as raw-0
+        }
+    }
+    if j < bytes.len() && bytes[j] == 'r' {
+        j += 1;
+        while j < bytes.len() && bytes[j] == '#' {
+            j += 1;
+        }
+        return j < bytes.len() && bytes[j] == '"';
+    }
+    false
+}
+
+/// Returns (number of hashes, chars consumed through the opening quote).
+fn raw_string_open(bytes: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == 'r' {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while j < bytes.len() && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    // j is at the opening quote
+    (hashes, j - i + 1)
+}
+
+fn raw_string_closes(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| bytes.get(i + 1 + k) == Some(&'#'))
+}
+
+/// Distinguish `'a'` / `'\n'` (char literal) from `'a` (lifetime) at a `'`.
+fn is_char_literal(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    if i + 1 >= n {
+        return false;
+    }
+    let c1 = bytes[i + 1];
+    if c1 == '\\' {
+        return true; // escape can only start a char literal
+    }
+    // `'x'` → char literal; `'x` followed by anything else → lifetime.
+    i + 2 < n && bytes[i + 2] == '\'' && c1 != '\''
+}
+
+/// Mark lines that belong to test-only regions.
+///
+/// Heuristic, but robust for this codebase's idiom: an attribute line whose
+/// code contains `#[cfg(test)]`, `#[cfg(miri)]`, `#[cfg(loom)]`, `#[test]`,
+/// or `#[cfg_attr(…, test)]` marks the *next item* (through its balanced
+/// `{ … }` body, or to the `;` for bodyless items) as test code, along with
+/// the attribute line itself.
+fn mark_test_regions(lines: &mut [Line]) {
+    let n = lines.len();
+    let mut i = 0usize;
+    while i < n {
+        let code = lines[i].code.trim().to_string();
+        let is_test_attr = code.contains("#[cfg(test)")
+            || code.contains("#[cfg(any(test")
+            || code.contains("#[cfg(miri)")
+            || code.contains("#[cfg(loom)")
+            || code.contains("#[test]")
+            || code.contains("#[cfg_attr(test");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        lines[i].is_test = true;
+        // Walk forward to the item's body: find the first `{` at or after
+        // the attribute (skipping further attributes/doc lines), then mark
+        // until braces rebalance. A `;` before any `{` ends a bodyless item.
+        let mut depth: i64 = 0;
+        let mut seen_open = false;
+        let mut j = i + 1;
+        while j < n {
+            lines[j].is_test = true;
+            for ch in lines[j].code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !seen_open && depth == 0 => {
+                        // bodyless item (e.g. `mod foo;`)
+                        depth = i64::MIN; // force exit
+                    }
+                    _ => {}
+                }
+                if depth == i64::MIN {
+                    break;
+                }
+            }
+            if depth == i64::MIN || (seen_open && depth <= 0) {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r#"
+let x = "HashMap in a string";
+// HashMap in a comment
+let y = HashMap::new(); // trailing note
+"#;
+        let lines = lex(src);
+        assert!(!lines[1].code.contains("HashMap"));
+        assert!(!lines[2].code.contains("HashMap"));
+        assert!(lines[2].comment.contains("HashMap"));
+        assert!(lines[3].code.contains("HashMap"));
+        assert!(lines[3].comment.contains("trailing note"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let s = r#\"Instant::now\"#;\nlet c = '\\n';\nlet lt: &'static str = \"x\";\n";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[1].code.contains("' '"));
+        assert!(lines[2].code.contains("'static"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "/* outer /* inner */ still comment: thread_rng */\nlet a = 1;\n";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("thread_rng"));
+        assert!(lines[0].comment.contains("inner"));
+        assert!(lines[1].code.contains("let a"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn lib2() {}\n";
+        let lines = lex(src);
+        assert!(!lines[0].is_test);
+        assert!(lines[1].is_test && lines[2].is_test && lines[3].is_test && lines[4].is_test);
+        assert!(!lines[5].is_test);
+    }
+
+    #[test]
+    fn test_attr_fn_is_marked() {
+        let src = "#[test]\nfn check() {\n    body();\n}\nfn lib() {}\n";
+        let lines = lex(src);
+        assert!(lines[0].is_test && lines[1].is_test && lines[2].is_test && lines[3].is_test);
+        assert!(!lines[4].is_test);
+    }
+}

@@ -1,0 +1,50 @@
+//! besst-lint: repo-specific determinism & soundness static analysis.
+//!
+//! The library half of the `xtask` crate, exposed so the fixture tests
+//! under `tests/` can drive the rule engine directly. See
+//! `docs/STATIC_ANALYSIS.md` for the rule catalog (D1–D5), the
+//! `// lint: allow(<key>) -- <reason>` justification syntax, and how this
+//! pass fits with the dynamic-analysis jobs (Miri, ThreadSanitizer, loom).
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use rules::{FileContext, Finding};
+use std::path::Path;
+
+/// Lint every source file in the workspace rooted at `root`.
+///
+/// Returns all findings in deterministic (path, line) order. Unreadable
+/// files are reported as findings rather than silently skipped, so a
+/// permissions problem can't masquerade as a clean pass.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in workspace::source_files(root) {
+        let abs = root.join(&file.path);
+        let source = match std::fs::read_to_string(&abs) {
+            Ok(s) => s,
+            Err(e) => {
+                findings.push(Finding {
+                    rule: rules::Rule::PanicPath,
+                    file: file.path.clone(),
+                    line: 1,
+                    col: 1,
+                    what: format!("unreadable source file: {e}"),
+                    hint: "fix permissions or remove the file from the tree".to_string(),
+                });
+                continue;
+            }
+        };
+        let ctx = FileContext {
+            crate_name: file.crate_name,
+            kind: file.kind,
+            has_typed_errors: file.has_typed_errors,
+            path: file.path,
+        };
+        findings.extend(rules::lint_source(&ctx, &source));
+    }
+    findings
+}

@@ -1,0 +1,57 @@
+//! `cargo run -p xtask -- lint` — run the besst-lint pass over the
+//! workspace and exit nonzero on any finding. `cargo xtask lint` works too
+//! if you add the usual `[alias]` to `.cargo/config.toml`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run -p xtask -- <command>\n\
+         commands:\n\
+         \u{20} lint [--root <dir>]   determinism/soundness lint (D1–D5); exits 1 on findings\n\
+         see docs/STATIC_ANALYSIS.md for the rule catalog"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = match args.iter().position(|a| a == "--root") {
+                Some(i) => match args.get(i + 1) {
+                    Some(p) => PathBuf::from(p),
+                    None => return usage(),
+                },
+                None => {
+                    let start = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+                    match xtask::workspace::find_root(&start) {
+                        Some(r) => r,
+                        None => {
+                            eprintln!("error: no workspace root found above {}", start.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
+            let findings = xtask::lint_workspace(&root);
+            for f in &findings {
+                println!("{f}\n");
+            }
+            if findings.is_empty() {
+                eprintln!("besst-lint: clean (rules D1–D5, workspace {})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "besst-lint: {} finding{} — see docs/STATIC_ANALYSIS.md for the rules \
+                     and the `// lint: allow(<key>) -- <reason>` justification syntax",
+                    findings.len(),
+                    if findings.len() == 1 { "" } else { "s" }
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,398 @@
+//! The besst-lint rule catalog.
+//!
+//! Five repo-specific determinism/soundness rules (see
+//! `docs/STATIC_ANALYSIS.md` for the rationale and the allow-list syntax):
+//!
+//! * **D1 `hash-order`** — no `std::collections::HashMap`/`HashSet` in
+//!   simulation-path crates. Hash iteration order is randomized per
+//!   process, so any observable state that flows through it breaks the
+//!   repo's bit-identity guarantees. Use `BTreeMap`/`BTreeSet` (or a
+//!   sorted `Vec`); justify exceptions with `// lint: allow(hash-order)`.
+//! * **D2 `nondet`** — no ambient nondeterminism (`thread_rng`,
+//!   `SystemTime::now`, `Instant::now`, `from_entropy`, `rand::random`)
+//!   outside the `bench`/`experiments` crates. All randomness must be
+//!   seeded (`SplitMix64`, `seed_from_u64`) and all time simulated.
+//! * **D3 `panic-path`** — no `panic!`/`.unwrap()`/`.expect(` in non-test
+//!   code of library crates that already expose typed errors (detected by
+//!   a `pub enum *Error` in the crate): return the typed error instead.
+//! * **D4 `undocumented-unsafe`** — every `unsafe` keyword must carry a
+//!   `// SAFETY:` comment on the same or one of the three preceding lines.
+//! * **D5 `float-cmp`** — no float equality (`==`/`!=` next to
+//!   `as_secs_f64`/`as_micros_f64`/`_f64` time accessors) and no
+//!   `partial_cmp` in simulation-path crates outside `besst_des::time`:
+//!   compare `SimTime` (integer ns) or use `f64::total_cmp`, which is
+//!   total, deterministic, and panic-free.
+//!
+//! Allow-list syntax: `// lint: allow(<key>) -- <reason>` on the flagged
+//! line or the line directly above it. The reason is mandatory by
+//! convention and reviewed like a `// SAFETY:` comment.
+
+use crate::lexer::{lex, Line};
+use crate::workspace::CrateKind;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Crates whose code is on the simulation path: anything that can affect a
+/// simulated trajectory, and therefore the DST bit-identity suite.
+pub const SIM_PATH_CRATES: &[&str] = &[
+    "besst-des",
+    "besst-core",
+    "besst-fti",
+    "besst-abft",
+    "besst-machine",
+    "besst-models",
+    "besst-apps",
+];
+
+/// Crates where ambient nondeterminism is tolerated (wall-clock timing of
+/// campaigns, benchmark harnesses). Everything else must be deterministic.
+pub const NONDET_OK_CRATES: &[&str] = &["besst-bench", "besst-experiments", "xtask"];
+
+/// One lint rule's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// D1: hash-ordered collections in simulation-path crates.
+    HashOrder,
+    /// D2: ambient nondeterminism outside bench/experiments.
+    Nondet,
+    /// D3: panic paths in typed-error library crates.
+    PanicPath,
+    /// D4: `unsafe` without a `// SAFETY:` comment.
+    UndocumentedUnsafe,
+    /// D5: float comparison on timestamps / `partial_cmp` on sim paths.
+    FloatCmp,
+}
+
+impl Rule {
+    /// Diagnostic code, e.g. `D1/hash-order`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::HashOrder => "D1/hash-order",
+            Rule::Nondet => "D2/nondet",
+            Rule::PanicPath => "D3/panic-path",
+            Rule::UndocumentedUnsafe => "D4/undocumented-unsafe",
+            Rule::FloatCmp => "D5/float-cmp",
+        }
+    }
+
+    /// Key accepted by `// lint: allow(<key>)`.
+    pub fn allow_key(self) -> &'static str {
+        match self {
+            Rule::HashOrder => "hash-order",
+            Rule::Nondet => "nondet",
+            Rule::PanicPath => "panic-path",
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+            Rule::FloatCmp => "float-cmp",
+        }
+    }
+}
+
+/// A single diagnostic: rule, location, matched text, fix hint.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the match start.
+    pub col: usize,
+    /// What the rule matched (for the message).
+    pub what: String,
+    /// One-line fix suggestion.
+    pub hint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "error[{}]: {}",
+            self.rule.code(),
+            self.what
+        )?;
+        writeln!(f, "  --> {}:{}:{}", self.file.display(), self.line, self.col)?;
+        write!(f, "  hint: {}", self.hint)
+    }
+}
+
+/// Per-file lint context: which crate the file belongs to and what kind of
+/// target it is.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Package name from the owning crate's `Cargo.toml`.
+    pub crate_name: String,
+    /// Library source vs. test/bench/example target.
+    pub kind: CrateKind,
+    /// True when the owning crate defines a `pub enum *Error` (enables D3).
+    pub has_typed_errors: bool,
+    /// Path as reported in diagnostics (workspace-relative).
+    pub path: PathBuf,
+}
+
+impl FileContext {
+    fn sim_path(&self) -> bool {
+        SIM_PATH_CRATES.contains(&self.crate_name.as_str())
+    }
+    fn nondet_ok(&self) -> bool {
+        NONDET_OK_CRATES.contains(&self.crate_name.as_str())
+    }
+    /// `besst_des::time` is the one module allowed to convert/compare
+    /// float time (it owns the float↔integer boundary).
+    fn is_time_module(&self) -> bool {
+        self.crate_name == "besst-des" && self.path.ends_with("src/time.rs")
+    }
+}
+
+/// Does line `i`, or the contiguous comment block directly above it, carry
+/// the marker `needle`? Multi-line justifications are idiomatic, so the
+/// search walks upward while lines are comment-only.
+fn marked(lines: &[Line], i: usize, needle: &str) -> bool {
+    if lines[i].comment.contains(needle) {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        let comment_only = !l.comment.is_empty() && l.code.trim().is_empty();
+        if comment_only {
+            if l.comment.contains(needle) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Does line `i` (or the comment block above) carry `// lint: allow(<key>)`?
+fn allowed(lines: &[Line], i: usize, key: &str) -> bool {
+    marked(lines, i, &format!("lint: allow({key})"))
+}
+
+/// Does line `i` (or the comment block above) carry a `SAFETY:` comment?
+fn has_safety_comment(lines: &[Line], i: usize) -> bool {
+    marked(lines, i, "SAFETY:")
+}
+
+/// Match `needle` in `hay` only at identifier boundaries, returning the
+/// 0-based byte offset of the first such match.
+fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !hay[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let end = at + needle.len();
+        let after_ok = end >= hay.len()
+            || !hay[end..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = end;
+    }
+    None
+}
+
+/// Lint one file's source text. Pure function of (context, source) so the
+/// fixture tests can drive it directly.
+pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
+    let lines = lex(source);
+    let mut findings = Vec::new();
+    let mut push = |rule: Rule, line: usize, col: usize, what: String, hint: String| {
+        findings.push(Finding { rule, file: ctx.path.clone(), line: line + 1, col: col + 1, what, hint });
+    };
+
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if code.is_empty() {
+            continue;
+        }
+
+        // D1 — hash-ordered collections on the simulation path. Applies to
+        // test code too: a hash-ordered test harness is a flaky test.
+        if ctx.sim_path() && !allowed(&lines, i, Rule::HashOrder.allow_key()) {
+            for name in ["HashMap", "HashSet"] {
+                if let Some(col) = find_word(code, name) {
+                    push(
+                        Rule::HashOrder,
+                        i,
+                        col,
+                        format!("`{name}` in simulation-path crate `{}`: iteration order is per-process random and breaks bit-identity", ctx.crate_name),
+                        "use `BTreeMap`/`BTreeSet` (deterministic order) or justify with `// lint: allow(hash-order) -- <reason>`".to_string(),
+                    );
+                }
+            }
+        }
+
+        // D2 — ambient nondeterminism. Everywhere except bench/experiments;
+        // test code included (DST replays require deterministic tests).
+        if !ctx.nondet_ok() && !allowed(&lines, i, Rule::Nondet.allow_key()) {
+            for pat in ["thread_rng", "SystemTime::now", "Instant::now", "from_entropy", "rand::random"] {
+                if let Some(col) = find_word(code, pat) {
+                    push(
+                        Rule::Nondet,
+                        i,
+                        col,
+                        format!("ambient nondeterminism `{pat}` in crate `{}`", ctx.crate_name),
+                        "seed explicitly (`SplitMix64::new(seed)`, `seed_from_u64`) or use `SimTime`; wall-clock timing belongs in `bench`/`experiments`".to_string(),
+                    );
+                }
+            }
+        }
+
+        // D3 — panic paths where a typed error already exists. Library
+        // (non-test) code only; doc examples and tests may unwrap.
+        if ctx.has_typed_errors
+            && ctx.kind == CrateKind::Lib
+            && !line.is_test
+            && !allowed(&lines, i, Rule::PanicPath.allow_key())
+        {
+            for pat in [".unwrap()", ".expect(", "panic!("] {
+                if let Some(col) = code.find(pat) {
+                    push(
+                        Rule::PanicPath,
+                        i,
+                        col,
+                        format!("panic path `{}` in `{}`, which has typed errors", pat.trim_end_matches('('), ctx.crate_name),
+                        "return the crate's typed error (`RecoveryError` precedent) or justify with `// lint: allow(panic-path) -- <invariant>`".to_string(),
+                    );
+                }
+            }
+        }
+
+        // D4 — undocumented `unsafe`. Everywhere, tests included.
+        if let Some(col) = find_word(code, "unsafe") {
+            // `unsafe_op_in_unsafe_fn`-style idents are handled by
+            // find_word's boundary check; attribute spellings like
+            // `#![deny(unsafe_op_in_unsafe_fn)]` never match the bare word.
+            if !has_safety_comment(&lines, i) && !allowed(&lines, i, Rule::UndocumentedUnsafe.allow_key()) {
+                push(
+                    Rule::UndocumentedUnsafe,
+                    i,
+                    col,
+                    "`unsafe` without a `// SAFETY:` comment".to_string(),
+                    "document the invariant that makes this sound (`// SAFETY: …`) on the line above, or remove the `unsafe`".to_string(),
+                );
+            }
+        }
+
+        // D5 — float comparison on timestamps; `partial_cmp` on sim paths.
+        if ctx.sim_path() && !ctx.is_time_module() && !allowed(&lines, i, Rule::FloatCmp.allow_key()) {
+            let float_time = ["as_secs_f64", "as_micros_f64", "elapsed_s", "makespan_s"]
+                .iter()
+                .any(|p| code.contains(p));
+            if float_time && (code.contains("==") || code.contains("!=") || code.contains("assert_eq!")) {
+                let col = code.find("==").or_else(|| code.find("!=")).unwrap_or(0);
+                push(
+                    Rule::FloatCmp,
+                    i,
+                    col,
+                    "float equality on a timestamp".to_string(),
+                    "compare `SimTime` (integer nanoseconds) instead, or use an explicit tolerance".to_string(),
+                );
+            }
+            if let Some(col) = find_word(code, "partial_cmp") {
+                // The lone legitimate shape: *defining* `PartialOrd`.
+                if !code.contains("fn partial_cmp") {
+                    push(
+                        Rule::FloatCmp,
+                        i,
+                        col,
+                        "`partial_cmp` on a simulation path: NaN makes the order partial and the usual `.unwrap()` a panic path".to_string(),
+                        "use `f64::total_cmp` (total, deterministic, panic-free) or compare `SimTime`".to_string(),
+                    );
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(name: &str, kind: CrateKind, typed: bool) -> FileContext {
+        FileContext {
+            crate_name: name.to_string(),
+            kind,
+            has_typed_errors: typed,
+            path: PathBuf::from("test.rs"),
+        }
+    }
+
+    #[test]
+    fn d1_fires_and_allowlists() {
+        let c = ctx("besst-core", CrateKind::Lib, false);
+        let f = lint_source(&c, "use std::collections::HashMap;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::HashOrder);
+        assert_eq!(f[0].line, 1);
+        let f = lint_source(&c, "// lint: allow(hash-order) -- keyed output is sorted before use\nuse std::collections::HashMap;\n");
+        assert!(f.is_empty());
+        // Not a sim-path crate → no finding.
+        let c = ctx("besst-analytic", CrateKind::Lib, false);
+        assert!(lint_source(&c, "use std::collections::HashMap;\n").is_empty());
+    }
+
+    #[test]
+    fn d2_respects_crate_scope() {
+        let c = ctx("besst-des", CrateKind::Lib, false);
+        let f = lint_source(&c, "let t = Instant::now();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Nondet);
+        let c = ctx("besst-experiments", CrateKind::Bin, false);
+        assert!(lint_source(&c, "let t = Instant::now();\n").is_empty());
+    }
+
+    #[test]
+    fn d3_only_with_typed_errors_and_outside_tests() {
+        let c = ctx("besst-fti", CrateKind::Lib, true);
+        let f = lint_source(&c, "let v = x.unwrap();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PanicPath);
+        let f = lint_source(&c, "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n");
+        assert!(f.is_empty());
+        let c = ctx("besst-machine", CrateKind::Lib, false);
+        assert!(lint_source(&c, "let v = x.unwrap();\n").is_empty());
+    }
+
+    #[test]
+    fn d4_needs_safety_comment() {
+        let c = ctx("besst-analytic", CrateKind::Lib, false);
+        let f = lint_source(&c, "let p = unsafe { *ptr };\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UndocumentedUnsafe);
+        let ok = "// SAFETY: ptr is valid for the lifetime of the arena.\nlet p = unsafe { *ptr };\n";
+        assert!(lint_source(&c, ok).is_empty());
+    }
+
+    #[test]
+    fn d5_flags_partial_cmp_but_not_the_impl() {
+        let c = ctx("besst-core", CrateKind::Lib, false);
+        let f = lint_source(&c, "v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::FloatCmp);
+        assert!(lint_source(&c, "fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n").is_empty());
+        assert!(lint_source(&c, "v.sort_by(|a, b| a.0.total_cmp(&b.0));\n").is_empty());
+    }
+
+    #[test]
+    fn d5_float_time_equality() {
+        let c = ctx("besst-core", CrateKind::Lib, false);
+        let f = lint_source(&c, "if t.as_secs_f64() == end { halt(); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::FloatCmp);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let c = ctx("besst-des", CrateKind::Lib, false);
+        let src = "// HashMap would break bit-identity\nlet s = \"Instant::now\";\n";
+        assert!(lint_source(&c, src).is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! Workspace discovery for the linter.
+//!
+//! A dependency-free stand-in for `cargo metadata`: the workspace root's
+//! `Cargo.toml` is parsed just enough to expand its `members` globs, each
+//! member's `Cargo.toml` yields the package name, and every `.rs` file
+//! under the member's `src/`, `tests/`, `benches/`, and `examples/` trees
+//! is classified by target kind. (The offline stub registry this repo
+//! builds against — docs/OFFLINE_BUILDS.md — has no `cargo_metadata`/`syn`,
+//! and shelling out to `cargo metadata` would drag JSON parsing in; the
+//! workspace layout is simple enough to walk directly.)
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What kind of compilation target a file belongs to. D3 only applies to
+/// [`CrateKind::Lib`] code; the other kinds are test/dev targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateKind {
+    /// `src/**` of a library crate.
+    Lib,
+    /// `src/bin/**` or `src/main.rs` binaries.
+    Bin,
+    /// `tests/**` integration tests.
+    Test,
+    /// `benches/**`.
+    Bench,
+    /// `examples/**`.
+    Example,
+}
+
+/// One workspace member.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// Package name from `Cargo.toml`.
+    pub name: String,
+    /// Member directory, workspace-relative.
+    pub dir: PathBuf,
+    /// True if the crate declares a `pub enum *Error` anywhere in `src/`.
+    pub has_typed_errors: bool,
+}
+
+/// A source file to lint, with its classification.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Owning package name.
+    pub crate_name: String,
+    /// Target kind.
+    pub kind: CrateKind,
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// True if the owning crate has typed errors (enables D3).
+    pub has_typed_errors: bool,
+}
+
+/// Locate the workspace root by walking up from `start` to the first
+/// `Cargo.toml` containing a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Extract `name = "…"` from a `Cargo.toml`'s `[package]` table.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_package = t == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = t.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    return Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Expand the root manifest's `members = [...]` list (literal paths and
+/// single-level `dir/*` globs).
+fn member_dirs(root: &Path, manifest: &str) -> Vec<PathBuf> {
+    let mut dirs = Vec::new();
+    // Find the members array, which may span lines.
+    let Some(start) = manifest.find("members") else {
+        return dirs;
+    };
+    let Some(open) = manifest[start..].find('[') else {
+        return dirs;
+    };
+    let Some(close) = manifest[start + open..].find(']') else {
+        return dirs;
+    };
+    let list = &manifest[start + open + 1..start + open + close];
+    for entry in list.split(',') {
+        let entry = entry.trim().trim_matches('"');
+        if entry.is_empty() {
+            continue;
+        }
+        if let Some(prefix) = entry.strip_suffix("/*") {
+            let base = root.join(prefix);
+            let Ok(rd) = fs::read_dir(&base) else { continue };
+            let mut found: Vec<PathBuf> = rd
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect();
+            found.sort();
+            dirs.extend(found);
+        } else {
+            let p = root.join(entry);
+            if p.join("Cargo.toml").is_file() {
+                dirs.push(p);
+            }
+        }
+    }
+    dirs
+}
+
+/// Discover all workspace members (including the root package, if any).
+pub fn members(root: &Path) -> Vec<Member> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+    let mut dirs = member_dirs(root, &manifest);
+    if manifest.contains("[package]") {
+        dirs.push(root.to_path_buf());
+    }
+    let mut out = Vec::new();
+    for dir in dirs {
+        let m = fs::read_to_string(dir.join("Cargo.toml")).unwrap_or_default();
+        let Some(name) = package_name(&m) else { continue };
+        let has_typed_errors = crate_has_typed_errors(&dir);
+        out.push(Member { name, dir, has_typed_errors });
+    }
+    out.sort_by(|a, b| a.dir.cmp(&b.dir));
+    out
+}
+
+/// Whether any `src/` file declares a public error enum (`pub enum FooError`).
+fn crate_has_typed_errors(dir: &Path) -> bool {
+    let mut found = false;
+    walk_rs(&dir.join("src"), &mut |p| {
+        if found {
+            return;
+        }
+        if let Ok(text) = fs::read_to_string(p) {
+            found = text.lines().any(|l| {
+                let t = l.trim_start();
+                t.starts_with("pub enum") && t.split_whitespace().nth(2).is_some_and(|n| {
+                    n.trim_end_matches(|c: char| !c.is_alphanumeric()).ends_with("Error")
+                })
+            });
+        }
+    });
+    found
+}
+
+/// Recursively visit every `.rs` file under `dir` in sorted order.
+fn walk_rs(dir: &Path, f: &mut dyn FnMut(&Path)) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk_rs(&p, f);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            f(&p);
+        }
+    }
+}
+
+/// Enumerate every lintable source file in the workspace, sorted, with
+/// fixture trees excluded (they contain deliberate violations).
+pub fn source_files(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    for m in members(root) {
+        let subtrees: &[(&str, CrateKind)] = &[
+            ("src", CrateKind::Lib),
+            ("tests", CrateKind::Test),
+            ("benches", CrateKind::Bench),
+            ("examples", CrateKind::Example),
+        ];
+        for (sub, kind) in subtrees {
+            // The root package's tests/ and examples/ belong to it; but when
+            // the member *is* the root, skip re-walking crates/ via src —
+            // walk_rs only descends the named subtree, so nothing overlaps.
+            walk_rs(&m.dir.join(sub), &mut |p| {
+                let rel = p.strip_prefix(root).unwrap_or(p).to_path_buf();
+                // Lint fixtures are deliberate violations.
+                if rel.components().any(|c| c.as_os_str() == "fixtures") {
+                    return;
+                }
+                let mut kind = *kind;
+                if kind == CrateKind::Lib {
+                    let s = rel.to_string_lossy();
+                    if s.contains("/bin/") || s.ends_with("src/main.rs") {
+                        kind = CrateKind::Bin;
+                    }
+                }
+                out.push(SourceFile {
+                    crate_name: m.name.clone(),
+                    kind,
+                    path: rel,
+                    has_typed_errors: m.has_typed_errors,
+                });
+            });
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let ms = members(&root);
+        assert!(ms.iter().any(|m| m.name == "besst-des"));
+        assert!(ms.iter().any(|m| m.name == "xtask"));
+        // fti declares RecoveryError/RsError/ConfigError.
+        let fti = ms.iter().find(|m| m.name == "besst-fti").expect("fti member");
+        assert!(fti.has_typed_errors);
+        // des has no typed error enum today.
+        let des = ms.iter().find(|m| m.name == "besst-des").expect("des member");
+        assert!(!des.has_typed_errors);
+    }
+
+    #[test]
+    fn fixture_trees_are_excluded() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let files = source_files(&root);
+        assert!(!files.is_empty());
+        assert!(files.iter().all(|f| !f.path.to_string_lossy().contains("fixtures")));
+        // Sorted, deterministic output — the linter eats its own dog food.
+        let mut sorted = files.iter().map(|f| f.path.clone()).collect::<Vec<_>>();
+        sorted.sort();
+        assert_eq!(sorted, files.iter().map(|f| f.path.clone()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn package_name_parses() {
+        assert_eq!(
+            package_name("[package]\nname = \"foo\"\nversion = \"1\"\n"),
+            Some("foo".to_string())
+        );
+        assert_eq!(package_name("[workspace]\nmembers = []\n"), None);
+    }
+}

@@ -1,0 +1,20 @@
+//! D1 fixture: hash-ordered collections in a simulation-path crate.
+//! Linted as crate `besst-core` by `tests/lint_rules.rs`; never compiled.
+
+use std::collections::HashMap; // VIOLATION line 4
+use std::collections::BTreeMap; // ok
+
+fn per_component_counts() {
+    let mut counts: HashMap<u32, u64> = HashMap::new(); // VIOLATION line 8 (two matches)
+    counts.insert(1, 2);
+
+    // lint: allow(hash-order) -- counts are drained into a sorted Vec
+    // before anything observable reads them.
+    let justified: std::collections::HashSet<u32> = Default::default();
+    let _ = (counts, justified);
+
+    // "HashMap" in a string and HashMap in this comment must not fire.
+    let _doc = "HashMap iteration order";
+
+    let _ordered: BTreeMap<u32, u64> = BTreeMap::new();
+}

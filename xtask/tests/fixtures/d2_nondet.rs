@@ -1,0 +1,16 @@
+//! D2 fixture: ambient nondeterminism outside bench/experiments.
+//! Linted as crate `besst-des` by `tests/lint_rules.rs`; never compiled.
+
+fn sources_of_nondeterminism() {
+    let _t = std::time::Instant::now(); // VIOLATION line 5
+    let _w = std::time::SystemTime::now(); // VIOLATION line 6
+    let _r = rand::thread_rng(); // VIOLATION line 7
+
+    // lint: allow(nondet) -- wall-clock used only for a progress message,
+    // never fed into simulated state.
+    let _progress = std::time::Instant::now();
+
+    // Seeded randomness is the sanctioned path:
+    let _rng = SplitMix64::new(0xBE57);
+    let _msg = "Instant::now in a string is fine";
+}

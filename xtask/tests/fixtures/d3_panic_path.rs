@@ -1,0 +1,30 @@
+//! D3 fixture: panic paths in a library crate with typed errors.
+//! Linted as crate `besst-fti` (has_typed_errors) by `tests/lint_rules.rs`.
+
+pub enum FixtureError { Bad }
+
+pub fn decode(x: Option<u32>) -> u32 {
+    x.unwrap() // VIOLATION line 7
+}
+
+pub fn parse(x: Result<u32, FixtureError>) -> u32 {
+    x.expect("must parse") // VIOLATION line 11
+}
+
+pub fn fail() {
+    panic!("boom"); // VIOLATION line 15
+}
+
+pub fn justified(x: Option<u32>) -> u32 {
+    // lint: allow(panic-path) -- index is bounds-checked two lines up.
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+    }
+}

@@ -1,0 +1,17 @@
+//! D4 fixture: `unsafe` without a `// SAFETY:` comment.
+//! Linted as crate `besst-analytic` by `tests/lint_rules.rs`; never compiled.
+
+pub fn undocumented(ptr: *const u32) -> u32 {
+    unsafe { *ptr } // VIOLATION line 5
+}
+
+pub fn documented(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees `ptr` is valid and aligned for the whole
+    // call (checked by the arena allocator that produced it).
+    unsafe { *ptr }
+}
+
+pub fn string_mention() {
+    let _ = "unsafe in a string must not fire";
+    // and unsafe in a comment must not fire either
+}

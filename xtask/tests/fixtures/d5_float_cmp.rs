@@ -1,0 +1,26 @@
+//! D5 fixture: float comparison on timestamps / `partial_cmp` on the
+//! simulation path. Linted as crate `besst-core` by `tests/lint_rules.rs`.
+
+pub fn float_time_equality(t: SimTime, end: f64) -> bool {
+    t.as_secs_f64() == end // VIOLATION line 5
+}
+
+pub fn sorts(mut v: Vec<(f64, u32)>) {
+    v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap()); // VIOLATION line 9
+}
+
+pub fn justified(mut v: Vec<(f64, u32)>) {
+    // lint: allow(float-cmp) -- inputs proven finite by the caller's
+    // validation pass; ordering feeds a report, not the trajectory.
+    v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}
+
+pub fn sanctioned(mut v: Vec<(f64, u32)>) {
+    v.sort_by(|a, b| a.0.total_cmp(&b.0)); // ok: total order
+}
+
+impl PartialOrd for Wrapper {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> { // ok: impl
+        Some(self.cmp(other))
+    }
+}

@@ -1,0 +1,126 @@
+//! besst-lint acceptance tests: every rule catches its seeded fixture
+//! violations with exact file:line diagnostics, every `// lint: allow(…)`
+//! justification suppresses its site, and the workspace as merged is clean.
+//!
+//! The fixtures under `tests/fixtures/` are deliberate violations; the
+//! workspace walker excludes any `fixtures` directory, so these files are
+//! linted only here, with a synthetic [`FileContext`] selecting the crate
+//! persona each rule needs.
+
+use std::path::PathBuf;
+use xtask::rules::{lint_source, FileContext, Rule};
+use xtask::workspace::{find_root, CrateKind};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn ctx(crate_name: &str, kind: CrateKind, has_typed_errors: bool, file: &str) -> FileContext {
+    FileContext {
+        crate_name: crate_name.to_string(),
+        kind,
+        has_typed_errors,
+        path: PathBuf::from("xtask/tests/fixtures").join(file),
+    }
+}
+
+/// (rule, line) pairs of the findings, sorted.
+fn hits(findings: &[xtask::rules::Finding]) -> Vec<(Rule, usize)> {
+    let mut v: Vec<(Rule, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    v.sort_by_key(|&(_, l)| l);
+    v
+}
+
+#[test]
+fn d1_hash_order_fixture() {
+    let c = ctx("besst-core", CrateKind::Lib, false, "d1_hash_order.rs");
+    let f = lint_source(&c, &fixture("d1_hash_order.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![(Rule::HashOrder, 4), (Rule::HashOrder, 8)],
+        "expected exactly the two seeded HashMap violations: {f:#?}"
+    );
+    // Diagnostics carry the file path for file:line reporting.
+    assert!(f[0].to_string().contains("d1_hash_order.rs:4:"));
+    assert!(f[0].to_string().contains("BTreeMap"), "hint names the fix");
+}
+
+#[test]
+fn d2_nondet_fixture() {
+    let c = ctx("besst-des", CrateKind::Lib, false, "d2_nondet.rs");
+    let f = lint_source(&c, &fixture("d2_nondet.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![(Rule::Nondet, 5), (Rule::Nondet, 6), (Rule::Nondet, 7)],
+        "expected Instant/SystemTime/thread_rng violations: {f:#?}"
+    );
+    // The same file linted as an experiments target is clean: wall-clock
+    // campaign timing is that crate's business.
+    let c = ctx("besst-experiments", CrateKind::Bin, false, "d2_nondet.rs");
+    assert!(lint_source(&c, &fixture("d2_nondet.rs")).is_empty());
+}
+
+#[test]
+fn d3_panic_path_fixture() {
+    let c = ctx("besst-fti", CrateKind::Lib, true, "d3_panic_path.rs");
+    let f = lint_source(&c, &fixture("d3_panic_path.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![(Rule::PanicPath, 7), (Rule::PanicPath, 11), (Rule::PanicPath, 15)],
+        "expected unwrap/expect/panic! violations outside tests: {f:#?}"
+    );
+    // Without typed errors the rule is silent (nothing better to return).
+    let c = ctx("besst-machine", CrateKind::Lib, false, "d3_panic_path.rs");
+    assert!(lint_source(&c, &fixture("d3_panic_path.rs")).is_empty());
+    // Test targets may unwrap freely.
+    let c = ctx("besst-fti", CrateKind::Test, true, "d3_panic_path.rs");
+    assert!(lint_source(&c, &fixture("d3_panic_path.rs")).is_empty());
+}
+
+#[test]
+fn d4_unsafe_fixture() {
+    let c = ctx("besst-analytic", CrateKind::Lib, false, "d4_unsafe.rs");
+    let f = lint_source(&c, &fixture("d4_unsafe.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![(Rule::UndocumentedUnsafe, 5)],
+        "expected exactly the undocumented unsafe block: {f:#?}"
+    );
+    assert!(f[0].to_string().contains("SAFETY"));
+}
+
+#[test]
+fn d5_float_cmp_fixture() {
+    let c = ctx("besst-core", CrateKind::Lib, false, "d5_float_cmp.rs");
+    let f = lint_source(&c, &fixture("d5_float_cmp.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![(Rule::FloatCmp, 5), (Rule::FloatCmp, 9)],
+        "expected the equality and partial_cmp violations: {f:#?}"
+    );
+    // `besst_des::time` owns the float↔integer boundary and is exempt.
+    let c = FileContext {
+        crate_name: "besst-des".to_string(),
+        kind: CrateKind::Lib,
+        has_typed_errors: false,
+        path: PathBuf::from("crates/des/src/time.rs"),
+    };
+    assert!(lint_source(&c, &fixture("d5_float_cmp.rs")).is_empty());
+}
+
+/// The acceptance gate: the tree as merged has zero findings. Any new
+/// violation of D1–D5 anywhere in the workspace fails this test with the
+/// full rustc-style diagnostic, not just in the CI lint job.
+#[test]
+fn workspace_is_clean() {
+    let root = find_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let findings = xtask::lint_workspace(&root);
+    assert!(
+        findings.is_empty(),
+        "besst-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n\n")
+    );
+}
