@@ -229,6 +229,16 @@ pub fn verify_and_correct(cfull: &mut Mat, tol: f64) -> AbftOutcome {
     }
 }
 
+/// Non-mutating detection pass: classify a full-checksum product without
+/// repairing it. This is the in-phase *detector* the online SDC model
+/// prices separately from correction — a run may choose to only detect
+/// (and roll back on [`AbftOutcome::Uncorrectable`]) rather than pay the
+/// correction in place.
+pub fn detect(cfull: &Mat, tol: f64) -> AbftOutcome {
+    let mut scratch = cfull.clone();
+    verify_and_correct(&mut scratch, tol)
+}
+
 /// A sensible verification tolerance for an `n×n` product with entries
 /// of order `scale`: accumulated rounding grows ~√n·ε·n·scale².
 pub fn recommended_tol(n: usize, scale: f64) -> f64 {
@@ -308,6 +318,31 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!((c.get(2, 8) - clean.get(2, 8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detect_agrees_with_correct_but_never_mutates() {
+        let (a, b) = mats(9, 13);
+        let clean = protected_mul(&a, &b);
+        let tol = recommended_tol(9, 1.0);
+        // Clean, single-corruption, and double-corruption inputs: detect
+        // must classify each exactly as verify_and_correct does while
+        // leaving the product bit-identical.
+        let mut single = clean.clone();
+        single.set(4, 2, single.get(4, 2) + 2.5);
+        let mut double = clean.clone();
+        double.set(0, 1, double.get(0, 1) + 1.0);
+        double.set(6, 7, double.get(6, 7) - 1.0);
+        for c in [&clean, &single, &double] {
+            let before = c.clone();
+            let detected = detect(c, tol);
+            assert_eq!(*c, before, "detect must not repair in place");
+            let mut scratch = c.clone();
+            assert_eq!(detected, verify_and_correct(&mut scratch, tol));
+        }
+        assert_eq!(detect(&clean, tol), AbftOutcome::Clean);
+        assert!(matches!(detect(&single, tol), AbftOutcome::Corrected { row: 4, col: 2, .. }));
+        assert_eq!(detect(&double, tol), AbftOutcome::Uncorrectable);
     }
 
     #[test]

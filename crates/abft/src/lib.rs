@@ -25,5 +25,5 @@
 pub mod checksum;
 pub mod solver;
 
-pub use checksum::{protected_mul, strip, verify_and_correct, AbftOutcome, Mat};
+pub use checksum::{detect, protected_mul, strip, verify_and_correct, AbftOutcome, Mat};
 pub use solver::{Solver, SolverConfig};

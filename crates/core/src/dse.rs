@@ -51,6 +51,7 @@ impl Sweep {
     ) -> Vec<(SweepCell, f64)> {
         let base = self
             .get(base_size, base_ranks, base_scenario)
+            // lint: allow(panic-path) -- caller names a cell of the sweep it just ran; a missing baseline is a harness bug, not a recoverable condition
             .unwrap_or_else(|| panic!("baseline cell ({base_size}, {base_ranks}, {base_scenario}) missing"))
             .total_seconds;
         assert!(base > 0.0, "baseline runtime must be positive");

@@ -124,6 +124,52 @@ impl FaultProcess {
     }
 }
 
+/// A silent-data-corruption (soft-error) process: transient bit-flips
+/// that corrupt data without crashing anything.
+///
+/// Strikes arrive as an exponential process at rate `n_nodes / node_mtbf`
+/// (soft-error rates scale with exposed silicon, like fail-stop rates in
+/// [`FaultProcess`]); each strike lands either on live application state
+/// mid-compute-phase or — with probability [`SdcProcess::ckpt_bias`] — on
+/// a retained checkpoint payload. The online engine
+/// ([`crate::online`]) draws arrival times from a dedicated seeded stream
+/// and resolves every *targeting* decision (live vs checkpoint, which
+/// ledger entry, single- vs multi-element) through pure keyed hashes of
+/// `(seed, strike index)`, buggify-style, so SDC schedules are bit-stable
+/// across engines and partitionings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SdcProcess {
+    /// Mean seconds between SDC strikes on one node.
+    pub node_mtbf: f64,
+    /// Number of nodes exposed to soft errors.
+    pub n_nodes: u32,
+    /// Probability a strike corrupts a retained checkpoint payload
+    /// instead of live application state (when any checkpoint exists).
+    pub ckpt_bias: f64,
+}
+
+impl SdcProcess {
+    /// A soft-error process with the given per-node MTBF.
+    pub fn new(node_mtbf: f64, n_nodes: u32, ckpt_bias: f64) -> Self {
+        assert!(node_mtbf > 0.0, "SDC node MTBF must be positive");
+        assert!(n_nodes >= 1, "need at least one node");
+        assert!((0.0..=1.0).contains(&ckpt_bias), "probability in [0,1]");
+        SdcProcess { node_mtbf, n_nodes, ckpt_bias }
+    }
+
+    /// System-level strike rate (per second).
+    pub fn system_rate(&self) -> f64 {
+        self.n_nodes as f64 / self.node_mtbf
+    }
+
+    /// Draw the next strike inter-arrival (exponential; soft errors are
+    /// memoryless). Crate-visible for the online driver's SDC stream.
+    pub(crate) fn next_interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / self.system_rate()
+    }
+}
+
 /// The failure-free timeline the injector replays.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Timeline {

@@ -21,7 +21,10 @@
 //!   driver interrupts the running BE timeline, recovery is selected via
 //!   the FTI survivability predicate and priced on the machine's
 //!   storage/network paths, with restart-on-spares and
-//!   communicator-shrink policies;
+//!   communicator-shrink policies; an optional silent-data-corruption
+//!   stream adds bit flips against live state and checkpoint payloads,
+//!   detected by ABFT/CRC verification and repaired via an L1→L4
+//!   escalation ladder, with every run classified by data integrity;
 //! * [`dse`] — design-space sweep drivers and the Fig. 9 overhead
 //!   matrices.
 //!
@@ -51,10 +54,14 @@ pub use besst_des::buggify::{FaultConfig, FaultInjector, FaultPreset, FaultStats
 
 pub use beo::{AppBeo, ArchBeo, FlatInstr, Instr, SyncMarker};
 pub use dse::{sweep, Sweep, SweepCell};
-pub use faults::{expected_makespan, inject, FaultDistribution, FaultProcess, FaultedRun, Timeline};
+pub use faults::{
+    expected_makespan, inject, FaultDistribution, FaultProcess, FaultedRun, SdcProcess, Timeline,
+};
 pub use montecarlo::{run_ensemble, summarize, EnsembleSummary};
 pub use online::{
-    expected_makespan_online, machine_restart_costs, run_online, run_online_partitioned,
-    FaultEvent, OnlineConfig, OnlineRun, RecoveryPolicy,
+    expected_makespan_online, machine_restart_costs, machine_verify_costs, online_stats,
+    run_online, run_online_partitioned, AbftGuard, FaultEvent, OnlineConfig, OnlineError,
+    OnlineRun, OnlineStats, RecoveryPolicy, RunClass, SdcConfig, SdcEffect, SdcTarget,
+    VerifyPolicy,
 };
 pub use sim::{simulate, simulate_with_faults, EngineKind, SimConfig, SimResult};

@@ -35,12 +35,49 @@
 //! matches because segment-completion self-events run at
 //! [`Priority::URGENT`] while crash deliveries arrive a link-latency
 //! later.
+//!
+//! ## Silent data corruption
+//!
+//! Besides fail-stop crashes the driver can carry a second, independent
+//! Poisson stream of *silent data corruptions* ([`SdcConfig`]): bit flips
+//! that strike either live application state mid-segment or a checkpoint
+//! payload in the recovery ledger, chosen by a deterministic keyed hash
+//! (buggify-style [`besst_des::buggify::SplitMix64`] over
+//! `(seed, salt, event index)`), never by ambient randomness. Detection
+//! and repair are layered:
+//!
+//! * **ABFT** ([`AbftGuard`]): an in-phase Huang–Abraham-style
+//!   detector/corrector. Single-element live corruptions are fixed in
+//!   place for `correction_s` seconds without any rollback; multi-element
+//!   corruptions (probability `multi_p`) are detected but uncorrectable
+//!   and force a rollback. Without a guard, live strikes go *undetected*.
+//! * **Checkpoint verification** ([`VerifyPolicy`]): CRC-style integrity
+//!   checks priced per level on the machine's storage paths (see
+//!   [`machine_verify_costs`]). Recovery becomes an **escalation
+//!   ladder**: attempt the cheapest surviving ledger entry, pay its
+//!   verify cost, and on corruption either retry after a repair-wait
+//!   backoff (levels with redundancy — L2 partner copy, L3 RS rebuild —
+//!   may reconstruct the payload) or escalate L1→L2→L3→L4 to the next
+//!   surviving candidate, falling back to the configured
+//!   [`RecoveryPolicy`] from-scratch restart only when every level is
+//!   exhausted. Without verification, a poisoned checkpoint restores
+//!   silently-wrong state.
+//!
+//! Every run is classified ([`RunClass`]) as `Correct`,
+//! `CorrectedByAbft`, `RolledBack { level, retries }` or
+//! `SilentlyWrong`; [`online_stats`] aggregates the class counts and the
+//! undetected-corruption rate across replicas. The SDC stream draws from
+//! its own seeded RNG, so arming it never perturbs the crash schedule —
+//! the overlay-equivalence and engine-bit-identity guarantees above hold
+//! with SDC enabled.
 
-use crate::faults::{recovery_ledger, FaultProcess, Timeline};
+use crate::faults::{recovery_ledger, FaultProcess, SdcProcess, Timeline};
 use crate::sim::EngineKind;
+use besst_des::buggify::SplitMix64;
 use besst_des::prelude::*;
 use besst_fti::{
-    restart_blocks, CkptLevel, CkptShape, FailureScenario, GroupLayout,
+    restart_blocks, verify_blocks, CkptLevel, CkptShape, FailureScenario, GroupLayout,
+    RecoveryError,
 };
 use besst_machine::{Machine, Testbed};
 use parking_lot::Mutex;
@@ -82,6 +119,243 @@ pub fn proportional_shrink(initial: u32, surviving: u32) -> f64 {
     initial as f64 / surviving as f64
 }
 
+/// Typed error for online fault-injection runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineError {
+    /// [`RecoveryPolicy::ShrinkCommunicator`] was configured over a group
+    /// with fewer than two nodes: the first crash would shrink the
+    /// communicator to zero survivors.
+    ShrinkToZero {
+        /// Nodes in the doomed group (0 or 1).
+        initial_nodes: u32,
+    },
+    /// The underlying overlay/FTI recovery machinery rejected the setup.
+    Recovery(RecoveryError),
+}
+
+impl core::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            OnlineError::ShrinkToZero { initial_nodes } => write!(
+                f,
+                "ShrinkCommunicator needs at least 2 nodes to survive a crash, \
+                 got {initial_nodes}"
+            ),
+            OnlineError::Recovery(ref e) => write!(f, "recovery setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+impl From<RecoveryError> for OnlineError {
+    fn from(e: RecoveryError) -> Self {
+        OnlineError::Recovery(e)
+    }
+}
+
+/// In-phase ABFT detector/corrector for live-state corruptions
+/// (Huang–Abraham row/column checksums, modeled at the cost level).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbftGuard {
+    /// Seconds added to the running segment per corrected corruption
+    /// (checksum recomputation + element repair).
+    pub correction_s: f64,
+    /// Probability that a strike corrupts more than one element, which
+    /// ABFT detects but cannot correct — the run must roll back.
+    pub multi_p: f64,
+}
+
+impl AbftGuard {
+    /// Zero-cost, always-correctable guard (every live strike fixed in
+    /// phase for free) — the SDC analogue of zero-cost recovery.
+    pub fn free() -> Self {
+        AbftGuard { correction_s: 0.0, multi_p: 0.0 }
+    }
+}
+
+/// CRC-style checkpoint-integrity verification and the escalation
+/// ladder's retry schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyPolicy {
+    /// Per-level verification cost in seconds (read + checksum on that
+    /// level's storage path). Missing levels verify for free; price real
+    /// machines with [`machine_verify_costs`].
+    pub verify_costs: Vec<(CkptLevel, f64)>,
+    /// Repair attempts per corrupted ledger entry before escalating to
+    /// the next level. Only levels with redundancy (L2 partner copy,
+    /// L3 RS rebuild) are retried at all.
+    pub retries_per_level: u32,
+    /// Seconds waited before retry `k` is `k * retry_backoff_s`.
+    pub retry_backoff_s: f64,
+    /// Probability that one repair attempt reconstructs the corrupted
+    /// payload from the level's redundancy.
+    pub repair_p: f64,
+}
+
+impl VerifyPolicy {
+    /// Free, always-successful verification: corruption is always
+    /// detected, one repair attempt always succeeds, no time is charged.
+    pub fn free() -> Self {
+        VerifyPolicy {
+            verify_costs: Vec::new(),
+            retries_per_level: 1,
+            retry_backoff_s: 0.0,
+            repair_p: 1.0,
+        }
+    }
+
+    /// Verification cost of one ledger entry at `level`.
+    pub fn cost(&self, level: CkptLevel) -> f64 {
+        self.verify_costs
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map(|&(_, c)| c)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Configuration of the silent-data-corruption stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdcConfig {
+    /// Arrival process (independent Poisson stream; its `ckpt_bias`
+    /// splits strikes between checkpoint payloads and live state).
+    pub process: SdcProcess,
+    /// In-phase ABFT shield for live-state strikes; `None` leaves live
+    /// corruptions undetected.
+    pub abft: Option<AbftGuard>,
+    /// Checkpoint verification + escalation ladder; `None` restores
+    /// whatever the ledger holds, corrupted or not.
+    pub verification: Option<VerifyPolicy>,
+}
+
+impl SdcConfig {
+    /// Unshielded stream: no ABFT, no verification.
+    pub fn new(process: SdcProcess) -> Self {
+        SdcConfig { process, abft: None, verification: None }
+    }
+
+    /// Fully shielded at zero cost — useful as the SDC analogue of the
+    /// zero-cost-recovery overlay-equivalence baseline.
+    pub fn protected(process: SdcProcess) -> Self {
+        SdcConfig {
+            process,
+            abft: Some(AbftGuard::free()),
+            verification: Some(VerifyPolicy::free()),
+        }
+    }
+
+    /// Arm the ABFT guard.
+    pub fn with_abft(mut self, abft: AbftGuard) -> Self {
+        self.abft = Some(abft);
+        self
+    }
+
+    /// Arm checkpoint verification.
+    pub fn with_verification(mut self, v: VerifyPolicy) -> Self {
+        self.verification = Some(v);
+        self
+    }
+}
+
+/// Data-integrity classification of one finished run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunClass {
+    /// No corruption reached the application's final state.
+    Correct,
+    /// Live corruptions occurred but ABFT corrected every one in phase.
+    CorrectedByAbft {
+        /// In-phase corrections performed.
+        corrections: u32,
+    },
+    /// Detected corruption forced at least one rollback; `level` is the
+    /// deepest recovery level used (`None` = from-scratch restart after
+    /// the whole ladder was exhausted), `retries` the total repair
+    /// attempts spent in the ladder.
+    RolledBack {
+        /// Deepest checkpoint level recovered from.
+        level: Option<CkptLevel>,
+        /// Total ladder repair retries across the run.
+        retries: u32,
+    },
+    /// At least one corruption went undetected into the final state.
+    SilentlyWrong {
+        /// Corruptions that escaped detection.
+        undetected: u32,
+    },
+}
+
+/// What an SDC event struck.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SdcTarget {
+    /// Live application state in the running segment.
+    Live,
+    /// The checkpoint payload written after `step` at `level`.
+    Checkpoint {
+        /// 1-based "after step" index of the poisoned checkpoint.
+        step: usize,
+        /// FTI level of the poisoned payload.
+        level: CkptLevel,
+    },
+}
+
+/// What became of an SDC strike.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SdcEffect {
+    /// ABFT fixed the corrupted element in phase; no rollback.
+    AbftCorrected,
+    /// Detected but uncorrectable: rolled back to `to` (`None` =
+    /// scratch) after `retries` ladder repair attempts.
+    RolledBack {
+        /// Recovery point taken, as `(step, level)`.
+        to: Option<(usize, CkptLevel)>,
+        /// Ladder repair attempts spent on this recovery.
+        retries: u32,
+        /// Wall-clock seconds at which re-execution resumed.
+        resumed_at: f64,
+    },
+    /// Undetected: the corruption survives into the final state.
+    Silent,
+    /// A checkpoint payload was poisoned; latent until some recovery
+    /// tries to read it.
+    Poisoned,
+    /// Struck while the job was down awaiting repair — nothing to hit.
+    Masked,
+}
+
+/// Seed-salt separating the SDC arrival stream's RNG from the crash
+/// stream's, so arming SDC never perturbs the crash schedule.
+const SDC_STREAM_SALT: u64 = 0x5DC0_57A1_B5EE_D001;
+/// Keyed-hash salts for individual SDC decisions (buggify-style).
+const SALT_TARGET: u64 = 0x5DC0_0001;
+const SALT_PICK: u64 = 0x5DC0_0002;
+const SALT_MULTI: u64 = 0x5DC0_0003;
+const SALT_REPAIR: u64 = 0x5DC0_0004;
+
+/// Deterministic keyed hash: same `(seed, salt, a, b)` → same draw, on
+/// every engine and partitioning, independent of event interleaving.
+fn sdc_hash(seed: u64, salt: u64, a: u64, b: u64) -> u64 {
+    SplitMix64::new(
+        seed ^ salt.wrapping_mul(0xA24B_AED4_963E_E407) ^ a.rotate_left(17) ^ b.rotate_left(41),
+    )
+    .next_u64()
+}
+
+/// Keyed uniform draw in `[0, 1)`.
+fn sdc_unit(seed: u64, salt: u64, a: u64, b: u64) -> f64 {
+    SplitMix64::new(
+        seed ^ salt.wrapping_mul(0xA24B_AED4_963E_E407) ^ a.rotate_left(17) ^ b.rotate_left(41),
+    )
+    .next_f64()
+}
+
+/// Whether a level's storage scheme carries redundancy the ladder can
+/// repair from (L2 partner copy, L3 RS parity); L1 and L4 hold a single
+/// copy of each payload, so a corrupted entry can only be escalated past.
+fn level_has_redundancy(level: CkptLevel) -> bool {
+    matches!(level, CkptLevel::L2 | CkptLevel::L3)
+}
+
 /// Configuration of one online fault-injection run.
 #[derive(Debug, Clone)]
 pub struct OnlineConfig {
@@ -101,6 +375,9 @@ pub struct OnlineConfig {
     /// Step-duration multiplier under [`RecoveryPolicy::ShrinkCommunicator`]
     /// as a function of `(initial_nodes, surviving_nodes)`.
     pub shrink_multiplier: fn(u32, u32) -> f64,
+    /// Silent-data-corruption stream; `None` (the default) reproduces the
+    /// fail-stop-only behaviour exactly.
+    pub sdc: Option<SdcConfig>,
 }
 
 impl OnlineConfig {
@@ -114,6 +391,7 @@ impl OnlineConfig {
             repair_s: 0.0,
             max_faults: 10_000,
             shrink_multiplier: proportional_shrink,
+            sdc: None,
         }
     }
 
@@ -127,6 +405,12 @@ impl OnlineConfig {
     pub fn with_repair(mut self, repair_s: f64) -> Self {
         assert!(repair_s >= 0.0, "repair delay must be non-negative");
         self.repair_s = repair_s;
+        self
+    }
+
+    /// Arm the silent-data-corruption stream.
+    pub fn with_sdc(mut self, sdc: SdcConfig) -> Self {
+        self.sdc = Some(sdc);
         self
     }
 }
@@ -158,6 +442,15 @@ pub enum FaultEvent {
         /// Wall-clock seconds of the repair.
         at: f64,
     },
+    /// A silent data corruption struck at wall-clock `at`.
+    Sdc {
+        /// Wall-clock seconds of the strike.
+        at: f64,
+        /// What was hit (live state or a ledger checkpoint payload).
+        target: SdcTarget,
+        /// How the strike resolved.
+        effect: SdcEffect,
+    },
 }
 
 /// Outcome of one online fault-injected run.
@@ -173,6 +466,17 @@ pub struct OnlineRun {
     pub restart_time: f64,
     /// True when the run completed within the fault budget.
     pub completed: bool,
+    /// Silent corruptions that struck during the run.
+    pub n_sdc: u32,
+    /// Live corruptions ABFT corrected in phase.
+    pub abft_corrections: u32,
+    /// Corruptions that escaped detection into the final state.
+    pub undetected: u32,
+    /// Seconds spent verifying checkpoint integrity (ladder walks and
+    /// retry backoffs included).
+    pub verify_time: f64,
+    /// Data-integrity classification of the run.
+    pub class: RunClass,
     /// The full fault/recovery timeline, in processing order.
     pub events: Vec<FaultEvent>,
 }
@@ -191,6 +495,12 @@ enum OnlineMsg {
     },
     /// Driver → controller: a crashed node is back.
     Repair { at: f64 },
+    /// Driver self-event: the next silent corruption fires now.
+    SdcTick,
+    /// Driver → controller: a silent data corruption struck. `index` is
+    /// the strike's position in the SDC stream; every targeting decision
+    /// is keyed on `(seed, index)`, never on delivery order.
+    Sdc { at: f64, index: u64 },
     /// Controller self-event: the current segment finished, if `epoch`
     /// still matches (a crash in between invalidates it).
     SegmentDone { epoch: u64 },
@@ -214,6 +524,13 @@ struct FaultDriver {
     /// Wall-clock time of the next failure (mirrors the overlay's
     /// `next_fault` variable).
     next_fault: f64,
+    /// Silent-corruption arrival process, when armed.
+    sdc: Option<SdcProcess>,
+    /// Dedicated RNG for the SDC stream — never shared with `rng`, so
+    /// the crash schedule is identical with and without SDC.
+    sdc_rng: StdRng,
+    next_sdc: f64,
+    sdc_index: u64,
     stopped: bool,
 }
 
@@ -230,6 +547,15 @@ impl Component<OnlineMsg> for FaultDriver {
             OnlineMsg::Tick,
             Priority::NORMAL,
         );
+        if let Some(sdc) = self.sdc {
+            self.next_sdc = sdc.next_interarrival(&mut self.sdc_rng);
+            ctx.schedule_self_on(
+                SELF_PORT,
+                SimTime::from_secs_f64(self.next_sdc),
+                OnlineMsg::SdcTick,
+                Priority::NORMAL,
+            );
+        }
     }
 
     fn on_event(&mut self, event: Event<OnlineMsg>, ctx: &mut Ctx<'_, OnlineMsg>) {
@@ -264,7 +590,24 @@ impl Component<OnlineMsg> for FaultDriver {
                     );
                 }
             }
+            OnlineMsg::SdcTick => {
+                if self.stopped {
+                    return;
+                }
+                let Some(sdc) = self.sdc else {
+                    return;
+                };
+                let at = self.next_sdc;
+                self.next_sdc = at + sdc.next_interarrival(&mut self.sdc_rng);
+                let delay =
+                    SimTime::from_secs_f64(self.next_sdc).saturating_sub(ctx.now());
+                ctx.schedule_self_on(SELF_PORT, delay, OnlineMsg::SdcTick, Priority::NORMAL);
+                let index = self.sdc_index;
+                self.sdc_index += 1;
+                ctx.send(TO_PEER, OnlineMsg::Sdc { at, index });
+            }
             OnlineMsg::Stop => self.stopped = true,
+            // lint: allow(panic-path) -- component-protocol violation is a bug, not a recoverable state
             ref other => panic!("fault driver received unexpected message {other:?}"),
         }
     }
@@ -279,6 +622,9 @@ struct RunController {
     max_faults: u32,
     shrink_multiplier: fn(u32, u32) -> f64,
     initial_nodes: u32,
+    /// Run seed: every SDC targeting decision is keyed on it.
+    seed: u64,
+    sdc: Option<SdcConfig>,
     // --- run state, mirroring the overlay's locals ---
     step: usize,
     wall: f64,
@@ -289,11 +635,41 @@ struct RunController {
     surviving_nodes: u32,
     work_multiplier: f64,
     epoch: u64,
-    /// `Some(pending_restart_seconds)` while recovery waits for a repair.
-    awaiting_repair: Option<f64>,
+    /// `Some((restart_s, verify_s))` while recovery waits for a repair.
+    awaiting_repair: Option<(f64, f64)>,
+    // --- SDC state ---
+    /// Poisoned ledger entries, as `(after-step, level)`. Entries newer
+    /// than a rollback point are dropped on rollback (re-execution
+    /// rewrites them).
+    corrupted: Vec<(usize, CkptLevel)>,
+    n_sdc: u32,
+    abft_corrections: u32,
+    undetected: u32,
+    verify_time: f64,
+    /// Extra seconds appended to the *current* segment by in-phase ABFT
+    /// corrections; folded into the wall clock at segment completion.
+    segment_extra: f64,
+    /// Deepest detected-corruption rollback so far `(level, retries)`;
+    /// `level = None` means a from-scratch restart.
+    rolled_back: Option<(Option<CkptLevel>, u32)>,
     finished: bool,
     out: Arc<Mutex<Option<OnlineRun>>>,
     events: Vec<FaultEvent>,
+}
+
+/// Outcome of one escalation-ladder walk.
+struct Selection {
+    /// Recovery point taken; `None` after the whole ladder is exhausted.
+    point: Option<(usize, CkptLevel)>,
+    /// Ladder repair attempts spent.
+    retries: u32,
+    /// Seconds of verification + retry backoff to charge.
+    verify_s: f64,
+    /// The selected payload is corrupted and was *not* verified — the
+    /// restored state is silently wrong.
+    tainted: bool,
+    /// At least one corrupted entry was detected during the walk.
+    escalated: bool,
 }
 
 impl RunController {
@@ -311,10 +687,41 @@ impl RunController {
     }
 
     fn schedule_segment(&mut self, ctx: &mut Ctx<'_, OnlineMsg>) {
-        let end = self.wall + self.segment();
+        let end = self.wall + self.segment() + self.segment_extra;
         let delay = SimTime::from_secs_f64(end).saturating_sub(ctx.now());
         let epoch = self.epoch;
         ctx.schedule_self_on(SELF_PORT, delay, OnlineMsg::SegmentDone { epoch }, Priority::URGENT);
+    }
+
+    /// Data-integrity classification of the finished run: undetected
+    /// corruption dominates, then detected rollbacks, then clean ABFT
+    /// corrections.
+    fn classify(&self) -> RunClass {
+        if self.undetected > 0 {
+            RunClass::SilentlyWrong { undetected: self.undetected }
+        } else if let Some((level, retries)) = self.rolled_back {
+            RunClass::RolledBack { level, retries }
+        } else if self.abft_corrections > 0 {
+            RunClass::CorrectedByAbft { corrections: self.abft_corrections }
+        } else {
+            RunClass::Correct
+        }
+    }
+
+    /// Record a detected-corruption rollback: keep the deepest level
+    /// (scratch restart is deeper than any checkpoint) and accumulate
+    /// retries across the run.
+    fn note_rollback(&mut self, level: Option<CkptLevel>, retries: u32) {
+        let depth = |l: Option<CkptLevel>| l.map_or(5, |lv| lv.number());
+        match &mut self.rolled_back {
+            Some((lv, r)) => {
+                *r += retries;
+                if depth(level) > depth(*lv) {
+                    *lv = level;
+                }
+            }
+            None => self.rolled_back = Some((level, retries)),
+        }
     }
 
     fn finish(&mut self, completed: bool, ctx: &mut Ctx<'_, OnlineMsg>) {
@@ -326,17 +733,28 @@ impl RunController {
             lost_work: self.lost_work,
             restart_time: self.restart_time,
             completed,
+            n_sdc: self.n_sdc,
+            abft_corrections: self.abft_corrections,
+            undetected: self.undetected,
+            verify_time: self.verify_time,
+            class: self.classify(),
             events: std::mem::take(&mut self.events),
         });
     }
 
-    /// Complete recovery bookkeeping (restart pricing + policy) and resume
-    /// execution — or finish, when the fault budget is exhausted.
-    fn resume(&mut self, restart_s: f64, ctx: &mut Ctx<'_, OnlineMsg>) {
+    /// Complete recovery bookkeeping (restart pricing + policy +
+    /// verification) and resume execution — or finish, when the fault
+    /// budget is exhausted.
+    fn resume(&mut self, restart_s: f64, verify_s: f64, ctx: &mut Ctx<'_, OnlineMsg>) {
         self.restart_time += restart_s;
-        self.wall += restart_s;
-        if let Some(FaultEvent::Crash { resumed_at, .. }) = self.events.last_mut() {
-            *resumed_at = self.wall;
+        self.verify_time += verify_s;
+        self.wall += restart_s + verify_s;
+        match self.events.last_mut() {
+            Some(FaultEvent::Crash { resumed_at, .. }) => *resumed_at = self.wall,
+            Some(FaultEvent::Sdc {
+                effect: SdcEffect::RolledBack { resumed_at, .. }, ..
+            }) => *resumed_at = self.wall,
+            _ => {}
         }
         if self.n_faults >= self.max_faults {
             self.finish(false, ctx);
@@ -349,6 +767,107 @@ impl RunController {
         self.schedule_segment(ctx);
     }
 
+    /// Walk the recovery ledger for the current step under the failure
+    /// scenario, applying the verification escalation ladder when armed:
+    /// verify the cheapest surviving entry, retry corrupted redundant
+    /// levels (L2/L3) with backoff, escalate otherwise, and fall through
+    /// to `point: None` (scratch restart) when every level is exhausted.
+    /// Without verification the first surviving entry is restored
+    /// unchecked — corrupted payloads restore silently-wrong state.
+    fn select_recovery(&mut self, node: Option<u32>, ticket: u64) -> Selection {
+        let mut sel = Selection {
+            point: None,
+            retries: 0,
+            verify_s: 0.0,
+            tainted: false,
+            escalated: false,
+        };
+        let Some(lay) = self.layout.clone() else {
+            return sel;
+        };
+        let scenario = match node {
+            Some(n) => FailureScenario::of([n]),
+            None => FailureScenario::none(),
+        };
+        let surviving: Vec<(usize, CkptLevel)> = self.ledger[self.step]
+            .iter()
+            .copied()
+            .filter(|&(_, level)| {
+                besst_fti::survives(level, &lay, &scenario)
+                    // lint: allow(panic-path) -- driver draws nodes inside the layout by construction
+                    .expect("driver draws nodes inside the layout")
+            })
+            .collect();
+        let verification = self.sdc.as_ref().and_then(|s| s.verification.clone());
+        match verification {
+            None => {
+                if let Some(&(ck, level)) = surviving.first() {
+                    sel.point = Some((ck, level));
+                    sel.tainted = self.corrupted.contains(&(ck, level));
+                }
+            }
+            Some(v) => {
+                'ladder: for &(ck, level) in &surviving {
+                    let mut attempt = 0u32;
+                    loop {
+                        sel.verify_s += v.cost(level);
+                        if !self.corrupted.contains(&(ck, level)) {
+                            sel.point = Some((ck, level));
+                            break 'ladder;
+                        }
+                        sel.escalated = true;
+                        if attempt >= v.retries_per_level || !level_has_redundancy(level) {
+                            break; // escalate to the next surviving level
+                        }
+                        attempt += 1;
+                        sel.retries += 1;
+                        sel.verify_s += v.retry_backoff_s * attempt as f64;
+                        // One repair attempt: the level's redundancy
+                        // (partner copy, RS parity) may reconstruct the
+                        // payload. Keyed draw — deterministic per run.
+                        let key = ticket ^ ((level.number() as u64) << 32);
+                        if sdc_unit(self.seed, SALT_REPAIR, key, attempt as u64) < v.repair_p {
+                            self.corrupted.retain(|&e| e != (ck, level));
+                        }
+                    }
+                }
+            }
+        }
+        sel
+    }
+
+    /// Apply a selected recovery point: price the redo work, rewind the
+    /// step cursor, and drop poisoned ledger entries that re-execution
+    /// will rewrite. Returns the restart cost of the taken level.
+    fn apply_rollback(&mut self, sel: &Selection) -> f64 {
+        match sel.point {
+            Some((ck_step, _)) => {
+                let redo: f64 =
+                    self.timeline.step_durations[ck_step..self.step].iter().sum();
+                self.lost_work += redo;
+                self.step = ck_step;
+                self.corrupted.retain(|&(s, _)| s <= ck_step);
+            }
+            None => {
+                let redo: f64 = self.timeline.step_durations[..self.step].iter().sum();
+                self.lost_work += redo;
+                self.step = 0;
+                self.corrupted.clear();
+            }
+        }
+        if sel.tainted {
+            // Restored a corrupted payload without verifying it: the
+            // re-executed run carries the corruption forward.
+            self.undetected += 1;
+        }
+        if sel.escalated || sel.retries > 0 {
+            self.note_rollback(sel.point.map(|(_, l)| l), sel.retries);
+        }
+        sel.point
+            .map(|(_, level)| self.timeline.restart_cost(level))
+            .unwrap_or(0.0)
+    }
+
     fn on_crash(
         &mut self,
         at: f64,
@@ -358,6 +877,7 @@ impl RunController {
     ) {
         self.n_faults += 1;
         self.epoch += 1; // cancel the in-flight segment
+        self.segment_extra = 0.0; // in-phase corrections die with it
         // The fault instant becomes the new wall clock — even when it is
         // *earlier* than the current wall, which happens when the next
         // fault strikes during the restart procedure itself (inter-arrival
@@ -366,60 +886,30 @@ impl RunController {
         // from the fault instant.
         self.wall = at;
 
-        // Recovery-point selection: identical ledger walk to the overlay.
-        let recovery = match &self.layout {
-            None => None,
-            Some(lay) => {
-                let scenario = match node {
-                    Some(n) => FailureScenario::of([n]),
-                    None => FailureScenario::none(),
-                };
-                let mut found = None;
-                for &(ck_step, level) in &self.ledger[self.step] {
-                    let ok = besst_fti::survives(level, lay, &scenario)
-                        .expect("driver draws nodes inside the layout");
-                    if ok {
-                        found = Some((ck_step, level));
-                        break;
-                    }
-                }
-                found
-            }
-        };
-        match recovery {
-            Some((ck_step, _)) => {
-                let redo: f64 =
-                    self.timeline.step_durations[ck_step..self.step].iter().sum();
-                self.lost_work += redo;
-                self.step = ck_step;
-            }
-            None => {
-                let redo: f64 = self.timeline.step_durations[..self.step].iter().sum();
-                self.lost_work += redo;
-                self.step = 0;
-            }
-        }
+        // Recovery-point selection: the overlay's ledger walk, extended
+        // with the verification escalation ladder when SDC is armed.
+        // Crash tickets live in a separate key space from SDC indices.
+        let ticket = (self.n_faults as u64) | (1u64 << 63);
+        let sel = self.select_recovery(node, ticket);
+        let restart_s = self.apply_rollback(&sel);
         self.events.push(FaultEvent::Crash {
             at,
             node,
             data_lost,
-            recovered_to: recovery,
+            recovered_to: sel.point,
             resumed_at: self.wall, // patched in resume()
         });
 
-        let restart_s = recovery
-            .map(|(_, level)| self.timeline.restart_cost(level))
-            .unwrap_or(0.0);
         match self.policy {
             RecoveryPolicy::RestartOnSpares { spares: _, integration_s } => {
                 if self.spares_left > 0 {
                     self.spares_left -= 1;
-                    self.resume(restart_s + integration_s, ctx);
+                    self.resume(restart_s + integration_s, sel.verify_s, ctx);
                 } else if self.repair_s > 0.0 {
                     // No spare: recovery stalls until the node is back.
-                    self.awaiting_repair = Some(restart_s + integration_s);
+                    self.awaiting_repair = Some((restart_s + integration_s, sel.verify_s));
                 } else {
-                    self.resume(restart_s + integration_s, ctx);
+                    self.resume(restart_s + integration_s, sel.verify_s, ctx);
                 }
             }
             RecoveryPolicy::ShrinkCommunicator => {
@@ -431,9 +921,114 @@ impl RunController {
                 self.surviving_nodes -= 1;
                 self.work_multiplier =
                     (self.shrink_multiplier)(self.initial_nodes, self.surviving_nodes);
-                self.resume(restart_s, ctx);
+                self.resume(restart_s, sel.verify_s, ctx);
             }
         }
+    }
+
+    /// Handle one silent-corruption strike.
+    fn on_sdc(&mut self, at: f64, index: u64, ctx: &mut Ctx<'_, OnlineMsg>) {
+        self.n_sdc += 1;
+        let Some(sdc) = self.sdc.clone() else {
+            return; // driver only emits Sdc when the stream is armed
+        };
+        if self.awaiting_repair.is_some() {
+            // The job is down: no live state to hit, and the poisoning
+            // window for its checkpoints is the recovery read that is
+            // already waiting.
+            self.events.push(FaultEvent::Sdc {
+                at,
+                target: SdcTarget::Live,
+                effect: SdcEffect::Masked,
+            });
+            return;
+        }
+        // Target draw: checkpoint payload vs live state, keyed on
+        // (seed, stream index) — identical on every engine.
+        let candidates = &self.ledger[self.step];
+        let ckpt_hit = self.layout.is_some()
+            && !candidates.is_empty()
+            && sdc_unit(self.seed, SALT_TARGET, index, 0) < sdc.process.ckpt_bias;
+        if ckpt_hit {
+            let pick =
+                sdc_hash(self.seed, SALT_PICK, index, candidates.len() as u64) as usize
+                    % candidates.len();
+            let (ck_step, level) = candidates[pick];
+            if !self.corrupted.contains(&(ck_step, level)) {
+                self.corrupted.push((ck_step, level));
+            }
+            self.events.push(FaultEvent::Sdc {
+                at,
+                target: SdcTarget::Checkpoint { step: ck_step, level },
+                effect: SdcEffect::Poisoned,
+            });
+            return; // latent until some recovery reads the payload
+        }
+        // Live strike during the running segment.
+        match sdc.abft {
+            Some(guard) => {
+                let multi = sdc_unit(self.seed, SALT_MULTI, index, 0) < guard.multi_p;
+                if multi {
+                    // Detected but uncorrectable: roll back.
+                    self.rollback_from_sdc(at, index, ctx);
+                } else {
+                    // Corrected in phase: the running segment stretches
+                    // by the correction cost, no rollback.
+                    self.abft_corrections += 1;
+                    self.epoch += 1;
+                    self.segment_extra += guard.correction_s;
+                    self.events.push(FaultEvent::Sdc {
+                        at,
+                        target: SdcTarget::Live,
+                        effect: SdcEffect::AbftCorrected,
+                    });
+                    self.schedule_segment(ctx);
+                }
+            }
+            None => {
+                // No detector on the live path: silently wrong.
+                self.undetected += 1;
+                self.events.push(FaultEvent::Sdc {
+                    at,
+                    target: SdcTarget::Live,
+                    effect: SdcEffect::Silent,
+                });
+            }
+        }
+    }
+
+    /// Roll back after a detected-but-uncorrectable live corruption:
+    /// same ledger walk as a crash (no node failed, so the scenario is
+    /// empty), but the recovery policy charges no spare/shrink — the
+    /// machine is intact, only the data is bad.
+    fn rollback_from_sdc(&mut self, at: f64, index: u64, ctx: &mut Ctx<'_, OnlineMsg>) {
+        self.epoch += 1;
+        self.segment_extra = 0.0;
+        self.wall = at;
+        let sel = self.select_recovery(None, index);
+        let restart_s = self.apply_rollback(&sel);
+        // An SDC rollback is always a detected-corruption rollback, even
+        // when the ladder's first candidate was clean (apply_rollback
+        // only notes escalations). Re-noting after an escalation is
+        // idempotent: zero extra retries, same depth.
+        self.note_rollback(sel.point.map(|(_, l)| l), 0);
+        // From-scratch restarts redeploy the job; under RestartOnSpares
+        // that costs one integration (no spare is consumed — the node
+        // pool is intact).
+        let policy_s = match (sel.point, self.policy) {
+            (None, RecoveryPolicy::RestartOnSpares { integration_s, .. }) => integration_s,
+            _ => 0.0,
+        };
+        self.events.push(FaultEvent::Sdc {
+            at,
+            target: SdcTarget::Live,
+            effect: SdcEffect::RolledBack {
+                to: sel.point,
+                retries: sel.retries,
+                resumed_at: at, // patched in resume()
+            },
+        });
+        self.resume(restart_s + policy_s, sel.verify_s, ctx);
     }
 }
 
@@ -457,9 +1052,10 @@ impl Component<OnlineMsg> for RunController {
         match event.payload {
             OnlineMsg::SegmentDone { epoch } => {
                 if epoch != self.epoch {
-                    return; // a crash interrupted this segment
+                    return; // a crash or SDC interrupted this segment
                 }
-                self.wall += self.segment();
+                self.wall += self.segment() + self.segment_extra;
+                self.segment_extra = 0.0;
                 self.step += 1;
                 if self.step >= self.timeline.step_durations.len() {
                     self.finish(true, ctx);
@@ -485,11 +1081,15 @@ impl Component<OnlineMsg> for RunController {
             }
             OnlineMsg::Repair { at } => {
                 self.events.push(FaultEvent::Repair { at });
-                if let Some(restart_s) = self.awaiting_repair.take() {
+                if let Some((restart_s, verify_s)) = self.awaiting_repair.take() {
                     self.wall = at.max(self.wall);
-                    self.resume(restart_s, ctx);
+                    self.resume(restart_s, verify_s, ctx);
                 }
             }
+            OnlineMsg::Sdc { at, index } => {
+                self.on_sdc(at, index, ctx);
+            }
+            // lint: allow(panic-path) -- component-protocol violation is a bug, not a recoverable state
             ref other => panic!("run controller received unexpected message {other:?}"),
         }
     }
@@ -515,6 +1115,8 @@ fn build_online(
         max_faults: cfg.max_faults,
         shrink_multiplier: cfg.shrink_multiplier,
         initial_nodes: cfg.process.n_nodes,
+        seed,
+        sdc: cfg.sdc.clone(),
         step: 0,
         wall: 0.0,
         lost_work: 0.0,
@@ -525,6 +1127,13 @@ fn build_online(
         work_multiplier: 1.0,
         epoch: 0,
         awaiting_repair: None,
+        corrupted: Vec::new(),
+        n_sdc: 0,
+        abft_corrections: 0,
+        undetected: 0,
+        verify_time: 0.0,
+        segment_extra: 0.0,
+        rolled_back: None,
         finished: false,
         out,
         events: Vec::new(),
@@ -535,6 +1144,10 @@ fn build_online(
         layout_nodes: cfg.layout.as_ref().map(|l| l.n_nodes()),
         repair_s: cfg.repair_s,
         next_fault: 0.0,
+        sdc: cfg.sdc.as_ref().map(|s| s.process),
+        sdc_rng: StdRng::seed_from_u64(seed ^ SDC_STREAM_SALT),
+        next_sdc: 0.0,
+        sdc_index: 0,
         stopped: false,
     }));
     b.connect(driver, TO_PEER, controller, PortId(0), LINK_LATENCY);
@@ -543,7 +1156,16 @@ fn build_online(
 }
 
 fn take_run(out: &Arc<Mutex<Option<OnlineRun>>>) -> OnlineRun {
+    // lint: allow(panic-path) -- the engine drained, so the controller must have finished
     out.lock().take().expect("controller did not finish the run")
+}
+
+/// Reject configurations that cannot survive their first fault.
+fn validate(cfg: &OnlineConfig) -> Result<(), OnlineError> {
+    if matches!(cfg.policy, RecoveryPolicy::ShrinkCommunicator) && cfg.process.n_nodes < 2 {
+        return Err(OnlineError::ShrinkToZero { initial_nodes: cfg.process.n_nodes });
+    }
+    Ok(())
 }
 
 /// Run one online fault-injected replay of `timeline` on the chosen
@@ -553,9 +1175,10 @@ pub fn run_online(
     cfg: &OnlineConfig,
     seed: u64,
     engine: EngineKind,
-) -> OnlineRun {
+) -> Result<OnlineRun, OnlineError> {
     match engine {
         EngineKind::Sequential => {
+            validate(cfg)?;
             let out = Arc::new(Mutex::new(None));
             let mut e = build_online(timeline, cfg, seed, Arc::clone(&out)).build();
             let outcome = e.run_to_completion();
@@ -563,7 +1186,7 @@ pub fn run_online(
                 matches!(outcome, RunOutcome::Drained | RunOutcome::Halted),
                 "online run did not finish: {outcome:?}"
             );
-            take_run(&out)
+            Ok(take_run(&out))
         }
         EngineKind::Parallel(n) => {
             run_online_partitioned(timeline, cfg, seed, Partitioning::Blocks(n.max(1)))
@@ -578,7 +1201,8 @@ pub fn run_online_partitioned(
     cfg: &OnlineConfig,
     seed: u64,
     partitioning: Partitioning,
-) -> OnlineRun {
+) -> Result<OnlineRun, OnlineError> {
+    validate(cfg)?;
     let out = Arc::new(Mutex::new(None));
     let b = build_online(timeline, cfg, seed, Arc::clone(&out));
     let par = ParallelEngine::new(b, partitioning);
@@ -588,7 +1212,7 @@ pub fn run_online_partitioned(
         "online run did not finish: {:?}",
         report.outcome
     );
-    take_run(&out)
+    Ok(take_run(&out))
 }
 
 /// Expected makespan over `n` online replicas — the online twin of
@@ -600,21 +1224,84 @@ pub fn expected_makespan_online(
     cfg: &OnlineConfig,
     seed: u64,
     replicas: u32,
-) -> f64 {
+) -> Result<f64, OnlineError> {
+    Ok(online_stats(timeline, cfg, seed, replicas)?.expected_makespan)
+}
+
+/// Outcome-class counts and integrity rates over a replica ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineStats {
+    /// Mean makespan over completed replicas (`INFINITY` if none
+    /// completed within the fault budget).
+    pub expected_makespan: f64,
+    /// Replicas run.
+    pub replicas: u32,
+    /// Replicas that completed within the fault budget.
+    pub completed: u32,
+    /// Completed replicas classified [`RunClass::Correct`].
+    pub correct: u32,
+    /// Completed replicas classified [`RunClass::CorrectedByAbft`].
+    pub corrected_by_abft: u32,
+    /// Completed replicas classified [`RunClass::RolledBack`].
+    pub rolled_back: u32,
+    /// Completed replicas classified [`RunClass::SilentlyWrong`].
+    pub silently_wrong: u32,
+    /// Fraction of completed replicas whose final state carries at
+    /// least one undetected corruption.
+    pub undetected_rate: f64,
+    /// Mean seconds of checkpoint verification per completed replica.
+    pub mean_verify_time: f64,
+}
+
+/// Run `replicas` online replays (replica `i` on seed `seed + i`) and
+/// aggregate makespan plus the SDC outcome taxonomy — the ensemble view
+/// `cases24` prints.
+pub fn online_stats(
+    timeline: &Timeline,
+    cfg: &OnlineConfig,
+    seed: u64,
+    replicas: u32,
+) -> Result<OnlineStats, OnlineError> {
     assert!(replicas >= 1, "need at least one replica");
+    let mut stats = OnlineStats {
+        expected_makespan: f64::INFINITY,
+        replicas,
+        completed: 0,
+        correct: 0,
+        corrected_by_abft: 0,
+        rolled_back: 0,
+        silently_wrong: 0,
+        undetected_rate: 0.0,
+        mean_verify_time: 0.0,
+    };
     let mut total = 0.0;
-    let mut counted = 0u32;
+    let mut verify = 0.0;
     for i in 0..replicas {
-        let run = run_online(timeline, cfg, seed.wrapping_add(i as u64), EngineKind::Sequential);
-        if run.completed {
-            total += run.makespan;
-            counted += 1;
+        let run = run_online(
+            timeline,
+            cfg,
+            seed.wrapping_add(i as u64),
+            EngineKind::Sequential,
+        )?;
+        if !run.completed {
+            continue;
+        }
+        stats.completed += 1;
+        total += run.makespan;
+        verify += run.verify_time;
+        match run.class {
+            RunClass::Correct => stats.correct += 1,
+            RunClass::CorrectedByAbft { .. } => stats.corrected_by_abft += 1,
+            RunClass::RolledBack { .. } => stats.rolled_back += 1,
+            RunClass::SilentlyWrong { .. } => stats.silently_wrong += 1,
         }
     }
-    if counted == 0 {
-        return f64::INFINITY;
+    if stats.completed > 0 {
+        stats.expected_makespan = total / stats.completed as f64;
+        stats.undetected_rate = stats.silently_wrong as f64 / stats.completed as f64;
+        stats.mean_verify_time = verify / stats.completed as f64;
     }
-    total / counted as f64
+    Ok(stats)
 }
 
 /// Price a restart per level on the machine's storage/network paths: each
@@ -632,6 +1319,26 @@ pub fn machine_restart_costs(
         .iter()
         .map(|&level| {
             let blocks = restart_blocks(level, shape, layout, machine);
+            (level, tb.deterministic_region_cost(&blocks))
+        })
+        .collect()
+}
+
+/// Price CRC-style checkpoint verification per level on the machine's
+/// storage paths: each level's [`verify_blocks`] (re-read the payload on
+/// that level's medium + checksum it) costed by the noise-free testbed.
+/// The result plugs directly into [`VerifyPolicy::verify_costs`].
+pub fn machine_verify_costs(
+    machine: &Machine,
+    shape: &CkptShape,
+    layout: &GroupLayout,
+    levels: &[CkptLevel],
+) -> Vec<(CkptLevel, f64)> {
+    let tb = Testbed::new(machine);
+    levels
+        .iter()
+        .map(|&level| {
+            let blocks = verify_blocks(level, shape, layout, machine);
             (level, tb.deterministic_region_cost(&blocks))
         })
         .collect()
@@ -671,7 +1378,7 @@ mod tests {
         for seed in 0..12u64 {
             let overlay = inject(&tl, &p, Some(&lay), seed, 10_000).unwrap();
             let online =
-                run_online(&tl, &overlay_cfg(p, Some(lay.clone())), seed, EngineKind::Sequential);
+                run_online(&tl, &overlay_cfg(p, Some(lay.clone())), seed, EngineKind::Sequential).unwrap();
             assert_eq!(online.completed, overlay.completed, "seed {seed}");
             assert_eq!(online.n_faults, overlay.n_faults, "seed {seed}");
             let rel = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
@@ -693,7 +1400,7 @@ mod tests {
         let lay = layout64();
         let overlay = expected_makespan(&tl, &p, Some(&lay), 5, 20).unwrap();
         let online =
-            expected_makespan_online(&tl, &overlay_cfg(p, Some(lay)), 5, 20);
+            expected_makespan_online(&tl, &overlay_cfg(p, Some(lay)), 5, 20).unwrap();
         let rel = (online - overlay).abs() / overlay;
         assert!(rel < 1e-9, "online {online} vs overlay {overlay} (rel {rel})");
     }
@@ -704,7 +1411,7 @@ mod tests {
         let p = FaultProcess::new(12800.0, 64, 0.0);
         for seed in 0..6u64 {
             let overlay = inject(&tl, &p, None, seed, 10_000).unwrap();
-            let online = run_online(&tl, &overlay_cfg(p, None), seed, EngineKind::Sequential);
+            let online = run_online(&tl, &overlay_cfg(p, None), seed, EngineKind::Sequential).unwrap();
             assert_eq!(online.n_faults, overlay.n_faults);
             assert!((online.makespan - overlay.makespan).abs() < 1e-9);
             assert!(online
@@ -725,7 +1432,8 @@ mod tests {
         let node_mtbf = 32000.0;
         let nodes = 64;
         let p = FaultProcess::new(node_mtbf, nodes, 0.0);
-        let sim = expected_makespan_online(&tl, &overlay_cfg(p, Some(layout64())), 11, 40);
+        let sim =
+            expected_makespan_online(&tl, &overlay_cfg(p, Some(layout64())), 11, 40).unwrap();
         let cr = CrParams::new(delta, 2.0 * delta, node_mtbf / nodes as f64);
         let analytic = cr.expected_runtime(steps as f64 * step, period as f64 * step);
         let ratio = sim / analytic;
@@ -744,8 +1452,8 @@ mod tests {
         let costly = overlay_cfg(p, Some(lay)).with_policy(
             RecoveryPolicy::RestartOnSpares { spares: u32::MAX, integration_s: 30.0 },
         );
-        let a = run_online(&tl, &free, 3, EngineKind::Sequential);
-        let b = run_online(&tl, &costly, 3, EngineKind::Sequential);
+        let a = run_online(&tl, &free, 3, EngineKind::Sequential).unwrap();
+        let b = run_online(&tl, &costly, 3, EngineKind::Sequential).unwrap();
         assert!(a.n_faults > 0, "test needs faults to be meaningful");
         // Fault arrivals are wall-clock, so pushing the job later shifts
         // which steps later faults strike — the cost is at least one full
@@ -768,8 +1476,8 @@ mod tests {
         let no_spares = overlay_cfg(p, Some(lay))
             .with_policy(RecoveryPolicy::RestartOnSpares { spares: 0, integration_s: 0.0 })
             .with_repair(25.0);
-        let a = run_online(&tl, &base, 9, EngineKind::Sequential);
-        let b = run_online(&tl, &no_spares, 9, EngineKind::Sequential);
+        let a = run_online(&tl, &base, 9, EngineKind::Sequential).unwrap();
+        let b = run_online(&tl, &no_spares, 9, EngineKind::Sequential).unwrap();
         assert!(a.n_faults > 0, "test needs faults to be meaningful");
         assert!(
             b.makespan > a.makespan,
@@ -791,8 +1499,8 @@ mod tests {
         let spares = overlay_cfg(p, Some(lay.clone()));
         let shrink =
             overlay_cfg(p, Some(lay)).with_policy(RecoveryPolicy::ShrinkCommunicator);
-        let a = run_online(&tl, &spares, 4, EngineKind::Sequential);
-        let b = run_online(&tl, &shrink, 4, EngineKind::Sequential);
+        let a = run_online(&tl, &spares, 4, EngineKind::Sequential).unwrap();
+        let b = run_online(&tl, &shrink, 4, EngineKind::Sequential).unwrap();
         assert_eq!(a.n_faults, b.n_faults, "fault schedule is policy-independent");
         if a.n_faults > 0 && a.completed && b.completed {
             assert!(
@@ -809,9 +1517,9 @@ mod tests {
         let tl = flat_timeline(150, 1.0, 10, 0.5);
         let p = FaultProcess::new(3200.0, 64, 0.3);
         let cfg = overlay_cfg(p, Some(layout64())).with_repair(12.0);
-        let seq = run_online(&tl, &cfg, 21, EngineKind::Sequential);
+        let seq = run_online(&tl, &cfg, 21, EngineKind::Sequential).unwrap();
         for part in [Partitioning::RoundRobin(2), Partitioning::Blocks(2)] {
-            let par = run_online_partitioned(&tl, &cfg, 21, part.clone());
+            let par = run_online_partitioned(&tl, &cfg, 21, part.clone()).unwrap();
             assert_eq!(seq, par, "partitioning {part:?} diverged");
         }
     }
@@ -827,6 +1535,296 @@ mod tests {
         let get = |lv: CkptLevel| costs.iter().find(|(l, _)| *l == lv).unwrap().1;
         // Local reload is the cheapest path; the PFS round-trip the most
         // expensive.
+        assert!(get(CkptLevel::L1) < get(CkptLevel::L4));
+    }
+
+    // ---- silent data corruption ----
+
+    fn sdc_live(rate_mtbf: f64) -> SdcProcess {
+        SdcProcess::new(rate_mtbf, 64, 0.0)
+    }
+
+    fn sdc_ckpt(rate_mtbf: f64) -> SdcProcess {
+        SdcProcess::new(rate_mtbf, 64, 1.0)
+    }
+
+    #[test]
+    fn fully_shielded_zero_cost_sdc_reproduces_the_overlay() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.3);
+        let lay = layout64();
+        let mut struck = 0u32;
+        for seed in 0..12u64 {
+            let overlay = inject(&tl, &p, Some(&lay), seed, 10_000).unwrap();
+            let cfg = overlay_cfg(p, Some(lay.clone()))
+                .with_sdc(SdcConfig::protected(sdc_live(800.0)));
+            let online = run_online(&tl, &cfg, seed, EngineKind::Sequential).unwrap();
+            // Free ABFT absorbs every live strike and free verification
+            // never stalls a recovery: the crash-only overlay numbers
+            // must be untouched.
+            assert_eq!(online.n_faults, overlay.n_faults, "seed {seed}");
+            let rel = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+            assert!(rel(online.makespan, overlay.makespan), "seed {seed}");
+            assert!(rel(online.lost_work, overlay.lost_work), "seed {seed}");
+            assert_eq!(online.undetected, 0, "seed {seed}");
+            struck += online.n_sdc;
+            if online.abft_corrections > 0 {
+                assert!(matches!(online.class, RunClass::CorrectedByAbft { .. }));
+            }
+        }
+        assert!(struck > 0, "the SDC stream never fired across 12 seeds");
+    }
+
+    #[test]
+    fn unshielded_live_strikes_are_silently_wrong() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.0);
+        let lay = layout64();
+        for seed in 0..6u64 {
+            let base = run_online(
+                &tl,
+                &overlay_cfg(p, Some(lay.clone())),
+                seed,
+                EngineKind::Sequential,
+            )
+            .unwrap();
+            let cfg =
+                overlay_cfg(p, Some(lay.clone())).with_sdc(SdcConfig::new(sdc_live(800.0)));
+            let run = run_online(&tl, &cfg, seed, EngineKind::Sequential).unwrap();
+            // Undetected strikes cost no time: bit-equal makespan.
+            assert_eq!(run.makespan, base.makespan, "seed {seed}");
+            assert_eq!(run.n_faults, base.n_faults, "seed {seed}");
+            if run.n_sdc > 0 {
+                assert_eq!(run.undetected, run.n_sdc, "seed {seed}");
+                assert!(matches!(run.class, RunClass::SilentlyWrong { .. }), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncorrectable_live_strikes_roll_back() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.0);
+        let lay = layout64();
+        let guard = AbftGuard { correction_s: 0.0, multi_p: 1.0 };
+        let cfg = overlay_cfg(p, Some(lay.clone())).with_sdc(
+            SdcConfig::new(sdc_live(800.0))
+                .with_abft(guard)
+                .with_verification(VerifyPolicy::free()),
+        );
+        let base =
+            run_online(&tl, &overlay_cfg(p, Some(lay)), 7, EngineKind::Sequential).unwrap();
+        let run = run_online(&tl, &cfg, 7, EngineKind::Sequential).unwrap();
+        assert!(run.n_sdc > 0, "test needs strikes to be meaningful");
+        assert!(run.completed);
+        assert_eq!(run.undetected, 0);
+        assert!(matches!(run.class, RunClass::RolledBack { .. }));
+        assert!(
+            run.makespan > base.makespan,
+            "every strike forces a rollback: {} vs {}",
+            run.makespan,
+            base.makespan
+        );
+        assert!(run.events.iter().any(|e| matches!(
+            e,
+            FaultEvent::Sdc { effect: SdcEffect::RolledBack { .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn in_phase_abft_correction_stretches_the_segment() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        // No crashes: isolate the in-phase correction cost.
+        let p = FaultProcess::new(1e12, 64, 0.0);
+        let lay = layout64();
+        let free = overlay_cfg(p, Some(lay.clone()))
+            .with_sdc(SdcConfig::new(sdc_live(800.0)).with_abft(AbftGuard::free()));
+        let costly = overlay_cfg(p, Some(lay)).with_sdc(
+            SdcConfig::new(sdc_live(800.0))
+                .with_abft(AbftGuard { correction_s: 5.0, multi_p: 0.0 }),
+        );
+        let a = run_online(&tl, &free, 5, EngineKind::Sequential).unwrap();
+        let b = run_online(&tl, &costly, 5, EngineKind::Sequential).unwrap();
+        assert!(a.abft_corrections > 0, "test needs corrections to be meaningful");
+        // The stream keeps firing while b's stretched run is still going,
+        // so b sees at least a's corrections — each 5 s of in-phase work.
+        assert!(b.abft_corrections >= a.abft_corrections);
+        assert!(
+            b.makespan >= a.makespan + 5.0 * a.abft_corrections as f64 - 1e-9,
+            "correction cost must show up: {} vs {}",
+            b.makespan,
+            a.makespan
+        );
+    }
+
+    #[test]
+    fn poisoned_checkpoints_escalate_the_ladder() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(1600.0, 64, 0.3);
+        let lay = layout64();
+        // L1 carries no redundancy: a corrupted entry can only be
+        // escalated past, never repaired in place.
+        let verify = VerifyPolicy {
+            verify_costs: vec![(CkptLevel::L1, 0.1)],
+            retries_per_level: 2,
+            retry_backoff_s: 0.5,
+            repair_p: 0.0,
+        };
+        let mut escalated_somewhere = false;
+        for seed in 0..10u64 {
+            let cfg = overlay_cfg(p, Some(lay.clone())).with_sdc(
+                SdcConfig { process: sdc_ckpt(400.0), abft: Some(AbftGuard::free()), verification: Some(verify.clone()) },
+            );
+            let run = run_online(&tl, &cfg, seed, EngineKind::Sequential).unwrap();
+            assert!(run.completed, "seed {seed}");
+            // Verification catches every poisoned payload: nothing
+            // silently wrong, ever.
+            assert_eq!(run.undetected, 0, "seed {seed}");
+            if run.n_faults > 0 {
+                assert!(run.verify_time > 0.0, "seed {seed}: ladder walks are priced");
+            }
+            if matches!(run.class, RunClass::RolledBack { .. }) {
+                escalated_somewhere = true;
+            }
+        }
+        assert!(escalated_somewhere, "no seed ever hit a poisoned checkpoint");
+    }
+
+    #[test]
+    fn verification_off_restores_poison_silently() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(1600.0, 64, 0.3);
+        let lay = layout64();
+        let mut wrong_somewhere = false;
+        for seed in 0..10u64 {
+            let cfg = overlay_cfg(p, Some(lay.clone())).with_sdc(
+                SdcConfig::new(sdc_ckpt(400.0)).with_abft(AbftGuard::free()),
+            );
+            let run = run_online(&tl, &cfg, seed, EngineKind::Sequential).unwrap();
+            if run.undetected > 0 {
+                assert!(matches!(run.class, RunClass::SilentlyWrong { .. }));
+                wrong_somewhere = true;
+            }
+        }
+        assert!(
+            wrong_somewhere,
+            "unverified recoveries never restored a poisoned checkpoint across 10 seeds"
+        );
+    }
+
+    #[test]
+    fn l2_redundancy_repairs_corrupted_entries_with_retries() {
+        // L1 + L2 checkpoints: the ladder can *repair* a corrupted L2
+        // payload from its partner copy instead of escalating past it.
+        let steps = 120usize;
+        let checkpoints = (1..=steps)
+            .filter(|s| s % 5 == 0)
+            .map(|s| {
+                let level = if s % 10 == 0 { CkptLevel::L2 } else { CkptLevel::L1 };
+                (s, level, 0.5)
+            })
+            .collect();
+        let tl = Timeline {
+            step_durations: vec![1.0; steps],
+            checkpoints,
+            restart_costs: vec![(CkptLevel::L1, 1.0), (CkptLevel::L2, 2.0)],
+        };
+        let lay = GroupLayout::new(&FtiConfig::l1_l2(10), 64);
+        let p = FaultProcess::new(1600.0, 64, 0.5);
+        let verify = VerifyPolicy {
+            verify_costs: vec![(CkptLevel::L1, 0.05), (CkptLevel::L2, 0.2)],
+            retries_per_level: 3,
+            retry_backoff_s: 0.1,
+            repair_p: 1.0,
+        };
+        let mut retried_somewhere = false;
+        for seed in 0..20u64 {
+            let cfg = overlay_cfg(p, Some(lay.clone())).with_sdc(SdcConfig {
+                process: sdc_ckpt(200.0),
+                abft: Some(AbftGuard::free()),
+                verification: Some(verify.clone()),
+            });
+            let run = run_online(&tl, &cfg, seed, EngineKind::Sequential).unwrap();
+            assert!(run.completed, "seed {seed}");
+            assert_eq!(run.undetected, 0, "seed {seed}");
+            if let RunClass::RolledBack { retries, .. } = run.class {
+                if retries > 0 {
+                    retried_somewhere = true;
+                }
+            }
+        }
+        assert!(retried_somewhere, "no seed ever repaired an L2 entry in place");
+    }
+
+    #[test]
+    fn shrink_to_zero_is_a_typed_error() {
+        let tl = flat_timeline(10, 1.0, 0, 0.0);
+        let p = FaultProcess::new(1000.0, 1, 0.0);
+        let cfg = overlay_cfg(p, None).with_policy(RecoveryPolicy::ShrinkCommunicator);
+        let err = run_online(&tl, &cfg, 0, EngineKind::Sequential).unwrap_err();
+        assert_eq!(err, OnlineError::ShrinkToZero { initial_nodes: 1 });
+        let err = expected_makespan_online(&tl, &cfg, 0, 4).unwrap_err();
+        assert_eq!(err, OnlineError::ShrinkToZero { initial_nodes: 1 });
+    }
+
+    #[test]
+    fn sdc_timelines_are_bit_identical_across_engines() {
+        let tl = flat_timeline(150, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.3);
+        let verify = VerifyPolicy {
+            verify_costs: vec![(CkptLevel::L1, 0.1)],
+            retries_per_level: 2,
+            retry_backoff_s: 0.25,
+            repair_p: 0.5,
+        };
+        let cfg = overlay_cfg(p, Some(layout64())).with_repair(12.0).with_sdc(
+            SdcConfig {
+                process: SdcProcess::new(600.0, 64, 0.5),
+                abft: Some(AbftGuard { correction_s: 2.0, multi_p: 0.3 }),
+                verification: Some(verify),
+            },
+        );
+        let seq = run_online(&tl, &cfg, 21, EngineKind::Sequential).unwrap();
+        assert!(seq.n_sdc > 0, "test needs strikes to be meaningful");
+        for part in [Partitioning::RoundRobin(2), Partitioning::Blocks(2)] {
+            let par = run_online_partitioned(&tl, &cfg, 21, part.clone()).unwrap();
+            assert_eq!(seq, par, "partitioning {part:?} diverged");
+        }
+    }
+
+    #[test]
+    fn online_stats_report_the_outcome_taxonomy() {
+        let tl = flat_timeline(120, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.0);
+        let lay = layout64();
+        let unshielded =
+            overlay_cfg(p, Some(lay.clone())).with_sdc(SdcConfig::new(sdc_live(400.0)));
+        let shielded =
+            overlay_cfg(p, Some(lay)).with_sdc(SdcConfig::protected(sdc_live(400.0)));
+        let bad = online_stats(&tl, &unshielded, 3, 16).unwrap();
+        let good = online_stats(&tl, &shielded, 3, 16).unwrap();
+        assert_eq!(bad.completed, 16);
+        assert!(bad.silently_wrong > 0, "unshielded replicas must go wrong");
+        assert!(bad.undetected_rate > 0.0);
+        // ABFT + verification together: zero undetected corruption.
+        assert_eq!(good.silently_wrong, 0);
+        assert_eq!(good.undetected_rate, 0.0);
+        assert_eq!(
+            good.correct + good.corrected_by_abft + good.rolled_back,
+            good.completed
+        );
+    }
+
+    #[test]
+    fn machine_verify_pricing_orders_levels() {
+        let machine = besst_machine::presets::quartz();
+        let lay = GroupLayout::new(&FtiConfig::l1_l2(40), 512);
+        let shape = CkptShape { bytes_per_rank: 1 << 20, ranks: 512, ranks_per_node: 36 };
+        let costs = machine_verify_costs(&machine, &shape, &lay, &CkptLevel::ALL);
+        assert_eq!(costs.len(), 4);
+        assert!(costs.iter().all(|(_, c)| *c > 0.0));
+        let get = |lv: CkptLevel| costs.iter().find(|(l, _)| *l == lv).unwrap().1;
+        // Verifying the local copy is cheaper than a PFS read-back.
         assert!(get(CkptLevel::L1) < get(CkptLevel::L4));
     }
 }

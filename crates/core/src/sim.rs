@@ -164,6 +164,7 @@ impl RankComponent {
         let model = self
             .models
             .get(kernel)
+            // lint: allow(panic-path) -- coverage is validated by check_covers before the engine starts; a miss here is memory corruption, not input
             .unwrap_or_else(|| panic!("no model bound for kernel '{kernel}'"));
         if self.monte_carlo {
             model.sample(params, &mut self.rng)
@@ -219,6 +220,7 @@ impl Component<BeMsg> for RankComponent {
                 self.pc += 1;
                 self.advance(ctx);
             }
+            // lint: allow(panic-path) -- protocol violation inside the closed rank/coordinator state machine; unreachable by any API input
             other => panic!("rank {} received unexpected message {other:?}", self.rank),
         }
     }
@@ -244,6 +246,7 @@ impl Coordinator {
                 let model = self
                     .models
                     .get(kernel)
+                    // lint: allow(panic-path) -- coverage is validated by check_covers before the engine starts; a miss here is memory corruption, not input
                     .unwrap_or_else(|| panic!("no model bound for kernel '{kernel}'"));
                 if self.monte_carlo {
                     model.sample(&op.params, &mut self.rng)
@@ -308,6 +311,7 @@ impl Component<BeMsg> for Coordinator {
                 tr.done_ranks += 1;
                 tr.total_seconds = tr.total_seconds.max(ctx.now().as_secs_f64());
             }
+            // lint: allow(panic-path) -- protocol violation inside the closed rank/coordinator state machine; unreachable by any API input
             other => panic!("coordinator received unexpected message {other:?}"),
         }
     }
@@ -334,6 +338,7 @@ fn build(
     trace: Arc<Mutex<Trace>>,
 ) -> EngineBuilder<BeMsg> {
     if let Err(missing) = arch.check_covers(app) {
+        // lint: allow(panic-path) -- pre-run configuration check with the full missing-kernel list; the typed-error migration for simulate() is tracked in ROADMAP.md
         panic!("ArchBEO is missing models for kernels: {missing:?}");
     }
     assert!(
@@ -383,14 +388,15 @@ fn build(
 /// costs (price them with [`crate::online::machine_restart_costs`]) and
 /// replayed under `online`'s fault process with `cfg.recovery` as the
 /// recovery policy. Returns both the failure-free result and the
-/// fault-injected outcome.
+/// fault-injected outcome, or a typed [`crate::online::OnlineError`]
+/// when the online configuration cannot survive its first fault.
 pub fn simulate_with_faults(
     app: &AppBeo,
     arch: &ArchBeo,
     cfg: &SimConfig,
     online: &crate::online::OnlineConfig,
     restart_costs: Vec<(CkptLevel, f64)>,
-) -> (SimResult, crate::online::OnlineRun) {
+) -> Result<(SimResult, crate::online::OnlineRun), crate::online::OnlineError> {
     let res = simulate(app, arch, cfg);
     let timeline = crate::faults::Timeline::from_completions(
         &res.step_completions,
@@ -398,8 +404,8 @@ pub fn simulate_with_faults(
         restart_costs,
     );
     let ocfg = online.clone().with_policy(cfg.recovery);
-    let run = crate::online::run_online(&timeline, &ocfg, cfg.seed, cfg.engine);
-    (res, run)
+    let run = crate::online::run_online(&timeline, &ocfg, cfg.seed, cfg.engine)?;
+    Ok((res, run))
 }
 
 /// Run one FT-aware BE-SST simulation.

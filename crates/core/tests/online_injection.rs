@@ -51,10 +51,10 @@ fn fault_timeline_is_bit_identical_across_engines() {
     let p = FaultProcess::new(3200.0, 64, 0.3);
     let cfg = OnlineConfig::new(p, Some(layout64())).with_repair(12.0);
     for seed in [0u64, 7, 21, 0xBE57] {
-        let seq = run_online(&tl, &cfg, seed, EngineKind::Sequential);
+        let seq = run_online(&tl, &cfg, seed, EngineKind::Sequential).unwrap();
         assert!(seq.n_faults > 0 || seq.completed, "degenerate run for seed {seed}");
         for part in partitionings() {
-            let par = run_online_partitioned(&tl, &cfg, seed, part.clone());
+            let par = run_online_partitioned(&tl, &cfg, seed, part.clone()).unwrap();
             assert_eq!(
                 seq, par,
                 "seed {seed}: sequential vs {part:?} fault/recovery timeline diverged"
@@ -72,9 +72,9 @@ fn both_policies_stay_engine_equivalent() {
         RecoveryPolicy::ShrinkCommunicator,
     ] {
         let cfg = OnlineConfig::new(p, Some(layout64())).with_policy(policy).with_repair(8.0);
-        let seq = run_online(&tl, &cfg, 42, EngineKind::Sequential);
+        let seq = run_online(&tl, &cfg, 42, EngineKind::Sequential).unwrap();
         for part in partitionings() {
-            let par = run_online_partitioned(&tl, &cfg, 42, part.clone());
+            let par = run_online_partitioned(&tl, &cfg, 42, part.clone()).unwrap();
             assert_eq!(seq, par, "{policy:?} under {part:?} diverged");
         }
     }
@@ -86,7 +86,7 @@ fn zero_cost_online_matches_overlay_expected_makespan() {
     let p = FaultProcess::new(3200.0, 64, 0.3);
     let lay = layout64();
     let overlay = expected_makespan(&tl, &p, Some(&lay), 17, 25).unwrap();
-    let online = expected_makespan_online(&tl, &OnlineConfig::new(p, Some(lay)), 17, 25);
+    let online = expected_makespan_online(&tl, &OnlineConfig::new(p, Some(lay)), 17, 25).unwrap();
     let rel = (online - overlay).abs() / overlay;
     assert!(
         rel < 1e-9,
@@ -105,7 +105,8 @@ fn online_expected_makespan_within_young_daly_bound() {
     let node_mtbf = 32000.0;
     let nodes = 64;
     let p = FaultProcess::new(node_mtbf, nodes, 0.0);
-    let sim = expected_makespan_online(&tl, &OnlineConfig::new(p, Some(layout64())), 23, 40);
+    let sim =
+        expected_makespan_online(&tl, &OnlineConfig::new(p, Some(layout64())), 23, 40).unwrap();
     let cr = CrParams::new(delta, 2.0 * delta, node_mtbf / nodes as f64);
     let analytic = cr.expected_runtime(steps as f64 * step, period as f64 * step);
     let ratio = sim / analytic;

@@ -1,0 +1,167 @@
+//! Silent-data-corruption injection — engine-equivalence and validation
+//! gates, mirroring `online_injection.rs` for the SDC fault class.
+//!
+//! The acceptance contract for the SDC stream, checked four ways:
+//!
+//! 1. **DST-style equivalence**: for the same seed, the fault/recovery
+//!    timeline — crashes *and* SDC strikes, ABFT corrections, ladder
+//!    escalations — is bit-for-bit identical under the sequential engine
+//!    and every conservative parallel partitioning;
+//! 2. **overlay equivalence**: a fully shielded zero-cost SDC stream must
+//!    not perturb the crash schedule, so the online run still reproduces
+//!    the post-hoc overlay's expected makespan;
+//! 3. **analytic sanity**: with every SDC strike detected and rolled
+//!    back, the expected makespan stays within the Young–Daly order of
+//!    magnitude at matched parameters (a detected SDC is just another
+//!    failure to the checkpoint-period optimizer);
+//! 4. **integrity**: with ABFT and checkpoint verification both armed, no
+//!    replica ever finishes `SilentlyWrong` and the undetected-corruption
+//!    rate is exactly zero.
+
+use besst_core::faults::{expected_makespan, FaultProcess, SdcProcess, Timeline};
+use besst_core::online::{
+    expected_makespan_online, online_stats, run_online, run_online_partitioned, AbftGuard,
+    OnlineConfig, RunClass, SdcConfig, VerifyPolicy,
+};
+use besst_core::sim::EngineKind;
+use besst_des::prelude::Partitioning;
+use besst_fti::{CkptLevel, FtiConfig, GroupLayout};
+
+fn flat_timeline(steps: usize, step_s: f64, ckpt_every: usize, ckpt_s: f64) -> Timeline {
+    let checkpoints = (1..=steps)
+        .filter(|s| ckpt_every > 0 && s % ckpt_every == 0)
+        .map(|s| (s, CkptLevel::L1, ckpt_s))
+        .collect();
+    Timeline {
+        step_durations: vec![step_s; steps],
+        checkpoints,
+        restart_costs: vec![(CkptLevel::L1, 2.0 * ckpt_s)],
+    }
+}
+
+fn layout64() -> GroupLayout {
+    GroupLayout::new(&FtiConfig::l1_only(10), 64)
+}
+
+/// Every partitioning shape the two-component online system admits.
+fn partitionings() -> Vec<Partitioning> {
+    vec![
+        Partitioning::RoundRobin(1),
+        Partitioning::RoundRobin(2),
+        Partitioning::Blocks(2),
+        Partitioning::Explicit(vec![0, 1]),
+        Partitioning::Explicit(vec![1, 0]),
+    ]
+}
+
+/// An armed SDC stream with real costs: half the strikes hit checkpoint
+/// payloads, ABFT corrects most live strikes, verification gates every
+/// restore with a retry/repair ladder.
+fn armed_sdc(mtbf: f64) -> SdcConfig {
+    SdcConfig::new(SdcProcess::new(mtbf, 64, 0.5))
+        .with_abft(AbftGuard { correction_s: 2.0, multi_p: 0.3 })
+        .with_verification(VerifyPolicy {
+            verify_costs: vec![(CkptLevel::L1, 0.1)],
+            retries_per_level: 2,
+            retry_backoff_s: 0.25,
+            repair_p: 0.5,
+        })
+}
+
+#[test]
+fn sdc_timeline_is_bit_identical_across_engines() {
+    let tl = flat_timeline(150, 1.0, 10, 0.5);
+    let p = FaultProcess::new(3200.0, 64, 0.3);
+    let cfg = OnlineConfig::new(p, Some(layout64())).with_repair(12.0).with_sdc(armed_sdc(600.0));
+    for seed in [0u64, 7, 21, 0xBE57] {
+        let seq = run_online(&tl, &cfg, seed, EngineKind::Sequential).unwrap();
+        assert!(seq.n_sdc > 0 || seq.n_faults > 0, "degenerate run for seed {seed}");
+        for part in partitionings() {
+            let par = run_online_partitioned(&tl, &cfg, seed, part.clone()).unwrap();
+            assert_eq!(
+                seq, par,
+                "seed {seed}: sequential vs {part:?} SDC fault/recovery timeline diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn shielded_zero_cost_sdc_still_matches_overlay_expected_makespan() {
+    // The SDC stream draws from its own RNG stream, so arming it must not
+    // perturb the crash schedule; with full zero-cost shielding of a
+    // live-only stream (ckpt_bias 0 — a corrupted checkpoint on an
+    // L1-only layout *legitimately* changes recovery, so it is excluded
+    // here) the online run still reproduces the overlay exactly.
+    let tl = flat_timeline(200, 1.0, 10, 0.5);
+    let p = FaultProcess::new(3200.0, 64, 0.3);
+    let lay = layout64();
+    let overlay = expected_makespan(&tl, &p, Some(&lay), 17, 25).unwrap();
+    let cfg = OnlineConfig::new(p, Some(lay))
+        .with_sdc(SdcConfig::protected(SdcProcess::new(400.0, 64, 0.0)));
+    let stats = online_stats(&tl, &cfg, 17, 25).unwrap();
+    let online = stats.expected_makespan;
+    let rel = (online - overlay).abs() / overlay;
+    assert!(
+        rel < 1e-9,
+        "online {online} vs overlay {overlay} (rel {rel}) — shielded zero-cost SDC must not shift the makespan"
+    );
+    // And the stream must actually have struck, or the gate is vacuous.
+    assert!(
+        stats.corrected_by_abft + stats.rolled_back > 0,
+        "no SDC strike landed across the ensemble"
+    );
+}
+
+#[test]
+fn detected_sdc_rollback_stays_within_young_daly_bound() {
+    use besst_analytic::CrParams;
+    // Crashes off; every SDC strike targets live state and every one is
+    // uncorrectable (multi_p = 1.0), so each strike is a detected failure
+    // that rolls back to the last verified checkpoint — exactly the
+    // failure process Young–Daly prices.
+    let step = 1.0;
+    let period = 10usize;
+    let delta = 0.5;
+    let steps = 400usize;
+    let tl = flat_timeline(steps, step, period, delta);
+    let node_mtbf = 32000.0;
+    let nodes = 64;
+    let crashes = FaultProcess::new(1e15, nodes, 0.0);
+    let sdc = SdcConfig::new(SdcProcess::new(node_mtbf, nodes, 0.0))
+        .with_abft(AbftGuard { correction_s: 0.0, multi_p: 1.0 })
+        .with_verification(VerifyPolicy::free());
+    let cfg = OnlineConfig::new(crashes, Some(layout64())).with_sdc(sdc);
+    let sim = expected_makespan_online(&tl, &cfg, 23, 40).unwrap();
+    let cr = CrParams::new(delta, 2.0 * delta, node_mtbf / nodes as f64);
+    let analytic = cr.expected_runtime(steps as f64 * step, period as f64 * step);
+    let ratio = sim / analytic;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "detected-SDC online {sim} vs Young-Daly {analytic} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn fully_armed_defences_leave_nothing_silently_wrong() {
+    let tl = flat_timeline(150, 1.0, 10, 0.5);
+    let p = FaultProcess::new(3200.0, 64, 0.3);
+    let cfg = OnlineConfig::new(p, Some(layout64())).with_repair(12.0).with_sdc(armed_sdc(300.0));
+    let stats = online_stats(&tl, &cfg, 0xBE57, 30).unwrap();
+    assert_eq!(stats.silently_wrong, 0, "ABFT + verification must detect every corruption");
+    assert_eq!(stats.undetected_rate, 0.0);
+    assert!(
+        stats.corrected_by_abft + stats.rolled_back > 0,
+        "the armed stream never landed a strike — gate is vacuous"
+    );
+    // Per-replica double check: no completed run classifies SilentlyWrong.
+    for seed in 0..20u64 {
+        let run = run_online(&tl, &cfg, seed, EngineKind::Sequential).unwrap();
+        if run.completed {
+            assert!(
+                !matches!(run.class, RunClass::SilentlyWrong { .. }),
+                "seed {seed} finished silently wrong despite full defences"
+            );
+        }
+    }
+}

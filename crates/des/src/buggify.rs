@@ -64,10 +64,15 @@ pub mod sites {
     /// long a crashed component stays down before accepting deliveries
     /// again.
     pub const NODE_REPAIR: u64 = 0xB7;
+    /// A delivered event's payload was silently corrupted in flight (a
+    /// soft error). The substrate counts the strike and delivers anyway —
+    /// payloads are opaque here, so *semantic* corruption is modeled by
+    /// the layers that own the payload (see `besst_core::online`).
+    pub const PAYLOAD_CORRUPT: u64 = 0xB8;
 
     /// Every built-in fault site with its display name, for catalogs and
     /// diagnostics.
-    pub const ALL: [(u64, &str); 7] = [
+    pub const ALL: [(u64, &str); 8] = [
         (LINK_JITTER, "link-jitter"),
         (LINK_DROP, "link-drop"),
         (LINK_DUP, "link-dup"),
@@ -75,6 +80,7 @@ pub mod sites {
         (WINDOW_SKEW, "window-skew"),
         (NODE_CRASH, "node-crash"),
         (NODE_REPAIR, "node-repair"),
+        (PAYLOAD_CORRUPT, "payload-corrupt"),
     ];
 }
 
@@ -170,6 +176,9 @@ pub struct FaultConfig {
     /// in `[1 ns, crash_repair_after]`; [`SimTime::ZERO`] means the crash
     /// is permanent (fail-stop without repair).
     pub crash_repair_after: SimTime,
+    /// Probability a delivery's payload is silently corrupted in flight
+    /// (counted, never dropped — see [`sites::PAYLOAD_CORRUPT`]).
+    pub sdc_p: f64,
     /// Treat every link as lossy, regardless of how it was wired.
     pub all_links_lossy: bool,
 }
@@ -188,6 +197,7 @@ impl FaultConfig {
             crash_p: 0.0,
             crash_onset_max: SimTime::ZERO,
             crash_repair_after: SimTime::ZERO,
+            sdc_p: 0.0,
             all_links_lossy: false,
         }
     }
@@ -217,6 +227,7 @@ impl FaultConfig {
             crash_p: 0.0,
             crash_onset_max: SimTime::ZERO,
             crash_repair_after: SimTime::ZERO,
+            sdc_p: 0.0,
             all_links_lossy: false,
         }
     }
@@ -236,6 +247,7 @@ impl FaultConfig {
             crash_p: 0.0,
             crash_onset_max: SimTime::ZERO,
             crash_repair_after: SimTime::ZERO,
+            sdc_p: 0.0,
             all_links_lossy: true,
         }
     }
@@ -251,6 +263,21 @@ impl FaultConfig {
             crash_p: 0.25,
             crash_onset_max: SimTime::from_micros(20),
             crash_repair_after: SimTime::from_micros(30),
+            window_skew_p: 0.25,
+            ..FaultConfig::off()
+        }
+    }
+
+    /// Silent-data-corruption weather: mild jitter so deliveries still
+    /// reorder, plus a 2% per-delivery payload-corruption strike rate and
+    /// skewed windows. No loss, duplication, stalls, or crashes — every
+    /// event arrives, some arrive *wrong*, which is exactly the regime the
+    /// online SDC ladder (`besst_core::online`) has to survive.
+    pub fn sdc() -> Self {
+        FaultConfig {
+            link_jitter_p: 0.05,
+            link_jitter_max: SimTime::from_nanos(500),
+            sdc_p: 0.02,
             window_skew_p: 0.25,
             ..FaultConfig::off()
         }
@@ -275,6 +302,7 @@ impl FaultConfig {
             sites::COMPONENT_STALL => self.stall_p,
             sites::WINDOW_SKEW => self.window_skew_p,
             sites::NODE_CRASH => self.crash_p,
+            sites::PAYLOAD_CORRUPT => self.sdc_p,
             _ => 0.0,
         }
     }
@@ -297,16 +325,19 @@ pub enum FaultPreset {
     Chaos,
     /// [`FaultConfig::crash`] — fail-stop crash/repair weather.
     Crash,
+    /// [`FaultConfig::sdc`] — silent-data-corruption weather.
+    Sdc,
 }
 
 impl FaultPreset {
     /// Every preset, mildest first.
-    pub const ALL: [FaultPreset; 5] = [
+    pub const ALL: [FaultPreset; 6] = [
         FaultPreset::Off,
         FaultPreset::Calm,
         FaultPreset::Moderate,
         FaultPreset::Chaos,
         FaultPreset::Crash,
+        FaultPreset::Sdc,
     ];
 
     /// The preset's fault schedule.
@@ -317,6 +348,7 @@ impl FaultPreset {
             FaultPreset::Moderate => FaultConfig::moderate(),
             FaultPreset::Chaos => FaultConfig::chaos(),
             FaultPreset::Crash => FaultConfig::crash(),
+            FaultPreset::Sdc => FaultConfig::sdc(),
         }
     }
 
@@ -328,6 +360,7 @@ impl FaultPreset {
             FaultPreset::Moderate => "moderate",
             FaultPreset::Chaos => "chaos",
             FaultPreset::Crash => "crash",
+            FaultPreset::Sdc => "sdc",
         }
     }
 }
@@ -358,6 +391,10 @@ pub struct FaultStats {
     /// Deliveries dropped because the target component had crashed and
     /// was not yet repaired.
     pub crash_drops: u64,
+    /// Deliveries whose payload was struck by silent corruption. The
+    /// substrate counts the strike and delivers anyway — what "corrupt"
+    /// *means* belongs to the layers that own the payload.
+    pub payload_corrupts: u64,
     /// Parallel synchronization rounds run with a shrunken window.
     pub window_skews: u64,
 }
@@ -379,6 +416,7 @@ pub struct FaultInjector {
     dups: AtomicU64,
     stall_drops: AtomicU64,
     crash_drops: AtomicU64,
+    payload_corrupts: AtomicU64,
     window_skews: AtomicU64,
 }
 
@@ -393,6 +431,7 @@ impl FaultInjector {
             dups: AtomicU64::new(0),
             stall_drops: AtomicU64::new(0),
             crash_drops: AtomicU64::new(0),
+            payload_corrupts: AtomicU64::new(0),
             window_skews: AtomicU64::new(0),
         }
     }
@@ -415,6 +454,7 @@ impl FaultInjector {
             dups: self.dups.load(Ordering::Relaxed),
             stall_drops: self.stall_drops.load(Ordering::Relaxed),
             crash_drops: self.crash_drops.load(Ordering::Relaxed),
+            payload_corrupts: self.payload_corrupts.load(Ordering::Relaxed),
             window_skews: self.window_skews.load(Ordering::Relaxed),
         }
     }
@@ -451,6 +491,20 @@ impl FaultInjector {
         let hit = self.fires(sites::LINK_DUP, key.src.0 as u64, key.seq);
         if hit {
             self.dups.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Payload-corruption strike for the event with tie-key `key`; counts
+    /// when it fires. Unlike drops, the delivery still happens: the
+    /// substrate treats payloads as opaque, so it can only *count* the
+    /// strike — semantic corruption (flipped application or checkpoint
+    /// bits) is modeled by the layers that own the payload, keyed off the
+    /// same deterministic decision stream (see `besst_core::online`).
+    pub(crate) fn roll_payload_corrupt(&self, key: TieKey) -> bool {
+        let hit = self.fires(sites::PAYLOAD_CORRUPT, key.src.0 as u64, key.seq);
+        if hit {
+            self.payload_corrupts.fetch_add(1, Ordering::Relaxed);
         }
         hit
     }
@@ -762,6 +816,16 @@ mod tests {
         assert!(k.crash_repair_after > SimTime::ZERO);
         assert_eq!(FaultPreset::Crash.config(), k);
         assert_eq!(FaultPreset::Crash.name(), "crash");
+        // The SDC preset corrupts payloads but never loses them: no drops,
+        // dups, stalls, or crashes, so every strike reaches its target.
+        let s = FaultConfig::sdc();
+        assert_eq!(s.probability(sites::PAYLOAD_CORRUPT), 0.02);
+        assert_eq!(s.probability(sites::LINK_DROP), 0.0);
+        assert_eq!(s.probability(sites::LINK_DUP), 0.0);
+        assert_eq!(s.probability(sites::COMPONENT_STALL), 0.0);
+        assert_eq!(s.probability(sites::NODE_CRASH), 0.0);
+        assert_eq!(FaultPreset::Sdc.config(), s);
+        assert_eq!(FaultPreset::Sdc.name(), "sdc");
     }
 
     #[test]

@@ -177,13 +177,14 @@ struct RunRecord {
 impl RunRecord {
     /// Event-level fault counters only: `window_skews` is a parallel-only
     /// site and legitimately differs between engines.
-    fn event_faults(&self) -> (u64, u64, u64, u64, u64) {
+    fn event_faults(&self) -> (u64, u64, u64, u64, u64, u64) {
         (
             self.faults.jitters,
             self.faults.drops,
             self.faults.dups,
             self.faults.stall_drops,
             self.faults.crash_drops,
+            self.faults.payload_corrupts,
         )
     }
 }

@@ -284,6 +284,9 @@ impl<P> Engine<P> {
                 if f.roll_crash_drop(event.target, event.time) {
                     continue;
                 }
+                // Silent corruption strikes the payload but never the
+                // delivery itself: the event still arrives, only counted.
+                f.roll_payload_corrupt(event.key);
             }
             self.now = event.time;
             let idx = event.target.0 as usize;

@@ -162,6 +162,9 @@ impl<P: Send + 'static> Worker<P> {
                 if f.roll_crash_drop(event.target, event.time) {
                     continue;
                 }
+                // Silent corruption strikes the payload but never the
+                // delivery itself: the event still arrives, only counted.
+                f.roll_payload_corrupt(event.key);
             }
             let now = event.time;
             self.max_time = self.max_time.max(now);

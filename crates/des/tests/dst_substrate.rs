@@ -101,6 +101,22 @@ fn dst_block_crash() {
     }
 }
 
+#[test]
+#[cfg_attr(miri, ignore = "full seed blocks exceed Miri's budget; the unit-test subset covers Miri")]
+fn dst_block_sdc() {
+    let reports = run_seed_block(SEED_BASE, seed_count(), FaultPreset::Sdc);
+    assert_eq!(reports.len() as u64, seed_count());
+    // SDC never loses events — it corrupts them in flight. Every strike
+    // must still be delivered, so drops of any kind stay exactly zero.
+    assert!(reports
+        .iter()
+        .all(|r| r.faults.drops == 0 && r.faults.stall_drops == 0 && r.faults.crash_drops == 0));
+    if full_block() {
+        let corrupts: u64 = reports.iter().map(|r| r.faults.payload_corrupts).sum();
+        assert!(corrupts > 0, "sdc block never corrupted a payload");
+    }
+}
+
 /// Golden-file regression: one hand-picked seed per preset. The snapshot
 /// records the full `snapshot_line()` (delivered count, final time, and a
 /// trajectory digest); any drift fails with both lines plus the repro.
@@ -163,4 +179,10 @@ fn snapshot_chaos() {
 #[cfg_attr(miri, ignore = "full DST roundtrip exceeds Miri's budget")]
 fn snapshot_crash() {
     check_snapshot(0xBE57_0005, FaultPreset::Crash);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "full DST roundtrip exceeds Miri's budget")]
+fn snapshot_sdc() {
+    check_snapshot(0xBE57_0006, FaultPreset::Sdc);
 }

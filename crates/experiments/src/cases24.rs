@@ -14,10 +14,13 @@
 use crate::paper::{CaseStudy, Scenario, CKPT_PERIOD, RANKS_PER_NODE};
 use crate::report::{fmt_secs, write_csv, TextTable};
 use besst_apps::lulesh::{self, LuleshConfig};
-use besst_core::faults::{expected_makespan, FaultProcess, Timeline};
-use besst_core::online::{expected_makespan_online, OnlineConfig};
+use besst_core::faults::{expected_makespan, FaultProcess, SdcProcess, Timeline};
+use besst_core::online::{
+    expected_makespan_online, machine_verify_costs, online_stats, AbftGuard, OnlineConfig,
+    OnlineError, OnlineStats, SdcConfig, VerifyPolicy,
+};
 use besst_core::sim::{simulate, SimConfig};
-use besst_fti::{CkptLevel, GroupLayout, RecoveryError};
+use besst_fti::{CkptLevel, CkptShape, GroupLayout};
 use besst_machine::Testbed;
 
 /// One quadrant result.
@@ -34,6 +37,12 @@ pub struct CaseResult {
     /// the fault-free quadrants. Agreement with [`Self::makespan`] is the
     /// overlay-vs-online cross-validation on one page.
     pub makespan_online: Option<f64>,
+    /// Outcome-class ensemble with silent data corruption armed on top of
+    /// the crash process — `None` for the fault-free quadrants. No-FT rows
+    /// run unshielded (SDC lands as [`besst_core::online::RunClass::SilentlyWrong`]);
+    /// FT rows arm ABFT plus machine-priced checkpoint verification, so
+    /// their undetected-corruption rate must be zero.
+    pub sdc: Option<OnlineStats>,
 }
 
 /// Restart cost (seconds) per level for the given configuration, priced
@@ -53,6 +62,47 @@ fn restart_costs(cs: &CaseStudy, epr: u32, ranks: u32, scenario: Scenario) -> Ve
             (s.level, tb.deterministic_region_cost(&blocks))
         })
         .collect()
+}
+
+/// SDC stream armed on top of the crash process for a faulted quadrant.
+/// No-FT rows run unshielded — there is nothing to detect with, so live
+/// strikes land as `SilentlyWrong`. FT rows shield the stream: ABFT
+/// corrects live strikes in phase (priced at one L1 verification pass —
+/// a local re-read of the protected state) and every restore candidate
+/// is CRC-verified at machine-priced per-level cost before being trusted.
+fn sdc_config(
+    cs: &CaseStudy,
+    epr: u32,
+    ranks: u32,
+    scenario: Scenario,
+    node_mtbf_s: f64,
+) -> SdcConfig {
+    let n_nodes = ranks.div_ceil(RANKS_PER_NODE);
+    let fti = scenario.fti();
+    if !fti.is_ft_aware() {
+        return SdcConfig::new(SdcProcess::new(node_mtbf_s, n_nodes, 0.0));
+    }
+    let cfg = LuleshConfig::new(epr, ranks);
+    let layout = GroupLayout::new(&fti, ranks);
+    let shape = CkptShape {
+        bytes_per_rank: cfg.checkpoint_bytes_per_rank(),
+        ranks,
+        ranks_per_node: RANKS_PER_NODE,
+    };
+    let levels: Vec<CkptLevel> = fti.schedules.iter().map(|s| s.level).collect();
+    let verify_costs = machine_verify_costs(&cs.machine, &shape, &layout, &levels);
+    let abft_cost = verify_costs.first().map_or(0.0, |&(_, c)| c);
+    // Half the strikes target checkpoint payloads in storage, half live
+    // state; 5% of live strikes are multi-element (beyond ABFT's single
+    // correction) and force a detected rollback instead.
+    SdcConfig::new(SdcProcess::new(node_mtbf_s, n_nodes, 0.5))
+        .with_abft(AbftGuard { correction_s: abft_cost, multi_p: 0.05 })
+        .with_verification(VerifyPolicy {
+            verify_costs,
+            retries_per_level: 2,
+            retry_backoff_s: abft_cost,
+            repair_p: 0.5,
+        })
 }
 
 /// Build the fault-free timeline of a scenario from a BE-SST simulation.
@@ -76,7 +126,7 @@ pub fn four_cases(
     data_loss_prob: f64,
     replicas: u32,
     seed: u64,
-) -> Result<Vec<CaseResult>, RecoveryError> {
+) -> Result<Vec<CaseResult>, OnlineError> {
     let n_nodes = ranks.div_ceil(RANKS_PER_NODE);
     let process = FaultProcess::new(node_mtbf_s, n_nodes, data_loss_prob);
     let mut out = Vec::new();
@@ -88,6 +138,7 @@ pub fn four_cases(
         scenario: Scenario::NoFt,
         makespan: tl_noft.failure_free_makespan(),
         makespan_online: None,
+        sdc: None,
     });
 
     // Case 3: no faults, FT overhead.
@@ -98,16 +149,19 @@ pub fn four_cases(
         scenario: Scenario::L1,
         makespan: tl_l1.failure_free_makespan(),
         makespan_online: None,
+        sdc: None,
     });
     out.push(CaseResult {
         case: "Case 3 (no faults, L1 & L2)".into(),
         scenario: Scenario::L1L2,
         makespan: tl_l12.failure_free_makespan(),
         makespan_online: None,
+        sdc: None,
     });
 
     // Case 2: faults, no FT — every failure restarts the run. Overlay and
-    // online injectors run side by side from the same seed.
+    // online injectors run side by side from the same seed; the SDC
+    // ensemble re-runs the same replicas with the corruption stream armed.
     out.push(CaseResult {
         case: "Case 2 (faults, no FT)".into(),
         scenario: Scenario::NoFt,
@@ -117,7 +171,14 @@ pub fn four_cases(
             &OnlineConfig::new(process, None),
             seed ^ 3,
             replicas,
-        )),
+        )?),
+        sdc: Some(online_stats(
+            &tl_noft,
+            &OnlineConfig::new(process, None)
+                .with_sdc(sdc_config(cs, epr, ranks, Scenario::NoFt, node_mtbf_s)),
+            seed ^ 3,
+            replicas,
+        )?),
     });
 
     // Case 4: faults with checkpointing.
@@ -129,10 +190,17 @@ pub fn four_cases(
         makespan: expected_makespan(&tl_l1, &process, Some(&lay_l1), seed ^ 4, replicas)?,
         makespan_online: Some(expected_makespan_online(
             &tl_l1,
-            &OnlineConfig::new(process, Some(lay_l1)),
+            &OnlineConfig::new(process, Some(lay_l1.clone())),
             seed ^ 4,
             replicas,
-        )),
+        )?),
+        sdc: Some(online_stats(
+            &tl_l1,
+            &OnlineConfig::new(process, Some(lay_l1))
+                .with_sdc(sdc_config(cs, epr, ranks, Scenario::L1, node_mtbf_s)),
+            seed ^ 4,
+            replicas,
+        )?),
     });
     out.push(CaseResult {
         case: "Case 4 (faults, L1 & L2)".into(),
@@ -140,10 +208,17 @@ pub fn four_cases(
         makespan: expected_makespan(&tl_l12, &process, Some(&lay_l12), seed ^ 5, replicas)?,
         makespan_online: Some(expected_makespan_online(
             &tl_l12,
-            &OnlineConfig::new(process, Some(lay_l12)),
+            &OnlineConfig::new(process, Some(lay_l12.clone())),
             seed ^ 5,
             replicas,
-        )),
+        )?),
+        sdc: Some(online_stats(
+            &tl_l12,
+            &OnlineConfig::new(process, Some(lay_l12))
+                .with_sdc(sdc_config(cs, epr, ranks, Scenario::L1L2, node_mtbf_s)),
+            seed ^ 5,
+            replicas,
+        )?),
     });
     Ok(out)
 }
@@ -170,20 +245,40 @@ pub fn run_cases24(cs: &CaseStudy) -> String {
         "Overlay E[makespan] (s)",
         "Online E[makespan] (s)",
         "vs Case 1",
+        "SDC E[makespan] (s)",
+        "SDC C/A/R/W",
+        "Undetected",
     ]);
     let base = results[0].makespan;
     for r in &results {
+        let (sdc_mk, sdc_classes, sdc_undet) = match &r.sdc {
+            Some(s) => (
+                fmt_secs(s.expected_makespan),
+                format!(
+                    "{}/{}/{}/{}",
+                    s.correct, s.corrected_by_abft, s.rolled_back, s.silently_wrong
+                ),
+                format!("{:.1}%", 100.0 * s.undetected_rate),
+            ),
+            None => ("—".into(), "—".into(), "—".into()),
+        };
         table.row(&[
             r.case.clone(),
             fmt_secs(r.makespan),
             r.makespan_online.map_or_else(|| "—".into(), fmt_secs),
             format!("{:.0}%", 100.0 * r.makespan / base),
+            sdc_mk,
+            sdc_classes,
+            sdc_undet,
         ]);
     }
     let path = write_csv("cases24", &table);
     format!(
         "Fig. 4 quadrants — fault injection extension (epr {epr}, {ranks} ranks,\n\
-         checkpoint period {CKPT_PERIOD}, synthetic node MTBF {node_mtbf:.0} s → ≈4 faults/run)\n\n{}\n(written to {})\n",
+         checkpoint period {CKPT_PERIOD}, synthetic node MTBF {node_mtbf:.0} s → ≈4 faults/run)\n\
+         SDC columns re-run the faulted quadrants with silent data corruption armed:\n\
+         C/A/R/W = Correct / CorrectedByAbft / RolledBack / SilentlyWrong replica counts;\n\
+         FT rows arm ABFT + checkpoint verification, so their undetected rate must be 0.\n\n{}\n(written to {})\n",
         table.render(),
         path.display()
     )
@@ -231,6 +326,36 @@ mod tests {
                     "faulted rows must carry an online column: {}",
                     r.case
                 );
+            }
+        }
+        // SDC ensemble: every faulted row carries the outcome-class
+        // breakdown; fault-free rows don't.
+        for r in &results {
+            let faulted = r.case.starts_with("Case 2") || r.case.starts_with("Case 4");
+            assert_eq!(r.sdc.is_some(), faulted, "SDC column wrong for {}", r.case);
+            if let Some(s) = &r.sdc {
+                assert_eq!(
+                    s.correct + s.corrected_by_abft + s.rolled_back + s.silently_wrong,
+                    s.completed,
+                    "{}: outcome classes must partition completed replicas",
+                    r.case
+                );
+                if r.case.starts_with("Case 4") {
+                    // ABFT + verification both armed: nothing slips through.
+                    assert_eq!(
+                        s.undetected_rate, 0.0,
+                        "{}: shielded rows must have zero undetected corruption",
+                        r.case
+                    );
+                } else {
+                    // Unshielded: with ≈4 strikes per replica over 20
+                    // replicas, silent wrongness must actually show up.
+                    assert!(
+                        s.silently_wrong > 0,
+                        "{}: unshielded SDC never went silently wrong",
+                        r.case
+                    );
+                }
             }
         }
         let get = |case_prefix: &str| -> f64 {

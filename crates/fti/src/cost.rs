@@ -137,6 +137,48 @@ pub fn restart_blocks(
     blocks
 }
 
+/// The blocks executed by a CRC-style integrity verification of a `level`
+/// checkpoint (used by the SDC escalation ladder): re-read the payload on
+/// the level's storage medium and checksum it. No coordination barrier —
+/// verification runs inside an already-coordinated recovery — but the
+/// metadata lookup to locate the level's files is paid, and redundant
+/// copies (L2 partners, L3 encoded slices) are verified too, which is what
+/// makes higher levels more expensive to *check*, not just to restore.
+pub fn verify_blocks(
+    level: CkptLevel,
+    shape: &CkptShape,
+    layout: &GroupLayout,
+    _machine: &Machine,
+) -> Vec<BlockWork> {
+    let per_node = shape.bytes_per_node();
+    let mut blocks = vec![BlockWork::PfsMetadata { ops: layout.n_nodes() }];
+    match level {
+        CkptLevel::L1 => {
+            blocks.push(BlockWork::LocalRead { bytes: per_node });
+        }
+        CkptLevel::L2 => {
+            // Own file plus the partner copies held for the neighbours.
+            blocks.push(BlockWork::LocalRead {
+                bytes: per_node * (1 + layout.l2_copies as u64),
+            });
+        }
+        CkptLevel::L3 => {
+            // Own file plus the encoded slices received from the group.
+            let slice = per_node / layout.group_size as u64;
+            blocks.push(BlockWork::LocalRead {
+                bytes: per_node + slice * (layout.group_size - 1) as u64,
+            });
+        }
+        CkptLevel::L4 => {
+            blocks.push(BlockWork::PfsRead {
+                bytes: per_node,
+                readers: shape.n_phys_nodes(),
+            });
+        }
+    }
+    blocks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +313,35 @@ mod tests {
             assert!(!blocks.is_empty());
             assert!(tb.deterministic_region_cost(&blocks) > 0.0, "{level}");
         }
+    }
+
+    #[test]
+    fn verify_blocks_are_priced_and_cheaper_than_restarts() {
+        let m = presets::quartz();
+        let tb = Testbed::new(&m);
+        let s = shape(512, 8 << 20);
+        let l = layout(512);
+        for level in CkptLevel::ALL {
+            let verify = tb.deterministic_region_cost(&verify_blocks(level, &s, &l, &m));
+            let restart = tb.deterministic_region_cost(&restart_blocks(level, &s, &l, &m));
+            assert!(verify > 0.0, "{level}");
+            // Checking a checkpoint must never cost more than restoring
+            // from it — otherwise the escalation ladder's cheapest-first
+            // probing would be irrational.
+            assert!(verify <= restart, "{level}: verify {verify} vs restart {restart}");
+        }
+    }
+
+    #[test]
+    fn verify_cost_grows_with_level_redundancy() {
+        let m = presets::quartz();
+        let tb = Testbed::new(&m);
+        let s = shape(512, 8 << 20);
+        let l = layout(512);
+        let cost = |lv: CkptLevel| tb.deterministic_region_cost(&verify_blocks(lv, &s, &l, &m));
+        // More redundant copies to check: L1 < L2; the PFS read-back tops
+        // the local paths.
+        assert!(cost(CkptLevel::L1) < cost(CkptLevel::L2));
+        assert!(cost(CkptLevel::L1) < cost(CkptLevel::L4));
     }
 }

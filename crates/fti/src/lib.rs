@@ -10,6 +10,9 @@
 //! * [`gf256`] / [`reed_solomon`] — a real GF(2⁸) systematic Reed–Solomon
 //!   erasure codec (FTI L3 is not just a cost entry: it encodes,
 //!   loses, and reconstructs actual bytes in the tests);
+//! * [`crc`] — CRC-32C payload integrity sealing/verification, the
+//!   byte-level model behind the online escalation ladder's corruption
+//!   detection;
 //! * [`recovery`] — which failure scenarios each level survives, as a fast
 //!   predicate *and* as an executable byte-level model, property-tested to
 //!   agree;
@@ -21,13 +24,15 @@
 
 pub mod config;
 pub mod cost;
+pub mod crc;
 pub mod gf256;
 pub mod group;
 pub mod recovery;
 pub mod reed_solomon;
 
 pub use config::{CkptLevel, ConfigError, FtiConfig, LevelSchedule};
-pub use cost::{checkpoint_blocks, restart_blocks, CkptShape};
+pub use cost::{checkpoint_blocks, restart_blocks, verify_blocks, CkptShape};
+pub use crc::{crc32c, ChecksummedPayload};
 pub use group::{FtiNode, GroupId, GroupLayout};
 pub use recovery::{survives, survives_any, EncodedGroup, FailureScenario, RecoveryError};
 pub use reed_solomon::{ReedSolomon, RsError};

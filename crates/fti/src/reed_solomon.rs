@@ -399,6 +399,50 @@ mod tests {
     }
 
     #[test]
+    fn reconstruct_boundary_exactly_parity_erasures_succeeds() {
+        // Regression for the erasure-budget boundary: erasing *exactly*
+        // `parity` shards must still reconstruct, for every code shape the
+        // FTI layouts use.
+        for (k, m) in [(2usize, 1usize), (2, 2), (4, 2), (6, 3)] {
+            let rs = ReedSolomon::new(k, m);
+            let data = shards(k, 48, (k * 7 + m) as u8);
+            let parity = rs.encode(&data).unwrap();
+            let mut all: Vec<Option<Vec<u8>>> =
+                data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+            // Erase the first `m` shards: the worst case, all data.
+            for slot in all.iter_mut().take(m) {
+                *slot = None;
+            }
+            let rec = rs.reconstruct(&all).unwrap_or_else(|e| {
+                panic!("RS({k},{m}) failed at exactly {m} erasures: {e}");
+            });
+            assert_eq!(rec, data, "RS({k},{m})");
+        }
+    }
+
+    #[test]
+    fn reconstruct_boundary_one_past_parity_fails_typed() {
+        // Regression for the one-past-parity failure path: `parity + 1`
+        // erasures must surface the typed NotEnoughShards error with the
+        // exact have/need counts — never a panic, never silent garbage.
+        for (k, m) in [(2usize, 1usize), (2, 2), (4, 2), (6, 3)] {
+            let rs = ReedSolomon::new(k, m);
+            let data = shards(k, 48, (k * 3 + m) as u8);
+            let parity = rs.encode(&data).unwrap();
+            let mut all: Vec<Option<Vec<u8>>> =
+                data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+            for slot in all.iter_mut().take(m + 1) {
+                *slot = None;
+            }
+            assert_eq!(
+                rs.reconstruct(&all),
+                Err(RsError::NotEnoughShards { have: k - 1, need: k }),
+                "RS({k},{m})"
+            );
+        }
+    }
+
+    #[test]
     fn shard_size_mismatch_detected() {
         let rs = ReedSolomon::new(2, 1);
         let bad = vec![vec![1, 2, 3], vec![1, 2]];

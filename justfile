@@ -31,6 +31,12 @@ buggify:
 faults:
     cargo run --release -p besst-experiments --bin repro -- cases24
 
+# Silent-data-corruption gates: engine bit-identity, overlay equivalence,
+# Young–Daly bound under detected-SDC rollback, and zero-SilentlyWrong
+# with ABFT + checkpoint verification armed. See docs/FAULT_INJECTION.md.
+sdc:
+    cargo test -p besst-core --test sdc_injection
+
 # besst-lint: repo-specific determinism/soundness rules D1–D5 over every
 # workspace crate. Exits nonzero on findings. See docs/STATIC_ANALYSIS.md.
 lint:

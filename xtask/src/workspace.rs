@@ -237,6 +237,9 @@ mod tests {
         // fti declares RecoveryError/RsError/ConfigError.
         let fti = ms.iter().find(|m| m.name == "besst-fti").expect("fti member");
         assert!(fti.has_typed_errors);
+        // core declares OnlineError, so D3 scopes it too.
+        let core = ms.iter().find(|m| m.name == "besst-core").expect("core member");
+        assert!(core.has_typed_errors);
         // des has no typed error enum today.
         let des = ms.iter().find(|m| m.name == "besst-des").expect("des member");
         assert!(!des.has_typed_errors);
