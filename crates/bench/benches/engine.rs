@@ -87,6 +87,7 @@ fn bench_be_sim(c: &mut Criterion) {
                         ..Default::default()
                     },
                 )
+                .expect("bench app is covered")
                 .events_delivered
             })
         });

@@ -1,0 +1,94 @@
+//! The PR-5 measurement suite: arena-backed [`Scheduler`] vs the
+//! `BinaryHeap`-based [`ReferenceScheduler`] on a deep-queue workload,
+//! online fail-stop + SDC replay throughput, and the LULESH overlay
+//! sweep. `cargo run -p xtask -- bench-json` runs the same workloads
+//! outside criterion and writes `results/BENCH_0005.json`.
+
+use besst_bench::{
+    churn_builder, churn_total_events, crash_online_cfg, inject_churn_backlog, lulesh_timeline,
+    lulesh_trace, sdc_online_cfg, FatPayload,
+};
+use besst_core::faults::{expected_makespan, FaultProcess};
+use besst_core::sim::EngineKind;
+use besst_core::run_online;
+use besst_des::prelude::*;
+use besst_fti::{FtiConfig, GroupLayout};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+// Same deep-queue geometry as `BenchParams::full()` in xtask: 131 072
+// resident events keeps both queues out of L2, so scheduler layout — not
+// cache residency — is what the arena/BinaryHeap comparison measures.
+const COMPONENTS: usize = 4096;
+const BACKLOG: usize = 32;
+const HOPS: u32 = 9;
+
+fn bench_scheduler_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_churn");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(churn_total_events(COMPONENTS, BACKLOG, HOPS)));
+    group.bench_function("arena_scheduler", |b| {
+        b.iter(|| {
+            let mut e = churn_builder(COMPONENTS).build_with_queue::<Scheduler<FatPayload>>();
+            inject_churn_backlog(&mut e, COMPONENTS, BACKLOG, HOPS);
+            assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+            e.delivered()
+        })
+    });
+    group.bench_function("reference_binaryheap", |b| {
+        b.iter(|| {
+            let mut e =
+                churn_builder(COMPONENTS).build_with_queue::<ReferenceScheduler<FatPayload>>();
+            inject_churn_backlog(&mut e, COMPONENTS, BACKLOG, HOPS);
+            assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+            e.delivered()
+        })
+    });
+    group.finish();
+}
+
+fn bench_online_replay(c: &mut Criterion) {
+    let res = lulesh_trace(10, 100, 0xBE5);
+    let tl = lulesh_timeline(&res);
+    let makespan = tl.failure_free_makespan();
+    let mut group = c.benchmark_group("online_replay");
+    group.sample_size(10);
+    group.bench_function("fail_stop", |b| {
+        let cfg = crash_online_cfg(10, makespan);
+        b.iter(|| {
+            run_online(&tl, &cfg, 0x0423, EngineKind::Sequential)
+                .expect("replay runs")
+                .makespan
+        })
+    });
+    group.bench_function("fail_stop_plus_sdc", |b| {
+        let cfg = sdc_online_cfg(10, makespan);
+        b.iter(|| {
+            run_online(&tl, &cfg, 0x0423, EngineKind::Sequential)
+                .expect("replay runs")
+                .makespan
+        })
+    });
+    group.finish();
+}
+
+fn bench_overlay_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_sweep");
+    group.sample_size(10);
+    for &period in &[10u32, 40] {
+        let res = lulesh_trace(period, 100, 0xBE5);
+        let tl = lulesh_timeline(&res);
+        let makespan = tl.failure_free_makespan();
+        let layout = GroupLayout::new(&FtiConfig::l1_only(period), 64);
+        let process = FaultProcess::new(makespan, 2, 0.3);
+        group.bench_with_input(BenchmarkId::new("lulesh_l1", period), &period, |b, _| {
+            b.iter(|| {
+                expected_makespan(&tl, &process, Some(&layout), 0x0424, 20)
+                    .expect("overlay replays stay inside the layout")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler_engines, bench_online_replay, bench_overlay_sweep);
+criterion_main!(benches);

@@ -77,7 +77,7 @@ fn bench_monte_carlo(c: &mut Criterion) {
     group.sample_size(10);
     for &replicas in &[8u32, 32] {
         group.bench_with_input(BenchmarkId::new("ensemble", replicas), &replicas, |b, &r| {
-            b.iter(|| run_ensemble(&app, &arch, &SimConfig::default(), r).stat.mean())
+            b.iter(|| run_ensemble(&app, &arch, &SimConfig::default(), r).expect("covered").stat.mean())
         });
     }
     group.finish();

@@ -58,16 +58,228 @@ pub fn bsp_arch() -> ArchBeo {
     )
 }
 
+// ── Measurement-layer workloads ─────────────────────────────────────────
+//
+// Shared by the criterion benches and `cargo run -p xtask -- bench-json`
+// so the numbers in `results/BENCH_*.json` measure exactly what the
+// benches measure.
+
+use besst_core::faults::{FaultProcess, SdcProcess, Timeline};
+use besst_core::online::{OnlineConfig, SdcConfig};
+use besst_core::sim::{simulate, EngineKind, SimConfig, SimResult};
+use besst_des::prelude::*;
+use besst_fti::{CkptLevel, FtiConfig, GroupLayout};
+
+/// A deliberately bulky event payload (64 bytes with the hop counter):
+/// deep-queue workloads should store events at realistic message size so
+/// the arena slab, not the payload, is what the scheduler comparison
+/// isolates.
+#[derive(Debug, Clone)]
+pub struct FatPayload {
+    /// Ballast bringing the payload to BE-message size.
+    pub fill: [u64; 7],
+    /// Remaining self-reschedules in this event chain.
+    pub hop: u32,
+}
+
+/// splitmix64 — the repo's standard seedable hash for deterministic
+/// workload generation (no ambient randomness in sim-path crates).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A component that burns its event's hop budget by rescheduling itself
+/// at a pseudo-random (but seed-deterministic) delay. With `backlog`
+/// chains live per component the queue holds `components × backlog`
+/// events at all times — the deep-queue regime where scheduler layout
+/// (arena slab + 32-byte heap nodes vs `BinaryHeap` of full events)
+/// dominates the profile.
+struct Churn {
+    id: u64,
+}
+
+impl Component<FatPayload> for Churn {
+    fn on_event(&mut self, ev: Event<FatPayload>, ctx: &mut Ctx<'_, FatPayload>) {
+        if ev.payload.hop == 0 {
+            return;
+        }
+        let mut next = ev.payload;
+        next.hop -= 1;
+        let mut s = self.id ^ (next.hop as u64).wrapping_mul(0xD135_7B5B_1057_8437);
+        // A wide delay window keeps same-instant bursts small even when the
+        // queue holds tens of thousands of events, so the comparison
+        // measures per-op scheduling rather than batch extraction.
+        let delay = 1 + splitmix64(&mut s) % 16384;
+        ctx.schedule_self_on(
+            PortId(0),
+            SimTime::from_nanos(delay),
+            next,
+            Priority::NORMAL,
+        );
+    }
+}
+
+/// Build the deep-queue churn engine. Drive it with
+/// [`inject_churn_backlog`] and run to completion; total deliveries are
+/// [`churn_total_events`].
+pub fn churn_builder(components: usize) -> EngineBuilder<FatPayload> {
+    let mut b = EngineBuilder::new();
+    for i in 0..components {
+        b.add_component(Box::new(Churn { id: 0xC4D2 ^ ((i as u64) << 7) }));
+    }
+    b
+}
+
+/// Inject the initial backlog: `backlog` chains per component, staggered
+/// across distinct start instants so extraction sees both bursts and
+/// singletons.
+pub fn inject_churn_backlog<Q: EventQueue<FatPayload>>(
+    engine: &mut Engine<FatPayload, Q>,
+    components: usize,
+    backlog: usize,
+    hops: u32,
+) {
+    let mut seq = 0u64;
+    for c in 0..components {
+        for k in 0..backlog {
+            engine.inject(
+                SimTime::from_nanos((k as u64) * 7 + (c as u64 % 5)),
+                ComponentId(c as u32),
+                PortId(0),
+                FatPayload { fill: [c as u64; 7], hop: hops },
+                seq,
+            );
+            seq += 1;
+        }
+    }
+}
+
+/// Deliveries a full churn run produces: every chain delivers its initial
+/// event plus one per hop.
+pub fn churn_total_events(components: usize, backlog: usize, hops: u32) -> u64 {
+    (components * backlog) as u64 * (hops as u64 + 1)
+}
+
+/// The LULESH arch for measurement runs: fixed-duration models (table
+/// lookups) for the timestep and every checkpoint level, so the engine —
+/// not model evaluation — is what gets measured.
+pub fn lulesh_bench_arch() -> besst_core::beo::ArchBeo {
+    // LULESH kernels take (epr, ranks) parameters, so the fixed tables
+    // are 2-D (nearest-neighbour lookup — still constant cost).
+    let mut b = ModelBundle::new();
+    for &(name, secs) in &[
+        (besst_apps::lulesh::kernels::TIMESTEP, 0.01),
+        (besst_apps::lulesh::kernels::CKPT_L1, 0.002),
+        (besst_apps::lulesh::kernels::CKPT_L2, 0.004),
+    ] {
+        let mut t = SampleTable::new(&["epr", "ranks"], Interpolation::Nearest);
+        t.insert(&[10.0, 64.0], secs);
+        b.insert(name, PerfModel::Table(t));
+    }
+    besst_core::beo::ArchBeo::new(besst_machine::presets::quartz(), 36, b)
+}
+
+/// Simulate one LULESH run (epr 10, 64 ranks, L1 checkpoints at `period`)
+/// and return its result — the failure-free trace every overlay/online
+/// measurement replays.
+pub fn lulesh_trace(period: u32, steps: u32, seed: u64) -> SimResult {
+    let cfg = besst_apps::LuleshConfig::new(10, 64);
+    let app = besst_apps::lulesh::appbeo(&cfg, &FtiConfig::l1_only(period), steps);
+    simulate(
+        &app,
+        &arch_for_bench(),
+        &SimConfig { seed, monte_carlo: false, engine: EngineKind::Sequential, ..Default::default() },
+    )
+    .expect("bench bundle covers LULESH")
+}
+
+fn arch_for_bench() -> besst_core::beo::ArchBeo {
+    lulesh_bench_arch()
+}
+
+/// Turn a LULESH result into the replayable [`Timeline`].
+pub fn lulesh_timeline(res: &SimResult) -> Timeline {
+    Timeline::from_completions(
+        &res.step_completions,
+        &res.ckpt_completions,
+        vec![(CkptLevel::L1, 2.0)],
+    )
+}
+
+/// Online fail-stop configuration over the LULESH FTI layout: MTBF tuned
+/// to land a handful of crashes per replay.
+pub fn crash_online_cfg(period: u32, makespan: f64) -> OnlineConfig {
+    let n_nodes = 2u32;
+    let process = FaultProcess::new(makespan * n_nodes as f64 / 3.0, n_nodes, 0.3);
+    let layout = GroupLayout::new(&FtiConfig::l1_only(period), 64);
+    OnlineConfig::new(process, Some(layout))
+}
+
+/// The same configuration with a silent-data-corruption stream layered on
+/// (live-state strikes, no ABFT shielding — the detection ladder works).
+pub fn sdc_online_cfg(period: u32, makespan: f64) -> OnlineConfig {
+    crash_online_cfg(period, makespan)
+        .with_sdc(SdcConfig::new(SdcProcess::new(makespan / 2.0, 64, 0.0)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use besst_core::sim::{simulate, SimConfig};
+    use besst_core::run_online;
 
     #[test]
     fn bench_workloads_run() {
         let app = bsp_app(8, 5);
         let arch = bsp_arch();
-        let res = simulate(&app, &arch, &SimConfig { monte_carlo: false, ..Default::default() });
+        let res = simulate(&app, &arch, &SimConfig { monte_carlo: false, ..Default::default() })
+            .expect("bench app is covered");
         assert_eq!(res.step_completions.len(), 5);
+    }
+
+    #[test]
+    fn churn_runs_deep_and_counts_match() {
+        let (components, backlog, hops) = (16usize, 4usize, 10u32);
+        let mut e = churn_builder(components).build();
+        inject_churn_backlog(&mut e, components, backlog, hops);
+        assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(e.delivered(), churn_total_events(components, backlog, hops));
+        // The whole point of the workload: the queue stays deep.
+        assert!(
+            e.peak_queue_depth() >= components * backlog,
+            "peak depth {} under backlog {}",
+            e.peak_queue_depth(),
+            components * backlog
+        );
+    }
+
+    #[test]
+    fn churn_trajectory_is_queue_independent() {
+        let (components, backlog, hops) = (8usize, 3usize, 6u32);
+        let mut a = churn_builder(components).build_with_queue::<Scheduler<FatPayload>>();
+        let mut b = churn_builder(components).build_with_queue::<ReferenceScheduler<FatPayload>>();
+        inject_churn_backlog(&mut a, components, backlog, hops);
+        inject_churn_backlog(&mut b, components, backlog, hops);
+        assert_eq!(a.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(b.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(a.delivered(), b.delivered());
+        assert_eq!(a.now(), b.now(), "final clocks diverge between queues");
+    }
+
+    #[test]
+    fn online_replay_workloads_complete() {
+        let res = lulesh_trace(10, 40, 7);
+        let tl = lulesh_timeline(&res);
+        let makespan = tl.failure_free_makespan();
+        let crash = run_online(&tl, &crash_online_cfg(10, makespan), 11, EngineKind::Sequential)
+            .expect("crash replay runs");
+        assert!(crash.completed, "crash replay inside fault budget");
+        let sdc = run_online(&tl, &sdc_online_cfg(10, makespan), 11, EngineKind::Sequential)
+            .expect("sdc replay runs");
+        assert!(sdc.completed, "sdc replay inside fault budget");
+        assert!(sdc.makespan >= crash.makespan - 1e-9, "sdc adds detection/rework cost");
     }
 }

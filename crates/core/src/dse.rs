@@ -8,7 +8,7 @@
 //! in.
 
 use crate::beo::{AppBeo, ArchBeo};
-use crate::sim::{simulate, SimConfig};
+use crate::sim::{simulate, SimConfig, SimError};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -68,13 +68,18 @@ impl Sweep {
 /// and ArchBEO to simulate (the ArchBEO varies too: FT-aware scenarios
 /// bind checkpoint models — and algorithmic DSE may swap kernel models).
 /// Cells run in parallel; each gets a deterministic per-cell seed.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any cell produces (e.g. a scenario
+/// builder that binds an ArchBEO missing kernels for its AppBEO).
 pub fn sweep<F>(
     problem_sizes: &[u32],
     ranks: &[u32],
     scenarios: &[&str],
     base_cfg: &SimConfig,
     build: F,
-) -> Sweep
+) -> Result<Sweep, SimError>
 where
     F: Fn(u32, u32, &str) -> (AppBeo, ArchBeo) + Sync,
 {
@@ -98,11 +103,16 @@ where
                 buggify: base_cfg.buggify,
                 recovery: base_cfg.recovery,
             };
-            let res = simulate(&app, &arch, &cfg);
-            SweepCell { problem_size: ps, ranks: r, scenario: sc, total_seconds: res.total_seconds }
+            let res = simulate(&app, &arch, &cfg)?;
+            Ok(SweepCell {
+                problem_size: ps,
+                ranks: r,
+                scenario: sc,
+                total_seconds: res.total_seconds,
+            })
         })
-        .collect();
-    Sweep { cells }
+        .collect::<Result<_, SimError>>()?;
+    Ok(Sweep { cells })
 }
 
 #[cfg(test)]
@@ -151,7 +161,7 @@ mod tests {
 
     #[test]
     fn sweep_covers_the_grid() {
-        let s = sweep(&[10, 20], &[8], &["No FT", "L1"], &test_cfg(), builder);
+        let s = sweep(&[10, 20], &[8], &["No FT", "L1"], &test_cfg(), builder).expect("covered");
         assert_eq!(s.cells.len(), 4);
         assert!(s.get(10, 8, "No FT").is_some());
         assert!(s.get(20, 8, "L1").is_some());
@@ -160,7 +170,8 @@ mod tests {
 
     #[test]
     fn overhead_matrix_normalizes_to_baseline() {
-        let s = sweep(&[10, 20], &[8], &["No FT", "L1", "L1 & L2"], &test_cfg(), builder);
+        let s = sweep(&[10, 20], &[8], &["No FT", "L1", "L1 & L2"], &test_cfg(), builder)
+            .expect("covered");
         let m = s.overhead_matrix(10, 8, "No FT");
         let base = m
             .iter()
@@ -180,8 +191,8 @@ mod tests {
 
     #[test]
     fn sweep_is_deterministic() {
-        let a = sweep(&[10], &[8], &["No FT", "L1"], &test_cfg(), builder);
-        let b = sweep(&[10], &[8], &["No FT", "L1"], &test_cfg(), builder);
+        let a = sweep(&[10], &[8], &["No FT", "L1"], &test_cfg(), builder).expect("covered");
+        let b = sweep(&[10], &[8], &["No FT", "L1"], &test_cfg(), builder).expect("covered");
         let ta: Vec<f64> = a.cells.iter().map(|c| c.total_seconds).collect();
         let tb: Vec<f64> = b.cells.iter().map(|c| c.total_seconds).collect();
         assert_eq!(ta, tb);
@@ -190,7 +201,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "baseline cell")]
     fn missing_baseline_panics() {
-        let s = sweep(&[10], &[8], &["No FT"], &test_cfg(), builder);
+        let s = sweep(&[10], &[8], &["No FT"], &test_cfg(), builder).expect("covered");
         s.overhead_matrix(99, 8, "No FT");
     }
 }

@@ -64,4 +64,4 @@ pub use online::{
     OnlineRun, OnlineStats, RecoveryPolicy, RunClass, SdcConfig, SdcEffect, SdcTarget,
     VerifyPolicy,
 };
-pub use sim::{simulate, simulate_with_faults, EngineKind, SimConfig, SimResult};
+pub use sim::{simulate, simulate_with_faults, EngineKind, SimConfig, SimError, SimResult};

@@ -8,7 +8,7 @@
 //! summaries.
 
 use crate::beo::{AppBeo, ArchBeo};
-use crate::sim::{simulate, SimConfig, SimResult};
+use crate::sim::{simulate, SimConfig, SimError, SimResult};
 use besst_des::stats::ScalarStat;
 use rayon::prelude::*;
 
@@ -29,12 +29,17 @@ pub struct EnsembleSummary {
 
 /// Run `replicas` Monte-Carlo simulations (seeds `base_seed + i`) in
 /// parallel and summarize.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any replica produces (they all share
+/// one app/arch pair, so configuration errors strike every replica alike).
 pub fn run_ensemble(
     app: &AppBeo,
     arch: &ArchBeo,
     base: &SimConfig,
     replicas: u32,
-) -> EnsembleSummary {
+) -> Result<EnsembleSummary, SimError> {
     assert!(replicas >= 1, "need at least one replica");
     let results: Vec<SimResult> = (0..replicas)
         .into_par_iter()
@@ -48,8 +53,8 @@ pub fn run_ensemble(
             };
             simulate(app, arch, &cfg)
         })
-        .collect();
-    summarize(results.iter().map(|r| r.total_seconds).collect())
+        .collect::<Result<_, _>>()?;
+    Ok(summarize(results.iter().map(|r| r.total_seconds).collect()))
 }
 
 /// Reduce a vector of replica totals.
@@ -101,7 +106,8 @@ mod tests {
 
     #[test]
     fn ensemble_spreads_and_orders() {
-        let summary = run_ensemble(&app(), &noisy_arch(), &SimConfig::default(), 32);
+        let summary =
+            run_ensemble(&app(), &noisy_arch(), &SimConfig::default(), 32).expect("covered");
         assert_eq!(summary.totals.len(), 32);
         assert!(summary.p5 <= summary.p50);
         assert!(summary.p50 <= summary.p95);
@@ -111,8 +117,8 @@ mod tests {
 
     #[test]
     fn ensemble_is_deterministic_for_fixed_base_seed() {
-        let a = run_ensemble(&app(), &noisy_arch(), &SimConfig::default(), 8);
-        let b = run_ensemble(&app(), &noisy_arch(), &SimConfig::default(), 8);
+        let a = run_ensemble(&app(), &noisy_arch(), &SimConfig::default(), 8).expect("covered");
+        let b = run_ensemble(&app(), &noisy_arch(), &SimConfig::default(), 8).expect("covered");
         assert_eq!(a.totals, b.totals, "rayon order must not leak into results");
     }
 

@@ -16,11 +16,64 @@
 use crate::beo::{AppBeo, ArchBeo, FlatInstr, SyncMarker};
 use besst_des::prelude::*;
 use besst_fti::CkptLevel;
-use besst_models::ModelBundle;
+use besst_models::PerfModel;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
+
+/// Why a simulation could not be configured or run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The [`ArchBeo`] lacks performance models for kernels the
+    /// [`AppBeo`] calls; every missing kernel is listed.
+    MissingModels {
+        /// Kernel names with no bound model.
+        kernels: Vec<String>,
+    },
+    /// More ranks than the star coordinator can address through its
+    /// per-rank ports.
+    TooManyRanks {
+        /// Requested rank count.
+        ranks: u32,
+        /// Largest supported rank count.
+        max: u32,
+    },
+    /// The online fault-injected replay failed (see
+    /// [`crate::online::OnlineError`]).
+    Online(crate::online::OnlineError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingModels { kernels } => {
+                write!(f, "ArchBEO is missing models for kernels: {kernels:?}")
+            }
+            SimError::TooManyRanks { ranks, max } => {
+                write!(f, "star coordinator supports at most {max} ranks, got {ranks}")
+            }
+            SimError::Online(e) => write!(f, "online replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Online(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::online::OnlineError> for SimError {
+    fn from(e: crate::online::OnlineError) -> Self {
+        SimError::Online(e)
+    }
+}
 
 /// Messages exchanged between rank components and the coordinator.
 #[derive(Debug, Clone)]
@@ -107,6 +160,9 @@ pub struct SimResult {
     pub ckpt_completions: Vec<(usize, CkptLevel, f64)>,
     /// Events the DES engine delivered (for engine benchmarks).
     pub events_delivered: u64,
+    /// Deepest the engine's event queue ever got (for engine benchmarks;
+    /// the max across workers under the parallel engine).
+    pub peak_queue_depth: u64,
     /// Substrate fault counters when [`SimConfig::buggify`] was set
     /// (`None` on the fault-free path).
     pub substrate_faults: Option<FaultStats>,
@@ -120,12 +176,49 @@ impl SimResult {
     }
 }
 
-/// A synchronized operation, precomputed from the flattened program.
+/// One instruction of the flattened program with its kernel name resolved
+/// to a dense model index at build time. The per-event hot path is an
+/// array index instead of a `BTreeMap<String, _>` string lookup (and the
+/// old unresolvable-kernel panic site is gone: resolution happens once,
+/// before the engine starts, and fails as a typed [`SimError`]).
+#[derive(Debug, Clone)]
+enum ResolvedInstr {
+    /// A rank-local kernel priced by `models[model]`.
+    Local { model: u32, params: Vec<f64> },
+    /// A synchronized operation; priced by the coordinator's sync table.
+    Sync,
+}
+
+/// A synchronized operation, precomputed from the flattened program with
+/// its kernel resolved to a dense model index (`None` = free sync).
 #[derive(Debug, Clone)]
 struct SyncOp {
-    kernel: Option<String>,
+    model: Option<u32>,
     params: Vec<f64>,
     marker: SyncMarker,
+}
+
+/// Interns kernel names into a dense `Vec<PerfModel>` during build.
+#[derive(Default)]
+struct ModelInterner {
+    by_name: BTreeMap<String, u32>,
+    models: Vec<PerfModel>,
+}
+
+impl ModelInterner {
+    fn resolve(&mut self, arch: &ArchBeo, kernel: &str) -> Result<u32, SimError> {
+        if let Some(&i) = self.by_name.get(kernel) {
+            return Ok(i);
+        }
+        let model = arch
+            .models
+            .get(kernel)
+            .ok_or_else(|| SimError::MissingModels { kernels: vec![kernel.to_owned()] })?;
+        let i = self.models.len() as u32;
+        self.by_name.insert(kernel.to_owned(), i);
+        self.models.push(model.clone());
+        Ok(i)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -150,29 +243,16 @@ const STAR_LATENCY: SimTime = SimTime::from_micros(1);
 
 struct RankComponent {
     rank: u32,
-    program: Arc<Vec<FlatInstr>>,
+    program: Arc<Vec<ResolvedInstr>>,
     pc: usize,
     next_sync: u32,
-    models: Arc<ModelBundle>,
+    models: Arc<Vec<PerfModel>>,
     rng: StdRng,
     monte_carlo: bool,
     done: bool,
 }
 
 impl RankComponent {
-    fn price_local(&mut self, kernel: &str, params: &[f64]) -> f64 {
-        let model = self
-            .models
-            .get(kernel)
-            // lint: allow(panic-path) -- coverage is validated by check_covers before the engine starts; a miss here is memory corruption, not input
-            .unwrap_or_else(|| panic!("no model bound for kernel '{kernel}'"));
-        if self.monte_carlo {
-            model.sample(params, &mut self.rng)
-        } else {
-            model.predict(params)
-        }
-    }
-
     /// Execute instructions until the rank blocks (on a timer or a sync)
     /// or finishes.
     fn advance(&mut self, ctx: &mut Ctx<'_, BeMsg>) {
@@ -182,10 +262,16 @@ impl RankComponent {
             ctx.send(RANK_TO_COORD, BeMsg::Done { rank: self.rank });
             return;
         }
-        let program = Arc::clone(&self.program);
-        match &program[self.pc] {
-            FlatInstr::Local { kernel, params } => {
-                let secs = self.price_local(kernel, params);
+        match self.program[self.pc] {
+            ResolvedInstr::Local { model, ref params } => {
+                // Indices are produced by the build-time interner, so this
+                // is a direct array access, not a name lookup.
+                let m = &self.models[model as usize];
+                let secs = if self.monte_carlo {
+                    m.sample(params, &mut self.rng)
+                } else {
+                    m.predict(params)
+                };
                 self.pc += 1;
                 ctx.schedule_self_on(
                     RANK_SELF,
@@ -194,7 +280,7 @@ impl RankComponent {
                     Priority::NORMAL,
                 );
             }
-            FlatInstr::Sync { .. } => {
+            ResolvedInstr::Sync => {
                 let idx = self.next_sync;
                 ctx.send(RANK_TO_COORD, BeMsg::Arrive { rank: self.rank, sync_idx: idx });
             }
@@ -220,8 +306,7 @@ impl Component<BeMsg> for RankComponent {
                 self.pc += 1;
                 self.advance(ctx);
             }
-            // lint: allow(panic-path) -- protocol violation inside the closed rank/coordinator state machine; unreachable by any API input
-            other => panic!("rank {} received unexpected message {other:?}", self.rank),
+            other => unreachable!("rank {} received unexpected message {other:?}", self.rank),
         }
     }
 }
@@ -232,30 +317,10 @@ struct Coordinator {
     current_sync: u32,
     arrived: u32,
     step_counter: usize,
-    models: Arc<ModelBundle>,
+    models: Arc<Vec<PerfModel>>,
     rng: StdRng,
     monte_carlo: bool,
     trace: Arc<Mutex<Trace>>,
-}
-
-impl Coordinator {
-    fn price_sync(&mut self, op: &SyncOp) -> f64 {
-        match &op.kernel {
-            None => 0.0,
-            Some(kernel) => {
-                let model = self
-                    .models
-                    .get(kernel)
-                    // lint: allow(panic-path) -- coverage is validated by check_covers before the engine starts; a miss here is memory corruption, not input
-                    .unwrap_or_else(|| panic!("no model bound for kernel '{kernel}'"));
-                if self.monte_carlo {
-                    model.sample(&op.params, &mut self.rng)
-                } else {
-                    model.predict(&op.params)
-                }
-            }
-        }
-    }
 }
 
 impl Component<BeMsg> for Coordinator {
@@ -275,16 +340,30 @@ impl Component<BeMsg> for Coordinator {
                     return;
                 }
                 // All ranks arrived: the op's modeled duration elapses
-                // once, globally.
+                // once, globally. Pricing borrows the sync table and the
+                // RNG as disjoint fields — no per-sync clone of the op.
                 self.arrived = 0;
-                let op = self.syncs[self.current_sync as usize].clone();
-                let secs = self.price_sync(&op);
+                let (secs, marker) = {
+                    let op = &self.syncs[self.current_sync as usize];
+                    let secs = match op.model {
+                        None => 0.0,
+                        Some(i) => {
+                            let m = &self.models[i as usize];
+                            if self.monte_carlo {
+                                m.sample(&op.params, &mut self.rng)
+                            } else {
+                                m.predict(&op.params)
+                            }
+                        }
+                    };
+                    (secs, op.marker)
+                };
                 let duration = SimTime::from_secs_f64(secs);
                 let complete = ctx.now().saturating_add(duration).saturating_add(STAR_LATENCY);
                 {
                     let mut tr = self.trace.lock();
                     let t = complete.as_secs_f64();
-                    match op.marker {
+                    match marker {
                         SyncMarker::StepEnd => {
                             self.step_counter += 1;
                             tr.step_completions.push(t);
@@ -311,24 +390,37 @@ impl Component<BeMsg> for Coordinator {
                 tr.done_ranks += 1;
                 tr.total_seconds = tr.total_seconds.max(ctx.now().as_secs_f64());
             }
-            // lint: allow(panic-path) -- protocol violation inside the closed rank/coordinator state machine; unreachable by any API input
-            other => panic!("coordinator received unexpected message {other:?}"),
+            other => unreachable!("coordinator received unexpected message {other:?}"),
         }
     }
 }
 
-fn sync_ops(program: &[FlatInstr]) -> Vec<SyncOp> {
-    program
-        .iter()
-        .filter_map(|f| match f {
-            FlatInstr::Sync { kernel, params, marker } => Some(SyncOp {
-                kernel: kernel.clone(),
-                params: params.clone(),
-                marker: *marker,
-            }),
-            FlatInstr::Local { .. } => None,
-        })
-        .collect()
+/// Resolve the flat program into the rank-side instruction stream and the
+/// coordinator-side sync table, interning every kernel name once.
+fn resolve_program(
+    program: &[FlatInstr],
+    arch: &ArchBeo,
+    interner: &mut ModelInterner,
+) -> Result<(Vec<ResolvedInstr>, Vec<SyncOp>), SimError> {
+    let mut resolved = Vec::with_capacity(program.len());
+    let mut syncs = Vec::new();
+    for f in program {
+        match f {
+            FlatInstr::Local { kernel, params } => {
+                let model = interner.resolve(arch, kernel)?;
+                resolved.push(ResolvedInstr::Local { model, params: params.clone() });
+            }
+            FlatInstr::Sync { kernel, params, marker } => {
+                let model = match kernel {
+                    Some(k) => Some(interner.resolve(arch, k)?),
+                    None => None,
+                };
+                syncs.push(SyncOp { model, params: params.clone(), marker: *marker });
+                resolved.push(ResolvedInstr::Sync);
+            }
+        }
+    }
+    Ok((resolved, syncs))
 }
 
 fn build(
@@ -336,19 +428,19 @@ fn build(
     arch: &ArchBeo,
     cfg: &SimConfig,
     trace: Arc<Mutex<Trace>>,
-) -> EngineBuilder<BeMsg> {
-    if let Err(missing) = arch.check_covers(app) {
-        // lint: allow(panic-path) -- pre-run configuration check with the full missing-kernel list; the typed-error migration for simulate() is tracked in ROADMAP.md
-        panic!("ArchBEO is missing models for kernels: {missing:?}");
+) -> Result<EngineBuilder<BeMsg>, SimError> {
+    if app.ranks > u16::MAX as u32 {
+        return Err(SimError::TooManyRanks { ranks: app.ranks, max: u16::MAX as u32 });
     }
-    assert!(
-        app.ranks <= u16::MAX as u32,
-        "star coordinator supports at most {} ranks",
-        u16::MAX
-    );
-    let program = Arc::new(app.flatten());
-    let syncs = Arc::new(sync_ops(&program));
-    let models = Arc::new(arch.models.clone());
+    // Surface the complete missing-kernel list up front; the interner
+    // would only report the first unresolvable name.
+    arch.check_covers(app)
+        .map_err(|kernels| SimError::MissingModels { kernels })?;
+    let mut interner = ModelInterner::default();
+    let (resolved, syncs) = resolve_program(&app.flatten(), arch, &mut interner)?;
+    let program = Arc::new(resolved);
+    let syncs = Arc::new(syncs);
+    let models = Arc::new(interner.models);
 
     let mut b = EngineBuilder::new();
     let coord = b.add_component(Box::new(Coordinator {
@@ -377,7 +469,7 @@ fn build(
         b.connect(id, RANK_TO_COORD, coord, COORD_IN, STAR_LATENCY);
         b.connect(coord, PortId(rank as u16), id, PortId(0), STAR_LATENCY);
     }
-    b
+    Ok(b)
 }
 
 /// Run one FT-aware BE-SST simulation and then an online fault-injected
@@ -388,16 +480,17 @@ fn build(
 /// costs (price them with [`crate::online::machine_restart_costs`]) and
 /// replayed under `online`'s fault process with `cfg.recovery` as the
 /// recovery policy. Returns both the failure-free result and the
-/// fault-injected outcome, or a typed [`crate::online::OnlineError`]
-/// when the online configuration cannot survive its first fault.
+/// fault-injected outcome, or a typed [`SimError`] when the simulation
+/// cannot be configured or the online replay cannot survive its first
+/// fault.
 pub fn simulate_with_faults(
     app: &AppBeo,
     arch: &ArchBeo,
     cfg: &SimConfig,
     online: &crate::online::OnlineConfig,
     restart_costs: Vec<(CkptLevel, f64)>,
-) -> Result<(SimResult, crate::online::OnlineRun), crate::online::OnlineError> {
-    let res = simulate(app, arch, cfg);
+) -> Result<(SimResult, crate::online::OnlineRun), SimError> {
+    let res = simulate(app, arch, cfg)?;
     let timeline = crate::faults::Timeline::from_completions(
         &res.step_completions,
         &res.ckpt_completions,
@@ -409,21 +502,28 @@ pub fn simulate_with_faults(
 }
 
 /// Run one FT-aware BE-SST simulation.
-pub fn simulate(app: &AppBeo, arch: &ArchBeo, cfg: &SimConfig) -> SimResult {
+///
+/// # Errors
+///
+/// Returns [`SimError::MissingModels`] (listing every uncovered kernel)
+/// when the [`ArchBeo`] cannot price the [`AppBeo`]'s program, and
+/// [`SimError::TooManyRanks`] when the app exceeds the star
+/// coordinator's addressable rank count.
+pub fn simulate(app: &AppBeo, arch: &ArchBeo, cfg: &SimConfig) -> Result<SimResult, SimError> {
     let trace = Arc::new(Mutex::new(Trace::default()));
-    let mut builder = build(app, arch, cfg, Arc::clone(&trace));
+    let mut builder = build(app, arch, cfg, Arc::clone(&trace))?;
     let injector = cfg
         .buggify
         .map(|fc| Arc::new(FaultInjector::new(cfg.seed ^ 0xB166, fc)));
     if let Some(inj) = &injector {
         builder.set_fault_injector(Arc::clone(inj));
     }
-    let delivered = match cfg.engine {
+    let (delivered, peak_depth) = match cfg.engine {
         EngineKind::Sequential => {
             let mut engine = builder.build();
             let outcome = engine.run_to_completion();
             assert_eq!(outcome, RunOutcome::Drained, "simulation did not drain: {outcome:?}");
-            engine.delivered()
+            (engine.delivered(), engine.peak_queue_depth() as u64)
         }
         EngineKind::Parallel(n) => {
             assert!(n >= 1, "need at least one worker");
@@ -434,18 +534,19 @@ pub fn simulate(app: &AppBeo, arch: &ArchBeo, cfg: &SimConfig) -> SimResult {
                 RunOutcome::Drained,
                 "simulation did not drain"
             );
-            report.delivered
+            (report.delivered, report.peak_queue_depth as u64)
         }
     };
     let tr = trace.lock();
     assert_eq!(tr.done_ranks, app.ranks, "not all ranks completed");
-    SimResult {
+    Ok(SimResult {
         total_seconds: tr.total_seconds,
         step_completions: tr.step_completions.clone(),
         ckpt_completions: tr.ckpt_completions.clone(),
         events_delivered: delivered,
+        peak_queue_depth: peak_depth,
         substrate_faults: injector.map(|i| i.stats()),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -492,7 +593,7 @@ mod tests {
         let app = step_app(4, 10);
         let arch = arch(&[("work", 0.5), ("reduce", 0.1)]);
         let cfg = SimConfig { monte_carlo: false, ..Default::default() };
-        let res = simulate(&app, &arch, &cfg);
+        let res = simulate(&app, &arch, &cfg).expect("covered app simulates");
         // 10 steps × (0.5 + 0.1) = 6.0 s, plus µs-scale star latency.
         assert!((res.total_seconds - 6.0).abs() < 1e-3, "total {}", res.total_seconds);
         assert_eq!(res.step_completions.len(), 10);
@@ -526,7 +627,7 @@ mod tests {
         let app = AppBeo::new("ckpt-app", 4, instrs);
         let arch = arch(&[("work", 0.5), ("reduce", 0.1), ("ckpt", 1.0)]);
         let cfg = SimConfig { monte_carlo: false, ..Default::default() };
-        let res = simulate(&app, &arch, &cfg);
+        let res = simulate(&app, &arch, &cfg).expect("covered app simulates");
         assert_eq!(res.n_checkpoints(), 2);
         assert_eq!(res.ckpt_completions[0].0, 4, "after step 4");
         assert_eq!(res.ckpt_completions[1].0, 8, "after step 8");
@@ -540,7 +641,7 @@ mod tests {
         let base = step_app(8, 20);
         let arch_base = arch(&[("work", 0.2), ("reduce", 0.05)]);
         let cfg = SimConfig { monte_carlo: false, ..Default::default() };
-        let t_base = simulate(&base, &arch_base, &cfg).total_seconds;
+        let t_base = simulate(&base, &arch_base, &cfg).expect("covered").total_seconds;
 
         let mut instrs = Vec::new();
         for step in 1..=20u32 {
@@ -560,7 +661,7 @@ mod tests {
         }
         let ft = AppBeo::new("ft", 8, instrs);
         let arch_ft = arch(&[("work", 0.2), ("reduce", 0.05), ("ckpt", 0.4)]);
-        let t_ft = simulate(&ft, &arch_ft, &cfg).total_seconds;
+        let t_ft = simulate(&ft, &arch_ft, &cfg).expect("covered").total_seconds;
         assert!(t_ft > t_base, "{t_ft} vs {t_base}");
         assert!((t_ft - t_base - 4.0 * 0.4).abs() < 1e-2, "overhead = 4 checkpoints");
     }
@@ -577,12 +678,20 @@ mod tests {
         let arch = ArchBeo::new(besst_machine::presets::quartz(), 36, bundle);
         let app = step_app(4, 10);
 
-        let mc1 = simulate(&app, &arch, &SimConfig { seed: 1, monte_carlo: true, ..Default::default() });
-        let mc2 = simulate(&app, &arch, &SimConfig { seed: 2, monte_carlo: true, ..Default::default() });
+        let sim = |seed, mc| {
+            simulate(
+                &app,
+                &arch,
+                &SimConfig { seed, monte_carlo: mc, ..Default::default() },
+            )
+            .expect("covered app simulates")
+        };
+        let mc1 = sim(1, true);
+        let mc2 = sim(2, true);
         assert_ne!(mc1.total_seconds, mc2.total_seconds, "MC must vary by seed");
 
-        let p1 = simulate(&app, &arch, &SimConfig { seed: 1, monte_carlo: false, ..Default::default() });
-        let p2 = simulate(&app, &arch, &SimConfig { seed: 2, monte_carlo: false, ..Default::default() });
+        let p1 = sim(1, false);
+        let p2 = sim(2, false);
         assert_eq!(p1.total_seconds, p2.total_seconds, "point estimates are seed-free");
     }
 
@@ -591,8 +700,8 @@ mod tests {
         let app = step_app(8, 15);
         let arch = arch(&[("work", 0.3), ("reduce", 0.02)]);
         let cfg = SimConfig { seed: 77, monte_carlo: true, ..Default::default() };
-        let a = simulate(&app, &arch, &cfg);
-        let b = simulate(&app, &arch, &cfg);
+        let a = simulate(&app, &arch, &cfg).expect("covered");
+        let b = simulate(&app, &arch, &cfg).expect("covered");
         assert_eq!(a.total_seconds, b.total_seconds);
         assert_eq!(a.step_completions, b.step_completions);
     }
@@ -605,7 +714,8 @@ mod tests {
             &app,
             &arch,
             &SimConfig { seed: 5, monte_carlo: true, ..Default::default() },
-        );
+        )
+        .expect("covered");
         let par = simulate(
             &app,
             &arch,
@@ -615,10 +725,13 @@ mod tests {
                 engine: EngineKind::Parallel(4),
                 ..Default::default()
             },
-        );
+        )
+        .expect("covered");
         assert_eq!(seq.total_seconds, par.total_seconds);
         assert_eq!(seq.step_completions, par.step_completions);
         assert_eq!(seq.events_delivered, par.events_delivered);
+        assert!(seq.peak_queue_depth > 0, "sequential peak depth recorded");
+        assert!(par.peak_queue_depth > 0, "parallel peak depth recorded");
     }
 
     #[test]
@@ -636,8 +749,9 @@ mod tests {
             buggify: Some(FaultConfig::jitter_only(1.0, SimTime::from_nanos(500))),
             ..Default::default()
         };
-        let seq = simulate(&app, &arch, &cfg);
-        let par = simulate(&app, &arch, &SimConfig { engine: EngineKind::Parallel(4), ..cfg });
+        let seq = simulate(&app, &arch, &cfg).expect("covered");
+        let par = simulate(&app, &arch, &SimConfig { engine: EngineKind::Parallel(4), ..cfg })
+            .expect("covered");
         assert_eq!(seq.total_seconds, par.total_seconds);
         assert_eq!(seq.step_completions, par.step_completions);
         assert_eq!(seq.events_delivered, par.events_delivered);
@@ -645,15 +759,59 @@ mod tests {
         assert!(stats.jitters > 0, "certain-probability jitter never fired");
         assert_eq!(stats, par.substrate_faults.expect("injector was attached"));
         // The default path reports no stats at all.
-        let plain = simulate(&app, &arch, &SimConfig { seed: 9, ..Default::default() });
+        let plain =
+            simulate(&app, &arch, &SimConfig { seed: 9, ..Default::default() }).expect("covered");
         assert!(plain.substrate_faults.is_none());
     }
 
     #[test]
-    #[should_panic(expected = "missing models")]
-    fn unbound_kernel_panics() {
+    fn unbound_kernel_is_a_typed_error_listing_every_missing_name() {
+        // One missing kernel ("reduce"): the formerly-panicking path now
+        // returns MissingModels naming it.
         let app = step_app(2, 1);
-        let arch = arch(&[("work", 0.1)]); // no "reduce"
-        simulate(&app, &arch, &SimConfig::default());
+        let arch1 = arch(&[("work", 0.1)]); // no "reduce"
+        let err = simulate(&app, &arch1, &SimConfig::default())
+            .expect_err("uncovered kernel must be rejected");
+        assert_eq!(err, SimError::MissingModels { kernels: vec!["reduce".into()] });
+        assert!(err.to_string().contains("reduce"), "error names the kernel: {err}");
+
+        // Two missing kernels: the error lists BOTH, not just the first
+        // the resolver happened to trip on.
+        let arch0 = arch(&[]); // neither "work" nor "reduce"
+        let err = simulate(&app, &arch0, &SimConfig::default())
+            .expect_err("uncovered kernels must be rejected");
+        match err {
+            SimError::MissingModels { kernels } => {
+                assert_eq!(kernels.len(), 2, "both kernels reported: {kernels:?}");
+                assert!(kernels.contains(&"work".to_string()));
+                assert!(kernels.contains(&"reduce".to_string()));
+            }
+            other => panic!("expected MissingModels, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_ranks_is_a_typed_error() {
+        // The star coordinator addresses ranks through u16 ports; the
+        // formerly-asserting path now returns TooManyRanks.
+        let app = step_app(u16::MAX as u32 + 1, 1);
+        let arch = arch(&[("work", 0.1), ("reduce", 0.1)]);
+        let err = simulate(&app, &arch, &SimConfig::default())
+            .expect_err("overflowing rank count must be rejected");
+        assert_eq!(
+            err,
+            SimError::TooManyRanks { ranks: u16::MAX as u32 + 1, max: u16::MAX as u32 }
+        );
+        assert!(err.to_string().contains("65535"), "error names the limit: {err}");
+    }
+
+    #[test]
+    fn sim_error_exposes_online_source() {
+        // From<OnlineError> and Error::source make ? composition and
+        // error-chain reporting work through simulate_with_faults.
+        let inner = crate::online::OnlineError::ShrinkToZero { initial_nodes: 1 };
+        let err = SimError::from(inner.clone());
+        assert_eq!(err, SimError::Online(inner));
+        assert!(std::error::Error::source(&err).is_some(), "source chains to OnlineError");
     }
 }

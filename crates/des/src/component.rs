@@ -8,7 +8,7 @@
 
 use crate::buggify::FaultInjector;
 use crate::event::{ComponentId, Event, PortId, Priority, TieKey};
-use crate::link::LinkTable;
+use crate::link::FrozenLinks;
 use crate::time::SimTime;
 
 /// A simulation component generic over the engine's payload type `P`.
@@ -29,19 +29,16 @@ pub trait Component<P>: Send {
     fn on_finish(&mut self, _now: SimTime) {}
 }
 
-/// An event emitted by a component during a delivery, before the engine
-/// routes it into a queue.
-#[derive(Debug)]
-pub(crate) struct Emitted<P> {
-    pub event: Event<P>,
-}
-
 /// The component's window into the engine for the duration of one callback.
+///
+/// Events emitted through the `Ctx` accumulate in a per-delivery buffer and
+/// are handed to the engine's scheduler as one batch after the callback
+/// returns (batched link delivery) — they are never enqueued one by one.
 pub struct Ctx<'a, P> {
     pub(crate) now: SimTime,
     pub(crate) self_id: ComponentId,
-    pub(crate) links: &'a LinkTable,
-    pub(crate) out: &'a mut Vec<Emitted<P>>,
+    pub(crate) links: &'a FrozenLinks,
+    pub(crate) out: &'a mut Vec<Event<P>>,
     pub(crate) seq: &'a mut u64,
     pub(crate) halt: &'a mut bool,
     pub(crate) faults: Option<&'a FaultInjector>,
@@ -113,28 +110,24 @@ impl<'a, P> Ctx<'a, P> {
                 if f.roll_link_dup(key, link.lossy) {
                     let copy = dup(&payload);
                     let copy_key = self.next_key();
-                    self.out.push(Emitted {
-                        event: Event {
-                            time,
-                            priority,
-                            key: copy_key,
-                            target: link.dst,
-                            port: link.dst_port,
-                            payload: copy,
-                        },
+                    self.out.push(Event {
+                        time,
+                        priority,
+                        key: copy_key,
+                        target: link.dst,
+                        port: link.dst_port,
+                        payload: copy,
                     });
                 }
             }
         }
-        self.out.push(Emitted {
-            event: Event {
-                time,
-                priority,
-                key,
-                target: link.dst,
-                port: link.dst_port,
-                payload,
-            },
+        self.out.push(Event {
+            time,
+            priority,
+            key,
+            target: link.dst,
+            port: link.dst_port,
+            payload,
         });
     }
 
@@ -153,15 +146,13 @@ impl<'a, P> Ctx<'a, P> {
     ) {
         let key = self.next_key();
         let target = self.self_id;
-        self.out.push(Emitted {
-            event: Event {
-                time: self.now.saturating_add(delay),
-                priority,
-                key,
-                target,
-                port,
-                payload,
-            },
+        self.out.push(Event {
+            time: self.now.saturating_add(delay),
+            priority,
+            key,
+            target,
+            port,
+            payload,
         });
     }
 
@@ -175,12 +166,12 @@ impl<'a, P> Ctx<'a, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::link::Link;
+    use crate::link::{Link, LinkTable};
 
     #[test]
     fn ctx_send_applies_link_latency_and_sequences_keys() {
-        let mut links = LinkTable::new(2);
-        links.connect(Link {
+        let mut table = LinkTable::new(2);
+        table.connect(Link {
             src: ComponentId(0),
             src_port: PortId(0),
             dst: ComponentId(1),
@@ -188,6 +179,7 @@ mod tests {
             latency: SimTime::from_nanos(42),
             lossy: false,
         });
+        let links = table.freeze();
         let mut out = Vec::new();
         let mut seq = 7u64;
         let mut halt = false;
@@ -204,20 +196,20 @@ mod tests {
         ctx.send(PortId(0), 1u32);
         ctx.send_extra(PortId(0), 2u32, SimTime::from_nanos(8), Priority::URGENT);
         assert_eq!(out.len(), 2);
-        assert_eq!(out[0].event.time, SimTime::from_nanos(142));
-        assert_eq!(out[0].event.port, PortId(3));
-        assert_eq!(out[0].event.key.seq, 7);
-        assert_eq!(out[1].event.time, SimTime::from_nanos(150));
-        assert_eq!(out[1].event.priority, Priority::URGENT);
-        assert_eq!(out[1].event.key.seq, 8);
+        assert_eq!(out[0].time, SimTime::from_nanos(142));
+        assert_eq!(out[0].port, PortId(3));
+        assert_eq!(out[0].key.seq, 7);
+        assert_eq!(out[1].time, SimTime::from_nanos(150));
+        assert_eq!(out[1].priority, Priority::URGENT);
+        assert_eq!(out[1].key.seq, 8);
         assert_eq!(seq, 9);
     }
 
     #[test]
     #[should_panic(expected = "unwired output port")]
     fn send_on_unwired_port_panics() {
-        let links = LinkTable::new(1);
-        let mut out: Vec<Emitted<u32>> = Vec::new();
+        let links = LinkTable::new(1).freeze();
+        let mut out: Vec<Event<u32>> = Vec::new();
         let mut seq = 0;
         let mut halt = false;
         let mut ctx = Ctx {
@@ -235,8 +227,8 @@ mod tests {
 
     #[test]
     fn schedule_self_targets_self() {
-        let links = LinkTable::new(1);
-        let mut out: Vec<Emitted<u32>> = Vec::new();
+        let links = LinkTable::new(1).freeze();
+        let mut out: Vec<Event<u32>> = Vec::new();
         let mut seq = 0;
         let mut halt = false;
         let mut ctx = Ctx {
@@ -250,7 +242,7 @@ mod tests {
             dup: None,
         };
         ctx.schedule_self(SimTime::from_nanos(5), 9u32);
-        assert_eq!(out[0].event.target, ComponentId(0));
-        assert_eq!(out[0].event.time, SimTime::from_nanos(15));
+        assert_eq!(out[0].target, ComponentId(0));
+        assert_eq!(out[0].time, SimTime::from_nanos(15));
     }
 }

@@ -1,16 +1,24 @@
 //! The sequential discrete-event engine.
 //!
-//! This is the reference engine: a single binary heap of events, delivered
-//! in `(time, priority, tie-key)` order. The conservative parallel engine in
+//! This is the reference engine: one event queue, delivered in
+//! `(time, priority, tie-key)` order. The conservative parallel engine in
 //! [`crate::parallel`] is required (and tested) to produce the same
 //! trajectory.
+//!
+//! The queue is pluggable through [`EventQueue`] and defaults to the
+//! arena-backed [`Scheduler`]; `build_with_queue` swaps in the
+//! [`crate::sched::ReferenceScheduler`] for equivalence tests and baseline
+//! benchmarks. Same-timestamp events are extracted as one batch and
+//! delivered without touching the queue between callbacks; if a handler
+//! emits back into the current instant, the undelivered tail is pushed back
+//! so the total order is preserved exactly (see `run`).
 
 use crate::buggify::FaultInjector;
-use crate::component::{Component, Ctx, Emitted};
-use crate::event::{ComponentId, Event, HeapEntry, PortId, Priority, TieKey};
-use crate::link::{Link, LinkTable};
+use crate::component::{Component, Ctx};
+use crate::event::{ComponentId, Event, PortId, Priority, TieKey};
+use crate::link::{FrozenLinks, Link, LinkTable};
+use crate::sched::{EventQueue, Scheduler};
 use crate::time::SimTime;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Construction-time view of the simulation: components, links, and an
@@ -98,8 +106,17 @@ impl<P> EngineBuilder<P> {
         self.faults.as_ref()
     }
 
-    /// Finalize into a runnable sequential engine.
+    /// Finalize into a runnable sequential engine on the default
+    /// (production) scheduler.
     pub fn build(self) -> Engine<P> {
+        self.build_with_queue()
+    }
+
+    /// Finalize onto an explicit [`EventQueue`] implementation — used by the
+    /// equivalence tests and the benchmark harness to run the same workload
+    /// on the production [`Scheduler`] and the
+    /// [`crate::sched::ReferenceScheduler`] baseline.
+    pub fn build_with_queue<Q: EventQueue<P>>(self) -> Engine<P, Q> {
         let mut table = LinkTable::new(self.components.len());
         for l in &self.links {
             assert!(
@@ -111,8 +128,8 @@ impl<P> EngineBuilder<P> {
         }
         Engine {
             components: self.components,
-            links: table,
-            queue: BinaryHeap::new(),
+            links: table.freeze(),
+            queue: Q::default(),
             now: SimTime::ZERO,
             seqs: Vec::new(),
             delivered: 0,
@@ -162,11 +179,12 @@ pub enum RunOutcome {
     BudgetExhausted,
 }
 
-/// Sequential discrete-event engine.
-pub struct Engine<P> {
+/// Sequential discrete-event engine, generic over its [`EventQueue`]
+/// (default: the production [`Scheduler`]).
+pub struct Engine<P, Q = Scheduler<P>> {
     components: Vec<Box<dyn Component<P>>>,
-    links: LinkTable,
-    queue: BinaryHeap<HeapEntry<P>>,
+    links: FrozenLinks,
+    queue: Q,
     now: SimTime,
     seqs: Vec<u64>,
     delivered: u64,
@@ -179,7 +197,7 @@ pub struct Engine<P> {
 /// Sender id used for events injected from outside any component.
 pub const EXTERNAL: ComponentId = ComponentId(u32::MAX);
 
-impl<P> Engine<P> {
+impl<P, Q: EventQueue<P>> Engine<P, Q> {
     /// Current simulated time (the timestamp of the last delivered event).
     pub fn now(&self) -> SimTime {
         self.now
@@ -193,6 +211,11 @@ impl<P> Engine<P> {
     /// Number of events currently queued.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// High-water mark of the event queue over the run so far.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue.peak_depth()
     }
 
     /// Inject an event from outside the simulation (e.g. the initial
@@ -210,14 +233,14 @@ impl<P> Engine<P> {
             "inject target {:?} is not a registered component",
             target
         );
-        self.queue.push(HeapEntry(Event {
+        self.queue.push(Event {
             time,
             priority: Priority::NORMAL,
             key: TieKey { src: EXTERNAL, seq },
             target,
             port,
             payload,
-        }));
+        });
     }
 
     /// Borrow a registered component (for post-run inspection).
@@ -236,7 +259,7 @@ impl<P> Engine<P> {
         }
         self.started = true;
         self.seqs = vec![0; self.components.len()];
-        let mut out: Vec<Emitted<P>> = Vec::new();
+        let mut out: Vec<Event<P>> = Vec::new();
         for (i, c) in self.components.iter_mut().enumerate() {
             let mut ctx = Ctx {
                 now: SimTime::ZERO,
@@ -250,60 +273,81 @@ impl<P> Engine<P> {
             };
             c.on_start(&mut ctx);
         }
-        for e in out.drain(..) {
-            self.queue.push(HeapEntry(e.event));
-        }
+        self.queue.extend(out.drain(..));
     }
 
     /// Run until the queue drains, the horizon passes, a component halts, or
     /// `max_deliveries` events have been delivered.
+    ///
+    /// Delivery is batched per instant: every event carrying the earliest
+    /// timestamp is extracted in one scheduler pass (already in total
+    /// order), then delivered back-to-back. A handler emitting *into* the
+    /// current instant could order before the batch's undelivered tail, so
+    /// in that case the tail is pushed back and the instant re-extracted —
+    /// the observable trajectory is bit-identical to one-at-a-time popping.
     pub fn run(&mut self, horizon: SimTime, max_deliveries: u64) -> RunOutcome {
         self.ensure_started();
-        let mut out: Vec<Emitted<P>> = Vec::new();
-        while let Some(entry) = self.queue.peek() {
+        let mut out: Vec<Event<P>> = Vec::new();
+        let mut batch: Vec<Event<P>> = Vec::new();
+        'instant: while let Some(t) = self.queue.peek_time() {
             if self.halted {
                 return RunOutcome::Halted;
             }
-            if entry.0.time > horizon {
+            if t > horizon {
                 return RunOutcome::HorizonReached;
             }
-            if self.delivered >= max_deliveries {
-                return RunOutcome::BudgetExhausted;
-            }
-            let event = self.queue.pop().expect("peeked entry vanished").0;
-            debug_assert!(event.time >= self.now, "event queue yielded a past event");
-            if let Some(f) = &self.faults {
-                // Stalled components silently drop deliveries. The drop
-                // happens before `now` advances and is not counted as a
-                // delivery, mirroring the parallel engine exactly.
-                if f.roll_stall_drop(event.target, event.time) {
-                    continue;
+            self.queue.pop_batch_same_time(&mut batch);
+            let mut rest = batch.drain(..);
+            // `for` cannot be used here: returning early or re-extracting
+            // the instant moves the iterator's tail back into the queue.
+            #[allow(clippy::while_let_on_iterator)]
+            while let Some(event) = rest.next() {
+                if self.delivered >= max_deliveries {
+                    self.queue.push(event);
+                    self.queue.extend(rest);
+                    return RunOutcome::BudgetExhausted;
                 }
-                // Crashed components likewise drop every delivery that
-                // lands inside their down window.
-                if f.roll_crash_drop(event.target, event.time) {
-                    continue;
+                debug_assert!(event.time >= self.now, "event queue yielded a past event");
+                if let Some(f) = &self.faults {
+                    // Stalled components silently drop deliveries. The drop
+                    // happens before `now` advances and is not counted as a
+                    // delivery, mirroring the parallel engine exactly.
+                    if f.roll_stall_drop(event.target, event.time) {
+                        continue;
+                    }
+                    // Crashed components likewise drop every delivery that
+                    // lands inside their down window.
+                    if f.roll_crash_drop(event.target, event.time) {
+                        continue;
+                    }
+                    // Silent corruption strikes the payload but never the
+                    // delivery itself: the event still arrives, only counted.
+                    f.roll_payload_corrupt(event.key);
                 }
-                // Silent corruption strikes the payload but never the
-                // delivery itself: the event still arrives, only counted.
-                f.roll_payload_corrupt(event.key);
-            }
-            self.now = event.time;
-            let idx = event.target.0 as usize;
-            let mut ctx = Ctx {
-                now: self.now,
-                self_id: event.target,
-                links: &self.links,
-                out: &mut out,
-                seq: &mut self.seqs[idx],
-                halt: &mut self.halted,
-                faults: self.faults.as_deref(),
-                dup: self.dup,
-            };
-            self.components[idx].on_event(event, &mut ctx);
-            self.delivered += 1;
-            for e in out.drain(..) {
-                self.queue.push(HeapEntry(e.event));
+                self.now = t;
+                let idx = event.target.0 as usize;
+                let mut ctx = Ctx {
+                    now: self.now,
+                    self_id: event.target,
+                    links: &self.links,
+                    out: &mut out,
+                    seq: &mut self.seqs[idx],
+                    halt: &mut self.halted,
+                    faults: self.faults.as_deref(),
+                    dup: self.dup,
+                };
+                self.components[idx].on_event(event, &mut ctx);
+                self.delivered += 1;
+                let re_entrant = out.iter().any(|e| e.time == t);
+                self.queue.extend(out.drain(..));
+                if self.halted {
+                    self.queue.extend(rest);
+                    return RunOutcome::Halted;
+                }
+                if re_entrant {
+                    self.queue.extend(rest);
+                    continue 'instant;
+                }
             }
         }
         if self.halted {
@@ -445,6 +489,103 @@ mod tests {
         let a = b.add_component(Box::new(Halter));
         b.connect(a, PortId(0), ComponentId(42), PortId(0), SimTime::from_nanos(1));
         let _ = b.build();
+    }
+
+    mod batched_instants {
+        use super::*;
+        use crate::sched::ReferenceScheduler;
+        use std::sync::{Arc, Mutex};
+
+        /// Global delivery log: (component, time ns, payload), in delivery
+        /// order — the strongest observable trajectory.
+        type Log = Arc<Mutex<Vec<(u32, u64, u32)>>>;
+
+        /// Forwards shrinking payloads around a zero-latency ring and
+        /// sometimes reschedules itself into the *same instant*, exercising
+        /// the re-entrant tail-requeue path of the batched delivery loop.
+        struct ZeroHop {
+            log: Log,
+        }
+
+        impl Component<u32> for ZeroHop {
+            fn on_event(&mut self, ev: Event<u32>, ctx: &mut Ctx<'_, u32>) {
+                self.log.lock().expect("log poisoned").push((
+                    ctx.self_id().0,
+                    ctx.now().as_nanos(),
+                    ev.payload,
+                ));
+                if ev.payload > 0 {
+                    ctx.send(PortId(0), ev.payload - 1);
+                    if ev.payload.is_multiple_of(2) {
+                        // Zero-delay self event: lands at the current
+                        // instant with a fresh (larger-seq) tie key.
+                        ctx.schedule_self(SimTime::ZERO, ev.payload / 2);
+                    }
+                }
+            }
+        }
+
+        fn zero_ring(log: &Log) -> EngineBuilder<u32> {
+            let mut b = EngineBuilder::new();
+            let ids: Vec<ComponentId> = (0..4)
+                .map(|_| b.add_component(Box::new(ZeroHop { log: Arc::clone(log) })))
+                .collect();
+            for i in 0..4 {
+                b.connect(ids[i], PortId(0), ids[(i + 1) % 4], PortId(0), SimTime::ZERO);
+            }
+            b
+        }
+
+        fn run_workload<Q: EventQueue<u32>>() -> (Vec<(u32, u64, u32)>, u64, SimTime) {
+            let log: Log = Arc::new(Mutex::new(Vec::new()));
+            let mut e = zero_ring(&log).build_with_queue::<Q>();
+            e.inject(SimTime::ZERO, ComponentId(0), PortId(0), 6, 0);
+            e.inject(SimTime::ZERO, ComponentId(2), PortId(0), 9, 1);
+            e.inject(SimTime::from_nanos(3), ComponentId(1), PortId(0), 7, 2);
+            assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+            let entries = log.lock().expect("log poisoned").clone();
+            (entries, e.delivered(), e.now())
+        }
+
+        #[test]
+        fn zero_delay_trajectory_matches_reference_queue() {
+            let (log_new, delivered_new, now_new) = run_workload::<Scheduler<u32>>();
+            let (log_ref, delivered_ref, now_ref) = run_workload::<ReferenceScheduler<u32>>();
+            assert!(!log_new.is_empty());
+            assert_eq!(log_new, log_ref, "delivery trajectories diverged");
+            assert_eq!(delivered_new, delivered_ref);
+            assert_eq!(now_new, now_ref);
+        }
+
+        #[test]
+        fn budget_exhaustion_mid_instant_preserves_the_trajectory() {
+            let (full, total, _) = run_workload::<Scheduler<u32>>();
+            // Re-run the same workload stopping after every possible prefix,
+            // then resuming: the stitched trajectory must match the
+            // uninterrupted one exactly (the tail requeue is lossless).
+            for budget in 1..total {
+                let log: Log = Arc::new(Mutex::new(Vec::new()));
+                let mut e = zero_ring(&log).build();
+                e.inject(SimTime::ZERO, ComponentId(0), PortId(0), 6, 0);
+                e.inject(SimTime::ZERO, ComponentId(2), PortId(0), 9, 1);
+                e.inject(SimTime::from_nanos(3), ComponentId(1), PortId(0), 7, 2);
+                assert_eq!(e.run(SimTime::MAX, budget), RunOutcome::BudgetExhausted);
+                assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+                assert_eq!(e.delivered(), total);
+                let stitched = log.lock().expect("log poisoned").clone();
+                assert_eq!(stitched, full, "resume after budget {budget} diverged");
+            }
+        }
+
+        #[test]
+        fn peak_queue_depth_is_reported() {
+            let (_, _, _) = run_workload::<Scheduler<u32>>();
+            let log: Log = Arc::new(Mutex::new(Vec::new()));
+            let mut e = zero_ring(&log).build();
+            e.inject(SimTime::ZERO, ComponentId(0), PortId(0), 6, 0);
+            e.run_to_completion();
+            assert!(e.peak_queue_depth() >= 1);
+        }
     }
 
     mod buggify_hooks {

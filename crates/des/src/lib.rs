@@ -58,6 +58,7 @@ pub mod engine;
 pub mod event;
 pub mod link;
 pub mod parallel;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use crate::event::{ComponentId, Event, PortId, Priority};
     pub use crate::link::Link;
     pub use crate::parallel::{ParallelEngine, ParallelReport, Partitioning};
+    pub use crate::sched::{EventQueue, ReferenceScheduler, Scheduler};
     pub use crate::stats::{Histogram, ScalarStat, TimeSeries};
     pub use crate::time::SimTime;
 }

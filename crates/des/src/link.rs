@@ -115,6 +115,60 @@ impl LinkTable {
     pub fn n_components(&self) -> usize {
         self.outgoing.len()
     }
+
+    /// Flatten into the immutable CSR form the engines run against.
+    pub fn freeze(self) -> FrozenLinks {
+        let mut offsets = Vec::with_capacity(self.outgoing.len() + 1);
+        let mut slots = Vec::with_capacity(self.outgoing.iter().map(Vec::len).sum());
+        offsets.push(0u32);
+        for ports in &self.outgoing {
+            slots.extend(ports.iter().copied());
+            offsets.push(slots.len() as u32);
+        }
+        FrozenLinks { offsets, slots }
+    }
+}
+
+/// Immutable, flattened (CSR — compressed sparse row) view of a
+/// [`LinkTable`], built once at engine start.
+///
+/// All port rows live in one contiguous slot array; resolving an output
+/// port is two flat loads with no per-component `Vec` indirection, which is
+/// what the hot path (every `Ctx::send`) pays.
+#[derive(Debug, Clone)]
+pub struct FrozenLinks {
+    /// `offsets[c]..offsets[c + 1]` is component `c`'s port row in `slots`.
+    offsets: Vec<u32>,
+    slots: Vec<Option<Link>>,
+}
+
+impl FrozenLinks {
+    /// Resolve an output port to its link, if wired.
+    #[inline]
+    pub fn resolve(&self, src: ComponentId, port: PortId) -> Option<&Link> {
+        let c = src.0 as usize;
+        let hi = *self.offsets.get(c + 1)? as usize;
+        let lo = self.offsets[c] as usize;
+        self.slots[lo..hi].get(port.0 as usize)?.as_ref()
+    }
+
+    /// Iterate over every registered link.
+    pub fn iter(&self) -> impl Iterator<Item = &Link> {
+        self.slots.iter().filter_map(|l| l.as_ref())
+    }
+
+    /// As [`LinkTable::min_cross_partition_latency`].
+    pub fn min_cross_partition_latency(&self, partition_of: &[usize]) -> Option<SimTime> {
+        self.iter()
+            .filter(|l| partition_of[l.src.0 as usize] != partition_of[l.dst.0 as usize])
+            .map(|l| l.latency)
+            .min()
+    }
+
+    /// Number of components the table was sized for.
+    pub fn n_components(&self) -> usize {
+        self.offsets.len() - 1
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +231,30 @@ mod tests {
         t.connect(link(0, 0, 1, 0, 1));
         t.connect(link(1, 0, 2, 0, 1));
         assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn frozen_resolve_matches_table_resolve() {
+        let mut t = LinkTable::new(4);
+        t.connect(link(0, 0, 1, 0, 10));
+        t.connect(link(0, 2, 2, 1, 20)); // gap at port 1
+        t.connect(link(3, 0, 0, 0, 30));
+        let frozen = t.clone().freeze();
+        assert_eq!(frozen.n_components(), 4);
+        for c in 0..5u32 {
+            for p in 0..4u16 {
+                assert_eq!(
+                    t.resolve(ComponentId(c), PortId(p)),
+                    frozen.resolve(ComponentId(c), PortId(p)),
+                    "mismatch at component {c} port {p}"
+                );
+            }
+        }
+        assert_eq!(frozen.iter().count(), t.iter().count());
+        let parts = [0usize, 0, 1, 1];
+        assert_eq!(
+            frozen.min_cross_partition_latency(&parts),
+            t.min_cross_partition_latency(&parts)
+        );
     }
 }

@@ -22,13 +22,14 @@
 //! engine's — a property the test-suite checks event-for-event.
 
 use crate::buggify::FaultInjector;
-use crate::component::{Component, Ctx, Emitted};
+use crate::component::{Component, Ctx};
 use crate::engine::{EngineBuilder, RunOutcome};
-use crate::event::{ComponentId, Event, HeapEntry, PortId, Priority, TieKey};
-use crate::link::{Link, LinkTable};
+use crate::event::{ComponentId, Event, PortId, Priority, TieKey};
+use crate::link::{FrozenLinks, Link, LinkTable};
+use crate::sched::{EventQueue, Scheduler};
 use crate::time::SimTime;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::BinaryHeap;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -77,17 +78,18 @@ struct WorkerReply {
     min_next: Option<SimTime>,
     delivered: u64,
     max_time: SimTime,
+    peak_depth: usize,
 }
 
-struct Worker<P> {
+struct Worker<P, Q> {
     index: usize,
     // Dense component storage for this worker; `local_index[c]` maps global
     // component id to a slot here (usize::MAX when foreign).
     components: Vec<(ComponentId, Box<dyn Component<P>>)>,
     local_index: Arc<Vec<usize>>,
     partition_of: Arc<Vec<usize>>,
-    links: Arc<LinkTable>,
-    queue: BinaryHeap<HeapEntry<P>>,
+    links: Arc<FrozenLinks>,
+    queue: Q,
     seqs: Vec<u64>,
     mailbox: Receiver<Event<P>>,
     peers: Vec<Sender<Event<P>>>,
@@ -98,9 +100,9 @@ struct Worker<P> {
     dup: Option<fn(&P) -> P>,
 }
 
-impl<P: Send + 'static> Worker<P> {
+impl<P: Send + 'static, Q: EventQueue<P>> Worker<P, Q> {
     fn start(&mut self) {
-        let mut out: Vec<Emitted<P>> = Vec::new();
+        let mut out: Vec<Event<P>> = Vec::new();
         let mut halt_flag = false;
         for i in 0..self.components.len() {
             let (id, comp) = &mut self.components[i];
@@ -119,16 +121,15 @@ impl<P: Send + 'static> Worker<P> {
         if halt_flag {
             self.halt.store(true, Ordering::SeqCst);
         }
-        let emitted = std::mem::take(&mut out);
-        for e in emitted {
-            self.route(e.event);
+        for e in out.drain(..) {
+            self.route(e);
         }
     }
 
     fn route(&mut self, event: Event<P>) {
         let target_part = self.partition_of[event.target.0 as usize];
         if target_part == self.index {
-            self.queue.push(HeapEntry(event));
+            self.queue.push(event);
         } else {
             // Channel is unbounded and the receiver lives as long as the
             // run; a send failure means a worker panicked, so propagate.
@@ -139,67 +140,88 @@ impl<P: Send + 'static> Worker<P> {
     }
 
     fn process_window(&mut self, end: SimTime) {
-        let mut out: Vec<Emitted<P>> = Vec::new();
-        while let Some(entry) = self.queue.peek() {
-            if entry.0.time >= end {
+        let mut out: Vec<Event<P>> = Vec::new();
+        let mut batch: Vec<Event<P>> = Vec::new();
+        'instant: while let Some(t) = self.queue.peek_time() {
+            if t >= end {
                 break;
             }
-            if self.halt.load(Ordering::Relaxed) {
-                return;
-            }
-            let event = self.queue.pop().expect("peeked entry vanished").0;
-            let slot = self.local_index[event.target.0 as usize];
-            debug_assert!(slot != usize::MAX, "event routed to wrong partition");
-            if let Some(f) = &self.faults {
-                // Mirror the sequential engine: a stalled component's
-                // delivery is dropped before the clock advances and is not
-                // counted. The decision is a pure hash of (seed, target,
-                // time), so both engines drop exactly the same deliveries.
-                if f.roll_stall_drop(event.target, event.time) {
-                    continue;
+            // Same batched-instant delivery as the sequential engine (see
+            // `Engine::run`): extract everything at `t`, deliver
+            // back-to-back, and push the tail back if a handler emits into
+            // the current instant. Cross-partition sends can never land at
+            // `t` (positive lookahead), so the re-entrancy check only ever
+            // matches events bound for this worker's own queue.
+            self.queue.pop_batch_same_time(&mut batch);
+            let mut rest = batch.drain(..);
+            // `for` cannot be used here: halting or re-extracting the
+            // instant moves the iterator's tail back into the queue.
+            #[allow(clippy::while_let_on_iterator)]
+            while let Some(event) = rest.next() {
+                if self.halt.load(Ordering::Relaxed) {
+                    self.queue.extend(rest);
+                    return;
                 }
-                // Crash windows drop deliveries by the same pure-hash rule.
-                if f.roll_crash_drop(event.target, event.time) {
-                    continue;
+                let slot = self.local_index[event.target.0 as usize];
+                debug_assert!(slot != usize::MAX, "event routed to wrong partition");
+                if let Some(f) = &self.faults {
+                    // Mirror the sequential engine: a stalled component's
+                    // delivery is dropped before the clock advances and is
+                    // not counted. The decision is a pure hash of (seed,
+                    // target, time), so both engines drop exactly the same
+                    // deliveries.
+                    if f.roll_stall_drop(event.target, event.time) {
+                        continue;
+                    }
+                    // Crash windows drop deliveries by the same pure-hash
+                    // rule.
+                    if f.roll_crash_drop(event.target, event.time) {
+                        continue;
+                    }
+                    // Silent corruption strikes the payload but never the
+                    // delivery itself: the event still arrives, only
+                    // counted.
+                    f.roll_payload_corrupt(event.key);
                 }
-                // Silent corruption strikes the payload but never the
-                // delivery itself: the event still arrives, only counted.
-                f.roll_payload_corrupt(event.key);
-            }
-            let now = event.time;
-            self.max_time = self.max_time.max(now);
-            let (id, comp) = &mut self.components[slot];
-            let mut halt_flag = false;
-            let mut ctx = Ctx {
-                now,
-                self_id: *id,
-                links: &self.links,
-                out: &mut out,
-                seq: &mut self.seqs[slot],
-                halt: &mut halt_flag,
-                faults: self.faults.as_deref(),
-                dup: self.dup,
-            };
-            comp.on_event(event, &mut ctx);
-            self.delivered += 1;
-            if halt_flag {
-                self.halt.store(true, Ordering::SeqCst);
-            }
-            let emitted = std::mem::take(&mut out);
-            for e in emitted {
-                self.route(e.event);
+                let now = t;
+                self.max_time = self.max_time.max(now);
+                let (id, comp) = &mut self.components[slot];
+                let mut halt_flag = false;
+                let mut ctx = Ctx {
+                    now,
+                    self_id: *id,
+                    links: &self.links,
+                    out: &mut out,
+                    seq: &mut self.seqs[slot],
+                    halt: &mut halt_flag,
+                    faults: self.faults.as_deref(),
+                    dup: self.dup,
+                };
+                comp.on_event(event, &mut ctx);
+                self.delivered += 1;
+                if halt_flag {
+                    self.halt.store(true, Ordering::SeqCst);
+                }
+                let re_entrant = out.iter().any(|e| e.time == t);
+                for e in out.drain(..) {
+                    self.route(e);
+                }
+                if re_entrant {
+                    self.queue.extend(rest);
+                    continue 'instant;
+                }
             }
         }
     }
 
     fn drain_mailbox(&mut self) {
         while let Ok(ev) = self.mailbox.try_recv() {
-            self.queue.push(HeapEntry(ev));
+            self.queue.push(ev);
         }
     }
 
-    fn min_next(&self) -> Option<SimTime> {
-        self.queue.peek().map(|e| e.0.time)
+    fn min_next(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
     }
 
     fn run(
@@ -210,34 +232,34 @@ impl<P: Send + 'static> Worker<P> {
         self.start();
         // Initial report so the coordinator can pick the first window.
         self.drain_mailbox();
-        replies
-            .send(WorkerReply {
-                min_next: self.min_next(),
-                delivered: self.delivered,
-                max_time: self.max_time,
-            })
-            .expect("coordinator disappeared");
+        let reply = WorkerReply {
+            min_next: self.min_next(),
+            delivered: self.delivered,
+            max_time: self.max_time,
+            peak_depth: self.queue.peak_depth(),
+        };
+        replies.send(reply).expect("coordinator disappeared");
         while let Ok(cmd) = commands.recv() {
             match cmd {
                 Command::Window(end) => {
                     self.process_window(end);
-                    replies
-                        .send(WorkerReply {
-                            min_next: None,
-                            delivered: self.delivered,
-                            max_time: self.max_time,
-                        })
-                        .expect("coordinator disappeared");
+                    let reply = WorkerReply {
+                        min_next: None,
+                        delivered: self.delivered,
+                        max_time: self.max_time,
+                        peak_depth: self.queue.peak_depth(),
+                    };
+                    replies.send(reply).expect("coordinator disappeared");
                 }
                 Command::Report => {
                     self.drain_mailbox();
-                    replies
-                        .send(WorkerReply {
-                            min_next: self.min_next(),
-                            delivered: self.delivered,
-                            max_time: self.max_time,
-                        })
-                        .expect("coordinator disappeared");
+                    let reply = WorkerReply {
+                        min_next: self.min_next(),
+                        delivered: self.delivered,
+                        max_time: self.max_time,
+                        peak_depth: self.queue.peak_depth(),
+                    };
+                    replies.send(reply).expect("coordinator disappeared");
                 }
                 Command::Finish(now) => {
                     for (_, c) in &mut self.components {
@@ -259,14 +281,17 @@ pub struct ParallelReport<P> {
     pub delivered: u64,
     /// Largest event timestamp delivered.
     pub end_time: SimTime,
+    /// Largest per-worker queue high-water mark observed during the run.
+    pub peak_queue_depth: usize,
     /// The components, returned for post-run inspection, ordered by
     /// [`ComponentId`].
     pub components: Vec<Box<dyn Component<P>>>,
 }
 
 /// Conservative parallel engine. Built from the same [`EngineBuilder`] as
-/// the sequential engine.
-pub struct ParallelEngine<P> {
+/// the sequential engine, generic over the per-worker [`EventQueue`]
+/// (default: the production [`Scheduler`]).
+pub struct ParallelEngine<P, Q = Scheduler<P>> {
     components: Vec<Box<dyn Component<P>>>,
     links: Vec<Link>,
     partition_of: Vec<usize>,
@@ -275,14 +300,24 @@ pub struct ParallelEngine<P> {
     initial: Vec<Event<P>>,
     faults: Option<Arc<FaultInjector>>,
     dup: Option<fn(&P) -> P>,
+    _queue: PhantomData<fn() -> Q>,
 }
 
 impl<P: Send + 'static> ParallelEngine<P> {
-    /// Partition the builder's components across workers.
+    /// Partition the builder's components across workers, on the default
+    /// (production) scheduler.
     ///
     /// Panics if any link crossing a partition boundary has zero latency —
     /// conservative synchronization needs strictly positive lookahead.
     pub fn new(builder: EngineBuilder<P>, partitioning: Partitioning) -> Self {
+        Self::new_with_queue(builder, partitioning)
+    }
+}
+
+impl<P: Send + 'static, Q: EventQueue<P> + Send> ParallelEngine<P, Q> {
+    /// As [`ParallelEngine::new`], but on an explicit [`EventQueue`]
+    /// implementation (equivalence tests, baseline benchmarks).
+    pub fn new_with_queue(builder: EngineBuilder<P>, partitioning: Partitioning) -> Self {
         let (components, links, faults, dup) = builder.into_parts();
         let partition_of = partitioning.resolve(components.len());
         let n_workers = partition_of.iter().copied().max().map_or(1, |m| m + 1);
@@ -312,6 +347,7 @@ impl<P: Send + 'static> ParallelEngine<P> {
             initial: Vec::new(),
             faults,
             dup,
+            _queue: PhantomData,
         }
     }
 
@@ -361,13 +397,14 @@ impl<P: Send + 'static> ParallelEngine<P> {
             mut initial,
             faults,
             dup,
+            _queue,
         } = self;
         let n_components = components.len();
         let mut table = LinkTable::new(n_components);
         for l in &links {
             table.connect(*l);
         }
-        let links = Arc::new(table);
+        let links = Arc::new(table.freeze());
         let partition_of = Arc::new(partition_of);
         let halt = Arc::new(AtomicBool::new(false));
 
@@ -411,6 +448,7 @@ impl<P: Send + 'static> ParallelEngine<P> {
             outcome: RunOutcome::Drained,
             delivered: 0,
             end_time: SimTime::ZERO,
+            peak_queue_depth: 0,
             components: Vec::new(),
         };
 
@@ -418,13 +456,13 @@ impl<P: Send + 'static> ParallelEngine<P> {
             let mut handles = Vec::with_capacity(n_workers);
             for (w, comps) in per_worker.into_iter().enumerate() {
                 let n_local = comps.len();
-                let worker = Worker {
+                let worker: Worker<P, Q> = Worker {
                     index: w,
                     components: comps,
                     local_index: Arc::clone(&local_index),
                     partition_of: Arc::clone(&partition_of),
                     links: Arc::clone(&links),
-                    queue: BinaryHeap::new(),
+                    queue: Q::default(),
                     seqs: vec![0; n_local],
                     mailbox: mail_rx.remove(0),
                     peers: mail_tx.clone(),
@@ -441,26 +479,28 @@ impl<P: Send + 'static> ParallelEngine<P> {
             drop(reply_tx);
 
             let collect =
-                |rx: &Receiver<WorkerReply>| -> (Option<SimTime>, u64, SimTime) {
+                |rx: &Receiver<WorkerReply>| -> (Option<SimTime>, u64, SimTime, usize) {
                     let mut min_next: Option<SimTime> = None;
                     let mut delivered = 0;
                     let mut max_time = SimTime::ZERO;
+                    let mut peak_depth = 0;
                     for _ in 0..n_workers {
                         let r = rx.recv().expect("worker died before replying");
                         delivered += r.delivered;
                         max_time = max_time.max(r.max_time);
+                        peak_depth = peak_depth.max(r.peak_depth);
                         min_next = match (min_next, r.min_next) {
                             (None, x) => x,
                             (x, None) => x,
                             (Some(a), Some(b)) => Some(a.min(b)),
                         };
                     }
-                    (min_next, delivered, max_time)
+                    (min_next, delivered, max_time, peak_depth)
                 };
 
             // Initial report round (workers report after on_start + seed
             // drain).
-            let (mut min_next, _, _) = collect(&reply_rx);
+            let (mut min_next, _, _, _) = collect(&reply_rx);
 
             let mut round: u64 = 0;
             loop {
@@ -491,10 +531,11 @@ impl<P: Send + 'static> ParallelEngine<P> {
                 for tx in &cmd_tx {
                     tx.send(Command::Report).expect("worker died");
                 }
-                let (mn, delivered, max_time) = collect(&reply_rx);
+                let (mn, delivered, max_time, peak_depth) = collect(&reply_rx);
                 min_next = mn;
                 report.delivered = delivered;
                 report.end_time = max_time;
+                report.peak_queue_depth = report.peak_queue_depth.max(peak_depth);
             }
 
             for tx in &cmd_tx {

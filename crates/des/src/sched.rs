@@ -1,0 +1,626 @@
+//! Event schedulers: the engines' pluggable priority queues.
+//!
+//! Both the sequential [`crate::engine::Engine`] and the conservative
+//! parallel [`crate::parallel::ParallelEngine`] drain events through one
+//! [`EventQueue`] abstraction with two implementations:
+//!
+//! * [`Scheduler`] — the production queue: an arena (slab) of events plus a
+//!   4-ary implicit min-heap of packed 32-byte order keys. The heap sifts
+//!   small fixed-size keys instead of whole events (payloads move exactly
+//!   twice, into and out of their slab slot), the 4-ary layout halves the
+//!   sift depth of a binary heap, and freed slots are recycled so steady
+//!   state allocates nothing. Supports O(log n) cancellation through
+//!   [`EventHandle`]s.
+//! * [`ReferenceScheduler`] — the original `BinaryHeap<HeapEntry>` queue,
+//!   kept as the executable specification of the event order. The
+//!   property-based equivalence suite (`tests/scheduler_prop.rs`) drives
+//!   both queues with generated push/pop/cancel schedules and asserts
+//!   identical pop sequences; the benchmark harness (`xtask bench-json`)
+//!   runs both in the same process to report the speedup.
+//!
+//! ## The ordering invariant
+//!
+//! Every queue implementation MUST pop events in strictly increasing
+//! `(time, priority, tie-key)` order — [`Event::order_key`]. This is the
+//! total order the whole repo's determinism story rests on: the DST
+//! bit-identity suite, the golden snapshots (`0xBE57_*`), and the
+//! sequential/parallel trajectory equivalence all assume it. Changing it
+//! is a trajectory change and requires a deliberate snapshot re-bless.
+
+use crate::event::{ComponentId, Event, HeapEntry, Priority, TieKey};
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+use std::collections::BTreeSet;
+
+/// The total event order `(time, priority, src, seq)`, packed into a small
+/// `Copy` struct so heap sifts move 32-byte nodes instead of whole events.
+///
+/// Field order is load-bearing: the derived `Ord` is lexicographic and must
+/// agree exactly with [`Event::order_key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OrderKey {
+    /// Delivery timestamp.
+    pub time: SimTime,
+    /// Same-instant ordering class.
+    pub priority: Priority,
+    /// Tie-break: sending component.
+    pub src: ComponentId,
+    /// Tie-break: per-sender sequence number.
+    pub seq: u64,
+}
+
+impl OrderKey {
+    /// Extract the ordering key of an event.
+    pub fn of<P>(ev: &Event<P>) -> Self {
+        OrderKey { time: ev.time, priority: ev.priority, src: ev.key.src, seq: ev.key.seq }
+    }
+}
+
+/// A ticket for a scheduled event, returned by [`Scheduler::push_with_handle`]
+/// and consumed by [`Scheduler::cancel`]. Generation-checked, so a handle
+/// kept past its event's delivery (or cancellation) safely does nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventHandle {
+    slot: u32,
+    gen: u32,
+}
+
+/// The engines' view of an event queue.
+///
+/// Implementations must satisfy the ordering invariant documented at the
+/// [module level](self): pops come out in `(time, priority, tie-key)`
+/// order, identically across implementations.
+pub trait EventQueue<P>: Default {
+    /// Enqueue one event.
+    fn push(&mut self, ev: Event<P>);
+
+    /// Enqueue a batch of events (one emission buffer's worth). The default
+    /// forwards to [`EventQueue::push`]; implementations may reserve first.
+    fn extend<I: IntoIterator<Item = Event<P>>>(&mut self, evs: I) {
+        for e in evs {
+            self.push(e);
+        }
+    }
+
+    /// Timestamp of the earliest queued event, if any. Takes `&mut self` so
+    /// implementations may lazily discard cancelled entries.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Remove and return the earliest event.
+    fn pop(&mut self) -> Option<Event<P>>;
+
+    /// Number of live (non-cancelled) queued events.
+    fn len(&self) -> usize;
+
+    /// True when no live events are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of [`EventQueue::len`] over the queue's lifetime —
+    /// the "peak queue depth" reported by the benchmark harness.
+    fn peak_depth(&self) -> usize;
+
+    /// Pop every event sharing the earliest timestamp, appending to `out`
+    /// in pop (i.e. total) order. Returns the number popped. The engines
+    /// deliver these as one batch, re-queueing the tail if a handler emits
+    /// back into the same instant (see `engine.rs`).
+    fn pop_batch_same_time(&mut self, out: &mut Vec<Event<P>>) -> usize {
+        let Some(t) = self.peek_time() else {
+            return 0;
+        };
+        let mut n = 0;
+        while self.peek_time() == Some(t) {
+            match self.pop() {
+                Some(ev) => out.push(ev),
+                None => break,
+            }
+            n += 1;
+        }
+        n
+    }
+}
+
+/// One slab slot: the event (taken on pop/cancel) plus a generation counter
+/// that invalidates stale heap nodes and [`EventHandle`]s.
+#[derive(Debug)]
+struct Slot<P> {
+    gen: u32,
+    ev: Option<Event<P>>,
+}
+
+/// One heap node: the packed order key plus the slab coordinates. 32 bytes,
+/// `Copy` — sifting these is the queue's entire hot path.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: OrderKey,
+    slot: u32,
+    gen: u32,
+}
+
+/// Arity of the implicit heap. Two children per node keeps the min-child
+/// scan to a single data-dependent comparison per level — the same
+/// branch-mispredict budget as `std`'s `BinaryHeap` — while each level
+/// moves a 32-byte node instead of a whole event.
+const D: usize = 2;
+
+/// Arena-backed indexed scheduler — the production event queue.
+///
+/// See the [module docs](self) for the design and the ordering invariant.
+#[derive(Debug)]
+pub struct Scheduler<P> {
+    slots: Vec<Slot<P>>,
+    free: Vec<u32>,
+    heap: Vec<Node>,
+    /// Heap nodes whose event was cancelled (slot re-generated) but which
+    /// have not been lazily discarded yet. While this is zero — always, in
+    /// engine use, which never cancels — `pop`/`peek_time` skip every
+    /// generation probe into the (cold) slab.
+    stale: usize,
+    live: usize,
+    peak: usize,
+}
+
+impl<P> Default for Scheduler<P> {
+    fn default() -> Self {
+        Scheduler { slots: Vec::new(), free: Vec::new(), heap: Vec::new(), stale: 0, live: 0, peak: 0 }
+    }
+}
+
+impl<P> Scheduler<P> {
+    /// Empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty scheduler with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Scheduler {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            heap: Vec::with_capacity(cap),
+            stale: 0,
+            live: 0,
+            peak: 0,
+        }
+    }
+
+    fn store(&mut self, ev: Event<P>) -> (u32, u32) {
+        match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.ev.is_none(), "free-listed slot still occupied");
+                s.ev = Some(ev);
+                (slot, s.gen)
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot { gen: 0, ev: Some(ev) });
+                (slot, 0)
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let node = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / D;
+            if self.heap[parent].key <= node.key {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = node;
+    }
+
+    /// Remove-top sift: walk the hole at the root straight to a leaf along
+    /// the min-child path (no per-level comparison against the displaced
+    /// node — it came from the tail, so it almost always belongs near the
+    /// bottom), then bubble the displaced node back up from the leaf. The
+    /// same "bounce" strategy `std`'s `BinaryHeap` uses: it trades the
+    /// per-level early-exit test for a cheaper descent plus a short ascent.
+    fn sift_hole_then_up(&mut self, node: Node) {
+        let len = self.heap.len();
+        let mut i = 0usize;
+        loop {
+            let first = i * D + 1;
+            if first >= len {
+                break;
+            }
+            let last = (first + D).min(len);
+            let mut min_c = first;
+            let mut min_key = self.heap[first].key;
+            for c in first + 1..last {
+                let k = self.heap[c].key;
+                if k < min_key {
+                    min_c = c;
+                    min_key = k;
+                }
+            }
+            self.heap[i] = self.heap[min_c];
+            i = min_c;
+        }
+        self.heap[i] = node;
+        self.sift_up(i);
+    }
+
+    /// Is this heap node still backed by a live slab entry?
+    fn node_live(&self, n: &Node) -> bool {
+        self.slots[n.slot as usize].gen == n.gen
+    }
+
+    /// Drop cancelled nodes off the heap top so `heap[0]`, if present, is
+    /// live. Stale nodes are only ever produced by [`Scheduler::cancel`];
+    /// with none outstanding this is a single branch on a hot counter.
+    fn clean_top(&mut self) {
+        if self.stale == 0 {
+            return;
+        }
+        while let Some(&n) = self.heap.first() {
+            if self.node_live(&n) {
+                return;
+            }
+            self.remove_top();
+            self.stale -= 1;
+        }
+    }
+
+    /// Hint the CPU to pull a slab slot into cache. The slot holding the
+    /// top event is cold (it was written one queue-residency ago), so
+    /// issuing the prefetch *before* the heap descent overlaps the miss
+    /// with the sift instead of stalling on it afterwards. Purely a
+    /// performance hint — no architectural effect, no-op off x86_64.
+    fn prefetch_slot(&self, slot: u32) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let p = &self.slots[slot as usize] as *const Slot<P> as *const i8;
+            // SAFETY: `_mm_prefetch` is a cache hint with no architectural
+            // side effects; it cannot fault even on invalid addresses, and
+            // `p` points at a live element of `self.slots` regardless.
+            unsafe {
+                std::arch::x86_64::_mm_prefetch(p, std::arch::x86_64::_MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = slot;
+    }
+
+    /// Pop the top heap node — guaranteed live by the caller (after
+    /// [`Scheduler::clean_top`], or whenever `stale == 0`) — and move its
+    /// event out of the slab.
+    fn take_top(&mut self) -> Event<P> {
+        let top = self.remove_top();
+        // Prefetch the slot behind the *new* top: by the next pop — one
+        // handler invocation and a push later — the line is resident,
+        // hiding the cold-slab miss that otherwise stalls every pop.
+        if let Some(next) = self.heap.first() {
+            self.prefetch_slot(next.slot);
+        }
+        let s = &mut self.slots[top.slot as usize];
+        debug_assert_eq!(s.gen, top.gen, "take_top on a stale node");
+        let ev = s.ev.take().expect("live slot missing its event");
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(top.slot);
+        self.live -= 1;
+        ev
+    }
+
+    fn remove_top(&mut self) -> Node {
+        let top = self.heap[0];
+        let tail = self.heap.pop().expect("remove_top on empty heap");
+        if !self.heap.is_empty() {
+            self.sift_hole_then_up(tail);
+        }
+        top
+    }
+
+    /// Enqueue and return a cancellation handle.
+    pub fn push_with_handle(&mut self, ev: Event<P>) -> EventHandle {
+        let key = OrderKey::of(&ev);
+        let (slot, gen) = self.store(ev);
+        self.heap.push(Node { key, slot, gen });
+        self.sift_up(self.heap.len() - 1);
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        EventHandle { slot, gen }
+    }
+
+    /// Cancel a previously pushed event. Returns `true` if the event was
+    /// still queued (and is now gone), `false` if it was already delivered
+    /// or cancelled. O(1) now; the dead heap node is discarded lazily.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        let Some(s) = self.slots.get_mut(handle.slot as usize) else {
+            return false;
+        };
+        if s.gen != handle.gen || s.ev.is_none() {
+            return false;
+        }
+        s.ev = None;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(handle.slot);
+        self.stale += 1;
+        self.live -= 1;
+        true
+    }
+}
+
+impl<P> EventQueue<P> for Scheduler<P> {
+    fn push(&mut self, ev: Event<P>) {
+        self.push_with_handle(ev);
+    }
+
+    fn extend<I: IntoIterator<Item = Event<P>>>(&mut self, evs: I) {
+        let it = evs.into_iter();
+        let (lo, _) = it.size_hint();
+        self.heap.reserve(lo);
+        for e in it {
+            self.push_with_handle(e);
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.clean_top();
+        self.heap.first().map(|n| n.key.time)
+    }
+
+    fn pop(&mut self) -> Option<Event<P>> {
+        self.clean_top();
+        self.heap.first()?;
+        Some(self.take_top())
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn peak_depth(&self) -> usize {
+        self.peak
+    }
+
+    fn pop_batch_same_time(&mut self, out: &mut Vec<Event<P>>) -> usize {
+        // Specialized over the trait default: one `clean_top` per event
+        // instead of two `peek_time`s, and the live-top guarantee it
+        // establishes lets `take_top` skip the generation re-check. Pops
+        // the exact same sequence as the default implementation.
+        self.clean_top();
+        let Some(first) = self.heap.first() else {
+            return 0;
+        };
+        let t = first.key.time;
+        let mut n = 0;
+        loop {
+            out.push(self.take_top());
+            n += 1;
+            self.clean_top();
+            match self.heap.first() {
+                Some(nx) if nx.key.time == t => {}
+                _ => return n,
+            }
+        }
+    }
+}
+
+/// The original `BinaryHeap` event queue, retained verbatim as the
+/// executable reference for [`Scheduler`]'s ordering behaviour.
+///
+/// Used by the property/equivalence tests and as the baseline side of the
+/// `xtask bench-json` speedup measurement. Not intended for production
+/// engine use (the engines default to [`Scheduler`]).
+#[derive(Debug)]
+pub struct ReferenceScheduler<P> {
+    heap: BinaryHeap<HeapEntry<P>>,
+    /// Tie-keys cancelled but not yet popped. Tie-keys are unique per
+    /// engine run, which is what makes key-addressed cancellation sound.
+    cancelled: BTreeSet<TieKey>,
+    peak: usize,
+}
+
+impl<P> Default for ReferenceScheduler<P> {
+    fn default() -> Self {
+        ReferenceScheduler { heap: BinaryHeap::new(), cancelled: BTreeSet::new(), peak: 0 }
+    }
+}
+
+impl<P> ReferenceScheduler<P> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cancel the queued event carrying `key`. Returns `true` if it was
+    /// still queued. The entry is discarded lazily on pop.
+    pub fn cancel(&mut self, key: TieKey) -> bool {
+        if self.heap.iter().any(|e| e.0.key == key && !self.cancelled.contains(&key)) {
+            self.cancelled.insert(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop cancelled entries off the heap top.
+    fn clean_top(&mut self) {
+        while let Some(e) = self.heap.peek() {
+            if self.cancelled.remove(&e.0.key) {
+                self.heap.pop();
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+impl<P> EventQueue<P> for ReferenceScheduler<P> {
+    fn push(&mut self, ev: Event<P>) {
+        self.heap.push(HeapEntry(ev));
+        self.peak = self.peak.max(self.len());
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.clean_top();
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    fn pop(&mut self) -> Option<Event<P>> {
+        loop {
+            let e = self.heap.pop()?.0;
+            if !self.cancelled.remove(&e.key) {
+                return Some(e);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    fn peak_depth(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PortId;
+
+    fn ev(t: u64, prio: u8, src: u32, seq: u64) -> Event<u64> {
+        Event {
+            time: SimTime::from_nanos(t),
+            priority: Priority(prio),
+            key: TieKey { src: ComponentId(src), seq },
+            target: ComponentId(0),
+            port: PortId::DEFAULT,
+            payload: t * 1000 + seq,
+        }
+    }
+
+    fn drain_keys<Q: EventQueue<u64>>(q: &mut Q) -> Vec<(u64, u8, u32, u64)> {
+        std::iter::from_fn(|| q.pop())
+            .map(|e| (e.time.as_nanos(), e.priority.0, e.key.src.0, e.key.seq))
+            .collect()
+    }
+
+    #[test]
+    fn pops_in_total_order() {
+        let mut s = Scheduler::new();
+        for (t, p, src, seq) in
+            [(5, 100, 0, 0), (1, 100, 0, 1), (5, 0, 1, 2), (5, 100, 0, 3), (9, 200, 2, 4)]
+        {
+            s.push(ev(t, p, src, seq));
+        }
+        assert_eq!(
+            drain_keys(&mut s),
+            vec![(1, 100, 0, 1), (5, 0, 1, 2), (5, 100, 0, 0), (5, 100, 0, 3), (9, 200, 2, 4)]
+        );
+    }
+
+    #[test]
+    fn matches_reference_on_a_burst() {
+        let mut s = Scheduler::new();
+        let mut r = ReferenceScheduler::new();
+        // Heavy same-timestamp burst with interleaved priorities.
+        let mut seq = 0;
+        for t in [7u64, 3, 7, 7, 3, 1, 7, 3, 9, 7] {
+            for p in [100u8, 0, 200] {
+                let e = ev(t, p, (seq % 5) as u32, seq);
+                s.push(e.clone());
+                r.push(e);
+                seq += 1;
+            }
+        }
+        assert_eq!(s.len(), r.len());
+        assert_eq!(drain_keys(&mut s), drain_keys(&mut r));
+    }
+
+    #[test]
+    fn cancel_removes_exactly_the_target() {
+        let mut s = Scheduler::new();
+        let _a = s.push_with_handle(ev(1, 100, 0, 0));
+        let b = s.push_with_handle(ev(2, 100, 0, 1));
+        let _c = s.push_with_handle(ev(3, 100, 0, 2));
+        assert_eq!(s.len(), 3);
+        assert!(s.cancel(b));
+        assert!(!s.cancel(b), "double cancel is a no-op");
+        assert_eq!(s.len(), 2);
+        assert_eq!(drain_keys(&mut s), vec![(1, 100, 0, 0), (3, 100, 0, 2)]);
+        assert!(!s.cancel(b), "handle is dead after drain");
+    }
+
+    #[test]
+    fn cancel_of_delivered_event_is_rejected() {
+        let mut s = Scheduler::new();
+        let a = s.push_with_handle(ev(1, 100, 0, 0));
+        assert!(s.pop().is_some());
+        assert!(!s.cancel(a));
+        // Slot reuse must not resurrect the old handle.
+        let _b = s.push_with_handle(ev(2, 100, 0, 1));
+        assert!(!s.cancel(a));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_top_is_skipped_by_peek() {
+        let mut s = Scheduler::new();
+        let a = s.push_with_handle(ev(1, 100, 0, 0));
+        s.push(ev(5, 100, 0, 1));
+        assert!(s.cancel(a));
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(5)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn batch_pop_takes_one_instant_only() {
+        let mut s = Scheduler::new();
+        for (t, seq) in [(5u64, 0u64), (5, 1), (7, 2), (5, 3)] {
+            s.push(ev(t, 100, 0, seq));
+        }
+        let mut out = Vec::new();
+        assert_eq!(s.pop_batch_same_time(&mut out), 3);
+        assert_eq!(
+            out.iter().map(|e| e.key.seq).collect::<Vec<_>>(),
+            vec![0, 1, 3],
+            "all three t=5 events, in key order"
+        );
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(7)));
+    }
+
+    #[test]
+    fn peak_depth_tracks_high_water_mark() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.push(ev(i, 100, 0, i));
+        }
+        for _ in 0..10 {
+            s.pop();
+        }
+        s.push(ev(0, 100, 0, 99));
+        assert_eq!(s.peak_depth(), 10);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut s = Scheduler::new();
+        for round in 0..100u64 {
+            s.push(ev(round, 100, 0, round));
+            assert!(s.pop().is_some());
+        }
+        assert!(s.slots.len() <= 2, "steady-state churn must reuse slots");
+    }
+
+    #[test]
+    fn reference_cancel_matches_scheduler_cancel() {
+        let mut s = Scheduler::new();
+        let mut r = ReferenceScheduler::new();
+        let e = ev(4, 100, 2, 7);
+        let h = s.push_with_handle(e.clone());
+        r.push(e);
+        let key = TieKey { src: ComponentId(2), seq: 7 };
+        assert_eq!(s.cancel(h), r.cancel(key));
+        assert_eq!(s.len(), r.len());
+        assert_eq!(s.pop().is_none(), r.pop().is_none());
+        assert_eq!(s.cancel(h), r.cancel(key), "both reject the dead ticket");
+    }
+}

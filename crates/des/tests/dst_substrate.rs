@@ -186,3 +186,32 @@ fn snapshot_crash() {
 fn snapshot_sdc() {
     check_snapshot(0xBE57_0006, FaultPreset::Sdc);
 }
+
+/// Guard for the scheduler-overhaul determinism contract: the snapshot set
+/// is exactly the six blessed presets — a run that self-blesses a *new*
+/// file (or loses one) is caught here even though the per-preset tests
+/// would silently re-bless a missing snapshot.
+#[test]
+fn snapshot_set_is_exactly_the_blessed_presets() {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.push("tests");
+    dir.push("snapshots");
+    let mut found: Vec<String> = std::fs::read_dir(&dir)
+        .expect("snapshots dir exists")
+        .map(|e| e.expect("readable dir entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    found.sort();
+    let expected = [
+        "dst_calm.snap",
+        "dst_chaos.snap",
+        "dst_crash.snap",
+        "dst_moderate.snap",
+        "dst_off.snap",
+        "dst_sdc.snap",
+    ];
+    assert_eq!(found, expected, "snapshot set drifted — no re-blessing in this PR");
+    for name in expected {
+        let content = std::fs::read_to_string(dir.join(name)).expect("snapshot readable");
+        assert!(!content.trim().is_empty(), "{name} is empty");
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based equivalence: the arena-backed [`Scheduler`] against the
+//! original `BinaryHeap`-based [`ReferenceScheduler`].
+//!
+//! Thousands of push/pop/cancel schedules are generated from a keyed hash
+//! (splitmix64 — no ambient randomness, every failure is reproducible from
+//! the schedule index alone) and replayed against both queues in lockstep.
+//! The schedules deliberately concentrate timestamps on a handful of values
+//! so same-timestamp bursts — the case the batched extraction path feeds on
+//! — dominate, and interleave cancellations of still-queued, already-popped,
+//! and already-cancelled events. At every step both queues must agree on
+//! length, peek time, popped event (every field), and cancel outcome.
+
+use besst_des::event::{ComponentId, Event, PortId, Priority, TieKey};
+use besst_des::sched::{EventHandle, EventQueue, ReferenceScheduler, Scheduler};
+use besst_des::time::SimTime;
+
+/// splitmix64: tiny, high-quality, pure. Same construction the buggify
+/// fault injector uses for its keyed decisions.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const N_SCHEDULES: u64 = 1500;
+const OPS_PER_SCHEDULE: usize = 120;
+
+fn event(rng: &mut u64, seqs: &mut [u64; 8], op: u64) -> Event<u64> {
+    let r = splitmix64(rng);
+    // 8 coarse instants (bursts) with an occasional far-flung timestamp.
+    let time = if r.is_multiple_of(13) {
+        SimTime::from_nanos(1_000 + (r >> 8) % 100_000)
+    } else {
+        SimTime::from_nanos(((r >> 3) % 8) * 10)
+    };
+    let priority = match (r >> 16) % 3 {
+        0 => Priority::URGENT,
+        1 => Priority::NORMAL,
+        _ => Priority::LAZY,
+    };
+    let src = ((r >> 24) % 8) as usize;
+    let key = TieKey { src: ComponentId(src as u32), seq: seqs[src] };
+    seqs[src] += 1;
+    Event {
+        time,
+        priority,
+        key,
+        target: ComponentId(((r >> 32) % 4) as u32),
+        port: PortId(((r >> 40) % 3) as u16),
+        payload: op, // op index: proves payload integrity through the slab
+    }
+}
+
+fn assert_same_pop(s: &mut Scheduler<u64>, r: &mut ReferenceScheduler<u64>, ctx: &str) {
+    let a = s.pop();
+    let b = r.pop();
+    match (a, b) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            assert_eq!(x.time, y.time, "{ctx}: time");
+            assert_eq!(x.priority, y.priority, "{ctx}: priority");
+            assert_eq!(x.key, y.key, "{ctx}: tie key");
+            assert_eq!(x.target, y.target, "{ctx}: target");
+            assert_eq!(x.port, y.port, "{ctx}: port");
+            assert_eq!(x.payload, y.payload, "{ctx}: payload");
+        }
+        (a, b) => panic!("{ctx}: one queue empty, the other not: {a:?} vs {b:?}"),
+    }
+}
+
+#[test]
+fn scheduler_matches_reference_over_generated_schedules() {
+    let mut checked_pops = 0u64;
+    let mut checked_cancels = 0u64;
+    for schedule in 0..N_SCHEDULES {
+        let mut rng = 0x5EED_0005u64 ^ schedule.wrapping_mul(0x9E37_79B9);
+        let mut s: Scheduler<u64> = Scheduler::new();
+        let mut r: ReferenceScheduler<u64> = ReferenceScheduler::new();
+        let mut seqs = [0u64; 8];
+        // Handles of events pushed so far (live or not): cancel targets.
+        let mut tickets: Vec<(EventHandle, TieKey)> = Vec::new();
+
+        for op in 0..OPS_PER_SCHEDULE {
+            let ctx = format!("schedule {schedule} op {op}");
+            match splitmix64(&mut rng) % 100 {
+                // 55%: push the same event into both queues.
+                0..=54 => {
+                    let ev = event(&mut rng, &mut seqs, op as u64);
+                    let key = ev.key;
+                    let h = s.push_with_handle(ev.clone());
+                    r.push(ev);
+                    tickets.push((h, key));
+                }
+                // 25%: pop from both and compare every field.
+                55..=79 => {
+                    assert_same_pop(&mut s, &mut r, &ctx);
+                    checked_pops += 1;
+                }
+                // 15%: cancel a random past ticket (may be live, already
+                // popped, or already cancelled) — outcomes must agree.
+                80..=94 => {
+                    if !tickets.is_empty() {
+                        let i = (splitmix64(&mut rng) as usize) % tickets.len();
+                        let (h, key) = tickets[i];
+                        assert_eq!(s.cancel(h), r.cancel(key), "{ctx}: cancel outcome");
+                        checked_cancels += 1;
+                    }
+                }
+                // 5%: compare the peeked head without consuming it.
+                _ => {
+                    assert_eq!(s.peek_time(), r.peek_time(), "{ctx}: peek time");
+                }
+            }
+            assert_eq!(s.len(), r.len(), "{ctx}: len");
+            assert_eq!(s.is_empty(), r.is_empty(), "{ctx}: is_empty");
+        }
+
+        // Drain both completely: the full residual pop sequences must be
+        // identical, ending empty together.
+        let mut drained = 0;
+        while !s.is_empty() || !r.is_empty() {
+            assert_same_pop(&mut s, &mut r, &format!("schedule {schedule} drain {drained}"));
+            drained += 1;
+            checked_pops += 1;
+        }
+        assert_same_pop(&mut s, &mut r, &format!("schedule {schedule} post-drain"));
+    }
+    assert!(checked_pops > 10 * N_SCHEDULES, "pop coverage too thin: {checked_pops}");
+    assert!(checked_cancels > N_SCHEDULES, "cancel coverage too thin: {checked_cancels}");
+}
+
+#[test]
+fn batch_extraction_matches_popping_one_at_a_time() {
+    for schedule in 0..200u64 {
+        let mut rng = 0xBA7C_0005u64 ^ schedule.wrapping_mul(0x1234_5678_9ABC_DEF1);
+        let mut batched: Scheduler<u64> = Scheduler::new();
+        let mut plain: Scheduler<u64> = Scheduler::new();
+        let mut seqs = [0u64; 8];
+        for op in 0..60 {
+            let ev = event(&mut rng, &mut seqs, op);
+            batched.push(ev.clone());
+            plain.push(ev);
+        }
+        let mut via_batches = Vec::new();
+        let mut out = Vec::new();
+        while batched.pop_batch_same_time(&mut out) > 0 {
+            assert!(out.iter().all(|e| e.time == out[0].time), "batch mixes instants");
+            via_batches.append(&mut out);
+        }
+        let mut one_by_one = Vec::new();
+        while let Some(ev) = plain.pop() {
+            one_by_one.push(ev);
+        }
+        let k = |e: &Event<u64>| (e.time, e.priority, e.key, e.payload);
+        assert_eq!(
+            via_batches.iter().map(k).collect::<Vec<_>>(),
+            one_by_one.iter().map(k).collect::<Vec<_>>(),
+            "schedule {schedule}"
+        );
+    }
+}

@@ -92,8 +92,12 @@ pub fn run_ablation_abft(base: &CalibrationConfig) -> String {
         let cfg = SolverConfig::new(n, ranks);
         let sim_cfg = SimConfig { seed: 0xABF7, monte_carlo: true, ..Default::default() };
 
-        let plain = simulate(&solver::appbeo(&cfg, false, STEPS), &arch, &sim_cfg).total_seconds;
-        let abft = simulate(&solver::appbeo(&cfg, true, STEPS), &arch, &sim_cfg).total_seconds;
+        let plain = simulate(&solver::appbeo(&cfg, false, STEPS), &arch, &sim_cfg)
+            .expect("experiment app is covered")
+            .total_seconds;
+        let abft = simulate(&solver::appbeo(&cfg, true, STEPS), &arch, &sim_cfg)
+            .expect("experiment app is covered")
+            .total_seconds;
 
         // C/R variant: unprotected steps + L1 checkpoint every 10 steps.
         let mut instrs = Vec::new();
@@ -112,7 +116,7 @@ pub fn run_ablation_abft(base: &CalibrationConfig) -> String {
             }
         }
         let cr_app = besst_core::beo::AppBeo::new("solver-cr", ranks, instrs);
-        let cr = simulate(&cr_app, &arch, &sim_cfg).total_seconds;
+        let cr = simulate(&cr_app, &arch, &sim_cfg).expect("experiment app is covered").total_seconds;
 
         table.row(&[
             n.to_string(),

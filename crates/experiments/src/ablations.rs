@@ -73,12 +73,14 @@ pub fn run_ablation_mc(cs: &CaseStudy) -> String {
                 &app,
                 &arch,
                 &SimConfig { seed: 0xAB3, monte_carlo: true, ..Default::default() },
-            );
+            )
+            .expect("experiment app is covered");
             let pt = simulate(
                 &app,
                 &arch,
                 &SimConfig { seed: 0xAB3, monte_carlo: false, ..Default::default() },
-            );
+            )
+            .expect("experiment app is covered");
             table.row(&[
                 ranks.to_string(),
                 sc.label().into(),
@@ -149,7 +151,8 @@ pub fn run_ablation_period(cs: &CaseStudy) -> String {
             &app,
             &arch,
             &SimConfig { seed: 0xAB4 ^ period as u64, monte_carlo: true, ..Default::default() },
-        );
+        )
+        .expect("experiment app is covered");
         let tl = Timeline::from_completions(
             &res.step_completions,
             &res.ckpt_completions,
@@ -229,8 +232,8 @@ pub fn run_ablation_granularity(base: &CalibrationConfig) -> String {
             let phase_arch =
                 besst_core::beo::ArchBeo::new(machine.clone(), RANKS_PER_NODE, phase_cal.bundle.clone());
             let sim_cfg = SimConfig { seed: 0x96A, monte_carlo: true, ..Default::default() };
-            let f = simulate(&func_app, &func_arch, &sim_cfg);
-            let p = simulate(&phase_app, &phase_arch, &sim_cfg);
+            let f = simulate(&func_app, &func_arch, &sim_cfg).expect("experiment app is covered");
+            let p = simulate(&phase_app, &phase_arch, &sim_cfg).expect("experiment app is covered");
             table.row(&[
                 ranks.to_string(),
                 sc.label().into(),

@@ -95,6 +95,7 @@ pub fn run_arch_dse(base_cal: &CalibrationConfig) -> String {
 
         let baseline =
             simulate(&lulesh::appbeo(&cfg, &FtiConfig::none(), STEPS), &arch, &sim_cfg)
+                .expect("experiment app is covered")
                 .total_seconds;
 
         // Fault process fixed across architectures: same machine scale,
@@ -104,7 +105,8 @@ pub fn run_arch_dse(base_cal: &CalibrationConfig) -> String {
         let mut best: Option<(CkptLevel, f64)> = None;
         for &level in &levels {
             let fti = level_config(level);
-            let res = simulate(&lulesh::appbeo(&cfg, &fti, STEPS), &arch, &sim_cfg);
+            let res = simulate(&lulesh::appbeo(&cfg, &fti, STEPS), &arch, &sim_cfg)
+                .expect("experiment app is covered");
             overheads.push(100.0 * (res.total_seconds - baseline) / baseline);
 
             let tb = Testbed::new(&machine);

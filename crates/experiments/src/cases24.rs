@@ -109,7 +109,8 @@ fn sdc_config(
 fn timeline(cs: &CaseStudy, epr: u32, ranks: u32, scenario: Scenario, seed: u64) -> Timeline {
     let app = cs.appbeo(epr, ranks, scenario);
     let arch = cs.archbeo();
-    let res = simulate(&app, &arch, &SimConfig { seed, monte_carlo: true, ..Default::default() });
+    let res = simulate(&app, &arch, &SimConfig { seed, monte_carlo: true, ..Default::default() })
+        .expect("experiment app is covered");
     Timeline::from_completions(
         &res.step_completions,
         &res.ckpt_completions,

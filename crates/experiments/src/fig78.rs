@@ -90,7 +90,8 @@ pub fn run_series(cs: &CaseStudy, epr: u32, ranks: u32, scenario: Scenario, seed
         &app,
         &arch,
         &SimConfig { seed, monte_carlo: true, ..Default::default() },
-    );
+    )
+    .expect("experiment app is covered");
     assert_eq!(res.step_completions.len(), FULL_RUN_STEPS as usize);
     RunSeries {
         scenario,

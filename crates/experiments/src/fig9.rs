@@ -34,6 +34,7 @@ pub fn fig9_sweep(cs: &CaseStudy, seed: u64) -> Sweep {
             (cs.appbeo(epr, ranks, scenario), arch.clone())
         },
     )
+    .expect("experiment app is covered")
 }
 
 /// Render the two Fig. 9 sub-tables.

@@ -76,7 +76,8 @@ fn main() {
 
         // Baseline (no FT) defines the fault rate for the comparison.
         let base_app = lulesh::appbeo(&cfg, &FtiConfig::none(), STEPS);
-        let base = simulate(&base_app, &arch, &SimConfig::default());
+        let base = simulate(&base_app, &arch, &SimConfig::default())
+            .expect("calibrated bundle covers LULESH");
         let node_mtbf = base.total_seconds * n_nodes as f64 / 4.0;
         let process = FaultProcess::new(node_mtbf, n_nodes, 0.2);
 
@@ -90,7 +91,8 @@ fn main() {
         for (level, period) in candidates {
             let fti = scenario(level, period.max(1));
             let app = lulesh::appbeo(&cfg, &fti, STEPS);
-            let res = simulate(&app, &arch, &SimConfig::default());
+            let res = simulate(&app, &arch, &SimConfig::default())
+                .expect("calibrated bundle covers LULESH");
             let overhead =
                 100.0 * (res.total_seconds - base.total_seconds) / base.total_seconds;
 

@@ -63,7 +63,8 @@ fn main() {
     let mut baseline = None;
     for (label, fti) in scenarios {
         let app = lulesh::appbeo(&cfg, &fti, 200);
-        let res = simulate(&app, &arch, &SimConfig::default());
+        let res = simulate(&app, &arch, &SimConfig::default())
+            .expect("calibrated bundle covers LULESH");
         let base = *baseline.get_or_insert(res.total_seconds);
         println!(
             "  {label:10}  total {:8.4} s   checkpoints {:2}   overhead {:6.1}%",

@@ -72,3 +72,16 @@ repro:
 # Criterion benchmarks.
 bench:
     cargo bench -p besst-bench
+
+# Pinned-seed benchmark report (results/BENCH_*.json). Regenerates the
+# committed numbers; run on a quiet machine. See docs/PERFORMANCE.md.
+bench-json:
+    cargo run --release -p xtask -- bench-json --out results/BENCH_0005.json
+
+# Seconds-scale benchmark smoke: the miniature bench-json configuration
+# (schema + determinism gates) plus the scheduler equivalence suite.
+# This is what CI runs; it validates the measurement path, not the numbers.
+bench-smoke:
+    cargo test -p xtask --test bench_json
+    cargo test -p besst-des --test scheduler_prop
+    cargo run --release -p xtask -- bench-json --miniature > /dev/null

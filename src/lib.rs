@@ -51,7 +51,7 @@
 //! // 3. Co-Design: simulate the FT-aware application.
 //! let app = lulesh::appbeo(&LuleshConfig::new(10, 8), &fti, 30);
 //! let arch = ArchBeo::new(machine, 36, cal.bundle);
-//! let result = simulate(&app, &arch, &SimConfig::default());
+//! let result = simulate(&app, &arch, &SimConfig::default()).expect("all kernels bound");
 //! assert_eq!(result.step_completions.len(), 30);
 //! assert_eq!(result.n_checkpoints(), 3);
 //! ```

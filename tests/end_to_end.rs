@@ -48,7 +48,8 @@ fn full_workflow_roundtrip() {
     let app = lulesh::appbeo(&LuleshConfig::new(10, 64), &fti, 50);
     let arch = ArchBeo::new(machine.clone(), 36, bundle);
     arch.check_covers(&app).expect("all kernels bound");
-    let sim = simulate(&app, &arch, &SimConfig { seed: 5, monte_carlo: true, ..Default::default() });
+    let sim = simulate(&app, &arch, &SimConfig { seed: 5, monte_carlo: true, ..Default::default() })
+        .expect("covered");
     assert_eq!(sim.step_completions.len(), 50);
     assert_eq!(sim.n_checkpoints(), 5);
 
@@ -123,6 +124,7 @@ fn scenario_ordering_end_to_end() {
         let run = |fti: &FtiConfig, seed: u64| -> f64 {
             let app = lulesh::appbeo(&cfg, fti, 40);
             simulate(&app, &arch, &SimConfig { seed, monte_carlo: false, ..Default::default() })
+                .expect("covered")
                 .total_seconds
         };
         let noft = run(&FtiConfig::none(), 1);
@@ -152,8 +154,8 @@ fn algorithmic_dse_model_interchange() {
 
     let app = lulesh::appbeo(&LuleshConfig::new(10, 8), &FtiConfig::none(), 30);
     let cfg = SimConfig { monte_carlo: false, ..Default::default() };
-    let slow = simulate(&app, &arch_slow, &cfg).total_seconds;
-    let fast = simulate(&app, &arch_fast, &cfg).total_seconds;
+    let slow = simulate(&app, &arch_slow, &cfg).expect("covered").total_seconds;
+    let fast = simulate(&app, &arch_fast, &cfg).expect("covered").total_seconds;
     assert!((slow / fast - 2.0).abs() < 0.01, "swap halves runtime: {slow} vs {fast}");
 }
 
@@ -174,7 +176,7 @@ fn plug_and_play_across_machines() {
         );
         let app = lulesh::appbeo(&LuleshConfig::new(10, 8), &fti, 10);
         let arch = ArchBeo::new(machine.clone(), 16, cal.bundle);
-        let sim = simulate(&app, &arch, &SimConfig::default());
+        let sim = simulate(&app, &arch, &SimConfig::default()).expect("covered");
         assert!(sim.total_seconds > 0.0, "{}", machine.name);
         assert_eq!(sim.step_completions.len(), 10, "{}", machine.name);
     }

@@ -141,7 +141,8 @@ fn be_simulation_equivalent_across_engines_and_partitionings() {
     t.insert(&[5.0, 64.0], 0.01);
     bundle.insert(besst::apps::lulesh::kernels::TIMESTEP, besst::models::PerfModel::Table(t));
     let arch = besst::core::beo::ArchBeo::new(besst::machine::presets::quartz(), 36, bundle);
-    let seq = simulate(&app, &arch, &SimConfig { seed: 3, monte_carlo: true, ..Default::default() });
+    let seq = simulate(&app, &arch, &SimConfig { seed: 3, monte_carlo: true, ..Default::default() })
+        .expect("covered");
     for workers in [2usize, 3, 7] {
         let par = simulate(
             &app,
@@ -152,7 +153,8 @@ fn be_simulation_equivalent_across_engines_and_partitionings() {
                 engine: EngineKind::Parallel(workers),
                 ..Default::default()
             },
-        );
+        )
+        .expect("covered");
         assert_eq!(seq.total_seconds, par.total_seconds, "workers = {workers}");
         assert_eq!(seq.step_completions, par.step_completions);
     }

@@ -1,0 +1,329 @@
+//! `cargo run -p xtask -- bench-json` — the repo's pinned-seed benchmark
+//! harness.
+//!
+//! Runs the same workloads as `crates/bench/benches/scheduler.rs` (deep-
+//! queue engine throughput with the arena scheduler vs the `BinaryHeap`
+//! reference, online fail-stop + SDC replay, LULESH overlay sweep) and
+//! emits a machine-readable JSON report — `results/BENCH_0005.json` in
+//! the tree is a committed run of `BenchParams::full()` in release mode.
+//!
+//! JSON is emitted by hand because serde_json is stubbed in the offline
+//! build environments this repo targets (docs/OFFLINE_BUILDS.md). The
+//! allocation counts come from the counting `#[global_allocator]`
+//! installed by the `xtask` binary; library tests that call [`run`]
+//! without that allocator simply read zeros.
+
+use besst_bench::{
+    churn_builder, churn_total_events, crash_online_cfg, inject_churn_backlog, lulesh_timeline,
+    lulesh_trace, sdc_online_cfg, FatPayload,
+};
+use besst_core::faults::{expected_makespan, FaultProcess};
+use besst_core::run_online;
+use besst_core::sim::EngineKind;
+use besst_des::prelude::*;
+use besst_fti::{FtiConfig, GroupLayout};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Heap allocations observed by the counting allocator in `xtask`'s
+/// binary. The library itself never installs a `#[global_allocator]`
+/// (that would leak into every test harness linking this crate); the
+/// binary's allocator increments this counter on each `alloc` call.
+pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+fn allocations_now() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Workload sizes for one `bench-json` run.
+#[derive(Debug, Clone)]
+pub struct BenchParams {
+    /// Churn components (deep-queue engine benchmark).
+    pub components: usize,
+    /// Live event chains per component.
+    pub backlog: usize,
+    /// Self-reschedules per chain.
+    pub hops: u32,
+    /// Timed engine iterations per queue implementation.
+    pub engine_iters: u32,
+    /// LULESH timesteps for the replayed trace.
+    pub lulesh_steps: u32,
+    /// Online replay replicas per fault mix.
+    pub online_replicas: u32,
+    /// L1 checkpoint periods swept by the overlay benchmark.
+    pub overlay_periods: Vec<u32>,
+    /// Overlay injection replicas per sweep cell.
+    pub overlay_replicas: u32,
+    /// Base seed; every stochastic draw in the run derives from it.
+    pub seed: u64,
+}
+
+impl BenchParams {
+    /// The committed-report configuration (release mode, ~seconds).
+    ///
+    /// The churn geometry (4096 components × 32 chains = 131 072 resident
+    /// events) pins the engine benchmark in the deep-queue regime the
+    /// arena scheduler targets: at this population neither queue fits in
+    /// L2, so layout — 32-byte heap nodes over a slab vs a `BinaryHeap`
+    /// sifting whole ~100-byte events — dominates the profile.
+    pub fn full() -> Self {
+        BenchParams {
+            components: 4096,
+            backlog: 32,
+            hops: 9,
+            engine_iters: 8,
+            lulesh_steps: 100,
+            online_replicas: 40,
+            overlay_periods: vec![10, 20, 40, 80],
+            overlay_replicas: 30,
+            seed: 0xBE5C_0005,
+        }
+    }
+
+    /// A miniature run for tests: same code path, milliseconds.
+    pub fn miniature() -> Self {
+        BenchParams {
+            components: 24,
+            backlog: 4,
+            hops: 8,
+            engine_iters: 2,
+            lulesh_steps: 12,
+            online_replicas: 3,
+            overlay_periods: vec![6],
+            overlay_replicas: 3,
+            seed: 0xBE5C_0005,
+        }
+    }
+}
+
+struct EngineMeasurement {
+    wall_s: f64,
+    events_per_sec: f64,
+    peak_queue_depth: usize,
+    allocations: u64,
+}
+
+fn measure_engine<Q: EventQueue<FatPayload>>(p: &BenchParams) -> EngineMeasurement {
+    // One untimed warmup iteration pre-faults the allocator and caches.
+    let mut peak = 0usize;
+    let mut run_once = || {
+        let mut e = churn_builder(p.components).build_with_queue::<Q>();
+        inject_churn_backlog(&mut e, p.components, p.backlog, p.hops);
+        assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(e.delivered(), churn_total_events(p.components, p.backlog, p.hops));
+        peak = peak.max(e.peak_queue_depth());
+    };
+    run_once();
+    let alloc_before = allocations_now();
+    let start = Instant::now();
+    for _ in 0..p.engine_iters {
+        run_once();
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let allocations = allocations_now() - alloc_before;
+    let events =
+        churn_total_events(p.components, p.backlog, p.hops) * u64::from(p.engine_iters);
+    EngineMeasurement {
+        wall_s,
+        events_per_sec: events as f64 / wall_s.max(1e-12),
+        peak_queue_depth: peak,
+        allocations,
+    }
+}
+
+struct ReplayMeasurement {
+    wall_s: f64,
+    replays_per_sec: f64,
+    fault_events_total: u64,
+    allocations: u64,
+}
+
+fn measure_replay(
+    tl: &besst_core::faults::Timeline,
+    cfg: &besst_core::online::OnlineConfig,
+    seed: u64,
+    replicas: u32,
+) -> ReplayMeasurement {
+    let alloc_before = allocations_now();
+    let start = Instant::now();
+    let mut fault_events_total = 0u64;
+    for i in 0..replicas {
+        let run = run_online(tl, cfg, seed.wrapping_add(u64::from(i)), EngineKind::Sequential)
+            .expect("online replay runs");
+        fault_events_total += run.events.len() as u64;
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    ReplayMeasurement {
+        wall_s,
+        replays_per_sec: f64::from(replicas) / wall_s.max(1e-12),
+        fault_events_total,
+        allocations: allocations_now() - alloc_before,
+    }
+}
+
+fn json_f(x: f64) -> String {
+    // Hand-rolled float formatting: finite, plain decimal/exponent forms
+    // only (JSON has no NaN/Infinity).
+    assert!(x.is_finite(), "non-finite value in bench report: {x}");
+    format!("{x:.6e}")
+}
+
+fn leaf(wall_s: f64, rate_name: &str, rate: f64, extra: &[(&str, String)]) -> String {
+    let mut fields = vec![
+        format!("\"wall_s\": {}", json_f(wall_s)),
+        format!("\"{rate_name}\": {}", json_f(rate)),
+    ];
+    for (k, v) in extra {
+        fields.push(format!("\"{k}\": {v}"));
+    }
+    format!("{{ {} }}", fields.join(", "))
+}
+
+/// Run every workload and render the JSON report.
+pub fn run(p: &BenchParams) -> String {
+    let run_start = Instant::now();
+    let alloc_start = allocations_now();
+
+    // ── Engine: arena scheduler vs BinaryHeap reference ──────────────
+    let arena = measure_engine::<Scheduler<FatPayload>>(p);
+    let reference = measure_engine::<ReferenceScheduler<FatPayload>>(p);
+    let engine_events =
+        churn_total_events(p.components, p.backlog, p.hops) * u64::from(p.engine_iters);
+    let speedup = arena.events_per_sec / reference.events_per_sec;
+
+    // ── Online replay: fail-stop, then fail-stop + SDC ───────────────
+    let period = *p.overlay_periods.first().expect("at least one period");
+    let trace = lulesh_trace(period, p.lulesh_steps, p.seed);
+    let tl = lulesh_timeline(&trace);
+    let makespan = tl.failure_free_makespan();
+    let crash = measure_replay(&tl, &crash_online_cfg(period, makespan), p.seed ^ 0xC8A5, p.online_replicas);
+    let sdc = measure_replay(&tl, &sdc_online_cfg(period, makespan), p.seed ^ 0x5DC0, p.online_replicas);
+
+    // ── Overlay sweep: expected makespan across checkpoint periods ───
+    let overlay_alloc = allocations_now();
+    let overlay_start = Instant::now();
+    let mut cells = 0u32;
+    for &period in &p.overlay_periods {
+        let res = lulesh_trace(period, p.lulesh_steps, p.seed);
+        let tl = lulesh_timeline(&res);
+        let layout = GroupLayout::new(&FtiConfig::l1_only(period), 64);
+        let process = FaultProcess::new(tl.failure_free_makespan(), 2, 0.3);
+        let m = expected_makespan(&tl, &process, Some(&layout), p.seed ^ 0x0423, p.overlay_replicas)
+            .expect("overlay replays stay inside the layout");
+        assert!(m.is_finite(), "overlay sweep cell livelocked at period {period}");
+        cells += 1;
+    }
+    let overlay_wall = overlay_start.elapsed().as_secs_f64();
+    let overlay_allocs = allocations_now() - overlay_alloc;
+
+    let total_wall = run_start.elapsed().as_secs_f64();
+    let total_allocs = allocations_now() - alloc_start;
+    let total_events = 2 * engine_events + crash.fault_events_total + sdc.fault_events_total;
+
+    let engine_leaf = |m: &EngineMeasurement| {
+        leaf(
+            m.wall_s,
+            "events_per_sec",
+            m.events_per_sec,
+            &[
+                ("peak_queue_depth", m.peak_queue_depth.to_string()),
+                ("allocations", m.allocations.to_string()),
+            ],
+        )
+    };
+    let replay_leaf = |m: &ReplayMeasurement| {
+        leaf(
+            m.wall_s,
+            "replays_per_sec",
+            m.replays_per_sec,
+            &[
+                ("fault_events_total", m.fault_events_total.to_string()),
+                ("allocations", m.allocations.to_string()),
+            ],
+        )
+    };
+
+    let periods = p
+        .overlay_periods
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    format!(
+        "{{\n\
+         \u{20} \"schema\": \"besst-bench-json-v1\",\n\
+         \u{20} \"bench_id\": \"BENCH_0005\",\n\
+         \u{20} \"seed\": {seed},\n\
+         \u{20} \"engine\": {{\n\
+         \u{20}   \"workload\": \"churn\",\n\
+         \u{20}   \"components\": {components},\n\
+         \u{20}   \"backlog\": {backlog},\n\
+         \u{20}   \"hops\": {hops},\n\
+         \u{20}   \"iterations\": {iters},\n\
+         \u{20}   \"events_total\": {engine_events},\n\
+         \u{20}   \"scheduler\": {arena},\n\
+         \u{20}   \"reference\": {reference},\n\
+         \u{20}   \"speedup\": {speedup}\n\
+         \u{20} }},\n\
+         \u{20} \"online_replay\": {{\n\
+         \u{20}   \"trace\": \"lulesh epr10 x 64 ranks, L1 @{period}\",\n\
+         \u{20}   \"steps\": {steps},\n\
+         \u{20}   \"replicas\": {replicas},\n\
+         \u{20}   \"fail_stop\": {crash},\n\
+         \u{20}   \"sdc\": {sdc}\n\
+         \u{20} }},\n\
+         \u{20} \"overlay_sweep\": {{\n\
+         \u{20}   \"periods\": [{periods}],\n\
+         \u{20}   \"replicas_per_cell\": {overlay_replicas},\n\
+         \u{20}   \"cells\": {cells},\n\
+         \u{20}   \"trace_peak_queue_depth\": {trace_peak},\n\
+         \u{20}   \"wall_s\": {overlay_wall},\n\
+         \u{20}   \"cells_per_sec\": {cells_per_sec},\n\
+         \u{20}   \"allocations\": {overlay_allocs}\n\
+         \u{20} }},\n\
+         \u{20} \"totals\": {{\n\
+         \u{20}   \"wall_s\": {total_wall},\n\
+         \u{20}   \"events_total\": {total_events},\n\
+         \u{20}   \"allocations\": {total_allocs}\n\
+         \u{20} }}\n\
+         }}\n",
+        seed = p.seed,
+        components = p.components,
+        backlog = p.backlog,
+        hops = p.hops,
+        iters = p.engine_iters,
+        engine_events = engine_events,
+        arena = engine_leaf(&arena),
+        reference = engine_leaf(&reference),
+        speedup = json_f(speedup),
+        period = period,
+        steps = p.lulesh_steps,
+        replicas = p.online_replicas,
+        crash = replay_leaf(&crash),
+        sdc = replay_leaf(&sdc),
+        periods = periods,
+        overlay_replicas = p.overlay_replicas,
+        cells = cells,
+        trace_peak = trace.peak_queue_depth,
+        overlay_wall = json_f(overlay_wall),
+        cells_per_sec = json_f(f64::from(cells) / overlay_wall.max(1e-12)),
+        overlay_allocs = overlay_allocs,
+        total_wall = json_f(total_wall),
+        total_events = total_events,
+        total_allocs = total_allocs,
+    )
+}
+
+/// Extract the (first) numeric value of `"key": <number>` inside the
+/// report — enough JSON awareness for the schema tests and the speedup
+/// gate without a parser dependency.
+pub fn json_number(report: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = report.find(&needle)? + needle.len();
+    let rest = report[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

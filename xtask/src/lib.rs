@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod lexer;
 pub mod rules;
 pub mod workspace;

@@ -1,16 +1,55 @@
 //! `cargo run -p xtask -- lint` — run the besst-lint pass over the
 //! workspace and exit nonzero on any finding. `cargo xtask lint` works too
 //! if you add the usual `[alias]` to `.cargo/config.toml`.
+//!
+//! `cargo run --release -p xtask -- bench-json` — run the pinned-seed
+//! benchmark suite and emit the `results/BENCH_*.json` report (see
+//! docs/PERFORMANCE.md).
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+
+/// The system allocator with a call counter, feeding the `allocations`
+/// fields of the bench-json report. Installed only in this binary so the
+/// counter never contaminates test harnesses linking the xtask library.
+struct CountingAlloc;
+
+// SAFETY: delegates allocation and deallocation verbatim to `System`,
+// which upholds the `GlobalAlloc` contract; the counter update has no
+// effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`; the counter bump is the
+    // only addition and it cannot affect the returned allocation.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        xtask::bench::ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's layout, passed through unchanged.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: same contract as `System::dealloc`, forwarded verbatim.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by `self.alloc` (i.e. by `System`)
+        // with the same `layout`, as the `GlobalAlloc` contract requires.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo run -p xtask -- <command>\n\
          commands:\n\
-         \u{20} lint [--root <dir>]   determinism/soundness lint (D1–D5); exits 1 on findings\n\
-         see docs/STATIC_ANALYSIS.md for the rule catalog"
+         \u{20} lint [--root <dir>]          determinism/soundness lint (D1–D5); exits 1 on findings\n\
+         \u{20} bench-json [--out <file>] [--miniature]\n\
+         \u{20}                              pinned-seed benchmark suite; writes the JSON report\n\
+         \u{20}                              to --out (default stdout); --miniature runs the\n\
+         \u{20}                              seconds-scale test configuration\n\
+         see docs/STATIC_ANALYSIS.md for the lint catalog and\n\
+         docs/PERFORMANCE.md for the bench-json schema"
     );
     ExitCode::from(2)
 }
@@ -51,6 +90,28 @@ fn main() -> ExitCode {
                 );
                 ExitCode::FAILURE
             }
+        }
+        Some("bench-json") => {
+            let params = if args.iter().any(|a| a == "--miniature") {
+                xtask::bench::BenchParams::miniature()
+            } else {
+                xtask::bench::BenchParams::full()
+            };
+            let report = xtask::bench::run(&params);
+            match args.iter().position(|a| a == "--out") {
+                Some(i) => match args.get(i + 1) {
+                    Some(path) => {
+                        if let Err(e) = std::fs::write(path, &report) {
+                            eprintln!("error: cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("bench-json: wrote {path}");
+                    }
+                    None => return usage(),
+                },
+                None => print!("{report}"),
+            }
+            ExitCode::SUCCESS
         }
         _ => usage(),
     }

@@ -1,0 +1,101 @@
+//! Schema gate for `cargo run -p xtask -- bench-json`: runs the miniature
+//! configuration in-process and validates the report's shape — every
+//! section and leaf field present, rates strictly positive, totals at
+//! least the sum of their parts. Keeps the committed
+//! `results/BENCH_0005.json` regenerable without a JSON parser dependency
+//! (serde_json is stubbed in this repo's offline builds).
+
+use xtask::bench::{json_number, run, BenchParams};
+
+fn field(report: &str, key: &str) -> f64 {
+    json_number(report, key).unwrap_or_else(|| panic!("report is missing \"{key}\""))
+}
+
+#[test]
+fn miniature_report_has_the_full_schema() {
+    let report = run(&BenchParams::miniature());
+
+    // Structural markers: every section object must be present.
+    for section in ["\"engine\":", "\"online_replay\":", "\"overlay_sweep\":", "\"totals\":"] {
+        assert!(report.contains(section), "missing section {section} in:\n{report}");
+    }
+    for leaf in ["\"scheduler\":", "\"reference\":", "\"fail_stop\":", "\"sdc\":"] {
+        assert!(report.contains(leaf), "missing leaf {leaf} in:\n{report}");
+    }
+    assert!(report.contains("\"schema\": \"besst-bench-json-v1\""), "schema tag missing");
+    assert!(report.contains("\"bench_id\": \"BENCH_0005\""), "bench id missing");
+
+    // Every measured field must parse as a number.
+    for key in [
+        "seed",
+        "components",
+        "backlog",
+        "hops",
+        "iterations",
+        "events_total",
+        "speedup",
+        "steps",
+        "replicas",
+        "replicas_per_cell",
+        "cells",
+        "trace_peak_queue_depth",
+        "cells_per_sec",
+        "wall_s",
+        "events_per_sec",
+        "replays_per_sec",
+        "peak_queue_depth",
+        "fault_events_total",
+        "allocations",
+    ] {
+        field(&report, key);
+    }
+}
+
+#[test]
+fn miniature_report_rates_are_positive_and_consistent() {
+    let p = BenchParams::miniature();
+    let report = run(&p);
+
+    assert!(field(&report, "events_per_sec") > 0.0, "engine throughput must be positive");
+    assert!(field(&report, "replays_per_sec") > 0.0, "replay throughput must be positive");
+    assert!(field(&report, "speedup") > 0.0, "speedup is a ratio of positive rates");
+    assert!(field(&report, "cells_per_sec") > 0.0, "overlay throughput must be positive");
+
+    // The engine section's event count is exactly the workload's.
+    let expected =
+        (p.components * p.backlog) as f64 * f64::from(p.hops + 1) * f64::from(p.engine_iters);
+    assert_eq!(field(&report, "events_total"), expected, "engine events_total mismatch");
+
+    // json_number returns the FIRST match: "events_total" inside the
+    // engine section, "wall_s" inside the scheduler leaf. Grab the totals
+    // section explicitly to check monotonicity.
+    let totals_at = report.find("\"totals\"").expect("totals section");
+    let totals = &report[totals_at..];
+    let total_events = field(totals, "events_total");
+    assert!(
+        total_events >= 2.0 * expected,
+        "totals.events_total {total_events} < both engine sides {expected} x 2"
+    );
+    let total_wall = field(totals, "wall_s");
+    let engine_wall = field(&report, "wall_s"); // first wall_s = scheduler leaf
+    assert!(
+        total_wall >= engine_wall,
+        "totals.wall_s {total_wall} < one engine measurement {engine_wall}"
+    );
+    // Without the binary's counting allocator installed, allocation
+    // counts are zero — but never negative and never missing.
+    assert!(field(totals, "allocations") >= 0.0);
+}
+
+#[test]
+fn equal_seeds_give_equal_workload_sections() {
+    // Wall-clock fields differ run to run, but everything derived from
+    // the pinned seed — event counts, peak depths, fault event totals —
+    // must be identical across invocations.
+    let a = run(&BenchParams::miniature());
+    let b = run(&BenchParams::miniature());
+    for key in ["events_total", "peak_queue_depth", "fault_events_total", "trace_peak_queue_depth"]
+    {
+        assert_eq!(field(&a, key), field(&b, key), "seeded field \"{key}\" is nondeterministic");
+    }
+}

@@ -18,3 +18,18 @@ fn per_component_counts() {
 
     let _ordered: BTreeMap<u32, u64> = BTreeMap::new();
 }
+
+// ── Scheduler-shaped cases ─────────────────────────────────────────────
+
+struct HashedScheduler {
+    // An event queue keyed by hash order would make pop order depend on
+    // RandomState — exactly the trajectory break D1 exists to catch.
+    pending: std::collections::HashMap<u64, u32>, // VIOLATION
+}
+
+fn recycle_slots(s: &mut HashedScheduler) {
+    for (_key, _slot) in s.pending.drain() {}
+    // lint: allow(hash-order) -- free-slot membership only; slots are
+    // generation-checked before reuse, so iteration order is unobservable.
+    let _free: std::collections::HashSet<u32> = Default::default();
+}

@@ -24,3 +24,18 @@ impl PartialOrd for Wrapper {
         Some(self.cmp(other))
     }
 }
+
+// ── Scheduler-shaped cases ─────────────────────────────────────────────
+
+pub fn same_instant_batch(top: SimTime, next: SimTime) -> bool {
+    // Batch extraction must compare integer SimTime, never float seconds.
+    top.as_secs_f64() == next.as_secs_f64() // VIOLATION
+}
+
+pub fn order_heap_nodes(mut nodes: Vec<(f64, u64)>) {
+    nodes.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap()); // VIOLATION
+}
+
+pub fn order_heap_nodes_integer(mut nodes: Vec<(u64, u64)>) {
+    nodes.sort(); // ok: the real scheduler orders integer keys
+}
