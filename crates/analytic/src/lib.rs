@@ -11,7 +11,9 @@
 //!   scaling speedups and the Cavelan et al. optimal processor count
 //!   (speedup becomes *non-monotone* in p once faults are counted);
 //! * [`replication`] — Hussain et al.'s dual-replication model with the
-//!   birthday-bound MTTI and the replication-vs-checkpointing crossover;
+//!   birthday-bound MTTI (generalized to k-redundant groups), the
+//!   replication-vs-checkpointing crossover, and the Young–Daly-style
+//!   replicated-makespan bound that gates the online `Replicate` policy;
 //! * [`queueing`] — Jin et al.'s spare-node environment optimization.
 //!
 //! These models are deliberately abstract — that is the paper's point:
@@ -29,6 +31,6 @@ pub mod young_daly;
 
 pub use queueing::{SpareConfig, SpareNodeParams};
 pub use reliability::{optimal_processes, strong_speedup, weak_speedup, ReliabilityParams};
-pub use replication::{replication_crossover, ReplicationParams};
+pub use replication::{failures_to_interrupt, replication_crossover, ReplicationParams};
 pub use scaling::ParallelWorkload;
 pub use young_daly::CrParams;

@@ -50,6 +50,107 @@ impl ReplicationParams {
         assert!(p >= 1, "need at least one node");
         self.node_mtbf / p as f64
     }
+
+    /// MTTI of `groups` k-redundant replica groups (`k` replicas per
+    /// rank, `groups·k` nodes total): failures arrive at rate
+    /// `groups·k/M` and [`failures_to_interrupt`] of them are needed
+    /// before some group is fully dead. `k_redundant_mtti(n, 2)` agrees
+    /// with [`ReplicationParams::replicated_mtti`]`(n)`.
+    pub fn k_redundant_mtti(&self, groups: u32, k: u32) -> f64 {
+        assert!(groups >= 1, "need at least one replica group");
+        let failure_rate = (groups * k) as f64 / self.node_mtbf;
+        failures_to_interrupt(groups, k) / failure_rate
+    }
+
+    /// Young–Daly-style expected makespan of a **k-redundant replicated**
+    /// run: `work` seconds of useful computation checkpointed every
+    /// `period` seconds at this struct's checkpoint/restart prices, on
+    /// `groups` replica groups of `k` replicas each.
+    ///
+    /// Two failure channels are priced:
+    ///
+    /// * **team deaths** interrupt the run like an ordinary crash, so the
+    ///   base cost is [`CrParams::expected_runtime`] at the replicated
+    ///   MTTI ([`ReplicationParams::k_redundant_mtti`]) — far longer than
+    ///   the plain `M/p`, which is where replication wins;
+    /// * **absorbed crashes** each stall the whole communicator for
+    ///   `reroute_s` seconds of message rerouting. At node-failure rate
+    ///   `λ = groups·k/M` the run dilates by `1/(1 − λ·reroute_s)` (the
+    ///   stall itself extends fault exposure, hence the fixed point).
+    ///
+    /// This is the validation gate for
+    /// `besst_core::online::RecoveryPolicy::Replicate`: simulated
+    /// replicated makespans must stay within the same order-of-magnitude
+    /// band of this bound that checkpoint/restart policies keep to plain
+    /// Young–Daly.
+    pub fn replicated_expected_runtime(
+        &self,
+        work: f64,
+        period: f64,
+        groups: u32,
+        k: u32,
+        reroute_s: f64,
+    ) -> f64 {
+        assert!(reroute_s >= 0.0, "reroute cost must be non-negative");
+        let cr = CrParams::new(
+            self.checkpoint_cost,
+            self.restart_cost,
+            self.k_redundant_mtti(groups, k),
+        );
+        let base = cr.expected_runtime(work, period);
+        let node_rate = (groups * k) as f64 / self.node_mtbf;
+        let stall = node_rate * reroute_s;
+        assert!(
+            stall < 1.0,
+            "reroute stalls ({stall:.3} s/s) exceed the machine's capacity"
+        );
+        base / (1.0 - stall)
+    }
+}
+
+/// Expected number of individual node failures before some k-redundant
+/// group is fully dead — the generalized birthday bound (Klamkin &
+/// Newman): `E ≈ (k!)^(1/k) · Γ(1 + 1/k) · n^((k−1)/k)` for `n` groups.
+/// `k = 2` reduces to the classic `√(πn/2)` used by
+/// [`ReplicationParams::replicated_mtti`].
+pub fn failures_to_interrupt(groups: u32, k: u32) -> f64 {
+    assert!(groups >= 1, "need at least one group");
+    assert!(k >= 1, "need at least one replica per group");
+    let n = groups as f64;
+    let kf = k as f64;
+    let k_factorial: f64 = (1..=k).fold(1.0, |acc, i| acc * i as f64);
+    let e = k_factorial.powf(1.0 / kf) * gamma(1.0 + 1.0 / kf) * n.powf((kf - 1.0) / kf);
+    e.max(1.0)
+}
+
+/// Lanczos approximation of Γ(x) for x > 0 (g = 7, n = 9 — ~15 correct
+/// digits over the `Γ(1 + 1/k)` arguments used here). Hand-rolled: the
+/// offline build carries no special-functions crate.
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps the approximation in its sweet spot.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        let t = x + G + 0.5;
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
 }
 
 /// Expected makespan of `t1` sequential seconds on `p` physical nodes
@@ -110,6 +211,67 @@ mod tests {
     fn params() -> ReplicationParams {
         // 5-year node MTBF, 10-minute checkpoints (heavy I/O at scale).
         ReplicationParams::new(5.0 * 365.0 * 24.0 * 3600.0, 600.0, 1200.0)
+    }
+
+    #[test]
+    fn gamma_hits_known_values() {
+        let cases = [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (4.0, 6.0),
+            (1.5, std::f64::consts::PI.sqrt() / 2.0),
+            (0.5, std::f64::consts::PI.sqrt()),
+        ];
+        for (x, want) in cases {
+            let got = gamma(x);
+            assert!(
+                (got - want).abs() < 1e-10 * want.abs(),
+                "gamma({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn k2_birthday_bound_matches_the_classic_form() {
+        for n in [1u32, 10, 1000, 100_000] {
+            let general = failures_to_interrupt(n, 2);
+            let classic = (std::f64::consts::PI * n as f64 / 2.0).sqrt().max(1.0);
+            let rel = (general - classic).abs() / classic;
+            assert!(rel < 1e-12, "n={n}: {general} vs {classic} (rel {rel})");
+        }
+        // And therefore the k-redundant MTTI agrees with the dual one.
+        let r = params();
+        for n in [16u32, 512, 8192] {
+            let rel =
+                (r.k_redundant_mtti(n, 2) - r.replicated_mtti(n)).abs() / r.replicated_mtti(n);
+            assert!(rel < 1e-12, "n={n} MTTI drifted (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn deeper_redundancy_extends_the_mtti() {
+        let r = params();
+        // Same node count (2304 nodes), deeper groups → longer MTTI:
+        // more failures are needed to finish off any one group.
+        let m2 = r.k_redundant_mtti(1152, 2);
+        let m3 = r.k_redundant_mtti(768, 3);
+        let m4 = r.k_redundant_mtti(576, 4);
+        assert!(m2 < m3 && m3 < m4, "MTTI must grow with k: {m2} {m3} {m4}");
+    }
+
+    #[test]
+    fn reroute_stalls_dilate_the_replicated_runtime() {
+        let r = ReplicationParams::new(32_000.0, 0.5, 1.0);
+        let work = 400.0;
+        let period = 10.0;
+        let free = r.replicated_expected_runtime(work, period, 32, 2, 0.0);
+        let costly = r.replicated_expected_runtime(work, period, 32, 2, 10.0);
+        assert!(costly > free, "{costly} vs {free}");
+        // The dilation is exactly the fixed-point factor.
+        let lambda = 64.0 / 32_000.0;
+        let rel = (costly - free / (1.0 - lambda * 10.0)).abs() / costly;
+        assert!(rel < 1e-12, "rel {rel}");
     }
 
     #[test]

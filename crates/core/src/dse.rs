@@ -8,6 +8,8 @@
 //! in.
 
 use crate::beo::{AppBeo, ArchBeo};
+use crate::faults::Timeline;
+use crate::online::{online_stats, OnlineConfig, OnlineError, OnlineStats};
 use crate::sim::{simulate, SimConfig, SimError};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -115,6 +117,43 @@ where
     Ok(Sweep { cells })
 }
 
+/// One cell of a [`recovery_sweep`]: a named recovery family and its
+/// replica-ensemble statistics over the swept timeline.
+#[derive(Debug, Clone)]
+pub struct PolicyCell {
+    /// Family label ("C/R spares", "Shrink", "Replicate ×2", ...).
+    pub policy: String,
+    /// Ensemble statistics ([`crate::online::online_stats`]) for this
+    /// family.
+    pub stats: OnlineStats,
+}
+
+/// Sweep the **recovery-family** axis: run the same timeline under each
+/// named online configuration so checkpoint/restart-on-spares,
+/// communicator shrink, k-redundant replication and ABFT/verification
+/// shielding compare on one axis (the DSE counterpart of the `cases24`
+/// replication columns). Every family runs on the same base seed, so
+/// cells differ only by policy — the fault-arrival schedule is shared.
+///
+/// # Errors
+///
+/// Propagates the first [`OnlineError`] any family produces (e.g. a
+/// degenerate shrink or replication geometry).
+pub fn recovery_sweep(
+    timeline: &Timeline,
+    families: &[(String, OnlineConfig)],
+    seed: u64,
+    replicas: u32,
+) -> Result<Vec<PolicyCell>, OnlineError> {
+    families
+        .par_iter()
+        .map(|(name, cfg)| {
+            online_stats(timeline, cfg, seed, replicas)
+                .map(|stats| PolicyCell { policy: name.clone(), stats })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +242,51 @@ mod tests {
     fn missing_baseline_panics() {
         let s = sweep(&[10], &[8], &["No FT"], &test_cfg(), builder).expect("covered");
         s.overhead_matrix(99, 8, "No FT");
+    }
+
+    #[test]
+    fn recovery_sweep_puts_all_four_families_on_one_axis() {
+        use crate::online::{AbftGuard, RecoveryPolicy, SdcConfig};
+        use crate::faults::{FaultProcess, SdcProcess};
+        use besst_fti::{CkptLevel, FtiConfig, GroupLayout};
+
+        let steps = 120usize;
+        let tl = Timeline {
+            step_durations: vec![1.0; steps],
+            checkpoints: (1..=steps)
+                .filter(|s| s % 10 == 0)
+                .map(|s| (s, CkptLevel::L1, 0.5))
+                .collect(),
+            restart_costs: vec![(CkptLevel::L1, 1.0)],
+        };
+        let p = FaultProcess::new(3200.0, 64, 0.3);
+        let lay = || Some(GroupLayout::new(&FtiConfig::l1_only(10), 64));
+        let base = || OnlineConfig::new(p, lay());
+        let families = vec![
+            ("C/R spares".to_string(), base()),
+            ("Shrink".to_string(), base().with_policy(RecoveryPolicy::ShrinkCommunicator)),
+            (
+                "Replicate ×2".to_string(),
+                base().with_policy(RecoveryPolicy::Replicate { k: 2, reroute_s: 1.0 }),
+            ),
+            (
+                "ABFT".to_string(),
+                base().with_sdc(
+                    SdcConfig::new(SdcProcess::new(800.0, 64, 0.0))
+                        .with_abft(AbftGuard { correction_s: 1.0, multi_p: 0.0 }),
+                ),
+            ),
+        ];
+        let cells = recovery_sweep(&tl, &families, 7, 6).expect("sweep runs");
+        assert_eq!(cells.len(), 4);
+        for c in &cells {
+            assert!(c.stats.completed > 0, "{} never completed", c.policy);
+            assert!(c.stats.expected_makespan.is_finite(), "{}", c.policy);
+        }
+        // Same seed, same fault process: the sweep is deterministic.
+        let again = recovery_sweep(&tl, &families, 7, 6).expect("sweep runs");
+        for (a, b) in cells.iter().zip(&again) {
+            assert_eq!(a.stats, b.stats, "{} drifted", a.policy);
+        }
     }
 }

@@ -36,6 +36,24 @@
 //! [`Priority::URGENT`] while crash deliveries arrive a link-latency
 //! later.
 //!
+//! ## Replication
+//!
+//! [`RecoveryPolicy::Replicate`] models TeaMPI/FTHP-MPI-style rank
+//! replication: the node pool splits into `k`-redundant replica groups
+//! that execute the same rank. A crash whose group keeps at least one
+//! survivor is **absorbed by a mirror** — the communicator reroutes the
+//! dead rank's messages for `reroute_s` seconds of in-phase stall, with
+//! no restart and no ledger walk. Only a *team death* (a whole group
+//! gone) falls back to the checkpoint ledger, after which all groups are
+//! redeployed at full strength. The crash victim is drawn among the live
+//! replicas by the same keyed-hash pattern the SDC stream uses
+//! (`(seed, salt, crash ticket)`), so arming replication never perturbs
+//! the fault-arrival schedule and engine bit-identity holds. When the
+//! SDC stream is armed, [`ReplicaVote`] turns the replicas into an SDC
+//! detector: 3+ live copies outvote a corrupted one in phase, exactly 2
+//! detect the divergence but must roll back, and a group degraded to a
+//! single copy falls through to the ABFT guard.
+//!
 //! ## Silent data corruption
 //!
 //! Besides fail-stop crashes the driver can carry a second, independent
@@ -102,6 +120,24 @@ pub enum RecoveryPolicy {
     /// work re-decomposed, so every remaining segment dilates by the
     /// configured shrink multiplier.
     ShrinkCommunicator,
+    /// TeaMPI/FTHP-MPI-style rank replication: the node pool is divided
+    /// into `k`-redundant replica groups that execute the same rank. A
+    /// crash that leaves a group with at least one survivor is absorbed
+    /// by a mirror — messages reroute to the surviving replica for
+    /// `reroute_s` seconds of in-phase stall, with **no restart and no
+    /// ledger walk**. Only when an entire group is dead does the run fall
+    /// back to the checkpoint ledger (and redeploy every group at full
+    /// strength on spares).
+    Replicate {
+        /// Replicas per rank (`2` = classic dual redundancy). Must be at
+        /// least 2; leftover nodes (`n_nodes % k`) join the first groups
+        /// as extra replicas.
+        k: u32,
+        /// Seconds the running segment stretches while the communicator
+        /// reroutes a dead rank's traffic to its mirror (zero makes
+        /// replication absorb crashes for free).
+        reroute_s: f64,
+    },
 }
 
 impl Default for RecoveryPolicy {
@@ -119,6 +155,19 @@ pub fn proportional_shrink(initial: u32, surviving: u32) -> f64 {
     initial as f64 / surviving as f64
 }
 
+/// Replica-group geometry for [`RecoveryPolicy::Replicate`]: `n_nodes`
+/// nodes partition into `n_nodes / k` groups of `k` replicas each, with
+/// the `n_nodes % k` leftover nodes joining the first groups as extra
+/// replicas — every node hosts a replica of exactly one rank. Returns the
+/// per-group replica counts; requires `k >= 2` and `n_nodes >= k` (see
+/// [`OnlineError::ReplicaGeometry`]).
+pub fn replica_groups(n_nodes: u32, k: u32) -> Vec<u32> {
+    debug_assert!(k >= 2 && n_nodes >= k, "degenerate replica geometry");
+    let groups = n_nodes / k;
+    let extras = n_nodes % k;
+    (0..groups).map(|g| k + u32::from(g < extras)).collect()
+}
+
 /// Typed error for online fault-injection runs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OnlineError {
@@ -128,6 +177,15 @@ pub enum OnlineError {
     ShrinkToZero {
         /// Nodes in the doomed group (0 or 1).
         initial_nodes: u32,
+    },
+    /// [`RecoveryPolicy::Replicate`] was configured with a degenerate
+    /// geometry: fewer than two replicas per rank, or more replicas per
+    /// rank than there are nodes to host them.
+    ReplicaGeometry {
+        /// Nodes available to the replica groups.
+        n_nodes: u32,
+        /// Requested replicas per rank.
+        k: u32,
     },
     /// The underlying overlay/FTI recovery machinery rejected the setup.
     Recovery(RecoveryError),
@@ -140,6 +198,11 @@ impl core::fmt::Display for OnlineError {
                 f,
                 "ShrinkCommunicator needs at least 2 nodes to survive a crash, \
                  got {initial_nodes}"
+            ),
+            OnlineError::ReplicaGeometry { n_nodes, k } => write!(
+                f,
+                "Replicate needs at least 2 replicas per rank and at least \
+                 k nodes, got k={k} over {n_nodes} nodes"
             ),
             OnlineError::Recovery(ref e) => write!(f, "recovery setup failed: {e}"),
         }
@@ -215,6 +278,33 @@ impl VerifyPolicy {
     }
 }
 
+/// Replica-comparison SDC detector, active only under
+/// [`RecoveryPolicy::Replicate`]: the replicas of the struck rank compare
+/// state and vote (TeaMPI-style heartbeat comparison at the cost level).
+///
+/// * **3+ live replicas**: the majority outvotes the corrupted copy and
+///   overwrites it in phase — the running segment stretches by `check_s`,
+///   no rollback. Counts toward [`RunClass::CorrectedByAbft`] (it is the
+///   same in-phase-correction outcome, reached by a different detector).
+/// * **exactly 2 live replicas**: divergence is *detected* (the copies
+///   disagree) but there is no majority to repair from — the run rolls
+///   back through the usual ledger walk.
+/// * **1 live replica**: nothing to compare against; the strike falls
+///   through to the [`AbftGuard`] (or goes undetected without one).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaVote {
+    /// Seconds one cross-replica state comparison (and majority
+    /// overwrite) costs the running segment.
+    pub check_s: f64,
+}
+
+impl ReplicaVote {
+    /// Zero-cost vote: every divergence with 3+ replicas is fixed free.
+    pub fn free() -> Self {
+        ReplicaVote { check_s: 0.0 }
+    }
+}
+
 /// Configuration of the silent-data-corruption stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SdcConfig {
@@ -227,12 +317,16 @@ pub struct SdcConfig {
     /// Checkpoint verification + escalation ladder; `None` restores
     /// whatever the ledger holds, corrupted or not.
     pub verification: Option<VerifyPolicy>,
+    /// Replica-comparison vote for live strikes; only consulted under
+    /// [`RecoveryPolicy::Replicate`] (other policies have no replicas to
+    /// compare), where it takes precedence over `abft`.
+    pub vote: Option<ReplicaVote>,
 }
 
 impl SdcConfig {
-    /// Unshielded stream: no ABFT, no verification.
+    /// Unshielded stream: no ABFT, no verification, no replica vote.
     pub fn new(process: SdcProcess) -> Self {
-        SdcConfig { process, abft: None, verification: None }
+        SdcConfig { process, abft: None, verification: None, vote: None }
     }
 
     /// Fully shielded at zero cost — useful as the SDC analogue of the
@@ -242,6 +336,7 @@ impl SdcConfig {
             process,
             abft: Some(AbftGuard::free()),
             verification: Some(VerifyPolicy::free()),
+            vote: None,
         }
     }
 
@@ -256,6 +351,13 @@ impl SdcConfig {
         self.verification = Some(v);
         self
     }
+
+    /// Arm the replica-comparison vote (effective only under
+    /// [`RecoveryPolicy::Replicate`]).
+    pub fn with_vote(mut self, vote: ReplicaVote) -> Self {
+        self.vote = Some(vote);
+        self
+    }
 }
 
 /// Data-integrity classification of one finished run.
@@ -263,9 +365,11 @@ impl SdcConfig {
 pub enum RunClass {
     /// No corruption reached the application's final state.
     Correct,
-    /// Live corruptions occurred but ABFT corrected every one in phase.
+    /// Live corruptions occurred but an in-phase detector (ABFT checksum
+    /// repair or a replica-majority vote) corrected every one without a
+    /// rollback.
     CorrectedByAbft {
-        /// In-phase corrections performed.
+        /// In-phase corrections performed (ABFT + replica-vote).
         corrections: u32,
     },
     /// Detected corruption forced at least one rollback; `level` is the
@@ -304,6 +408,9 @@ pub enum SdcTarget {
 pub enum SdcEffect {
     /// ABFT fixed the corrupted element in phase; no rollback.
     AbftCorrected,
+    /// A replica-majority vote outvoted the corrupted copy in phase
+    /// (3+ live replicas in the struck group); no rollback.
+    VoteCorrected,
     /// Detected but uncorrectable: rolled back to `to` (`None` =
     /// scratch) after `retries` ladder repair attempts.
     RolledBack {
@@ -331,6 +438,12 @@ const SALT_TARGET: u64 = 0x5DC0_0001;
 const SALT_PICK: u64 = 0x5DC0_0002;
 const SALT_MULTI: u64 = 0x5DC0_0003;
 const SALT_REPAIR: u64 = 0x5DC0_0004;
+/// Crash-victim draw under [`RecoveryPolicy::Replicate`]: which live
+/// replica the crash kills, keyed on the crash ticket so arming
+/// replication never perturbs the fault-arrival schedule.
+const SALT_VICTIM: u64 = 0x5DC0_0005;
+/// Replica-group draw for a live SDC strike under replication.
+const SALT_VOTE: u64 = 0x5DC0_0006;
 
 /// Deterministic keyed hash: same `(seed, salt, a, b)` → same draw, on
 /// every engine and partitioning, independent of event interleaving.
@@ -442,6 +555,16 @@ pub enum FaultEvent {
         /// Wall-clock seconds of the repair.
         at: f64,
     },
+    /// Under [`RecoveryPolicy::Replicate`], a mirror absorbed a dead
+    /// rank's role at message-reroute cost — no restart, no ledger walk.
+    ReplicaAbsorb {
+        /// Wall-clock seconds of the crash being absorbed.
+        at: f64,
+        /// Index of the replica group that lost a member.
+        group: u32,
+        /// Replicas still alive in that group after the loss.
+        survivors: u32,
+    },
     /// A silent data corruption struck at wall-clock `at`.
     Sdc {
         /// Wall-clock seconds of the strike.
@@ -470,6 +593,12 @@ pub struct OnlineRun {
     pub n_sdc: u32,
     /// Live corruptions ABFT corrected in phase.
     pub abft_corrections: u32,
+    /// Live corruptions a replica-majority vote corrected in phase
+    /// (always zero outside [`RecoveryPolicy::Replicate`]).
+    pub vote_corrections: u32,
+    /// Crashes absorbed by a mirror replica without any rollback
+    /// (always zero outside [`RecoveryPolicy::Replicate`]).
+    pub reroutes: u32,
     /// Corruptions that escaped detection into the final state.
     pub undetected: u32,
     /// Seconds spent verifying checkpoint integrity (ladder walks and
@@ -637,6 +766,15 @@ struct RunController {
     epoch: u64,
     /// `Some((restart_s, verify_s))` while recovery waits for a repair.
     awaiting_repair: Option<(f64, f64)>,
+    // --- replication state (empty outside RecoveryPolicy::Replicate) ---
+    /// Full-strength replica count per group (index = group).
+    replica_capacity: Vec<u32>,
+    /// Live replica count per group.
+    replicas_alive: Vec<u32>,
+    /// Crashes absorbed by a mirror (no rollback).
+    reroutes: u32,
+    /// Live strikes corrected by a replica-majority vote.
+    vote_corrections: u32,
     // --- SDC state ---
     /// Poisoned ledger entries, as `(after-step, level)`. Entries newer
     /// than a rollback point are dropped on rollback (re-execution
@@ -701,8 +839,10 @@ impl RunController {
             RunClass::SilentlyWrong { undetected: self.undetected }
         } else if let Some((level, retries)) = self.rolled_back {
             RunClass::RolledBack { level, retries }
-        } else if self.abft_corrections > 0 {
-            RunClass::CorrectedByAbft { corrections: self.abft_corrections }
+        } else if self.abft_corrections + self.vote_corrections > 0 {
+            RunClass::CorrectedByAbft {
+                corrections: self.abft_corrections + self.vote_corrections,
+            }
         } else {
             RunClass::Correct
         }
@@ -735,6 +875,8 @@ impl RunController {
             completed,
             n_sdc: self.n_sdc,
             abft_corrections: self.abft_corrections,
+            vote_corrections: self.vote_corrections,
+            reroutes: self.reroutes,
             undetected: self.undetected,
             verify_time: self.verify_time,
             class: self.classify(),
@@ -875,6 +1017,10 @@ impl RunController {
         data_lost: bool,
         ctx: &mut Ctx<'_, OnlineMsg>,
     ) {
+        if let RecoveryPolicy::Replicate { reroute_s, .. } = self.policy {
+            self.on_crash_replicated(at, node, data_lost, reroute_s, ctx);
+            return;
+        }
         self.n_faults += 1;
         self.epoch += 1; // cancel the in-flight segment
         self.segment_extra = 0.0; // in-phase corrections die with it
@@ -923,7 +1069,82 @@ impl RunController {
                     (self.shrink_multiplier)(self.initial_nodes, self.surviving_nodes);
                 self.resume(restart_s, sel.verify_s, ctx);
             }
+            // lint: allow(panic-path) -- Replicate is dispatched to on_crash_replicated above
+            RecoveryPolicy::Replicate { .. } => unreachable!("dispatched above"),
         }
+    }
+
+    /// Crash handling under [`RecoveryPolicy::Replicate`]. The victim is
+    /// drawn among the *live* replicas by a keyed hash of the crash
+    /// ticket — not from the fault process RNG — so the crash-arrival
+    /// schedule is identical to every other policy's and the timeline
+    /// stays bit-identical across engines.
+    fn on_crash_replicated(
+        &mut self,
+        at: f64,
+        node: Option<u32>,
+        data_lost: bool,
+        reroute_s: f64,
+        ctx: &mut Ctx<'_, OnlineMsg>,
+    ) {
+        self.n_faults += 1;
+        let ticket = (self.n_faults as u64) | (1u64 << 63);
+        let total_alive: u32 = self.replicas_alive.iter().sum();
+        let mut pick = sdc_hash(self.seed, SALT_VICTIM, ticket, total_alive as u64)
+            % total_alive.max(1) as u64;
+        let mut group = 0usize;
+        for (g, &alive) in self.replicas_alive.iter().enumerate() {
+            if pick < alive as u64 {
+                group = g;
+                break;
+            }
+            pick -= alive as u64;
+        }
+        self.replicas_alive[group] -= 1;
+        let survivors = self.replicas_alive[group];
+
+        if survivors > 0 {
+            // Mirror absorb: the surviving replica already holds the
+            // rank's state, so nothing rolls back and no ledger entry is
+            // read. The communicator pays one message-reroute stall,
+            // modeled as an in-phase stretch of the running segment
+            // (the same machinery as ABFT corrections).
+            self.reroutes += 1;
+            self.restart_time += reroute_s;
+            self.epoch += 1;
+            self.segment_extra += reroute_s;
+            self.events.push(FaultEvent::ReplicaAbsorb {
+                at,
+                group: group as u32,
+                survivors,
+            });
+            if self.n_faults >= self.max_faults {
+                self.finish(false, ctx);
+                return;
+            }
+            self.schedule_segment(ctx);
+            return;
+        }
+
+        // Team death: every replica of one rank is gone, so the rank's
+        // live state is lost with them. Fall back to the checkpoint
+        // ledger exactly like a crash under the other policies, then
+        // redeploy all groups at full strength on spares (the pool is
+        // assumed large enough to re-provision a fresh team).
+        self.epoch += 1;
+        self.segment_extra = 0.0;
+        self.wall = at;
+        let sel = self.select_recovery(node, ticket);
+        let restart_s = self.apply_rollback(&sel);
+        self.replicas_alive.copy_from_slice(&self.replica_capacity);
+        self.events.push(FaultEvent::Crash {
+            at,
+            node,
+            data_lost,
+            recovered_to: sel.point,
+            resumed_at: self.wall, // patched in resume()
+        });
+        self.resume(restart_s, sel.verify_s, ctx);
     }
 
     /// Handle one silent-corruption strike.
@@ -964,13 +1185,45 @@ impl RunController {
             });
             return; // latent until some recovery reads the payload
         }
-        // Live strike during the running segment.
+        // Live strike during the running segment. Under replication with
+        // the vote armed, the struck rank's replicas compare state first;
+        // the ABFT guard is only consulted when the group has degraded to
+        // a single copy (nothing left to compare against).
+        if let (RecoveryPolicy::Replicate { .. }, Some(vote)) = (self.policy, sdc.vote) {
+            let groups = self.replicas_alive.len() as u64;
+            let g = (sdc_hash(self.seed, SALT_VOTE, index, groups) % groups) as usize;
+            let alive = self.replicas_alive[g];
+            if alive >= 3 {
+                // Majority vote: the two clean copies outvote the
+                // corrupted one and overwrite it in phase — the running
+                // segment stretches by the comparison cost, no rollback.
+                self.vote_corrections += 1;
+                self.verify_time += vote.check_s;
+                self.epoch += 1;
+                self.segment_extra += vote.check_s;
+                self.events.push(FaultEvent::Sdc {
+                    at,
+                    target: SdcTarget::Live,
+                    effect: SdcEffect::VoteCorrected,
+                });
+                self.schedule_segment(ctx);
+                return;
+            }
+            if alive == 2 {
+                // Divergence detected (the two copies disagree) but with
+                // no majority to repair from: roll back, charging the
+                // comparison on top of the ladder's verification.
+                self.rollback_from_sdc(at, index, vote.check_s, ctx);
+                return;
+            }
+            // alive == 1: fall through to the ABFT guard below.
+        }
         match sdc.abft {
             Some(guard) => {
                 let multi = sdc_unit(self.seed, SALT_MULTI, index, 0) < guard.multi_p;
                 if multi {
                     // Detected but uncorrectable: roll back.
-                    self.rollback_from_sdc(at, index, ctx);
+                    self.rollback_from_sdc(at, index, 0.0, ctx);
                 } else {
                     // Corrected in phase: the running segment stretches
                     // by the correction cost, no rollback.
@@ -1000,8 +1253,16 @@ impl RunController {
     /// Roll back after a detected-but-uncorrectable live corruption:
     /// same ledger walk as a crash (no node failed, so the scenario is
     /// empty), but the recovery policy charges no spare/shrink — the
-    /// machine is intact, only the data is bad.
-    fn rollback_from_sdc(&mut self, at: f64, index: u64, ctx: &mut Ctx<'_, OnlineMsg>) {
+    /// machine is intact, only the data is bad. `extra_verify_s` prices
+    /// the detection itself (e.g. a replica-vote comparison) on top of
+    /// the ladder's verification.
+    fn rollback_from_sdc(
+        &mut self,
+        at: f64,
+        index: u64,
+        extra_verify_s: f64,
+        ctx: &mut Ctx<'_, OnlineMsg>,
+    ) {
         self.epoch += 1;
         self.segment_extra = 0.0;
         self.wall = at;
@@ -1028,7 +1289,7 @@ impl RunController {
                 resumed_at: at, // patched in resume()
             },
         });
-        self.resume(restart_s + policy_s, sel.verify_s, ctx);
+        self.resume(restart_s + policy_s, sel.verify_s + extra_verify_s, ctx);
     }
 }
 
@@ -1081,6 +1342,17 @@ impl Component<OnlineMsg> for RunController {
             }
             OnlineMsg::Repair { at } => {
                 self.events.push(FaultEvent::Repair { at });
+                if matches!(self.policy, RecoveryPolicy::Replicate { .. }) {
+                    // The repaired node re-registers as a replica of the
+                    // most-degraded group (fewest live replicas, lowest
+                    // index on ties); fully-populated groups take none.
+                    if let Some(g) = (0..self.replicas_alive.len())
+                        .filter(|&g| self.replicas_alive[g] < self.replica_capacity[g])
+                        .min_by_key(|&g| self.replicas_alive[g])
+                    {
+                        self.replicas_alive[g] += 1;
+                    }
+                }
                 if let Some((restart_s, verify_s)) = self.awaiting_repair.take() {
                     self.wall = at.max(self.wall);
                     self.resume(restart_s, verify_s, ctx);
@@ -1103,7 +1375,11 @@ fn build_online(
 ) -> EngineBuilder<OnlineMsg> {
     let spares = match cfg.policy {
         RecoveryPolicy::RestartOnSpares { spares, .. } => spares,
-        RecoveryPolicy::ShrinkCommunicator => 0,
+        RecoveryPolicy::ShrinkCommunicator | RecoveryPolicy::Replicate { .. } => 0,
+    };
+    let replica_capacity = match cfg.policy {
+        RecoveryPolicy::Replicate { k, .. } => replica_groups(cfg.process.n_nodes, k),
+        _ => Vec::new(),
     };
     let mut b = EngineBuilder::new();
     let controller = b.add_component(Box::new(RunController {
@@ -1127,6 +1403,10 @@ fn build_online(
         work_multiplier: 1.0,
         epoch: 0,
         awaiting_repair: None,
+        replicas_alive: replica_capacity.clone(),
+        replica_capacity,
+        reroutes: 0,
+        vote_corrections: 0,
         corrupted: Vec::new(),
         n_sdc: 0,
         abft_corrections: 0,
@@ -1164,6 +1444,11 @@ fn take_run(out: &Arc<Mutex<Option<OnlineRun>>>) -> OnlineRun {
 fn validate(cfg: &OnlineConfig) -> Result<(), OnlineError> {
     if matches!(cfg.policy, RecoveryPolicy::ShrinkCommunicator) && cfg.process.n_nodes < 2 {
         return Err(OnlineError::ShrinkToZero { initial_nodes: cfg.process.n_nodes });
+    }
+    if let RecoveryPolicy::Replicate { k, .. } = cfg.policy {
+        if k < 2 || cfg.process.n_nodes < k {
+            return Err(OnlineError::ReplicaGeometry { n_nodes: cfg.process.n_nodes, k });
+        }
     }
     Ok(())
 }
@@ -1673,7 +1958,7 @@ mod tests {
         let mut escalated_somewhere = false;
         for seed in 0..10u64 {
             let cfg = overlay_cfg(p, Some(lay.clone())).with_sdc(
-                SdcConfig { process: sdc_ckpt(400.0), abft: Some(AbftGuard::free()), verification: Some(verify.clone()) },
+                SdcConfig { process: sdc_ckpt(400.0), abft: Some(AbftGuard::free()), verification: Some(verify.clone()), vote: None },
             );
             let run = run_online(&tl, &cfg, seed, EngineKind::Sequential).unwrap();
             assert!(run.completed, "seed {seed}");
@@ -1743,6 +2028,7 @@ mod tests {
                 process: sdc_ckpt(200.0),
                 abft: Some(AbftGuard::free()),
                 verification: Some(verify.clone()),
+                vote: None,
             });
             let run = run_online(&tl, &cfg, seed, EngineKind::Sequential).unwrap();
             assert!(run.completed, "seed {seed}");
@@ -1782,6 +2068,7 @@ mod tests {
                 process: SdcProcess::new(600.0, 64, 0.5),
                 abft: Some(AbftGuard { correction_s: 2.0, multi_p: 0.3 }),
                 verification: Some(verify),
+                vote: None,
             },
         );
         let seq = run_online(&tl, &cfg, 21, EngineKind::Sequential).unwrap();
@@ -1813,6 +2100,164 @@ mod tests {
             good.correct + good.corrected_by_abft + good.rolled_back,
             good.completed
         );
+    }
+
+    // ---- replication ----
+
+    #[test]
+    fn replica_geometry_partitions_every_node() {
+        assert_eq!(replica_groups(64, 2), vec![2; 32]);
+        assert_eq!(replica_groups(15, 2), vec![3, 2, 2, 2, 2, 2, 2]);
+        assert_eq!(replica_groups(9, 3), vec![3, 3, 3]);
+        assert_eq!(replica_groups(4, 4), vec![4]);
+        for (n, k) in [(64u32, 2u32), (15, 2), (9, 3), (7, 3)] {
+            assert_eq!(replica_groups(n, k).iter().sum::<u32>(), n);
+        }
+    }
+
+    #[test]
+    fn degenerate_replica_geometry_is_a_typed_error() {
+        let tl = flat_timeline(10, 1.0, 0, 0.0);
+        let p = FaultProcess::new(1000.0, 4, 0.0);
+        for k in [0u32, 1, 5] {
+            let cfg = overlay_cfg(p, None)
+                .with_policy(RecoveryPolicy::Replicate { k, reroute_s: 0.0 });
+            let err = run_online(&tl, &cfg, 0, EngineKind::Sequential).unwrap_err();
+            assert_eq!(err, OnlineError::ReplicaGeometry { n_nodes: 4, k });
+        }
+    }
+
+    #[test]
+    fn mirror_absorb_skips_the_ledger_walk() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.3);
+        let lay = layout64();
+        // Generous redundancy + repair events: teams essentially never
+        // die, so every crash is absorbed without touching the ledger.
+        let cfg = overlay_cfg(p, Some(lay))
+            .with_policy(RecoveryPolicy::Replicate { k: 8, reroute_s: 2.0 })
+            .with_repair(10.0);
+        let run = run_online(&tl, &cfg, 5, EngineKind::Sequential).unwrap();
+        assert!(run.n_faults > 0, "test needs faults to be meaningful");
+        assert!(run.completed);
+        assert_eq!(run.reroutes, run.n_faults, "every crash was absorbed");
+        assert_eq!(run.lost_work, 0.0, "absorbs never roll back");
+        assert!(run
+            .events
+            .iter()
+            .all(|e| !matches!(e, FaultEvent::Crash { .. })));
+        // Each absorb stalls the segment by reroute_s; stalls also push
+        // the job into later fault exposure, so the bound is one-sided.
+        let free = overlay_cfg(p, Some(layout64()))
+            .with_policy(RecoveryPolicy::Replicate { k: 8, reroute_s: 0.0 })
+            .with_repair(10.0);
+        let base = run_online(&tl, &free, 5, EngineKind::Sequential).unwrap();
+        assert!(
+            run.makespan >= base.makespan + 2.0 * base.reroutes as f64 - 1e-9,
+            "reroute stalls must show up: {} vs {}",
+            run.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn free_reroute_replication_masks_all_crashes_exactly() {
+        // With zero reroute cost and a group that never fully dies, the
+        // replicated run's makespan is *exactly* the failure-free one —
+        // the replication analogue of the zero-cost overlay gate.
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.3);
+        let cfg = overlay_cfg(p, Some(layout64()))
+            .with_policy(RecoveryPolicy::Replicate { k: 16, reroute_s: 0.0 })
+            .with_repair(5.0);
+        let run = run_online(&tl, &cfg, 7, EngineKind::Sequential).unwrap();
+        assert!(run.n_faults > 0, "test needs faults to be meaningful");
+        let rel = (run.makespan - tl.failure_free_makespan()).abs()
+            / tl.failure_free_makespan();
+        assert!(rel < 1e-9, "free absorb must be invisible (rel {rel})");
+    }
+
+    #[test]
+    fn team_death_walks_the_ledger_and_redeploys() {
+        let tl = flat_timeline(400, 1.0, 10, 0.5);
+        // Dual redundancy over few nodes, hot MTBF, no repair: pairs die.
+        let p = FaultProcess::new(200.0, 4, 1.0);
+        let lay = GroupLayout::new(&FtiConfig::l1_only(2), 4);
+        let cfg = overlay_cfg(p, Some(lay))
+            .with_policy(RecoveryPolicy::Replicate { k: 2, reroute_s: 1.0 });
+        let run = run_online(&tl, &cfg, 3, EngineKind::Sequential).unwrap();
+        assert!(
+            run.events.iter().any(|e| matches!(e, FaultEvent::Crash { .. })),
+            "hot fault process must kill a whole pair eventually"
+        );
+        assert!(run.lost_work > 0.0, "team death rolls back");
+        assert!(
+            run.events.iter().any(|e| matches!(e, FaultEvent::ReplicaAbsorb { .. })),
+            "first group member lost is always absorbed"
+        );
+    }
+
+    #[test]
+    fn replicated_timelines_are_bit_identical_across_engines() {
+        let tl = flat_timeline(150, 1.0, 10, 0.5);
+        let p = FaultProcess::new(1600.0, 64, 0.3);
+        let cfg = overlay_cfg(p, Some(layout64()))
+            .with_policy(RecoveryPolicy::Replicate { k: 2, reroute_s: 3.0 })
+            .with_repair(12.0)
+            .with_sdc(
+                SdcConfig::new(SdcProcess::new(600.0, 64, 0.3))
+                    .with_abft(AbftGuard { correction_s: 2.0, multi_p: 0.3 })
+                    .with_verification(VerifyPolicy::free())
+                    .with_vote(ReplicaVote { check_s: 0.5 }),
+            );
+        let seq = run_online(&tl, &cfg, 21, EngineKind::Sequential).unwrap();
+        assert!(seq.n_faults > 0, "test needs faults to be meaningful");
+        for part in [Partitioning::RoundRobin(2), Partitioning::Blocks(2)] {
+            let par = run_online_partitioned(&tl, &cfg, 21, part.clone()).unwrap();
+            assert_eq!(seq, par, "partitioning {part:?} diverged");
+        }
+    }
+
+    #[test]
+    fn replica_vote_feeds_the_taxonomy() {
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        // No crashes: isolate the vote's SDC handling.
+        let p = FaultProcess::new(1e12, 64, 0.0);
+        // k = 3: every group keeps a majority, so every live strike is
+        // vote-corrected in phase.
+        let cfg = overlay_cfg(p, Some(layout64()))
+            .with_policy(RecoveryPolicy::Replicate { k: 3, reroute_s: 0.0 })
+            .with_sdc(SdcConfig::new(sdc_live(400.0)).with_vote(ReplicaVote::free()));
+        let run = run_online(&tl, &cfg, 5, EngineKind::Sequential).unwrap();
+        assert!(run.n_sdc > 0, "test needs strikes to be meaningful");
+        assert_eq!(run.undetected, 0, "the vote catches every divergence");
+        assert_eq!(run.vote_corrections, run.n_sdc);
+        assert!(matches!(run.class, RunClass::CorrectedByAbft { .. }));
+        // k = 2: divergence is detected but ambiguous — every strike
+        // rolls back instead, still nothing silently wrong.
+        let dual = overlay_cfg(p, Some(layout64()))
+            .with_policy(RecoveryPolicy::Replicate { k: 2, reroute_s: 0.0 })
+            .with_sdc(SdcConfig::new(sdc_live(400.0)).with_vote(ReplicaVote::free()));
+        let run2 = run_online(&tl, &dual, 5, EngineKind::Sequential).unwrap();
+        assert!(run2.n_sdc > 0);
+        assert_eq!(run2.undetected, 0);
+        assert!(matches!(run2.class, RunClass::RolledBack { .. }));
+        assert!(run2.lost_work > 0.0, "dual-redundant votes roll back");
+    }
+
+    #[test]
+    fn vote_is_inert_outside_replication() {
+        // The vote needs replicas; under RestartOnSpares the same config
+        // must reproduce the no-vote run bit for bit.
+        let tl = flat_timeline(200, 1.0, 10, 0.5);
+        let p = FaultProcess::new(3200.0, 64, 0.0);
+        let with_vote = overlay_cfg(p, Some(layout64()))
+            .with_sdc(SdcConfig::new(sdc_live(400.0)).with_vote(ReplicaVote::free()));
+        let without = overlay_cfg(p, Some(layout64()))
+            .with_sdc(SdcConfig::new(sdc_live(400.0)));
+        let a = run_online(&tl, &with_vote, 9, EngineKind::Sequential).unwrap();
+        let b = run_online(&tl, &without, 9, EngineKind::Sequential).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

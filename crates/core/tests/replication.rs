@@ -1,0 +1,124 @@
+//! Replication-based recovery — validation and equivalence gates.
+//!
+//! The acceptance contract for the `Replicate` policy, checked three
+//! ways (mirroring `online_injection.rs` for the checkpoint/restart
+//! families):
+//!
+//! 1. **analytic sanity**: the replicated expected makespan stays within
+//!    the Young–Daly-style k-redundant bound
+//!    ([`besst_analytic::ReplicationParams::replicated_expected_runtime`])
+//!    at matched parameters;
+//! 2. **taxonomy gate**: with a replica vote armed, every injected
+//!    divergence is caught — zero `SilentlyWrong` outcomes across the
+//!    ensemble;
+//! 3. **DST-style equivalence**: for the same seed, the replicated
+//!    fault/recovery timeline is bit-for-bit identical under the
+//!    sequential engine and every conservative parallel partitioning.
+
+use besst_core::faults::{FaultProcess, SdcProcess, Timeline};
+use besst_core::online::{
+    expected_makespan_online, online_stats, run_online, run_online_partitioned, OnlineConfig,
+    RecoveryPolicy, ReplicaVote, SdcConfig,
+};
+use besst_core::sim::EngineKind;
+use besst_des::prelude::Partitioning;
+use besst_fti::{CkptLevel, FtiConfig, GroupLayout};
+
+fn flat_timeline(steps: usize, step_s: f64, ckpt_every: usize, ckpt_s: f64) -> Timeline {
+    let checkpoints = (1..=steps)
+        .filter(|s| ckpt_every > 0 && s % ckpt_every == 0)
+        .map(|s| (s, CkptLevel::L1, ckpt_s))
+        .collect();
+    Timeline {
+        step_durations: vec![step_s; steps],
+        checkpoints,
+        restart_costs: vec![(CkptLevel::L1, 2.0 * ckpt_s)],
+    }
+}
+
+fn layout64() -> GroupLayout {
+    GroupLayout::new(&FtiConfig::l1_only(10), 64)
+}
+
+/// Every partitioning shape the two-component online system admits.
+fn partitionings() -> Vec<Partitioning> {
+    vec![
+        Partitioning::RoundRobin(1),
+        Partitioning::RoundRobin(2),
+        Partitioning::Blocks(2),
+        Partitioning::Explicit(vec![0, 1]),
+        Partitioning::Explicit(vec![1, 0]),
+    ]
+}
+
+#[test]
+fn replicated_makespan_within_the_analytic_bound() {
+    use besst_analytic::ReplicationParams;
+    let step = 1.0;
+    let period = 10usize;
+    let delta = 0.5;
+    let steps = 400usize;
+    let tl = flat_timeline(steps, step, period, delta);
+    let node_mtbf = 32000.0;
+    let nodes = 64u32;
+    let k = 2u32;
+    let groups = nodes / k;
+    let reroute_s = 0.05;
+    let p = FaultProcess::new(node_mtbf, nodes, 0.0);
+    let cfg = OnlineConfig::new(p, Some(layout64()))
+        .with_policy(RecoveryPolicy::Replicate { k, reroute_s });
+    let sim = expected_makespan_online(&tl, &cfg, 23, 40).unwrap();
+    let analytic = ReplicationParams::new(node_mtbf, delta, 2.0 * delta)
+        .replicated_expected_runtime(steps as f64 * step, period as f64 * step, groups, k, reroute_s);
+    let ratio = sim / analytic;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "replicated online {sim} vs k-redundant Young-Daly {analytic} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn replica_vote_catches_every_injected_divergence() {
+    let tl = flat_timeline(200, 1.0, 10, 0.5);
+    // Crashes effectively off: this gate isolates the SDC channel.
+    let p = FaultProcess::new(1e12, 64, 0.0);
+    let sdc = SdcConfig::new(SdcProcess::new(400.0, 64, 0.0)).with_vote(ReplicaVote::free());
+    let cfg = OnlineConfig::new(p, Some(layout64()))
+        .with_policy(RecoveryPolicy::Replicate { k: 3, reroute_s: 0.05 })
+        .with_sdc(sdc);
+    // Per-run: with triple redundancy and no crashes every group keeps a
+    // quorum, so each strike is majority-outvoted in phase.
+    let run = run_online(&tl, &cfg, 11, EngineKind::Sequential).unwrap();
+    assert!(run.n_sdc > 0, "the strike process never fired — gate is vacuous");
+    assert_eq!(run.vote_corrections, run.n_sdc, "a strike escaped the replica vote");
+    assert_eq!(run.undetected, 0, "a divergence slipped through undetected");
+    // Ensemble: the taxonomy must contain zero SilentlyWrong outcomes and
+    // the struck runs all land in the corrected class.
+    let stats = online_stats(&tl, &cfg, 11, 30).unwrap();
+    assert_eq!(stats.silently_wrong, 0, "vote left a silently-wrong replica");
+    assert_eq!(stats.undetected_rate, 0.0);
+    assert!(stats.corrected_by_abft > 0, "no run was ever vote-corrected");
+}
+
+#[test]
+fn replicated_timelines_stay_engine_equivalent() {
+    let tl = flat_timeline(150, 1.0, 10, 0.5);
+    let p = FaultProcess::new(3200.0, 64, 0.3);
+    let sdc = SdcConfig::new(SdcProcess::new(800.0, 64, 0.0))
+        .with_vote(ReplicaVote { check_s: 0.25 });
+    let cfg = OnlineConfig::new(p, Some(layout64()))
+        .with_policy(RecoveryPolicy::Replicate { k: 2, reroute_s: 0.5 })
+        .with_repair(12.0)
+        .with_sdc(sdc);
+    for seed in [0u64, 7, 0xBE57] {
+        let seq = run_online(&tl, &cfg, seed, EngineKind::Sequential).unwrap();
+        assert!(seq.n_faults > 0 || seq.completed, "degenerate run for seed {seed}");
+        for part in partitionings() {
+            let par = run_online_partitioned(&tl, &cfg, seed, part.clone()).unwrap();
+            assert_eq!(
+                seq, par,
+                "seed {seed}: sequential vs {part:?} replicated timeline diverged"
+            );
+        }
+    }
+}

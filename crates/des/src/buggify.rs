@@ -283,6 +283,30 @@ impl FaultConfig {
         }
     }
 
+    /// Replicated-execution weather (TeaMPI / FTHP-MPI style): redundant
+    /// ranks mean mirrored sends and reroutes, so every link carries
+    /// duplication balanced by an equal drop rate (the mirror's copy
+    /// supersedes the primary's — populations stay subcritical), while
+    /// crash/repair windows model replicas dying and mirrors absorbing
+    /// their role. This is the substrate-level weather under which the
+    /// online `Replicate` recovery policy (`besst_core::online`) is
+    /// exercised; the DST seed block pins both engines to identical
+    /// trajectories under it.
+    pub fn replication() -> Self {
+        FaultConfig {
+            link_jitter_p: 0.05,
+            link_jitter_max: SimTime::from_nanos(500),
+            link_drop_p: 0.04,
+            link_dup_p: 0.04,
+            crash_p: 0.15,
+            crash_onset_max: SimTime::from_micros(20),
+            crash_repair_after: SimTime::from_micros(15),
+            window_skew_p: 0.25,
+            all_links_lossy: true,
+            ..FaultConfig::off()
+        }
+    }
+
     /// Latency jitter only — the schedule that is safe for *any* model,
     /// including protocols (like the BE-SST star coordinator) that assume
     /// reliable delivery. This is the schedule to wire into Monte-Carlo
@@ -327,17 +351,21 @@ pub enum FaultPreset {
     Crash,
     /// [`FaultConfig::sdc`] — silent-data-corruption weather.
     Sdc,
+    /// [`FaultConfig::replication`] — replicated-execution weather
+    /// (mirrored sends + crash/repair windows).
+    Replication,
 }
 
 impl FaultPreset {
     /// Every preset, mildest first.
-    pub const ALL: [FaultPreset; 6] = [
+    pub const ALL: [FaultPreset; 7] = [
         FaultPreset::Off,
         FaultPreset::Calm,
         FaultPreset::Moderate,
         FaultPreset::Chaos,
         FaultPreset::Crash,
         FaultPreset::Sdc,
+        FaultPreset::Replication,
     ];
 
     /// The preset's fault schedule.
@@ -349,6 +377,7 @@ impl FaultPreset {
             FaultPreset::Chaos => FaultConfig::chaos(),
             FaultPreset::Crash => FaultConfig::crash(),
             FaultPreset::Sdc => FaultConfig::sdc(),
+            FaultPreset::Replication => FaultConfig::replication(),
         }
     }
 
@@ -361,6 +390,7 @@ impl FaultPreset {
             FaultPreset::Chaos => "chaos",
             FaultPreset::Crash => "crash",
             FaultPreset::Sdc => "sdc",
+            FaultPreset::Replication => "replication",
         }
     }
 }
@@ -826,6 +856,19 @@ mod tests {
         assert_eq!(s.probability(sites::NODE_CRASH), 0.0);
         assert_eq!(FaultPreset::Sdc.config(), s);
         assert_eq!(FaultPreset::Sdc.name(), "sdc");
+        // Replication weather mirrors sends (dups) balanced by an equal
+        // drop rate so duplicated populations stay subcritical, and its
+        // crash windows always close — a replica death is absorbed, not
+        // permanent.
+        let r = FaultConfig::replication();
+        assert_eq!(r.probability(sites::LINK_DUP), r.probability(sites::LINK_DROP));
+        assert!(r.probability(sites::LINK_DUP) > 0.0);
+        assert_eq!(r.probability(sites::NODE_CRASH), 0.15);
+        assert!(r.crash_repair_after > SimTime::ZERO, "replica deaths must be absorbed");
+        assert!(r.all_links_lossy);
+        assert_eq!(FaultPreset::Replication.config(), r);
+        assert_eq!(FaultPreset::Replication.name(), "replication");
+        assert_eq!(FaultPreset::ALL.len(), 7);
     }
 
     #[test]

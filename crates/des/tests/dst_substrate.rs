@@ -117,6 +117,26 @@ fn dst_block_sdc() {
     }
 }
 
+#[test]
+#[cfg_attr(miri, ignore = "full seed blocks exceed Miri's budget; the unit-test subset covers Miri")]
+fn dst_block_replication() {
+    let reports = run_seed_block(SEED_BASE, seed_count(), FaultPreset::Replication);
+    assert_eq!(reports.len() as u64, seed_count());
+    // Replicated-execution weather must actually mirror sends and kill
+    // replicas across the block — and every crash window closes, so no
+    // workload is permanently wedged (run_seed_block already asserted
+    // Drained per seed). No snapshot is pinned for this preset: the
+    // snapshot set is frozen by `snapshot_set_is_exactly_the_blessed_presets`
+    // and the block's invariants are self-contained.
+    if full_block() {
+        let total = |f: fn(&besst_des::buggify::FaultStats) -> u64| -> u64 {
+            reports.iter().map(|r| f(&r.faults)).sum()
+        };
+        assert!(total(|f| f.dups) > 0, "replication block never mirrored a send");
+        assert!(total(|f| f.crash_drops) > 0, "replication block never killed a replica");
+    }
+}
+
 /// Golden-file regression: one hand-picked seed per preset. The snapshot
 /// records the full `snapshot_line()` (delivered count, final time, and a
 /// trajectory digest); any drift fails with both lines plus the repro.

@@ -17,7 +17,7 @@ use besst_apps::lulesh::{self, LuleshConfig};
 use besst_core::faults::{expected_makespan, FaultProcess, SdcProcess, Timeline};
 use besst_core::online::{
     expected_makespan_online, machine_verify_costs, online_stats, AbftGuard, OnlineConfig,
-    OnlineError, OnlineStats, SdcConfig, VerifyPolicy,
+    OnlineError, OnlineStats, RecoveryPolicy, SdcConfig, VerifyPolicy,
 };
 use besst_core::sim::{simulate, SimConfig};
 use besst_fti::{CkptLevel, CkptShape, GroupLayout};
@@ -37,6 +37,19 @@ pub struct CaseResult {
     /// the fault-free quadrants. Agreement with [`Self::makespan`] is the
     /// overlay-vs-online cross-validation on one page.
     pub makespan_online: Option<f64>,
+    /// Expected makespan under [`RecoveryPolicy::ShrinkCommunicator`] —
+    /// the dead node's work is redistributed over the survivors instead of
+    /// a spare being recruited. `None` for the fault-free quadrants.
+    pub makespan_shrink: Option<f64>,
+    /// Expected makespan under dual-rank replication
+    /// ([`RecoveryPolicy::Replicate`], k = 2, TeaMPI / FTHP-MPI style) —
+    /// a mirror absorbs each dead rank at message-reroute cost, so only a
+    /// whole-team death walks the recovery ledger. `None` for the
+    /// fault-free quadrants. Note the column prices *fault masking*, not
+    /// capacity: replication halves the machine's usable ranks, a resource
+    /// cost the analytic crossover
+    /// ([`besst_analytic::replication_crossover`]) accounts for.
+    pub makespan_replicated: Option<f64>,
     /// Outcome-class ensemble with silent data corruption armed on top of
     /// the crash process — `None` for the fault-free quadrants. No-FT rows
     /// run unshielded (SDC lands as [`besst_core::online::RunClass::SilentlyWrong`]);
@@ -105,6 +118,37 @@ fn sdc_config(
         })
 }
 
+/// Recovery-family columns for a faulted quadrant: the same timeline and
+/// fault process re-run under communicator shrink and dual replication so
+/// all the recovery families compare on one page. The replication reroute
+/// stall is priced at a tenth of the mean step duration — rerouting
+/// messages to a mirror is orders of magnitude cheaper than any restart.
+fn policy_columns(
+    tl: &Timeline,
+    process: FaultProcess,
+    layout: Option<GroupLayout>,
+    seed: u64,
+    replicas: u32,
+) -> Result<(f64, f64), OnlineError> {
+    let mean_step =
+        tl.step_durations.iter().sum::<f64>() / tl.step_durations.len().max(1) as f64;
+    let shrink = expected_makespan_online(
+        tl,
+        &OnlineConfig::new(process, layout.clone())
+            .with_policy(RecoveryPolicy::ShrinkCommunicator),
+        seed,
+        replicas,
+    )?;
+    let replicated = expected_makespan_online(
+        tl,
+        &OnlineConfig::new(process, layout)
+            .with_policy(RecoveryPolicy::Replicate { k: 2, reroute_s: 0.1 * mean_step }),
+        seed,
+        replicas,
+    )?;
+    Ok((shrink, replicated))
+}
+
 /// Build the fault-free timeline of a scenario from a BE-SST simulation.
 fn timeline(cs: &CaseStudy, epr: u32, ranks: u32, scenario: Scenario, seed: u64) -> Timeline {
     let app = cs.appbeo(epr, ranks, scenario);
@@ -139,6 +183,8 @@ pub fn four_cases(
         scenario: Scenario::NoFt,
         makespan: tl_noft.failure_free_makespan(),
         makespan_online: None,
+        makespan_shrink: None,
+        makespan_replicated: None,
         sdc: None,
     });
 
@@ -150,6 +196,8 @@ pub fn four_cases(
         scenario: Scenario::L1,
         makespan: tl_l1.failure_free_makespan(),
         makespan_online: None,
+        makespan_shrink: None,
+        makespan_replicated: None,
         sdc: None,
     });
     out.push(CaseResult {
@@ -157,12 +205,16 @@ pub fn four_cases(
         scenario: Scenario::L1L2,
         makespan: tl_l12.failure_free_makespan(),
         makespan_online: None,
+        makespan_shrink: None,
+        makespan_replicated: None,
         sdc: None,
     });
 
     // Case 2: faults, no FT — every failure restarts the run. Overlay and
     // online injectors run side by side from the same seed; the SDC
-    // ensemble re-runs the same replicas with the corruption stream armed.
+    // ensemble re-runs the same replicas with the corruption stream armed,
+    // and the policy columns re-run them under shrink and replication.
+    let (shrink2, rep2) = policy_columns(&tl_noft, process, None, seed ^ 3, replicas)?;
     out.push(CaseResult {
         case: "Case 2 (faults, no FT)".into(),
         scenario: Scenario::NoFt,
@@ -173,6 +225,8 @@ pub fn four_cases(
             seed ^ 3,
             replicas,
         )?),
+        makespan_shrink: Some(shrink2),
+        makespan_replicated: Some(rep2),
         sdc: Some(online_stats(
             &tl_noft,
             &OnlineConfig::new(process, None)
@@ -185,6 +239,8 @@ pub fn four_cases(
     // Case 4: faults with checkpointing.
     let lay_l1 = GroupLayout::new(&Scenario::L1.fti(), ranks);
     let lay_l12 = GroupLayout::new(&Scenario::L1L2.fti(), ranks);
+    let (shrink4a, rep4a) =
+        policy_columns(&tl_l1, process, Some(lay_l1.clone()), seed ^ 4, replicas)?;
     out.push(CaseResult {
         case: "Case 4 (faults, L1)".into(),
         scenario: Scenario::L1,
@@ -195,6 +251,8 @@ pub fn four_cases(
             seed ^ 4,
             replicas,
         )?),
+        makespan_shrink: Some(shrink4a),
+        makespan_replicated: Some(rep4a),
         sdc: Some(online_stats(
             &tl_l1,
             &OnlineConfig::new(process, Some(lay_l1))
@@ -203,6 +261,8 @@ pub fn four_cases(
             replicas,
         )?),
     });
+    let (shrink4b, rep4b) =
+        policy_columns(&tl_l12, process, Some(lay_l12.clone()), seed ^ 5, replicas)?;
     out.push(CaseResult {
         case: "Case 4 (faults, L1 & L2)".into(),
         scenario: Scenario::L1L2,
@@ -213,6 +273,8 @@ pub fn four_cases(
             seed ^ 5,
             replicas,
         )?),
+        makespan_shrink: Some(shrink4b),
+        makespan_replicated: Some(rep4b),
         sdc: Some(online_stats(
             &tl_l12,
             &OnlineConfig::new(process, Some(lay_l12))
@@ -245,6 +307,8 @@ pub fn run_cases24(cs: &CaseStudy) -> String {
         "Quadrant",
         "Overlay E[makespan] (s)",
         "Online E[makespan] (s)",
+        "Shrink E[makespan] (s)",
+        "Replicate ×2 E[makespan] (s)",
         "vs Case 1",
         "SDC E[makespan] (s)",
         "SDC C/A/R/W",
@@ -267,6 +331,8 @@ pub fn run_cases24(cs: &CaseStudy) -> String {
             r.case.clone(),
             fmt_secs(r.makespan),
             r.makespan_online.map_or_else(|| "—".into(), fmt_secs),
+            r.makespan_shrink.map_or_else(|| "—".into(), fmt_secs),
+            r.makespan_replicated.map_or_else(|| "—".into(), fmt_secs),
             format!("{:.0}%", 100.0 * r.makespan / base),
             sdc_mk,
             sdc_classes,
@@ -277,6 +343,9 @@ pub fn run_cases24(cs: &CaseStudy) -> String {
     format!(
         "Fig. 4 quadrants — fault injection extension (epr {epr}, {ranks} ranks,\n\
          checkpoint period {CKPT_PERIOD}, synthetic node MTBF {node_mtbf:.0} s → ≈4 faults/run)\n\
+         Shrink / Replicate ×2 re-run the faulted quadrants under communicator shrink and\n\
+         dual-rank replication (TeaMPI / FTHP-MPI), so all recovery families share one page;\n\
+         the replication column prices fault masking, not the halved rank capacity.\n\
          SDC columns re-run the faulted quadrants with silent data corruption armed:\n\
          C/A/R/W = Correct / CorrectedByAbft / RolledBack / SilentlyWrong replica counts;\n\
          FT rows arm ABFT + checkpoint verification, so their undetected rate must be 0.\n\n{}\n(written to {})\n",
@@ -329,6 +398,36 @@ mod tests {
                 );
             }
         }
+        // Recovery-family columns: faulted rows carry shrink and
+        // replication makespans, fault-free rows don't.
+        for r in &results {
+            let faulted = r.case.starts_with("Case 2") || r.case.starts_with("Case 4");
+            assert_eq!(r.makespan_shrink.is_some(), faulted, "shrink column for {}", r.case);
+            assert_eq!(
+                r.makespan_replicated.is_some(),
+                faulted,
+                "replication column for {}",
+                r.case
+            );
+            if let (Some(sh), Some(rep)) = (r.makespan_shrink, r.makespan_replicated) {
+                // At this design point only 2 nodes back the 64 ranks, so
+                // a second crash legitimately strands the shrink policy —
+                // INFINITY (no replica completed) is an honest answer.
+                assert!(sh > 0.0, "{}: shrink {sh}", r.case);
+                // Replication always completes: a team death redeploys.
+                assert!(rep.is_finite() && rep > 0.0, "{}: replicate {rep}", r.case);
+            }
+        }
+        // Replication's selling point: against restart-from-scratch
+        // (Case 2), absorbing each crash at reroute cost must beat paying
+        // the full-rerun price.
+        let c2_row = results.iter().find(|r| r.case.starts_with("Case 2")).unwrap();
+        assert!(
+            c2_row.makespan_replicated.unwrap() < c2_row.makespan,
+            "replication must beat restart-from-scratch: {} vs {}",
+            c2_row.makespan_replicated.unwrap(),
+            c2_row.makespan
+        );
         // SDC ensemble: every faulted row carries the outcome-class
         // breakdown; fault-free rows don't.
         for r in &results {

@@ -42,6 +42,11 @@ sdc:
 lint:
     cargo run -p xtask -- lint
 
+# Markdown link checker: every relative link and docs/*.md cross-reference
+# in README.md, DESIGN.md and docs/ must resolve. See docs/README.md.
+doc-links:
+    cargo run -p xtask -- doc-links
+
 # Miri (nightly): undefined-behavior interpreter over the besst-des unit
 # tests. Heavy DST roundtrips are `#[cfg_attr(miri, ignore)]`-gated.
 miri:

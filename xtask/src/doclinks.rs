@@ -1,0 +1,328 @@
+//! Documentation link checker.
+//!
+//! A dependency-free pass over the repo's markdown — `README.md`,
+//! `DESIGN.md`, and everything under `docs/` — verifying that
+//!
+//! 1. every **inline link** `[text](target)` with a relative target
+//!    resolves to a real file or directory (external `http(s)`/`mailto`
+//!    targets and pure `#anchor` links are skipped; `#fragment` suffixes
+//!    are stripped before resolution), and
+//! 2. every **textual cross-reference** of the form `docs/NAME.md` —
+//!    the idiom the guides, rustdoc comments and the `justfile` use to
+//!    point at each other — names a file that actually exists at the
+//!    workspace root.
+//!
+//! Fenced code blocks and inline code spans are excluded from inline-link
+//! parsing (markdown *examples* are not links), but `docs/*.md` mentions
+//! are checked everywhere: in this repo a guide named in a code block is
+//! still a promise that the guide exists.
+//!
+//! Run as `cargo run -p xtask -- doc-links` (the `just doc-links`
+//! recipe); CI fails the build on any broken reference.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One broken documentation reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFinding {
+    /// File containing the reference, workspace-relative.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The link target or cross-reference as written.
+    pub target: String,
+    /// Why it failed to resolve.
+    pub why: String,
+}
+
+impl fmt::Display for LinkFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[doc-links]: `{}` {}\n  --> {}:{}",
+            self.target,
+            self.why,
+            self.file.display(),
+            self.line
+        )
+    }
+}
+
+/// Result of a [`check_docs`] pass: coverage counters plus findings, so
+/// a clean run can prove it actually scanned something.
+#[derive(Debug, Clone, Default)]
+pub struct DocLinkReport {
+    /// Markdown files scanned.
+    pub files: usize,
+    /// Inline links + cross-references checked (resolvable or not).
+    pub checked: usize,
+    /// Broken references, in deterministic (file, line) order.
+    pub findings: Vec<LinkFinding>,
+}
+
+/// The markdown set the checker covers: `README.md` and `DESIGN.md` at
+/// the root plus every `*.md` under `docs/`, sorted for deterministic
+/// reports. Missing roots are skipped (a repo without `DESIGN.md` is not
+/// a doc-link error).
+pub fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for name in ["README.md", "DESIGN.md"] {
+        if root.join(name).is_file() {
+            out.push(PathBuf::from(name));
+        }
+    }
+    if let Ok(rd) = fs::read_dir(root.join("docs")) {
+        let mut docs: Vec<PathBuf> = rd
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "md"))
+            .filter_map(|p| p.strip_prefix(root).ok().map(Path::to_path_buf))
+            .collect();
+        docs.sort();
+        out.extend(docs);
+    }
+    out
+}
+
+/// Replace inline code spans (`` `…` ``) with spaces so link syntax
+/// inside them is not parsed. Unterminated spans blank to end of line,
+/// matching how renderers treat a dangling backtick conservatively.
+fn blank_code_spans(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_span = false;
+    for c in line.chars() {
+        if c == '`' {
+            in_span = !in_span;
+            out.push(' ');
+        } else if in_span {
+            out.push(' ');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Extract inline-link targets `[text](target)` from markdown, returning
+/// `(1-based line, target)` pairs. Fenced code blocks and inline code
+/// spans are skipped; `<…>`-wrapped targets are unwrapped; titles
+/// (`[t](file "title")`) are dropped.
+pub fn extract_links(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let line = blank_code_spans(raw);
+        let mut from = 0;
+        while let Some(rel) = line[from..].find("](") {
+            let open = from + rel + 2;
+            // A link needs a `[` somewhere before the `](`.
+            if !line[..from + rel].contains('[') {
+                from = open;
+                continue;
+            }
+            let Some(close) = line[open..].find(')') else { break };
+            let mut target = line[open..open + close].trim();
+            // `[t](file "title")` — drop the title.
+            if let Some(sp) = target.find(|c: char| c.is_whitespace()) {
+                target = target[..sp].trim();
+            }
+            let target = target.trim_start_matches('<').trim_end_matches('>');
+            if !target.is_empty() {
+                out.push((i + 1, target.to_string()));
+            }
+            from = open + close + 1;
+        }
+    }
+    out
+}
+
+/// Extract textual `docs/NAME.md` cross-references, returning
+/// `(1-based line, "docs/NAME.md")` pairs. Checked in code blocks and
+/// code spans too — a guide named anywhere must exist. Trailing sentence
+/// punctuation is trimmed.
+pub fn extract_doc_refs(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let mut from = 0;
+        while let Some(rel) = line[from..].find("docs/") {
+            let start = from + rel;
+            let rest = &line[start + 5..];
+            let len = rest
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.'))
+                .unwrap_or(rest.len());
+            let name = rest[..len].trim_end_matches('.');
+            if name.ends_with(".md") {
+                out.push((i + 1, format!("docs/{name}")));
+            }
+            from = start + 5 + len;
+        }
+    }
+    out
+}
+
+/// Should this inline-link target be resolved against the filesystem?
+fn is_local(target: &str) -> bool {
+    !(target.starts_with('#')
+        || target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:"))
+}
+
+/// Check one markdown file's text. `rel` is the file's workspace-relative
+/// path (used both for diagnostics and to resolve relative targets).
+/// Returns `(checked references, findings)`.
+pub fn check_text(root: &Path, rel: &Path, text: &str) -> (usize, Vec<LinkFinding>) {
+    let dir = rel.parent().unwrap_or(Path::new(""));
+    let mut checked = 0;
+    let mut findings = Vec::new();
+    for (line, target) in extract_links(text) {
+        if !is_local(&target) {
+            continue;
+        }
+        checked += 1;
+        let path = target.split('#').next().unwrap_or(&target);
+        if path.is_empty() {
+            continue; // `file#` degenerates to a self-anchor
+        }
+        if path.starts_with('/') {
+            findings.push(LinkFinding {
+                file: rel.to_path_buf(),
+                line,
+                target,
+                why: "is an absolute path — links must be repo-relative".to_string(),
+            });
+            continue;
+        }
+        if !root.join(dir).join(path).exists() {
+            findings.push(LinkFinding {
+                file: rel.to_path_buf(),
+                line,
+                target,
+                why: format!("does not resolve (relative to `{}`)", dir.display()),
+            });
+        }
+    }
+    for (line, target) in extract_doc_refs(text) {
+        checked += 1;
+        if !root.join(&target).is_file() {
+            findings.push(LinkFinding {
+                file: rel.to_path_buf(),
+                line,
+                target,
+                why: "names a guide that does not exist under docs/".to_string(),
+            });
+        }
+    }
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.target.cmp(&b.target)));
+    (checked, findings)
+}
+
+/// Run the full doc-link pass over the workspace rooted at `root`.
+/// Unreadable files are reported as findings rather than skipped, so a
+/// permissions problem can't masquerade as a clean pass.
+pub fn check_docs(root: &Path) -> DocLinkReport {
+    let mut report = DocLinkReport::default();
+    for rel in doc_files(root) {
+        report.files += 1;
+        let text = match fs::read_to_string(root.join(&rel)) {
+            Ok(t) => t,
+            Err(e) => {
+                report.findings.push(LinkFinding {
+                    file: rel,
+                    line: 1,
+                    target: String::new(),
+                    why: format!("unreadable markdown file: {e}"),
+                });
+                continue;
+            }
+        };
+        let (checked, findings) = check_text(root, &rel, &text);
+        report.checked += checked;
+        report.findings.extend(findings);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_links_are_extracted_with_lines() {
+        let md = "intro\n[a](one.md) and [b](two/three.md#frag)\n";
+        let links = extract_links(md);
+        assert_eq!(
+            links,
+            vec![(2, "one.md".to_string()), (2, "two/three.md#frag".to_string())]
+        );
+    }
+
+    #[test]
+    fn external_and_anchor_targets_are_skipped_at_check_time() {
+        let md = "[w](https://example.com) [m](mailto:x@y.z) [a](#section)\n";
+        let (checked, findings) = check_text(Path::new("/nonexistent"), Path::new("X.md"), md);
+        assert_eq!(checked, 0, "external/anchor links are not filesystem checks");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn code_blocks_and_spans_do_not_produce_links() {
+        let md = "```\n[not](a-link.md)\n```\ntext `arr[i](j)` more\n";
+        assert!(extract_links(md).is_empty());
+    }
+
+    #[test]
+    fn fragments_are_stripped_before_resolution() {
+        // `Cargo.toml#anything` resolves because Cargo.toml exists.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let md = "[m](Cargo.toml#section)\n";
+        let (checked, findings) = check_text(root, Path::new("X.md"), md);
+        assert_eq!(checked, 1);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn broken_links_and_absolute_paths_are_findings() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let md = "[gone](no/such/file.md)\n[abs](/etc/passwd)\n";
+        let (checked, findings) = check_text(root, Path::new("X.md"), md);
+        assert_eq!(checked, 2);
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].why.contains("does not resolve"));
+        assert!(findings[1].why.contains("absolute path"));
+    }
+
+    #[test]
+    fn doc_refs_are_found_everywhere_and_punctuation_is_trimmed() {
+        let md = "See docs/GUIDE.md.\n```rust\n// see docs/OTHER.md\n```\n`docs/SPAN.md`\n";
+        let refs = extract_doc_refs(md);
+        assert_eq!(
+            refs,
+            vec![
+                (1, "docs/GUIDE.md".to_string()),
+                (3, "docs/OTHER.md".to_string()),
+                (5, "docs/SPAN.md".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn relative_targets_resolve_from_the_containing_file() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        // From a fictional docs/ file, `../Cargo.toml` is this crate's
+        // manifest; plain `Cargo.toml` is not (docs/Cargo.toml).
+        let (_, ok) = check_text(root, Path::new("docs/X.md"), "[up](../Cargo.toml)\n");
+        assert!(ok.is_empty(), "{ok:?}");
+        let (_, bad) = check_text(root, Path::new("docs/X.md"), "[here](Cargo.toml)\n");
+        assert_eq!(bad.len(), 1);
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod doclinks;
 pub mod lexer;
 pub mod rules;
 pub mod workspace;

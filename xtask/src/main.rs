@@ -5,6 +5,10 @@
 //! `cargo run --release -p xtask -- bench-json` — run the pinned-seed
 //! benchmark suite and emit the `results/BENCH_*.json` report (see
 //! docs/PERFORMANCE.md).
+//!
+//! `cargo run -p xtask -- doc-links` — verify every relative link and
+//! `docs/*.md` cross-reference in the repo's markdown resolves (see
+//! docs/README.md for the guide index this protects).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
@@ -44,6 +48,8 @@ fn usage() -> ExitCode {
         "usage: cargo run -p xtask -- <command>\n\
          commands:\n\
          \u{20} lint [--root <dir>]          determinism/soundness lint (D1–D5); exits 1 on findings\n\
+         \u{20} doc-links [--root <dir>]     markdown link checker over README/DESIGN/docs; exits 1\n\
+         \u{20}                              on broken links or dangling docs/*.md cross-references\n\
          \u{20} bench-json [--out <file>] [--miniature]\n\
          \u{20}                              pinned-seed benchmark suite; writes the JSON report\n\
          \u{20}                              to --out (default stdout); --miniature runs the\n\
@@ -87,6 +93,42 @@ fn main() -> ExitCode {
                      and the `// lint: allow(<key>) -- <reason>` justification syntax",
                     findings.len(),
                     if findings.len() == 1 { "" } else { "s" }
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Some("doc-links") => {
+            let root = match args.iter().position(|a| a == "--root") {
+                Some(i) => match args.get(i + 1) {
+                    Some(p) => PathBuf::from(p),
+                    None => return usage(),
+                },
+                None => {
+                    let start = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+                    match xtask::workspace::find_root(&start) {
+                        Some(r) => r,
+                        None => {
+                            eprintln!("error: no workspace root found above {}", start.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
+            let report = xtask::doclinks::check_docs(&root);
+            for f in &report.findings {
+                println!("{f}\n");
+            }
+            if report.findings.is_empty() {
+                eprintln!(
+                    "doc-links: clean ({} references across {} markdown files)",
+                    report.checked, report.files
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "doc-links: {} broken reference{} — fix the link or the file it promises",
+                    report.findings.len(),
+                    if report.findings.len() == 1 { "" } else { "s" }
                 );
                 ExitCode::FAILURE
             }

@@ -1,0 +1,29 @@
+//! The doc-link pass over this repository must be clean — the same gate
+//! CI runs via `cargo run -p xtask -- doc-links` (`just doc-links`),
+//! driven through the library so `cargo test -p xtask` catches a broken
+//! link without a separate binary invocation.
+
+use std::path::Path;
+use xtask::doclinks::check_docs;
+use xtask::workspace::find_root;
+
+#[test]
+fn repo_markdown_has_no_broken_references() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let report = check_docs(&root);
+    assert!(
+        report.findings.is_empty(),
+        "broken documentation references:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Coverage sanity: the pass must actually have scanned the guide set
+    // (README, DESIGN, and the docs/ tree) and checked real references —
+    // an empty walk would be a vacuously green gate.
+    assert!(report.files >= 7, "only {} markdown files scanned", report.files);
+    assert!(report.checked >= 20, "only {} references checked", report.checked);
+}
