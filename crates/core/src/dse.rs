@@ -45,22 +45,33 @@ impl Sweep {
     /// Overhead of every cell relative to a baseline cell, in percent
     /// (Fig. 9: "amount of overhead for different points in the design
     /// space", 100% = baseline runtime).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingBaseline`] if `(base_size, base_ranks,
+    /// base_scenario)` names a cell this sweep never ran — typed rather
+    /// than a panic so callers composing sweeps programmatically (e.g.
+    /// the scenario server) can answer with a structured error.
     pub fn overhead_matrix(
         &self,
         base_size: u32,
         base_ranks: u32,
         base_scenario: &str,
-    ) -> Vec<(SweepCell, f64)> {
+    ) -> Result<Vec<(SweepCell, f64)>, SimError> {
         let base = self
             .get(base_size, base_ranks, base_scenario)
-            // lint: allow(panic-path) -- caller names a cell of the sweep it just ran; a missing baseline is a harness bug, not a recoverable condition
-            .unwrap_or_else(|| panic!("baseline cell ({base_size}, {base_ranks}, {base_scenario}) missing"))
+            .ok_or_else(|| SimError::MissingBaseline {
+                problem_size: base_size,
+                ranks: base_ranks,
+                scenario: base_scenario.to_string(),
+            })?
             .total_seconds;
         assert!(base > 0.0, "baseline runtime must be positive");
-        self.cells
+        Ok(self
+            .cells
             .iter()
             .map(|c| (c.clone(), 100.0 * c.total_seconds / base))
-            .collect()
+            .collect())
     }
 }
 
@@ -211,7 +222,7 @@ mod tests {
     fn overhead_matrix_normalizes_to_baseline() {
         let s = sweep(&[10, 20], &[8], &["No FT", "L1", "L1 & L2"], &test_cfg(), builder)
             .expect("covered");
-        let m = s.overhead_matrix(10, 8, "No FT");
+        let m = s.overhead_matrix(10, 8, "No FT").expect("baseline cell ran");
         let base = m
             .iter()
             .find(|(c, _)| c.problem_size == 10 && c.scenario == "No FT")
@@ -238,10 +249,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "baseline cell")]
-    fn missing_baseline_panics() {
+    fn missing_baseline_is_a_typed_error() {
         let s = sweep(&[10], &[8], &["No FT"], &test_cfg(), builder).expect("covered");
-        s.overhead_matrix(99, 8, "No FT");
+        match s.overhead_matrix(99, 8, "No FT") {
+            Err(SimError::MissingBaseline { problem_size: 99, ranks: 8, scenario }) => {
+                assert_eq!(scenario, "No FT");
+            }
+            other => panic!("expected MissingBaseline, got {other:?}"),
+        }
     }
 
     #[test]

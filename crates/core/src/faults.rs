@@ -171,7 +171,7 @@ impl SdcProcess {
 }
 
 /// The failure-free timeline the injector replays.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Timeline {
     /// Duration of each application timestep, seconds.
     pub step_durations: Vec<f64>,

@@ -44,6 +44,16 @@ pub enum SimError {
     /// The online fault-injected replay failed (see
     /// [`crate::online::OnlineError`]).
     Online(crate::online::OnlineError),
+    /// An overhead matrix was requested against a baseline cell the
+    /// sweep never ran (see [`crate::dse::Sweep::overhead_matrix`]).
+    MissingBaseline {
+        /// Problem size of the requested baseline cell.
+        problem_size: u32,
+        /// Rank count of the requested baseline cell.
+        ranks: u32,
+        /// Scenario label of the requested baseline cell.
+        scenario: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +66,9 @@ impl fmt::Display for SimError {
                 write!(f, "star coordinator supports at most {max} ranks, got {ranks}")
             }
             SimError::Online(e) => write!(f, "online replay failed: {e}"),
+            SimError::MissingBaseline { problem_size, ranks, scenario } => {
+                write!(f, "baseline cell ({problem_size}, {ranks}, {scenario}) missing from sweep")
+            }
         }
     }
 }

@@ -307,6 +307,31 @@ impl FaultConfig {
         }
     }
 
+    /// Scenario-server chaos weather (`besst-serve`): the serving layer
+    /// turns the injector on itself. Sites are reinterpreted against
+    /// server identities — [`sites::LINK_DROP`]/[`sites::LINK_DUP`] key
+    /// connection-level response drops and duplicate submissions,
+    /// [`sites::LINK_JITTER`] keys worker delays, [`sites::NODE_CRASH`]
+    /// keys injected worker panics (windows always close: a crashed
+    /// attempt is retried, not permanent), and
+    /// [`sites::PAYLOAD_CORRUPT`] keys cache-entry bit flips. Drops
+    /// outpace dups so resubmission populations stay subcritical.
+    pub fn serve() -> Self {
+        FaultConfig {
+            link_jitter_p: 0.10,
+            link_jitter_max: SimTime::from_micros(2),
+            link_drop_p: 0.05,
+            link_dup_p: 0.03,
+            crash_p: 0.15,
+            crash_onset_max: SimTime::from_micros(20),
+            crash_repair_after: SimTime::from_micros(10),
+            sdc_p: 0.02,
+            window_skew_p: 0.25,
+            all_links_lossy: true,
+            ..FaultConfig::off()
+        }
+    }
+
     /// Latency jitter only — the schedule that is safe for *any* model,
     /// including protocols (like the BE-SST star coordinator) that assume
     /// reliable delivery. This is the schedule to wire into Monte-Carlo
@@ -354,11 +379,14 @@ pub enum FaultPreset {
     /// [`FaultConfig::replication`] — replicated-execution weather
     /// (mirrored sends + crash/repair windows).
     Replication,
+    /// [`FaultConfig::serve`] — scenario-server chaos weather (worker
+    /// crashes/delays, connection drops/dups, cache corruption).
+    Serve,
 }
 
 impl FaultPreset {
     /// Every preset, mildest first.
-    pub const ALL: [FaultPreset; 7] = [
+    pub const ALL: [FaultPreset; 8] = [
         FaultPreset::Off,
         FaultPreset::Calm,
         FaultPreset::Moderate,
@@ -366,6 +394,7 @@ impl FaultPreset {
         FaultPreset::Crash,
         FaultPreset::Sdc,
         FaultPreset::Replication,
+        FaultPreset::Serve,
     ];
 
     /// The preset's fault schedule.
@@ -378,6 +407,7 @@ impl FaultPreset {
             FaultPreset::Crash => FaultConfig::crash(),
             FaultPreset::Sdc => FaultConfig::sdc(),
             FaultPreset::Replication => FaultConfig::replication(),
+            FaultPreset::Serve => FaultConfig::serve(),
         }
     }
 
@@ -391,6 +421,7 @@ impl FaultPreset {
             FaultPreset::Crash => "crash",
             FaultPreset::Sdc => "sdc",
             FaultPreset::Replication => "replication",
+            FaultPreset::Serve => "serve",
         }
     }
 }
@@ -868,7 +899,18 @@ mod tests {
         assert!(r.all_links_lossy);
         assert_eq!(FaultPreset::Replication.config(), r);
         assert_eq!(FaultPreset::Replication.name(), "replication");
-        assert_eq!(FaultPreset::ALL.len(), 7);
+        // Serve weather: the server's own chaos campaign. Drops must at
+        // least balance dups (resubmissions stay subcritical) and crash
+        // windows must close (a crashed worker attempt is retried).
+        let v = FaultConfig::serve();
+        assert!(v.probability(sites::LINK_DROP) >= v.probability(sites::LINK_DUP));
+        assert!(v.probability(sites::NODE_CRASH) > 0.0);
+        assert!(v.probability(sites::PAYLOAD_CORRUPT) > 0.0);
+        assert!(v.crash_repair_after > SimTime::ZERO, "crashed attempts must be retryable");
+        assert!(v.all_links_lossy);
+        assert_eq!(FaultPreset::Serve.config(), v);
+        assert_eq!(FaultPreset::Serve.name(), "serve");
+        assert_eq!(FaultPreset::ALL.len(), 8);
     }
 
     #[test]

@@ -137,6 +137,29 @@ fn dst_block_replication() {
     }
 }
 
+#[test]
+#[cfg_attr(miri, ignore = "full seed blocks exceed Miri's budget; the unit-test subset covers Miri")]
+fn dst_block_serve() {
+    let reports = run_seed_block(SEED_BASE, seed_count(), FaultPreset::Serve);
+    assert_eq!(reports.len() as u64, seed_count());
+    // Scenario-server chaos weather: the same schedule `besst-serve`
+    // turns on itself (connection drops/dups, worker crashes/delays,
+    // cache corruption) must also be a well-behaved substrate preset —
+    // every seed drains (asserted per seed by run_seed_block), every
+    // crash window closes, and the full block exercises all four fault
+    // families. Like replication, no snapshot is pinned: the snapshot
+    // set is frozen by `snapshot_set_is_exactly_the_blessed_presets`.
+    if full_block() {
+        let total = |f: fn(&besst_des::buggify::FaultStats) -> u64| -> u64 {
+            reports.iter().map(|r| f(&r.faults)).sum()
+        };
+        assert!(total(|f| f.drops) > 0, "serve block never dropped a connection");
+        assert!(total(|f| f.dups) > 0, "serve block never duplicated a submission");
+        assert!(total(|f| f.crash_drops) > 0, "serve block never crashed a worker");
+        assert!(total(|f| f.payload_corrupts) > 0, "serve block never corrupted a payload");
+    }
+}
+
 /// Golden-file regression: one hand-picked seed per preset. The snapshot
 /// records the full `snapshot_line()` (delivered count, final time, and a
 /// trajectory digest); any drift fails with both lines plus the repro.

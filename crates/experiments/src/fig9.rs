@@ -107,7 +107,7 @@ mod tests {
         // and with FT level; the 1000-rank L1&L2 corner is the most
         // expensive cell.
         let sw = quick_sweep();
-        let m = sw.overhead_matrix(10, 64, "No FT");
+        let m = sw.overhead_matrix(10, 64, "No FT").expect("baseline cell ran");
         let get = |epr: u32, ranks: u32, sc: &str| -> f64 {
             m.iter()
                 .find(|(c, _)| c.problem_size == epr && c.ranks == ranks && c.scenario == sc)

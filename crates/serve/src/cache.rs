@@ -1,0 +1,329 @@
+//! The baseline-timeline cache: content-hash keyed, CRC-sealed, FIFO
+//! bounded.
+//!
+//! Invariants (documented in `docs/SCENARIO_SERVER.md`, exercised by the
+//! chaos harness):
+//!
+//! * **Correctness never depends on the cache.** Every read is verified
+//!   against the CRC-32C recorded at insert time; a corrupt or
+//!   undecodable entry is evicted and reported as a miss, and the caller
+//!   recomputes. Corruption and eviction cost latency, never answers.
+//! * **Keys are canonical.** The key is [`ScenarioQuery::baseline_key`]
+//!   (a content hash over the semantic baseline fields), so field order
+//!   and default elision on the wire cannot split or alias entries.
+//! * **Memory is bounded.** At capacity the oldest entry is evicted
+//!   (FIFO — overlay batches are bursts of one config, so recency
+//!   tracking buys little over insertion order).
+//!
+//! [`ScenarioQuery::baseline_key`]: crate::query::ScenarioQuery::baseline_key
+
+use crate::scenario::Baseline;
+use besst_core::faults::Timeline;
+use besst_fti::{ChecksummedPayload, CkptLevel};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Result of one cache probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// Entry present, CRC verified, decoded.
+    Hit(Baseline),
+    /// Entry present but failed its CRC (or decode): evicted, caller
+    /// must recompute. Counted separately from a plain miss so the
+    /// chaos harness can assert corruption was *seen* and survived.
+    Corrupt,
+    /// No entry.
+    Miss,
+}
+
+/// Counters snapshot for stats/bench reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// CRC-verified hits served.
+    pub hits: u64,
+    /// Probes that found nothing.
+    pub misses: u64,
+    /// Probes that found a corrupt entry (CRC or decode failure).
+    pub corruptions: u64,
+    /// Entries evicted to respect capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+struct Inner {
+    map: BTreeMap<u64, ChecksummedPayload>,
+    order: VecDeque<u64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    corruptions: u64,
+    evictions: u64,
+}
+
+/// A bounded, CRC-checked map from baseline key to sealed [`Baseline`].
+pub struct BaselineCache {
+    inner: Mutex<Inner>,
+}
+
+impl BaselineCache {
+    /// An empty cache holding at most `capacity` baselines.
+    pub fn new(capacity: usize) -> Self {
+        BaselineCache {
+            inner: Mutex::new(Inner {
+                map: BTreeMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+                hits: 0,
+                misses: 0,
+                corruptions: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Probe for `key`, verifying integrity on the way out.
+    pub fn lookup(&self, key: u64) -> Lookup {
+        let mut g = self.inner.lock();
+        match g.map.get(&key) {
+            None => {
+                g.misses += 1;
+                Lookup::Miss
+            }
+            Some(sealed) => {
+                if sealed.verify() {
+                    if let Some(baseline) = decode(&sealed.payload) {
+                        g.hits += 1;
+                        return Lookup::Hit(baseline);
+                    }
+                }
+                // CRC mismatch or undecodable bytes: drop the entry so
+                // the recompute path repopulates it.
+                g.map.remove(&key);
+                g.order.retain(|k| *k != key);
+                g.corruptions += 1;
+                Lookup::Corrupt
+            }
+        }
+    }
+
+    /// Seal and insert `baseline` under `key`, evicting FIFO at capacity.
+    pub fn insert(&self, key: u64, baseline: &Baseline) {
+        let sealed = ChecksummedPayload::seal(encode(baseline));
+        let mut g = self.inner.lock();
+        if g.map.insert(key, sealed).is_none() {
+            g.order.push_back(key);
+        }
+        while g.map.len() > g.capacity {
+            if let Some(old) = g.order.pop_front() {
+                g.map.remove(&old);
+                g.evictions += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Chaos hook: flip one payload bit of the entry at `key` (if any).
+    /// Returns whether an entry was corrupted. Models a storage upset;
+    /// the next [`Self::lookup`] must detect it via CRC.
+    pub fn corrupt_entry(&self, key: u64, bit: u64) -> bool {
+        let mut g = self.inner.lock();
+        match g.map.get_mut(&key) {
+            Some(sealed) if !sealed.payload.is_empty() => {
+                let nbits = sealed.payload.len() as u64 * 8;
+                sealed.flip_bit((bit % nbits) as usize);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.inner.lock();
+        CacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            corruptions: g.corruptions,
+            evictions: g.evictions,
+            len: g.map.len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary codec: little-endian, length-prefixed. A decode failure is not
+// an error condition — it reads as Corrupt and triggers recompute.
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode(b: &Baseline) -> Vec<u8> {
+    let t = &b.timeline;
+    let mut out = Vec::with_capacity(16 + t.step_durations.len() * 8);
+    push_f64(&mut out, b.baseline_s);
+    push_u32(&mut out, t.step_durations.len() as u32);
+    for &d in &t.step_durations {
+        push_f64(&mut out, d);
+    }
+    push_u32(&mut out, t.checkpoints.len() as u32);
+    for &(step, level, dur) in &t.checkpoints {
+        push_u32(&mut out, step as u32);
+        out.push(level.number());
+        push_f64(&mut out, dur);
+    }
+    push_u32(&mut out, t.restart_costs.len() as u32);
+    for &(level, cost) in &t.restart_costs {
+        out.push(level.number());
+        push_f64(&mut out, cost);
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.take(8)
+            .map(|s| f64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+}
+
+fn level_from(n: u8) -> Option<CkptLevel> {
+    CkptLevel::ALL.get(n.checked_sub(1)? as usize).copied()
+}
+
+/// Upper bound on decoded vector lengths: a corrupted length prefix must
+/// not turn into a giant allocation.
+const MAX_DECODE_LEN: u32 = 1 << 20;
+
+fn decode(bytes: &[u8]) -> Option<Baseline> {
+    let mut r = Reader { bytes, pos: 0 };
+    let baseline_s = r.f64()?;
+    let n_steps = r.u32()?;
+    if n_steps > MAX_DECODE_LEN {
+        return None;
+    }
+    let mut step_durations = Vec::with_capacity(n_steps as usize);
+    for _ in 0..n_steps {
+        step_durations.push(r.f64()?);
+    }
+    let n_ckpts = r.u32()?;
+    if n_ckpts > MAX_DECODE_LEN {
+        return None;
+    }
+    let mut checkpoints = Vec::with_capacity(n_ckpts as usize);
+    for _ in 0..n_ckpts {
+        let step = r.u32()? as usize;
+        let level = level_from(r.u8()?)?;
+        let dur = r.f64()?;
+        checkpoints.push((step, level, dur));
+    }
+    let n_restart = r.u32()?;
+    if n_restart > MAX_DECODE_LEN {
+        return None;
+    }
+    let mut restart_costs = Vec::with_capacity(n_restart as usize);
+    for _ in 0..n_restart {
+        let level = level_from(r.u8()?)?;
+        let cost = r.f64()?;
+        restart_costs.push((level, cost));
+    }
+    if r.pos != bytes.len() {
+        return None;
+    }
+    Some(Baseline {
+        timeline: Timeline { step_durations, checkpoints, restart_costs },
+        baseline_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        Baseline {
+            timeline: Timeline {
+                step_durations: vec![0.01, 0.02, 0.03],
+                checkpoints: vec![(2, CkptLevel::L1, 0.002)],
+                restart_costs: vec![(CkptLevel::L1, 0.004)],
+            },
+            baseline_s: 0.062,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let b = sample();
+        assert_eq!(decode(&encode(&b)), Some(b));
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let c = BaselineCache::new(4);
+        c.insert(42, &sample());
+        assert_eq!(c.lookup(42), Lookup::Hit(sample()));
+        assert_eq!(c.lookup(43), Lookup::Miss);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn corruption_reads_as_corrupt_then_miss() {
+        let c = BaselineCache::new(4);
+        c.insert(42, &sample());
+        assert!(c.corrupt_entry(42, 12345));
+        assert_eq!(c.lookup(42), Lookup::Corrupt);
+        // The corrupt entry was dropped; a reinsert restores service.
+        assert_eq!(c.lookup(42), Lookup::Miss);
+        c.insert(42, &sample());
+        assert_eq!(c.lookup(42), Lookup::Hit(sample()));
+        assert_eq!(c.stats().corruptions, 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_fifo() {
+        let c = BaselineCache::new(2);
+        for k in 0..5u64 {
+            c.insert(k, &sample());
+        }
+        let s = c.stats();
+        assert_eq!(s.len, 2);
+        assert_eq!(s.evictions, 3);
+        assert_eq!(c.lookup(0), Lookup::Miss);
+        assert_eq!(c.lookup(4), Lookup::Hit(sample()));
+    }
+
+    #[test]
+    fn truncated_bytes_decode_to_none() {
+        let bytes = encode(&sample());
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert_eq!(decode(&bytes[..cut]), None, "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Self-fault-injection: the server runs under the same keyed-hash
+//! buggify machinery the DES substrate uses on simulated machines.
+//!
+//! Every decision is a pure function of `(seed, site, identity)` via
+//! [`FaultInjector::fires`], so a chaos run is exactly reproducible from
+//! its seed — the DST property the chaos harness leans on when it
+//! asserts bit-identical results against a fault-free run. Site
+//! semantics under [`FaultConfig::serve`]:
+//!
+//! | substrate site      | server meaning                                  |
+//! |---------------------|-------------------------------------------------|
+//! | `LINK_DROP`         | a response line is lost before the client reads |
+//! | `LINK_DUP`          | a query line is submitted twice                 |
+//! | `LINK_JITTER`       | a worker is delayed mid-query                   |
+//! | `NODE_CRASH`        | a worker panics mid-query (per attempt)         |
+//! | `PAYLOAD_CORRUPT`   | a cache entry takes a storage bit flip          |
+
+use besst_des::buggify::{sites, FaultConfig, FaultInjector};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Counters of chaos actually injected, for stats and bench reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosStats {
+    /// Worker panics injected.
+    pub worker_crashes: u64,
+    /// Worker delays injected.
+    pub worker_delays: u64,
+    /// Response drops injected (connection layer).
+    pub dropped_responses: u64,
+    /// Duplicate submissions injected (connection layer).
+    pub duplicated_queries: u64,
+    /// Cache entries bit-flipped.
+    pub cache_corruptions: u64,
+}
+
+/// A seeded chaos source shared by the server, its workers, and the
+/// connection layer.
+#[derive(Debug, Clone)]
+pub struct Chaos {
+    injector: Arc<FaultInjector>,
+    counters: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    worker_crashes: AtomicU64,
+    worker_delays: AtomicU64,
+    dropped_responses: AtomicU64,
+    duplicated_queries: AtomicU64,
+    cache_corruptions: AtomicU64,
+}
+
+/// Cap on an injected worker delay so chaos runs stay fast: the jitter
+/// magnitude hash is folded into `[1, MAX_DELAY_US]` microseconds.
+const MAX_DELAY_US: u64 = 500;
+
+impl Chaos {
+    /// Chaos under [`FaultConfig::serve`] with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        Chaos::with_config(seed, FaultConfig::serve())
+    }
+
+    /// Chaos under an arbitrary schedule (tests use hand-built ones).
+    pub fn with_config(seed: u64, config: FaultConfig) -> Self {
+        Chaos {
+            injector: Arc::new(FaultInjector::new(seed, config)),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// The decision seed.
+    pub fn seed(&self) -> u64 {
+        self.injector.seed()
+    }
+
+    /// Should attempt `attempt` of the query with `fingerprint` panic?
+    /// Keyed per attempt, so a crashed attempt's retry draws a fresh
+    /// decision — crash windows close, mirroring
+    /// `crash_repair_after > 0` in the preset.
+    pub fn worker_crashes(&self, fingerprint: u64, attempt: u32) -> bool {
+        let hit = self.injector.fires(sites::NODE_CRASH, fingerprint, u64::from(attempt));
+        if hit {
+            self.counters.worker_crashes.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Delay for attempt `attempt` of the query with `fingerprint`
+    /// (`None` when the jitter site does not fire).
+    pub fn worker_delay(&self, fingerprint: u64, attempt: u32) -> Option<Duration> {
+        if !self.injector.fires(sites::LINK_JITTER, fingerprint, u64::from(attempt)) {
+            return None;
+        }
+        self.counters.worker_delays.fetch_add(1, Ordering::Relaxed);
+        // Derive a deterministic magnitude from the same keyed-hash
+        // family (site xor'd as in the substrate's jitter magnitude).
+        let magnitude =
+            crate::query::mix(self.seed() ^ (sites::LINK_JITTER << 8), fingerprint ^ u64::from(attempt));
+        Some(Duration::from_micros(1 + magnitude % MAX_DELAY_US))
+    }
+
+    /// Should the response for `(connection, sequence)` be dropped on
+    /// the wire? The client sees a missing line and must resubmit.
+    pub fn drops_response(&self, conn: u64, seq: u64) -> bool {
+        let hit = self.injector.fires(sites::LINK_DROP, conn, seq);
+        if hit {
+            self.counters.dropped_responses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Should the query line `(connection, sequence)` be submitted
+    /// twice? The server must still answer exactly once per submission,
+    /// and both answers must be identical.
+    pub fn duplicates_query(&self, conn: u64, seq: u64) -> bool {
+        let hit = self.injector.fires(sites::LINK_DUP, conn, seq);
+        if hit {
+            self.counters.duplicated_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Should the cache entry under `key` take a bit flip after this
+    /// insert? Returns the bit index to flip when it fires.
+    pub fn corrupts_cache(&self, key: u64) -> Option<u64> {
+        if !self.injector.fires(sites::PAYLOAD_CORRUPT, key, 0) {
+            return None;
+        }
+        self.counters.cache_corruptions.fetch_add(1, Ordering::Relaxed);
+        Some(crate::query::mix(self.seed() ^ (sites::PAYLOAD_CORRUPT << 8), key))
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            worker_crashes: self.counters.worker_crashes.load(Ordering::Relaxed),
+            worker_delays: self.counters.worker_delays.load(Ordering::Relaxed),
+            dropped_responses: self.counters.dropped_responses.load(Ordering::Relaxed),
+            duplicated_queries: self.counters.duplicated_queries.load(Ordering::Relaxed),
+            cache_corruptions: self.counters.cache_corruptions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_seed_keyed() {
+        let a = Chaos::new(7);
+        let b = Chaos::new(7);
+        let c = Chaos::new(8);
+        let da: Vec<bool> = (0..512).map(|i| a.worker_crashes(i, 0)).collect();
+        let db: Vec<bool> = (0..512).map(|i| b.worker_crashes(i, 0)).collect();
+        let dc: Vec<bool> = (0..512).map(|i| c.worker_crashes(i, 0)).collect();
+        assert_eq!(da, db, "same seed, same chaos");
+        assert_ne!(da, dc, "different seed, different chaos");
+        assert!(da.iter().any(|&x| x), "serve preset must crash some workers");
+    }
+
+    #[test]
+    fn retries_redraw_the_crash_decision() {
+        let chaos = Chaos::new(3);
+        // Some fingerprint that crashes on attempt 0 must eventually get
+        // a clean attempt: P(crash)=0.15 per attempt, independent.
+        let fp = (0..).find(|&fp| chaos.worker_crashes(fp, 0)).expect("a crash exists");
+        assert!(
+            (1..32).any(|attempt| !chaos.worker_crashes(fp, attempt)),
+            "crash windows must close across retries"
+        );
+    }
+
+    #[test]
+    fn counters_track_injections() {
+        let chaos = Chaos::new(11);
+        let crashes = (0..1000).filter(|&i| chaos.worker_crashes(i, 0)).count() as u64;
+        let drops = (0..1000).filter(|&i| chaos.drops_response(1, i)).count() as u64;
+        let s = chaos.stats();
+        assert_eq!(s.worker_crashes, crashes);
+        assert_eq!(s.dropped_responses, drops);
+        assert!(crashes > 0 && drops > 0);
+    }
+
+    #[test]
+    fn delay_is_bounded_and_deterministic() {
+        let chaos = Chaos::new(5);
+        for fp in 0..1000 {
+            if let Some(d) = chaos.worker_delay(fp, 0) {
+                assert!(d <= Duration::from_micros(MAX_DELAY_US));
+                assert_eq!(Some(d), Chaos::new(5).worker_delay(fp, 0));
+                return;
+            }
+        }
+        panic!("serve preset never delayed a worker in 1000 draws");
+    }
+}

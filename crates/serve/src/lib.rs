@@ -1,0 +1,132 @@
+//! # besst-serve — the hardened scenario server
+//!
+//! Wraps the DSE/overlay machinery (`besst_core`) in a persistent
+//! service: batches of `(machine, app, FT config, seed)` queries arrive
+//! as JSONL over stdin/stdout or a plain [`std::net::TcpListener`]
+//! (hand-rolled protocol per the offline stub registry — no
+//! tokio/hyper/serde_json), are dispatched to a rayon worker pool, and
+//! produce exactly one response line per query.
+//!
+//! The paper's premise — model faults as first-class events and design
+//! recovery around them — is applied to the serving layer itself, in
+//! four robustness layers (see `docs/SCENARIO_SERVER.md`):
+//!
+//! 1. **Isolation** ([`server`]) — every query attempt runs under
+//!    `catch_unwind`; a panicking scenario produces a typed
+//!    [`ServeError`] response instead of killing the server, and a
+//!    quarantine fingerprints repeat offenders and fast-fails them.
+//! 2. **Deadlines & retries** ([`server`]) — per-query soft deadlines
+//!    and a per-batch budget gate *retries and admission to run*, never
+//!    a completed answer; transient failures retry with exponential
+//!    backoff and deterministic seeded jitter.
+//! 3. **Overload control** ([`server`]) — a bounded admission queue;
+//!    excess queries are shed with [`ServeError::Overloaded`] responses
+//!    carrying retry-after hints, so throughput stays flat past
+//!    saturation.
+//! 4. **Self-fault-injection** ([`chaos`]) — the `serve` buggify preset
+//!    ([`besst_des::buggify::FaultConfig::serve`]) drops/duplicates
+//!    connections, delays and crashes workers, and corrupts cache
+//!    entries; the chaos harness (`tests/chaos.rs`) proves every
+//!    accepted query still gets exactly one response, bit-identical to
+//!    a fault-free run.
+//!
+//! The [`cache`] module holds the content-hash baseline-timeline cache:
+//! CRC-32C-sealed entries keyed by [`query::ScenarioQuery::baseline_key`],
+//! where corruption or eviction costs latency, never correctness.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod chaos;
+pub mod json;
+pub mod net;
+pub mod protocol;
+pub mod query;
+pub mod scenario;
+pub mod server;
+
+pub use cache::{BaselineCache, CacheStats};
+pub use chaos::{Chaos, ChaosStats};
+pub use query::{AppKind, MachineKind, QueryMode, ScenarioQuery};
+pub use scenario::{Baseline, QueryAnswer};
+pub use server::{Outcome, Response, ServeConfig, Server, ServerStats};
+
+/// Typed failure taxonomy for one query. Every variant renders as an
+/// `"status":"error"` response line with a stable `kind` — the server
+/// never answers a query with silence or a crash.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request line was malformed or out of bounds; permanent.
+    BadRequest(String),
+    /// The simulator rejected the scenario with a typed error
+    /// (`SimError` / `OnlineError`); permanent.
+    Sim(String),
+    /// The worker panicked on every allowed attempt. The panic message
+    /// is carried here for logs/stats but deliberately *not* rendered on
+    /// the wire (response lines stay bit-identical whether the panic was
+    /// the scenario's own or an injected chaos crash).
+    Panic(String),
+    /// The query's fingerprint was quarantined after repeated
+    /// retry-exhausted failures; fast-failed without running.
+    Quarantined {
+        /// Exhausted failures recorded against the fingerprint.
+        failures: u32,
+    },
+    /// The soft deadline or batch budget expired before an attempt
+    /// could (re)run; the query was not silently stalled.
+    Timeout {
+        /// The effective per-query deadline that expired, ms.
+        deadline_ms: u64,
+    },
+    /// Load shedding: the batch exceeded the admission queue bound.
+    Overloaded {
+        /// Suggested client backoff before resubmitting, ms.
+        retry_after_ms: u64,
+    },
+    /// The server itself failed to set up (worker pool construction).
+    Internal(String),
+}
+
+impl ServeError {
+    /// Stable wire name for the `kind` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Sim(_) => "sim",
+            ServeError::Panic(_) => "panic",
+            ServeError::Quarantined { .. } => "quarantined",
+            ServeError::Timeout { .. } => "timeout",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+
+    /// Whether a retry of the same attempt could plausibly succeed.
+    /// Only panics are treated as transient: an injected chaos crash
+    /// redraws its keyed-hash decision on the next attempt.
+    pub fn transient(&self) -> bool {
+        matches!(self, ServeError::Panic(_))
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Sim(m) => write!(f, "simulator rejected the scenario: {m}"),
+            ServeError::Panic(m) => write!(f, "worker panicked: {m}"),
+            ServeError::Quarantined { failures } => {
+                write!(f, "quarantined after {failures} exhausted failures")
+            }
+            ServeError::Timeout { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms expired")
+            }
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded; retry after {retry_after_ms} ms")
+            }
+            ServeError::Internal(m) => write!(f, "internal server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

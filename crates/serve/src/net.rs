@@ -1,0 +1,300 @@
+//! Transport frontends: JSONL batches over any `Read`/`Write` pair
+//! (stdin/stdout in the binary) and over a plain [`TcpListener`].
+//!
+//! Framing: one JSON object per line; a blank line (or EOF) closes the
+//! current batch, the server answers it — one response line per query,
+//! then a blank line — and the next batch may begin on the same
+//! connection. Input reads are *bounded* ([`MAX_LINE_BYTES`],
+//! [`MAX_BATCH_LINES`]): a client that streams an endless line or batch
+//! gets a typed error, not an unbounded buffer (enforced by besst-lint
+//! rule D6 for this crate).
+//!
+//! When the server runs with chaos, the connection layer injects its
+//! share of the `serve` preset: query lines may be duplicated on read
+//! (the duplicate is a real submission, answered identically) and
+//! response lines may be dropped on write (the client sees a missing
+//! line and resubmits). Both are counted in
+//! [`crate::chaos::ChaosStats`].
+
+use crate::protocol::{parse_request, render_response};
+use crate::query::ScenarioQuery;
+use crate::server::{Outcome, Response, Server};
+use crate::ServeError;
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Longest request line accepted, bytes.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+/// Most lines accepted in one batch. Beyond this the batch is closed
+/// and answered; admission control then sheds the overflow explicitly.
+pub const MAX_BATCH_LINES: usize = 65_536;
+
+/// Read one `\n`-terminated line without unbounded buffering: at most
+/// `cap` bytes are accumulated, the rest of an oversized line is
+/// discarded and reported.
+///
+/// Returns `Ok(None)` at EOF, `Ok(Some((line, truncated)))` otherwise.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    cap: usize,
+) -> std::io::Result<Option<(String, bool)>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut truncated = false;
+    let mut saw_any = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: a final unterminated line still counts.
+            return Ok(if saw_any {
+                Some((String::from_utf8_lossy(&buf).into_owned(), truncated))
+            } else {
+                None
+            });
+        }
+        saw_any = true;
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if !truncated {
+                let take = pos.min(cap.saturating_sub(buf.len()));
+                buf.extend_from_slice(&chunk[..take]);
+                truncated = take < pos;
+            }
+            reader.consume(pos + 1);
+            return Ok(Some((String::from_utf8_lossy(&buf).into_owned(), truncated)));
+        }
+        if !truncated {
+            let take = chunk.len().min(cap.saturating_sub(buf.len()));
+            buf.extend_from_slice(&chunk[..take]);
+            truncated = take < chunk.len();
+        }
+        let len = chunk.len();
+        reader.consume(len);
+    }
+}
+
+/// One parsed batch: queries to run plus pre-built responses for
+/// malformed lines, each remembering its position so the output
+/// interleaves in input order.
+struct Batch {
+    queries: Vec<ScenarioQuery>,
+    /// (position in batch, ready response) for lines that never reached
+    /// the server.
+    rejects: Vec<(usize, Response)>,
+    /// Lines consumed (valid + malformed), to notice an empty batch.
+    lines: usize,
+}
+
+/// Read one batch (until blank line or EOF). `conn` keys connection-level
+/// chaos decisions.
+fn read_batch<R: BufRead>(
+    reader: &mut R,
+    server: &Server,
+    conn: u64,
+) -> std::io::Result<Batch> {
+    let mut batch = Batch { queries: Vec::new(), rejects: Vec::new(), lines: 0 };
+    let chaos = server.config().chaos.clone();
+    while batch.lines < MAX_BATCH_LINES {
+        let Some((line, truncated)) = read_bounded_line(reader, MAX_LINE_BYTES)? else {
+            break; // EOF
+        };
+        if line.trim().is_empty() {
+            if batch.lines == 0 {
+                continue; // leading blank lines are framing noise
+            }
+            break; // batch delimiter
+        }
+        let pos = batch.lines;
+        batch.lines += 1;
+        if truncated {
+            batch.rejects.push((
+                pos,
+                Response {
+                    id: 0,
+                    outcome: Outcome::Err(ServeError::BadRequest(format!(
+                        "line exceeds {MAX_LINE_BYTES} bytes"
+                    ))),
+                },
+            ));
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(q) => {
+                let dup = chaos
+                    .as_ref()
+                    .is_some_and(|c| c.duplicates_query(conn, pos as u64));
+                batch.queries.push(q.clone());
+                if dup {
+                    // A duplicated submission is a real second query; the
+                    // server answers both, identically.
+                    batch.queries.push(q);
+                }
+            }
+            Err(resp) => batch.rejects.push((pos, resp)),
+        }
+    }
+    Ok(batch)
+}
+
+/// Serve batches from `reader` to `writer` until EOF. Returns the number
+/// of batches served.
+pub fn serve_lines<R: Read, W: Write + Send>(
+    server: &Server,
+    reader: R,
+    writer: W,
+    conn: u64,
+) -> std::io::Result<u64> {
+    let mut reader = BufReader::new(reader);
+    let writer = Mutex::new(writer);
+    let chaos = server.config().chaos.clone();
+    let mut batches = 0u64;
+    loop {
+        let batch = read_batch(&mut reader, server, conn)?;
+        if batch.lines == 0 {
+            break; // EOF with nothing pending
+        }
+        batches += 1;
+        let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        let mut seq = 0u64;
+        // Malformed-line responses go out first (they are known before
+        // the batch runs); each still occupies one response line.
+        for (_, resp) in &batch.rejects {
+            write_response(&writer, resp, chaos.as_ref(), conn, seq, &io_error);
+            seq += 1;
+        }
+        let seq_base = seq;
+        server.handle_batch_indexed(&batch.queries, &|idx, resp| {
+            write_response(
+                &writer,
+                &resp,
+                chaos.as_ref(),
+                conn,
+                seq_base + idx as u64,
+                &io_error,
+            );
+        });
+        if let Some(e) = io_error.into_inner() {
+            return Err(e);
+        }
+        let mut w = writer.lock();
+        w.write_all(b"\n")?;
+        w.flush()?;
+    }
+    Ok(batches)
+}
+
+fn write_response<W: Write>(
+    writer: &Mutex<W>,
+    resp: &Response,
+    chaos: Option<&crate::chaos::Chaos>,
+    conn: u64,
+    seq: u64,
+    io_error: &Mutex<Option<std::io::Error>>,
+) {
+    if chaos.is_some_and(|c| c.drops_response(conn, seq)) {
+        // Injected connection fault: the line is lost on the wire. The
+        // client-side contract (resubmit on missing id) is exercised by
+        // the chaos harness.
+        return;
+    }
+    let line = render_response(resp);
+    let mut w = writer.lock();
+    let r = w.write_all(line.as_bytes()).and_then(|()| w.write_all(b"\n"));
+    if let Err(e) = r {
+        let mut slot = io_error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+}
+
+/// Summary of one TCP serving session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Batches served across all connections.
+    pub batches: u64,
+}
+
+/// Accept and serve connections until `max_conns` have been handled
+/// (`None` = forever). Connections are served one at a time — the
+/// parallelism budget belongs to the rayon worker pool, and a single
+/// accept loop keeps connection-level chaos decisions deterministic.
+pub fn serve_tcp(
+    server: &Server,
+    listener: &TcpListener,
+    max_conns: Option<u64>,
+) -> std::io::Result<TcpSummary> {
+    let mut summary = TcpSummary::default();
+    while max_conns.is_none_or(|m| summary.connections < m) {
+        let (stream, _addr) = listener.accept()?;
+        summary.connections += 1;
+        match serve_connection(server, &stream, summary.connections) {
+            Ok(batches) => summary.batches += batches,
+            // A broken connection is that client's problem, not the
+            // server's: log to stderr and keep accepting.
+            Err(e) => eprintln!("besst-serve: connection {}: {e}", summary.connections),
+        }
+    }
+    Ok(summary)
+}
+
+fn serve_connection(server: &Server, stream: &TcpStream, conn: u64) -> std::io::Result<u64> {
+    let reader = stream.try_clone()?;
+    serve_lines(server, reader, stream, conn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+
+    fn server() -> Server {
+        Server::new(ServeConfig::default()).expect("pool starts")
+    }
+
+    #[test]
+    fn bounded_line_reader_caps_and_recovers() {
+        let input = format!("{}\nshort\n", "x".repeat(MAX_LINE_BYTES + 100));
+        let mut r = BufReader::new(input.as_bytes());
+        let (line, truncated) =
+            read_bounded_line(&mut r, MAX_LINE_BYTES).expect("reads").expect("a line");
+        assert!(truncated);
+        assert_eq!(line.len(), MAX_LINE_BYTES);
+        let (line, truncated) =
+            read_bounded_line(&mut r, MAX_LINE_BYTES).expect("reads").expect("a line");
+        assert!(!truncated);
+        assert_eq!(line, "short");
+        assert!(read_bounded_line(&mut r, MAX_LINE_BYTES).expect("reads").is_none());
+    }
+
+    #[test]
+    fn stdio_batch_roundtrip() {
+        let s = server();
+        let input = "{\"id\":1,\"steps\":20}\nnot json\n{\"id\":3,\"steps\":20,\"mode\":\"baseline\"}\n\n";
+        let mut out: Vec<u8> = Vec::new();
+        let batches = serve_lines(&s, input.as_bytes(), &mut out, 1).expect("serves");
+        assert_eq!(batches, 1);
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        // Exactly one response per line: ids 1 and 3 answered, the bad
+        // line rejected with a typed error.
+        assert!(lines.iter().any(|l| l.contains("\"id\":1") && l.contains("\"status\":\"ok\"")));
+        assert!(lines.iter().any(|l| l.contains("\"id\":3") && l.contains("\"status\":\"ok\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"bad_request\"") && l.contains("\"status\":\"error\"")));
+    }
+
+    #[test]
+    fn multiple_batches_on_one_stream() {
+        let s = server();
+        let input = "{\"id\":1,\"steps\":20}\n\n{\"id\":2,\"steps\":20}\n\n";
+        let mut out: Vec<u8> = Vec::new();
+        let batches = serve_lines(&s, input.as_bytes(), &mut out, 1).expect("serves");
+        assert_eq!(batches, 2);
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(text.matches("\"status\":\"ok\"").count(), 2);
+    }
+}

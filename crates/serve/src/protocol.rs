@@ -1,0 +1,146 @@
+//! Wire protocol: one JSON object per line, in and out.
+//!
+//! Requests are parsed strictly ([`ScenarioQuery::from_value`]); a
+//! malformed line still produces exactly one response line (with the
+//! request's `id` when one can be salvaged, else `id: 0`). Response
+//! rendering is canonical — sorted keys, shortest-roundtrip floats — so
+//! "bit-identical results" is a plain string comparison.
+//!
+//! Response lines carry only *semantic* fields (id, status, numbers,
+//! class, error kind). Operational detail — retry counts, cache hits,
+//! panic messages — stays in [`crate::server::ServerStats`]; putting it
+//! on the wire would make chaos-run responses differ textually from
+//! fault-free ones even when the answers agree.
+
+use crate::json::{parse, Value};
+use crate::query::ScenarioQuery;
+use crate::server::{Outcome, Response};
+use crate::ServeError;
+use std::collections::BTreeMap;
+
+/// Parse one request line. `Err` carries the ready-to-send error
+/// response for a malformed line.
+pub fn parse_request(line: &str) -> Result<ScenarioQuery, Response> {
+    let value = match parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return Err(Response {
+                id: 0,
+                outcome: Outcome::Err(ServeError::BadRequest(e.to_string())),
+            })
+        }
+    };
+    ScenarioQuery::from_value(&value).map_err(|e| {
+        // Salvage the id when the object had a readable one, so the
+        // client can correlate the rejection.
+        let id = value
+            .as_obj()
+            .and_then(|o| o.get("id"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        Response { id, outcome: Outcome::Err(e) }
+    })
+}
+
+/// Render one response as a compact, canonical JSON line (no trailing
+/// newline).
+pub fn render_response(resp: &Response) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("id".to_string(), Value::Int(resp.id));
+    match &resp.outcome {
+        Outcome::Ok { answer, .. } => {
+            obj.insert("status".to_string(), Value::Str("ok".into()));
+            obj.insert("baseline_s".to_string(), Value::Num(answer.baseline_s));
+            obj.insert("makespan_s".to_string(), Value::Num(answer.makespan_s));
+            obj.insert("n_faults".to_string(), Value::Int(u64::from(answer.n_faults)));
+            obj.insert("completed".to_string(), Value::Bool(answer.completed));
+            obj.insert("class".to_string(), Value::Str(answer.class.into()));
+        }
+        Outcome::Err(e) => {
+            obj.insert("status".to_string(), Value::Str("error".into()));
+            obj.insert("kind".to_string(), Value::Str(e.kind().into()));
+            match e {
+                ServeError::BadRequest(m) | ServeError::Sim(m) | ServeError::Internal(m) => {
+                    obj.insert("detail".to_string(), Value::Str(m.clone()));
+                }
+                // No detail on the wire: the message differs between a
+                // scenario's own panic and an injected chaos crash.
+                ServeError::Panic(_) => {}
+                ServeError::Quarantined { failures } => {
+                    obj.insert("failures".to_string(), Value::Int(u64::from(*failures)));
+                }
+                ServeError::Timeout { deadline_ms } => {
+                    obj.insert("deadline_ms".to_string(), Value::Int(*deadline_ms));
+                }
+                ServeError::Overloaded { retry_after_ms } => {
+                    obj.insert("retry_after_ms".to_string(), Value::Int(*retry_after_ms));
+                }
+            }
+        }
+    }
+    Value::Obj(obj).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::QueryAnswer;
+
+    #[test]
+    fn malformed_line_salvages_the_id() {
+        let r = parse_request(r#"{"id": 9, "ranks": "sixty-four"}"#).expect_err("must fail");
+        assert_eq!(r.id, 9);
+        assert!(matches!(r.outcome, Outcome::Err(ServeError::BadRequest(_))));
+        let r = parse_request("not json at all").expect_err("must fail");
+        assert_eq!(r.id, 0);
+    }
+
+    #[test]
+    fn ok_rendering_is_canonical() {
+        let resp = Response {
+            id: 3,
+            outcome: Outcome::Ok {
+                answer: QueryAnswer {
+                    baseline_s: 1.5,
+                    makespan_s: 2.25,
+                    n_faults: 2,
+                    completed: true,
+                    class: "Correct",
+                },
+                cached: true,
+                retries: 4,
+            },
+        };
+        let line = render_response(&resp);
+        assert_eq!(
+            line,
+            r#"{"baseline_s":1.5,"class":"Correct","completed":true,"id":3,"makespan_s":2.25,"n_faults":2,"status":"ok"}"#
+        );
+        // Operational fields stay off the wire.
+        assert!(!line.contains("retries") && !line.contains("cached"));
+    }
+
+    #[test]
+    fn error_rendering_carries_the_kind() {
+        let resp = Response {
+            id: 4,
+            outcome: Outcome::Err(ServeError::Overloaded { retry_after_ms: 25 }),
+        };
+        assert_eq!(
+            render_response(&resp),
+            r#"{"id":4,"kind":"overloaded","retry_after_ms":25,"status":"error"}"#
+        );
+        let resp = Response {
+            id: 5,
+            outcome: Outcome::Err(ServeError::Panic("secret internals".into())),
+        };
+        let line = render_response(&resp);
+        assert_eq!(line, r#"{"id":5,"kind":"panic","status":"error"}"#);
+    }
+
+    #[test]
+    fn roundtrip_request() {
+        let q = parse_request(r#"{"id":1,"steps":12,"seed":9}"#).expect("parses");
+        assert_eq!((q.id, q.steps, q.seed), (1, 12, 9));
+    }
+}

@@ -1,0 +1,378 @@
+//! Scenario queries: the canonical request shape, strict parsing with
+//! defaults, and the content hashes the cache and quarantine key on.
+//!
+//! Canonicalization contract (property-tested in `tests/cache_key.rs`):
+//! two requests that describe the same scenario — whatever their field
+//! order, and whether defaulted fields are spelled out or elided — hash
+//! to the same [`ScenarioQuery::baseline_key`]; changing any semantic
+//! field changes it. The baseline key deliberately excludes `id`,
+//! `seed`, `mode`, `mtbf` and `deadline_ms`: the cached artifact is the
+//! fault-free BE timeline, which is simulated with `monte_carlo: false`
+//! and therefore identical for every seed and overlay configuration.
+
+use crate::json::Value;
+use crate::ServeError;
+use besst_fti::FtiConfig;
+
+/// Which synthetic testbed to price the scenario on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineKind {
+    /// LLNL Quartz (Xeon, fat-tree) — the paper's primary testbed.
+    Quartz,
+    /// LLNL Vulcan (BG/Q, 5-D torus) — slower cores, slower I/O.
+    Vulcan,
+}
+
+impl MachineKind {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineKind::Quartz => "quartz",
+            MachineKind::Vulcan => "vulcan",
+        }
+    }
+}
+
+/// Which application proxy the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// The LULESH shock-hydro proxy.
+    Lulesh,
+    /// The CMT-bone spectral-element proxy.
+    Cmtbone,
+    /// A deliberately poisoned scenario: executing it panics. Exists so
+    /// the isolation layer has a first-class adversary in tests, smoke
+    /// runs and the chaos harness.
+    Poison,
+}
+
+impl AppKind {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Lulesh => "lulesh",
+            AppKind::Cmtbone => "cmtbone",
+            AppKind::Poison => "poison",
+        }
+    }
+}
+
+/// Baseline only, or baseline + one online fault-injected overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Return the failure-free makespan.
+    Baseline,
+    /// Replay the baseline timeline under online fail-stop injection.
+    Online,
+}
+
+impl QueryMode {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryMode::Baseline => "baseline",
+            QueryMode::Online => "online",
+        }
+    }
+}
+
+/// One scenario query, fully defaulted and validated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioQuery {
+    /// Caller-chosen id echoed on the response line.
+    pub id: u64,
+    /// Testbed.
+    pub machine: MachineKind,
+    /// Application proxy.
+    pub app: AppKind,
+    /// Elements per rank (LULESH `epr` / CMT-bone `elements_per_rank`).
+    pub problem_size: u32,
+    /// MPI ranks.
+    pub ranks: u32,
+    /// Application timesteps.
+    pub steps: u32,
+    /// L1 checkpoint period in timesteps; 0 disables checkpointing.
+    pub ft_period: u32,
+    /// Seed for the online fault overlay (ignored for baseline mode).
+    pub seed: u64,
+    /// What to compute.
+    pub mode: QueryMode,
+    /// Node MTBF in seconds for the overlay; 0.0 picks the bench default
+    /// (two nodes, a handful of crashes per run).
+    pub mtbf: f64,
+    /// Per-query soft deadline in milliseconds; 0 uses the server's.
+    pub deadline_ms: u64,
+}
+
+/// Field defaults, shared by the parser and the canonicalization tests.
+pub mod defaults {
+    /// `machine`.
+    pub const MACHINE: &str = "quartz";
+    /// `app`.
+    pub const APP: &str = "lulesh";
+    /// `problem_size`.
+    pub const PROBLEM_SIZE: u32 = 10;
+    /// `ranks`.
+    pub const RANKS: u32 = 64;
+    /// `steps`.
+    pub const STEPS: u32 = 100;
+    /// `ft_period`.
+    pub const FT_PERIOD: u32 = 10;
+    /// `seed`.
+    pub const SEED: u64 = 0;
+    /// `mode`.
+    pub const MODE: &str = "online";
+    /// `mtbf` (0 = auto).
+    pub const MTBF: f64 = 0.0;
+    /// `deadline_ms` (0 = server default).
+    pub const DEADLINE_MS: u64 = 0;
+}
+
+/// Bounds a query must satisfy to be admitted. Deliberately tight: this
+/// is the first robustness layer (a hostile request is rejected with a
+/// typed error before it can reach a worker).
+pub mod limits {
+    /// Most ranks a query may ask for.
+    pub const MAX_RANKS: u32 = 512;
+    /// Most timesteps a query may ask for.
+    pub const MAX_STEPS: u32 = 10_000;
+    /// Largest problem size (elements per rank).
+    pub const MAX_PROBLEM_SIZE: u32 = 1_000;
+}
+
+impl ScenarioQuery {
+    /// Parse one request object. Strict: unknown fields are rejected so
+    /// that two requests with the same baseline key really are the same
+    /// scenario (a typo'd field can never silently alias a cached one).
+    pub fn from_value(v: &Value) -> Result<ScenarioQuery, ServeError> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| ServeError::BadRequest("request must be a JSON object".into()))?;
+        const KNOWN: [&str; 11] = [
+            "id", "machine", "app", "problem_size", "ranks", "steps", "ft_period", "seed",
+            "mode", "mtbf", "deadline_ms",
+        ];
+        for key in obj.keys() {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(ServeError::BadRequest(format!("unknown field \"{key}\"")));
+            }
+        }
+        let get_u64 = |key: &str, default: u64| -> Result<u64, ServeError> {
+            match obj.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| bad_field(key, "a non-negative integer")),
+            }
+        };
+        let get_u32 = |key: &str, default: u32| -> Result<u32, ServeError> {
+            let n = get_u64(key, u64::from(default))?;
+            u32::try_from(n).map_err(|_| bad_field(key, "a 32-bit integer"))
+        };
+        let id = obj
+            .get("id")
+            .ok_or_else(|| ServeError::BadRequest("missing required field \"id\"".into()))?
+            .as_u64()
+            .ok_or_else(|| bad_field("id", "a non-negative integer"))?;
+        let machine = match obj.get("machine").map(|v| v.as_str()) {
+            None => defaults::MACHINE,
+            Some(Some(s)) => s,
+            Some(None) => return Err(bad_field("machine", "a string")),
+        };
+        let machine = match machine {
+            "quartz" => MachineKind::Quartz,
+            "vulcan" => MachineKind::Vulcan,
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown machine \"{other}\" (quartz|vulcan)"
+                )))
+            }
+        };
+        let app = match obj.get("app").map(|v| v.as_str()) {
+            None => defaults::APP,
+            Some(Some(s)) => s,
+            Some(None) => return Err(bad_field("app", "a string")),
+        };
+        let app = match app {
+            "lulesh" => AppKind::Lulesh,
+            "cmtbone" => AppKind::Cmtbone,
+            "poison" => AppKind::Poison,
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown app \"{other}\" (lulesh|cmtbone|poison)"
+                )))
+            }
+        };
+        let mode = match obj.get("mode").map(|v| v.as_str()) {
+            None => defaults::MODE,
+            Some(Some(s)) => s,
+            Some(None) => return Err(bad_field("mode", "a string")),
+        };
+        let mode = match mode {
+            "baseline" => QueryMode::Baseline,
+            "online" => QueryMode::Online,
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown mode \"{other}\" (baseline|online)"
+                )))
+            }
+        };
+        let mtbf = match obj.get("mtbf") {
+            None => defaults::MTBF,
+            Some(v) => v.as_f64().ok_or_else(|| bad_field("mtbf", "a number"))?,
+        };
+        let q = ScenarioQuery {
+            id,
+            machine,
+            app,
+            problem_size: get_u32("problem_size", defaults::PROBLEM_SIZE)?,
+            ranks: get_u32("ranks", defaults::RANKS)?,
+            steps: get_u32("steps", defaults::STEPS)?,
+            ft_period: get_u32("ft_period", defaults::FT_PERIOD)?,
+            seed: get_u64("seed", defaults::SEED)?,
+            mode,
+            mtbf,
+            deadline_ms: get_u64("deadline_ms", defaults::DEADLINE_MS)?,
+        };
+        q.validate()?;
+        Ok(q)
+    }
+
+    /// Reject out-of-bounds or internally inconsistent queries.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.ranks == 0 || self.ranks > limits::MAX_RANKS {
+            return Err(ServeError::BadRequest(format!(
+                "ranks must be in 1..={}, got {}",
+                limits::MAX_RANKS,
+                self.ranks
+            )));
+        }
+        if self.steps == 0 || self.steps > limits::MAX_STEPS {
+            return Err(ServeError::BadRequest(format!(
+                "steps must be in 1..={}, got {}",
+                limits::MAX_STEPS,
+                self.steps
+            )));
+        }
+        if self.problem_size == 0 || self.problem_size > limits::MAX_PROBLEM_SIZE {
+            return Err(ServeError::BadRequest(format!(
+                "problem_size must be in 1..={}, got {}",
+                limits::MAX_PROBLEM_SIZE,
+                self.problem_size
+            )));
+        }
+        if !(self.mtbf.is_finite() && self.mtbf >= 0.0) {
+            return Err(ServeError::BadRequest(format!(
+                "mtbf must be a finite non-negative number, got {}",
+                self.mtbf
+            )));
+        }
+        if self.ft_period > 0 {
+            if self.ft_period > self.steps {
+                return Err(ServeError::BadRequest(format!(
+                    "ft_period {} exceeds steps {} (no checkpoint would ever fire)",
+                    self.ft_period, self.steps
+                )));
+            }
+            if let Err(e) = FtiConfig::l1_only(self.ft_period).validate(self.ranks) {
+                return Err(ServeError::BadRequest(format!("FTI rejects this geometry: {e}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Content hash of the fault-free baseline this query replays: the
+    /// cache key. Excludes `id`, `seed`, `mode`, `mtbf`, `deadline_ms`
+    /// (see module docs).
+    pub fn baseline_key(&self) -> u64 {
+        let mut h = 0x42455f_5345525645; // "BE_SERVE" domain separator
+        h = mix(h, self.machine as u64 + 1);
+        h = mix(h, self.app as u64 + 1);
+        h = mix(h, u64::from(self.problem_size));
+        h = mix(h, u64::from(self.ranks));
+        h = mix(h, u64::from(self.steps));
+        h = mix(h, u64::from(self.ft_period));
+        h
+    }
+
+    /// Content hash of the full semantic query (everything except `id`
+    /// and `deadline_ms`): the quarantine fingerprint. Two queries with
+    /// the same fingerprint run exactly the same computation, so a
+    /// scenario that panicked repeatedly can be fast-failed when it
+    /// arrives again under a different id.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = self.baseline_key();
+        h = mix(h, self.seed);
+        h = mix(h, self.mode as u64 + 1);
+        h = mix(h, self.mtbf.to_bits());
+        h
+    }
+}
+
+fn bad_field(key: &str, want: &str) -> ServeError {
+    ServeError::BadRequest(format!("field \"{key}\" must be {want}"))
+}
+
+/// One SplitMix64-style mixing round: absorb `v` into `h`. The same
+/// finalizer the DES substrate's keyed-hash fault decisions use.
+pub(crate) fn mix(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn q(text: &str) -> Result<ScenarioQuery, ServeError> {
+        ScenarioQuery::from_value(&parse(text).expect("valid JSON"))
+    }
+
+    #[test]
+    fn minimal_request_gets_defaults() {
+        let query = q(r#"{"id": 7}"#).expect("parses");
+        assert_eq!(query.id, 7);
+        assert_eq!(query.machine, MachineKind::Quartz);
+        assert_eq!(query.app, AppKind::Lulesh);
+        assert_eq!(query.ranks, defaults::RANKS);
+        assert_eq!(query.mode, QueryMode::Online);
+    }
+
+    #[test]
+    fn unknown_field_is_rejected() {
+        assert!(matches!(q(r#"{"id":1,"rnks":8}"#), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn missing_id_is_rejected() {
+        assert!(matches!(q(r#"{"ranks":8}"#), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn fti_geometry_is_validated() {
+        // 12 ranks is not a multiple of group_size*node_size = 8.
+        let e = q(r#"{"id":1,"ranks":12,"ft_period":5}"#);
+        assert!(matches!(e, Err(ServeError::BadRequest(_))), "{e:?}");
+        // …but is fine without checkpointing.
+        assert!(q(r#"{"id":1,"ranks":12,"ft_period":0}"#).is_ok());
+    }
+
+    #[test]
+    fn baseline_key_ignores_overlay_fields() {
+        let a = q(r#"{"id":1,"seed":11,"mode":"online"}"#).expect("parses");
+        let b = q(r#"{"id":2,"seed":99,"mode":"baseline","deadline_ms":50}"#).expect("parses");
+        assert_eq!(a.baseline_key(), b.baseline_key());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_id_and_deadline() {
+        let a = q(r#"{"id":1,"seed":11,"deadline_ms":5}"#).expect("parses");
+        let b = q(r#"{"id":2,"seed":11,"deadline_ms":99}"#).expect("parses");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

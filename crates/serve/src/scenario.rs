@@ -1,0 +1,264 @@
+//! Scenario execution: turn a validated [`ScenarioQuery`] into numbers.
+//!
+//! Two-phase split mirrors the DSE overlay machinery and is what makes
+//! the cache worth having:
+//!
+//! 1. **Baseline** ([`compute_baseline`]) — simulate the fault-free run
+//!    on the BE-SST simulator (`monte_carlo: false`, so seed-free and
+//!    bit-reproducible) and distill it to the replayable [`Timeline`].
+//!    This is the expensive, cacheable artifact.
+//! 2. **Overlay** ([`run_overlay`]) — replay the timeline under online
+//!    fail-stop injection with the query's seed. Cheap (no kernel-model
+//!    evaluation), so thousands of overlay queries share one baseline.
+
+use crate::query::{AppKind, MachineKind, QueryMode, ScenarioQuery};
+use crate::ServeError;
+use besst_core::beo::ArchBeo;
+use besst_core::faults::{FaultProcess, Timeline};
+use besst_core::online::{run_online, OnlineConfig, RunClass};
+use besst_core::sim::{simulate, EngineKind, SimConfig};
+use besst_fti::{CkptLevel, FtiConfig, GroupLayout};
+use besst_models::{Interpolation, ModelBundle, PerfModel, SampleTable};
+
+/// The cacheable artifact: a fault-free timeline plus its makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// The replayable fault-free trace.
+    pub timeline: Timeline,
+    /// Failure-free makespan, seconds.
+    pub baseline_s: f64,
+}
+
+/// The answer to one query, ready for response rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// Failure-free makespan of the scenario, seconds.
+    pub baseline_s: f64,
+    /// Makespan under the requested mode (== `baseline_s` for baseline
+    /// queries), seconds.
+    pub makespan_s: f64,
+    /// Crashes struck during the overlay (0 for baseline queries).
+    pub n_faults: u32,
+    /// Whether the overlay run completed within its fault budget.
+    pub completed: bool,
+    /// Data-integrity class of the run ("Correct" for baseline).
+    pub class: &'static str,
+}
+
+/// Per-machine cost scaling: step-time multiplier (core speed) and
+/// checkpoint-time multiplier (I/O path). Quartz is the reference;
+/// Vulcan's BG/Q cores and torus I/O are slower.
+fn machine_scale(m: MachineKind) -> (f64, f64) {
+    match m {
+        MachineKind::Quartz => (1.0, 1.0),
+        MachineKind::Vulcan => (2.5, 2.0),
+    }
+}
+
+/// Reference per-step / per-L1-checkpoint seconds at problem size 10
+/// (the bench crate's LULESH numbers; CMT-bone steps cost 2× for its
+/// spectral operators).
+const BASE_STEP_S: f64 = 0.01;
+const BASE_CKPT_S: f64 = 0.002;
+
+fn fti_for(q: &ScenarioQuery) -> FtiConfig {
+    if q.ft_period > 0 {
+        FtiConfig::l1_only(q.ft_period)
+    } else {
+        FtiConfig::none()
+    }
+}
+
+fn arch_for(q: &ScenarioQuery) -> (ArchBeo, f64) {
+    let (cpu_mult, io_mult) = machine_scale(q.machine);
+    let size_scale = f64::from(q.problem_size) / 10.0;
+    let app_mult = match q.app {
+        AppKind::Cmtbone => 2.0,
+        _ => 1.0,
+    };
+    let step_s = BASE_STEP_S * size_scale * cpu_mult * app_mult;
+    let ckpt_s = BASE_CKPT_S * size_scale * io_mult;
+    let mut bundle = ModelBundle::new();
+    match q.app {
+        AppKind::Lulesh | AppKind::Poison => {
+            // LULESH kernels take (epr, ranks) parameters; a single
+            // nearest-neighbour sample pins the cost for this scenario.
+            let dims: [&str; 2] = ["epr", "ranks"];
+            let at = [f64::from(q.problem_size), f64::from(q.ranks)];
+            for (name, secs) in [
+                (besst_apps::lulesh::kernels::TIMESTEP.to_string(), step_s),
+                (besst_apps::lulesh::kernels::ckpt(CkptLevel::L1).to_string(), ckpt_s),
+            ] {
+                let mut t = SampleTable::new(&dims, Interpolation::Nearest);
+                t.insert(&at, secs);
+                bundle.insert(&name, PerfModel::Table(t));
+            }
+        }
+        AppKind::Cmtbone => {
+            // CMT-bone kernels take (epr, poly, ranks).
+            let dims: [&str; 3] = ["epr", "poly", "ranks"];
+            let at = [f64::from(q.problem_size), 3.0, f64::from(q.ranks)];
+            for (name, secs) in [
+                (besst_apps::cmtbone::kernels::TIMESTEP.to_string(), step_s),
+                (besst_apps::cmtbone::kernels::ckpt(CkptLevel::L1), ckpt_s),
+            ] {
+                let mut t = SampleTable::new(&dims, Interpolation::Nearest);
+                t.insert(&at, secs);
+                bundle.insert(&name, PerfModel::Table(t));
+            }
+        }
+    }
+    let (machine, ranks_per_node) = match q.machine {
+        MachineKind::Quartz => (besst_machine::presets::quartz(), 36),
+        MachineKind::Vulcan => (besst_machine::presets::vulcan(), 16),
+    };
+    (ArchBeo::new(machine, ranks_per_node, bundle), ckpt_s)
+}
+
+/// Simulate the fault-free baseline for `q` on the BE-SST simulator.
+///
+/// A `poison` query panics here — deliberately, with no catch: worker
+/// isolation is the server's job ([`crate::server`]), and the panic must
+/// cross a real `catch_unwind` boundary to prove it works.
+pub fn compute_baseline(q: &ScenarioQuery) -> Result<Baseline, ServeError> {
+    if q.app == AppKind::Poison {
+        // lint: allow(panic-path) -- the poison scenario exists to panic:
+        // it is the isolation layer's test adversary, and converting it to
+        // a typed error would leave catch_unwind untested.
+        panic!("poison scenario {}: deliberate worker panic", q.fingerprint());
+    }
+    let fti = fti_for(q);
+    let (arch, ckpt_s) = arch_for(q);
+    let app = match q.app {
+        AppKind::Lulesh | AppKind::Poison => {
+            let cfg = besst_apps::LuleshConfig::new(q.problem_size, q.ranks);
+            besst_apps::lulesh::appbeo(&cfg, &fti, q.steps)
+        }
+        AppKind::Cmtbone => {
+            let cfg = besst_apps::CmtBoneConfig::new(q.problem_size, 3, q.ranks);
+            besst_apps::cmtbone::appbeo_ft(&cfg, &fti, q.steps)
+        }
+    };
+    let sim_cfg = SimConfig {
+        seed: 0,
+        monte_carlo: false,
+        engine: EngineKind::Sequential,
+        ..Default::default()
+    };
+    let res = simulate(&app, &arch, &sim_cfg).map_err(|e| ServeError::Sim(e.to_string()))?;
+    let restart_costs = if q.ft_period > 0 {
+        // Restarting from an L1 checkpoint costs a read-back plus
+        // re-initialization: 2× the write, the bench crate's convention.
+        vec![(CkptLevel::L1, 2.0 * ckpt_s)]
+    } else {
+        Vec::new()
+    };
+    let timeline =
+        Timeline::from_completions(&res.step_completions, &res.ckpt_completions, restart_costs);
+    Ok(Baseline { timeline, baseline_s: res.total_seconds })
+}
+
+/// Answer `q` given its (possibly cached) baseline.
+pub fn run_overlay(q: &ScenarioQuery, baseline: &Baseline) -> Result<QueryAnswer, ServeError> {
+    match q.mode {
+        QueryMode::Baseline => Ok(QueryAnswer {
+            baseline_s: baseline.baseline_s,
+            makespan_s: baseline.baseline_s,
+            n_faults: 0,
+            completed: true,
+            class: "Correct",
+        }),
+        QueryMode::Online => {
+            let n_nodes = 2u32;
+            let mtbf = if q.mtbf > 0.0 {
+                q.mtbf
+            } else {
+                // Bench default: a handful of crashes per replay.
+                baseline.baseline_s * f64::from(n_nodes) / 3.0
+            };
+            let process = FaultProcess::new(mtbf, n_nodes, 0.3);
+            let layout = if q.ft_period > 0 {
+                Some(GroupLayout::new(&FtiConfig::l1_only(q.ft_period), q.ranks))
+            } else {
+                None
+            };
+            let cfg = OnlineConfig::new(process, layout);
+            let run = run_online(&baseline.timeline, &cfg, q.seed, EngineKind::Sequential)
+                .map_err(|e| ServeError::Sim(e.to_string()))?;
+            Ok(QueryAnswer {
+                baseline_s: baseline.baseline_s,
+                makespan_s: run.makespan,
+                n_faults: run.n_faults,
+                completed: run.completed,
+                class: class_name(run.class),
+            })
+        }
+    }
+}
+
+fn class_name(c: RunClass) -> &'static str {
+    match c {
+        RunClass::Correct => "Correct",
+        RunClass::CorrectedByAbft { .. } => "CorrectedByAbft",
+        RunClass::RolledBack { .. } => "RolledBack",
+        RunClass::SilentlyWrong { .. } => "SilentlyWrong",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn query(text: &str) -> ScenarioQuery {
+        ScenarioQuery::from_value(&parse(text).expect("valid JSON")).expect("valid query")
+    }
+
+    #[test]
+    fn baseline_is_seed_free_and_deterministic() {
+        let a = compute_baseline(&query(r#"{"id":1,"steps":20,"seed":7}"#)).expect("runs");
+        let b = compute_baseline(&query(r#"{"id":2,"steps":20,"seed":8}"#)).expect("runs");
+        assert_eq!(a, b, "baseline must not depend on id or seed");
+        assert!(a.baseline_s > 0.0);
+        assert_eq!(a.timeline.step_durations.len(), 20);
+        assert_eq!(a.timeline.checkpoints.len(), 2);
+    }
+
+    #[test]
+    fn overlay_runs_and_differs_by_seed() {
+        let q1 = query(r#"{"id":1,"steps":30,"seed":3}"#);
+        let base = compute_baseline(&q1).expect("runs");
+        let a = run_overlay(&q1, &base).expect("overlay runs");
+        assert!(a.makespan_s >= a.baseline_s);
+        let q2 = query(r#"{"id":1,"steps":30,"seed":4}"#);
+        let b = run_overlay(&q2, &base).expect("overlay runs");
+        // Different seeds draw different crash schedules; the makespans
+        // are allowed to coincide but the runs must both be well-formed.
+        assert!(b.makespan_s >= b.baseline_s);
+    }
+
+    #[test]
+    fn no_ft_scenario_still_answers() {
+        let q = query(r#"{"id":1,"steps":15,"ft_period":0,"seed":5}"#);
+        let base = compute_baseline(&q).expect("runs");
+        assert!(base.timeline.checkpoints.is_empty());
+        let a = run_overlay(&q, &base).expect("overlay runs");
+        assert!(a.makespan_s >= a.baseline_s);
+    }
+
+    #[test]
+    fn cmtbone_and_vulcan_cost_more() {
+        let cheap = compute_baseline(&query(r#"{"id":1,"steps":10}"#)).expect("runs");
+        let slow = compute_baseline(&query(
+            r#"{"id":1,"steps":10,"machine":"vulcan","app":"cmtbone"}"#,
+        ))
+        .expect("runs");
+        assert!(slow.baseline_s > cheap.baseline_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "poison scenario")]
+    fn poison_panics() {
+        let _ = compute_baseline(&query(r#"{"id":1,"app":"poison"}"#));
+    }
+}

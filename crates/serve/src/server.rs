@@ -1,0 +1,558 @@
+//! The hardened batch engine: admission, isolation, retries, quarantine.
+//!
+//! [`Server::handle_batch`] upholds the server's core invariant —
+//! **exactly one [`Response`] per input query**, whatever happens inside
+//! a worker. The four robustness layers from the crate docs live here:
+//! bounded admission with load shedding, `catch_unwind` isolation with
+//! a deterministic quarantine, soft deadlines with bounded
+//! exponential-backoff retries, and (when configured) chaos injection
+//! against the server's own workers and cache.
+//!
+//! Determinism contract (what the chaos harness asserts): quarantine
+//! decisions are taken against the state *before* the batch and
+//! committed in input order *after* it, so responses never depend on
+//! worker scheduling; deadlines gate retries and admission-to-run, never
+//! a completed answer, so bounded injected delays cannot flip a success
+//! into a timeout.
+
+use crate::cache::{BaselineCache, CacheStats, Lookup};
+use crate::chaos::{Chaos, ChaosStats};
+use crate::query::ScenarioQuery;
+use crate::scenario::{compute_baseline, run_overlay, QueryAnswer};
+use crate::ServeError;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs. [`Default`] is sized for tests and the smoke
+/// batch; the `besst serve` binary exposes the interesting ones as
+/// flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads in the rayon pool (0 = one per core).
+    pub workers: usize,
+    /// Admission bound: queries per batch beyond this are shed with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Baselines the cache retains.
+    pub cache_capacity: usize,
+    /// Default per-query soft deadline, ms (a query may lower or raise
+    /// its own via `deadline_ms`).
+    pub deadline_ms: u64,
+    /// Per-batch budget, ms: queries whose turn comes after it expires
+    /// are answered with explicit [`ServeError::Timeout`] markers.
+    pub batch_budget_ms: u64,
+    /// Retry attempts after a transient (panic) failure.
+    pub max_retries: u32,
+    /// Base backoff before the first retry, µs; doubles per retry with
+    /// deterministic seeded jitter.
+    pub backoff_base_us: u64,
+    /// Retry-exhausted failures on one fingerprint before it is
+    /// quarantined (fast-failed without running).
+    pub quarantine_threshold: u32,
+    /// Self-fault-injection; `None` runs fault-free.
+    pub chaos: Option<Chaos>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 4096,
+            cache_capacity: 64,
+            deadline_ms: 10_000,
+            batch_budget_ms: 60_000,
+            max_retries: 8,
+            backoff_base_us: 50,
+            quarantine_threshold: 2,
+            chaos: None,
+        }
+    }
+}
+
+/// What happened to one query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The query ran to completion.
+    Ok {
+        /// The computed numbers.
+        answer: QueryAnswer,
+        /// Whether the baseline came from the cache.
+        cached: bool,
+        /// Retries spent (0 on the fault-free path).
+        retries: u32,
+    },
+    /// The query failed; see [`ServeError`] for the taxonomy.
+    Err(ServeError),
+}
+
+/// Exactly one of these per input query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The query's caller-chosen id, echoed back.
+    pub id: u64,
+    /// The outcome.
+    pub outcome: Outcome,
+}
+
+/// Server-level counters snapshot (cache and chaos counters ride along).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Queries received across all batches.
+    pub received: u64,
+    /// Queries shed by admission control.
+    pub shed: u64,
+    /// Queries answered `ok`.
+    pub ok: u64,
+    /// Queries answered with an error of any kind.
+    pub errors: u64,
+    /// Timeout markers issued.
+    pub timeouts: u64,
+    /// Quarantine fast-fails issued.
+    pub quarantined: u64,
+    /// Worker panics caught (every attempt, retried or not).
+    pub panics_caught: u64,
+    /// Retries spent across all queries.
+    pub retries: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    received: AtomicU64,
+    shed: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    quarantined: AtomicU64,
+    panics_caught: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// The scenario server: owns the worker pool, cache and quarantine.
+pub struct Server {
+    cfg: ServeConfig,
+    pool: rayon::ThreadPool,
+    cache: BaselineCache,
+    /// fingerprint → consecutive retry-exhausted failures.
+    quarantine: Mutex<BTreeMap<u64, u32>>,
+    counters: Counters,
+}
+
+/// Post-batch quarantine bookkeeping for one query, committed in input
+/// order so outcomes never depend on worker scheduling.
+enum LedgerEntry {
+    /// Ran to a verdict: record success (reset) or exhausted failure.
+    Ran {
+        /// The query's fingerprint.
+        fp: u64,
+        /// Whether the verdict was an exhausted (permanent) failure.
+        exhausted: bool,
+    },
+    /// Shed, fast-failed, or timed out without running: no change.
+    Untouched,
+}
+
+impl Server {
+    /// Build a server. Fails only if the worker pool cannot start.
+    pub fn new(cfg: ServeConfig) -> Result<Server, ServeError> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(cfg.workers)
+            .thread_name(|i| format!("besst-serve-{i}"))
+            .build()
+            .map_err(|e| ServeError::Internal(format!("worker pool: {e}")))?;
+        let cache = BaselineCache::new(cfg.cache_capacity);
+        Ok(Server {
+            cfg,
+            pool,
+            cache,
+            quarantine: Mutex::new(BTreeMap::new()),
+            counters: Counters::default(),
+        })
+    }
+
+    /// The configuration the server runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Handle one batch, returning responses in input order.
+    pub fn handle_batch(&self, queries: &[ScenarioQuery]) -> Vec<Response> {
+        let slots: Vec<Mutex<Option<Response>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        self.handle_batch_indexed(queries, &|idx, resp| {
+            *slots[idx].lock() = Some(resp);
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner().unwrap_or_else(|| Response {
+                    // Unreachable by construction (every index is answered
+                    // exactly once); a typed error beats a panic if the
+                    // invariant ever regresses.
+                    id: queries[i].id,
+                    outcome: Outcome::Err(ServeError::Internal(
+                        "query produced no response".into(),
+                    )),
+                })
+            })
+            .collect()
+    }
+
+    /// Handle one batch, streaming each response as it completes
+    /// (completion order; the `usize` is the query's input index).
+    pub fn handle_batch_indexed(
+        &self,
+        queries: &[ScenarioQuery],
+        sink: &(dyn Fn(usize, Response) + Sync),
+    ) {
+        let batch_start = Instant::now();
+        let budget = Duration::from_millis(self.cfg.batch_budget_ms);
+        self.counters.received.fetch_add(queries.len() as u64, Ordering::Relaxed);
+
+        // Quarantine snapshot: decisions for this whole batch are taken
+        // against pre-batch state (determinism contract, module docs).
+        let pre_quarantine: BTreeMap<u64, u32> = self.quarantine.lock().clone();
+        let ledger: Vec<Mutex<LedgerEntry>> =
+            queries.iter().map(|_| Mutex::new(LedgerEntry::Untouched)).collect();
+
+        let admitted = queries.len().min(self.cfg.queue_capacity);
+        // Shed the tail beyond the admission bound up front: flat,
+        // immediate Overloaded responses instead of queue collapse.
+        for (idx, q) in queries.iter().enumerate().skip(admitted) {
+            let overflow = (idx - admitted) as u64;
+            let retry_after_ms = 10 + 5 * overflow;
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            sink(idx, Response {
+                id: q.id,
+                outcome: Outcome::Err(ServeError::Overloaded { retry_after_ms }),
+            });
+        }
+
+        self.pool.install(|| {
+            queries[..admitted].par_iter().enumerate().for_each(|(idx, q)| {
+                let (resp, entry) = self.run_one(q, batch_start, budget, &pre_quarantine);
+                *ledger[idx].lock() = entry;
+                self.count_outcome(&resp.outcome);
+                sink(idx, resp);
+            });
+        });
+
+        // Commit quarantine deltas in input order.
+        let mut g = self.quarantine.lock();
+        for slot in ledger {
+            if let LedgerEntry::Ran { fp, exhausted } = slot.into_inner() {
+                if exhausted {
+                    *g.entry(fp).or_insert(0) += 1;
+                } else {
+                    g.remove(&fp);
+                }
+            }
+        }
+    }
+
+    fn count_outcome(&self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Ok { retries, .. } => {
+                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                self.counters.retries.fetch_add(u64::from(*retries), Ordering::Relaxed);
+            }
+            Outcome::Err(e) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                match e {
+                    ServeError::Timeout { .. } => {
+                        self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ServeError::Quarantined { .. } => {
+                        self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Run one admitted query to a verdict.
+    fn run_one(
+        &self,
+        q: &ScenarioQuery,
+        batch_start: Instant,
+        budget: Duration,
+        pre_quarantine: &BTreeMap<u64, u32>,
+    ) -> (Response, LedgerEntry) {
+        let fp = q.fingerprint();
+        if let Some(&failures) = pre_quarantine.get(&fp) {
+            if failures >= self.cfg.quarantine_threshold {
+                return (
+                    Response { id: q.id, outcome: Outcome::Err(ServeError::Quarantined { failures }) },
+                    LedgerEntry::Untouched,
+                );
+            }
+        }
+        let deadline_ms =
+            if q.deadline_ms > 0 { q.deadline_ms } else { self.cfg.deadline_ms };
+        let deadline = Duration::from_millis(deadline_ms);
+        let timeout = ServeError::Timeout { deadline_ms };
+        if batch_start.elapsed() > budget {
+            // Batch budget already gone: explicit marker, never a stall.
+            return (
+                Response { id: q.id, outcome: Outcome::Err(timeout) },
+                LedgerEntry::Untouched,
+            );
+        }
+        let query_start = Instant::now();
+        let mut retries = 0u32;
+        loop {
+            let attempt_result = self.attempt(q, fp, retries);
+            match attempt_result {
+                Ok((answer, cached)) => {
+                    return (
+                        Response {
+                            id: q.id,
+                            outcome: Outcome::Ok { answer, cached, retries },
+                        },
+                        LedgerEntry::Ran { fp, exhausted: false },
+                    );
+                }
+                Err(e) if e.transient() && retries < self.cfg.max_retries => {
+                    if query_start.elapsed() > deadline || batch_start.elapsed() > budget {
+                        // Out of time mid-retry: degrade to a marker.
+                        return (
+                            Response { id: q.id, outcome: Outcome::Err(timeout) },
+                            LedgerEntry::Untouched,
+                        );
+                    }
+                    std::thread::sleep(self.backoff(fp, retries));
+                    retries += 1;
+                }
+                Err(e) => {
+                    let exhausted = e.transient(); // retries used up
+                    return (
+                        Response { id: q.id, outcome: Outcome::Err(e) },
+                        LedgerEntry::Ran { fp, exhausted },
+                    );
+                }
+            }
+        }
+    }
+
+    /// One isolated attempt: chaos delay/crash, cache probe, baseline
+    /// compute, overlay — all under `catch_unwind`.
+    fn attempt(
+        &self,
+        q: &ScenarioQuery,
+        fp: u64,
+        attempt: u32,
+    ) -> Result<(QueryAnswer, bool), ServeError> {
+        let result = catch_unwind(AssertUnwindSafe(|| self.attempt_inner(q, fp, attempt)));
+        match result {
+            Ok(r) => r,
+            Err(payload) => {
+                self.counters.panics_caught.fetch_add(1, Ordering::Relaxed);
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(ServeError::Panic(msg))
+            }
+        }
+    }
+
+    fn attempt_inner(
+        &self,
+        q: &ScenarioQuery,
+        fp: u64,
+        attempt: u32,
+    ) -> Result<(QueryAnswer, bool), ServeError> {
+        if let Some(chaos) = &self.cfg.chaos {
+            if let Some(delay) = chaos.worker_delay(fp, attempt) {
+                std::thread::sleep(delay);
+            }
+            if chaos.worker_crashes(fp, attempt) {
+                // lint: allow(panic-path) -- deliberate self-fault-injection:
+                // the panic must cross the catch_unwind boundary above to
+                // exercise the isolation layer for real.
+                panic!("buggify: injected worker crash (fp={fp:#x}, attempt={attempt})");
+            }
+        }
+        let key = q.baseline_key();
+        let (baseline, cached) = match self.cache.lookup(key) {
+            Lookup::Hit(b) => (b, true),
+            // Corrupt and Miss take the same recompute path: corruption
+            // costs latency, never answers.
+            Lookup::Corrupt | Lookup::Miss => {
+                let b = compute_baseline(q)?;
+                self.cache.insert(key, &b);
+                if let Some(chaos) = &self.cfg.chaos {
+                    if let Some(bit) = chaos.corrupts_cache(key) {
+                        self.cache.corrupt_entry(key, bit);
+                    }
+                }
+                (b, false)
+            }
+        };
+        let answer = run_overlay(q, &baseline)?;
+        Ok((answer, cached))
+    }
+
+    /// Deterministic exponential backoff with seeded jitter: attempt `n`
+    /// waits `base * 2^n + jitter(fp, n)` µs, capped at 5 ms.
+    fn backoff(&self, fp: u64, attempt: u32) -> Duration {
+        let base = self.cfg.backoff_base_us.max(1);
+        let exp = base.saturating_mul(1u64 << attempt.min(16));
+        let seed = self.cfg.chaos.as_ref().map_or(0xBE57, |c| c.seed());
+        let jitter = crate::query::mix(seed ^ fp, u64::from(attempt)) % base;
+        Duration::from_micros((exp + jitter).min(5_000))
+    }
+
+    /// Server counters snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            received: self.counters.received.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            ok: self.counters.ok.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            quarantined: self.counters.quarantined.load(Ordering::Relaxed),
+            panics_caught: self.counters.panics_caught.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cache counters snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Chaos counters snapshot (zeroes when running fault-free).
+    pub fn chaos_stats(&self) -> ChaosStats {
+        self.cfg.chaos.as_ref().map(Chaos::stats).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn query(text: &str) -> ScenarioQuery {
+        ScenarioQuery::from_value(&parse(text).expect("valid JSON")).expect("valid query")
+    }
+
+    fn quiet_server(cfg: ServeConfig) -> Server {
+        Server::new(cfg).expect("pool starts")
+    }
+
+    #[test]
+    fn batch_answers_every_query_in_order() {
+        let s = quiet_server(ServeConfig::default());
+        let qs: Vec<ScenarioQuery> = (0..6)
+            .map(|i| query(&format!(r#"{{"id":{i},"steps":10,"seed":{i}}}"#)))
+            .collect();
+        let resps = s.handle_batch(&qs);
+        assert_eq!(resps.len(), 6);
+        for (i, r) in resps.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(matches!(r.outcome, Outcome::Ok { .. }), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn identical_configs_share_one_baseline() {
+        let s = quiet_server(ServeConfig::default());
+        let qs: Vec<ScenarioQuery> =
+            (0..8).map(|i| query(&format!(r#"{{"id":{i},"steps":10,"seed":{i}}}"#))).collect();
+        let _ = s.handle_batch(&qs);
+        let cs = s.cache_stats();
+        // One miss computes the baseline; every other query hits it
+        // (modulo races where two workers miss concurrently, which can
+        // only *lower* the hit count by re-computing, never corrupt it).
+        assert!(cs.hits >= 1, "{cs:?}");
+        assert_eq!(cs.corruptions, 0);
+    }
+
+    #[test]
+    fn poison_is_isolated_then_quarantined() {
+        let mut cfg = ServeConfig::default();
+        cfg.max_retries = 2;
+        cfg.quarantine_threshold = 1;
+        let s = quiet_server(cfg);
+        let poison = query(r#"{"id":1,"app":"poison"}"#);
+        let good = query(r#"{"id":2,"steps":10}"#);
+
+        let first = s.handle_batch(std::slice::from_ref(&poison));
+        assert!(
+            matches!(&first[0].outcome, Outcome::Err(ServeError::Panic(m)) if m.contains("poison")),
+            "{first:?}"
+        );
+        // The server survived; the same fingerprint now fast-fails while
+        // good queries still run.
+        let second = s.handle_batch(&[poison.clone(), good]);
+        assert!(
+            matches!(second[0].outcome, Outcome::Err(ServeError::Quarantined { .. })),
+            "{second:?}"
+        );
+        assert!(matches!(second[1].outcome, Outcome::Ok { .. }), "{second:?}");
+        assert!(s.stats().panics_caught >= 3, "every attempt is caught");
+    }
+
+    #[test]
+    fn overload_sheds_with_retry_hints() {
+        let mut cfg = ServeConfig::default();
+        cfg.queue_capacity = 3;
+        let s = quiet_server(cfg);
+        let qs: Vec<ScenarioQuery> =
+            (0..7).map(|i| query(&format!(r#"{{"id":{i},"steps":20}}"#))).collect();
+        let resps = s.handle_batch(&qs);
+        let shed: Vec<&Response> = resps
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Err(ServeError::Overloaded { .. })))
+            .collect();
+        assert_eq!(shed.len(), 4);
+        assert_eq!(s.stats().shed, 4);
+        // Later overflow positions get longer retry-after hints.
+        if let (
+            Outcome::Err(ServeError::Overloaded { retry_after_ms: a }),
+            Outcome::Err(ServeError::Overloaded { retry_after_ms: b }),
+        ) = (&shed[0].outcome, &shed[3].outcome)
+        {
+            assert!(b > a);
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_timeout_markers() {
+        let mut cfg = ServeConfig::default();
+        cfg.batch_budget_ms = 0; // budget gone before the batch starts
+        let s = quiet_server(cfg);
+        let qs: Vec<ScenarioQuery> =
+            (0..3).map(|i| query(&format!(r#"{{"id":{i},"steps":20}}"#))).collect();
+        let resps = s.handle_batch(&qs);
+        assert!(resps
+            .iter()
+            .all(|r| matches!(r.outcome, Outcome::Err(ServeError::Timeout { .. }))));
+        assert_eq!(s.stats().timeouts, 3);
+    }
+
+    #[test]
+    fn chaos_batch_still_answers_everything() {
+        let mut cfg = ServeConfig::default();
+        cfg.chaos = Some(Chaos::new(0xBE57_0007));
+        let s = quiet_server(cfg);
+        let qs: Vec<ScenarioQuery> = (0..32)
+            .map(|i| query(&format!(r#"{{"id":{i},"steps":10,"seed":{i}}}"#)))
+            .collect();
+        let resps = s.handle_batch(&qs);
+        assert_eq!(resps.len(), 32);
+        for r in &resps {
+            assert!(matches!(r.outcome, Outcome::Ok { .. }), "{r:?}");
+        }
+    }
+}

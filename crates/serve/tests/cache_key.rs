@@ -1,0 +1,229 @@
+//! Property tests for the cache-key canonicalization contract
+//! (`ScenarioQuery::baseline_key` / `fingerprint`, see the module docs in
+//! `src/query.rs`): field order and default elision never change a key,
+//! every semantic field does, and overlay fields never touch the baseline
+//! key. Hand-rolled generators on a fixed seed — the offline stub
+//! registry carries no proptest, and a fixed seed makes a failure
+//! replayable by running the test again.
+
+use besst_serve::query::{defaults, AppKind, MachineKind, QueryMode, ScenarioQuery};
+use besst_serve::{json, ServeError};
+use std::collections::BTreeSet;
+
+/// Deterministic SplitMix64 generator for the property trials.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn coin(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// A random *valid* query: ranks respect the FTI geometry (multiples of
+/// the L1 group footprint), `ft_period <= steps`, everything in bounds.
+fn arb_query(g: &mut Gen) -> ScenarioQuery {
+    let ft_period = *g.pick(&[0u32, 5, 10, 25]);
+    let steps = ft_period.max(1) * (1 + g.below(8) as u32);
+    let q = ScenarioQuery {
+        id: g.next(),
+        machine: *g.pick(&[MachineKind::Quartz, MachineKind::Vulcan]),
+        app: *g.pick(&[AppKind::Lulesh, AppKind::Cmtbone, AppKind::Poison]),
+        problem_size: 1 + g.below(1000) as u32,
+        ranks: *g.pick(&[8u32, 16, 64, 128, 512]),
+        steps,
+        ft_period,
+        seed: g.next(),
+        mode: *g.pick(&[QueryMode::Baseline, QueryMode::Online]),
+        mtbf: *g.pick(&[0.0f64, 600.0, 3600.0, 86400.0]),
+        deadline_ms: g.below(10_000),
+    };
+    q.validate().expect("generator only emits valid queries");
+    q
+}
+
+/// Render `query` as a JSONL request with the fields in a shuffled order,
+/// optionally eliding any field whose value equals its default (the two
+/// spellings the canonicalization contract must not distinguish).
+fn render(g: &mut Gen, q: &ScenarioQuery, elide_defaults: bool) -> String {
+    let mut fields: Vec<(&str, String)> = vec![
+        ("id", q.id.to_string()),
+        ("machine", format!("\"{}\"", q.machine.name())),
+        ("app", format!("\"{}\"", q.app.name())),
+        ("problem_size", q.problem_size.to_string()),
+        ("ranks", q.ranks.to_string()),
+        ("steps", q.steps.to_string()),
+        ("ft_period", q.ft_period.to_string()),
+        ("seed", q.seed.to_string()),
+        ("mode", format!("\"{}\"", q.mode.name())),
+        ("mtbf", format!("{:.1}", q.mtbf)),
+        ("deadline_ms", q.deadline_ms.to_string()),
+    ];
+    if elide_defaults {
+        fields.retain(|(name, _)| match *name {
+            "machine" => q.machine.name() != defaults::MACHINE || g.coin(),
+            "app" => q.app.name() != defaults::APP || g.coin(),
+            "problem_size" => q.problem_size != defaults::PROBLEM_SIZE || g.coin(),
+            "ranks" => q.ranks != defaults::RANKS || g.coin(),
+            "steps" => q.steps != defaults::STEPS || g.coin(),
+            "ft_period" => q.ft_period != defaults::FT_PERIOD || g.coin(),
+            "seed" => q.seed != defaults::SEED || g.coin(),
+            "mode" => q.mode.name() != defaults::MODE || g.coin(),
+            "mtbf" => q.mtbf != defaults::MTBF || g.coin(),
+            "deadline_ms" => q.deadline_ms != defaults::DEADLINE_MS || g.coin(),
+            _ => true,
+        });
+    }
+    // Fisher-Yates on the retained fields.
+    for i in (1..fields.len()).rev() {
+        fields.swap(i, g.below(i as u64 + 1) as usize);
+    }
+    let body: Vec<String> =
+        fields.iter().map(|(name, value)| format!("\"{name}\":{value}")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn parse(text: &str) -> Result<ScenarioQuery, ServeError> {
+    ScenarioQuery::from_value(&json::parse(text).expect("render emits valid JSON"))
+}
+
+const TRIALS: usize = 300;
+
+#[test]
+fn field_order_and_default_elision_never_change_the_key() {
+    let mut g = Gen(0xCAFE_0001);
+    for trial in 0..TRIALS {
+        let q = arb_query(&mut g);
+        let spelled = parse(&render(&mut g, &q, false)).expect("spelled-out parses");
+        let elided = parse(&render(&mut g, &q, true)).expect("elided parses");
+        assert_eq!(spelled, q, "trial {trial}: round-trip must be lossless");
+        assert_eq!(elided, q, "trial {trial}: elided defaults must re-default");
+        assert_eq!(
+            spelled.baseline_key(),
+            elided.baseline_key(),
+            "trial {trial}: spelling must not change the baseline key"
+        );
+        assert_eq!(
+            spelled.fingerprint(),
+            elided.fingerprint(),
+            "trial {trial}: spelling must not change the fingerprint"
+        );
+    }
+}
+
+#[test]
+fn every_semantic_field_changes_the_key() {
+    let mut g = Gen(0xCAFE_0002);
+    for trial in 0..TRIALS {
+        let q = arb_query(&mut g);
+        let mutants: Vec<(&str, ScenarioQuery)> = vec![
+            (
+                "machine",
+                ScenarioQuery {
+                    machine: match q.machine {
+                        MachineKind::Quartz => MachineKind::Vulcan,
+                        MachineKind::Vulcan => MachineKind::Quartz,
+                    },
+                    ..q.clone()
+                },
+            ),
+            (
+                "app",
+                ScenarioQuery {
+                    app: match q.app {
+                        AppKind::Lulesh => AppKind::Cmtbone,
+                        AppKind::Cmtbone => AppKind::Poison,
+                        AppKind::Poison => AppKind::Lulesh,
+                    },
+                    ..q.clone()
+                },
+            ),
+            ("problem_size", ScenarioQuery { problem_size: q.problem_size + 1, ..q.clone() }),
+            ("ranks", ScenarioQuery { ranks: q.ranks + 8, ..q.clone() }),
+            ("steps", ScenarioQuery { steps: q.steps + 1, ..q.clone() }),
+            ("ft_period", ScenarioQuery { ft_period: q.ft_period + 1, ..q.clone() }),
+        ];
+        for (field, m) in mutants {
+            assert_ne!(
+                q.baseline_key(),
+                m.baseline_key(),
+                "trial {trial}: mutating `{field}` must change the baseline key"
+            );
+            assert_ne!(
+                q.fingerprint(),
+                m.fingerprint(),
+                "trial {trial}: mutating `{field}` must change the fingerprint"
+            );
+        }
+    }
+}
+
+#[test]
+fn overlay_fields_never_touch_the_baseline_key() {
+    let mut g = Gen(0xCAFE_0003);
+    for trial in 0..TRIALS {
+        let q = arb_query(&mut g);
+        let overlay = ScenarioQuery {
+            id: q.id.wrapping_add(1 + g.next()),
+            seed: q.seed.wrapping_add(1 + g.next()),
+            mode: match q.mode {
+                QueryMode::Baseline => QueryMode::Online,
+                QueryMode::Online => QueryMode::Baseline,
+            },
+            mtbf: q.mtbf + 1.0,
+            deadline_ms: q.deadline_ms + 1,
+            ..q.clone()
+        };
+        assert_eq!(
+            q.baseline_key(),
+            overlay.baseline_key(),
+            "trial {trial}: id/seed/mode/mtbf/deadline_ms are overlay-only"
+        );
+        // …but seed, mode and mtbf are semantic for the quarantine
+        // fingerprint (they change what the worker computes).
+        assert_ne!(
+            q.fingerprint(),
+            overlay.fingerprint(),
+            "trial {trial}: the overlay changes the fingerprint"
+        );
+        // id and deadline_ms alone change neither hash.
+        let relabeled =
+            ScenarioQuery { id: q.id.wrapping_add(9), deadline_ms: q.deadline_ms + 9, ..q.clone() };
+        assert_eq!(q.baseline_key(), relabeled.baseline_key(), "trial {trial}");
+        assert_eq!(q.fingerprint(), relabeled.fingerprint(), "trial {trial}");
+    }
+}
+
+#[test]
+fn keys_are_collision_free_across_the_sampled_space() {
+    // Not a cryptographic claim — just that the mixer separates every
+    // distinct semantic tuple this sample produces, on a fixed seed, so a
+    // regression to a weak mix (e.g. XOR of fields) fails loudly.
+    let mut g = Gen(0xCAFE_0004);
+    let mut tuples = BTreeSet::new();
+    let mut keys = BTreeSet::new();
+    for _ in 0..2000 {
+        let q = arb_query(&mut g);
+        let tuple =
+            (q.machine.name(), q.app.name(), q.problem_size, q.ranks, q.steps, q.ft_period);
+        if tuples.insert(tuple) {
+            assert!(
+                keys.insert(q.baseline_key()),
+                "two distinct scenarios share a baseline key: {tuple:?}"
+            );
+        }
+    }
+    assert!(tuples.len() > 500, "sampler collapsed: only {} distinct tuples", tuples.len());
+}

@@ -1,0 +1,222 @@
+//! The chaos gate: the DST-style acceptance harness for the serving
+//! layer. Under the `serve` buggify preset — injected worker crashes and
+//! delays, duplicated query lines, dropped response lines, cache bit
+//! flips — the server must still give **exactly one response per
+//! accepted query**, never abort, and produce response lines that are
+//! **bit-identical** to a fault-free run of the same batch. Chaos may
+//! cost latency (retries, cache recomputes); it may never change an
+//! answer.
+//!
+//! Everything here is keyed by fixed seeds: a failure replays exactly.
+
+use besst_serve::net::serve_lines;
+use besst_serve::protocol::render_response;
+use besst_serve::query::ScenarioQuery;
+use besst_serve::{json, Chaos, ServeConfig, Server};
+use std::collections::BTreeMap;
+use std::sync::Once;
+
+/// Injected crashes and the poison app panic on purpose; without a
+/// filtering hook every caught panic spams the captured test output.
+/// Genuine panics (assertion failures) still reach the default hook.
+fn quiet_expected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if msg.contains("buggify:") || msg.contains("poison") {
+                return; // expected self-injected fault
+            }
+            default(info);
+        }));
+    });
+}
+
+fn query(text: &str) -> ScenarioQuery {
+    ScenarioQuery::from_value(&json::parse(text).expect("valid JSON")).expect("valid query")
+}
+
+/// The 1000-query acceptance batch: 16 distinct baselines (so the cache
+/// both hits and, under chaos, takes corruptions), distinct seeds and
+/// modes per query, plus a sprinkle of poison scenarios that panic
+/// *organically* on every attempt.
+fn acceptance_batch() -> Vec<ScenarioQuery> {
+    (0..1000u64)
+        .map(|i| {
+            if i % 97 == 0 {
+                // Poison: the worker itself panics. Must be isolated and
+                // answered with the same typed error as fault-free.
+                query(&format!(r#"{{"id":{i},"app":"poison","seed":{i}}}"#))
+            } else {
+                let machine = if i % 2 == 0 { "quartz" } else { "vulcan" };
+                let steps = 10 + 10 * ((i / 2) % 2); // 10 or 20
+                let ps = 5 + 5 * ((i / 4) % 2); // 5 or 10
+                let mode = if i % 3 == 0 { "baseline" } else { "online" };
+                query(&format!(
+                    r#"{{"id":{i},"machine":"{machine}","steps":{steps},"problem_size":{ps},"ranks":8,"mode":"{mode}","seed":{i}}}"#
+                ))
+            }
+        })
+        .collect()
+}
+
+fn render_batch(server: &Server, queries: &[ScenarioQuery]) -> Vec<String> {
+    let resps = server.handle_batch(queries);
+    assert_eq!(resps.len(), queries.len(), "exactly one response per query");
+    for (q, r) in queries.iter().zip(&resps) {
+        assert_eq!(q.id, r.id, "responses stay in input order");
+    }
+    resps.iter().map(render_response).collect()
+}
+
+#[test]
+fn thousand_query_chaos_batch_is_bit_identical() {
+    quiet_expected_panics();
+    let queries = acceptance_batch();
+
+    let fault_free = Server::new(ServeConfig::default()).expect("pool starts");
+    let clean = render_batch(&fault_free, &queries);
+
+    let chaos_cfg =
+        ServeConfig { chaos: Some(Chaos::new(0xC4A0_5001)), ..ServeConfig::default() };
+    let chaotic = Server::new(chaos_cfg).expect("pool starts");
+    let stormy = render_batch(&chaotic, &queries);
+
+    for (i, (a, b)) in clean.iter().zip(&stormy).enumerate() {
+        assert_eq!(a, b, "query {i}: chaos changed the answer");
+    }
+
+    // The run was actually chaotic — the preset fired at every layer the
+    // batch engine owns — and the isolation layer saw real panics.
+    let injected = chaotic.chaos_stats();
+    assert!(injected.worker_crashes > 0, "{injected:?}");
+    assert!(injected.worker_delays > 0, "{injected:?}");
+    assert!(injected.cache_corruptions > 0, "{injected:?}");
+    let stats = chaotic.stats();
+    assert!(stats.panics_caught > 0, "{stats:?}");
+    assert!(stats.retries > 0, "{stats:?}");
+    assert_eq!(stats.received, 1000);
+    // Chaos is allowed to cost cache work, never answers. (Not exact
+    // equality: a flip lands on every re-insert of a chosen key, and the
+    // last flip before the batch ends may never be probed again.)
+    let cache = chaotic.cache_stats();
+    assert!(cache.corruptions > 0, "{cache:?}");
+    assert!(cache.corruptions <= injected.cache_corruptions, "{cache:?} vs {injected:?}");
+}
+
+#[test]
+fn chaos_runs_replay_exactly_from_their_seed() {
+    quiet_expected_panics();
+    let queries: Vec<ScenarioQuery> = acceptance_batch().into_iter().take(200).collect();
+    let run = |seed: u64| {
+        let cfg = ServeConfig { chaos: Some(Chaos::new(seed)), ..ServeConfig::default() };
+        let s = Server::new(cfg).expect("pool starts");
+        let lines = render_batch(&s, &queries);
+        (lines, s.chaos_stats())
+    };
+    let (lines_a, chaos_a) = run(0xD57_0042);
+    let (lines_b, chaos_b) = run(0xD57_0042);
+    assert_eq!(lines_a, lines_b, "same seed, same responses");
+    // Per-attempt decisions are keyed by (fingerprint, attempt), so their
+    // counts replay exactly. Cache-corruption counts are excluded: which
+    // worker re-inserts after a concurrent miss is a benign race.
+    assert_eq!(chaos_a.worker_crashes, chaos_b.worker_crashes, "same seed, same crashes");
+    assert_eq!(chaos_a.worker_delays, chaos_b.worker_delays, "same seed, same delays");
+}
+
+/// The connection-layer game: response lines are dropped on the wire and
+/// query lines are duplicated on read. The client-side contract is
+/// "resubmit any id you did not hear back about"; every line the client
+/// *does* hear must be bit-identical to the fault-free answer for that
+/// id, duplicates included, and the game must converge.
+#[test]
+fn dropped_and_duplicated_lines_converge_to_the_fault_free_answers() {
+    quiet_expected_panics();
+    let queries: Vec<ScenarioQuery> = acceptance_batch()
+        .into_iter()
+        .take(200)
+        .filter(|q| q.app != besst_serve::query::AppKind::Poison)
+        .collect();
+
+    // Canonical answers from a fault-free server.
+    let fault_free = Server::new(ServeConfig::default()).expect("pool starts");
+    let canonical: BTreeMap<u64, String> = queries
+        .iter()
+        .zip(render_batch(&fault_free, &queries))
+        .map(|(q, line)| (q.id, line))
+        .collect();
+    let request_line = |q: &ScenarioQuery| {
+        format!(
+            r#"{{"id":{},"machine":"{}","steps":{},"problem_size":{},"ranks":{},"mode":"{}","seed":{}}}"#,
+            q.id,
+            q.machine.name(),
+            q.steps,
+            q.problem_size,
+            q.ranks,
+            q.mode.name(),
+            q.seed
+        )
+    };
+
+    let cfg = ServeConfig { chaos: Some(Chaos::new(0xBADC_0FFE)), ..ServeConfig::default() };
+    let server = Server::new(cfg).expect("pool starts");
+
+    let mut pending: BTreeMap<u64, &ScenarioQuery> =
+        queries.iter().map(|q| (q.id, q)).collect();
+    let mut heard: BTreeMap<u64, String> = BTreeMap::new();
+    let mut drops_seen = 0u64;
+    let mut dups_seen = 0u64;
+    for round in 0..32u64 {
+        if pending.is_empty() {
+            break;
+        }
+        let input: String =
+            pending.values().map(|q| request_line(q) + "\n").collect::<String>() + "\n";
+        let mut out: Vec<u8> = Vec::new();
+        // A fresh `conn` per round models a reconnecting client; the
+        // drop/dup decisions are keyed by (conn, seq) so each round draws
+        // a different — still deterministic — fault pattern.
+        serve_lines(&server, input.as_bytes(), &mut out, round).expect("serves");
+        let text = String::from_utf8(out).expect("utf8");
+        let submitted = pending.len();
+        let mut answered_this_round = 0usize;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let id = line
+                .split("\"id\":")
+                .nth(1)
+                .and_then(|rest| rest.split([',', '}']).next())
+                .and_then(|n| n.parse::<u64>().ok())
+                .expect("every response line carries an id");
+            assert_eq!(
+                &canonical[&id], line,
+                "round {round}: a heard line must be bit-identical to fault-free"
+            );
+            answered_this_round += 1;
+            if let Some(prev) = heard.insert(id, line.to_string()) {
+                assert_eq!(prev, line, "duplicate answers must be identical");
+                dups_seen += 1;
+            }
+            pending.remove(&id);
+        }
+        // Lines heard ≤ submissions + duplications; any shortfall is a
+        // drop the client resubmits next round.
+        if answered_this_round < submitted {
+            drops_seen += (submitted - answered_this_round) as u64;
+        }
+    }
+    assert!(pending.is_empty(), "resubmission never converged: {pending:?}");
+    assert_eq!(heard.len(), queries.len(), "every id answered");
+    // Client-side counts are lower bounds: a duplicated line that was
+    // itself dropped is invisible from this side of the wire.
+    let injected = server.chaos_stats();
+    assert!(injected.dropped_responses >= drops_seen, "{injected:?} vs {drops_seen} observed");
+    assert!(injected.duplicated_queries >= dups_seen, "{injected:?}");
+    assert!(injected.dropped_responses > 0, "the game must actually lose lines");
+    assert!(injected.duplicated_queries > 0, "the game must actually duplicate lines");
+}

@@ -37,10 +37,19 @@ faults:
 sdc:
     cargo test -p besst-core --test sdc_injection
 
-# besst-lint: repo-specific determinism/soundness rules D1–D5 over every
+# besst-lint: repo-specific determinism/soundness rules D1–D6 over every
 # workspace crate. Exits nonzero on findings. See docs/STATIC_ANALYSIS.md.
 lint:
     cargo run -p xtask -- lint
+
+# Scenario-server smoke: the besst-serve suites (protocol, cache-key
+# properties, TCP smoke, the 1k-query chaos gate), then the `besst serve`
+# binary over stdio JSONL — fault-free and under the `serve` chaos
+# preset. See docs/SCENARIO_SERVER.md.
+serve-smoke:
+    cargo test -p besst-serve
+    printf '{"id":1,"steps":20,"ranks":8}\n{"id":2,"mode":"baseline"}\n\n' | cargo run --release --bin besst -- serve
+    printf '{"id":1,"steps":20,"ranks":8}\n{"id":2,"mode":"baseline"}\n\n' | cargo run --release --bin besst -- serve --chaos 190
 
 # Markdown link checker: every relative link and docs/*.md cross-reference
 # in README.md, DESIGN.md and docs/ must resolve. See docs/README.md.
@@ -81,7 +90,7 @@ bench:
 # Pinned-seed benchmark report (results/BENCH_*.json). Regenerates the
 # committed numbers; run on a quiet machine. See docs/PERFORMANCE.md.
 bench-json:
-    cargo run --release -p xtask -- bench-json --out results/BENCH_0005.json
+    cargo run --release -p xtask -- bench-json --out results/BENCH_0007.json
 
 # Seconds-scale benchmark smoke: the miniature bench-json configuration
 # (schema + determinism gates) plus the scheduler equivalence suite.

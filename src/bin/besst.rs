@@ -1,0 +1,175 @@
+//! `besst` — command-line entry points for the workspace.
+//!
+//! Today this hosts one subcommand: `besst serve`, the hardened
+//! scenario server (see `docs/SCENARIO_SERVER.md`). Argument parsing is
+//! hand-rolled — the offline stub registry carries no clap.
+
+use besst::serve::net::{serve_lines, serve_tcp};
+use besst::serve::{Chaos, ServeConfig, Server};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+besst serve [OPTIONS]
+
+Serve scenario queries as JSONL: one request object per line, a blank
+line closes a batch, one response line per query (docs/SCENARIO_SERVER.md).
+
+Options:
+  --tcp ADDR          listen on ADDR (e.g. 127.0.0.1:7077) instead of stdio
+  --max-conns N       with --tcp: exit after N connections (default: forever)
+  --chaos SEED        enable the `serve` buggify preset, keyed by SEED
+  --workers N         rayon worker threads (default: all cores)
+  --queue N           admission queue bound per batch (default 4096)
+  --cache N           baseline cache capacity, entries (default 64)
+  --deadline-ms N     default per-query soft deadline (default 10000)
+  --budget-ms N       per-batch time budget (default 60000)
+  -h, --help          this text
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("besst: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("-h" | "--help") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut max_conns: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--tcp" => match it.next() {
+                Some(a) => tcp = Some(a.clone()),
+                None => return fail("--tcp needs an address"),
+            },
+            "--max-conns" => match num("--max-conns") {
+                Ok(n) => max_conns = Some(n),
+                Err(e) => return fail(&e),
+            },
+            "--chaos" => match num("--chaos") {
+                Ok(seed) => cfg.chaos = Some(Chaos::new(seed)),
+                Err(e) => return fail(&e),
+            },
+            "--workers" => match num("--workers") {
+                Ok(n) => cfg.workers = n as usize,
+                Err(e) => return fail(&e),
+            },
+            "--queue" => match num("--queue") {
+                Ok(n) => cfg.queue_capacity = n as usize,
+                Err(e) => return fail(&e),
+            },
+            "--cache" => match num("--cache") {
+                Ok(n) => cfg.cache_capacity = n as usize,
+                Err(e) => return fail(&e),
+            },
+            "--deadline-ms" => match num("--deadline-ms") {
+                Ok(n) => cfg.deadline_ms = n,
+                Err(e) => return fail(&e),
+            },
+            "--budget-ms" => match num("--budget-ms") {
+                Ok(n) => cfg.batch_budget_ms = n,
+                Err(e) => return fail(&e),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown option `{other}`")),
+        }
+    }
+
+    let server = match Server::new(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("besst serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match tcp {
+        Some(addr) => {
+            let listener = match TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("besst serve: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match listener.local_addr() {
+                Ok(a) => eprintln!("besst serve: listening on {a}"),
+                Err(_) => eprintln!("besst serve: listening on {addr}"),
+            }
+            serve_tcp(&server, &listener, max_conns).map(|summary| {
+                eprintln!(
+                    "besst serve: {} connections, {} batches",
+                    summary.connections, summary.batches
+                );
+            })
+        }
+        None => {
+            // `Stdout` (unlike `StdoutLock`) is Send, which the shared
+            // response sink requires; line buffering is flushed per batch.
+            serve_lines(&server, std::io::stdin().lock(), std::io::stdout(), 0).map(|batches| {
+                eprintln!("besst serve: {batches} batches served");
+            })
+        }
+    };
+
+    let stats = server.stats();
+    eprintln!(
+        "besst serve: {} received, {} ok, {} errors, {} shed, {} timeouts, \
+         {} quarantined, {} panics caught, {} retries",
+        stats.received,
+        stats.ok,
+        stats.errors,
+        stats.shed,
+        stats.timeouts,
+        stats.quarantined,
+        stats.panics_caught,
+        stats.retries
+    );
+    let cache = server.cache_stats();
+    eprintln!(
+        "besst serve: cache {} hits / {} misses, {} corruptions, {} evictions",
+        cache.hits, cache.misses, cache.corruptions, cache.evictions
+    );
+    if server.config().chaos.is_some() {
+        let chaos = server.chaos_stats();
+        eprintln!(
+            "besst serve: chaos {} crashes, {} delays, {} dropped, {} duplicated, {} corrupted",
+            chaos.worker_crashes,
+            chaos.worker_delays,
+            chaos.dropped_responses,
+            chaos.duplicated_queries,
+            chaos.cache_corruptions
+        );
+    }
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("besst serve: transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`apps`] — LULESH and CMT-bone proxy applications
 //! * [`analytic`] — Amdahl/Gustafson/Young–Daly/Cavelan/Zheng/Hussain/Jin baselines
 //! * [`experiments`] — regeneration harness for every table and figure
+//! * [`serve`] — the hardened scenario server (`besst serve`, JSONL over
+//!   stdio/TCP, fault-injected against itself; `docs/SCENARIO_SERVER.md`)
 //!
 //! ## Quickstart
 //!
@@ -67,4 +69,5 @@ pub use besst_experiments as experiments;
 pub use besst_fti as fti;
 pub use besst_machine as machine;
 pub use besst_models as models;
+pub use besst_serve as serve;
 pub use besst_topology as topology;

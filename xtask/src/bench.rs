@@ -3,9 +3,12 @@
 //!
 //! Runs the same workloads as `crates/bench/benches/scheduler.rs` (deep-
 //! queue engine throughput with the arena scheduler vs the `BinaryHeap`
-//! reference, online fail-stop + SDC replay, LULESH overlay sweep) and
-//! emits a machine-readable JSON report — `results/BENCH_0005.json` in
-//! the tree is a committed run of `BenchParams::full()` in release mode.
+//! reference, online fail-stop + SDC replay, LULESH overlay sweep) plus
+//! the scenario server (batch throughput, shed rate, cache hit rate,
+//! cold-vs-warm cached-baseline speedup, chaos injection profile) and
+//! emits a machine-readable JSON report — `results/BENCH_0007.json` in
+//! the tree is a committed run of `BenchParams::full()` in release mode
+//! (`results/BENCH_0005.json` is the pre-serve predecessor).
 //!
 //! JSON is emitted by hand because serde_json is stubbed in the offline
 //! build environments this repo targets (docs/OFFLINE_BUILDS.md). The
@@ -22,6 +25,8 @@ use besst_core::run_online;
 use besst_core::sim::EngineKind;
 use besst_des::prelude::*;
 use besst_fti::{FtiConfig, GroupLayout};
+use besst_serve::query::ScenarioQuery;
+use besst_serve::{json, Chaos, ServeConfig, Server};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -54,6 +59,14 @@ pub struct BenchParams {
     pub overlay_periods: Vec<u32>,
     /// Overlay injection replicas per sweep cell.
     pub overlay_replicas: u32,
+    /// Scenario-server queries in the throughput batch.
+    pub serve_queries: usize,
+    /// Distinct baseline configurations the serve batch spreads over
+    /// (each is computed cold once, then hit warm).
+    pub serve_baselines: usize,
+    /// Timesteps per serve query (sizes the baseline compute the cache
+    /// amortizes).
+    pub serve_steps: u32,
     /// Base seed; every stochastic draw in the run derives from it.
     pub seed: u64,
 }
@@ -76,7 +89,10 @@ impl BenchParams {
             online_replicas: 40,
             overlay_periods: vec![10, 20, 40, 80],
             overlay_replicas: 30,
-            seed: 0xBE5C_0005,
+            serve_queries: 512,
+            serve_baselines: 16,
+            serve_steps: 200,
+            seed: 0xBE5C_0007,
         }
     }
 
@@ -91,7 +107,10 @@ impl BenchParams {
             online_replicas: 3,
             overlay_periods: vec![6],
             overlay_replicas: 3,
-            seed: 0xBE5C_0005,
+            serve_queries: 24,
+            serve_baselines: 3,
+            serve_steps: 40,
+            seed: 0xBE5C_0007,
         }
     }
 }
@@ -161,6 +180,120 @@ fn measure_replay(
     }
 }
 
+struct ServeMeasurement {
+    wall_s: f64,
+    queries_per_sec: f64,
+    cache_hit_rate: f64,
+    shed_rate: f64,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    cached_speedup: f64,
+    chaos_ok: u64,
+    chaos: besst_serve::ChaosStats,
+    panics_caught: u64,
+}
+
+fn serve_query(p: &BenchParams, baseline: usize, i: usize) -> ScenarioQuery {
+    // Spread over `serve_baselines` distinct (steps) configurations; every
+    // query keeps its own seed so fingerprints (and overlay draws) differ.
+    let steps = p.serve_steps + 10 * baseline as u32;
+    let text = format!(
+        r#"{{"id":{i},"steps":{steps},"ranks":8,"problem_size":10,"seed":{seed}}}"#,
+        seed = p.seed.wrapping_add(i as u64)
+    );
+    ScenarioQuery::from_value(&json::parse(&text).expect("valid JSON")).expect("valid query")
+}
+
+fn measure_serve(p: &BenchParams) -> ServeMeasurement {
+    // The bench exercises the chaos path below, which panics on purpose;
+    // keep the injected panics out of the report stream.
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let buggify = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("buggify:"))
+                .or_else(|| payload.downcast_ref::<String>().map(|s| s.contains("buggify:")))
+                .unwrap_or(false);
+            if !buggify {
+                default(info);
+            }
+        }));
+    });
+
+    let baselines = p.serve_baselines.max(1);
+    let server = Server::new(ServeConfig {
+        queue_capacity: p.serve_queries.max(1),
+        ..ServeConfig::default()
+    })
+    .expect("pool starts");
+
+    // Cold vs warm: the same `baseline`-mode batch twice. The first run
+    // computes every distinct baseline; the second is pure cache hits —
+    // the ≥10x claim docs/SCENARIO_SERVER.md makes for the cache.
+    let cold_batch: Vec<ScenarioQuery> = (0..baselines)
+        .map(|b| {
+            let mut q = serve_query(p, b, b);
+            q.mode = besst_serve::query::QueryMode::Baseline;
+            q
+        })
+        .collect();
+    let run_batch = |batch: &[ScenarioQuery]| {
+        let start = Instant::now();
+        let resps = server.handle_batch(batch);
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(resps.len(), batch.len(), "exactly one response per query");
+        wall
+    };
+    let cold_wall_s = run_batch(&cold_batch);
+    let warm_wall_s = run_batch(&cold_batch);
+    let cached_speedup = cold_wall_s / warm_wall_s.max(1e-12);
+
+    // Throughput: a full online batch over the now-warm cache.
+    let batch: Vec<ScenarioQuery> =
+        (0..p.serve_queries).map(|i| serve_query(p, i % baselines, i)).collect();
+    let wall_s = run_batch(&batch);
+    let queries_per_sec = batch.len() as f64 / wall_s.max(1e-12);
+    let cache = server.cache_stats();
+    let cache_hit_rate = cache.hits as f64 / ((cache.hits + cache.misses) as f64).max(1.0);
+
+    // Shed rate: the same batch against a server admitting only half.
+    let strict = Server::new(ServeConfig {
+        queue_capacity: (p.serve_queries / 2).max(1),
+        ..ServeConfig::default()
+    })
+    .expect("pool starts");
+    let _ = strict.handle_batch(&batch);
+    let s = strict.stats();
+    let shed_rate = s.shed as f64 / (s.received as f64).max(1.0);
+
+    // Chaos summary: the same batch under the `serve` preset. Every query
+    // must still be answered (the chaos gate proves bit-identity; here we
+    // record the injection profile next to the throughput numbers).
+    let chaotic = Server::new(ServeConfig {
+        queue_capacity: p.serve_queries.max(1),
+        chaos: Some(Chaos::new(p.seed ^ 0xC4A05)),
+        ..ServeConfig::default()
+    })
+    .expect("pool starts");
+    let resps = chaotic.handle_batch(&batch);
+    assert_eq!(resps.len(), batch.len(), "chaos run answers everything");
+    ServeMeasurement {
+        wall_s,
+        queries_per_sec,
+        cache_hit_rate,
+        shed_rate,
+        cold_wall_s,
+        warm_wall_s,
+        cached_speedup,
+        chaos_ok: chaotic.stats().ok,
+        chaos: chaotic.chaos_stats(),
+        panics_caught: chaotic.stats().panics_caught,
+    }
+}
+
 fn json_f(x: f64) -> String {
     // Hand-rolled float formatting: finite, plain decimal/exponent forms
     // only (JSON has no NaN/Infinity).
@@ -216,6 +349,9 @@ pub fn run(p: &BenchParams) -> String {
     let overlay_wall = overlay_start.elapsed().as_secs_f64();
     let overlay_allocs = allocations_now() - overlay_alloc;
 
+    // ── Scenario server: throughput, shedding, cache, chaos profile ──
+    let serve = measure_serve(p);
+
     let total_wall = run_start.elapsed().as_secs_f64();
     let total_allocs = allocations_now() - alloc_start;
     let total_events = 2 * engine_events + crash.fault_events_total + sdc.fault_events_total;
@@ -252,8 +388,8 @@ pub fn run(p: &BenchParams) -> String {
 
     format!(
         "{{\n\
-         \u{20} \"schema\": \"besst-bench-json-v1\",\n\
-         \u{20} \"bench_id\": \"BENCH_0005\",\n\
+         \u{20} \"schema\": \"besst-bench-json-v2\",\n\
+         \u{20} \"bench_id\": \"BENCH_0007\",\n\
          \u{20} \"seed\": {seed},\n\
          \u{20} \"engine\": {{\n\
          \u{20}   \"workload\": \"churn\",\n\
@@ -282,6 +418,25 @@ pub fn run(p: &BenchParams) -> String {
          \u{20}   \"cells_per_sec\": {cells_per_sec},\n\
          \u{20}   \"allocations\": {overlay_allocs}\n\
          \u{20} }},\n\
+         \u{20} \"serve\": {{\n\
+         \u{20}   \"queries\": {serve_queries},\n\
+         \u{20}   \"distinct_baselines\": {serve_baselines},\n\
+         \u{20}   \"steps\": {serve_steps},\n\
+         \u{20}   \"wall_s\": {serve_wall},\n\
+         \u{20}   \"queries_per_sec\": {serve_qps},\n\
+         \u{20}   \"cache_hit_rate\": {serve_hit_rate},\n\
+         \u{20}   \"shed_rate\": {serve_shed_rate},\n\
+         \u{20}   \"cold_baseline_wall_s\": {serve_cold},\n\
+         \u{20}   \"warm_baseline_wall_s\": {serve_warm},\n\
+         \u{20}   \"cached_speedup\": {serve_speedup},\n\
+         \u{20}   \"chaos\": {{\n\
+         \u{20}     \"ok\": {serve_chaos_ok},\n\
+         \u{20}     \"panics_caught\": {serve_panics},\n\
+         \u{20}     \"worker_crashes\": {serve_crashes},\n\
+         \u{20}     \"worker_delays\": {serve_delays},\n\
+         \u{20}     \"cache_corruptions\": {serve_corruptions}\n\
+         \u{20}   }}\n\
+         \u{20} }},\n\
          \u{20} \"totals\": {{\n\
          \u{20}   \"wall_s\": {total_wall},\n\
          \u{20}   \"events_total\": {total_events},\n\
@@ -309,6 +464,21 @@ pub fn run(p: &BenchParams) -> String {
         overlay_wall = json_f(overlay_wall),
         cells_per_sec = json_f(f64::from(cells) / overlay_wall.max(1e-12)),
         overlay_allocs = overlay_allocs,
+        serve_queries = p.serve_queries,
+        serve_baselines = p.serve_baselines,
+        serve_steps = p.serve_steps,
+        serve_wall = json_f(serve.wall_s),
+        serve_qps = json_f(serve.queries_per_sec),
+        serve_hit_rate = json_f(serve.cache_hit_rate),
+        serve_shed_rate = json_f(serve.shed_rate),
+        serve_cold = json_f(serve.cold_wall_s),
+        serve_warm = json_f(serve.warm_wall_s),
+        serve_speedup = json_f(serve.cached_speedup),
+        serve_chaos_ok = serve.chaos_ok,
+        serve_panics = serve.panics_caught,
+        serve_crashes = serve.chaos.worker_crashes,
+        serve_delays = serve.chaos.worker_delays,
+        serve_corruptions = serve.chaos.cache_corruptions,
         total_wall = json_f(total_wall),
         total_events = total_events,
         total_allocs = total_allocs,

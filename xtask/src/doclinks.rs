@@ -169,6 +169,23 @@ pub fn extract_doc_refs(text: &str) -> Vec<(usize, String)> {
     out
 }
 
+/// Lexically fold `.`/`..` segments before hitting the filesystem:
+/// `stat` refuses `docs/../Cargo.toml` when `docs/` itself is missing,
+/// but the *link* is still well-defined (and correct) in that case.
+fn normalize(path: &Path) -> PathBuf {
+    let mut out = PathBuf::new();
+    for c in path.components() {
+        match c {
+            std::path::Component::CurDir => {}
+            std::path::Component::ParentDir => {
+                out.pop();
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Should this inline-link target be resolved against the filesystem?
 fn is_local(target: &str) -> bool {
     !(target.starts_with('#')
@@ -202,7 +219,7 @@ pub fn check_text(root: &Path, rel: &Path, text: &str) -> (usize, Vec<LinkFindin
             });
             continue;
         }
-        if !root.join(dir).join(path).exists() {
+        if !normalize(&root.join(dir).join(path)).exists() {
             findings.push(LinkFinding {
                 file: rel.to_path_buf(),
                 line,

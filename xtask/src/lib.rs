@@ -2,7 +2,7 @@
 //!
 //! The library half of the `xtask` crate, exposed so the fixture tests
 //! under `tests/` can drive the rule engine directly. See
-//! `docs/STATIC_ANALYSIS.md` for the rule catalog (D1–D5), the
+//! `docs/STATIC_ANALYSIS.md` for the rule catalog (D1–D6), the
 //! `// lint: allow(<key>) -- <reason>` justification syntax, and how this
 //! pass fits with the dynamic-analysis jobs (Miri, ThreadSanitizer, loom).
 

@@ -47,7 +47,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo run -p xtask -- <command>\n\
          commands:\n\
-         \u{20} lint [--root <dir>]          determinism/soundness lint (D1–D5); exits 1 on findings\n\
+         \u{20} lint [--root <dir>]          determinism/soundness lint (D1–D6); exits 1 on findings\n\
          \u{20} doc-links [--root <dir>]     markdown link checker over README/DESIGN/docs; exits 1\n\
          \u{20}                              on broken links or dangling docs/*.md cross-references\n\
          \u{20} bench-json [--out <file>] [--miniature]\n\
@@ -85,7 +85,7 @@ fn main() -> ExitCode {
                 println!("{f}\n");
             }
             if findings.is_empty() {
-                eprintln!("besst-lint: clean (rules D1–D5, workspace {})", root.display());
+                eprintln!("besst-lint: clean (rules D1–D6, workspace {})", root.display());
                 ExitCode::SUCCESS
             } else {
                 eprintln!(

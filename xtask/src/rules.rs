@@ -1,6 +1,6 @@
 //! The besst-lint rule catalog.
 //!
-//! Five repo-specific determinism/soundness rules (see
+//! Six repo-specific determinism/soundness rules (see
 //! `docs/STATIC_ANALYSIS.md` for the rationale and the allow-list syntax):
 //!
 //! * **D1 `hash-order`** — no `std::collections::HashMap`/`HashSet` in
@@ -22,6 +22,12 @@
 //!   `partial_cmp` in simulation-path crates outside `besst_des::time`:
 //!   compare `SimTime` (integer ns) or use `f64::total_cmp`, which is
 //!   total, deterministic, and panic-free.
+//! * **D6 `unbounded-wait`** — no unbounded blocking reads
+//!   (`read_to_end`/`read_to_string`/`read_line`) or unbounded channel
+//!   growth (`unbounded`) in serving-path crates: a client that streams
+//!   an endless line or never drains must hit a typed limit
+//!   (`MAX_LINE_BYTES`, a bounded queue), not exhaust memory. Justify
+//!   exceptions with `// lint: allow(unbounded-wait)`.
 //!
 //! Allow-list syntax: `// lint: allow(<key>) -- <reason>` on the flagged
 //! line or the line directly above it. The reason is mandatory by
@@ -45,8 +51,15 @@ pub const SIM_PATH_CRATES: &[&str] = &[
 ];
 
 /// Crates where ambient nondeterminism is tolerated (wall-clock timing of
-/// campaigns, benchmark harnesses). Everything else must be deterministic.
-pub const NONDET_OK_CRATES: &[&str] = &["besst-bench", "besst-experiments", "xtask"];
+/// campaigns, benchmark harnesses, and the scenario server — deadlines,
+/// backoff and batch budgets are wall-clock by contract; the *simulated*
+/// answers it serves stay seed-deterministic). Everything else must be
+/// deterministic.
+pub const NONDET_OK_CRATES: &[&str] = &["besst-bench", "besst-experiments", "xtask", "besst-serve"];
+
+/// Crates that serve untrusted byte streams and therefore must bound
+/// every read and queue (rule D6). Today: the scenario server.
+pub const BOUNDED_IO_CRATES: &[&str] = &["besst-serve"];
 
 /// One lint rule's identity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +74,9 @@ pub enum Rule {
     UndocumentedUnsafe,
     /// D5: float comparison on timestamps / `partial_cmp` on sim paths.
     FloatCmp,
+    /// D6: unbounded blocking reads / channel growth in serving-path
+    /// crates.
+    UnboundedWait,
 }
 
 impl Rule {
@@ -72,6 +88,7 @@ impl Rule {
             Rule::PanicPath => "D3/panic-path",
             Rule::UndocumentedUnsafe => "D4/undocumented-unsafe",
             Rule::FloatCmp => "D5/float-cmp",
+            Rule::UnboundedWait => "D6/unbounded-wait",
         }
     }
 
@@ -83,6 +100,7 @@ impl Rule {
             Rule::PanicPath => "panic-path",
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::FloatCmp => "float-cmp",
+            Rule::UnboundedWait => "unbounded-wait",
         }
     }
 }
@@ -134,6 +152,9 @@ pub struct FileContext {
 impl FileContext {
     fn sim_path(&self) -> bool {
         SIM_PATH_CRATES.contains(&self.crate_name.as_str())
+    }
+    fn bounded_io(&self) -> bool {
+        BOUNDED_IO_CRATES.contains(&self.crate_name.as_str())
     }
     fn nondet_ok(&self) -> bool {
         NONDET_OK_CRATES.contains(&self.crate_name.as_str())
@@ -308,6 +329,23 @@ pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
                 }
             }
         }
+
+        // D6 — unbounded blocking reads / channel growth on serving paths.
+        // Tests included: a harness that buffers an endless line is how the
+        // unbounded call sneaks back in.
+        if ctx.bounded_io() && !allowed(&lines, i, Rule::UnboundedWait.allow_key()) {
+            for pat in ["read_to_end", "read_to_string", "read_line", "unbounded"] {
+                if let Some(col) = find_word(code, pat) {
+                    push(
+                        Rule::UnboundedWait,
+                        i,
+                        col,
+                        format!("unbounded read/queue `{pat}` in serving-path crate `{}`: a hostile client controls how much this buffers", ctx.crate_name),
+                        "bound the read (`read_bounded_line`, `MAX_LINE_BYTES`) or the queue (admission control), or justify with `// lint: allow(unbounded-wait) -- <reason>`".to_string(),
+                    );
+                }
+            }
+        }
     }
     findings
 }
@@ -387,6 +425,22 @@ mod tests {
         let f = lint_source(&c, "if t.as_secs_f64() == end { halt(); }\n");
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, Rule::FloatCmp);
+    }
+
+    #[test]
+    fn d6_only_on_serving_path_crates() {
+        let c = ctx("besst-serve", CrateKind::Lib, true);
+        let f = lint_source(&c, "reader.read_line(&mut buf)?;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UnboundedWait);
+        let f = lint_source(
+            &c,
+            "// lint: allow(unbounded-wait) -- trusted local pipe, batch-sized input\nreader.read_line(&mut buf)?;\n",
+        );
+        assert!(f.is_empty());
+        // Other crates may buffer freely (xtask reads whole files).
+        let c = ctx("besst-core", CrateKind::Lib, false);
+        assert!(lint_source(&c, "reader.read_to_end(&mut buf)?;\n").is_empty());
     }
 
     #[test]

@@ -243,6 +243,9 @@ mod tests {
         // des has no typed error enum today.
         let des = ms.iter().find(|m| m.name == "besst-des").expect("des member");
         assert!(!des.has_typed_errors);
+        // serve declares ServeError, so D3 scopes the serving layer too.
+        let serve = ms.iter().find(|m| m.name == "besst-serve").expect("serve member");
+        assert!(serve.has_typed_errors);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! configuration in-process and validates the report's shape — every
 //! section and leaf field present, rates strictly positive, totals at
 //! least the sum of their parts. Keeps the committed
-//! `results/BENCH_0005.json` regenerable without a JSON parser dependency
+//! `results/BENCH_0007.json` regenerable without a JSON parser dependency
 //! (serde_json is stubbed in this repo's offline builds).
 
 use xtask::bench::{json_number, run, BenchParams};
@@ -16,14 +16,16 @@ fn miniature_report_has_the_full_schema() {
     let report = run(&BenchParams::miniature());
 
     // Structural markers: every section object must be present.
-    for section in ["\"engine\":", "\"online_replay\":", "\"overlay_sweep\":", "\"totals\":"] {
+    for section in
+        ["\"engine\":", "\"online_replay\":", "\"overlay_sweep\":", "\"serve\":", "\"totals\":"]
+    {
         assert!(report.contains(section), "missing section {section} in:\n{report}");
     }
-    for leaf in ["\"scheduler\":", "\"reference\":", "\"fail_stop\":", "\"sdc\":"] {
+    for leaf in ["\"scheduler\":", "\"reference\":", "\"fail_stop\":", "\"sdc\":", "\"chaos\":"] {
         assert!(report.contains(leaf), "missing leaf {leaf} in:\n{report}");
     }
-    assert!(report.contains("\"schema\": \"besst-bench-json-v1\""), "schema tag missing");
-    assert!(report.contains("\"bench_id\": \"BENCH_0005\""), "bench id missing");
+    assert!(report.contains("\"schema\": \"besst-bench-json-v2\""), "schema tag missing");
+    assert!(report.contains("\"bench_id\": \"BENCH_0007\""), "bench id missing");
 
     // Every measured field must parse as a number.
     for key in [
@@ -46,6 +48,19 @@ fn miniature_report_has_the_full_schema() {
         "peak_queue_depth",
         "fault_events_total",
         "allocations",
+        "queries",
+        "distinct_baselines",
+        "queries_per_sec",
+        "cache_hit_rate",
+        "shed_rate",
+        "cold_baseline_wall_s",
+        "warm_baseline_wall_s",
+        "cached_speedup",
+        "ok",
+        "panics_caught",
+        "worker_crashes",
+        "worker_delays",
+        "cache_corruptions",
     ] {
         field(&report, key);
     }
@@ -60,6 +75,16 @@ fn miniature_report_rates_are_positive_and_consistent() {
     assert!(field(&report, "replays_per_sec") > 0.0, "replay throughput must be positive");
     assert!(field(&report, "speedup") > 0.0, "speedup is a ratio of positive rates");
     assert!(field(&report, "cells_per_sec") > 0.0, "overlay throughput must be positive");
+    assert!(field(&report, "queries_per_sec") > 0.0, "serve throughput must be positive");
+    assert!(field(&report, "cached_speedup") > 1.0, "a cache hit must beat a recompute");
+    let hit_rate = field(&report, "cache_hit_rate");
+    assert!((0.0..=1.0).contains(&hit_rate), "cache_hit_rate out of range: {hit_rate}");
+    // Half the throughput batch is admitted by the strict server, so the
+    // shed rate is 1/2 by construction (exact: both counts are integers).
+    assert_eq!(field(&report, "shed_rate"), 0.5, "strict admission sheds the overflow half");
+    // The chaos batch answers every query and really injected faults.
+    assert_eq!(field(&report, "ok") as usize, p.serve_queries, "chaos batch answers everything");
+    assert!(field(&report, "panics_caught") > 0.0, "chaos must exercise the isolation layer");
 
     // The engine section's event count is exactly the workload's.
     let expected =

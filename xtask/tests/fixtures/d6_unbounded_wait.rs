@@ -1,0 +1,31 @@
+//! D6 fixture: unbounded blocking reads and queue growth, shaped like a
+//! connection handler. Linted under the `besst-serve` persona only —
+//! this file is never compiled.
+
+fn handle(stream: std::net::TcpStream) {
+    let mut reader = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    let _ = reader.read_line(&mut line); // a hostile client never sends '\n'
+    let mut body = Vec::new();
+    let _ = reader.read_to_end(&mut body);
+}
+
+fn slurp(mut stream: std::net::TcpStream) -> String {
+    let mut all = String::new();
+    let _ = stream.read_to_string(&mut all);
+    all
+}
+
+fn fan_in() {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let _ = tx.send(1);
+    drop(rx);
+}
+
+fn drain_trusted(file: std::fs::File) -> String {
+    let mut all = String::new();
+    // lint: allow(unbounded-wait) -- local config file, written by us,
+    // read once at startup before any client is accepted
+    let _ = std::io::Read::read_to_string(&mut { file }, &mut all);
+    all
+}

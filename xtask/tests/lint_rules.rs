@@ -117,8 +117,30 @@ fn d5_float_cmp_fixture() {
     assert!(lint_source(&c, &fixture("d5_float_cmp.rs")).is_empty());
 }
 
+#[test]
+fn d6_unbounded_wait_fixture() {
+    let c = ctx("besst-serve", CrateKind::Lib, true, "d6_unbounded_wait.rs");
+    let f = lint_source(&c, &fixture("d6_unbounded_wait.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![
+            (Rule::UnboundedWait, 8),
+            (Rule::UnboundedWait, 10),
+            (Rule::UnboundedWait, 15),
+            (Rule::UnboundedWait, 20),
+        ],
+        "expected the read_line/read_to_end/read_to_string/unbounded \
+         violations, with the justified startup read suppressed: {f:#?}"
+    );
+    assert!(f[0].to_string().contains("d6_unbounded_wait.rs:8:"));
+    assert!(f[0].to_string().contains("MAX_LINE_BYTES"), "hint names the fix");
+    // Any other crate may buffer freely — xtask itself reads whole files.
+    let c = ctx("xtask", CrateKind::Lib, false, "d6_unbounded_wait.rs");
+    assert!(lint_source(&c, &fixture("d6_unbounded_wait.rs")).is_empty());
+}
+
 /// The acceptance gate: the tree as merged has zero findings. Any new
-/// violation of D1–D5 anywhere in the workspace fails this test with the
+/// violation of D1–D6 anywhere in the workspace fails this test with the
 /// full rustc-style diagnostic, not just in the CI lint job.
 #[test]
 fn workspace_is_clean() {
