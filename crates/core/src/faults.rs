@@ -193,9 +193,8 @@ impl Timeline {
         // Recover durations from cumulative completion times, subtracting
         // checkpoint durations that landed between steps.
         let mut events: Vec<(f64, Option<(usize, CkptLevel)>)> = Vec::new();
-        for (i, &t) in step_completions.iter().enumerate() {
+        for &t in step_completions {
             events.push((t, None));
-            let _ = i;
         }
         // Checkpoint durations: completion minus the previous event time.
         let mut checkpoints = Vec::new();

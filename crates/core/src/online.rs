@@ -1069,7 +1069,8 @@ impl RunController {
                     (self.shrink_multiplier)(self.initial_nodes, self.surviving_nodes);
                 self.resume(restart_s, sel.verify_s, ctx);
             }
-            // lint: allow(panic-path) -- Replicate is dispatched to on_crash_replicated above
+            // Replicate crashes are dispatched to on_crash_replicated above,
+            // so this arm is unreachable by construction.
             RecoveryPolicy::Replicate { .. } => unreachable!("dispatched above"),
         }
     }
@@ -2181,8 +2182,14 @@ mod tests {
     fn team_death_walks_the_ledger_and_redeploys() {
         let tl = flat_timeline(400, 1.0, 10, 0.5);
         // Dual redundancy over few nodes, hot MTBF, no repair: pairs die.
+        // The paper's 4×2 group geometry needs ranks % 8 == 0, so shrink
+        // it to 2×1 pairs for the 4-rank cluster.
         let p = FaultProcess::new(200.0, 4, 1.0);
-        let lay = GroupLayout::new(&FtiConfig::l1_only(2), 4);
+        let mut fti = FtiConfig::l1_only(2);
+        fti.group_size = 2;
+        fti.node_size = 1;
+        fti.l2_copies = 1;
+        let lay = GroupLayout::new(&fti, 4);
         let cfg = overlay_cfg(p, Some(lay))
             .with_policy(RecoveryPolicy::Replicate { k: 2, reroute_s: 1.0 });
         let run = run_online(&tl, &cfg, 3, EngineKind::Sequential).unwrap();

@@ -63,6 +63,9 @@ pub mod sites {
     /// The repair side of [`NODE_CRASH`]: keys the hash that decides how
     /// long a crashed component stays down before accepting deliveries
     /// again.
+    // lint: allow(site-coverage) -- repair never fires on its own: it keys
+    // the duration hash of every NODE_CRASH decision, so any preset with a
+    // nonzero crash_p exercises it.
     pub const NODE_REPAIR: u64 = 0xB7;
     /// A delivered event's payload was silently corrupted in flight (a
     /// soft error). The substrate counts the strike and delivers anyway —

@@ -89,6 +89,7 @@ impl Value {
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::Int(n) => {
                 use std::fmt::Write as _;
+                // lint: allow(error-swallow) -- fmt::Write to String is infallible
                 let _ = write!(out, "{n}");
             }
             Value::Num(x) => {
@@ -97,6 +98,7 @@ impl Value {
                     // Rust's shortest-roundtrip Display: the same f64
                     // always renders the same bytes, so "bit-identical
                     // responses" is a string comparison.
+                    // lint: allow(error-swallow) -- fmt::Write to String is infallible
                     let _ = write!(out, "{x}");
                     if x.fract() == 0.0 && x.abs() < 1e15 {
                         // Keep a float marker so `1.0` does not re-parse
@@ -145,6 +147,7 @@ fn render_str(s: &str, out: &mut String) {
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
                 use std::fmt::Write as _;
+                // lint: allow(error-swallow) -- fmt::Write to String is infallible
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),

@@ -480,9 +480,8 @@ mod tests {
 
     #[test]
     fn poison_is_isolated_then_quarantined() {
-        let mut cfg = ServeConfig::default();
-        cfg.max_retries = 2;
-        cfg.quarantine_threshold = 1;
+        let cfg =
+            ServeConfig { max_retries: 2, quarantine_threshold: 1, ..ServeConfig::default() };
         let s = quiet_server(cfg);
         let poison = query(r#"{"id":1,"app":"poison"}"#);
         let good = query(r#"{"id":2,"steps":10}"#);
@@ -505,8 +504,7 @@ mod tests {
 
     #[test]
     fn overload_sheds_with_retry_hints() {
-        let mut cfg = ServeConfig::default();
-        cfg.queue_capacity = 3;
+        let cfg = ServeConfig { queue_capacity: 3, ..ServeConfig::default() };
         let s = quiet_server(cfg);
         let qs: Vec<ScenarioQuery> =
             (0..7).map(|i| query(&format!(r#"{{"id":{i},"steps":20}}"#))).collect();
@@ -529,8 +527,8 @@ mod tests {
 
     #[test]
     fn exhausted_budget_degrades_to_timeout_markers() {
-        let mut cfg = ServeConfig::default();
-        cfg.batch_budget_ms = 0; // budget gone before the batch starts
+        // Budget gone before the batch starts.
+        let cfg = ServeConfig { batch_budget_ms: 0, ..ServeConfig::default() };
         let s = quiet_server(cfg);
         let qs: Vec<ScenarioQuery> =
             (0..3).map(|i| query(&format!(r#"{{"id":{i},"steps":20}}"#))).collect();
@@ -543,8 +541,7 @@ mod tests {
 
     #[test]
     fn chaos_batch_still_answers_everything() {
-        let mut cfg = ServeConfig::default();
-        cfg.chaos = Some(Chaos::new(0xBE57_0007));
+        let cfg = ServeConfig { chaos: Some(Chaos::new(0xBE57_0007)), ..ServeConfig::default() };
         let s = quiet_server(cfg);
         let qs: Vec<ScenarioQuery> = (0..32)
             .map(|i| query(&format!(r#"{{"id":{i},"steps":10,"seed":{i}}}"#)))

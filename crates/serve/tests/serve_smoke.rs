@@ -100,7 +100,7 @@ fn tcp_smoke_mixed_batch() {
 fn tcp_smoke_chaos_preset() {
     quiet_expected_panics();
     const CONNS: u64 = 8;
-    let cfg = ServeConfig { chaos: Some(Chaos::new(0x5E12_E5)), ..ServeConfig::default() };
+    let cfg = ServeConfig { chaos: Some(Chaos::new(0x005E_12E5)), ..ServeConfig::default() };
     let (addr, handle) = spawn_server(cfg, CONNS);
 
     // Resubmission game over real sockets: each round reconnects (a fresh

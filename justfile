@@ -37,10 +37,16 @@ faults:
 sdc:
     cargo test -p besst-core --test sdc_injection
 
-# besst-lint: repo-specific determinism/soundness rules D1–D6 over every
-# workspace crate. Exits nonzero on findings. See docs/STATIC_ANALYSIS.md.
+# besst-lint: repo-specific determinism/soundness rules D1–D9 plus the
+# stale-allow audit over every workspace crate. Exit 1 = findings,
+# exit 2 = internal linter error. See docs/STATIC_ANALYSIS.md.
 lint:
     cargo run -p xtask -- lint
+
+# Machine-readable findings: the besst-lint-json-v1 document on stdout
+# (byte-deterministic across runs — CI cmp's two of them).
+lint-json:
+    cargo run -p xtask -- lint --format json
 
 # Scenario-server smoke: the besst-serve suites (protocol, cache-key
 # properties, TCP smoke, the 1k-query chaos gate), then the `besst serve`

@@ -168,7 +168,7 @@ fn measure_replay(
     let mut fault_events_total = 0u64;
     for i in 0..replicas {
         let run = run_online(tl, cfg, seed.wrapping_add(u64::from(i)), EngineKind::Sequential)
-            .expect("online replay runs");
+            .expect("online replay runs"); // lint: allow(panic-path) -- a failed replay is a broken bench; abort loudly
         fault_events_total += run.events.len() as u64;
     }
     let wall_s = start.elapsed().as_secs_f64();
@@ -201,6 +201,7 @@ fn serve_query(p: &BenchParams, baseline: usize, i: usize) -> ScenarioQuery {
         r#"{{"id":{i},"steps":{steps},"ranks":8,"problem_size":10,"seed":{seed}}}"#,
         seed = p.seed.wrapping_add(i as u64)
     );
+    // lint: allow(panic-path) -- the harness builds its own queries; malformed means the bench is broken
     ScenarioQuery::from_value(&json::parse(&text).expect("valid JSON")).expect("valid query")
 }
 
@@ -228,7 +229,7 @@ fn measure_serve(p: &BenchParams) -> ServeMeasurement {
         queue_capacity: p.serve_queries.max(1),
         ..ServeConfig::default()
     })
-    .expect("pool starts");
+    .expect("pool starts"); // lint: allow(panic-path) -- no worker pool means no benchmark; abort loudly
 
     // Cold vs warm: the same `baseline`-mode batch twice. The first run
     // computes every distinct baseline; the second is pure cache hits —
@@ -264,8 +265,8 @@ fn measure_serve(p: &BenchParams) -> ServeMeasurement {
         queue_capacity: (p.serve_queries / 2).max(1),
         ..ServeConfig::default()
     })
-    .expect("pool starts");
-    let _ = strict.handle_batch(&batch);
+    .expect("pool starts"); // lint: allow(panic-path) -- no worker pool means no benchmark; abort loudly
+    strict.handle_batch(&batch);
     let s = strict.stats();
     let shed_rate = s.shed as f64 / (s.received as f64).max(1.0);
 
@@ -277,7 +278,7 @@ fn measure_serve(p: &BenchParams) -> ServeMeasurement {
         chaos: Some(Chaos::new(p.seed ^ 0xC4A05)),
         ..ServeConfig::default()
     })
-    .expect("pool starts");
+    .expect("pool starts"); // lint: allow(panic-path) -- no worker pool means no benchmark; abort loudly
     let resps = chaotic.handle_batch(&batch);
     assert_eq!(resps.len(), batch.len(), "chaos run answers everything");
     ServeMeasurement {
@@ -325,7 +326,7 @@ pub fn run(p: &BenchParams) -> String {
     let speedup = arena.events_per_sec / reference.events_per_sec;
 
     // ── Online replay: fail-stop, then fail-stop + SDC ───────────────
-    let period = *p.overlay_periods.first().expect("at least one period");
+    let period = *p.overlay_periods.first().expect("at least one period"); // lint: allow(panic-path) -- BenchParams constructors always fill the sweep
     let trace = lulesh_trace(period, p.lulesh_steps, p.seed);
     let tl = lulesh_timeline(&trace);
     let makespan = tl.failure_free_makespan();
@@ -342,7 +343,7 @@ pub fn run(p: &BenchParams) -> String {
         let layout = GroupLayout::new(&FtiConfig::l1_only(period), 64);
         let process = FaultProcess::new(tl.failure_free_makespan(), 2, 0.3);
         let m = expected_makespan(&tl, &process, Some(&layout), p.seed ^ 0x0423, p.overlay_replicas)
-            .expect("overlay replays stay inside the layout");
+            .expect("overlay replays stay inside the layout"); // lint: allow(panic-path) -- a livelocked overlay cell is a bench bug; abort loudly
         assert!(m.is_finite(), "overlay sweep cell livelocked at period {period}");
         cells += 1;
     }

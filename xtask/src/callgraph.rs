@@ -1,0 +1,924 @@
+//! Conservative name-based workspace call graph for the interprocedural
+//! rules (D7 `sim-reach`, D9 `site-coverage`).
+//!
+//! The graph is built from the same lexed [`Line`] stream the per-line
+//! rules consume — no `syn`, no type information (the offline stub
+//! registry has neither; see docs/OFFLINE_BUILDS.md). Resolution is by
+//! *name*, over-approximated on purpose:
+//!
+//! * A `fn` definition is any `fn <ident>` in the code channel; its body
+//!   span is recovered by brace tracking (strings/comments are already
+//!   blanked by the lexer, so every brace is structural).
+//! * A call is any identifier directly followed by `(` (turbofish
+//!   tolerated), excluding keywords, macro invocations (`ident!`), and
+//!   the identifier of a `fn` definition itself. Method calls resolve by
+//!   bare name — `x.run()` reaches every workspace `run` the caller's
+//!   crate could link.
+//! * `use path::X as Y;` aliases are resolved, both for call names and
+//!   for the banned-API patterns (so `use std::collections::HashMap as
+//!   Map` cannot launder hash ordering past D7).
+//! * A call in crate `C` can only resolve to library (non-test) functions
+//!   of `C`'s transitive workspace dependencies (including `C` itself)
+//!   plus functions in the same file. Dependency direction is what keeps
+//!   name-based resolution from inventing edges into crates the caller
+//!   cannot even link.
+//!
+//! Over-approximation is the right failure mode here: a false edge can
+//! only point *into* the caller's dependency closure, and everything on
+//! the simulation path is already D1/D2-clean, so spurious edges do not
+//! produce spurious findings — they only make reachability conservative.
+
+use crate::lexer::Line;
+use crate::rules::{find_allow_line, NONDET_OK_CRATES, SIM_PATH_CRATES};
+use crate::workspace::CrateKind;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::PathBuf;
+
+/// A banned-API use (D1/D2 pattern) attributed to the enclosing function.
+#[derive(Debug, Clone)]
+pub struct BannedUse {
+    /// Display name of the pattern, e.g. `Instant::now` or
+    /// ``HashMap (aliased as `Map`)``.
+    pub pattern: String,
+    /// 0-based line of the use.
+    pub line: usize,
+    /// 0-based column of the match start.
+    pub col: usize,
+    /// 0-based line of a covering `// lint: allow(sim-reach)`, if any.
+    pub allow_line: Option<usize>,
+}
+
+/// One function definition with everything D7/D9 need to know about it.
+#[derive(Debug, Clone)]
+pub struct FnFact {
+    /// Function name (bare identifier).
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// 0-based first line of the span (the definition line).
+    pub start: usize,
+    /// 0-based last line of the body, inclusive. Equals `start` for
+    /// bodyless trait/extern declarations.
+    pub end: usize,
+    /// True when the definition sits in a `#[cfg(test)]`/`#[test]` region.
+    pub is_test: bool,
+    /// Callee names (alias-resolved, deduplicated, sorted).
+    pub calls: BTreeSet<String>,
+    /// D1/D2-banned API uses inside the body (only recorded where the
+    /// per-line rules do *not* already police the crate — see
+    /// [`scan_file`]).
+    pub banned: Vec<BannedUse>,
+    /// Fault-site constants referenced in argument position
+    /// (`fires(sites::LINK_DROP, …)`), for the D9 hook audit.
+    pub site_args: BTreeSet<String>,
+}
+
+/// Everything the interprocedural rules need from one source file.
+#[derive(Debug, Clone)]
+pub struct FileFacts {
+    /// Owning package name.
+    pub crate_name: String,
+    /// Target kind (only [`CrateKind::Lib`] functions are cross-crate
+    /// callees).
+    pub kind: CrateKind,
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// Function definitions in source order.
+    pub fns: Vec<FnFact>,
+}
+
+/// Rust keywords and std constructors that look like calls but are not
+/// workspace functions.
+const NON_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "move", "ref", "box", "dyn", "where",
+    "let", "else", "break", "continue", "async", "await", "yield", "fn", "impl", "pub", "use",
+    "mod", "unsafe", "as", "static", "const", "type", "enum", "struct", "trait", "true", "false",
+    "Some", "None", "Ok", "Err", "Self", "self", "super", "crate", "Fn", "FnMut", "FnOnce",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Extract `use path::X as Y;` aliases (alias → original last segment).
+fn extract_aliases(lines: &[Line]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for l in lines {
+        let t = l.code.trim_start();
+        let is_use = t.starts_with("use ") || t.starts_with("pub use ") || t.contains(" use ");
+        if !is_use || !t.contains(" as ") {
+            continue;
+        }
+        let b: Vec<char> = t.chars().collect();
+        let mut from = 0;
+        while let Some(rel) = t[from..].find(" as ") {
+            let at = from + rel;
+            // Walk back over the path to the original's last segment.
+            let chars_before = t[..at].chars().count();
+            let mut s = chars_before;
+            while s > 0 && (is_ident_char(b[s - 1]) || b[s - 1] == ':') {
+                s -= 1;
+            }
+            let path: String = b[s..chars_before].iter().collect();
+            let original = path.rsplit("::").next().unwrap_or(&path).to_string();
+            // Walk forward over the alias identifier.
+            let after = at + " as ".len();
+            let alias: String =
+                t[after..].chars().take_while(|&c| is_ident_char(c)).collect();
+            if !original.is_empty() && !alias.is_empty() && alias != "_" {
+                out.insert(alias, original);
+            }
+            from = after;
+        }
+    }
+    out
+}
+
+/// Is the identifier starting at char index `start` preceded by the `fn`
+/// keyword (i.e. is it a definition, not a call)?
+fn preceded_by_fn(b: &[char], start: usize) -> bool {
+    let mut i = start;
+    while i > 0 && b[i - 1].is_whitespace() {
+        i -= 1;
+    }
+    i >= 2 && b[i - 2] == 'f' && b[i - 1] == 'n' && (i == 2 || !is_ident_char(b[i - 3]))
+}
+
+/// Record every `ident(`-shaped call on one code line into `out`,
+/// resolving aliases.
+fn extract_calls(code: &str, aliases: &BTreeMap<String, String>, out: &mut BTreeSet<String>) {
+    let b: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        if !is_ident_start(b[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < b.len() && is_ident_char(b[i]) {
+            i += 1;
+        }
+        if start > 0 && is_ident_char(b[start - 1]) {
+            continue; // tail of a path segment boundary mishap; be safe
+        }
+        let name: String = b[start..i].iter().collect();
+        // Tolerate a turbofish between name and argument list.
+        let mut j = i;
+        if j + 2 < b.len() && b[j] == ':' && b[j + 1] == ':' && b[j + 2] == '<' {
+            let mut depth = 0usize;
+            let mut k = j + 2;
+            while k < b.len() {
+                match b[k] {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+        }
+        while j < b.len() && b[j] == ' ' {
+            j += 1;
+        }
+        if j < b.len()
+            && b[j] == '('
+            && !NON_CALLS.contains(&name.as_str())
+            && !preceded_by_fn(&b, start)
+        {
+            let resolved = aliases.get(&name).cloned().unwrap_or(name);
+            out.insert(resolved);
+        }
+    }
+}
+
+/// Find every `fn` definition and its body span by brace tracking.
+fn find_fns(lines: &[Line]) -> Vec<FnFact> {
+    struct Open {
+        fact: usize,
+        depth: usize, // brace depth just after the body `{`
+    }
+    let mut fns: Vec<FnFact> = Vec::new();
+    let mut stack: Vec<Open> = Vec::new();
+    // A `fn` whose body `{` has not been seen yet: (fact index, paren depth).
+    let mut pending: Option<(usize, i32)> = None;
+    let mut depth = 0usize;
+
+    for (li, line) in lines.iter().enumerate() {
+        let b: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < b.len() {
+            let c = b[i];
+            if let Some((_, parens)) = &mut pending {
+                match c {
+                    '(' => *parens += 1,
+                    ')' => *parens -= 1,
+                    ';' if *parens <= 0 => {
+                        // Bodyless declaration (trait method, extern).
+                        pending = None;
+                    }
+                    '{' if *parens <= 0 => {
+                        depth += 1;
+                        if let Some((f, _)) = pending.take() {
+                            stack.push(Open { fact: f, depth });
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            match c {
+                '{' if pending.is_none() => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    while let Some(o) = stack.last() {
+                        if o.depth <= depth {
+                            break;
+                        }
+                        fns[o.fact].end = li;
+                        stack.pop();
+                    }
+                }
+                'f' if pending.is_none() => {
+                    // A `fn` keyword followed by an identifier?
+                    let boundary_before = i == 0 || !is_ident_char(b[i - 1]);
+                    if boundary_before
+                        && i + 2 < b.len()
+                        && b[i + 1] == 'n'
+                        && b[i + 2].is_whitespace()
+                    {
+                        let mut k = i + 2;
+                        while k < b.len() && b[k].is_whitespace() {
+                            k += 1;
+                        }
+                        if k < b.len() && is_ident_start(b[k]) {
+                            let mut e = k;
+                            while e < b.len() && is_ident_char(b[e]) {
+                                e += 1;
+                            }
+                            let name: String = b[k..e].iter().collect();
+                            fns.push(FnFact {
+                                name,
+                                line: li,
+                                start: li,
+                                end: li,
+                                is_test: line.is_test,
+                                calls: BTreeSet::new(),
+                                banned: Vec::new(),
+                                site_args: BTreeSet::new(),
+                            });
+                            pending = Some((fns.len() - 1, 0));
+                            i = e;
+                            continue;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Unclosed bodies (truncated file): close at EOF.
+    let last = lines.len().saturating_sub(1);
+    for o in stack {
+        fns[o.fact].end = last;
+    }
+    fns
+}
+
+/// Match a `Path::seg`-style pattern at non-identifier boundaries.
+fn find_path_pattern(hay: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0 || !hay[..at].chars().next_back().is_some_and(is_ident_char);
+        let end = at + needle.len();
+        let after_ok = end >= hay.len() || !hay[end..].chars().next().is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = end;
+    }
+    None
+}
+
+/// Word-boundary match, shared with the per-line rules.
+fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    find_path_pattern(hay, needle)
+}
+
+/// `sites::X` occurrences in argument position (an unclosed `(` earlier on
+/// the line) — the shape of a hook call like `fires(sites::LINK_DROP, …)`.
+/// Match-arm mappings (`sites::LINK_DROP => self.link_drop_p`) are *not*
+/// argument-position and are deliberately excluded: `probability()` names
+/// every site and would otherwise make the D9 hook audit vacuous.
+fn site_args_on_line(code: &str, out: &mut BTreeSet<String>) {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("sites::") {
+        let at = from + rel;
+        let opens = code[..at].matches('(').count();
+        let closes = code[..at].matches(')').count();
+        let name: String =
+            code[at + "sites::".len()..].chars().take_while(|&c| is_ident_char(c)).collect();
+        if opens > closes && !name.is_empty() {
+            out.insert(name);
+        }
+        from = at + "sites::".len();
+    }
+}
+
+/// Banned-API patterns D7 polices for this crate. Families already policed
+/// per-line are skipped so D7 never double-reports: D1 owns hash-ordered
+/// collections *inside* sim-path crates, D2 owns ambient nondeterminism
+/// everywhere *except* [`NONDET_OK_CRATES`]. What remains — and what only
+/// reachability can catch — is a helper crate off the sim path whose
+/// function is nevertheless reachable from event dispatch.
+fn banned_patterns(
+    crate_name: &str,
+    aliases: &BTreeMap<String, String>,
+) -> (Vec<String>, Vec<String>) {
+    let mut words = Vec::new();
+    let mut paths = Vec::new();
+    if !SIM_PATH_CRATES.contains(&crate_name) {
+        words.push("HashMap".to_string());
+        words.push("HashSet".to_string());
+    }
+    if NONDET_OK_CRATES.contains(&crate_name) {
+        words.push("thread_rng".to_string());
+        words.push("from_entropy".to_string());
+        paths.push("SystemTime::now".to_string());
+        paths.push("Instant::now".to_string());
+        paths.push("rand::random".to_string());
+    }
+    for (alias, original) in aliases {
+        match original.as_str() {
+            "HashMap" | "HashSet" if !SIM_PATH_CRATES.contains(&crate_name) => {
+                words.push(format!("{alias}\u{0}{original}"));
+            }
+            "thread_rng" | "from_entropy" if NONDET_OK_CRATES.contains(&crate_name) => {
+                words.push(format!("{alias}\u{0}{original}"));
+            }
+            "Instant" | "SystemTime" if NONDET_OK_CRATES.contains(&crate_name) => {
+                paths.push(format!("{alias}::now\u{0}{original}::now"));
+            }
+            _ => {}
+        }
+    }
+    (words, paths)
+}
+
+/// Split an encoded `needle\0display-original` banned pattern.
+fn pattern_parts(p: &str) -> (&str, String) {
+    match p.split_once('\u{0}') {
+        Some((needle, original)) => {
+            (needle, format!("{original} (aliased as `{needle}`)"))
+        }
+        None => (p, p.to_string()),
+    }
+}
+
+/// Scan one lexed file into [`FileFacts`]: function spans, calls, banned
+/// uses, and site references, each attributed to the innermost enclosing
+/// function.
+pub fn scan_file(ctx: &crate::rules::FileContext, lines: &[Line]) -> FileFacts {
+    let aliases = extract_aliases(lines);
+    let mut fns = find_fns(lines);
+    let (banned_words, banned_paths) = banned_patterns(&ctx.crate_name, &aliases);
+
+    // Innermost-fn attribution: for each line, the containing fn with the
+    // smallest span (ties: the one that starts latest).
+    let mut owner: Vec<Option<usize>> = vec![None; lines.len()];
+    for (fi, f) in fns.iter().enumerate() {
+        let stop = f.end.min(lines.len().saturating_sub(1));
+        for slot in owner.iter_mut().take(stop + 1).skip(f.start) {
+            let better = match *slot {
+                None => true,
+                Some(prev) => {
+                    let p = &fns[prev];
+                    let (ps, fs) = (p.end - p.start, f.end - f.start);
+                    fs < ps || (fs == ps && f.start >= p.start)
+                }
+            };
+            if better {
+                *slot = Some(fi);
+            }
+        }
+    }
+
+    for (li, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if code.is_empty() {
+            continue;
+        }
+        let Some(fi) = owner[li] else { continue };
+        extract_calls(code, &aliases, &mut fns[fi].calls);
+        site_args_on_line(code, &mut fns[fi].site_args);
+        for (pats, path_style) in [(&banned_words, false), (&banned_paths, true)] {
+            for p in pats {
+                let (needle, display) = pattern_parts(p);
+                let hit = if path_style {
+                    find_path_pattern(code, needle)
+                } else {
+                    find_word(code, needle)
+                };
+                if let Some(col) = hit {
+                    fns[fi].banned.push(BannedUse {
+                        pattern: display,
+                        line: li,
+                        col,
+                        allow_line: find_allow_line(lines, li, "sim-reach"),
+                    });
+                }
+            }
+        }
+    }
+
+    FileFacts { crate_name: ctx.crate_name.clone(), kind: ctx.kind, path: ctx.path.clone(), fns }
+}
+
+/// One node of the call graph: `(file index, fn index)` into
+/// [`CallGraph::files`].
+pub type NodeId = usize;
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Per-file facts, in the walk order they were scanned.
+    pub files: Vec<FileFacts>,
+    /// `nodes[n] = (file, fn)` indices.
+    pub nodes: Vec<(usize, usize)>,
+    edges: Vec<Vec<NodeId>>,
+}
+
+/// Compute each crate's transitive workspace-dependency closure (including
+/// itself). Cycle-tolerant: a visited set bounds the walk even if the
+/// dependency map (which cargo would reject) contained a loop.
+pub fn crate_closure(deps: &BTreeMap<String, Vec<String>>) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out = BTreeMap::new();
+    for name in deps.keys() {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut stack = vec![name.clone()];
+        while let Some(c) = stack.pop() {
+            if !seen.insert(c.clone()) {
+                continue;
+            }
+            if let Some(ds) = deps.get(&c) {
+                stack.extend(ds.iter().cloned());
+            }
+        }
+        out.insert(name.clone(), seen);
+    }
+    out
+}
+
+impl CallGraph {
+    /// Build the graph: resolve each function's call names to candidate
+    /// definitions, restricted by crate dependency direction.
+    pub fn build(files: Vec<FileFacts>, deps: &BTreeMap<String, Vec<String>>) -> CallGraph {
+        let closure = crate_closure(deps);
+        let mut nodes: Vec<(usize, usize)> = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (gi, _) in f.fns.iter().enumerate() {
+                nodes.push((fi, gi));
+            }
+        }
+        // Cross-crate candidates: library, non-test functions only.
+        let mut lib_index: BTreeMap<&str, Vec<NodeId>> = BTreeMap::new();
+        // Same-file candidates: anything, including test helpers.
+        let mut file_index: BTreeMap<(usize, &str), Vec<NodeId>> = BTreeMap::new();
+        for (n, &(fi, gi)) in nodes.iter().enumerate() {
+            let f = &files[fi].fns[gi];
+            if files[fi].kind == CrateKind::Lib && !f.is_test {
+                lib_index.entry(f.name.as_str()).or_default().push(n);
+            }
+            file_index.entry((fi, f.name.as_str())).or_default().push(n);
+        }
+        let empty = BTreeSet::new();
+        let mut edges: Vec<Vec<NodeId>> = Vec::with_capacity(nodes.len());
+        for &(fi, gi) in &nodes {
+            let krate = files[fi].crate_name.as_str();
+            let allowed = closure.get(krate).unwrap_or(&empty);
+            let mut out: BTreeSet<NodeId> = BTreeSet::new();
+            for call in &files[fi].fns[gi].calls {
+                if let Some(cands) = lib_index.get(call.as_str()) {
+                    for &c in cands {
+                        let callee_crate = files[self_file(&nodes, c)].crate_name.as_str();
+                        if allowed.contains(callee_crate) {
+                            out.insert(c);
+                        }
+                    }
+                }
+                if let Some(cands) = file_index.get(&(fi, call.as_str())) {
+                    out.extend(cands.iter().copied());
+                }
+            }
+            edges.push(out.into_iter().collect());
+        }
+        CallGraph { files, nodes, edges }
+    }
+
+    /// The function behind a node.
+    pub fn fn_fact(&self, n: NodeId) -> &FnFact {
+        let (fi, gi) = self.nodes[n];
+        &self.files[fi].fns[gi]
+    }
+
+    /// The file behind a node.
+    pub fn file(&self, n: NodeId) -> &FileFacts {
+        &self.files[self.nodes[n].0]
+    }
+
+    /// `name (path:line)` display label for a node.
+    pub fn label(&self, n: NodeId) -> String {
+        let f = self.fn_fact(n);
+        format!("`{}` ({}:{})", f.name, self.file(n).path.display(), f.line + 1)
+    }
+
+    /// BFS from `roots`; returns reached node → BFS parent (roots map to
+    /// `None`). Deterministic: roots and adjacency are visited in sorted
+    /// order. Cycles are harmless — each node is visited once.
+    pub fn reachable(&self, roots: &[NodeId]) -> BTreeMap<NodeId, Option<NodeId>> {
+        let mut parent: BTreeMap<NodeId, Option<NodeId>> = BTreeMap::new();
+        let mut sorted: Vec<NodeId> = roots.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut q: VecDeque<NodeId> = VecDeque::new();
+        for r in sorted {
+            if parent.insert(r, None).is_none() {
+                q.push_back(r);
+            }
+        }
+        while let Some(n) = q.pop_front() {
+            for &m in &self.edges[n] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(m) {
+                    e.insert(Some(n));
+                    q.push_back(m);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The root→node call chain as ` → `-joined labels.
+    pub fn chain(&self, reach: &BTreeMap<NodeId, Option<NodeId>>, n: NodeId) -> String {
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some(Some(p)) = reach.get(&cur) {
+            cur = *p;
+            path.push(cur);
+            if path.len() > 64 {
+                break; // cycles cannot occur in a BFS tree; belt and braces
+            }
+        }
+        path.reverse();
+        path.iter().map(|&m| self.label(m)).collect::<Vec<_>>().join(" → ")
+    }
+
+    /// The engines' event-dispatch roots: `run`/`run_to_completion` in the
+    /// sequential engine, `run` in the parallel engine, plus every
+    /// library-target `on_event`/`on_start` implementation workspace-wide
+    /// (components are driven through `dyn Component`, which name-based
+    /// resolution cannot follow — so every implementor is a root).
+    pub fn dispatch_roots(&self) -> Vec<NodeId> {
+        const ENGINE_FILES: &[(&str, &[&str])] = &[
+            ("crates/des/src/engine.rs", &["run", "run_to_completion"]),
+            ("crates/des/src/parallel.rs", &["run"]),
+        ];
+        let mut roots = Vec::new();
+        for (n, &(fi, gi)) in self.nodes.iter().enumerate() {
+            let file = &self.files[fi];
+            let f = &file.fns[gi];
+            if file.kind != CrateKind::Lib || f.is_test {
+                continue;
+            }
+            let p = file.path.to_string_lossy();
+            let engine_entry = ENGINE_FILES
+                .iter()
+                .any(|(suffix, names)| p.ends_with(suffix) && names.contains(&f.name.as_str()));
+            let component_entry = f.name == "on_event" || f.name == "on_start";
+            if engine_entry || component_entry {
+                roots.push(n);
+            }
+        }
+        roots
+    }
+
+    /// Roots for the D9 hook audit: dispatch roots plus every library
+    /// function of the scenario server (serve wires fault sites outside
+    /// the engines' dispatch loop, in its chaos gate).
+    pub fn hook_roots(&self) -> Vec<NodeId> {
+        let mut roots = self.dispatch_roots();
+        for (n, &(fi, gi)) in self.nodes.iter().enumerate() {
+            let file = &self.files[fi];
+            if file.crate_name == "besst-serve"
+                && file.kind == CrateKind::Lib
+                && !file.fns[gi].is_test
+            {
+                roots.push(n);
+            }
+        }
+        roots
+    }
+}
+
+fn self_file(nodes: &[(usize, usize)], n: NodeId) -> usize {
+    nodes[n].0
+}
+
+/// One fault-site constant from `besst_des::buggify::sites`.
+#[derive(Debug, Clone)]
+pub struct SiteConst {
+    /// Constant name, e.g. `LINK_DROP`.
+    pub name: String,
+    /// 0-based line of the `pub const`.
+    pub line: usize,
+    /// 0-based line of a covering `// lint: allow(site-coverage)`, if any.
+    pub allow_line: Option<usize>,
+}
+
+/// The parsed fault-site catalog of `crates/des/src/buggify.rs`:
+/// site constants, `ALL` registrations, the site→probability-field map,
+/// and each preset's nonzero probability fields.
+#[derive(Debug, Clone, Default)]
+pub struct SiteCatalog {
+    /// Site constants in source order.
+    pub consts: Vec<SiteConst>,
+    /// Names registered in `sites::ALL`.
+    pub registered: BTreeSet<String>,
+    /// `(name, 0-based line)` of `ALL` entries with no matching constant.
+    pub unknown_registered: Vec<(String, usize)>,
+    /// Site constant → `FaultConfig` probability field (from the
+    /// `probability()` match arms; sites without an arm never fire on
+    /// their own).
+    pub prob_field: BTreeMap<String, String>,
+    /// Preset constructor → probability fields it sets nonzero.
+    pub preset_fields: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Parse the fault-site catalog from the lexed buggify source and its
+/// scanned facts. Purely lexical, like everything else here: the catalog
+/// file's shape (one `pub const NAME: u64` per site inside `mod sites`,
+/// struct-literal presets with one field per line) is itself pinned by the
+/// D9 tests, so drift fails loudly instead of silently un-auditing.
+pub fn parse_site_catalog(lines: &[Line], facts: &FileFacts) -> SiteCatalog {
+    let mut cat = SiteCatalog::default();
+
+    // `mod sites { … }` span by brace tracking.
+    let mut sites_span: Option<(usize, usize)> = None;
+    {
+        let mut depth = 0usize;
+        let mut open_at: Option<(usize, usize)> = None; // (line, depth at open)
+        'outer: for (li, line) in lines.iter().enumerate() {
+            let code = line.code.as_str();
+            let starts = open_at.is_none()
+                && (code.trim_start().starts_with("pub mod sites")
+                    || code.trim_start().starts_with("mod sites"));
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if starts && open_at.is_none() {
+                            open_at = Some((li, depth));
+                        }
+                    }
+                    '}' => {
+                        if let Some((start, d)) = open_at {
+                            if depth == d {
+                                sites_span = Some((start, li));
+                                break 'outer;
+                            }
+                        }
+                        depth = depth.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let Some((s0, s1)) = sites_span else { return cat };
+
+    // Constants and the ALL array inside the span.
+    let mut in_all = false;
+    for li in s0..=s1.min(lines.len() - 1) {
+        let t = lines[li].code.trim();
+        if let Some(rest) = t.strip_prefix("pub const ") {
+            if let Some((name, tail)) = rest.split_once(':') {
+                let name = name.trim();
+                if name == "ALL" {
+                    in_all = true;
+                } else if tail.contains("u64")
+                    && name.chars().all(|c| c.is_ascii_uppercase() || c == '_')
+                {
+                    cat.consts.push(SiteConst {
+                        name: name.to_string(),
+                        line: li,
+                        allow_line: find_allow_line(lines, li, "site-coverage"),
+                    });
+                    continue;
+                }
+            }
+        }
+        if in_all {
+            let inner = t.trim_start_matches('(');
+            let entry: String = inner.chars().take_while(|&c| is_ident_char(c)).collect();
+            if t.starts_with('(') && !entry.is_empty() {
+                if cat.consts.iter().any(|c| c.name == entry) {
+                    cat.registered.insert(entry);
+                } else {
+                    cat.unknown_registered.push((entry, li));
+                }
+            }
+            if t.contains("];") {
+                in_all = false;
+            }
+        }
+    }
+
+    // probability() arms: `sites::NAME => self.FIELD,`.
+    if let Some(f) = facts.fns.iter().find(|f| f.name == "probability") {
+        for line in lines.iter().take(f.end.min(lines.len() - 1) + 1).skip(f.start) {
+            let code = line.code.as_str();
+            let (Some(sp), Some(fp)) = (code.find("sites::"), code.find("self.")) else {
+                continue;
+            };
+            let site: String = code[sp + "sites::".len()..]
+                .chars()
+                .take_while(|&c| is_ident_char(c))
+                .collect();
+            let field: String =
+                code[fp + "self.".len()..].chars().take_while(|&c| is_ident_char(c)).collect();
+            if !site.is_empty() && !field.is_empty() {
+                cat.prob_field.insert(site, field);
+            }
+        }
+    }
+
+    // Preset constructors named by `config()`, then their nonzero fields.
+    let mut preset_fns: BTreeSet<String> = BTreeSet::new();
+    if let Some(f) = facts.fns.iter().find(|f| f.name == "config") {
+        for line in lines.iter().take(f.end.min(lines.len() - 1) + 1).skip(f.start) {
+            let code = line.code.as_str();
+            let mut from = 0;
+            while let Some(rel) = code[from..].find("FaultConfig::") {
+                let at = from + rel + "FaultConfig::".len();
+                let name: String =
+                    code[at..].chars().take_while(|&c| is_ident_char(c)).collect();
+                if !name.is_empty() {
+                    preset_fns.insert(name);
+                }
+                from = at;
+            }
+        }
+    }
+    let prob_fields: BTreeSet<&String> = cat.prob_field.values().collect();
+    for preset in preset_fns {
+        let Some(f) = facts.fns.iter().find(|f| f.name == preset) else { continue };
+        let mut nonzero: BTreeSet<String> = BTreeSet::new();
+        for line in lines.iter().take(f.end.min(lines.len() - 1) + 1).skip(f.start) {
+            let t = line.code.trim();
+            let Some((field, value)) = t.split_once(':') else { continue };
+            let field = field.trim();
+            let value = value.trim().trim_end_matches(',').trim();
+            if prob_fields.contains(&field.to_string()) && value != "0.0" && !value.is_empty() {
+                nonzero.insert(field.to_string());
+            }
+        }
+        cat.preset_fields.insert(preset, nonzero);
+    }
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::FileContext;
+
+    fn ctx(name: &str, kind: CrateKind, file: &str) -> FileContext {
+        FileContext {
+            crate_name: name.to_string(),
+            kind,
+            has_typed_errors: false,
+            path: PathBuf::from(file),
+        }
+    }
+
+    #[test]
+    fn fn_spans_and_nesting() {
+        let src = "fn outer() {\n    let x = inner();\n    fn inner() -> u32 {\n        helper()\n    }\n}\nfn helper() -> u32 { 7 }\n";
+        let c = ctx("besst-des", CrateKind::Lib, "a.rs");
+        let facts = scan_file(&c, &lex(src));
+        let names: Vec<&str> = facts.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "helper"]);
+        assert_eq!((facts.fns[0].start, facts.fns[0].end), (0, 5));
+        assert_eq!((facts.fns[1].start, facts.fns[1].end), (2, 4));
+        // `helper()` on line 3 is attributed to the innermost fn.
+        assert!(facts.fns[1].calls.contains("helper"));
+        assert!(!facts.fns[0].calls.contains("helper"));
+        assert!(facts.fns[0].calls.contains("inner"));
+    }
+
+    #[test]
+    fn alias_resolution_feeds_calls_and_bans() {
+        let src = "use std::collections::HashMap as Map;\nuse crate::util::go as leap;\nfn f() {\n    let m = Map::new();\n    leap();\n}\n";
+        // Not a sim-path crate, so the hash family is D7's to police.
+        let c = ctx("besst-analytic", CrateKind::Lib, "a.rs");
+        let facts = scan_file(&c, &lex(src));
+        let f = &facts.fns[0];
+        assert!(f.calls.contains("go"), "alias resolved to original: {:?}", f.calls);
+        assert_eq!(f.banned.len(), 1, "{:?}", f.banned);
+        assert!(f.banned[0].pattern.contains("HashMap"));
+        assert!(f.banned[0].pattern.contains("Map"));
+    }
+
+    #[test]
+    fn cross_crate_edges_respect_dependency_direction() {
+        let c1 = ctx("besst-des", CrateKind::Lib, "crates/des/src/lib.rs");
+        let f1 = scan_file(&c1, &lex("fn leaf() {}\n"));
+        let c2 = ctx("besst-core", CrateKind::Lib, "crates/core/src/lib.rs");
+        let f2 = scan_file(&c2, &lex("fn mid() { leaf(); }\n"));
+        let c3 = ctx("besst-serve", CrateKind::Lib, "crates/serve/src/lib.rs");
+        let f3 = scan_file(&c3, &lex("fn top() { mid(); leaf(); }\n"));
+        let mut deps = BTreeMap::new();
+        deps.insert("besst-des".to_string(), vec![]);
+        deps.insert("besst-core".to_string(), vec!["besst-des".to_string()]);
+        deps.insert("besst-serve".to_string(), vec!["besst-core".to_string()]);
+        let g = CallGraph::build(vec![f1, f2, f3], &deps);
+        // Nodes: 0 = leaf (des), 1 = mid (core), 2 = top (serve).
+        let reach = g.reachable(&[2]);
+        assert!(reach.contains_key(&0), "serve → core → des chain: {reach:?}");
+        assert!(reach.contains_key(&1));
+        // des cannot reach "up" into core even with a name match.
+        let up = scan_file(&c1, &lex("fn lonely() { mid(); }\n"));
+        let g2 = CallGraph::build(vec![up, scan_file(&c2, &lex("fn mid() {}\n"))], &deps);
+        let r2 = g2.reachable(&[0]);
+        assert!(!r2.contains_key(&1), "dependency direction must block the edge: {r2:?}");
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let c = ctx("besst-des", CrateKind::Lib, "a.rs");
+        let facts = scan_file(&c, &lex("fn ping() { pong(); }\nfn pong() { ping(); }\n"));
+        let mut deps = BTreeMap::new();
+        deps.insert("besst-des".to_string(), vec![]);
+        let g = CallGraph::build(vec![facts], &deps);
+        let reach = g.reachable(&[0]);
+        assert_eq!(reach.len(), 2);
+        let chain = g.chain(&reach, 1);
+        assert!(chain.contains("ping") && chain.contains("pong"), "{chain}");
+    }
+
+    #[test]
+    fn macro_invocations_and_keywords_are_not_calls() {
+        let c = ctx("besst-des", CrateKind::Lib, "a.rs");
+        let facts =
+            scan_file(&c, &lex("fn f() {\n    println!(\"x\");\n    if cond(x) { loop {} }\n}\n"));
+        let f = &facts.fns[0];
+        assert!(!f.calls.contains("println"));
+        assert!(!f.calls.contains("if"));
+        assert!(f.calls.contains("cond"));
+    }
+
+    #[test]
+    fn site_args_require_argument_position() {
+        let c = ctx("besst-des", CrateKind::Lib, "crates/des/src/buggify.rs");
+        let src = "fn roll(&self) {\n    self.fires(sites::LINK_DROP, a, b);\n}\nfn probability(&self, site: u64) -> f64 {\n    match site {\n        sites::LINK_DROP => self.link_drop_p,\n        _ => 0.0,\n    }\n}\n";
+        let facts = scan_file(&c, &lex(src));
+        assert!(facts.fns[0].site_args.contains("LINK_DROP"));
+        assert!(
+            facts.fns[1].site_args.is_empty(),
+            "match-arm mappings must not count as hooks: {:?}",
+            facts.fns[1].site_args
+        );
+    }
+
+    #[test]
+    fn real_buggify_catalog_parses() {
+        let root = crate::workspace::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let src = std::fs::read_to_string(root.join("crates/des/src/buggify.rs")).expect("read");
+        let lines = lex(&src);
+        let c = ctx("besst-des", CrateKind::Lib, "crates/des/src/buggify.rs");
+        let facts = scan_file(&c, &lines);
+        let cat = parse_site_catalog(&lines, &facts);
+        assert_eq!(cat.consts.len(), 8, "{:?}", cat.consts);
+        assert_eq!(cat.registered.len(), 8, "every const registered in ALL");
+        assert!(cat.unknown_registered.is_empty());
+        // NODE_REPAIR has no probability arm — it rides on NODE_CRASH.
+        assert_eq!(cat.prob_field.len(), 7, "{:?}", cat.prob_field);
+        assert!(!cat.prob_field.contains_key("NODE_REPAIR"));
+        // The chaos preset covers link faults.
+        let chaos = cat.preset_fields.get("chaos").expect("chaos preset parsed");
+        assert!(chaos.contains("link_drop_p"), "{chaos:?}");
+    }
+}

@@ -88,6 +88,13 @@ pub fn lex(source: &str) -> Vec<Line> {
                     state = State::Str;
                     i += 1;
                 }
+                // Plain byte string `b"…"`: escape-processing like `"…"`,
+                // NOT raw — `b"\""` must not close at the escaped quote.
+                'b' if next == '"' && !is_ident_tail(&bytes, i) => {
+                    code.push_str("\"\"");
+                    state = State::Str;
+                    i += 2;
+                }
                 'r' | 'b' if is_raw_string_start(&bytes, i) => {
                     let (hashes, consumed) = raw_string_open(&bytes, i);
                     code.push_str("\"\"");
@@ -124,7 +131,11 @@ pub fn lex(source: &str) -> Vec<Line> {
             }
             State::Str => {
                 if c == '\\' {
-                    i += 2;
+                    // An escaped newline (multi-line string continuation)
+                    // must still terminate the *source line*: consume only
+                    // the backslash so the top-of-loop newline handler
+                    // pushes the line and keeps line numbers aligned.
+                    i += if next == '\n' { 1 } else { 2 };
                 } else if c == '"' {
                     state = State::Normal;
                     i += 1;
@@ -157,22 +168,25 @@ pub fn lex(source: &str) -> Vec<Line> {
     lines
 }
 
-/// `r"…"`, `r#"…"#`, `br"…"`, `b"…"` starts. Called with `bytes[i]` being
-/// `r` or `b`.
-fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
-    // Must not be the tail of a longer identifier (`for`, `ptr`, …).
-    if i > 0 {
+/// True when `bytes[i]` continues an identifier started earlier
+/// (`for`, `ptr`, `sub"…` tails must not be mistaken for literal prefixes).
+fn is_ident_tail(bytes: &[char], i: usize) -> bool {
+    i > 0 && {
         let p = bytes[i - 1];
-        if p.is_alphanumeric() || p == '_' {
-            return false;
-        }
+        p.is_alphanumeric() || p == '_'
+    }
+}
+
+/// `r"…"`, `r#"…"#`, `br"…"`, `br#"…"#` starts — the genuinely raw
+/// (escape-free) forms. Plain `b"…"` is handled as an ordinary string.
+/// Called with `bytes[i]` being `r` or `b`.
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    if is_ident_tail(bytes, i) {
+        return false;
     }
     let mut j = i;
     if bytes[j] == 'b' {
         j += 1;
-        if j < bytes.len() && bytes[j] == '"' {
-            return true; // b"…" — plain byte string, handled as raw-0
-        }
     }
     if j < bytes.len() && bytes[j] == 'r' {
         j += 1;
@@ -312,6 +326,62 @@ let y = HashMap::new(); // trailing note
         assert!(!lines[0].code.contains("thread_rng"));
         assert!(lines[0].comment.contains("inner"));
         assert!(lines[1].code.contains("let a"));
+    }
+
+    #[test]
+    fn hashed_raw_strings_span_lines_and_ignore_inner_quotes() {
+        // r##"…"## may contain `"#` without closing; the close needs `"##`.
+        let src = "let s = r##\"line one \"# HashMap\nline two Instant::now\"##;\nlet x = HashMap::new();\n";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("HashMap"), "inside raw string");
+        assert!(!lines[1].code.contains("Instant"), "raw string spans lines");
+        assert!(lines[2].code.contains("HashMap"), "code after the close is live");
+        assert_eq!(lines.len(), 3, "line structure preserved across the literal");
+    }
+
+    #[test]
+    fn byte_strings_process_escapes() {
+        // Regression: `b"\""` is escape-processed, not raw — the escaped
+        // quote must not close the literal and leak the tail into code.
+        let src = "let b = b\"quote \\\" HashMap\";\nlet c = br\"raw HashSet\";\nlet d = HashMap::new();\n";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("HashMap"), "escaped quote must not close b\"…\"");
+        assert!(!lines[1].code.contains("HashSet"), "br\"…\" stays raw");
+        assert!(lines[2].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let src = "/* a /* b /* c */ still */ still */ let live = thread_rng();\n";
+        let lines = lex(src);
+        assert!(lines[0].code.contains("thread_rng"), "code after triple-nested close is live");
+        assert!(lines[0].comment.contains('c'));
+        let src = "/* a /* b */ still comment thread_rng */\nlet x = 1;\n";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("thread_rng"));
+        assert!(lines[1].code.contains("let x"));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers() {
+        // A trailing backslash continues the string on the next line; the
+        // lexer must still emit one `Line` per source line so diagnostics
+        // after the literal point at the right place.
+        let src = "let s = \"first \\\nsecond\";\nlet t = HashMap::new();\n";
+        let lines = lex(src);
+        assert_eq!(lines.len(), 3, "one Line per source line");
+        assert!(!lines[1].code.contains("second"), "continuation is string text");
+        assert!(lines[2].code.contains("HashMap"), "line 3 still maps to source line 3");
+    }
+
+    #[test]
+    fn identifier_tails_are_not_literal_prefixes() {
+        let src = "let ptr = subr\"x\";\nlet abcb = 1;\n";
+        let lines = lex(src);
+        // `subr` ends in `r` but is an identifier; the quote then opens a
+        // plain string.
+        assert!(lines[0].code.contains("subr"));
+        assert!(lines[1].code.contains("abcb"));
     }
 
     #[test]

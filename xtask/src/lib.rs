@@ -2,51 +2,244 @@
 //!
 //! The library half of the `xtask` crate, exposed so the fixture tests
 //! under `tests/` can drive the rule engine directly. See
-//! `docs/STATIC_ANALYSIS.md` for the rule catalog (D1–D6), the
-//! `// lint: allow(<key>) -- <reason>` justification syntax, and how this
-//! pass fits with the dynamic-analysis jobs (Miri, ThreadSanitizer, loom).
+//! `docs/STATIC_ANALYSIS.md` for the rule catalog (D1–D9 plus the
+//! stale-allow audit), the `// lint: allow(<key>) -- <reason>`
+//! justification syntax, the call-graph construction behind D7/D9, the
+//! `--format json` schema, and how this pass fits with the
+//! dynamic-analysis jobs (Miri, ThreadSanitizer, loom).
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod callgraph;
 pub mod doclinks;
 pub mod lexer;
 pub mod rules;
 pub mod workspace;
 
-use rules::{FileContext, Finding};
-use std::path::Path;
+use rules::{FileContext, Finding, SiteStatus};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
 
-/// Lint every source file in the workspace rooted at `root`.
-///
-/// Returns all findings in deterministic (path, line) order. Unreadable
-/// files are reported as findings rather than silently skipped, so a
-/// permissions problem can't masquerade as a clean pass.
-pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+/// An internal linter failure — *not* a finding. CI distinguishes the two
+/// by exit code: findings exit 1, a broken linter exits 2 (see
+/// [`lint_exit_code`]), so a dirty tree can never masquerade as a crashed
+/// tool or vice versa.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintError {
+    /// A source file exists in the walk but could not be read.
+    Io {
+        /// The unreadable path.
+        path: PathBuf,
+        /// The OS error text.
+        detail: String,
+    },
+    /// Workspace/member manifest discovery failed.
+    Manifest(String),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, detail } => {
+                write!(f, "unreadable source file {}: {detail}", path.display())
+            }
+            LintError::Manifest(msg) => write!(f, "workspace discovery failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Everything one workspace pass produces: the findings, plus the D9
+/// fault-site audit table (also useful to tests proving catalog health).
+#[derive(Debug)]
+pub struct WorkspaceAnalysis {
+    /// All findings, sorted by (file, line, col, rule code).
+    pub findings: Vec<Finding>,
+    /// Per-site status from the D9 audit (empty when the workspace has no
+    /// `crates/des/src/buggify.rs` — fixture workspaces in tests).
+    pub sites: Vec<SiteStatus>,
+}
+
+/// The fault-site catalog file D9 audits.
+const SITE_CATALOG_PATH: &str = "crates/des/src/buggify.rs";
+
+/// Run the full analysis over the workspace rooted at `root`: per-line
+/// rules (D1–D6, D8) per file, the call-graph rules (D7, D9) across the
+/// workspace, then the stale-allow audit over every justification comment.
+pub fn analyze_workspace(root: &Path) -> Result<WorkspaceAnalysis, LintError> {
+    let members = workspace::try_members(root).map_err(LintError::Manifest)?;
+    let member_names: Vec<&str> = members.iter().map(|m| m.name.as_str()).collect();
+    let deps: BTreeMap<String, Vec<String>> = members
+        .iter()
+        .map(|m| {
+            let ds = m
+                .deps
+                .iter()
+                .filter(|d| member_names.contains(&d.as_str()))
+                .cloned()
+                .collect();
+            (m.name.clone(), ds)
+        })
+        .collect();
+
     let mut findings = Vec::new();
+    let mut facts = Vec::new();
+    let mut allow_tables: Vec<(PathBuf, Vec<rules::AllowSite>)> = Vec::new();
+    let mut catalog = None;
+
     for file in workspace::source_files(root) {
         let abs = root.join(&file.path);
-        let source = match std::fs::read_to_string(&abs) {
-            Ok(s) => s,
-            Err(e) => {
-                findings.push(Finding {
-                    rule: rules::Rule::PanicPath,
-                    file: file.path.clone(),
-                    line: 1,
-                    col: 1,
-                    what: format!("unreadable source file: {e}"),
-                    hint: "fix permissions or remove the file from the tree".to_string(),
-                });
-                continue;
-            }
-        };
+        let source = std::fs::read_to_string(&abs)
+            .map_err(|e| LintError::Io { path: file.path.clone(), detail: e.to_string() })?;
         let ctx = FileContext {
             crate_name: file.crate_name,
             kind: file.kind,
             has_typed_errors: file.has_typed_errors,
             path: file.path,
         };
-        findings.extend(rules::lint_source(&ctx, &source));
+        let lines = lexer::lex(&source);
+        let analysis = rules::analyze_lines(&ctx, &lines);
+        findings.extend(analysis.findings);
+        let file_facts = callgraph::scan_file(&ctx, &lines);
+        if ctx.path == Path::new(SITE_CATALOG_PATH) {
+            catalog = Some(callgraph::parse_site_catalog(&lines, &file_facts));
+        }
+        facts.push(file_facts);
+        allow_tables.push((ctx.path, analysis.allows));
     }
-    findings
+
+    let graph = callgraph::CallGraph::build(facts, &deps);
+    let (d7, used7) = rules::check_sim_reach(&graph);
+    findings.extend(d7);
+    let mut sites = Vec::new();
+    let mut used9 = Vec::new();
+    if let Some(cat) = catalog {
+        let (d9, statuses, used) =
+            rules::check_site_coverage(&graph, &cat, Path::new(SITE_CATALOG_PATH));
+        findings.extend(d9);
+        sites = statuses;
+        used9 = used;
+    }
+
+    // Mark workspace-level allow uses, then audit what is left.
+    for (path, line, key) in used7
+        .iter()
+        .map(|(p, l)| (p, l, "sim-reach"))
+        .chain(used9.iter().map(|(p, l)| (p, l, "site-coverage")))
+    {
+        for (p, allows) in allow_tables.iter_mut() {
+            if p != path {
+                continue;
+            }
+            for a in allows.iter_mut() {
+                if a.line == line + 1 && a.key == key {
+                    a.used = true;
+                }
+            }
+        }
+    }
+    for (path, allows) in &allow_tables {
+        findings.extend(rules::stale_allow_findings(path, allows));
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule.code()).cmp(&(&b.file, b.line, b.col, b.rule.code()))
+    });
+    Ok(WorkspaceAnalysis { findings, sites })
+}
+
+/// Lint every source file in the workspace rooted at `root`.
+///
+/// Returns all findings in deterministic (path, line, col, rule) order,
+/// or a [`LintError`] when the linter itself could not do its job.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, LintError> {
+    analyze_workspace(root).map(|a| a.findings)
+}
+
+/// The process exit code for a lint outcome: 0 clean, 1 findings, 2
+/// internal error.
+pub fn lint_exit_code(outcome: &Result<Vec<Finding>, LintError>) -> u8 {
+    match outcome {
+        Ok(f) if f.is_empty() => 0,
+        Ok(_) => 1,
+        Err(_) => 2,
+    }
+}
+
+/// Render findings as the `besst-lint-json-v1` document (hand-rolled, like
+/// `bench-json` — the offline stub registry has no serde_json). The output
+/// is a pure function of the findings: keys in fixed order, `by_rule`
+/// sorted by rule code, findings pre-sorted by the caller — byte-identical
+/// across runs by construction, which the CI diff gate verifies.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *by_rule.entry(f.rule.code()).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"besst-lint-json-v1\",\n");
+    out.push_str("  \"rules\": [");
+    for (i, r) in rules::Rule::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", r.code()));
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("  \"total\": {},\n", findings.len()));
+    out.push_str("  \"by_rule\": {");
+    for (i, (code, n)) in by_rule.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{code}\": {n}"));
+    }
+    if !by_rule.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"rule\": \"{}\",\n", f.rule.code()));
+        out.push_str(&format!(
+            "      \"file\": \"{}\",\n",
+            json_escape(&f.file.to_string_lossy())
+        ));
+        out.push_str(&format!("      \"line\": {},\n", f.line));
+        out.push_str(&format!("      \"col\": {},\n", f.col));
+        out.push_str(&format!("      \"what\": \"{}\",\n", json_escape(&f.what)));
+        out.push_str(&format!("      \"hint\": \"{}\"\n", json_escape(&f.hint)));
+        out.push_str("    }");
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

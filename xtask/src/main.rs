@@ -47,7 +47,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo run -p xtask -- <command>\n\
          commands:\n\
-         \u{20} lint [--root <dir>]          determinism/soundness lint (D1–D6); exits 1 on findings\n\
+         \u{20} lint [--root <dir>] [--format text|json] [--only <rule>]\n\
+         \u{20}                              determinism/soundness lint (D1–D9 + stale-allow audit);\n\
+         \u{20}                              exits 1 on findings, 2 on internal errors; --only filters\n\
+         \u{20}                              by rule code or allow key (e.g. stale-allow)\n\
          \u{20} doc-links [--root <dir>]     markdown link checker over README/DESIGN/docs; exits 1\n\
          \u{20}                              on broken links or dangling docs/*.md cross-references\n\
          \u{20} bench-json [--out <file>] [--miniature]\n\
@@ -80,22 +83,56 @@ fn main() -> ExitCode {
                     }
                 }
             };
-            let findings = xtask::lint_workspace(&root);
-            for f in &findings {
-                println!("{f}\n");
+            let json = match args.iter().position(|a| a == "--format") {
+                Some(i) => match args.get(i + 1).map(String::as_str) {
+                    Some("json") => true,
+                    Some("text") => false,
+                    _ => return usage(),
+                },
+                None => false,
+            };
+            let only: Option<String> = match args.iter().position(|a| a == "--only") {
+                Some(i) => match args.get(i + 1) {
+                    Some(k) => Some(k.clone()),
+                    None => return usage(),
+                },
+                None => None,
+            };
+            let mut outcome = xtask::lint_workspace(&root);
+            if let (Ok(findings), Some(key)) = (&mut outcome, &only) {
+                findings.retain(|f| f.rule.code() == key || f.rule.allow_key() == key.as_str());
             }
-            if findings.is_empty() {
-                eprintln!("besst-lint: clean (rules D1–D6, workspace {})", root.display());
-                ExitCode::SUCCESS
-            } else {
-                eprintln!(
-                    "besst-lint: {} finding{} — see docs/STATIC_ANALYSIS.md for the rules \
-                     and the `// lint: allow(<key>) -- <reason>` justification syntax",
-                    findings.len(),
-                    if findings.len() == 1 { "" } else { "s" }
-                );
-                ExitCode::FAILURE
+            let code = xtask::lint_exit_code(&outcome);
+            match &outcome {
+                Err(e) => eprintln!("besst-lint: internal error: {e}"),
+                Ok(findings) if json => {
+                    print!("{}", xtask::findings_to_json(findings));
+                    eprintln!(
+                        "besst-lint: {} finding{} (JSON on stdout, schema besst-lint-json-v1)",
+                        findings.len(),
+                        if findings.len() == 1 { "" } else { "s" }
+                    );
+                }
+                Ok(findings) => {
+                    for f in findings {
+                        println!("{f}\n");
+                    }
+                    if findings.is_empty() {
+                        eprintln!(
+                            "besst-lint: clean (rules D1–D9 + stale-allow audit, workspace {})",
+                            root.display()
+                        );
+                    } else {
+                        eprintln!(
+                            "besst-lint: {} finding{} — see docs/STATIC_ANALYSIS.md for the rules \
+                             and the `// lint: allow(<key>) -- <reason>` justification syntax",
+                            findings.len(),
+                            if findings.len() == 1 { "" } else { "s" }
+                        );
+                    }
+                }
             }
+            ExitCode::from(code)
         }
         Some("doc-links") => {
             let root = match args.iter().position(|a| a == "--root") {

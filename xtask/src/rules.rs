@@ -1,7 +1,8 @@
 //! The besst-lint rule catalog.
 //!
-//! Six repo-specific determinism/soundness rules (see
-//! `docs/STATIC_ANALYSIS.md` for the rationale and the allow-list syntax):
+//! Nine repo-specific determinism/soundness rules plus the stale-allow
+//! audit (see `docs/STATIC_ANALYSIS.md` for the rationale and the
+//! allow-list syntax):
 //!
 //! * **D1 `hash-order`** — no `std::collections::HashMap`/`HashSet` in
 //!   simulation-path crates. Hash iteration order is randomized per
@@ -16,7 +17,7 @@
 //!   code of library crates that already expose typed errors (detected by
 //!   a `pub enum *Error` in the crate): return the typed error instead.
 //! * **D4 `undocumented-unsafe`** — every `unsafe` keyword must carry a
-//!   `// SAFETY:` comment on the same or one of the three preceding lines.
+//!   `// SAFETY:` comment on the same or one of the preceding lines.
 //! * **D5 `float-cmp`** — no float equality (`==`/`!=` next to
 //!   `as_secs_f64`/`as_micros_f64`/`_f64` time accessors) and no
 //!   `partial_cmp` in simulation-path crates outside `besst_des::time`:
@@ -26,17 +27,36 @@
 //!   (`read_to_end`/`read_to_string`/`read_line`) or unbounded channel
 //!   growth (`unbounded`) in serving-path crates: a client that streams
 //!   an endless line or never drains must hit a typed limit
-//!   (`MAX_LINE_BYTES`, a bounded queue), not exhaust memory. Justify
-//!   exceptions with `// lint: allow(unbounded-wait)`.
+//!   (`MAX_LINE_BYTES`, a bounded queue), not exhaust memory.
+//! * **D7 `sim-reach`** — interprocedural: no function *transitively
+//!   reachable* from the engines' event-dispatch entry points
+//!   (`Engine::run`, `ParallelEngine::run`, every `on_event`/`on_start`
+//!   implementation) may use a D1/D2-banned API, in any crate. This
+//!   closes the laundering hole where a helper crate off the sim path
+//!   hides a `HashMap` or `Instant::now` behind one call. Built on the
+//!   conservative name-based call graph in [`crate::callgraph`].
+//! * **D8 `error-swallow`** — no `let _ = …(…)` or statement-position
+//!   `.ok();` discarding a `Result` in non-test library code of
+//!   typed-error crates: a swallowed error is an invisible fault, which
+//!   is the one thing a fault-tolerance simulator cannot tolerate.
+//! * **D9 `site-coverage`** — every fault-site constant in
+//!   `besst_des::buggify::sites` must be registered in `sites::ALL`,
+//!   hooked by at least one call site reachable from the engines or the
+//!   scenario server, and exercised by at least one `FaultPreset`.
+//!   Unregistered, dead, and preset-orphaned sites are findings.
+//! * **A1 `stale-allow`** — a `// lint: allow(…)` that no longer
+//!   suppresses any finding (or names an unknown key) is itself a
+//!   finding, so suppression debt cannot rot in place.
 //!
 //! Allow-list syntax: `// lint: allow(<key>) -- <reason>` on the flagged
-//! line or the line directly above it. The reason is mandatory by
-//! convention and reviewed like a `// SAFETY:` comment.
+//! line or the comment block directly above it. The reason is mandatory
+//! by convention and reviewed like a `// SAFETY:` comment.
 
+use crate::callgraph::{CallGraph, SiteCatalog};
 use crate::lexer::{lex, Line};
 use crate::workspace::CrateKind;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Crates whose code is on the simulation path: anything that can affect a
 /// simulated trajectory, and therefore the DST bit-identity suite.
@@ -54,7 +74,8 @@ pub const SIM_PATH_CRATES: &[&str] = &[
 /// campaigns, benchmark harnesses, and the scenario server — deadlines,
 /// backoff and batch budgets are wall-clock by contract; the *simulated*
 /// answers it serves stay seed-deterministic). Everything else must be
-/// deterministic.
+/// deterministic. D7 still polices these crates' functions when they are
+/// reachable from engine dispatch.
 pub const NONDET_OK_CRATES: &[&str] = &["besst-bench", "besst-experiments", "xtask", "besst-serve"];
 
 /// Crates that serve untrusted byte streams and therefore must bound
@@ -62,7 +83,7 @@ pub const NONDET_OK_CRATES: &[&str] = &["besst-bench", "besst-experiments", "xta
 pub const BOUNDED_IO_CRATES: &[&str] = &["besst-serve"];
 
 /// One lint rule's identity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// D1: hash-ordered collections in simulation-path crates.
     HashOrder,
@@ -77,9 +98,31 @@ pub enum Rule {
     /// D6: unbounded blocking reads / channel growth in serving-path
     /// crates.
     UnboundedWait,
+    /// D7: D1/D2-banned APIs reachable from engine event dispatch.
+    SimReach,
+    /// D8: discarded `Result`s in typed-error library code.
+    ErrorSwallow,
+    /// D9: fault sites missing registration, hooks, or preset coverage.
+    SiteCoverage,
+    /// A1: `// lint: allow(…)` that suppresses nothing.
+    StaleAllow,
 }
 
 impl Rule {
+    /// Every rule, in catalog order (the order of the JSON `rules` array).
+    pub const ALL: [Rule; 10] = [
+        Rule::HashOrder,
+        Rule::Nondet,
+        Rule::PanicPath,
+        Rule::UndocumentedUnsafe,
+        Rule::FloatCmp,
+        Rule::UnboundedWait,
+        Rule::SimReach,
+        Rule::ErrorSwallow,
+        Rule::SiteCoverage,
+        Rule::StaleAllow,
+    ];
+
     /// Diagnostic code, e.g. `D1/hash-order`.
     pub fn code(self) -> &'static str {
         match self {
@@ -89,10 +132,16 @@ impl Rule {
             Rule::UndocumentedUnsafe => "D4/undocumented-unsafe",
             Rule::FloatCmp => "D5/float-cmp",
             Rule::UnboundedWait => "D6/unbounded-wait",
+            Rule::SimReach => "D7/sim-reach",
+            Rule::ErrorSwallow => "D8/error-swallow",
+            Rule::SiteCoverage => "D9/site-coverage",
+            Rule::StaleAllow => "A1/stale-allow",
         }
     }
 
-    /// Key accepted by `// lint: allow(<key>)`.
+    /// Key accepted by `// lint: allow(<key>)`. The stale-allow audit has
+    /// no allow key of its own — it is resolved by deleting the stale
+    /// comment, not by justifying it.
     pub fn allow_key(self) -> &'static str {
         match self {
             Rule::HashOrder => "hash-order",
@@ -101,9 +150,26 @@ impl Rule {
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::FloatCmp => "float-cmp",
             Rule::UnboundedWait => "unbounded-wait",
+            Rule::SimReach => "sim-reach",
+            Rule::ErrorSwallow => "error-swallow",
+            Rule::SiteCoverage => "site-coverage",
+            Rule::StaleAllow => "stale-allow",
         }
     }
 }
+
+/// Allow keys the audit accepts: one per rule D1–D9.
+pub const KNOWN_ALLOW_KEYS: &[&str] = &[
+    "hash-order",
+    "nondet",
+    "panic-path",
+    "undocumented-unsafe",
+    "float-cmp",
+    "unbounded-wait",
+    "sim-reach",
+    "error-swallow",
+    "site-coverage",
+];
 
 /// A single diagnostic: rule, location, matched text, fix hint.
 #[derive(Debug, Clone)]
@@ -135,6 +201,20 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One canonical `// lint: allow(<key>) -- <reason>` comment, with its
+/// usage state. "Canonical" means a line comment whose text *starts with*
+/// `lint: allow(` — prose that merely mentions the syntax (rustdoc, the
+/// hint strings) is not an allow site and is not audited.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The key inside the parentheses.
+    pub key: String,
+    /// Set once some rule was suppressed by this site.
+    pub used: bool,
+}
+
 /// Per-file lint context: which crate the file belongs to and what kind of
 /// target it is.
 #[derive(Debug, Clone)]
@@ -143,7 +223,8 @@ pub struct FileContext {
     pub crate_name: String,
     /// Library source vs. test/bench/example target.
     pub kind: CrateKind,
-    /// True when the owning crate defines a `pub enum *Error` (enables D3).
+    /// True when the owning crate defines a `pub enum *Error` (enables
+    /// D3/D8).
     pub has_typed_errors: bool,
     /// Path as reported in diagnostics (workspace-relative).
     pub path: PathBuf,
@@ -166,12 +247,13 @@ impl FileContext {
     }
 }
 
-/// Does line `i`, or the contiguous comment block directly above it, carry
-/// the marker `needle`? Multi-line justifications are idiomatic, so the
-/// search walks upward while lines are comment-only.
-fn marked(lines: &[Line], i: usize, needle: &str) -> bool {
+/// Find the 0-based line carrying marker `needle`: line `i` itself, or the
+/// contiguous comment-only block directly above it. Multi-line
+/// justifications are idiomatic, so the search walks upward while lines
+/// are comment-only.
+pub(crate) fn marked_line(lines: &[Line], i: usize, needle: &str) -> Option<usize> {
     if lines[i].comment.contains(needle) {
-        return true;
+        return Some(i);
     }
     let mut j = i;
     while j > 0 {
@@ -180,23 +262,23 @@ fn marked(lines: &[Line], i: usize, needle: &str) -> bool {
         let comment_only = !l.comment.is_empty() && l.code.trim().is_empty();
         if comment_only {
             if l.comment.contains(needle) {
-                return true;
+                return Some(j);
             }
         } else {
             break;
         }
     }
-    false
+    None
 }
 
-/// Does line `i` (or the comment block above) carry `// lint: allow(<key>)`?
-fn allowed(lines: &[Line], i: usize, key: &str) -> bool {
-    marked(lines, i, &format!("lint: allow({key})"))
+/// The 0-based line of a `// lint: allow(<key>)` covering line `i`, if any.
+pub(crate) fn find_allow_line(lines: &[Line], i: usize, key: &str) -> Option<usize> {
+    marked_line(lines, i, &format!("lint: allow({key})"))
 }
 
 /// Does line `i` (or the comment block above) carry a `SAFETY:` comment?
 fn has_safety_comment(lines: &[Line], i: usize) -> bool {
-    marked(lines, i, "SAFETY:")
+    marked_line(lines, i, "SAFETY:").is_some()
 }
 
 /// Match `needle` in `hay` only at identifier boundaries, returning the
@@ -218,14 +300,62 @@ fn find_word(hay: &str, needle: &str) -> Option<usize> {
     None
 }
 
-/// Lint one file's source text. Pure function of (context, source) so the
-/// fixture tests can drive it directly.
-pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
-    let lines = lex(source);
+/// Collect every canonical allow site in the file.
+fn scan_allows(lines: &[Line]) -> Vec<AllowSite> {
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        let t = l.comment.trim_start();
+        if let Some(rest) = t.strip_prefix("lint: allow(") {
+            if let Some(end) = rest.find(')') {
+                out.push(AllowSite { line: i + 1, key: rest[..end].to_string(), used: false });
+            }
+        }
+    }
+    out
+}
+
+/// The per-line half of one file's analysis.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Findings from the per-line rules (D1–D6, D8).
+    pub findings: Vec<Finding>,
+    /// Every canonical allow site, with `used` reflecting the per-line
+    /// rules only — the workspace pass ([`check_sim_reach`],
+    /// [`check_site_coverage`]) marks its own uses before the stale audit
+    /// runs.
+    pub allows: Vec<AllowSite>,
+}
+
+/// Run the per-line rules over one lexed file. A matched pattern first
+/// looks for its covering allow (marking it used), then reports.
+pub fn analyze_lines(ctx: &FileContext, lines: &[Line]) -> FileAnalysis {
+    let mut allows = scan_allows(lines);
     let mut findings = Vec::new();
-    let mut push = |rule: Rule, line: usize, col: usize, what: String, hint: String| {
-        findings.push(Finding { rule, file: ctx.path.clone(), line: line + 1, col: col + 1, what, hint });
-    };
+    // A matched pattern either consumes a covering allow (marking it used)
+    // or produces a finding.
+    macro_rules! emit {
+        ($rule:expr, $i:expr, $col:expr, $what:expr, $hint:expr) => {{
+            let rule: Rule = $rule;
+            let i: usize = $i;
+            match find_allow_line(lines, i, rule.allow_key()) {
+                Some(j) => {
+                    for a in allows.iter_mut() {
+                        if a.line == j + 1 && a.key == rule.allow_key() {
+                            a.used = true;
+                        }
+                    }
+                }
+                None => findings.push(Finding {
+                    rule,
+                    file: ctx.path.clone(),
+                    line: i + 1,
+                    col: $col + 1,
+                    what: $what,
+                    hint: $hint,
+                }),
+            }
+        }};
+    }
 
     for (i, line) in lines.iter().enumerate() {
         let code = line.code.as_str();
@@ -235,15 +365,15 @@ pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
 
         // D1 — hash-ordered collections on the simulation path. Applies to
         // test code too: a hash-ordered test harness is a flaky test.
-        if ctx.sim_path() && !allowed(&lines, i, Rule::HashOrder.allow_key()) {
+        if ctx.sim_path() {
             for name in ["HashMap", "HashSet"] {
                 if let Some(col) = find_word(code, name) {
-                    push(
+                    emit!(
                         Rule::HashOrder,
                         i,
                         col,
                         format!("`{name}` in simulation-path crate `{}`: iteration order is per-process random and breaks bit-identity", ctx.crate_name),
-                        "use `BTreeMap`/`BTreeSet` (deterministic order) or justify with `// lint: allow(hash-order) -- <reason>`".to_string(),
+                        "use `BTreeMap`/`BTreeSet` (deterministic order) or justify with `// lint: allow(hash-order) -- <reason>`".to_string()
                     );
                 }
             }
@@ -251,15 +381,15 @@ pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
 
         // D2 — ambient nondeterminism. Everywhere except bench/experiments;
         // test code included (DST replays require deterministic tests).
-        if !ctx.nondet_ok() && !allowed(&lines, i, Rule::Nondet.allow_key()) {
+        if !ctx.nondet_ok() {
             for pat in ["thread_rng", "SystemTime::now", "Instant::now", "from_entropy", "rand::random"] {
                 if let Some(col) = find_word(code, pat) {
-                    push(
+                    emit!(
                         Rule::Nondet,
                         i,
                         col,
                         format!("ambient nondeterminism `{pat}` in crate `{}`", ctx.crate_name),
-                        "seed explicitly (`SplitMix64::new(seed)`, `seed_from_u64`) or use `SimTime`; wall-clock timing belongs in `bench`/`experiments`".to_string(),
+                        "seed explicitly (`SplitMix64::new(seed)`, `seed_from_u64`) or use `SimTime`; wall-clock timing belongs in `bench`/`experiments`".to_string()
                     );
                 }
             }
@@ -267,19 +397,15 @@ pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
 
         // D3 — panic paths where a typed error already exists. Library
         // (non-test) code only; doc examples and tests may unwrap.
-        if ctx.has_typed_errors
-            && ctx.kind == CrateKind::Lib
-            && !line.is_test
-            && !allowed(&lines, i, Rule::PanicPath.allow_key())
-        {
+        if ctx.has_typed_errors && ctx.kind == CrateKind::Lib && !line.is_test {
             for pat in [".unwrap()", ".expect(", "panic!("] {
                 if let Some(col) = code.find(pat) {
-                    push(
+                    emit!(
                         Rule::PanicPath,
                         i,
                         col,
                         format!("panic path `{}` in `{}`, which has typed errors", pat.trim_end_matches('('), ctx.crate_name),
-                        "return the crate's typed error (`RecoveryError` precedent) or justify with `// lint: allow(panic-path) -- <invariant>`".to_string(),
+                        "return the crate's typed error (`RecoveryError` precedent) or justify with `// lint: allow(panic-path) -- <invariant>`".to_string()
                     );
                 }
             }
@@ -290,41 +416,41 @@ pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
             // `unsafe_op_in_unsafe_fn`-style idents are handled by
             // find_word's boundary check; attribute spellings like
             // `#![deny(unsafe_op_in_unsafe_fn)]` never match the bare word.
-            if !has_safety_comment(&lines, i) && !allowed(&lines, i, Rule::UndocumentedUnsafe.allow_key()) {
-                push(
+            if !has_safety_comment(lines, i) {
+                emit!(
                     Rule::UndocumentedUnsafe,
                     i,
                     col,
                     "`unsafe` without a `// SAFETY:` comment".to_string(),
-                    "document the invariant that makes this sound (`// SAFETY: …`) on the line above, or remove the `unsafe`".to_string(),
+                    "document the invariant that makes this sound (`// SAFETY: …`) on the line above, or remove the `unsafe`".to_string()
                 );
             }
         }
 
         // D5 — float comparison on timestamps; `partial_cmp` on sim paths.
-        if ctx.sim_path() && !ctx.is_time_module() && !allowed(&lines, i, Rule::FloatCmp.allow_key()) {
+        if ctx.sim_path() && !ctx.is_time_module() {
             let float_time = ["as_secs_f64", "as_micros_f64", "elapsed_s", "makespan_s"]
                 .iter()
                 .any(|p| code.contains(p));
             if float_time && (code.contains("==") || code.contains("!=") || code.contains("assert_eq!")) {
                 let col = code.find("==").or_else(|| code.find("!=")).unwrap_or(0);
-                push(
+                emit!(
                     Rule::FloatCmp,
                     i,
                     col,
                     "float equality on a timestamp".to_string(),
-                    "compare `SimTime` (integer nanoseconds) instead, or use an explicit tolerance".to_string(),
+                    "compare `SimTime` (integer nanoseconds) instead, or use an explicit tolerance".to_string()
                 );
             }
             if let Some(col) = find_word(code, "partial_cmp") {
                 // The lone legitimate shape: *defining* `PartialOrd`.
                 if !code.contains("fn partial_cmp") {
-                    push(
+                    emit!(
                         Rule::FloatCmp,
                         i,
                         col,
                         "`partial_cmp` on a simulation path: NaN makes the order partial and the usual `.unwrap()` a panic path".to_string(),
-                        "use `f64::total_cmp` (total, deterministic, panic-free) or compare `SimTime`".to_string(),
+                        "use `f64::total_cmp` (total, deterministic, panic-free) or compare `SimTime`".to_string()
                     );
                 }
             }
@@ -333,18 +459,209 @@ pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
         // D6 — unbounded blocking reads / channel growth on serving paths.
         // Tests included: a harness that buffers an endless line is how the
         // unbounded call sneaks back in.
-        if ctx.bounded_io() && !allowed(&lines, i, Rule::UnboundedWait.allow_key()) {
+        if ctx.bounded_io() {
             for pat in ["read_to_end", "read_to_string", "read_line", "unbounded"] {
                 if let Some(col) = find_word(code, pat) {
-                    push(
+                    emit!(
                         Rule::UnboundedWait,
                         i,
                         col,
                         format!("unbounded read/queue `{pat}` in serving-path crate `{}`: a hostile client controls how much this buffers", ctx.crate_name),
-                        "bound the read (`read_bounded_line`, `MAX_LINE_BYTES`) or the queue (admission control), or justify with `// lint: allow(unbounded-wait) -- <reason>`".to_string(),
+                        "bound the read (`read_bounded_line`, `MAX_LINE_BYTES`) or the queue (admission control), or justify with `// lint: allow(unbounded-wait) -- <reason>`".to_string()
                     );
                 }
             }
+        }
+
+        // D8 — swallowed Results in typed-error library code. `let _ =`
+        // is only call-shaped lines (a `(` somewhere), so a discarded
+        // loop variable does not trip it; `.ok();` is statement-position
+        // by the trailing semicolon.
+        if ctx.has_typed_errors && ctx.kind == CrateKind::Lib && !line.is_test {
+            let t = code.trim();
+            let swallow = if t.starts_with("let _ =") && code.contains('(') {
+                code.find("let _").map(|c| (c, "let _ = …"))
+            } else if t.ends_with(".ok();") && !t.contains('=') && !t.starts_with("return") {
+                code.find(".ok();").map(|c| (c, ".ok();"))
+            } else {
+                None
+            };
+            if let Some((col, shape)) = swallow {
+                emit!(
+                    Rule::ErrorSwallow,
+                    i,
+                    col,
+                    format!("`{shape}` discards a `Result` in `{}`, which has typed errors", ctx.crate_name),
+                    "propagate the error (`?`), handle it, or justify the discard with `// lint: allow(error-swallow) -- <reason>`".to_string()
+                );
+            }
+        }
+    }
+    FileAnalysis { findings, allows }
+}
+
+/// Lint one file's source text, per-line rules only. Pure function of
+/// (context, source) so the fixture tests can drive it directly.
+pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
+    analyze_lines(ctx, &lex(source)).findings
+}
+
+/// D7 `sim-reach`: walk the call graph from the engines' dispatch roots
+/// and report every banned-API use in a reached function. Returns the
+/// findings plus the `(file, 0-based line)` allow sites that suppressed
+/// one, so the caller can mark them used before the stale audit.
+pub fn check_sim_reach(graph: &CallGraph) -> (Vec<Finding>, Vec<(PathBuf, usize)>) {
+    let roots = graph.dispatch_roots();
+    let reach = graph.reachable(&roots);
+    let mut findings = Vec::new();
+    let mut used = Vec::new();
+    for &n in reach.keys() {
+        let f = graph.fn_fact(n);
+        if f.banned.is_empty() {
+            continue;
+        }
+        let file = graph.file(n);
+        for b in &f.banned {
+            if let Some(al) = b.allow_line {
+                used.push((file.path.clone(), al));
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::SimReach,
+                file: file.path.clone(),
+                line: b.line + 1,
+                col: b.col + 1,
+                what: format!(
+                    "`{}` is reachable from engine event dispatch: {}",
+                    b.pattern,
+                    graph.chain(&reach, n)
+                ),
+                hint: "everything reachable from dispatch must be deterministic — seed the randomness, use `SimTime` or a `BTree` collection, or justify with `// lint: allow(sim-reach) -- <reason>`".to_string(),
+            });
+        }
+    }
+    (findings, used)
+}
+
+/// One fault site's audited status, for the D9 report and tests.
+#[derive(Debug, Clone)]
+pub struct SiteStatus {
+    /// Constant name, e.g. `LINK_DROP`.
+    pub name: String,
+    /// 1-based line of the constant in the catalog file.
+    pub line: usize,
+    /// Present in `sites::ALL`.
+    pub registered: bool,
+    /// Labels of reachable functions referencing the site in argument
+    /// position.
+    pub hooks: Vec<String>,
+    /// Preset constructors that set the site's probability field nonzero.
+    pub presets: Vec<String>,
+    /// A `// lint: allow(site-coverage)` covers the constant.
+    pub allowed: bool,
+}
+
+/// D9 `site-coverage`: audit the fault-site catalog against the call
+/// graph (hooks) and the preset table (coverage). One finding per
+/// deficient site, listing every missing aspect; unknown names in
+/// `sites::ALL` are their own findings.
+pub fn check_site_coverage(
+    graph: &CallGraph,
+    cat: &SiteCatalog,
+    cat_path: &Path,
+) -> (Vec<Finding>, Vec<SiteStatus>, Vec<(PathBuf, usize)>) {
+    let reach = graph.reachable(&graph.hook_roots());
+    let mut findings = Vec::new();
+    let mut statuses = Vec::new();
+    let mut used = Vec::new();
+    for c in &cat.consts {
+        let mut hooks = Vec::new();
+        for &n in reach.keys() {
+            let f = graph.fn_fact(n);
+            if !f.is_test && f.site_args.contains(&c.name) {
+                hooks.push(graph.label(n));
+            }
+        }
+        let presets: Vec<String> = match cat.prob_field.get(&c.name) {
+            Some(field) => cat
+                .preset_fields
+                .iter()
+                .filter(|(_, fields)| fields.contains(field))
+                .map(|(p, _)| p.clone())
+                .collect(),
+            None => Vec::new(),
+        };
+        let registered = cat.registered.contains(&c.name);
+        let mut problems = Vec::new();
+        if !registered {
+            problems.push("not registered in `sites::ALL`".to_string());
+        }
+        if hooks.is_empty() {
+            problems.push("no hook call site reachable from the engines or serve".to_string());
+        }
+        if presets.is_empty() {
+            problems.push("no `FaultPreset` sets its probability nonzero".to_string());
+        }
+        if !problems.is_empty() {
+            if let Some(al) = c.allow_line {
+                used.push((cat_path.to_path_buf(), al));
+            } else {
+                findings.push(Finding {
+                    rule: Rule::SiteCoverage,
+                    file: cat_path.to_path_buf(),
+                    line: c.line + 1,
+                    col: 1,
+                    what: format!("fault site `{}` is deficient: {}", c.name, problems.join("; ")),
+                    hint: "register the site in `sites::ALL`, wire a `fires(sites::…)`/`roll_*` hook on a delivery path, and give one preset a nonzero probability — or justify with `// lint: allow(site-coverage) -- <reason>`".to_string(),
+                });
+            }
+        }
+        statuses.push(SiteStatus {
+            name: c.name.clone(),
+            line: c.line + 1,
+            registered,
+            hooks,
+            presets,
+            allowed: c.allow_line.is_some(),
+        });
+    }
+    for (name, line) in &cat.unknown_registered {
+        findings.push(Finding {
+            rule: Rule::SiteCoverage,
+            file: cat_path.to_path_buf(),
+            line: line + 1,
+            col: 1,
+            what: format!("`sites::ALL` registers `{name}`, which is not a site constant"),
+            hint: "fix the typo or add the missing `pub const` to `mod sites`".to_string(),
+        });
+    }
+    (findings, statuses, used)
+}
+
+/// A1 `stale-allow`: report allow sites that suppressed nothing, and
+/// allow keys no rule owns. Run only after every rule (per-line and
+/// workspace) has had its chance to mark uses.
+pub fn stale_allow_findings(path: &Path, allows: &[AllowSite]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for a in allows {
+        if !KNOWN_ALLOW_KEYS.contains(&a.key.as_str()) {
+            findings.push(Finding {
+                rule: Rule::StaleAllow,
+                file: path.to_path_buf(),
+                line: a.line,
+                col: 1,
+                what: format!("`lint: allow({})` names an unknown rule key", a.key),
+                hint: format!("known keys: {}", KNOWN_ALLOW_KEYS.join(", ")),
+            });
+        } else if !a.used {
+            findings.push(Finding {
+                rule: Rule::StaleAllow,
+                file: path.to_path_buf(),
+                line: a.line,
+                col: 1,
+                what: format!("`lint: allow({})` no longer suppresses any finding", a.key),
+                hint: "delete the stale justification — suppression debt must track the code it excuses".to_string(),
+            });
         }
     }
     findings
@@ -441,6 +758,48 @@ mod tests {
         // Other crates may buffer freely (xtask reads whole files).
         let c = ctx("besst-core", CrateKind::Lib, false);
         assert!(lint_source(&c, "reader.read_to_end(&mut buf)?;\n").is_empty());
+    }
+
+    #[test]
+    fn d8_swallowed_results() {
+        let c = ctx("besst-serve", CrateKind::Lib, true);
+        let f = lint_source(&c, "let _ = stream.write(b\"x\");\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::ErrorSwallow);
+        let f = lint_source(&c, "parse(input).ok();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::ErrorSwallow);
+        // A discarded loop variable is not a Result.
+        assert!(lint_source(&c, "let _ = i;\n").is_empty());
+        // `.ok()` in expression position (consumed) is fine.
+        assert!(lint_source(&c, "let v = parse(input).ok();\n").is_empty());
+        // Crates without typed errors are out of scope.
+        let c = ctx("besst-des", CrateKind::Lib, false);
+        assert!(lint_source(&c, "let _ = stream.write(b\"x\");\n").is_empty());
+        // The allow key suppresses.
+        let c = ctx("besst-serve", CrateKind::Lib, true);
+        let f = lint_source(
+            &c,
+            "// lint: allow(error-swallow) -- best-effort reply, peer may be gone\nlet _ = stream.write(b\"x\");\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn allow_use_tracking_and_stale_audit() {
+        let c = ctx("besst-core", CrateKind::Lib, false);
+        let src = "// lint: allow(hash-order) -- sorted before observation\nuse std::collections::HashMap;\n// lint: allow(nondet) -- nothing nondeterministic here\nlet x = 1;\n// lint: allow(no-such-rule) -- typo\nlet y = 2;\n";
+        let a = analyze_lines(&c, &crate::lexer::lex(src));
+        assert!(a.findings.is_empty());
+        assert_eq!(a.allows.len(), 3);
+        assert!(a.allows[0].used, "hash-order allow suppressed the HashMap");
+        assert!(!a.allows[1].used);
+        let stale = stale_allow_findings(Path::new("test.rs"), &a.allows);
+        assert_eq!(stale.len(), 2, "{stale:#?}");
+        assert!(stale.iter().all(|f| f.rule == Rule::StaleAllow));
+        assert_eq!(stale[0].line, 3, "unused nondet allow");
+        assert_eq!(stale[1].line, 5, "unknown key");
+        assert!(stale[1].what.contains("unknown"));
     }
 
     #[test]

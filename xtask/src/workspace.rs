@@ -37,6 +37,11 @@ pub struct Member {
     pub dir: PathBuf,
     /// True if the crate declares a `pub enum *Error` anywhere in `src/`.
     pub has_typed_errors: bool,
+    /// `[dependencies]` entries (every name; the call-graph builder
+    /// filters to workspace members). Dev-dependencies are excluded —
+    /// they only link into test targets, which are never cross-crate
+    /// callees.
+    pub deps: Vec<String>,
 }
 
 /// A source file to lint, with its classification.
@@ -132,22 +137,69 @@ fn member_dirs(root: &Path, manifest: &str) -> Vec<PathBuf> {
     dirs
 }
 
-/// Discover all workspace members (including the root package, if any).
-pub fn members(root: &Path) -> Vec<Member> {
-    let manifest = fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+/// Parse the `[dependencies]` section names out of a manifest. Handles
+/// the three shapes in this workspace: `foo = "1"`, `foo.workspace =
+/// true`, and `foo = { path = "…" }`.
+fn dependency_names(manifest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_deps = t == "[dependencies]";
+            continue;
+        }
+        if !in_deps || t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let name: String = t
+            .chars()
+            .take_while(|&c| c.is_alphanumeric() || c == '-' || c == '_')
+            .collect();
+        if !name.is_empty() {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// Discover all workspace members (including the root package, if any),
+/// or explain which manifest broke. Unreadable and nameless member
+/// manifests are hard errors: a linter that silently skips a crate is a
+/// linter that silently passes it.
+pub fn try_members(root: &Path) -> Result<Vec<Member>, String> {
+    let root_manifest = root.join("Cargo.toml");
+    let manifest = fs::read_to_string(&root_manifest)
+        .map_err(|e| format!("{}: unreadable workspace manifest: {e}", root_manifest.display()))?;
     let mut dirs = member_dirs(root, &manifest);
     if manifest.contains("[package]") {
         dirs.push(root.to_path_buf());
     }
+    if dirs.is_empty() {
+        return Err(format!(
+            "{}: no workspace members found (missing or empty `members = […]`)",
+            root_manifest.display()
+        ));
+    }
     let mut out = Vec::new();
     for dir in dirs {
-        let m = fs::read_to_string(dir.join("Cargo.toml")).unwrap_or_default();
-        let Some(name) = package_name(&m) else { continue };
+        let path = dir.join("Cargo.toml");
+        let m = fs::read_to_string(&path)
+            .map_err(|e| format!("{}: unreadable member manifest: {e}", path.display()))?;
+        let name = package_name(&m).ok_or_else(|| {
+            format!("{}: member manifest has no `[package]` name", path.display())
+        })?;
         let has_typed_errors = crate_has_typed_errors(&dir);
-        out.push(Member { name, dir, has_typed_errors });
+        out.push(Member { name, dir, has_typed_errors, deps: dependency_names(&m) });
     }
     out.sort_by(|a, b| a.dir.cmp(&b.dir));
-    out
+    Ok(out)
+}
+
+/// Infallible wrapper over [`try_members`] for callers that treat a broken
+/// workspace as an empty one (the fixture tests, mostly).
+pub fn members(root: &Path) -> Vec<Member> {
+    try_members(root).unwrap_or_default()
 }
 
 /// Whether any `src/` file declares a public error enum (`pub enum FooError`).
@@ -258,6 +310,34 @@ mod tests {
         let mut sorted = files.iter().map(|f| f.path.clone()).collect::<Vec<_>>();
         sorted.sort();
         assert_eq!(sorted, files.iter().map(|f| f.path.clone()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dependency_names_cover_workspace_shapes() {
+        let m = "[package]\nname = \"x\"\n[dependencies]\nbesst-des.workspace = true\nrand = \"0.8\"\nserde = { version = \"1\", features = [\"derive\"] }\n\n[dev-dependencies]\nproptest.workspace = true\n";
+        assert_eq!(dependency_names(m), vec!["besst-des", "rand", "serde"]);
+    }
+
+    #[test]
+    fn member_deps_follow_the_crate_graph() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let ms = members(&root);
+        let core = ms.iter().find(|m| m.name == "besst-core").expect("core member");
+        assert!(core.deps.iter().any(|d| d == "besst-des"), "{:?}", core.deps);
+        // Dev-dependencies are not linkable from library targets.
+        assert!(!core.deps.iter().any(|d| d == "besst-analytic"), "{:?}", core.deps);
+        let des = ms.iter().find(|m| m.name == "besst-des").expect("des member");
+        assert!(
+            !des.deps.iter().any(|d| d.starts_with("besst-")),
+            "des is the workspace leaf: {:?}",
+            des.deps
+        );
+    }
+
+    #[test]
+    fn try_members_reports_broken_roots() {
+        let err = try_members(Path::new("/nonexistent-besst-root")).unwrap_err();
+        assert!(err.contains("unreadable workspace manifest"), "{err}");
     }
 
     #[test]

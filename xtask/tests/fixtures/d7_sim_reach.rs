@@ -1,0 +1,36 @@
+//! D7 fixture: banned APIs laundered behind helpers reachable from an
+//! `on_event` dispatch root. Linted with a `besst-serve` persona — off
+//! the sim path and nondet-tolerated per-line, so neither D1 nor D2
+//! fires on these lines; only reachability catches them.
+
+use std::collections::HashMap as Map;
+
+pub fn on_event() {
+    helper();
+    justified();
+    cold();
+}
+
+fn helper() {
+    let m: Map<u32, u32> = Map::new();
+    deeper(m.len());
+}
+
+fn deeper(_n: usize) {
+    let t = std::time::Instant::now();
+    let _ = t;
+}
+
+fn justified() {
+    // lint: allow(sim-reach) -- fixture: scratch map, drained in sorted order
+    let m = std::collections::HashMap::<u32, u32>::new();
+    let _ = m;
+}
+
+// Banned but unreachable from any dispatch root: D7 must stay silent.
+fn island() {
+    let t = std::time::Instant::now();
+    let _ = t;
+}
+
+fn cold() {}

@@ -1,0 +1,15 @@
+//! D8 fixture: swallowed `Result`s in library code of a typed-error
+//! crate, one justified swallow, and the consumed shapes the rule must
+//! not flag.
+
+pub fn respond(stream: &mut TcpStream) {
+    let _ = stream.write(b"ok");
+    flush_logs().ok();
+    // lint: allow(error-swallow) -- fixture: peer may already be gone
+    let _ = stream.write(b"bye");
+    let n = stream.write(b"counted").ok();
+    drop(n);
+    if save().is_ok() {
+        return;
+    }
+}

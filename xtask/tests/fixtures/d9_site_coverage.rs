@@ -1,0 +1,69 @@
+//! D9 fixture: a miniature fault-site catalog exercising one healthy
+//! site and every deficiency class the audit reports.
+
+pub mod sites {
+    /// Healthy: registered, hooked, preset-covered.
+    pub const GOOD: u64 = 0x1;
+    /// Registered and hooked, but no preset sets its probability.
+    pub const ORPHAN: u64 = 0x2;
+    /// Registered and preset-covered, but no reachable hook.
+    pub const DEAD: u64 = 0x3;
+    /// Hooked and covered, but missing from `ALL`.
+    pub const UNLISTED: u64 = 0x4;
+    // lint: allow(site-coverage) -- fixture: a justified deficiency
+    pub const JUSTIFIED: u64 = 0x5;
+
+    /// The registry; `GHOST` names no constant.
+    pub const ALL: [(u64, &str); 5] = [
+        (GOOD, "good"),
+        (ORPHAN, "orphan"),
+        (DEAD, "dead"),
+        (JUSTIFIED, "justified"),
+        (GHOST, "ghost"),
+    ];
+}
+
+pub struct FaultConfig {
+    pub good_p: f64,
+    pub orphan_p: f64,
+    pub dead_p: f64,
+    pub unlisted_p: f64,
+}
+
+impl FaultConfig {
+    pub fn off() -> FaultConfig {
+        FaultConfig { good_p: 0.0, orphan_p: 0.0, dead_p: 0.0, unlisted_p: 0.0 }
+    }
+
+    pub fn calm() -> FaultConfig {
+        FaultConfig {
+            good_p: 0.5,
+            dead_p: 0.25,
+            unlisted_p: 0.1,
+            ..FaultConfig::off()
+        }
+    }
+
+    pub fn probability(&self, site: u64) -> f64 {
+        match site {
+            sites::GOOD => self.good_p,
+            sites::ORPHAN => self.orphan_p,
+            sites::DEAD => self.dead_p,
+            sites::UNLISTED => self.unlisted_p,
+            _ => 0.0,
+        }
+    }
+
+    pub fn config(preset: u64) -> FaultConfig {
+        match preset {
+            0 => FaultConfig::off(),
+            _ => FaultConfig::calm(),
+        }
+    }
+}
+
+pub fn on_event(inj: &FaultInjector) {
+    inj.fires(sites::GOOD, 0, 0);
+    inj.fires(sites::ORPHAN, 0, 0);
+    inj.fires(sites::UNLISTED, 0, 0);
+}

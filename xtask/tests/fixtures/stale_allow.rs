@@ -1,0 +1,13 @@
+//! A1 fixture: one allow that still suppresses a finding, one stale
+//! allow, and one naming an unknown rule key.
+
+pub fn observe() {
+    // lint: allow(hash-order) -- fixture: drained into a Vec and sorted
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let n = m.len();
+    // lint: allow(nondet) -- fixture: stale, nothing nondeterministic left
+    let x = n + 1;
+    // lint: allow(no-such-rule) -- fixture: unknown key
+    let y = x + 1;
+    drop(y);
+}

@@ -1,0 +1,112 @@
+//! The `--format json` contract: the `besst-lint-json-v1` document
+//! parses with the workspace's own JSON parser, matches the schema, and
+//! is byte-identical across runs (the CI diff gate `cmp`s two runs);
+//! plus the 0/1/2 exit-code contract CI keys off.
+
+use besst_serve::json::{self, Value};
+use std::path::{Path, PathBuf};
+use xtask::rules::{Finding, Rule};
+use xtask::workspace::find_root;
+use xtask::{findings_to_json, lint_exit_code, lint_workspace, LintError};
+
+/// Two findings with every character class the escaper must handle.
+fn sample() -> Vec<Finding> {
+    vec![
+        Finding {
+            rule: Rule::HashOrder,
+            file: PathBuf::from("crates/core/src/lib.rs"),
+            line: 3,
+            col: 7,
+            what: "iteration order of `HashMap` leaks \"entropy\"".to_string(),
+            hint: "use a BTreeMap\nor sort before iterating \\ hashing".to_string(),
+        },
+        Finding {
+            rule: Rule::SimReach,
+            file: PathBuf::from("crates/models/src/lib.rs"),
+            line: 40,
+            col: 1,
+            what: "`Instant::now` is reachable: `run` → `step`".to_string(),
+            hint: "seed it".to_string(),
+        },
+    ]
+}
+
+fn obj(v: &Value) -> &std::collections::BTreeMap<String, Value> {
+    v.as_obj().expect("object")
+}
+
+fn arr(v: &Value) -> &[Value] {
+    match v {
+        Value::Arr(a) => a,
+        other => panic!("expected array, got {other:?}"),
+    }
+}
+
+#[test]
+fn document_parses_and_matches_the_schema() {
+    let doc = findings_to_json(&sample());
+    let v = json::parse(&doc).expect("besst-lint JSON parses with the besst parser");
+    let top = obj(&v);
+    assert_eq!(top["schema"].as_str(), Some("besst-lint-json-v1"));
+
+    // The rule catalog rides along, in catalog order.
+    let rules = arr(&top["rules"]);
+    assert_eq!(rules.len(), Rule::ALL.len());
+    assert_eq!(rules[0].as_str(), Some("D1/hash-order"));
+    assert_eq!(rules[9].as_str(), Some("A1/stale-allow"));
+
+    assert_eq!(top["total"].as_u64(), Some(2));
+    let by_rule = obj(&top["by_rule"]);
+    assert_eq!(by_rule["D1/hash-order"].as_u64(), Some(1));
+    assert_eq!(by_rule["D7/sim-reach"].as_u64(), Some(1));
+
+    let findings = arr(&top["findings"]);
+    assert_eq!(findings.len(), 2);
+    let f0 = obj(&findings[0]);
+    assert_eq!(f0["rule"].as_str(), Some("D1/hash-order"));
+    assert_eq!(f0["file"].as_str(), Some("crates/core/src/lib.rs"));
+    assert_eq!(f0["line"].as_u64(), Some(3));
+    assert_eq!(f0["col"].as_u64(), Some(7));
+    // Quotes, backslashes, newlines, and non-ASCII survive the round-trip.
+    assert_eq!(f0["what"].as_str(), Some("iteration order of `HashMap` leaks \"entropy\""));
+    assert_eq!(f0["hint"].as_str(), Some("use a BTreeMap\nor sort before iterating \\ hashing"));
+    assert_eq!(obj(&findings[1])["what"].as_str(), Some("`Instant::now` is reachable: `run` → `step`"));
+}
+
+#[test]
+fn empty_document_is_well_formed() {
+    let doc = findings_to_json(&[]);
+    let v = json::parse(&doc).expect("empty document parses");
+    let top = obj(&v);
+    assert_eq!(top["total"].as_u64(), Some(0));
+    assert!(obj(&top["by_rule"]).is_empty());
+    assert!(arr(&top["findings"]).is_empty());
+    assert!(doc.ends_with("}\n"), "document ends with a newline for cmp/diff");
+}
+
+#[test]
+fn rendering_is_byte_deterministic() {
+    assert_eq!(findings_to_json(&sample()), findings_to_json(&sample()));
+}
+
+/// Two full workspace passes must serialize byte-identically — the exact
+/// property the CI lint job checks by `cmp`ing two runs.
+#[test]
+fn workspace_json_is_byte_identical_across_runs() {
+    let root = find_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let a = lint_workspace(&root).expect("first pass");
+    let b = lint_workspace(&root).expect("second pass");
+    assert_eq!(findings_to_json(&a), findings_to_json(&b));
+}
+
+#[test]
+fn exit_codes_follow_the_contract() {
+    assert_eq!(lint_exit_code(&Ok(Vec::new())), 0, "clean tree");
+    assert_eq!(lint_exit_code(&Ok(sample())), 1, "findings");
+    assert_eq!(lint_exit_code(&Err(LintError::Manifest("broken".into()))), 2, "internal error");
+    // End-to-end: a root without a workspace manifest is the linter's
+    // failure to run, not a clean result.
+    let outcome = lint_workspace(Path::new("/nonexistent-besst-root"));
+    assert!(matches!(outcome, Err(LintError::Manifest(_))), "{outcome:?}");
+    assert_eq!(lint_exit_code(&outcome), 2);
+}

@@ -7,8 +7,14 @@
 //! linted only here, with a synthetic [`FileContext`] selecting the crate
 //! persona each rule needs.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
-use xtask::rules::{lint_source, FileContext, Rule};
+use xtask::callgraph::{parse_site_catalog, scan_file, CallGraph};
+use xtask::lexer::lex;
+use xtask::rules::{
+    analyze_lines, check_sim_reach, check_site_coverage, lint_source, stale_allow_findings,
+    FileContext, Rule,
+};
 use xtask::workspace::{find_root, CrateKind};
 
 fn fixture(name: &str) -> String {
@@ -119,7 +125,8 @@ fn d5_float_cmp_fixture() {
 
 #[test]
 fn d6_unbounded_wait_fixture() {
-    let c = ctx("besst-serve", CrateKind::Lib, true, "d6_unbounded_wait.rs");
+    // Linted without typed errors so D8 stays out of a D6-only fixture.
+    let c = ctx("besst-serve", CrateKind::Lib, false, "d6_unbounded_wait.rs");
     let f = lint_source(&c, &fixture("d6_unbounded_wait.rs"));
     assert_eq!(
         hits(&f),
@@ -139,13 +146,145 @@ fn d6_unbounded_wait_fixture() {
     assert!(lint_source(&c, &fixture("d6_unbounded_wait.rs")).is_empty());
 }
 
-/// The acceptance gate: the tree as merged has zero findings. Any new
-/// violation of D1–D6 anywhere in the workspace fails this test with the
-/// full rustc-style diagnostic, not just in the CI lint job.
+/// A single-crate call graph over one fixture file, for the workspace
+/// rules (D7/D9) that need reachability rather than per-line scanning.
+fn fixture_graph(c: &FileContext, source: &str) -> CallGraph {
+    let mut deps = BTreeMap::new();
+    deps.insert(c.crate_name.clone(), Vec::new());
+    CallGraph::build(vec![scan_file(c, &lex(source))], &deps)
+}
+
+#[test]
+fn d7_sim_reach_fixture() {
+    // besst-serve is off the sim path and nondet-tolerated per-line, so
+    // neither D1 nor D2 fires on this file — the laundering hole D7 closes.
+    let c = ctx("besst-serve", CrateKind::Lib, false, "d7_sim_reach.rs");
+    let graph = fixture_graph(&c, &fixture("d7_sim_reach.rs"));
+    let (f, used) = check_sim_reach(&graph);
+    assert_eq!(
+        hits(&f),
+        vec![(Rule::SimReach, 15), (Rule::SimReach, 20)],
+        "expected the aliased HashMap and the laundered Instant::now, \
+         with the justified use suppressed and the unreachable `island` \
+         ignored: {f:#?}"
+    );
+    // The diagnostic names the alias and walks the chain back to the root.
+    assert!(f[0].what.contains("aliased as `Map`"), "{}", f[0].what);
+    assert!(f[0].what.contains("on_event"), "chain reaches the root: {}", f[0].what);
+    assert!(f[1].what.contains("Instant::now"), "{}", f[1].what);
+    // The justified use marks its allow site used (0-based line 24).
+    assert_eq!(used, vec![(c.path.clone(), 24)]);
+}
+
+#[test]
+fn d8_error_swallow_fixture() {
+    let c = ctx("besst-serve", CrateKind::Lib, true, "d8_error_swallow.rs");
+    let f = lint_source(&c, &fixture("d8_error_swallow.rs"));
+    assert_eq!(
+        hits(&f),
+        vec![(Rule::ErrorSwallow, 6), (Rule::ErrorSwallow, 7)],
+        "expected the `let _ =` and statement-position `.ok()` swallows, \
+         with the justified swallow suppressed and the consumed `.ok()` \
+         value untouched: {f:#?}"
+    );
+    assert!(f[0].to_string().contains("d8_error_swallow.rs:6:"));
+    // Without typed errors there is nothing better to propagate.
+    let c = ctx("besst-serve", CrateKind::Lib, false, "d8_error_swallow.rs");
+    assert!(lint_source(&c, &fixture("d8_error_swallow.rs")).is_empty());
+    // Test targets may swallow freely.
+    let c = ctx("besst-serve", CrateKind::Test, true, "d8_error_swallow.rs");
+    assert!(lint_source(&c, &fixture("d8_error_swallow.rs")).is_empty());
+}
+
+#[test]
+fn d9_site_coverage_fixture() {
+    let c = ctx("besst-des", CrateKind::Lib, false, "d9_site_coverage.rs");
+    let lines = lex(&fixture("d9_site_coverage.rs"));
+    let facts = scan_file(&c, &lines);
+    let cat = parse_site_catalog(&lines, &facts);
+    let mut deps = BTreeMap::new();
+    deps.insert(c.crate_name.clone(), Vec::new());
+    let graph = CallGraph::build(vec![facts], &deps);
+    let (f, statuses, used) = check_site_coverage(&graph, &cat, &c.path);
+    assert_eq!(
+        hits(&f),
+        vec![
+            (Rule::SiteCoverage, 8),  // ORPHAN: no preset
+            (Rule::SiteCoverage, 10), // DEAD: no reachable hook
+            (Rule::SiteCoverage, 12), // UNLISTED: not in sites::ALL
+            (Rule::SiteCoverage, 22), // GHOST: registered but no constant
+        ],
+        "one finding per deficiency class: {f:#?}"
+    );
+    assert!(f[0].what.contains("no `FaultPreset`"), "{}", f[0].what);
+    assert!(f[1].what.contains("no hook call site"), "{}", f[1].what);
+    assert!(f[2].what.contains("not registered"), "{}", f[2].what);
+    assert!(f[3].what.contains("GHOST"), "{}", f[3].what);
+
+    // The status table records the full audit, healthy sites included.
+    let by_name: BTreeMap<&str, _> = statuses.iter().map(|s| (s.name.as_str(), s)).collect();
+    assert_eq!(by_name.len(), 5, "{statuses:#?}");
+    let good = by_name["GOOD"];
+    assert!(good.registered && !good.hooks.is_empty(), "{good:#?}");
+    assert_eq!(good.presets, vec!["calm".to_string()], "{good:#?}");
+    assert!(by_name["JUSTIFIED"].allowed, "{statuses:#?}");
+    // The justified site marks its allow used (0-based line 12).
+    assert_eq!(used, vec![(c.path.clone(), 12)]);
+}
+
+#[test]
+fn stale_allow_fixture() {
+    let c = ctx("besst-core", CrateKind::Lib, false, "stale_allow.rs");
+    let a = analyze_lines(&c, &lex(&fixture("stale_allow.rs")));
+    assert!(
+        a.findings.is_empty(),
+        "the hash-order allow suppresses the only finding: {:#?}",
+        a.findings
+    );
+    let f = stale_allow_findings(&c.path, &a.allows);
+    assert_eq!(
+        hits(&f),
+        vec![(Rule::StaleAllow, 8), (Rule::StaleAllow, 10)],
+        "expected the stale nondet allow and the unknown key, with the \
+         used hash-order allow exempt: {f:#?}"
+    );
+    assert!(f[0].what.contains("no longer suppresses"), "{}", f[0].what);
+    assert!(f[1].what.contains("unknown rule key"), "{}", f[1].what);
+    assert!(f[1].hint.contains("hash-order"), "hint lists known keys: {}", f[1].hint);
+}
+
+/// D9 acceptance on the real tree: every fault site in the buggify
+/// catalog is registered, and every site is either hooked on a reachable
+/// path *and* covered by a preset, or carries a justification (only
+/// `NODE_REPAIR`, which rides every `NODE_CRASH` decision).
+#[test]
+fn fault_site_catalog_is_fully_covered() {
+    let root = find_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let analysis = xtask::analyze_workspace(&root).expect("linter ran");
+    assert_eq!(analysis.sites.len(), 8, "eight fault sites: {:#?}", analysis.sites);
+    for s in &analysis.sites {
+        assert!(s.registered, "`{}` must be in `sites::ALL`", s.name);
+        if s.name == "NODE_REPAIR" {
+            assert!(
+                s.allowed && s.presets.is_empty(),
+                "NODE_REPAIR has no probability of its own and rides \
+                 NODE_CRASH via an allow: {s:#?}"
+            );
+            continue;
+        }
+        assert!(!s.hooks.is_empty(), "`{}` needs a reachable hook: {s:#?}", s.name);
+        assert!(!s.presets.is_empty(), "`{}` needs a covering preset: {s:#?}", s.name);
+    }
+}
+
+/// The acceptance gate: the tree as merged has zero findings with all
+/// nine rules and the stale-allow audit on. Any new violation anywhere in
+/// the workspace fails this test with the full rustc-style diagnostic,
+/// not just in the CI lint job.
 #[test]
 fn workspace_is_clean() {
     let root = find_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
-    let findings = xtask::lint_workspace(&root);
+    let findings = xtask::lint_workspace(&root).expect("linter ran");
     assert!(
         findings.is_empty(),
         "besst-lint found {} violation(s):\n{}",
