@@ -28,6 +28,7 @@
 //! | [`sites::WINDOW_SKEW`] | [`ParallelEngine`] coordinator | the synchronization window shrinks below the full lookahead (always safe, stresses the protocol) |
 //! | [`sites::NODE_CRASH`] | event delivery in both engines | the target fail-stops at a per-component onset and drops every delivery while down |
 //! | [`sites::NODE_REPAIR`] | — | keys the repair-delay hash of [`sites::NODE_CRASH`]; never fires on its own |
+//! | [`sites::SHARD_CRASH`] | `besst-serve` cluster routing | a whole serving shard enters a correlated crash storm for the run |
 //!
 //! Drop and duplication only target links wired with
 //! [`EngineBuilder::connect_lossy`] unless
@@ -72,10 +73,17 @@ pub mod sites {
     /// payloads are opaque here, so *semantic* corruption is modeled by
     /// the layers that own the payload (see `besst_core::online`).
     pub const PAYLOAD_CORRUPT: u64 = 0xB8;
+    /// A whole serving shard enters a crash storm for the run. Keyed by
+    /// the shard index alone (`fires(SHARD_CRASH, shard, 0)`), so the
+    /// decision is correlated: once a shard storms, *every* fingerprint
+    /// routed to it sees a burst of failed attempts (the per-attempt roll
+    /// lives in `besst_serve::Chaos::shard_crashes`). The substrate has no
+    /// shard concept, so this site only fires in the serving layer.
+    pub const SHARD_CRASH: u64 = 0xB9;
 
     /// Every built-in fault site with its display name, for catalogs and
     /// diagnostics.
-    pub const ALL: [(u64, &str); 8] = [
+    pub const ALL: [(u64, &str); 9] = [
         (LINK_JITTER, "link-jitter"),
         (LINK_DROP, "link-drop"),
         (LINK_DUP, "link-dup"),
@@ -84,6 +92,7 @@ pub mod sites {
         (NODE_CRASH, "node-crash"),
         (NODE_REPAIR, "node-repair"),
         (PAYLOAD_CORRUPT, "payload-corrupt"),
+        (SHARD_CRASH, "shard-crash"),
     ];
 }
 
@@ -182,6 +191,10 @@ pub struct FaultConfig {
     /// Probability a delivery's payload is silently corrupted in flight
     /// (counted, never dropped — see [`sites::PAYLOAD_CORRUPT`]).
     pub sdc_p: f64,
+    /// Probability a given serving shard enters a crash storm for the
+    /// whole run (see [`sites::SHARD_CRASH`]). Ignored by the substrate —
+    /// only the `besst-serve` cluster layer interprets it.
+    pub shard_crash_p: f64,
     /// Treat every link as lossy, regardless of how it was wired.
     pub all_links_lossy: bool,
 }
@@ -201,6 +214,7 @@ impl FaultConfig {
             crash_onset_max: SimTime::ZERO,
             crash_repair_after: SimTime::ZERO,
             sdc_p: 0.0,
+            shard_crash_p: 0.0,
             all_links_lossy: false,
         }
     }
@@ -231,6 +245,7 @@ impl FaultConfig {
             crash_onset_max: SimTime::ZERO,
             crash_repair_after: SimTime::ZERO,
             sdc_p: 0.0,
+            shard_crash_p: 0.0,
             all_links_lossy: false,
         }
     }
@@ -251,6 +266,7 @@ impl FaultConfig {
             crash_onset_max: SimTime::ZERO,
             crash_repair_after: SimTime::ZERO,
             sdc_p: 0.0,
+            shard_crash_p: 0.0,
             all_links_lossy: true,
         }
     }
@@ -335,6 +351,32 @@ impl FaultConfig {
         }
     }
 
+    /// Crash-storm weather — [`FaultConfig::serve`] with the dials turned
+    /// up and whole-shard storms layered on top. Worker crashes, response
+    /// drops, duplicate submissions, cache corruption and delays all fire
+    /// more often than under `serve`, and [`FaultConfig::shard_crash_p`]
+    /// marks entire serving shards as storming for the run: every attempt
+    /// routed to a storming shard fails with high probability, forcing the
+    /// cluster's failure detector through suspect → dead → rejoined while
+    /// ring successors absorb the dead shard's keys. Drops still outpace
+    /// dups so resubmission populations stay subcritical.
+    pub fn storm() -> Self {
+        FaultConfig {
+            link_jitter_p: 0.15,
+            link_jitter_max: SimTime::from_micros(2),
+            link_drop_p: 0.08,
+            link_dup_p: 0.05,
+            crash_p: 0.20,
+            crash_onset_max: SimTime::from_micros(20),
+            crash_repair_after: SimTime::from_micros(10),
+            sdc_p: 0.05,
+            window_skew_p: 0.35,
+            shard_crash_p: 0.40,
+            all_links_lossy: true,
+            ..FaultConfig::off()
+        }
+    }
+
     /// Latency jitter only — the schedule that is safe for *any* model,
     /// including protocols (like the BE-SST star coordinator) that assume
     /// reliable delivery. This is the schedule to wire into Monte-Carlo
@@ -355,6 +397,7 @@ impl FaultConfig {
             sites::WINDOW_SKEW => self.window_skew_p,
             sites::NODE_CRASH => self.crash_p,
             sites::PAYLOAD_CORRUPT => self.sdc_p,
+            sites::SHARD_CRASH => self.shard_crash_p,
             _ => 0.0,
         }
     }
@@ -385,11 +428,14 @@ pub enum FaultPreset {
     /// [`FaultConfig::serve`] — scenario-server chaos weather (worker
     /// crashes/delays, connection drops/dups, cache corruption).
     Serve,
+    /// [`FaultConfig::storm`] — crash-storm weather (`serve` turned up,
+    /// plus whole-shard crash storms for the cluster layer).
+    Storm,
 }
 
 impl FaultPreset {
     /// Every preset, mildest first.
-    pub const ALL: [FaultPreset; 8] = [
+    pub const ALL: [FaultPreset; 9] = [
         FaultPreset::Off,
         FaultPreset::Calm,
         FaultPreset::Moderate,
@@ -398,6 +444,7 @@ impl FaultPreset {
         FaultPreset::Sdc,
         FaultPreset::Replication,
         FaultPreset::Serve,
+        FaultPreset::Storm,
     ];
 
     /// The preset's fault schedule.
@@ -411,6 +458,7 @@ impl FaultPreset {
             FaultPreset::Sdc => FaultConfig::sdc(),
             FaultPreset::Replication => FaultConfig::replication(),
             FaultPreset::Serve => FaultConfig::serve(),
+            FaultPreset::Storm => FaultConfig::storm(),
         }
     }
 
@@ -425,6 +473,7 @@ impl FaultPreset {
             FaultPreset::Sdc => "sdc",
             FaultPreset::Replication => "replication",
             FaultPreset::Serve => "serve",
+            FaultPreset::Storm => "storm",
         }
     }
 }
@@ -913,7 +962,16 @@ mod tests {
         assert!(v.all_links_lossy);
         assert_eq!(FaultPreset::Serve.config(), v);
         assert_eq!(FaultPreset::Serve.name(), "serve");
-        assert_eq!(FaultPreset::ALL.len(), 8);
+        // Storm weather: serve plus correlated whole-shard crash bursts.
+        // The same subcriticality rules apply, and the shard-crash site
+        // must actually be armed — it is the preset's whole point.
+        let t = FaultConfig::storm();
+        assert!(t.probability(sites::SHARD_CRASH) > 0.0);
+        assert!(t.probability(sites::LINK_DROP) >= t.probability(sites::LINK_DUP));
+        assert!(t.crash_repair_after > SimTime::ZERO, "storm crash windows must close");
+        assert_eq!(FaultPreset::Storm.config(), t);
+        assert_eq!(FaultPreset::Storm.name(), "storm");
+        assert_eq!(FaultPreset::ALL.len(), 9);
     }
 
     #[test]

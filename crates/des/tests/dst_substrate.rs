@@ -160,6 +160,31 @@ fn dst_block_serve() {
     }
 }
 
+#[test]
+#[cfg_attr(miri, ignore = "full seed blocks exceed Miri's budget; the unit-test subset covers Miri")]
+fn dst_block_storm() {
+    let reports = run_seed_block(SEED_BASE, seed_count(), FaultPreset::Storm);
+    assert_eq!(reports.len() as u64, seed_count());
+    // The storm preset is `serve` turned up plus whole-shard crash
+    // bursts. The shard-crash site itself fires only in `besst-serve`
+    // (the substrate has no shards to kill — tests/storm.rs over there
+    // is its gate); what this block pins is that the harsher substrate
+    // weather is still survivable: every seed drains, every crash window
+    // closes, and each fault family fires at least as often as under
+    // `serve` weather would demand. Like serve, no snapshot is pinned:
+    // the snapshot set is frozen by
+    // `snapshot_set_is_exactly_the_blessed_presets`.
+    if full_block() {
+        let total = |f: fn(&besst_des::buggify::FaultStats) -> u64| -> u64 {
+            reports.iter().map(|r| f(&r.faults)).sum()
+        };
+        assert!(total(|f| f.drops) > 0, "storm block never dropped a delivery");
+        assert!(total(|f| f.dups) > 0, "storm block never duplicated a delivery");
+        assert!(total(|f| f.crash_drops) > 0, "storm block never crashed a component");
+        assert!(total(|f| f.payload_corrupts) > 0, "storm block never corrupted a payload");
+    }
+}
+
 /// Golden-file regression: one hand-picked seed per preset. The snapshot
 /// records the full `snapshot_line()` (delivered count, final time, and a
 /// trajectory digest); any drift fails with both lines plus the repro.

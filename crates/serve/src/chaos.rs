@@ -14,6 +14,14 @@
 //! | `LINK_JITTER`       | a worker is delayed mid-query                   |
 //! | `NODE_CRASH`        | a worker panics mid-query (per attempt)         |
 //! | `PAYLOAD_CORRUPT`   | a cache entry takes a storage bit flip          |
+//! | `SHARD_CRASH`       | a whole shard storms: most attempts routed to it fail (cluster mode, [`FaultConfig::storm`]) |
+//!
+//! `SHARD_CRASH` is deliberately two-level: `fires(SHARD_CRASH, shard, 0)`
+//! decides once per run whether a shard storms at all (correlated — one
+//! decision dooms every fingerprint routed there), and a second keyed
+//! hash fails [`STORM_FAIL_NUM`]/[`STORM_FAIL_DEN`] of the individual
+//! attempts while the storm lasts, so the failure detector sees bursts,
+//! not a clean outage.
 
 use besst_des::buggify::{sites, FaultConfig, FaultInjector};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,6 +41,8 @@ pub struct ChaosStats {
     pub duplicated_queries: u64,
     /// Cache entries bit-flipped.
     pub cache_corruptions: u64,
+    /// Attempts failed by a storming shard (cluster mode).
+    pub shard_crashes: u64,
 }
 
 /// A seeded chaos source shared by the server, its workers, and the
@@ -50,16 +60,31 @@ struct Counters {
     dropped_responses: AtomicU64,
     duplicated_queries: AtomicU64,
     cache_corruptions: AtomicU64,
+    shard_crashes: AtomicU64,
 }
 
 /// Cap on an injected worker delay so chaos runs stay fast: the jitter
 /// magnitude hash is folded into `[1, MAX_DELAY_US]` microseconds.
 const MAX_DELAY_US: u64 = 500;
 
+/// Numerator of the per-attempt failure rate on a storming shard.
+pub const STORM_FAIL_NUM: u64 = 3;
+/// Denominator of the per-attempt failure rate on a storming shard:
+/// 3 of every 4 attempts fail while a storm lasts. Not 4 of 4 — the
+/// occasional success keeps the failure detector honest about *counting*
+/// consecutive failures instead of just seeing a dead line.
+pub const STORM_FAIL_DEN: u64 = 4;
+
 impl Chaos {
     /// Chaos under [`FaultConfig::serve`] with the given decision seed.
     pub fn new(seed: u64) -> Self {
         Chaos::with_config(seed, FaultConfig::serve())
+    }
+
+    /// Chaos under [`FaultConfig::storm`] with the given decision seed:
+    /// `serve` turned up, plus whole-shard crash storms.
+    pub fn storm(seed: u64) -> Self {
+        Chaos::with_config(seed, FaultConfig::storm())
     }
 
     /// Chaos under an arbitrary schedule (tests use hand-built ones).
@@ -101,6 +126,34 @@ impl Chaos {
         Some(Duration::from_micros(1 + magnitude % MAX_DELAY_US))
     }
 
+    /// Is `shard` storming at all under this seed? One correlated
+    /// decision per shard per run (probability
+    /// [`FaultConfig::shard_crash_p`]); while it holds, most attempts
+    /// routed to the shard fail — see [`Chaos::shard_crashes`].
+    pub fn shard_storms(&self, shard: u32) -> bool {
+        self.injector.fires(sites::SHARD_CRASH, u64::from(shard), 0)
+    }
+
+    /// Does attempt `attempt` of the query with `fingerprint` fail with
+    /// `shard`'s storm? Always `false` on a non-storming shard; on a
+    /// storming one, [`STORM_FAIL_NUM`]/[`STORM_FAIL_DEN`] of attempts
+    /// fail, keyed per `(shard, fingerprint, attempt)` so retries and
+    /// reroutes redraw the decision.
+    pub fn shard_crashes(&self, shard: u32, fingerprint: u64, attempt: u32) -> bool {
+        if !self.shard_storms(shard) {
+            return false;
+        }
+        let roll = crate::query::mix(
+            self.seed() ^ (sites::SHARD_CRASH << 8),
+            crate::query::mix(u64::from(shard), fingerprint ^ (u64::from(attempt) << 32)),
+        );
+        let hit = roll % STORM_FAIL_DEN < STORM_FAIL_NUM;
+        if hit {
+            self.counters.shard_crashes.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
     /// Should the response for `(connection, sequence)` be dropped on
     /// the wire? The client sees a missing line and must resubmit.
     pub fn drops_response(&self, conn: u64, seq: u64) -> bool {
@@ -140,6 +193,7 @@ impl Chaos {
             dropped_responses: self.counters.dropped_responses.load(Ordering::Relaxed),
             duplicated_queries: self.counters.duplicated_queries.load(Ordering::Relaxed),
             cache_corruptions: self.counters.cache_corruptions.load(Ordering::Relaxed),
+            shard_crashes: self.counters.shard_crashes.load(Ordering::Relaxed),
         }
     }
 }
@@ -182,6 +236,38 @@ mod tests {
         assert_eq!(s.worker_crashes, crashes);
         assert_eq!(s.dropped_responses, drops);
         assert!(crashes > 0 && drops > 0);
+    }
+
+    #[test]
+    fn shard_storms_are_correlated_and_seed_keyed() {
+        // Under the storm preset some seed must storm shard-sets of a
+        // 4-shard cluster without storming all of them.
+        let seed = (0..512u64)
+            .find(|&s| {
+                let c = Chaos::storm(s);
+                let storming = (0..4).filter(|&sh| c.shard_storms(sh)).count();
+                (1..4).contains(&storming)
+            })
+            .expect("storm preset must storm some-but-not-all shards for some seed");
+        let c = Chaos::storm(seed);
+        let storming = (0..4u32).find(|&sh| c.shard_storms(sh)).expect("one storms");
+        let calm = (0..4u32).find(|&sh| !c.shard_storms(sh)).expect("one does not");
+        // Correlation: the storming shard fails many attempts across
+        // *different* fingerprints; the calm shard fails none, ever.
+        let failed = (0..100u64).filter(|&fp| c.shard_crashes(storming, fp, 0)).count();
+        assert!(failed >= 50, "storm must fail most attempts, got {failed}/100");
+        assert!((0..100u64).all(|fp| !c.shard_crashes(calm, fp, 0)));
+        // But not every attempt: retries on the storming shard can still
+        // land (STORM_FAIL_NUM/STORM_FAIL_DEN < 1).
+        assert!(failed < 100, "storms must leak the occasional success");
+        // Pure decisions: an identical chaos replays identically.
+        let replay = Chaos::storm(seed);
+        for fp in 0..100u64 {
+            assert_eq!(c.shard_crashes(storming, fp, 1), replay.shard_crashes(storming, fp, 1));
+        }
+        // The serve preset never storms shards (shard_crash_p = 0).
+        let serve = Chaos::new(seed);
+        assert!((0..64u32).all(|sh| !serve.shard_storms(sh)));
     }
 
     #[test]

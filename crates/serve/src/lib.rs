@@ -29,6 +29,14 @@
 //!    entries; the chaos harness (`tests/chaos.rs`) proves every
 //!    accepted query still gets exactly one response, bit-identical to
 //!    a fault-free run.
+//! 5. **Sharded failover** ([`cluster`], [`ring`]) — queries route over
+//!    a deterministic consistent-hash ring to N in-process shards, each
+//!    owning its own quarantine map and baseline cache; quarantine
+//!    commits and cache inserts replicate to the next ring successors,
+//!    a consecutive-failure detector walks shards through
+//!    healthy → suspect → dead → rejoined, and the `storm` preset
+//!    ([`besst_des::buggify::FaultConfig::storm`]) proves whole-shard
+//!    crash storms cost latency, never answers (`tests/storm.rs`).
 //!
 //! The [`cache`] module holds the content-hash baseline-timeline cache:
 //! CRC-32C-sealed entries keyed by [`query::ScenarioQuery::baseline_key`],
@@ -38,16 +46,20 @@
 
 pub mod cache;
 pub mod chaos;
+pub mod cluster;
 pub mod json;
 pub mod net;
 pub mod protocol;
 pub mod query;
+pub mod ring;
 pub mod scenario;
 pub mod server;
 
 pub use cache::{BaselineCache, CacheStats};
 pub use chaos::{Chaos, ChaosStats};
+pub use cluster::{Cluster, ClusterConfig, ClusterStats, ShardHealth};
 pub use query::{AppKind, MachineKind, QueryMode, ScenarioQuery};
+pub use ring::Ring;
 pub use scenario::{Baseline, QueryAnswer};
 pub use server::{Outcome, Response, ServeConfig, Server, ServerStats};
 
@@ -80,8 +92,20 @@ pub enum ServeError {
     },
     /// Load shedding: the batch exceeded the admission queue bound.
     Overloaded {
-        /// Suggested client backoff before resubmitting, ms.
+        /// Suggested client backoff before resubmitting, ms. Capped at
+        /// [`server::RETRY_AFTER_CAP_MS`] no matter how deep the
+        /// overflow.
         retry_after_ms: u64,
+    },
+    /// The shard an attempt was routed to was storming (injected
+    /// [`besst_des::buggify::sites::SHARD_CRASH`]); the cluster reroutes
+    /// the retry to the next ring successor. The shard index is carried
+    /// for the failure detector and logs but deliberately *not* rendered
+    /// on the wire (routing is operational detail; response lines stay
+    /// bit-identical to a fault-free run).
+    ShardLost {
+        /// Index of the shard that failed the attempt.
+        shard: u32,
     },
     /// The server itself failed to set up (worker pool construction).
     Internal(String),
@@ -97,15 +121,18 @@ impl ServeError {
             ServeError::Quarantined { .. } => "quarantined",
             ServeError::Timeout { .. } => "timeout",
             ServeError::Overloaded { .. } => "overloaded",
+            ServeError::ShardLost { .. } => "shard_lost",
             ServeError::Internal(_) => "internal",
         }
     }
 
     /// Whether a retry of the same attempt could plausibly succeed.
-    /// Only panics are treated as transient: an injected chaos crash
-    /// redraws its keyed-hash decision on the next attempt.
+    /// Panics are transient (an injected chaos crash redraws its
+    /// keyed-hash decision on the next attempt); a lost shard is
+    /// transient because the cluster reroutes the retry to the next ring
+    /// successor.
     pub fn transient(&self) -> bool {
-        matches!(self, ServeError::Panic(_))
+        matches!(self, ServeError::Panic(_) | ServeError::ShardLost { .. })
     }
 }
 
@@ -123,6 +150,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Overloaded { retry_after_ms } => {
                 write!(f, "overloaded; retry after {retry_after_ms} ms")
+            }
+            ServeError::ShardLost { shard } => {
+                write!(f, "shard {shard} lost the attempt; rerouting")
             }
             ServeError::Internal(m) => write!(f, "internal server error: {m}"),
         }

@@ -1,13 +1,19 @@
 //! Transport frontends: JSONL batches over any `Read`/`Write` pair
 //! (stdin/stdout in the binary) and over a plain [`TcpListener`].
 //!
-//! Framing: one JSON object per line; a blank line (or EOF) closes the
-//! current batch, the server answers it — one response line per query,
-//! then a blank line — and the next batch may begin on the same
-//! connection. Input reads are *bounded* ([`MAX_LINE_BYTES`],
+//! Framing: one JSON object per line (LF or CRLF terminated — a
+//! trailing `\r` is stripped); a blank line (or EOF) closes the current
+//! batch, the server answers it — one response line per query, then a
+//! blank line — and the next batch may begin on the same connection. A
+//! batch may open with a v2 header line selecting the response order
+//! (see [`crate::protocol`]): `ordered` (default) buffers and emits
+//! responses strictly in input order; `stream` flushes them in
+//! completion order, each tagged with the `idx` of the query line it
+//! answers. Input reads are *bounded* ([`MAX_LINE_BYTES`],
 //! [`MAX_BATCH_LINES`]): a client that streams an endless line or batch
 //! gets a typed error, not an unbounded buffer (enforced by besst-lint
-//! rule D6 for this crate).
+//! rule D6 for this crate). The byte cap applies to the raw line before
+//! `\r` stripping.
 //!
 //! When the server runs with chaos, the connection layer injects its
 //! share of the `serve` preset: query lines may be duplicated on read
@@ -16,7 +22,7 @@
 //! line and resubmits). Both are counted in
 //! [`crate::chaos::ChaosStats`].
 
-use crate::protocol::{parse_request, render_response};
+use crate::protocol::{parse_header, parse_request, render_response_idx, BatchMode};
 use crate::query::ScenarioQuery;
 use crate::server::{Outcome, Response, Server};
 use crate::ServeError;
@@ -39,6 +45,12 @@ fn read_bounded_line<R: BufRead>(
     reader: &mut R,
     cap: usize,
 ) -> std::io::Result<Option<(String, bool)>> {
+    // CRLF clients get the same framing as LF clients: strip one
+    // trailing carriage return after the newline split.
+    fn finish(buf: &[u8], truncated: bool) -> (String, bool) {
+        let buf = buf.strip_suffix(b"\r").unwrap_or(buf);
+        (String::from_utf8_lossy(buf).into_owned(), truncated)
+    }
     let mut buf: Vec<u8> = Vec::new();
     let mut truncated = false;
     let mut saw_any = false;
@@ -46,11 +58,7 @@ fn read_bounded_line<R: BufRead>(
         let chunk = reader.fill_buf()?;
         if chunk.is_empty() {
             // EOF: a final unterminated line still counts.
-            return Ok(if saw_any {
-                Some((String::from_utf8_lossy(&buf).into_owned(), truncated))
-            } else {
-                None
-            });
+            return Ok(if saw_any { Some(finish(&buf, truncated)) } else { None });
         }
         saw_any = true;
         if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
@@ -60,7 +68,7 @@ fn read_bounded_line<R: BufRead>(
                 truncated = take < pos;
             }
             reader.consume(pos + 1);
-            return Ok(Some((String::from_utf8_lossy(&buf).into_owned(), truncated)));
+            return Ok(Some(finish(&buf, truncated)));
         }
         if !truncated {
             let take = chunk.len().min(cap.saturating_sub(buf.len()));
@@ -72,15 +80,41 @@ fn read_bounded_line<R: BufRead>(
     }
 }
 
-/// One parsed batch: queries to run plus pre-built responses for
-/// malformed lines, each remembering its position so the output
-/// interleaves in input order.
+/// Where one response line came from: the 0-based query-line position it
+/// answers (the batch header does not count) and which copy it is —
+/// `copy` is 1 for the second answer of a chaos-duplicated submission,
+/// else 0. Drop-chaos decisions key on `(pos, copy)` so they stay pure
+/// functions of the seed regardless of completion order.
+#[derive(Debug, Clone, Copy)]
+struct Origin {
+    pos: u64,
+    copy: u64,
+}
+
+impl Origin {
+    /// Stable sequence key for connection-level chaos decisions.
+    fn seq(self) -> u64 {
+        // MAX_BATCH_LINES < 2^32, so pos and copy never collide.
+        self.pos | (self.copy << 32)
+    }
+}
+
+/// One parsed batch: the response mode, queries to run, and pre-built
+/// responses for malformed lines, each remembering its origin so output
+/// can interleave in input order (ordered mode) or be tagged with `idx`
+/// (stream mode).
 struct Batch {
-    queries: Vec<ScenarioQuery>,
-    /// (position in batch, ready response) for lines that never reached
-    /// the server.
-    rejects: Vec<(usize, Response)>,
-    /// Lines consumed (valid + malformed), to notice an empty batch.
+    mode: BatchMode,
+    /// The rejection for a malformed header line, emitted before any
+    /// other response (the batch itself falls back to ordered mode).
+    header_reject: Option<Response>,
+    /// Whether a header line (valid or not) was consumed — a header-only
+    /// batch is not EOF.
+    saw_header: bool,
+    queries: Vec<(Origin, ScenarioQuery)>,
+    rejects: Vec<(Origin, Response)>,
+    /// Query lines consumed (valid + malformed, excluding the header),
+    /// to notice an empty batch.
     lines: usize,
 }
 
@@ -91,23 +125,48 @@ fn read_batch<R: BufRead>(
     server: &Server,
     conn: u64,
 ) -> std::io::Result<Batch> {
-    let mut batch = Batch { queries: Vec::new(), rejects: Vec::new(), lines: 0 };
+    let mut batch = Batch {
+        mode: BatchMode::Ordered,
+        header_reject: None,
+        saw_header: false,
+        queries: Vec::new(),
+        rejects: Vec::new(),
+        lines: 0,
+    };
     let chaos = server.config().chaos.clone();
     while batch.lines < MAX_BATCH_LINES {
         let Some((line, truncated)) = read_bounded_line(reader, MAX_LINE_BYTES)? else {
             break; // EOF
         };
         if line.trim().is_empty() {
-            if batch.lines == 0 {
+            if batch.lines == 0 && !batch.saw_header {
                 continue; // leading blank lines are framing noise
             }
             break; // batch delimiter
         }
-        let pos = batch.lines;
+        // Only the first line of a batch may be a header; later
+        // header-shaped lines fall through to parse_request and are
+        // rejected like any other id-less object.
+        if batch.lines == 0 && !batch.saw_header && !truncated {
+            match parse_header(&line) {
+                Some(Ok(mode)) => {
+                    batch.mode = mode;
+                    batch.saw_header = true;
+                    continue;
+                }
+                Some(Err(resp)) => {
+                    batch.header_reject = Some(resp);
+                    batch.saw_header = true;
+                    continue;
+                }
+                None => {}
+            }
+        }
+        let pos = batch.lines as u64;
         batch.lines += 1;
         if truncated {
             batch.rejects.push((
-                pos,
+                Origin { pos, copy: 0 },
                 Response {
                     id: 0,
                     outcome: Outcome::Err(ServeError::BadRequest(format!(
@@ -119,17 +178,16 @@ fn read_batch<R: BufRead>(
         }
         match parse_request(&line) {
             Ok(q) => {
-                let dup = chaos
-                    .as_ref()
-                    .is_some_and(|c| c.duplicates_query(conn, pos as u64));
-                batch.queries.push(q.clone());
+                let dup = chaos.as_ref().is_some_and(|c| c.duplicates_query(conn, pos));
+                batch.queries.push((Origin { pos, copy: 0 }, q.clone()));
                 if dup {
                     // A duplicated submission is a real second query; the
-                    // server answers both, identically.
-                    batch.queries.push(q);
+                    // server answers both, identically. It shares the
+                    // original's idx — it answers the same query line.
+                    batch.queries.push((Origin { pos, copy: 1 }, q));
                 }
             }
-            Err(resp) => batch.rejects.push((pos, resp)),
+            Err(resp) => batch.rejects.push((Origin { pos, copy: 0 }, resp)),
         }
     }
     Ok(batch)
@@ -149,29 +207,75 @@ pub fn serve_lines<R: Read, W: Write + Send>(
     let mut batches = 0u64;
     loop {
         let batch = read_batch(&mut reader, server, conn)?;
-        if batch.lines == 0 {
+        if batch.lines == 0 && !batch.saw_header {
             break; // EOF with nothing pending
         }
         batches += 1;
         let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
-        let mut seq = 0u64;
-        // Malformed-line responses go out first (they are known before
-        // the batch runs); each still occupies one response line.
-        for (_, resp) in &batch.rejects {
-            write_response(&writer, resp, chaos.as_ref(), conn, seq, &io_error);
-            seq += 1;
+        // A malformed header's rejection leads the batch and never
+        // carries an idx (the batch fell back to ordered mode).
+        if let Some(resp) = &batch.header_reject {
+            write_response(&writer, resp, None, chaos.as_ref(), conn, 1 << 48, &io_error);
         }
-        let seq_base = seq;
-        server.handle_batch_indexed(&batch.queries, &|idx, resp| {
-            write_response(
-                &writer,
-                &resp,
-                chaos.as_ref(),
-                conn,
-                seq_base + idx as u64,
-                &io_error,
-            );
-        });
+        let (origins, queries): (Vec<Origin>, Vec<ScenarioQuery>) =
+            batch.queries.into_iter().unzip();
+        match batch.mode {
+            BatchMode::Stream => {
+                // Rejections are known before the batch runs; stream
+                // them out first, idx-tagged like everything else.
+                for (origin, resp) in &batch.rejects {
+                    write_response(
+                        &writer,
+                        resp,
+                        Some(origin.pos),
+                        chaos.as_ref(),
+                        conn,
+                        origin.seq(),
+                        &io_error,
+                    );
+                }
+                server.handle_batch_indexed(&queries, &|idx, resp| {
+                    let origin = origins[idx];
+                    write_response(
+                        &writer,
+                        &resp,
+                        Some(origin.pos),
+                        chaos.as_ref(),
+                        conn,
+                        origin.seq(),
+                        &io_error,
+                    );
+                });
+            }
+            BatchMode::Ordered => {
+                // Buffer completion-order results, then emit strictly in
+                // input order (rejections interleaved at their line
+                // positions, a duplicate right after its original).
+                let slots: Vec<Mutex<Option<Response>>> =
+                    queries.iter().map(|_| Mutex::new(None)).collect();
+                server.handle_batch_indexed(&queries, &|idx, resp| {
+                    *slots[idx].lock() = Some(resp);
+                });
+                let mut out: Vec<(Origin, Response)> = batch.rejects;
+                for (slot, origin) in slots.into_iter().zip(&origins) {
+                    if let Some(resp) = slot.into_inner() {
+                        out.push((*origin, resp));
+                    }
+                }
+                out.sort_by_key(|(origin, _)| (origin.pos, origin.copy));
+                for (origin, resp) in &out {
+                    write_response(
+                        &writer,
+                        resp,
+                        None,
+                        chaos.as_ref(),
+                        conn,
+                        origin.seq(),
+                        &io_error,
+                    );
+                }
+            }
+        }
         if let Some(e) = io_error.into_inner() {
             return Err(e);
         }
@@ -182,9 +286,11 @@ pub fn serve_lines<R: Read, W: Write + Send>(
     Ok(batches)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_response<W: Write>(
     writer: &Mutex<W>,
     resp: &Response,
+    idx: Option<u64>,
     chaos: Option<&crate::chaos::Chaos>,
     conn: u64,
     seq: u64,
@@ -196,7 +302,7 @@ fn write_response<W: Write>(
         // the chaos harness.
         return;
     }
-    let line = render_response(resp);
+    let line = render_response_idx(resp, idx);
     let mut w = writer.lock();
     let r = w.write_all(line.as_bytes()).and_then(|()| w.write_all(b"\n"));
     if let Err(e) = r {
@@ -296,5 +402,132 @@ mod tests {
         assert_eq!(batches, 2);
         let text = String::from_utf8(out).expect("utf8");
         assert_eq!(text.matches("\"status\":\"ok\"").count(), 2);
+    }
+
+    #[test]
+    fn ordered_mode_emits_strict_input_order() {
+        let s = server();
+        // Mix valid queries with a malformed line in the middle; the
+        // rejection must come back *at its line position*.
+        let input = "{\"id\":7,\"steps\":20}\nnot json\n{\"id\":9,\"steps\":20}\n\n";
+        let mut out: Vec<u8> = Vec::new();
+        serve_lines(&s, input.as_bytes(), &mut out, 1).expect("serves");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("\"id\":7"), "{text}");
+        assert!(lines[1].contains("\"kind\":\"bad_request\""), "{text}");
+        assert!(lines[2].contains("\"id\":9"), "{text}");
+        assert!(!text.contains("\"idx\""), "ordered mode carries no idx");
+    }
+
+    #[test]
+    fn crlf_lines_parse_like_lf_lines() {
+        let s = server();
+        let input = "{\"id\":1,\"steps\":20}\r\n{\"id\":2,\"steps\":20}\r\n\r\n";
+        let mut out: Vec<u8> = Vec::new();
+        serve_lines(&s, input.as_bytes(), &mut out, 1).expect("serves");
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(text.matches("\"status\":\"ok\"").count(), 2, "{text}");
+        assert!(!text.contains("bad_request"), "CRLF must not poison parsing: {text}");
+    }
+
+    #[test]
+    fn line_exactly_at_cap_is_accepted() {
+        // Pad a valid query with trailing spaces to exactly MAX_LINE_BYTES
+        // (JSON whitespace, still parseable); one byte more is rejected.
+        let q = "{\"id\":5,\"steps\":20}";
+        let exact = format!("{q}{}\n\n", " ".repeat(MAX_LINE_BYTES - q.len()));
+        let mut out: Vec<u8> = Vec::new();
+        serve_lines(&server(), exact.as_bytes(), &mut out, 1).expect("serves");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("\"id\":5") && text.contains("\"status\":\"ok\""), "{text}");
+
+        let over = format!("{q}{}\n\n", " ".repeat(MAX_LINE_BYTES - q.len() + 1));
+        let mut out: Vec<u8> = Vec::new();
+        serve_lines(&server(), over.as_bytes(), &mut out, 1).expect("serves");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("bad_request") && text.contains("exceeds"), "{text}");
+    }
+
+    #[test]
+    fn split_reads_reassemble_lines() {
+        // A 1-byte BufReader forces every line through the multi-chunk
+        // path of read_bounded_line.
+        let input = "{\"id\":1,\"steps\":20}\r\n{\"id\":2,\"steps\":20}\n\n";
+        let mut r = BufReader::with_capacity(1, input.as_bytes());
+        let (line, truncated) =
+            read_bounded_line(&mut r, MAX_LINE_BYTES).expect("reads").expect("a line");
+        assert!(!truncated);
+        assert_eq!(line, "{\"id\":1,\"steps\":20}", "split CRLF line reassembles");
+        let (line, _) =
+            read_bounded_line(&mut r, MAX_LINE_BYTES).expect("reads").expect("a line");
+        assert_eq!(line, "{\"id\":2,\"steps\":20}");
+        // An oversized line arriving in 1-byte chunks still caps.
+        let long = format!("{}\n", "y".repeat(40));
+        let mut r = BufReader::with_capacity(1, long.as_bytes());
+        let (line, truncated) = read_bounded_line(&mut r, 10).expect("reads").expect("a line");
+        assert!(truncated);
+        assert_eq!(line.len(), 10);
+    }
+
+    #[test]
+    fn stream_mode_tags_every_line_with_idx() {
+        let s = server();
+        let input = "{\"mode\":\"stream\",\"v\":2}\n{\"id\":1,\"steps\":20}\nnot json\n{\"id\":3,\"steps\":20}\n\n";
+        let mut out: Vec<u8> = Vec::new();
+        serve_lines(&s, input.as_bytes(), &mut out, 1).expect("serves");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        // idx counts query lines only (the header does not count).
+        assert!(lines.iter().any(|l| l.contains("\"id\":1") && l.contains("\"idx\":0")), "{text}");
+        assert!(
+            lines.iter().any(|l| l.contains("bad_request") && l.contains("\"idx\":1")),
+            "{text}"
+        );
+        assert!(lines.iter().any(|l| l.contains("\"id\":3") && l.contains("\"idx\":2")), "{text}");
+    }
+
+    #[test]
+    fn header_mid_stream_is_a_malformed_query() {
+        let s = server();
+        let input = "{\"id\":1,\"steps\":20}\n{\"mode\":\"stream\"}\n\n";
+        let mut out: Vec<u8> = Vec::new();
+        serve_lines(&s, input.as_bytes(), &mut out, 1).expect("serves");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"id\":1") && lines[0].contains("\"status\":\"ok\""));
+        assert!(
+            lines[1].contains("bad_request"),
+            "a header after line 0 is just an id-less object: {text}"
+        );
+        assert!(!text.contains("\"idx\""), "the batch stays in ordered mode: {text}");
+    }
+
+    #[test]
+    fn malformed_header_rejects_and_falls_back_to_ordered() {
+        let s = server();
+        let input = "{\"mode\":\"stream\",\"v\":1}\n{\"id\":1,\"steps\":20}\n\n";
+        let mut out: Vec<u8> = Vec::new();
+        serve_lines(&s, input.as_bytes(), &mut out, 1).expect("serves");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("bad_request") && lines[0].contains("version"), "{text}");
+        assert!(lines[1].contains("\"id\":1") && lines[1].contains("\"status\":\"ok\""));
+        assert!(!text.contains("\"idx\""), "fallback is ordered mode: {text}");
+    }
+
+    #[test]
+    fn header_only_batch_is_not_eof() {
+        let s = server();
+        let input = "{\"mode\":\"stream\"}\n\n{\"id\":1,\"steps\":20}\n\n";
+        let mut out: Vec<u8> = Vec::new();
+        let batches = serve_lines(&s, input.as_bytes(), &mut out, 1).expect("serves");
+        assert_eq!(batches, 2, "an empty streamed batch still frames");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("\"id\":1") && text.contains("\"status\":\"ok\""), "{text}");
     }
 }

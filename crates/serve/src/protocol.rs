@@ -8,15 +8,95 @@
 //!
 //! Response lines carry only *semantic* fields (id, status, numbers,
 //! class, error kind). Operational detail — retry counts, cache hits,
-//! panic messages — stays in [`crate::server::ServerStats`]; putting it
-//! on the wire would make chaos-run responses differ textually from
-//! fault-free ones even when the answers agree.
+//! panic messages, shard routing — stays in
+//! [`crate::server::ServerStats`]; putting it on the wire would make
+//! chaos-run responses differ textually from fault-free ones even when
+//! the answers agree.
+//!
+//! ## Protocol v2: the batch header and streaming mode
+//!
+//! A batch may open with a *header line* — a JSON object with a `mode`
+//! key and **no** `id` key (queries require `id`, so the two can never
+//! be confused):
+//!
+//! ```text
+//! {"mode":"stream","v":2}
+//! {"id":1,"steps":100,"seed":7}
+//! {"id":2,"app":"vulcan"}
+//!
+//! ```
+//!
+//! `mode` is `"ordered"` (the v1 behavior: one response line per query
+//! line, in input order) or `"stream"`: responses are flushed in
+//! *completion* order, each carrying an `idx` field naming the 0-based
+//! position of the query line it answers (the header does not count).
+//! `v`, if present, must be `2`. A malformed header is answered with a
+//! `bad_request` line and the batch falls back to ordered mode; a
+//! header anywhere but the first line of a batch is just a malformed
+//! query (it has no `id`) and is rejected like one. Sorting a streamed
+//! batch's lines by `idx` and stripping the `idx` fields reproduces the
+//! ordered-mode output byte for byte — see `tests/stream.rs`.
 
 use crate::json::{parse, Value};
 use crate::query::ScenarioQuery;
 use crate::server::{Outcome, Response};
 use crate::ServeError;
 use std::collections::BTreeMap;
+
+/// Response ordering for one batch, selected by the optional v2 batch
+/// header. The default (no header) is [`BatchMode::Ordered`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// One response line per query line, in input order.
+    #[default]
+    Ordered,
+    /// Responses flushed in completion order, each carrying an `idx`
+    /// field naming the query line it answers.
+    Stream,
+}
+
+/// The protocol version this server speaks (the optional `v` field of a
+/// batch header).
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Probe `line` for a v2 batch header. `None` means the line is not a
+/// header at all (it should be parsed as a query); `Some(Ok)` is a valid
+/// header; `Some(Err)` is a malformed header with its ready-to-send
+/// rejection.
+///
+/// A line is a header candidate iff it parses as a JSON object with a
+/// `mode` key and no `id` key — valid queries always carry `id`, so no
+/// query line can be mistaken for a header.
+pub fn parse_header(line: &str) -> Option<Result<BatchMode, Response>> {
+    let obj = match parse(line) {
+        Ok(Value::Obj(obj)) => obj,
+        _ => return None,
+    };
+    if obj.contains_key("id") || !obj.contains_key("mode") {
+        return None;
+    }
+    let reject = |msg: String| {
+        Some(Err(Response { id: 0, outcome: Outcome::Err(ServeError::BadRequest(msg)) }))
+    };
+    for key in obj.keys() {
+        if key != "mode" && key != "v" {
+            return reject(format!("unknown batch-header field \"{key}\""));
+        }
+    }
+    if let Some(v) = obj.get("v") {
+        if v.as_u64() != Some(PROTOCOL_VERSION) {
+            return reject(format!(
+                "unsupported protocol version {}; this server speaks v{PROTOCOL_VERSION}",
+                v.render()
+            ));
+        }
+    }
+    match obj.get("mode").and_then(|m| m.as_str()) {
+        Some("ordered") => Some(Ok(BatchMode::Ordered)),
+        Some("stream") => Some(Ok(BatchMode::Stream)),
+        _ => reject("batch-header field \"mode\" must be \"ordered\" or \"stream\"".into()),
+    }
+}
 
 /// Parse one request line. `Err` carries the ready-to-send error
 /// response for a malformed line.
@@ -45,8 +125,17 @@ pub fn parse_request(line: &str) -> Result<ScenarioQuery, Response> {
 /// Render one response as a compact, canonical JSON line (no trailing
 /// newline).
 pub fn render_response(resp: &Response) -> String {
+    render_response_idx(resp, None)
+}
+
+/// [`render_response`], optionally tagging the line with the streaming
+/// mode's `idx` field (the 0-based query-line position it answers).
+pub fn render_response_idx(resp: &Response, idx: Option<u64>) -> String {
     let mut obj = BTreeMap::new();
     obj.insert("id".to_string(), Value::Int(resp.id));
+    if let Some(idx) = idx {
+        obj.insert("idx".to_string(), Value::Int(idx));
+    }
     match &resp.outcome {
         Outcome::Ok { answer, .. } => {
             obj.insert("status".to_string(), Value::Str("ok".into()));
@@ -64,8 +153,9 @@ pub fn render_response(resp: &Response) -> String {
                     obj.insert("detail".to_string(), Value::Str(m.clone()));
                 }
                 // No detail on the wire: the message differs between a
-                // scenario's own panic and an injected chaos crash.
-                ServeError::Panic(_) => {}
+                // scenario's own panic and an injected chaos crash, and
+                // shard routing is operational detail.
+                ServeError::Panic(_) | ServeError::ShardLost { .. } => {}
                 ServeError::Quarantined { failures } => {
                     obj.insert("failures".to_string(), Value::Int(u64::from(*failures)));
                 }
@@ -142,5 +232,50 @@ mod tests {
     fn roundtrip_request() {
         let q = parse_request(r#"{"id":1,"steps":12,"seed":9}"#).expect("parses");
         assert_eq!((q.id, q.steps, q.seed), (1, 12, 9));
+    }
+
+    #[test]
+    fn header_detection_never_eats_a_query() {
+        assert_eq!(parse_header(r#"{"mode":"stream"}"#), Some(Ok(BatchMode::Stream)));
+        assert_eq!(parse_header(r#"{"mode":"stream","v":2}"#), Some(Ok(BatchMode::Stream)));
+        assert_eq!(parse_header(r#"{"mode":"ordered"}"#), Some(Ok(BatchMode::Ordered)));
+        // A query's own "mode" field never makes it a header: queries
+        // carry "id".
+        assert_eq!(parse_header(r#"{"id":1,"mode":"online"}"#), None);
+        // Non-objects and mode-less objects are not headers.
+        assert_eq!(parse_header("not json"), None);
+        assert_eq!(parse_header(r#"{"v":2}"#), None);
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected_with_detail() {
+        let r = parse_header(r#"{"mode":"sideways"}"#).expect("candidate").expect_err("rejected");
+        assert!(matches!(&r.outcome, Outcome::Err(ServeError::BadRequest(m)) if m.contains("mode")));
+        let r = parse_header(r#"{"mode":"stream","v":1}"#).expect("candidate").expect_err("rejected");
+        assert!(matches!(&r.outcome, Outcome::Err(ServeError::BadRequest(m)) if m.contains("version")));
+        let r = parse_header(r#"{"mode":"stream","extra":true}"#)
+            .expect("candidate")
+            .expect_err("rejected");
+        assert!(matches!(&r.outcome, Outcome::Err(ServeError::BadRequest(m)) if m.contains("extra")));
+    }
+
+    #[test]
+    fn idx_rides_along_only_in_stream_mode() {
+        let resp = Response {
+            id: 4,
+            outcome: Outcome::Err(ServeError::Timeout { deadline_ms: 50 }),
+        };
+        assert_eq!(
+            render_response_idx(&resp, Some(17)),
+            r#"{"deadline_ms":50,"id":4,"idx":17,"kind":"timeout","status":"error"}"#
+        );
+        assert_eq!(render_response_idx(&resp, None), render_response(&resp));
+    }
+
+    #[test]
+    fn shard_lost_renders_kind_only() {
+        let resp =
+            Response { id: 6, outcome: Outcome::Err(ServeError::ShardLost { shard: 3 }) };
+        assert_eq!(render_response(&resp), r#"{"id":6,"kind":"shard_lost","status":"error"}"#);
     }
 }

@@ -1,0 +1,141 @@
+//! Deterministic consistent-hash ring for shard routing.
+//!
+//! The cluster layer ([`crate::cluster`]) places every query fingerprint
+//! (and every baseline cache key) on a hash ring shared by all shards.
+//! Each shard contributes `vnodes` points, hashed from
+//! `(seed, shard, vnode)` with the same SplitMix64 finalizer the rest of
+//! the stack uses — placement is a pure function of the ring seed, so two
+//! server instances built with the same seed route identically without
+//! ever talking to each other.
+//!
+//! Routing a key walks the ring clockwise from the key's hash and
+//! collects *distinct* shards in encounter order. The first `r` of them
+//! are the key's owners (primary first); if the primary is dead, the
+//! caller simply keeps walking, which is what makes failover "cost
+//! routing, not correctness": when a shard dies, only the keys it owned
+//! move — everything else keeps its primary (see the minimal-movement
+//! test in `tests/ring_properties.rs`).
+
+use crate::query::mix;
+
+/// Domain separator folded into every ring-point hash so ring placement
+/// can never collide with fingerprint or cache-key hashing.
+const RING_DOMAIN: u64 = 0x52494e47_42455354; // "RING" "BEST"
+
+/// A fixed, deterministic consistent-hash ring over `shards` shards.
+///
+/// Immutable after construction: shard death and rejoin are *routing*
+/// decisions (skip dead shards while walking), not ring mutations, so
+/// a rejoined shard gets exactly its old keys back.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point hash, shard)` sorted by hash; ties broken by shard index
+    /// (deterministic even in the astronomically unlikely collision).
+    points: Vec<(u64, u32)>,
+    shards: u32,
+}
+
+impl Ring {
+    /// Build the ring for `shards` shards with `vnodes` points each.
+    /// Both are clamped to at least 1.
+    pub fn new(seed: u64, shards: u32, vnodes: u32) -> Self {
+        let shards = shards.max(1);
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity((shards as usize) * (vnodes as usize));
+        for shard in 0..shards {
+            for vnode in 0..vnodes {
+                let h = mix(mix(seed ^ RING_DOMAIN, shard as u64 + 1), vnode as u64 + 1);
+                points.push((h, shard));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// All shards in ring order starting at `key`'s position, each shard
+    /// once (first = primary owner). The full order matters to the
+    /// cluster: when every configured owner of a key is dead, routing
+    /// keeps walking past the replication factor so the batch still
+    /// completes — a non-owner computing an answer costs cache locality,
+    /// never correctness.
+    pub fn successor_order(&self, key: u64) -> Vec<u32> {
+        let kh = mix(RING_DOMAIN, key);
+        let start = self.points.partition_point(|&(h, _)| h < kh);
+        let mut order = Vec::with_capacity(self.shards as usize);
+        let mut seen = vec![false; self.shards as usize];
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !seen[shard as usize] {
+                seen[shard as usize] = true;
+                order.push(shard);
+                if order.len() == self.shards as usize {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The first `r` distinct shards clockwise from `key` — the key's
+    /// owner set, primary first. `r` is clamped to `[1, shards]`.
+    pub fn owners(&self, key: u64, r: u32) -> Vec<u32> {
+        let r = r.clamp(1, self.shards) as usize;
+        let mut order = self.successor_order(key);
+        order.truncate(r);
+        order
+    }
+
+    /// The primary owner of `key`.
+    pub fn primary(&self, key: u64) -> u32 {
+        self.successor_order(key)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = Ring::new(7, 1, 16);
+        for k in 0..64u64 {
+            assert_eq!(ring.owners(mix(1, k), 3), vec![0]);
+        }
+    }
+
+    #[test]
+    fn owners_are_distinct_and_primary_first() {
+        let ring = Ring::new(0xBE57, 5, 32);
+        for k in 0..256u64 {
+            let key = mix(2, k);
+            let owners = ring.owners(key, 3);
+            assert_eq!(owners.len(), 3);
+            assert_eq!(owners[0], ring.primary(key));
+            let mut sorted = owners.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "owners must be distinct: {owners:?}");
+        }
+    }
+
+    #[test]
+    fn successor_order_is_a_permutation_of_all_shards() {
+        let ring = Ring::new(3, 6, 8);
+        let mut order = ring.successor_order(0xDEAD_BEEF);
+        assert_eq!(order.len(), 6);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn replication_clamps_to_shard_count() {
+        let ring = Ring::new(11, 3, 8);
+        assert_eq!(ring.owners(42, 0).len(), 1);
+        assert_eq!(ring.owners(42, 9).len(), 3);
+    }
+}

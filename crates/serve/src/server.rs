@@ -15,8 +15,9 @@
 //! a completed answer, so bounded injected delays cannot flip a success
 //! into a timeout.
 
-use crate::cache::{BaselineCache, CacheStats, Lookup};
+use crate::cache::{CacheStats, Lookup};
 use crate::chaos::{Chaos, ChaosStats};
+use crate::cluster::{Cluster, ClusterConfig, ClusterStats};
 use crate::query::ScenarioQuery;
 use crate::scenario::{compute_baseline, run_overlay, QueryAnswer};
 use crate::ServeError;
@@ -53,6 +54,10 @@ pub struct ServeConfig {
     /// Retry-exhausted failures on one fingerprint before it is
     /// quarantined (fast-failed without running).
     pub quarantine_threshold: u32,
+    /// Shard topology and failure-detector tuning. The default
+    /// ([`ClusterConfig::single`]) is one shard owning everything —
+    /// exactly the classic single-process server.
+    pub cluster: ClusterConfig,
     /// Self-fault-injection; `None` runs fault-free.
     pub chaos: Option<Chaos>,
 }
@@ -68,10 +73,17 @@ impl Default for ServeConfig {
             max_retries: 8,
             backoff_base_us: 50,
             quarantine_threshold: 2,
+            cluster: ClusterConfig::single(),
             chaos: None,
         }
     }
 }
+
+/// Ceiling for the [`ServeError::Overloaded`] retry-after hint, ms. The
+/// hint grows linearly with a query's overflow position so shed clients
+/// spread their resubmissions, but a pathological batch must not tell
+/// anyone to wait minutes — past this depth every hint saturates here.
+pub const RETRY_AFTER_CAP_MS: u64 = 1_000;
 
 /// What happened to one query.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,13 +143,13 @@ struct Counters {
     retries: AtomicU64,
 }
 
-/// The scenario server: owns the worker pool, cache and quarantine.
+/// The scenario server: owns the worker pool and the shard cluster
+/// (which in turn owns every cache and quarantine map — one of each per
+/// shard; see [`crate::cluster`]).
 pub struct Server {
     cfg: ServeConfig,
     pool: rayon::ThreadPool,
-    cache: BaselineCache,
-    /// fingerprint → consecutive retry-exhausted failures.
-    quarantine: Mutex<BTreeMap<u64, u32>>,
+    cluster: Cluster,
     counters: Counters,
 }
 
@@ -156,21 +168,16 @@ enum LedgerEntry {
 }
 
 impl Server {
-    /// Build a server. Fails only if the worker pool cannot start.
+    /// Build a server. Fails if the worker pool cannot start or the
+    /// cluster config is degenerate.
     pub fn new(cfg: ServeConfig) -> Result<Server, ServeError> {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(cfg.workers)
             .thread_name(|i| format!("besst-serve-{i}"))
             .build()
             .map_err(|e| ServeError::Internal(format!("worker pool: {e}")))?;
-        let cache = BaselineCache::new(cfg.cache_capacity);
-        Ok(Server {
-            cfg,
-            pool,
-            cache,
-            quarantine: Mutex::new(BTreeMap::new()),
-            counters: Counters::default(),
-        })
+        let cluster = Cluster::new(cfg.cluster, cfg.cache_capacity)?;
+        Ok(Server { cfg, pool, cluster, counters: Counters::default() })
     }
 
     /// The configuration the server runs with.
@@ -215,7 +222,10 @@ impl Server {
 
         // Quarantine snapshot: decisions for this whole batch are taken
         // against pre-batch state (determinism contract, module docs).
-        let pre_quarantine: BTreeMap<u64, u32> = self.quarantine.lock().clone();
+        // The cluster merges the per-shard maps of every currently-alive
+        // shard; alive owners agree on every key, so this equals the
+        // single-map view (see `crate::cluster` docs).
+        let pre_quarantine: BTreeMap<u64, u32> = self.cluster.quarantine_snapshot();
         let ledger: Vec<Mutex<LedgerEntry>> =
             queries.iter().map(|_| Mutex::new(LedgerEntry::Untouched)).collect();
 
@@ -224,7 +234,8 @@ impl Server {
         // immediate Overloaded responses instead of queue collapse.
         for (idx, q) in queries.iter().enumerate().skip(admitted) {
             let overflow = (idx - admitted) as u64;
-            let retry_after_ms = 10 + 5 * overflow;
+            let retry_after_ms =
+                10u64.saturating_add(overflow.saturating_mul(5)).min(RETRY_AFTER_CAP_MS);
             self.counters.shed.fetch_add(1, Ordering::Relaxed);
             self.counters.errors.fetch_add(1, Ordering::Relaxed);
             sink(idx, Response {
@@ -242,15 +253,11 @@ impl Server {
             });
         });
 
-        // Commit quarantine deltas in input order.
-        let mut g = self.quarantine.lock();
+        // Commit quarantine deltas in input order, replicated to every
+        // alive owner of each fingerprint.
         for slot in ledger {
             if let LedgerEntry::Ran { fp, exhausted } = slot.into_inner() {
-                if exhausted {
-                    *g.entry(fp).or_insert(0) += 1;
-                } else {
-                    g.remove(&fp);
-                }
+                self.cluster.commit_quarantine(fp, exhausted);
             }
         }
     }
@@ -306,10 +313,20 @@ impl Server {
         }
         let query_start = Instant::now();
         let mut retries = 0u32;
+        // Shards that already failed *this query* with ShardLost. A
+        // reroute to a fresh shard costs no retry budget — losing a
+        // shard must not burn the retries a good query may still need —
+        // so storms are bounded by the avoid set instead: once every
+        // shard has failed the query once, the set clears and a real
+        // retry is spent, so a cluster-wide permanent storm still
+        // terminates in max_retries rounds.
+        let mut avoided: Vec<u32> = Vec::new();
         loop {
-            let attempt_result = self.attempt(q, fp, retries);
+            let shard = self.cluster.route(fp, &avoided);
+            let attempt_result = self.attempt(q, fp, shard, retries);
             match attempt_result {
                 Ok((answer, cached)) => {
+                    self.cluster.record_success(shard);
                     return (
                         Response {
                             id: q.id,
@@ -317,6 +334,32 @@ impl Server {
                         },
                         LedgerEntry::Ran { fp, exhausted: false },
                     );
+                }
+                Err(ServeError::ShardLost { shard: lost }) => {
+                    self.cluster.record_failure(lost);
+                    if query_start.elapsed() > deadline || batch_start.elapsed() > budget {
+                        return (
+                            Response { id: q.id, outcome: Outcome::Err(timeout) },
+                            LedgerEntry::Untouched,
+                        );
+                    }
+                    let all_failed = avoided.contains(&lost)
+                        || avoided.len() as u32 + 1 >= self.cfg.cluster.shards;
+                    if !all_failed {
+                        avoided.push(lost);
+                    } else if retries < self.cfg.max_retries {
+                        avoided.clear();
+                        std::thread::sleep(self.backoff(fp, retries));
+                        retries += 1;
+                    } else {
+                        return (
+                            Response {
+                                id: q.id,
+                                outcome: Outcome::Err(ServeError::ShardLost { shard: lost }),
+                            },
+                            LedgerEntry::Ran { fp, exhausted: true },
+                        );
+                    }
                 }
                 Err(e) if e.transient() && retries < self.cfg.max_retries => {
                     if query_start.elapsed() > deadline || batch_start.elapsed() > budget {
@@ -340,15 +383,18 @@ impl Server {
         }
     }
 
-    /// One isolated attempt: chaos delay/crash, cache probe, baseline
-    /// compute, overlay — all under `catch_unwind`.
+    /// One isolated attempt on `shard`: shard-storm roll, chaos
+    /// delay/crash, cache probe, baseline compute, overlay — all under
+    /// `catch_unwind`.
     fn attempt(
         &self,
         q: &ScenarioQuery,
         fp: u64,
+        shard: u32,
         attempt: u32,
     ) -> Result<(QueryAnswer, bool), ServeError> {
-        let result = catch_unwind(AssertUnwindSafe(|| self.attempt_inner(q, fp, attempt)));
+        let result =
+            catch_unwind(AssertUnwindSafe(|| self.attempt_inner(q, fp, shard, attempt)));
         match result {
             Ok(r) => r,
             Err(payload) => {
@@ -369,9 +415,17 @@ impl Server {
         &self,
         q: &ScenarioQuery,
         fp: u64,
+        shard: u32,
         attempt: u32,
     ) -> Result<(QueryAnswer, bool), ServeError> {
         if let Some(chaos) = &self.cfg.chaos {
+            // A storming shard fails the attempt *as a typed error*, not
+            // a panic: the caller must learn which shard to avoid, and
+            // the failure detector must only ever see shard-attributed
+            // failures.
+            if chaos.shard_crashes(shard, fp, attempt) {
+                return Err(ServeError::ShardLost { shard });
+            }
             if let Some(delay) = chaos.worker_delay(fp, attempt) {
                 std::thread::sleep(delay);
             }
@@ -383,16 +437,16 @@ impl Server {
             }
         }
         let key = q.baseline_key();
-        let (baseline, cached) = match self.cache.lookup(key) {
+        let (baseline, cached) = match self.cluster.cache_lookup(key) {
             Lookup::Hit(b) => (b, true),
             // Corrupt and Miss take the same recompute path: corruption
             // costs latency, never answers.
             Lookup::Corrupt | Lookup::Miss => {
                 let b = compute_baseline(q)?;
-                self.cache.insert(key, &b);
+                self.cluster.cache_insert(key, &b);
                 if let Some(chaos) = &self.cfg.chaos {
                     if let Some(bit) = chaos.corrupts_cache(key) {
-                        self.cache.corrupt_entry(key, bit);
+                        self.cluster.corrupt_cache(key, bit);
                     }
                 }
                 (b, false)
@@ -426,9 +480,20 @@ impl Server {
         }
     }
 
-    /// Cache counters snapshot.
+    /// Cache counters snapshot, summed across shards.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.cluster.cache_stats()
+    }
+
+    /// Cluster counters snapshot (shard health, deaths, rejoins,
+    /// failovers).
+    pub fn cluster_stats(&self) -> ClusterStats {
+        self.cluster.stats()
+    }
+
+    /// The shard cluster, for tests that probe health and routing.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
     }
 
     /// Chaos counters snapshot (zeroes when running fault-free).
@@ -537,6 +602,75 @@ mod tests {
             .iter()
             .all(|r| matches!(r.outcome, Outcome::Err(ServeError::Timeout { .. }))));
         assert_eq!(s.stats().timeouts, 3);
+    }
+
+    #[test]
+    fn retry_after_hint_is_capped() {
+        // Deep overflow: uncapped, position 300 would ask for
+        // 10 + 5*297 = 1495 ms.
+        let cfg = ServeConfig { queue_capacity: 2, ..ServeConfig::default() };
+        let s = quiet_server(cfg);
+        let qs: Vec<ScenarioQuery> =
+            (0..300).map(|i| query(&format!(r#"{{"id":{i},"steps":10}}"#))).collect();
+        let resps = s.handle_batch(&qs);
+        let hints: Vec<u64> = resps
+            .iter()
+            .filter_map(|r| match r.outcome {
+                Outcome::Err(ServeError::Overloaded { retry_after_ms }) => Some(retry_after_ms),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hints.len(), 298);
+        assert_eq!(hints[0], 10, "first overflow position keeps the small hint");
+        assert_eq!(*hints.last().unwrap(), RETRY_AFTER_CAP_MS, "deep overflow saturates");
+        assert!(hints.iter().all(|&h| h <= RETRY_AFTER_CAP_MS));
+    }
+
+    #[test]
+    fn sharded_batch_answers_like_single_shard() {
+        let single = quiet_server(ServeConfig::default());
+        let sharded = quiet_server(ServeConfig {
+            cluster: crate::cluster::ClusterConfig::sharded(4),
+            ..ServeConfig::default()
+        });
+        let qs: Vec<ScenarioQuery> = (0..24)
+            .map(|i| query(&format!(r#"{{"id":{i},"steps":10,"seed":{}}}"#, i % 5)))
+            .collect();
+        let a = single.handle_batch(&qs);
+        let b = sharded.handle_batch(&qs);
+        assert_eq!(a, b, "shard routing must not change answers");
+        assert_eq!(sharded.cluster_stats().alive, 4);
+    }
+
+    #[test]
+    fn storming_shard_reroutes_without_burning_retries() {
+        // Find a storm seed where at least one of 4 shards storms and at
+        // least one stays calm, so rerouting always has a target.
+        let seed = (0..512u64)
+            .find(|&s| {
+                let c = Chaos::storm(s);
+                let n = (0..4).filter(|&sh| c.shard_storms(sh)).count();
+                (1..4).contains(&n)
+            })
+            .expect("such a seed exists");
+        let s = quiet_server(ServeConfig {
+            cluster: crate::cluster::ClusterConfig::sharded(4),
+            chaos: Some(Chaos::storm(seed)),
+            ..ServeConfig::default()
+        });
+        let qs: Vec<ScenarioQuery> = (0..64)
+            .map(|i| query(&format!(r#"{{"id":{i},"steps":10,"seed":{i}}}"#)))
+            .collect();
+        let resps = s.handle_batch(&qs);
+        for r in &resps {
+            assert!(
+                !matches!(r.outcome, Outcome::Err(ServeError::ShardLost { .. })),
+                "shard storms must reroute, not surface: {r:?}"
+            );
+        }
+        let cs = s.cluster_stats();
+        assert!(cs.shard_failures > 0, "the storm must actually have fired: {cs:?}");
+        assert!(cs.failovers > 0, "failed attempts must have failed over: {cs:?}");
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Property tests for the consistent-hash ring (satellite of the
+//! sharded-cluster PR): balanced key distribution, minimal key movement
+//! when a shard dies or rejoins, and deterministic routing across
+//! independently built instances.
+//!
+//! No proptest dependency — the properties are checked exhaustively over
+//! fixed key sets, which keeps failures replayable from the literals
+//! below.
+
+use besst_serve::ring::Ring;
+use besst_serve::{Cluster, ClusterConfig};
+
+const SEED: u64 = 0xBE57_C1C5;
+
+/// Route `key` the way the cluster does when `dead` shards are down:
+/// first shard in successor order not in the dead set.
+fn route_avoiding(ring: &Ring, key: u64, dead: &[u32]) -> u32 {
+    ring.successor_order(key)
+        .into_iter()
+        .find(|s| !dead.contains(s))
+        .expect("at least one alive shard")
+}
+
+#[test]
+fn key_distribution_is_balanced() {
+    let shards = 8u32;
+    let keys = 100_000u64;
+    let ring = Ring::new(SEED, shards, 64);
+    let mut counts = vec![0u64; shards as usize];
+    for k in 0..keys {
+        counts[ring.primary(k) as usize] += 1;
+    }
+    // Chi-square-style imbalance statistic, normalized by the key count
+    // so it measures *arc-length* imbalance rather than sampling noise
+    // (each shard's true share is its arc fraction, not exactly 1/n, so
+    // the raw statistic grows linearly in keys). With 64 vnodes per
+    // shard the per-shard share has std ≈ 1/(n·√vnodes) ≈ 1.6%; the
+    // observed statistic is ~0.015 and the fixed seed makes this a
+    // regression pin, not a flaky sample.
+    let expected = keys as f64 / f64::from(shards);
+    let chi2: f64 =
+        counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+    let imbalance = chi2 / keys as f64;
+    assert!(imbalance < 0.05, "imbalance = {imbalance:.4}, counts = {counts:?}");
+    // No shard is starved or doubled relative to its fair share.
+    for (shard, &c) in counts.iter().enumerate() {
+        let share = c as f64 / expected;
+        assert!((0.7..=1.4).contains(&share), "shard {shard} owns {share:.2}x fair share");
+    }
+}
+
+#[test]
+fn shard_death_moves_only_the_dead_shards_keys() {
+    let shards = 8u32;
+    let keys = 20_000u64;
+    let ring = Ring::new(SEED, shards, 64);
+    let dead = 3u32;
+    let mut moved = 0u64;
+    for k in 0..keys {
+        let before = ring.primary(k);
+        let after = route_avoiding(&ring, k, &[dead]);
+        if before == dead {
+            moved += 1;
+            assert_ne!(after, dead, "dead shard must not be routed to");
+        } else {
+            assert_eq!(before, after, "key {k}: survivor keys must not move");
+        }
+    }
+    // The dead shard owned roughly 1/8 of the keyspace; exactly that
+    // much — and nothing else — moves.
+    let fair = keys as f64 / f64::from(shards);
+    assert!(
+        (moved as f64) < fair * 1.5 && (moved as f64) > fair * 0.5,
+        "moved {moved} keys, fair share is {fair:.0}"
+    );
+}
+
+#[test]
+fn rejoin_restores_exactly_the_old_keys() {
+    let ring = Ring::new(SEED, 6, 64);
+    let dead = 2u32;
+    for k in 0..20_000u64 {
+        let original = ring.primary(k);
+        let rejoined = route_avoiding(&ring, k, &[]);
+        assert_eq!(original, rejoined, "the ring is immutable: rejoin is a no-op for routing");
+        // And while the shard was dead, every displaced key went to the
+        // key's *next* successor, so failover reads stay on an owner.
+        if original == dead {
+            let during = route_avoiding(&ring, k, &[dead]);
+            assert_eq!(during, ring.successor_order(k)[1], "failover lands on the successor");
+        }
+    }
+}
+
+#[test]
+fn routing_is_deterministic_across_instances() {
+    let a = Ring::new(SEED, 8, 64);
+    let b = Ring::new(SEED, 8, 64);
+    let other = Ring::new(SEED ^ 1, 8, 64);
+    let mut seen_difference = false;
+    for k in 0..10_000u64 {
+        assert_eq!(
+            a.successor_order(k),
+            b.successor_order(k),
+            "two instances with the same seed must route identically"
+        );
+        seen_difference |= a.primary(k) != other.primary(k);
+    }
+    assert!(seen_difference, "a different seed must produce a different placement");
+}
+
+#[test]
+fn cluster_route_agrees_with_the_bare_ring() {
+    // The cluster's routing (with every shard healthy and nothing
+    // avoided) is exactly the ring's primary: the cluster adds health
+    // tracking, not placement policy.
+    let cfg = ClusterConfig { shards: 5, ..ClusterConfig::sharded(5) };
+    let cluster = Cluster::new(cfg, 64).expect("valid config");
+    for k in 0..5_000u64 {
+        assert_eq!(cluster.route(k, &[]), cluster.ring().primary(k));
+    }
+    assert_eq!(cluster.stats().failovers, 0, "healthy routing never counts a failover");
+}

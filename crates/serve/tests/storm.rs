@@ -1,0 +1,189 @@
+//! The storm chaos gate: the harshest acceptance harness for the
+//! sharded serving layer. Under the `storm` buggify preset, whole shards
+//! suffer correlated crash bursts — every attempt routed to a storming
+//! shard fails 3-in-4 — on top of the full `serve` fault set. The
+//! cluster must reroute around the dead shards, keep the replicated
+//! quarantine view coherent, and answer **every query in a 1000-query
+//! batch exactly once, bit-identical to a fault-free single-shard run**.
+//!
+//! The storm seed is fixed (0x2 storms shards 0 and 2 of 4, verified by
+//! `the_chosen_seed_storms_multiple_shards`): a failure replays exactly.
+
+use besst_serve::protocol::render_response;
+use besst_serve::query::ScenarioQuery;
+use besst_serve::{json, Chaos, ClusterConfig, ServeConfig, Server};
+use std::sync::Once;
+
+/// The pinned storm seed: shards 0 and 2 of a 4-shard cluster storm.
+const STORM_SEED: u64 = 0x2;
+
+/// Injected crashes and the poison app panic on purpose; see
+/// `tests/chaos.rs` for why the hook filter exists.
+fn quiet_expected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if msg.contains("buggify:") || msg.contains("poison") {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+fn query(text: &str) -> ScenarioQuery {
+    ScenarioQuery::from_value(&json::parse(text).expect("valid JSON")).expect("valid query")
+}
+
+/// The 1000-query acceptance batch: same shape as the `serve` gate —
+/// 16 distinct baselines, mixed modes, poison scenarios sprinkled in.
+fn acceptance_batch() -> Vec<ScenarioQuery> {
+    (0..1000u64)
+        .map(|i| {
+            if i % 97 == 0 {
+                query(&format!(r#"{{"id":{i},"app":"poison","seed":{i}}}"#))
+            } else {
+                let machine = if i % 2 == 0 { "quartz" } else { "vulcan" };
+                let steps = 10 + 10 * ((i / 2) % 2);
+                let ps = 5 + 5 * ((i / 4) % 2);
+                let mode = if i % 3 == 0 { "baseline" } else { "online" };
+                query(&format!(
+                    r#"{{"id":{i},"machine":"{machine}","steps":{steps},"problem_size":{ps},"ranks":8,"mode":"{mode}","seed":{i}}}"#
+                ))
+            }
+        })
+        .collect()
+}
+
+/// The poison subset, used as a warm-up so the acceptance batch probes
+/// quarantine fast-fails: each poison fingerprint exhausts retries once
+/// per warm-up run, and `quarantine_threshold = 2` warm-ups quarantine
+/// it — identically on both servers, because poison panics are organic.
+fn poison_warmup() -> Vec<ScenarioQuery> {
+    acceptance_batch()
+        .into_iter()
+        .filter(|q| q.app == besst_serve::query::AppKind::Poison)
+        .collect()
+}
+
+fn render_batch(server: &Server, queries: &[ScenarioQuery]) -> Vec<String> {
+    let resps = server.handle_batch(queries);
+    assert_eq!(resps.len(), queries.len(), "exactly one response per query");
+    for (q, r) in queries.iter().zip(&resps) {
+        assert_eq!(q.id, r.id, "responses stay in input order");
+    }
+    resps.iter().map(render_response).collect()
+}
+
+/// 4 shards, replication 3: with two storming shards, every replicated
+/// quarantine record keeps at least one non-storming holder, so the
+/// merged snapshot never loses a failure count mid-storm.
+fn storm_cluster() -> ClusterConfig {
+    ClusterConfig { replication: 3, ..ClusterConfig::sharded(4) }
+}
+
+#[test]
+fn the_chosen_seed_storms_multiple_shards() {
+    // Pin the seed's meaning: if the storm preset's probabilities or the
+    // decision keying ever change, this fails before the gate misleads.
+    let chaos = Chaos::storm(STORM_SEED);
+    let storming: Vec<u32> = (0..4u32).filter(|&s| chaos.shard_storms(s)).collect();
+    assert_eq!(storming, vec![0, 2], "seed {STORM_SEED:#x} must storm shards 0 and 2");
+}
+
+#[test]
+fn storm_batch_is_bit_identical_to_fault_free_single_shard() {
+    quiet_expected_panics();
+    let warmup = poison_warmup();
+    let queries = acceptance_batch();
+
+    // Canonical run: one shard, no chaos — the classic server.
+    let fault_free = Server::new(ServeConfig::default()).expect("pool starts");
+    render_batch(&fault_free, &warmup);
+    render_batch(&fault_free, &warmup);
+    let clean = render_batch(&fault_free, &queries);
+
+    // Storm run: 4 shards, replication 3, whole-shard crash bursts.
+    let cfg = ServeConfig {
+        cluster: storm_cluster(),
+        chaos: Some(Chaos::storm(STORM_SEED)),
+        ..ServeConfig::default()
+    };
+    let stormy_server = Server::new(cfg).expect("pool starts");
+    render_batch(&stormy_server, &warmup);
+    render_batch(&stormy_server, &warmup);
+    let stormy = render_batch(&stormy_server, &queries);
+
+    for (i, (a, b)) in clean.iter().zip(&stormy).enumerate() {
+        assert_eq!(a, b, "query {i}: the storm changed the answer");
+    }
+
+    // The quarantine layer was actually probed: poison fingerprints
+    // fast-fail identically on both servers.
+    let quarantined = clean.iter().filter(|l| l.contains("\"kind\":\"quarantined\"")).count();
+    assert!(quarantined > 0, "warm-up must quarantine the poison fingerprints");
+
+    // And the storm actually raged: shard crashes were injected, the
+    // failure detector declared deaths, routing failed over, and the
+    // non-shard fault sites kept firing underneath.
+    let injected = stormy_server.chaos_stats();
+    assert!(injected.shard_crashes > 0, "{injected:?}");
+    assert!(injected.worker_crashes > 0, "{injected:?}");
+    let cluster = stormy_server.cluster_stats();
+    assert!(cluster.deaths >= 1, "a storming shard must die: {cluster:?}");
+    assert!(cluster.failovers > 0, "dead shards must be routed around: {cluster:?}");
+    assert!(cluster.shard_failures > 0, "{cluster:?}");
+    let stats = stormy_server.stats();
+    assert_eq!(stats.received, 1000 + 2 * warmup.len() as u64);
+}
+
+#[test]
+fn storm_runs_replay_exactly_from_their_seed() {
+    quiet_expected_panics();
+    let queries: Vec<ScenarioQuery> = acceptance_batch().into_iter().take(300).collect();
+    let run = || {
+        let cfg = ServeConfig {
+            cluster: storm_cluster(),
+            chaos: Some(Chaos::storm(STORM_SEED)),
+            ..ServeConfig::default()
+        };
+        let s = Server::new(cfg).expect("pool starts");
+        let lines = render_batch(&s, &queries);
+        (lines, s.chaos_stats().shard_crashes, s.cluster_stats().deaths)
+    };
+    let (lines_a, crashes_a, deaths_a) = run();
+    let (lines_b, crashes_b, deaths_b) = run();
+    assert_eq!(lines_a, lines_b, "same seed, same responses");
+    assert_eq!(crashes_a, crashes_b, "shard-crash decisions are keyed, not raced");
+    assert_eq!(deaths_a, deaths_b, "the detector's verdicts replay");
+}
+
+#[test]
+fn dead_shards_rejoin_and_resync_under_sustained_load() {
+    quiet_expected_panics();
+    // A smaller rejoin_after than the default so the probation cycle
+    // (dead → rejoin → resync → die again while the storm lasts) turns
+    // over several times within one batch.
+    let cfg = ServeConfig {
+        cluster: ClusterConfig { rejoin_after: 16, ..storm_cluster() },
+        chaos: Some(Chaos::storm(STORM_SEED)),
+        ..ServeConfig::default()
+    };
+    let server = Server::new(cfg).expect("pool starts");
+    let queries = acceptance_batch();
+    render_batch(&server, &queries);
+    let cluster = server.cluster_stats();
+    assert!(cluster.deaths >= 2, "{cluster:?}");
+    assert!(cluster.rejoins >= 1, "dead shards must come back on probation: {cluster:?}");
+    assert!(
+        cluster.deaths > cluster.rejoins.saturating_sub(1),
+        "a rejoined shard that keeps storming must die again: {cluster:?}"
+    );
+}

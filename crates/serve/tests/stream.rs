@@ -1,0 +1,160 @@
+//! Streaming-mode acceptance: a batch served under `{"mode":"stream"}`
+//! flushes responses in completion order, each tagged with the `idx` of
+//! the query line it answers — and sorting by `idx` then stripping the
+//! tags must reproduce the ordered-mode output **byte for byte**, fault
+//! free or mid-storm. Streaming changes latency shape, never answers.
+
+use besst_serve::net::serve_lines;
+use besst_serve::{Chaos, ClusterConfig, ServeConfig, Server};
+use std::collections::BTreeMap;
+use std::sync::Once;
+
+fn quiet_expected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if msg.contains("buggify:") || msg.contains("poison") {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+/// A mixed 200-line batch body (no header): valid queries over all the
+/// baseline knobs plus a malformed line every 40th position, so the
+/// reassembly proof covers rejections too. Query ids start at 1 —
+/// rejected lines all render `id: 0`, which must stay distinct.
+fn batch_body() -> String {
+    (0..200u64)
+        .map(|i| {
+            if i % 40 == 13 {
+                "definitely not json\n".to_string()
+            } else {
+                let id = i + 1;
+                let machine = if i % 2 == 0 { "quartz" } else { "vulcan" };
+                let steps = 10 + 10 * ((i / 2) % 2);
+                let mode = if i % 3 == 0 { "baseline" } else { "online" };
+                format!(
+                    "{{\"id\":{id},\"machine\":\"{machine}\",\"steps\":{steps},\"ranks\":8,\"mode\":\"{mode}\",\"seed\":{i}}}\n"
+                )
+            }
+        })
+        .collect()
+}
+
+/// Pull the `idx` field out of a streamed response line and return the
+/// line with the tag stripped (canonical rendering always puts a field
+/// after `idx`, so the tag owns its trailing comma).
+fn split_idx(line: &str) -> (u64, String) {
+    let tag_at = line.find("\"idx\":").expect("streamed lines carry idx");
+    let after = &line[tag_at + 6..];
+    let end = after.find(',').expect("idx is never the last field");
+    let idx: u64 = after[..end].parse().expect("idx is a number");
+    let stripped = format!("{}{}", &line[..tag_at], &after[end + 1..]);
+    (idx, stripped)
+}
+
+fn serve(server: &Server, input: &str, conn: u64) -> Vec<String> {
+    let mut out: Vec<u8> = Vec::new();
+    serve_lines(server, input.as_bytes(), &mut out, conn).expect("serves");
+    String::from_utf8(out).expect("utf8").trim_end().lines().map(str::to_string).collect()
+}
+
+#[test]
+fn sorted_stream_output_reproduces_ordered_output_byte_for_byte() {
+    let server = Server::new(ServeConfig::default()).expect("pool starts");
+    let body = batch_body();
+
+    let ordered = serve(&server, &format!("{body}\n"), 1);
+    let streamed = serve(&server, &format!("{{\"mode\":\"stream\",\"v\":2}}\n{body}\n"), 2);
+    assert_eq!(ordered.len(), streamed.len(), "exactly one line per query line either way");
+
+    let mut reassembled: Vec<(u64, String)> = streamed.iter().map(|l| split_idx(l)).collect();
+    reassembled.sort_by_key(|&(idx, _)| idx);
+    for (expect_idx, (pos, _)) in reassembled.iter().enumerate() {
+        assert_eq!(*pos, expect_idx as u64, "every query line answered exactly once");
+    }
+    let reassembled: Vec<String> = reassembled.into_iter().map(|(_, line)| line).collect();
+    assert_eq!(reassembled, ordered, "reassembled stream must equal ordered mode exactly");
+}
+
+/// The stream-mode wire game under the full storm preset: shard crash
+/// bursts plus dropped response lines and duplicated query lines. The
+/// client resubmits ids it did not hear about; every line it *does*
+/// hear must strip down to the fault-free ordered-mode answer for the
+/// query at that round's `idx`.
+#[test]
+fn storm_streamed_lines_reassemble_to_fault_free_answers() {
+    quiet_expected_panics();
+    let body = batch_body();
+    let fault_free = Server::new(ServeConfig::default()).expect("pool starts");
+    let canonical = serve(&fault_free, &format!("{body}\n"), 1);
+    // Canonical answer per *id* for resubmission bookkeeping (malformed
+    // lines all render id 0, identically, so collapsing them is safe).
+    let canonical_by_id: BTreeMap<u64, String> =
+        canonical.iter().map(|l| (extract_id(l), l.clone())).collect();
+
+    let cfg = ServeConfig {
+        cluster: ClusterConfig { replication: 3, ..ClusterConfig::sharded(4) },
+        chaos: Some(Chaos::storm(0x2)),
+        ..ServeConfig::default()
+    };
+    let server = Server::new(cfg).expect("pool starts");
+
+    let lines: Vec<&str> = body.lines().collect();
+    let mut pending: Vec<usize> = (0..lines.len()).collect();
+    let mut saw_reorder = false;
+    let mut heard = vec![0u32; lines.len()];
+    for round in 0..32u64 {
+        if pending.is_empty() {
+            break;
+        }
+        let input = format!(
+            "{{\"mode\":\"stream\"}}\n{}\n",
+            pending.iter().map(|&i| format!("{}\n", lines[i])).collect::<String>()
+        );
+        let out = serve(&server, &input, round);
+        let mut answered: Vec<usize> = Vec::new();
+        for (arrival, line) in out.iter().enumerate() {
+            let (idx, stripped) = split_idx(line);
+            let original = pending[usize::try_from(idx).expect("idx fits")];
+            assert_eq!(
+                canonical_by_id[&extract_id(&stripped)],
+                stripped,
+                "round {round}: a heard line must be bit-identical to fault-free"
+            );
+            assert_eq!(
+                extract_id(&stripped),
+                extract_id(&canonical[original]),
+                "round {round}: idx {idx} must answer the query submitted at that position"
+            );
+            saw_reorder |= arrival as u64 != idx;
+            heard[original] += 1;
+            answered.push(original);
+        }
+        answered.sort_unstable();
+        answered.dedup();
+        pending.retain(|i| !answered.contains(i));
+    }
+    assert!(pending.is_empty(), "resubmission never converged");
+    assert!(heard.iter().all(|&h| h >= 1), "every query line answered at least once");
+    assert!(saw_reorder, "the stream must actually complete out of order");
+    assert!(server.chaos_stats().shard_crashes > 0, "the storm must actually fire");
+    assert!(server.cluster_stats().failovers > 0, "routing must actually fail over");
+}
+
+fn extract_id(line: &str) -> u64 {
+    line.split("\"id\":")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next())
+        .and_then(|n| n.parse().ok())
+        .expect("every response line carries an id")
+}

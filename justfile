@@ -57,6 +57,14 @@ serve-smoke:
     printf '{"id":1,"steps":20,"ranks":8}\n{"id":2,"mode":"baseline"}\n\n' | cargo run --release --bin besst -- serve
     printf '{"id":1,"steps":20,"ranks":8}\n{"id":2,"mode":"baseline"}\n\n' | cargo run --release --bin besst -- serve --chaos 190
 
+# Storm survival: the sharded-cluster suites (ring properties, streaming
+# reassembly, the crash-storm chaos gate), then the `besst serve` binary
+# sharded 4 ways under the `storm` preset — whole shards die mid-batch
+# and every answer must still land exactly once. See docs/SCENARIO_SERVER.md.
+serve-storm:
+    cargo test -p besst-serve --test ring_properties --test stream --test storm
+    printf '{"mode":"stream","v":2}\n{"id":1,"steps":20,"ranks":8}\n{"id":2,"mode":"baseline"}\n\n' | cargo run --release --bin besst -- serve --shards 4 --replication 3 --storm 2
+
 # Markdown link checker: every relative link and docs/*.md cross-reference
 # in README.md, DESIGN.md and docs/ must resolve. See docs/README.md.
 doc-links:
@@ -96,7 +104,7 @@ bench:
 # Pinned-seed benchmark report (results/BENCH_*.json). Regenerates the
 # committed numbers; run on a quiet machine. See docs/PERFORMANCE.md.
 bench-json:
-    cargo run --release -p xtask -- bench-json --out results/BENCH_0007.json
+    cargo run --release -p xtask -- bench-json --out results/BENCH_0009.json
 
 # Seconds-scale benchmark smoke: the miniature bench-json configuration
 # (schema + determinism gates) plus the scheduler equivalence suite.

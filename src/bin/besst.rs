@@ -19,6 +19,12 @@ Options:
   --tcp ADDR          listen on ADDR (e.g. 127.0.0.1:7077) instead of stdio
   --max-conns N       with --tcp: exit after N connections (default: forever)
   --chaos SEED        enable the `serve` buggify preset, keyed by SEED
+  --storm SEED        enable the harsher `storm` preset (whole-shard
+                      crash bursts on top of `serve`), keyed by SEED
+  --shards N          shard the server N ways on a consistent-hash ring
+                      (default 1: the classic single-shard server)
+  --replication N     quarantine/cache owners per key (default: 2 when
+                      sharded, clamped to the shard count)
   --workers N         rayon worker threads (default: all cores)
   --queue N           admission queue bound per batch (default 4096)
   --cache N           baseline cache capacity, entries (default 64)
@@ -49,6 +55,7 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     let mut cfg = ServeConfig::default();
     let mut tcp: Option<String> = None;
     let mut max_conns: Option<u64> = None;
+    let mut replication: Option<u32> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut num = |name: &str| -> Result<u64, String> {
@@ -68,6 +75,32 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             },
             "--chaos" => match num("--chaos") {
                 Ok(seed) => cfg.chaos = Some(Chaos::new(seed)),
+                Err(e) => return fail(&e),
+            },
+            "--storm" => match num("--storm") {
+                Ok(seed) => cfg.chaos = Some(Chaos::storm(seed)),
+                Err(e) => return fail(&e),
+            },
+            "--shards" => match num("--shards") {
+                Ok(n) if n >= 1 && n <= 1024 => {
+                    // Preserve an earlier --replication override; only
+                    // the topology changes.
+                    let replication = replication.unwrap_or(2.min(n as u32));
+                    cfg.cluster = besst::serve::ClusterConfig {
+                        shards: n as u32,
+                        replication,
+                        ..cfg.cluster
+                    };
+                }
+                Ok(_) => return fail("--shards must be in 1..=1024"),
+                Err(e) => return fail(&e),
+            },
+            "--replication" => match num("--replication") {
+                Ok(n) if n >= 1 => {
+                    replication = Some(n as u32);
+                    cfg.cluster.replication = n as u32;
+                }
+                Ok(_) => return fail("--replication must be at least 1"),
                 Err(e) => return fail(&e),
             },
             "--workers" => match num("--workers") {
@@ -153,15 +186,31 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         "besst serve: cache {} hits / {} misses, {} corruptions, {} evictions",
         cache.hits, cache.misses, cache.corruptions, cache.evictions
     );
+    if server.config().cluster.shards > 1 {
+        let cluster = server.cluster_stats();
+        eprintln!(
+            "besst serve: cluster {} shards x{} replication, {} alive, {} deaths, \
+             {} rejoins, {} failovers, {} resynced keys",
+            cluster.shards,
+            cluster.replication,
+            cluster.alive,
+            cluster.deaths,
+            cluster.rejoins,
+            cluster.failovers,
+            cluster.resynced_keys
+        );
+    }
     if server.config().chaos.is_some() {
         let chaos = server.chaos_stats();
         eprintln!(
-            "besst serve: chaos {} crashes, {} delays, {} dropped, {} duplicated, {} corrupted",
+            "besst serve: chaos {} crashes, {} delays, {} dropped, {} duplicated, \
+             {} corrupted, {} shard crashes",
             chaos.worker_crashes,
             chaos.worker_delays,
             chaos.dropped_responses,
             chaos.duplicated_queries,
-            chaos.cache_corruptions
+            chaos.cache_corruptions,
+            chaos.shard_crashes
         );
     }
 

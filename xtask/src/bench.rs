@@ -6,9 +6,11 @@
 //! reference, online fail-stop + SDC replay, LULESH overlay sweep) plus
 //! the scenario server (batch throughput, shed rate, cache hit rate,
 //! cold-vs-warm cached-baseline speedup, chaos injection profile) and
-//! emits a machine-readable JSON report — `results/BENCH_0007.json` in
-//! the tree is a committed run of `BenchParams::full()` in release mode
-//! (`results/BENCH_0005.json` is the pre-serve predecessor).
+//! the shard cluster (queries/sec at 1/2/4 shards, a storm failover run
+//! with zero lost or duplicated answers) and emits a machine-readable
+//! JSON report — `results/BENCH_0009.json` in the tree is a committed
+//! run of `BenchParams::full()` in release mode (`results/BENCH_0007.json`
+//! and `results/BENCH_0005.json` are earlier schema generations).
 //!
 //! JSON is emitted by hand because serde_json is stubbed in the offline
 //! build environments this repo targets (docs/OFFLINE_BUILDS.md). The
@@ -26,7 +28,7 @@ use besst_core::sim::EngineKind;
 use besst_des::prelude::*;
 use besst_fti::{FtiConfig, GroupLayout};
 use besst_serve::query::ScenarioQuery;
-use besst_serve::{json, Chaos, ServeConfig, Server};
+use besst_serve::{json, Chaos, ClusterConfig, ServeConfig, Server};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -205,9 +207,9 @@ fn serve_query(p: &BenchParams, baseline: usize, i: usize) -> ScenarioQuery {
     ScenarioQuery::from_value(&json::parse(&text).expect("valid JSON")).expect("valid query")
 }
 
-fn measure_serve(p: &BenchParams) -> ServeMeasurement {
-    // The bench exercises the chaos path below, which panics on purpose;
-    // keep the injected panics out of the report stream.
+/// The serve and cluster measurements exercise chaos paths that panic
+/// on purpose; keep the injected panics out of the report stream.
+fn quiet_buggify_panics() {
     static HOOK: std::sync::Once = std::sync::Once::new();
     HOOK.call_once(|| {
         let default = std::panic::take_hook();
@@ -223,6 +225,10 @@ fn measure_serve(p: &BenchParams) -> ServeMeasurement {
             }
         }));
     });
+}
+
+fn measure_serve(p: &BenchParams) -> ServeMeasurement {
+    quiet_buggify_panics();
 
     let baselines = p.serve_baselines.max(1);
     let server = Server::new(ServeConfig {
@@ -295,6 +301,107 @@ fn measure_serve(p: &BenchParams) -> ServeMeasurement {
     }
 }
 
+/// The storm seed for the failover run: pinned independently of
+/// `BenchParams::seed` because its *meaning* is pinned — shards 0 and 2
+/// of the 4-shard cluster storm under it (the gate in
+/// `crates/serve/tests/storm.rs` asserts exactly that).
+const FAILOVER_STORM_SEED: u64 = 0x2;
+const FAILOVER_SHARDS: u32 = 4;
+const FAILOVER_REPLICATION: u32 = 3;
+
+struct ClusterMeasurement {
+    /// `(shards, wall_s, queries_per_sec)` for the warm scaling sweep.
+    scaling: Vec<(u32, f64, f64)>,
+    failover_wall_s: f64,
+    failover_qps: f64,
+    deaths: u64,
+    rejoins: u64,
+    failovers: u64,
+    shard_crashes: u64,
+    /// Queries the storm run lost, answered twice, or answered with a
+    /// line differing from the fault-free single-shard run. All three
+    /// must be zero — the bench asserts it, the report records it.
+    lost: u64,
+    duplicated: u64,
+    mismatched: u64,
+}
+
+fn measure_cluster(p: &BenchParams) -> ClusterMeasurement {
+    quiet_buggify_panics();
+    let baselines = p.serve_baselines.max(1);
+    let batch: Vec<ScenarioQuery> =
+        (0..p.serve_queries).map(|i| serve_query(p, i % baselines, i)).collect();
+
+    // Scaling sweep: the same warm batch at 1, 2, and 4 shards. Each
+    // shard count gets a fresh server; the first (untimed) run warms the
+    // per-shard caches so the sweep compares steady-state routing cost,
+    // not cold-cache noise.
+    let mut scaling = Vec::new();
+    let mut canonical: Vec<String> = Vec::new();
+    for shards in [1u32, 2, 4] {
+        let server = Server::new(ServeConfig {
+            queue_capacity: p.serve_queries.max(1),
+            cluster: ClusterConfig::sharded(shards),
+            ..ServeConfig::default()
+        })
+        .expect("pool starts"); // lint: allow(panic-path) -- no worker pool means no benchmark; abort loudly
+        server.handle_batch(&batch);
+        let start = Instant::now();
+        let resps = server.handle_batch(&batch);
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(resps.len(), batch.len(), "exactly one response per query");
+        if shards == 1 {
+            canonical = resps.iter().map(besst_serve::protocol::render_response).collect();
+        }
+        scaling.push((shards, wall, batch.len() as f64 / wall.max(1e-12)));
+    }
+
+    // Failover run: the full storm preset against the sharded cluster.
+    // Shards 0 and 2 die and rejoin mid-batch; every query must still be
+    // answered exactly once, bit-identical to the single-shard run.
+    let stormy = Server::new(ServeConfig {
+        queue_capacity: p.serve_queries.max(1),
+        cluster: ClusterConfig {
+            replication: FAILOVER_REPLICATION,
+            ..ClusterConfig::sharded(FAILOVER_SHARDS)
+        },
+        chaos: Some(Chaos::storm(FAILOVER_STORM_SEED)),
+        ..ServeConfig::default()
+    })
+    .expect("pool starts"); // lint: allow(panic-path) -- no worker pool means no benchmark; abort loudly
+    let start = Instant::now();
+    let resps = stormy.handle_batch(&batch);
+    let failover_wall_s = start.elapsed().as_secs_f64();
+
+    let lost = batch.len().saturating_sub(resps.len()) as u64;
+    let duplicated = resps.len().saturating_sub(batch.len()) as u64;
+    let mismatched = resps
+        .iter()
+        .map(besst_serve::protocol::render_response)
+        .zip(&canonical)
+        .filter(|(storm, clean)| &storm != clean)
+        .count() as u64;
+    assert_eq!(
+        (lost, duplicated, mismatched),
+        (0, 0, 0),
+        "the failover run lost, duplicated, or changed answers"
+    );
+
+    let cluster = stormy.cluster_stats();
+    ClusterMeasurement {
+        scaling,
+        failover_wall_s,
+        failover_qps: batch.len() as f64 / failover_wall_s.max(1e-12),
+        deaths: cluster.deaths,
+        rejoins: cluster.rejoins,
+        failovers: cluster.failovers,
+        shard_crashes: stormy.chaos_stats().shard_crashes,
+        lost,
+        duplicated,
+        mismatched,
+    }
+}
+
 fn json_f(x: f64) -> String {
     // Hand-rolled float formatting: finite, plain decimal/exponent forms
     // only (JSON has no NaN/Infinity).
@@ -353,6 +460,21 @@ pub fn run(p: &BenchParams) -> String {
     // ── Scenario server: throughput, shedding, cache, chaos profile ──
     let serve = measure_serve(p);
 
+    // ── Shard cluster: scaling sweep + storm failover run ────────────
+    let cluster = measure_cluster(p);
+    let scaling_cells = cluster
+        .scaling
+        .iter()
+        .map(|&(shards, wall, qps)| {
+            format!(
+                "{{ \"shards\": {shards}, \"wall_s\": {}, \"queries_per_sec\": {} }}",
+                json_f(wall),
+                json_f(qps)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+
     let total_wall = run_start.elapsed().as_secs_f64();
     let total_allocs = allocations_now() - alloc_start;
     let total_events = 2 * engine_events + crash.fault_events_total + sdc.fault_events_total;
@@ -389,8 +511,8 @@ pub fn run(p: &BenchParams) -> String {
 
     format!(
         "{{\n\
-         \u{20} \"schema\": \"besst-bench-json-v2\",\n\
-         \u{20} \"bench_id\": \"BENCH_0007\",\n\
+         \u{20} \"schema\": \"besst-bench-json-v3\",\n\
+         \u{20} \"bench_id\": \"BENCH_0009\",\n\
          \u{20} \"seed\": {seed},\n\
          \u{20} \"engine\": {{\n\
          \u{20}   \"workload\": \"churn\",\n\
@@ -438,6 +560,24 @@ pub fn run(p: &BenchParams) -> String {
          \u{20}     \"cache_corruptions\": {serve_corruptions}\n\
          \u{20}   }}\n\
          \u{20} }},\n\
+         \u{20} \"serve_cluster\": {{\n\
+         \u{20}   \"queries\": {serve_queries},\n\
+         \u{20}   \"scaling\": [{scaling_cells}],\n\
+         \u{20}   \"failover\": {{\n\
+         \u{20}     \"shards\": {failover_shards},\n\
+         \u{20}     \"replication\": {failover_replication},\n\
+         \u{20}     \"storm_seed\": {failover_storm_seed},\n\
+         \u{20}     \"wall_s\": {failover_wall},\n\
+         \u{20}     \"queries_per_sec\": {failover_qps},\n\
+         \u{20}     \"deaths\": {failover_deaths},\n\
+         \u{20}     \"rejoins\": {failover_rejoins},\n\
+         \u{20}     \"failovers\": {failover_failovers},\n\
+         \u{20}     \"shard_crashes\": {failover_shard_crashes},\n\
+         \u{20}     \"lost\": {failover_lost},\n\
+         \u{20}     \"duplicated\": {failover_duplicated},\n\
+         \u{20}     \"mismatched\": {failover_mismatched}\n\
+         \u{20}   }}\n\
+         \u{20} }},\n\
          \u{20} \"totals\": {{\n\
          \u{20}   \"wall_s\": {total_wall},\n\
          \u{20}   \"events_total\": {total_events},\n\
@@ -480,6 +620,19 @@ pub fn run(p: &BenchParams) -> String {
         serve_crashes = serve.chaos.worker_crashes,
         serve_delays = serve.chaos.worker_delays,
         serve_corruptions = serve.chaos.cache_corruptions,
+        scaling_cells = scaling_cells,
+        failover_shards = FAILOVER_SHARDS,
+        failover_replication = FAILOVER_REPLICATION,
+        failover_storm_seed = FAILOVER_STORM_SEED,
+        failover_wall = json_f(cluster.failover_wall_s),
+        failover_qps = json_f(cluster.failover_qps),
+        failover_deaths = cluster.deaths,
+        failover_rejoins = cluster.rejoins,
+        failover_failovers = cluster.failovers,
+        failover_shard_crashes = cluster.shard_crashes,
+        failover_lost = cluster.lost,
+        failover_duplicated = cluster.duplicated,
+        failover_mismatched = cluster.mismatched,
         total_wall = json_f(total_wall),
         total_events = total_events,
         total_allocs = total_allocs,

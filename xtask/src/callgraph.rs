@@ -911,12 +911,13 @@ mod tests {
         let c = ctx("besst-des", CrateKind::Lib, "crates/des/src/buggify.rs");
         let facts = scan_file(&c, &lines);
         let cat = parse_site_catalog(&lines, &facts);
-        assert_eq!(cat.consts.len(), 8, "{:?}", cat.consts);
-        assert_eq!(cat.registered.len(), 8, "every const registered in ALL");
+        assert_eq!(cat.consts.len(), 9, "{:?}", cat.consts);
+        assert_eq!(cat.registered.len(), 9, "every const registered in ALL");
         assert!(cat.unknown_registered.is_empty());
         // NODE_REPAIR has no probability arm — it rides on NODE_CRASH.
-        assert_eq!(cat.prob_field.len(), 7, "{:?}", cat.prob_field);
+        assert_eq!(cat.prob_field.len(), 8, "{:?}", cat.prob_field);
         assert!(!cat.prob_field.contains_key("NODE_REPAIR"));
+        assert!(cat.prob_field.contains_key("SHARD_CRASH"), "{:?}", cat.prob_field);
         // The chaos preset covers link faults.
         let chaos = cat.preset_fields.get("chaos").expect("chaos preset parsed");
         assert!(chaos.contains("link_drop_p"), "{chaos:?}");

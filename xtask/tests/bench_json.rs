@@ -2,7 +2,7 @@
 //! configuration in-process and validates the report's shape — every
 //! section and leaf field present, rates strictly positive, totals at
 //! least the sum of their parts. Keeps the committed
-//! `results/BENCH_0007.json` regenerable without a JSON parser dependency
+//! `results/BENCH_0009.json` regenerable without a JSON parser dependency
 //! (serde_json is stubbed in this repo's offline builds).
 
 use xtask::bench::{json_number, run, BenchParams};
@@ -16,16 +16,29 @@ fn miniature_report_has_the_full_schema() {
     let report = run(&BenchParams::miniature());
 
     // Structural markers: every section object must be present.
-    for section in
-        ["\"engine\":", "\"online_replay\":", "\"overlay_sweep\":", "\"serve\":", "\"totals\":"]
-    {
+    for section in [
+        "\"engine\":",
+        "\"online_replay\":",
+        "\"overlay_sweep\":",
+        "\"serve\":",
+        "\"serve_cluster\":",
+        "\"totals\":",
+    ] {
         assert!(report.contains(section), "missing section {section} in:\n{report}");
     }
-    for leaf in ["\"scheduler\":", "\"reference\":", "\"fail_stop\":", "\"sdc\":", "\"chaos\":"] {
+    for leaf in [
+        "\"scheduler\":",
+        "\"reference\":",
+        "\"fail_stop\":",
+        "\"sdc\":",
+        "\"chaos\":",
+        "\"scaling\":",
+        "\"failover\":",
+    ] {
         assert!(report.contains(leaf), "missing leaf {leaf} in:\n{report}");
     }
-    assert!(report.contains("\"schema\": \"besst-bench-json-v2\""), "schema tag missing");
-    assert!(report.contains("\"bench_id\": \"BENCH_0007\""), "bench id missing");
+    assert!(report.contains("\"schema\": \"besst-bench-json-v3\""), "schema tag missing");
+    assert!(report.contains("\"bench_id\": \"BENCH_0009\""), "bench id missing");
 
     // Every measured field must parse as a number.
     for key in [
@@ -61,6 +74,15 @@ fn miniature_report_has_the_full_schema() {
         "worker_crashes",
         "worker_delays",
         "cache_corruptions",
+        "shards",
+        "storm_seed",
+        "deaths",
+        "rejoins",
+        "failovers",
+        "shard_crashes",
+        "lost",
+        "duplicated",
+        "mismatched",
     ] {
         field(&report, key);
     }
@@ -85,6 +107,14 @@ fn miniature_report_rates_are_positive_and_consistent() {
     // The chaos batch answers every query and really injected faults.
     assert_eq!(field(&report, "ok") as usize, p.serve_queries, "chaos batch answers everything");
     assert!(field(&report, "panics_caught") > 0.0, "chaos must exercise the isolation layer");
+    // The failover run is exactly-once by construction: zero lost, zero
+    // duplicated, zero answers differing from the single-shard run.
+    let failover_at = report.find("\"failover\"").expect("failover section");
+    let failover = &report[failover_at..];
+    for key in ["lost", "duplicated", "mismatched"] {
+        assert_eq!(field(failover, key), 0.0, "failover run must be exactly-once ({key})");
+    }
+    assert!(field(failover, "queries_per_sec") > 0.0, "failover throughput must be positive");
 
     // The engine section's event count is exactly the workload's.
     let expected =

@@ -261,7 +261,7 @@ fn stale_allow_fixture() {
 fn fault_site_catalog_is_fully_covered() {
     let root = find_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
     let analysis = xtask::analyze_workspace(&root).expect("linter ran");
-    assert_eq!(analysis.sites.len(), 8, "eight fault sites: {:#?}", analysis.sites);
+    assert_eq!(analysis.sites.len(), 9, "nine fault sites: {:#?}", analysis.sites);
     for s in &analysis.sites {
         assert!(s.registered, "`{}` must be in `sites::ALL`", s.name);
         if s.name == "NODE_REPAIR" {
