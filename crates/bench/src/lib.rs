@@ -164,6 +164,208 @@ pub fn churn_total_events(components: usize, backlog: usize, hops: u32) -> u64 {
     (components * backlog) as u64 * (hops as u64 + 1)
 }
 
+// ── Full-machine substrate workloads (Corten scale) ─────────────────────
+//
+// One flat-storage component per node (or core), wired along the machine's
+// real interconnect shape. These are the million-component weak-scaling
+// workloads behind `results/BENCH_0011.json`: a shared `RelayModel` +
+// contiguous per-slot state keeps bytes-per-component flat from 64k out to
+// 1M+ components, and each component carries only constant-space streaming
+// statistics (Welford), never a delivery history.
+
+use besst_machine::testbed::Machine;
+use besst_topology::fattree::FatTree;
+use besst_topology::torus::Torus;
+use besst_topology::{NodeId, Topology as _};
+
+/// Per-slot state of the full-machine relay: a delivery counter plus a
+/// constant-space inter-arrival accumulator.
+#[derive(Debug, Default, Clone)]
+pub struct RelayState {
+    /// Deliveries observed at this component.
+    pub seen: u64,
+    /// Streaming inter-arrival statistics (Welford — no sample history).
+    pub inter_arrival: ScalarStat,
+    last_ns: u64,
+}
+
+/// The shared flat model: record the delivery, then forward the remaining
+/// hop budget on a payload-selected output port.
+pub struct RelayModel {
+    fanout: u16,
+}
+
+impl RelayModel {
+    /// A relay whose every slot has `fanout` wired output ports.
+    pub fn new(fanout: u16) -> Self {
+        assert!(fanout > 0, "relay needs at least one output port");
+        RelayModel { fanout }
+    }
+}
+
+impl FlatModel<u64> for RelayModel {
+    type State = RelayState;
+
+    fn name(&self) -> &str {
+        "relay"
+    }
+
+    fn on_event(&self, st: &mut RelayState, ev: Event<u64>, ctx: &mut Ctx<'_, u64>) {
+        st.seen += 1;
+        let now = ev.time.as_nanos();
+        if st.seen > 1 {
+            st.inter_arrival.record((now - st.last_ns) as f64);
+        }
+        st.last_ns = now;
+        if ev.payload > 0 {
+            let port = PortId((ev.payload % self.fanout as u64) as u16);
+            ctx.send(port, ev.payload - 1);
+        }
+    }
+}
+
+/// One component per torus node, wired to every wrap-around neighbor (the
+/// Vulcan / Corten fabric shape). Port `p` of node `i` goes to
+/// `neighbors(i)[p]`; latencies are per-port so traffic spreads across
+/// instants.
+pub fn torus_substrate_builder(t: &Torus) -> EngineBuilder<u64, SoaStore<u64, RelayModel>> {
+    let n = t.n_nodes();
+    let degree = t.degree();
+    assert!(degree > 0, "degenerate torus has no links");
+    let mut b = EngineBuilder::new_flat_with_capacity(RelayModel::new(degree as u16), n);
+    for _ in 0..n {
+        b.add_state(RelayState::default());
+    }
+    for i in 0..n {
+        for (p, nb) in t.neighbors(NodeId(i)).into_iter().enumerate() {
+            b.connect(
+                ComponentId(i as u32),
+                PortId(p as u16),
+                ComponentId(nb.0 as u32),
+                PortId(0),
+                SimTime::from_nanos(40 + 10 * p as u64),
+            );
+        }
+    }
+    b
+}
+
+/// One component per *core* on a torus machine (Vulcan: 24,576 nodes ×
+/// 16 cores = 393,216 components). Core `c` of node `i` is component
+/// `i * cores + c` and wires to core `c` of every torus neighbor — the
+/// cores form `cores` independent tori sharing the fabric shape.
+pub fn torus_cores_substrate_builder(
+    t: &Torus,
+    cores: usize,
+) -> EngineBuilder<u64, SoaStore<u64, RelayModel>> {
+    let n = t.n_nodes() * cores;
+    let degree = t.degree();
+    assert!(degree > 0 && cores > 0, "degenerate core torus");
+    let mut b = EngineBuilder::new_flat_with_capacity(RelayModel::new(degree as u16), n);
+    for _ in 0..n {
+        b.add_state(RelayState::default());
+    }
+    for i in 0..t.n_nodes() {
+        let nbs = t.neighbors(NodeId(i));
+        for c in 0..cores {
+            let src = ComponentId((i * cores + c) as u32);
+            for (p, nb) in nbs.iter().enumerate() {
+                b.connect(
+                    src,
+                    PortId(p as u16),
+                    ComponentId((nb.0 * cores + c) as u32),
+                    PortId(0),
+                    SimTime::from_nanos(40 + 10 * p as u64),
+                );
+            }
+        }
+    }
+    b
+}
+
+/// One component per fat-tree node (the Quartz shape at its full 2,988
+/// nodes). Port 0 rings within the leaf (2-hop traffic); port 1 jumps to
+/// the same offset in the next leaf (4-hop, crosses the core stage).
+/// Latency is hop-proportional.
+pub fn fattree_substrate_builder(
+    ft: &FatTree,
+    populated: usize,
+) -> EngineBuilder<u64, SoaStore<u64, RelayModel>> {
+    assert!(populated >= 2 && populated <= ft.n_nodes(), "population outside fabric");
+    let per_hop = 120u64;
+    let mut b = EngineBuilder::new_flat_with_capacity(RelayModel::new(2), populated);
+    for _ in 0..populated {
+        b.add_state(RelayState::default());
+    }
+    let npl = ft.nodes_per_leaf();
+    for i in 0..populated {
+        let leaf = i / npl;
+        let leaf_base = leaf * npl;
+        let leaf_pop = npl.min(populated - leaf_base);
+        let ring = leaf_base + (i - leaf_base + 1) % leaf_pop;
+        let cross = (i + npl) % populated;
+        for (p, dst) in [(0u16, ring), (1u16, cross)] {
+            let hops = ft.hops(NodeId(i), NodeId(dst)).max(1) as u64;
+            b.connect(
+                ComponentId(i as u32),
+                PortId(p),
+                ComponentId(dst as u32),
+                PortId(0),
+                SimTime::from_nanos(per_hop * hops),
+            );
+        }
+    }
+    b
+}
+
+/// The full-machine builder for a preset [`Machine`]: one component per
+/// node on its real interconnect (use
+/// [`torus_cores_substrate_builder`] directly for per-core scale).
+pub fn machine_substrate_builder(m: &Machine) -> EngineBuilder<u64, SoaStore<u64, RelayModel>> {
+    match &m.interconnect {
+        besst_machine::testbed::Interconnect::Torus(t) => torus_substrate_builder(t),
+        besst_machine::testbed::Interconnect::FatTree(ft) => {
+            fattree_substrate_builder(ft, m.n_nodes)
+        }
+        other => {
+            let hint = other.topology().name().to_string();
+            unimplemented!("no substrate wiring for {hint}")
+        }
+    }
+}
+
+/// Inject `seeds` relay chains of `hops` hops at evenly spaced components.
+pub fn inject_relay_seeds<S: ComponentStore<u64>>(
+    engine: &mut Engine<u64, Scheduler<u64>, S>,
+    components: usize,
+    seeds: u64,
+    hops: u64,
+) {
+    for j in 0..seeds {
+        let target = ((j as u128 * components as u128) / seeds as u128) as u32;
+        engine.inject(SimTime::from_nanos(j % 97), ComponentId(target), PortId(0), hops, j);
+    }
+}
+
+/// Deliveries a full relay run produces: each chain delivers its seed event
+/// plus one per hop.
+pub fn relay_total_events(seeds: u64, hops: u64) -> u64 {
+    seeds * (hops + 1)
+}
+
+/// Merge every component's streaming statistics into one machine-wide
+/// accumulator — the cross-rank reduction the flat store makes a linear
+/// scan.
+pub fn merge_relay_stats(states: &[RelayState]) -> (u64, ScalarStat) {
+    let mut seen = 0u64;
+    let mut stat = ScalarStat::new();
+    for s in states {
+        seen += s.seen;
+        stat.merge(&s.inter_arrival);
+    }
+    (seen, stat)
+}
+
 /// The LULESH arch for measurement runs: fixed-duration models (table
 /// lookups) for the timestep and every checkpoint level, so the engine —
 /// not model evaluation — is what gets measured.
@@ -267,6 +469,48 @@ mod tests {
         assert_eq!(b.run_to_completion(), RunOutcome::Drained);
         assert_eq!(a.delivered(), b.delivered());
         assert_eq!(a.now(), b.now(), "final clocks diverge between queues");
+    }
+
+    #[test]
+    fn relay_substrate_conserves_events_on_a_torus() {
+        let t = besst_topology::torus::Torus::new(&[4, 4]);
+        let mut e = torus_substrate_builder(&t).build();
+        let (seeds, hops) = (8u64, 25u64);
+        inject_relay_seeds(&mut e, t.n_nodes(), seeds, hops);
+        assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(e.delivered(), relay_total_events(seeds, hops));
+        let store = e.into_store();
+        let (seen, stat) = merge_relay_stats(store.states());
+        assert_eq!(seen, relay_total_events(seeds, hops));
+        assert!(stat.count() > 0 && stat.mean() > 0.0);
+    }
+
+    #[test]
+    fn quartz_full_machine_substrate_runs_at_2988_nodes() {
+        let q = besst_machine::presets::quartz();
+        let mut e = machine_substrate_builder(&q).build();
+        let (seeds, hops) = (64u64, 30u64);
+        inject_relay_seeds(&mut e, q.n_nodes, seeds, hops);
+        assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(e.delivered(), relay_total_events(seeds, hops));
+    }
+
+    #[test]
+    fn core_substrate_keeps_core_planes_independent() {
+        // Shrunk Vulcan shape: each core plane is its own torus, so a chain
+        // seeded on core plane 0 never delivers to any other plane.
+        let t = besst_topology::torus::Torus::new(&[3, 3, 2]);
+        let cores = 4;
+        let mut e = torus_cores_substrate_builder(&t, cores).build();
+        e.inject(SimTime::ZERO, ComponentId(0), PortId(0), 50, 0);
+        assert_eq!(e.run_to_completion(), RunOutcome::Drained);
+        let states = e.into_store().into_states();
+        for (i, s) in states.iter().enumerate() {
+            if i % cores != 0 {
+                assert_eq!(s.seen, 0, "component {i} is off-plane but saw traffic");
+            }
+        }
+        assert_eq!(states.iter().map(|s| s.seen).sum::<u64>(), 51);
     }
 
     #[test]

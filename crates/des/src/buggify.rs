@@ -102,7 +102,7 @@ pub mod sites {
 /// without depending on any external RNG crate — the generated topology is
 /// therefore stable across toolchain and dependency upgrades, which keeps
 /// `seed=…` repro lines valid forever.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SplitMix64 {
     state: u64,
 }

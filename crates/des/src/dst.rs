@@ -29,6 +29,7 @@ use crate::component::{Component, Ctx};
 use crate::engine::{Engine, EngineBuilder, RunOutcome};
 use crate::event::{ComponentId, Event, PortId};
 use crate::parallel::{ParallelEngine, Partitioning};
+use crate::store::{BoxedStore, ComponentStore, FlatModel, SoaStore};
 use crate::time::SimTime;
 use std::sync::{Arc, Mutex};
 
@@ -80,59 +81,108 @@ impl Component<u64> for DstNode {
     }
 }
 
-/// A seed-derived workload, ready to run under either engine.
-pub struct Workload {
-    /// The wired builder (fault injector attached, duplication enabled).
-    pub builder: EngineBuilder<u64>,
-    /// One trace handle per component, indexed by [`ComponentId`].
-    pub traces: Vec<Trace>,
-    /// The attached injector (for post-run [`FaultStats`]).
-    pub injector: Arc<FaultInjector>,
+/// The flat-storage twin of [`DstNode`]: the same record-and-forward rule
+/// expressed as a shared [`FlatModel`] over per-slot [`Trace`] state, so a
+/// [`SoaStore`] workload is behaviorally identical to the boxed one.
+pub struct DstModel {
+    fanout: u16,
+}
+
+impl DstModel {
+    /// A shared model whose every slot forwards on `fanout` wired ports.
+    pub fn new(fanout: u16) -> Self {
+        assert!(fanout > 0, "DstModel needs at least one output port");
+        DstModel { fanout }
+    }
+}
+
+impl FlatModel<u64> for DstModel {
+    type State = Trace;
+
+    fn name(&self) -> &str {
+        "dst-node"
+    }
+
+    fn on_event(&self, trace: &mut Trace, ev: Event<u64>, ctx: &mut Ctx<'_, u64>) {
+        trace
+            .lock()
+            .expect("trace mutex poisoned")
+            .push((ev.time.as_nanos(), ev.payload));
+        if ev.payload > 0 {
+            let port = PortId((ev.payload % self.fanout as u64) as u16);
+            ctx.send(port, ev.payload - 1);
+        }
+    }
+}
+
+/// One wire of a [`WorkloadSpec`] graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Source component.
+    pub src: ComponentId,
+    /// Source output port.
+    pub src_port: PortId,
+    /// Destination component (input port is always 0).
+    pub dst: ComponentId,
+    /// Whether the wire is marked lossy (a fault-injection site).
+    pub lossy: bool,
+    /// Strictly positive propagation latency.
+    pub latency: SimTime,
+}
+
+/// The pure-data expansion of a `(seed, preset)` pair: everything needed to
+/// wire the workload into *any* [`ComponentStore`] without another RNG draw.
+///
+/// [`expand_spec`] is the single source of the random draws;
+/// [`build_workload`] and [`build_workload_flat`] both consume the spec, so
+/// boxed and flat workloads are the same graph by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// The workload seed.
+    pub seed: u64,
+    /// The fault preset.
+    pub preset: FaultPreset,
+    /// Number of components.
+    pub n: usize,
+    /// Output ports per component.
+    pub fanout: u16,
+    /// Every wire in draw order.
+    pub links: Vec<LinkSpec>,
     /// Initial external events as `(time, target, payload, seq)`.
     pub initial: Vec<(SimTime, ComponentId, u64, u64)>,
 }
 
-/// Expand `seed` + `preset` into a random component graph and workload.
+/// Expand `seed` + `preset` into the pure [`WorkloadSpec`].
 ///
 /// Everything — topology, latencies, lossiness, injection times, fault
 /// schedule — is a pure function of the arguments, using the crate's own
 /// [`SplitMix64`] so the expansion is stable across toolchains and
-/// dependency versions. Call it again with the same arguments to get an
-/// identical (but freshly allocated) workload for the next engine.
-pub fn build_workload(seed: u64, preset: FaultPreset) -> Workload {
+/// dependency versions. The draw order is pinned by the `0xBE57_*` DST
+/// snapshots: do not reorder the `next_below` calls.
+pub fn expand_spec(seed: u64, preset: FaultPreset) -> WorkloadSpec {
     let mut rng = SplitMix64::new(seed);
     let n = 3 + (rng.next_below(10) as usize);
     let fanout = 1 + rng.next_below(3) as u16;
-
-    let mut builder = EngineBuilder::new();
-    let mut traces = Vec::with_capacity(n);
-    for _ in 0..n {
-        let trace: Trace = Arc::new(Mutex::new(Vec::new()));
-        traces.push(Arc::clone(&trace));
-        builder.add_component(Box::new(DstNode::new(fanout, trace)));
-    }
 
     // Port 0 closes a ring (keeps every node reachable); higher ports point
     // at pseudo-random targets. Latencies are strictly positive so every
     // partitioning has positive lookahead; lossiness is a per-link coin
     // flip (chaos marks all links lossy regardless).
+    let mut links = Vec::with_capacity(n * fanout as usize);
     for i in 0..n {
         for port in 0..fanout {
             let dst = if port == 0 { (i + 1) % n } else { rng.next_below(n as u64) as usize };
             let latency = SimTime::from_nanos(1 + rng.next_below(500));
             let lossy = rng.next_below(2) == 1;
-            let (src, dst) = (ComponentId(i as u32), ComponentId(dst as u32));
-            if lossy {
-                builder.connect_lossy(src, PortId(port), dst, PortId(0), latency);
-            } else {
-                builder.connect(src, PortId(port), dst, PortId(0), latency);
-            }
+            links.push(LinkSpec {
+                src: ComponentId(i as u32),
+                src_port: PortId(port),
+                dst: ComponentId(dst as u32),
+                lossy,
+                latency,
+            });
         }
     }
-
-    let injector = Arc::new(FaultInjector::new(seed ^ 0xD57, preset.config()));
-    builder.set_fault_injector(Arc::clone(&injector));
-    builder.enable_event_duplication();
 
     let n_injections = 1 + rng.next_below(4);
     let initial = (0..n_injections)
@@ -144,7 +194,68 @@ pub fn build_workload(seed: u64, preset: FaultPreset) -> Workload {
         })
         .collect();
 
-    Workload { builder, traces, injector, initial }
+    WorkloadSpec { seed, preset, n, fanout, links, initial }
+}
+
+/// A seed-derived workload, ready to run under either engine, generic over
+/// the component storage backend (boxed legacy store by default).
+pub struct Workload<S: ComponentStore<u64> = BoxedStore<u64>> {
+    /// The wired builder (fault injector attached, duplication enabled).
+    pub builder: EngineBuilder<u64, S>,
+    /// One trace handle per component, indexed by [`ComponentId`].
+    pub traces: Vec<Trace>,
+    /// The attached injector (for post-run [`FaultStats`]).
+    pub injector: Arc<FaultInjector>,
+    /// Initial external events as `(time, target, payload, seq)`.
+    pub initial: Vec<(SimTime, ComponentId, u64, u64)>,
+}
+
+/// Wire `spec`'s links, injector, and duplication flag into `builder`.
+fn wire_spec<S: ComponentStore<u64>>(
+    spec: &WorkloadSpec,
+    builder: &mut EngineBuilder<u64, S>,
+) -> Arc<FaultInjector> {
+    for l in &spec.links {
+        if l.lossy {
+            builder.connect_lossy(l.src, l.src_port, l.dst, PortId(0), l.latency);
+        } else {
+            builder.connect(l.src, l.src_port, l.dst, PortId(0), l.latency);
+        }
+    }
+    let injector = Arc::new(FaultInjector::new(spec.seed ^ 0xD57, spec.preset.config()));
+    builder.set_fault_injector(Arc::clone(&injector));
+    builder.enable_event_duplication();
+    injector
+}
+
+/// Expand `seed` + `preset` into a random component graph and workload over
+/// the legacy boxed store. See [`expand_spec`] for the determinism contract.
+pub fn build_workload(seed: u64, preset: FaultPreset) -> Workload {
+    let spec = expand_spec(seed, preset);
+    let mut builder = EngineBuilder::new();
+    let mut traces = Vec::with_capacity(spec.n);
+    for _ in 0..spec.n {
+        let trace: Trace = Arc::new(Mutex::new(Vec::new()));
+        traces.push(Arc::clone(&trace));
+        builder.add_component(Box::new(DstNode::new(spec.fanout, trace)));
+    }
+    let injector = wire_spec(&spec, &mut builder);
+    Workload { builder, traces, injector, initial: spec.initial }
+}
+
+/// The same workload as [`build_workload`] over the struct-of-arrays store:
+/// one shared [`DstModel`] plus a contiguous slab of per-slot traces.
+pub fn build_workload_flat(seed: u64, preset: FaultPreset) -> Workload<SoaStore<u64, DstModel>> {
+    let spec = expand_spec(seed, preset);
+    let mut builder = EngineBuilder::new_flat_with_capacity(DstModel::new(spec.fanout), spec.n);
+    let mut traces = Vec::with_capacity(spec.n);
+    for _ in 0..spec.n {
+        let trace: Trace = Arc::new(Mutex::new(Vec::new()));
+        traces.push(Arc::clone(&trace));
+        builder.add_state(Arc::clone(&trace));
+    }
+    let injector = wire_spec(&spec, &mut builder);
+    Workload { builder, traces, injector, initial: spec.initial }
 }
 
 /// The partitionings exercised for a given seed: the fixed spread plus one

@@ -15,16 +15,22 @@
 
 use crate::buggify::FaultInjector;
 use crate::component::{Component, Ctx};
-use crate::event::{ComponentId, Event, PortId, Priority, TieKey};
+use crate::event::{ComponentId, Event, IdOverflow, PortId, Priority, TieKey};
 use crate::link::{FrozenLinks, Link, LinkTable};
 use crate::sched::{EventQueue, Scheduler};
+use crate::store::{BoxedStore, ComponentStore, FlatModel, SoaStore};
 use crate::time::SimTime;
 use std::sync::Arc;
 
 /// Construction-time view of the simulation: components, links, and an
 /// optional fault schedule.
-pub struct EngineBuilder<P> {
-    components: Vec<Box<dyn Component<P>>>,
+///
+/// Generic over the component storage backend `S` (see [`crate::store`]);
+/// the default [`BoxedStore`] is the original heterogeneous boxed storage,
+/// while [`SoaStore`] packs homogeneous models into a flat state array for
+/// million-component topologies.
+pub struct EngineBuilder<P, S: ComponentStore<P> = BoxedStore<P>> {
+    store: S,
     links: Vec<Link>,
     faults: Option<Arc<FaultInjector>>,
     dup: Option<fn(&P) -> P>,
@@ -37,16 +43,64 @@ impl<P> Default for EngineBuilder<P> {
 }
 
 impl<P> EngineBuilder<P> {
-    /// Empty builder.
+    /// Empty builder on the default boxed storage.
     pub fn new() -> Self {
-        EngineBuilder { components: Vec::new(), links: Vec::new(), faults: None, dup: None }
+        Self::with_store(BoxedStore::new())
     }
 
     /// Register a component; returns its id (dense, in registration order).
+    ///
+    /// Panics once the `u32` id space is exhausted; use
+    /// [`EngineBuilder::try_add_component`] to handle that as a typed error.
     pub fn add_component(&mut self, c: Box<dyn Component<P>>) -> ComponentId {
-        let id = ComponentId(self.components.len() as u32);
-        self.components.push(c);
-        id
+        self.try_add_component(c).expect("component id space exhausted")
+    }
+
+    /// As [`EngineBuilder::add_component`], surfacing id-space exhaustion as
+    /// [`IdOverflow`] instead of panicking.
+    pub fn try_add_component(
+        &mut self,
+        c: Box<dyn Component<P>>,
+    ) -> Result<ComponentId, IdOverflow> {
+        self.store.push(c)
+    }
+}
+
+impl<P, M: FlatModel<P>> EngineBuilder<P, SoaStore<P, M>> {
+    /// Empty builder on struct-of-arrays storage for a homogeneous `model`.
+    pub fn new_flat(model: M) -> Self {
+        Self::with_store(SoaStore::new(model))
+    }
+
+    /// As [`EngineBuilder::new_flat`], pre-allocating `n` state slots.
+    pub fn new_flat_with_capacity(model: M, n: usize) -> Self {
+        Self::with_store(SoaStore::with_capacity(model, n))
+    }
+
+    /// Register a component by its initial state; returns its dense id.
+    ///
+    /// Panics once the `u32` id space is exhausted; use
+    /// [`EngineBuilder::try_add_state`] to handle that as a typed error.
+    pub fn add_state(&mut self, state: M::State) -> ComponentId {
+        self.try_add_state(state).expect("component id space exhausted")
+    }
+
+    /// As [`EngineBuilder::add_state`], surfacing id-space exhaustion as
+    /// [`IdOverflow`] instead of panicking.
+    pub fn try_add_state(&mut self, state: M::State) -> Result<ComponentId, IdOverflow> {
+        self.store.push(state)
+    }
+}
+
+impl<P, S: ComponentStore<P>> EngineBuilder<P, S> {
+    /// Empty builder around an explicit storage backend.
+    pub fn with_store(store: S) -> Self {
+        EngineBuilder { store, links: Vec::new(), faults: None, dup: None }
+    }
+
+    /// Borrow the storage backend under construction.
+    pub fn store(&self) -> &S {
+        &self.store
     }
 
     /// Wire a unidirectional link.
@@ -98,7 +152,7 @@ impl<P> EngineBuilder<P> {
 
     /// Number of components registered so far.
     pub fn n_components(&self) -> usize {
-        self.components.len()
+        self.store.len()
     }
 
     /// The attached fault injector, if any.
@@ -108,7 +162,7 @@ impl<P> EngineBuilder<P> {
 
     /// Finalize into a runnable sequential engine on the default
     /// (production) scheduler.
-    pub fn build(self) -> Engine<P> {
+    pub fn build(self) -> Engine<P, Scheduler<P>, S> {
         self.build_with_queue()
     }
 
@@ -116,18 +170,18 @@ impl<P> EngineBuilder<P> {
     /// equivalence tests and the benchmark harness to run the same workload
     /// on the production [`Scheduler`] and the
     /// [`crate::sched::ReferenceScheduler`] baseline.
-    pub fn build_with_queue<Q: EventQueue<P>>(self) -> Engine<P, Q> {
-        let mut table = LinkTable::new(self.components.len());
+    pub fn build_with_queue<Q: EventQueue<P>>(self) -> Engine<P, Q, S> {
+        let mut table = LinkTable::new(self.store.len());
         for l in &self.links {
             assert!(
-                (l.dst.0 as usize) < self.components.len(),
+                (l.dst.0 as usize) < self.store.len(),
                 "link destination {:?} is not a registered component",
                 l.dst
             );
             table.connect(*l);
         }
         Engine {
-            components: self.components,
+            store: self.store,
             links: table.freeze(),
             queue: Q::default(),
             now: SimTime::ZERO,
@@ -144,17 +198,12 @@ impl<P> EngineBuilder<P> {
     #[allow(clippy::type_complexity)]
     pub(crate) fn into_parts(
         self,
-    ) -> (
-        Vec<Box<dyn Component<P>>>,
-        Vec<Link>,
-        Option<Arc<FaultInjector>>,
-        Option<fn(&P) -> P>,
-    ) {
-        (self.components, self.links, self.faults, self.dup)
+    ) -> (S, Vec<Link>, Option<Arc<FaultInjector>>, Option<fn(&P) -> P>) {
+        (self.store, self.links, self.faults, self.dup)
     }
 }
 
-impl<P: Clone> EngineBuilder<P> {
+impl<P: Clone, S: ComponentStore<P>> EngineBuilder<P, S> {
     /// Opt in to the event-duplication fault site ([`crate::buggify::sites::LINK_DUP`]).
     ///
     /// Duplication requires cloning payloads, and the engine is generic
@@ -180,9 +229,10 @@ pub enum RunOutcome {
 }
 
 /// Sequential discrete-event engine, generic over its [`EventQueue`]
-/// (default: the production [`Scheduler`]).
-pub struct Engine<P, Q = Scheduler<P>> {
-    components: Vec<Box<dyn Component<P>>>,
+/// (default: the production [`Scheduler`]) and its component storage
+/// backend (default: the heterogeneous [`BoxedStore`]).
+pub struct Engine<P, Q = Scheduler<P>, S: ComponentStore<P> = BoxedStore<P>> {
+    store: S,
     links: FrozenLinks,
     queue: Q,
     now: SimTime,
@@ -197,7 +247,19 @@ pub struct Engine<P, Q = Scheduler<P>> {
 /// Sender id used for events injected from outside any component.
 pub const EXTERNAL: ComponentId = ComponentId(u32::MAX);
 
-impl<P, Q: EventQueue<P>> Engine<P, Q> {
+impl<P, Q: EventQueue<P>> Engine<P, Q, BoxedStore<P>> {
+    /// Borrow a registered component (for post-run inspection).
+    pub fn component(&self, id: ComponentId) -> &dyn Component<P> {
+        self.store.get(id)
+    }
+
+    /// Mutably borrow a registered component.
+    pub fn component_mut(&mut self, id: ComponentId) -> &mut dyn Component<P> {
+        self.store.get_mut(id)
+    }
+}
+
+impl<P, Q: EventQueue<P>, S: ComponentStore<P>> Engine<P, Q, S> {
     /// Current simulated time (the timestamp of the last delivered event).
     pub fn now(&self) -> SimTime {
         self.now
@@ -229,7 +291,7 @@ impl<P, Q: EventQueue<P>> Engine<P, Q> {
         seq: u64,
     ) {
         assert!(
-            (target.0 as usize) < self.components.len(),
+            (target.0 as usize) < self.store.len(),
             "inject target {:?} is not a registered component",
             target
         );
@@ -243,14 +305,19 @@ impl<P, Q: EventQueue<P>> Engine<P, Q> {
         });
     }
 
-    /// Borrow a registered component (for post-run inspection).
-    pub fn component(&self, id: ComponentId) -> &dyn Component<P> {
-        self.components[id.0 as usize].as_ref()
+    /// Borrow the component storage backend (post-run inspection).
+    pub fn store(&self) -> &S {
+        &self.store
     }
 
-    /// Mutably borrow a registered component.
-    pub fn component_mut(&mut self, id: ComponentId) -> &mut dyn Component<P> {
-        self.components[id.0 as usize].as_mut()
+    /// Mutably borrow the component storage backend.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Consume the engine, returning its component storage.
+    pub fn into_store(self) -> S {
+        self.store
     }
 
     fn ensure_started(&mut self) {
@@ -258,9 +325,9 @@ impl<P, Q: EventQueue<P>> Engine<P, Q> {
             return;
         }
         self.started = true;
-        self.seqs = vec![0; self.components.len()];
+        self.seqs = vec![0; self.store.len()];
         let mut out: Vec<Event<P>> = Vec::new();
-        for (i, c) in self.components.iter_mut().enumerate() {
+        for i in 0..self.store.len() {
             let mut ctx = Ctx {
                 now: SimTime::ZERO,
                 self_id: ComponentId(i as u32),
@@ -271,7 +338,7 @@ impl<P, Q: EventQueue<P>> Engine<P, Q> {
                 faults: self.faults.as_deref(),
                 dup: self.dup,
             };
-            c.on_start(&mut ctx);
+            self.store.dispatch_start(i, &mut ctx);
         }
         self.queue.extend(out.drain(..));
     }
@@ -336,7 +403,7 @@ impl<P, Q: EventQueue<P>> Engine<P, Q> {
                     faults: self.faults.as_deref(),
                     dup: self.dup,
                 };
-                self.components[idx].on_event(event, &mut ctx);
+                self.store.dispatch_event(idx, event, &mut ctx);
                 self.delivered += 1;
                 let re_entrant = out.iter().any(|e| e.time == t);
                 self.queue.extend(out.drain(..));
@@ -354,8 +421,8 @@ impl<P, Q: EventQueue<P>> Engine<P, Q> {
             return RunOutcome::Halted;
         }
         let now = self.now;
-        for c in &mut self.components {
-            c.on_finish(now);
+        for i in 0..self.store.len() {
+            self.store.dispatch_finish(i, now);
         }
         RunOutcome::Drained
     }

@@ -14,6 +14,52 @@ use core::cmp::Ordering;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ComponentId(pub u32);
 
+/// Typed error: a dense component index does not fit the `u32` id space.
+///
+/// `ComponentId(u32::MAX)` is reserved as the [`crate::engine::EXTERNAL`]
+/// sender sentinel, so the last usable id is `u32::MAX - 1`. Registration
+/// paths return this instead of wrapping — at million-component scale the
+/// id space is the only silent-truncation hazard left in the hot maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdOverflow {
+    /// The dense index that was rejected.
+    pub index: usize,
+}
+
+impl core::fmt::Display for IdOverflow {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "component index {} exceeds the u32 id space (u32::MAX is the reserved \
+             external-sender sentinel)",
+            self.index
+        )
+    }
+}
+
+impl std::error::Error for IdOverflow {}
+
+impl ComponentId {
+    /// Largest number of components an engine can register: ids are dense
+    /// `u32`s and `u32::MAX` is the reserved external-sender sentinel.
+    pub const MAX_COMPONENTS: usize = u32::MAX as usize;
+
+    /// Checked construction from a dense index. `u32::MAX` and beyond are
+    /// a typed [`IdOverflow`] error, never a wrap.
+    pub fn from_index(index: usize) -> Result<ComponentId, IdOverflow> {
+        if index >= Self::MAX_COMPONENTS {
+            Err(IdOverflow { index })
+        } else {
+            Ok(ComponentId(index as u32))
+        }
+    }
+
+    /// The dense slot index this id names.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A port index local to a component. Output ports are wired to input ports
 /// through [`crate::link::Link`]s.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -148,6 +194,30 @@ mod tests {
             .map(|e| e.0.priority.0)
             .collect();
         assert_eq!(prios, vec![0, 100, 200]);
+    }
+
+    #[test]
+    fn component_id_overflow_is_a_typed_error_not_a_wrap() {
+        // Last usable id: u32::MAX is the reserved external-sender
+        // sentinel, so the dense index space ends one short of it.
+        let last = ComponentId::from_index(ComponentId::MAX_COMPONENTS - 1).unwrap();
+        assert_eq!(last.0, u32::MAX - 1);
+        assert_eq!(last.index(), ComponentId::MAX_COMPONENTS - 1);
+
+        // At and past the sentinel: typed IdOverflow carrying the rejected
+        // index — never a silent truncation to a small wrapped id.
+        for index in [ComponentId::MAX_COMPONENTS, usize::MAX] {
+            let err = ComponentId::from_index(index).unwrap_err();
+            assert_eq!(err, IdOverflow { index });
+            let msg = err.to_string();
+            assert!(msg.contains(&index.to_string()), "message names the index: {msg}");
+            assert!(msg.contains("sentinel"), "message explains the reserved id: {msg}");
+        }
+
+        // The error is a std error, so registration paths can `?` it.
+        let boxed: Box<dyn std::error::Error> =
+            Box::new(ComponentId::from_index(usize::MAX).unwrap_err());
+        assert!(boxed.source().is_none());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod link;
 pub mod parallel;
 pub mod sched;
 pub mod stats;
+pub mod store;
 pub mod time;
 
 /// One-stop import for building simulations.
@@ -68,10 +69,11 @@ pub mod prelude {
     pub use crate::component::{Component, Ctx};
     pub use crate::components::{DelayLine, Generator, SharedChannel, Sink, SinkState, Sized64};
     pub use crate::engine::{Engine, EngineBuilder, RunOutcome};
-    pub use crate::event::{ComponentId, Event, PortId, Priority};
+    pub use crate::event::{ComponentId, Event, IdOverflow, PortId, Priority};
     pub use crate::link::Link;
     pub use crate::parallel::{ParallelEngine, ParallelReport, Partitioning};
     pub use crate::sched::{EventQueue, ReferenceScheduler, Scheduler};
-    pub use crate::stats::{Histogram, ScalarStat, TimeSeries};
+    pub use crate::stats::{Histogram, P2Quantile, Reservoir, ScalarStat, StreamStat, TimeSeries};
+    pub use crate::store::{BoxedStore, ComponentStore, FlatModel, SoaStore};
     pub use crate::time::SimTime;
 }

@@ -22,11 +22,12 @@
 //! engine's — a property the test-suite checks event-for-event.
 
 use crate::buggify::FaultInjector;
-use crate::component::{Component, Ctx};
+use crate::component::Ctx;
 use crate::engine::{EngineBuilder, RunOutcome};
 use crate::event::{ComponentId, Event, PortId, Priority, TieKey};
 use crate::link::{FrozenLinks, Link, LinkTable};
 use crate::sched::{EventQueue, Scheduler};
+use crate::store::{BoxedStore, ComponentStore};
 use crate::time::SimTime;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::marker::PhantomData;
@@ -81,11 +82,13 @@ struct WorkerReply {
     peak_depth: usize,
 }
 
-struct Worker<P, Q> {
+struct Worker<P, Q, S> {
     index: usize,
-    // Dense component storage for this worker; `local_index[c]` maps global
-    // component id to a slot here (usize::MAX when foreign).
-    components: Vec<(ComponentId, Box<dyn Component<P>>)>,
+    // Dense component storage for this worker: `ids[slot]` is the global
+    // component id of local `slot`, and `local_index[c]` maps a global
+    // component id to its slot here (usize::MAX when foreign).
+    ids: Vec<ComponentId>,
+    store: S,
     local_index: Arc<Vec<usize>>,
     partition_of: Arc<Vec<usize>>,
     links: Arc<FrozenLinks>,
@@ -100,15 +103,14 @@ struct Worker<P, Q> {
     dup: Option<fn(&P) -> P>,
 }
 
-impl<P: Send + 'static, Q: EventQueue<P>> Worker<P, Q> {
+impl<P: Send + 'static, Q: EventQueue<P>, S: ComponentStore<P>> Worker<P, Q, S> {
     fn start(&mut self) {
         let mut out: Vec<Event<P>> = Vec::new();
         let mut halt_flag = false;
-        for i in 0..self.components.len() {
-            let (id, comp) = &mut self.components[i];
+        for i in 0..self.store.len() {
             let mut ctx = Ctx {
                 now: SimTime::ZERO,
-                self_id: *id,
+                self_id: self.ids[i],
                 links: &self.links,
                 out: &mut out,
                 seq: &mut self.seqs[i],
@@ -116,7 +118,7 @@ impl<P: Send + 'static, Q: EventQueue<P>> Worker<P, Q> {
                 faults: self.faults.as_deref(),
                 dup: self.dup,
             };
-            comp.on_start(&mut ctx);
+            self.store.dispatch_start(i, &mut ctx);
         }
         if halt_flag {
             self.halt.store(true, Ordering::SeqCst);
@@ -185,11 +187,10 @@ impl<P: Send + 'static, Q: EventQueue<P>> Worker<P, Q> {
                 }
                 let now = t;
                 self.max_time = self.max_time.max(now);
-                let (id, comp) = &mut self.components[slot];
                 let mut halt_flag = false;
                 let mut ctx = Ctx {
                     now,
-                    self_id: *id,
+                    self_id: self.ids[slot],
                     links: &self.links,
                     out: &mut out,
                     seq: &mut self.seqs[slot],
@@ -197,7 +198,7 @@ impl<P: Send + 'static, Q: EventQueue<P>> Worker<P, Q> {
                     faults: self.faults.as_deref(),
                     dup: self.dup,
                 };
-                comp.on_event(event, &mut ctx);
+                self.store.dispatch_event(slot, event, &mut ctx);
                 self.delivered += 1;
                 if halt_flag {
                     self.halt.store(true, Ordering::SeqCst);
@@ -228,7 +229,7 @@ impl<P: Send + 'static, Q: EventQueue<P>> Worker<P, Q> {
         mut self,
         commands: Receiver<Command>,
         replies: Sender<WorkerReply>,
-    ) -> Vec<(ComponentId, Box<dyn Component<P>>)> {
+    ) -> (Vec<ComponentId>, S) {
         self.start();
         // Initial report so the coordinator can pick the first window.
         self.drain_mailbox();
@@ -262,19 +263,19 @@ impl<P: Send + 'static, Q: EventQueue<P>> Worker<P, Q> {
                     replies.send(reply).expect("coordinator disappeared");
                 }
                 Command::Finish(now) => {
-                    for (_, c) in &mut self.components {
-                        c.on_finish(now);
+                    for i in 0..self.store.len() {
+                        self.store.dispatch_finish(i, now);
                     }
                     break;
                 }
             }
         }
-        self.components
+        (self.ids, self.store)
     }
 }
 
 /// Result of a parallel run.
-pub struct ParallelReport<P> {
+pub struct ParallelReport<P, S: ComponentStore<P> = BoxedStore<P>> {
     /// Why the run stopped.
     pub outcome: RunOutcome,
     /// Total events delivered across all workers.
@@ -283,16 +284,18 @@ pub struct ParallelReport<P> {
     pub end_time: SimTime,
     /// Largest per-worker queue high-water mark observed during the run.
     pub peak_queue_depth: usize,
-    /// The components, returned for post-run inspection, ordered by
-    /// [`ComponentId`].
-    pub components: Vec<Box<dyn Component<P>>>,
+    /// The component storage, reassembled for post-run inspection, ordered
+    /// by [`ComponentId`].
+    pub store: S,
+    _payload: PhantomData<fn() -> P>,
 }
 
 /// Conservative parallel engine. Built from the same [`EngineBuilder`] as
 /// the sequential engine, generic over the per-worker [`EventQueue`]
-/// (default: the production [`Scheduler`]).
-pub struct ParallelEngine<P, Q = Scheduler<P>> {
-    components: Vec<Box<dyn Component<P>>>,
+/// (default: the production [`Scheduler`]) and the component storage
+/// backend (default: [`BoxedStore`]).
+pub struct ParallelEngine<P, Q = Scheduler<P>, S: ComponentStore<P> = BoxedStore<P>> {
+    store: S,
     links: Vec<Link>,
     partition_of: Vec<usize>,
     n_workers: usize,
@@ -303,25 +306,25 @@ pub struct ParallelEngine<P, Q = Scheduler<P>> {
     _queue: PhantomData<fn() -> Q>,
 }
 
-impl<P: Send + 'static> ParallelEngine<P> {
+impl<P: Send + 'static, S: ComponentStore<P>> ParallelEngine<P, Scheduler<P>, S> {
     /// Partition the builder's components across workers, on the default
     /// (production) scheduler.
     ///
     /// Panics if any link crossing a partition boundary has zero latency —
     /// conservative synchronization needs strictly positive lookahead.
-    pub fn new(builder: EngineBuilder<P>, partitioning: Partitioning) -> Self {
+    pub fn new(builder: EngineBuilder<P, S>, partitioning: Partitioning) -> Self {
         Self::new_with_queue(builder, partitioning)
     }
 }
 
-impl<P: Send + 'static, Q: EventQueue<P> + Send> ParallelEngine<P, Q> {
+impl<P: Send + 'static, Q: EventQueue<P> + Send, S: ComponentStore<P>> ParallelEngine<P, Q, S> {
     /// As [`ParallelEngine::new`], but on an explicit [`EventQueue`]
     /// implementation (equivalence tests, baseline benchmarks).
-    pub fn new_with_queue(builder: EngineBuilder<P>, partitioning: Partitioning) -> Self {
-        let (components, links, faults, dup) = builder.into_parts();
-        let partition_of = partitioning.resolve(components.len());
+    pub fn new_with_queue(builder: EngineBuilder<P, S>, partitioning: Partitioning) -> Self {
+        let (store, links, faults, dup) = builder.into_parts();
+        let partition_of = partitioning.resolve(store.len());
         let n_workers = partition_of.iter().copied().max().map_or(1, |m| m + 1);
-        let mut table = LinkTable::new(components.len());
+        let mut table = LinkTable::new(store.len());
         for l in &links {
             table.connect(*l);
         }
@@ -339,7 +342,7 @@ impl<P: Send + 'static, Q: EventQueue<P> + Send> ParallelEngine<P, Q> {
             None => SimTime::from_secs(1),
         };
         ParallelEngine {
-            components,
+            store,
             links,
             partition_of,
             n_workers,
@@ -372,7 +375,7 @@ impl<P: Send + 'static, Q: EventQueue<P> + Send> ParallelEngine<P, Q> {
         seq: u64,
     ) {
         assert!(
-            (target.0 as usize) < self.components.len(),
+            (target.0 as usize) < self.store.len(),
             "inject target {:?} is not a registered component",
             target
         );
@@ -387,9 +390,9 @@ impl<P: Send + 'static, Q: EventQueue<P> + Send> ParallelEngine<P, Q> {
     }
 
     /// Run to completion (queue drain or halt) and return the report.
-    pub fn run(self) -> ParallelReport<P> {
+    pub fn run(self) -> ParallelReport<P, S> {
         let ParallelEngine {
-            components,
+            store,
             links,
             partition_of,
             n_workers,
@@ -399,7 +402,7 @@ impl<P: Send + 'static, Q: EventQueue<P> + Send> ParallelEngine<P, Q> {
             dup,
             _queue,
         } = self;
-        let n_components = components.len();
+        let n_components = store.len();
         let mut table = LinkTable::new(n_components);
         for l in &links {
             table.connect(*l);
@@ -418,15 +421,15 @@ impl<P: Send + 'static, Q: EventQueue<P> + Send> ParallelEngine<P, Q> {
         }
 
         // local_index: global component id -> dense slot within its worker.
-        type OwnedComponents<P> = Vec<(ComponentId, Box<dyn Component<P>>)>;
         let mut local_index = vec![usize::MAX; n_components];
-        let mut per_worker: Vec<OwnedComponents<P>> =
-            (0..n_workers).map(|_| Vec::new()).collect();
-        for (i, c) in components.into_iter().enumerate() {
-            let w = partition_of[i];
-            local_index[i] = per_worker[w].len();
-            per_worker[w].push((ComponentId(i as u32), c));
+        {
+            let mut next_slot = vec![0usize; n_workers];
+            for (i, &w) in partition_of.iter().enumerate() {
+                local_index[i] = next_slot[w];
+                next_slot[w] += 1;
+            }
         }
+        let per_worker = store.split(&partition_of, n_workers);
         let local_index = Arc::new(local_index);
 
         // Pre-seed mailboxes with the injected events.
@@ -444,21 +447,19 @@ impl<P: Send + 'static, Q: EventQueue<P> + Send> ParallelEngine<P, Q> {
             cmd_rx.push(Some(rx));
         }
 
-        let mut report = ParallelReport {
-            outcome: RunOutcome::Drained,
-            delivered: 0,
-            end_time: SimTime::ZERO,
-            peak_queue_depth: 0,
-            components: Vec::new(),
-        };
+        let mut outcome = RunOutcome::Drained;
+        let mut delivered = 0;
+        let mut end_time = SimTime::ZERO;
+        let mut peak_queue_depth = 0;
 
-        std::thread::scope(|scope| {
+        let store = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_workers);
-            for (w, comps) in per_worker.into_iter().enumerate() {
-                let n_local = comps.len();
-                let worker: Worker<P, Q> = Worker {
+            for (w, (ids, part)) in per_worker.into_iter().enumerate() {
+                let n_local = part.len();
+                let worker: Worker<P, Q, S> = Worker {
                     index: w,
-                    components: comps,
+                    ids,
+                    store: part,
                     local_index: Arc::clone(&local_index),
                     partition_of: Arc::clone(&partition_of),
                     links: Arc::clone(&links),
@@ -505,13 +506,13 @@ impl<P: Send + 'static, Q: EventQueue<P> + Send> ParallelEngine<P, Q> {
             let mut round: u64 = 0;
             loop {
                 if halt.load(Ordering::SeqCst) {
-                    report.outcome = RunOutcome::Halted;
+                    outcome = RunOutcome::Halted;
                     break;
                 }
                 let start = match min_next {
                     Some(t) => t,
                     None => {
-                        report.outcome = RunOutcome::Drained;
+                        outcome = RunOutcome::Drained;
                         break;
                     }
                 };
@@ -531,31 +532,28 @@ impl<P: Send + 'static, Q: EventQueue<P> + Send> ParallelEngine<P, Q> {
                 for tx in &cmd_tx {
                     tx.send(Command::Report).expect("worker died");
                 }
-                let (mn, delivered, max_time, peak_depth) = collect(&reply_rx);
+                let (mn, total_delivered, max_time, peak_depth) = collect(&reply_rx);
                 min_next = mn;
-                report.delivered = delivered;
-                report.end_time = max_time;
-                report.peak_queue_depth = report.peak_queue_depth.max(peak_depth);
+                delivered = total_delivered;
+                end_time = max_time;
+                peak_queue_depth = peak_queue_depth.max(peak_depth);
             }
 
             for tx in &cmd_tx {
-                tx.send(Command::Finish(report.end_time)).expect("worker died");
+                tx.send(Command::Finish(end_time)).expect("worker died");
             }
-            let mut gathered: Vec<(ComponentId, Box<dyn Component<P>>)> = Vec::new();
-            for h in handles {
-                gathered.extend(h.join().expect("worker panicked"));
-            }
-            gathered.sort_by_key(|(id, _)| *id);
-            report.components = gathered.into_iter().map(|(_, c)| c).collect();
+            let parts: Vec<(Vec<ComponentId>, S)> =
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+            S::merge(parts)
         });
-        report
+        ParallelReport { outcome, delivered, end_time, peak_queue_depth, store, _payload: PhantomData }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::component::Ctx;
+    use crate::component::{Component, Ctx};
 
     /// Each component forwards a hop counter around a ring, recording the
     /// payloads it saw.
@@ -618,7 +616,7 @@ mod tests {
         assert_eq!(report.outcome, RunOutcome::Drained);
         assert_eq!(report.delivered, seq.delivered());
         assert_eq!(report.end_time, seq.now());
-        let _ = seen_of(report.components[0].as_ref());
+        let _ = seen_of(report.store.get(ComponentId(0)));
     }
 
     #[test]

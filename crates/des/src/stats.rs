@@ -3,7 +3,17 @@
 //! SST attaches statistics objects to components; we provide the same
 //! facility: a numerically stable scalar accumulator (Welford), a fixed-bin
 //! histogram, and a time-series recorder for clock-stamped samples.
+//!
+//! For million-component runs the [`TimeSeries`] recorder is off the table —
+//! it holds every sample — so the streaming family carries the load with
+//! O(1) or fixed-size state per observable: [`ScalarStat`] (Welford
+//! mean/variance, exactly mergeable across ranks), [`P2Quantile`] (the
+//! Jain–Chlamtac P² estimator, five markers per tracked quantile), and
+//! [`Reservoir`] (deterministic seeded reservoir sample, exact quantiles
+//! while the sample fits and exactly mergeable while the combined count
+//! does). [`StreamStat`] bundles them into the engine-side default.
 
+use crate::buggify::SplitMix64;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -173,6 +183,291 @@ impl Histogram {
     pub fn bin_center(&self, i: usize) -> f64 {
         let w = (self.hi - self.lo) / self.bins.len() as f64;
         self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+/// Batch quantile of an ascending-sorted slice by linear interpolation
+/// (R-7 / NumPy default): the reference the streaming estimators are tested
+/// against, and the exact answer [`Reservoir`] returns while its sample
+/// still holds every observation.
+pub fn sorted_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let h = (n - 1) as f64 * q;
+            let lo = h.floor() as usize;
+            let hi = (lo + 1).min(n - 1);
+            sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+        }
+    }
+}
+
+/// Streaming quantile estimator: the P² algorithm (Jain & Chlamtac, 1985).
+///
+/// Five markers track the target quantile with O(1) state and O(1) work per
+/// observation — no sample is retained. Until five observations arrive the
+/// estimator holds them verbatim and [`P2Quantile::quantile`] is *exact*
+/// (it reduces to [`sorted_quantile`]); beyond that it is an approximation
+/// whose error shrinks with stream length. P² markers cannot be merged
+/// across ranks — use [`Reservoir`] (or a [`StreamStat`]) where parallel
+/// reduction is required.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    count: u64,
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Marker positions, 1-based as in the paper.
+    positions: [f64; 5],
+    /// Desired position increments per observation.
+    dn: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Estimator for the `q`-quantile, `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "P² tracks interior quantiles, got {q}");
+        P2Quantile {
+            q,
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            dn: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite observation recorded: {x}");
+        if self.count < 5 {
+            // Initialization phase: heights hold the raw sample, sorted.
+            let n = self.count as usize;
+            self.heights[n] = x;
+            self.count += 1;
+            let live = self.count as usize;
+            self.heights[..live].sort_by(f64::total_cmp);
+            return;
+        }
+        // Locate the cell; markers 0 and 4 clamp to the running extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[0] <= x < heights[4]: exactly one cell matches.
+            (0..4)
+                .find(|&i| self.heights[i] <= x && x < self.heights[i + 1])
+                .expect("P² markers lost monotonicity")
+        };
+        for p in &mut self.positions[k + 1..] {
+            *p += 1.0;
+        }
+        self.count += 1;
+        let n = self.count as f64;
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let desired = 1.0 + (n - 1.0) * self.dn[i];
+            let d = desired - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < parabolic
+                    && parabolic < self.heights[i + 1]
+                {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate of the `q`-quantile (exact while fewer than six
+    /// observations have arrived; 0 when empty).
+    pub fn quantile(&self) -> f64 {
+        if self.count <= 5 {
+            return sorted_quantile(&self.heights[..self.count as usize], self.q);
+        }
+        self.heights[2]
+    }
+}
+
+/// Deterministic fixed-size reservoir sample (Algorithm R with a seeded
+/// [`SplitMix64`] stream).
+///
+/// While `count() <= capacity` the reservoir holds *every* observation, so
+/// [`Reservoir::quantile`] equals the batch [`sorted_quantile`] exactly and
+/// [`Reservoir::merge`] (the parallel-engine rank reduction) is likewise
+/// exact whenever the combined count still fits. Past capacity both become
+/// uniform-sample approximations; determinism is retained in all regimes —
+/// the replacement draws are a pure function of the seed and the record
+/// order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    rng: SplitMix64,
+    samples: Vec<f64>,
+}
+
+impl Reservoir {
+    /// Reservoir holding at most `capacity` observations, seeded for
+    /// deterministic replacement decisions.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir needs capacity for at least one sample");
+        Reservoir { capacity, seen: 0, rng: SplitMix64::new(seed), samples: Vec::new() }
+    }
+
+    /// Number of observations offered (not retained).
+    pub fn count(&self) -> u64 {
+        self.seen
+    }
+
+    /// Maximum retained sample size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained sample, in reservoir order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite observation recorded: {x}");
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(x);
+            return;
+        }
+        // Algorithm R: keep with probability capacity/seen.
+        let j = self.rng.next_below(self.seen);
+        if (j as usize) < self.capacity {
+            self.samples[j as usize] = x;
+        }
+    }
+
+    /// Quantile of the retained sample by linear interpolation — exact
+    /// whenever `count() <= capacity` (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted_quantile(&sorted, q)
+    }
+
+    /// Merge another reservoir into this one (parallel rank reduction).
+    ///
+    /// Exact (sample = union) while the combined count fits the capacity.
+    /// Beyond that the survivors are drawn by a deterministic
+    /// weight-proportional interleave of the two samples, each side weighted
+    /// by its true observation count.
+    pub fn merge(&mut self, other: &Reservoir) {
+        if other.seen == 0 {
+            return;
+        }
+        if self.seen + other.seen <= self.capacity as u64 {
+            self.samples.extend_from_slice(&other.samples);
+            self.seen += other.seen;
+            return;
+        }
+        let mut a = std::mem::take(&mut self.samples);
+        let mut b = other.samples.clone();
+        // Weight-proportional interleave: draw the next survivor from side
+        // `a` with probability wa/(wa+wb), where the side weights start at
+        // the true observation counts and shrink as items are consumed.
+        let mut wa = self.seen;
+        let mut wb = other.seen;
+        let mut merged = Vec::with_capacity(self.capacity);
+        while merged.len() < self.capacity && (!a.is_empty() || !b.is_empty()) {
+            let take_a = if a.is_empty() {
+                false
+            } else if b.is_empty() {
+                true
+            } else {
+                self.rng.next_below(wa + wb) < wa
+            };
+            if take_a {
+                wa -= (wa / a.len() as u64).max(1).min(wa);
+                merged.push(a.swap_remove(self.rng.next_below(a.len() as u64) as usize));
+            } else {
+                wb -= (wb / b.len() as u64).max(1).min(wb);
+                merged.push(b.swap_remove(self.rng.next_below(b.len() as u64) as usize));
+            }
+        }
+        self.samples = merged;
+        self.seen += other.seen;
+    }
+}
+
+/// The engine-side streaming bundle: Welford moments plus a deterministic
+/// reservoir for quantiles. Fixed-size state, mergeable across ranks —
+/// the per-component statistic for million-component topologies where
+/// holding history ([`TimeSeries`]) is not an option.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamStat {
+    /// Welford moments (count/mean/variance/min/max), exactly mergeable.
+    pub scalar: ScalarStat,
+    /// Deterministic reservoir for quantile queries.
+    pub reservoir: Reservoir,
+}
+
+impl StreamStat {
+    /// Bundle with the given reservoir capacity and seed.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        StreamStat { scalar: ScalarStat::new(), reservoir: Reservoir::new(capacity, seed) }
+    }
+
+    /// Record one observation into both accumulators.
+    pub fn record(&mut self, x: f64) {
+        self.scalar.record(x);
+        self.reservoir.record(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.scalar.count()
+    }
+
+    /// Quantile estimate from the reservoir.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.reservoir.quantile(q)
+    }
+
+    /// Merge another bundle (parallel rank reduction).
+    pub fn merge(&mut self, other: &StreamStat) {
+        self.scalar.merge(&other.scalar);
+        self.reservoir.merge(&other.reservoir);
     }
 }
 

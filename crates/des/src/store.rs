@@ -1,0 +1,379 @@
+//! Component storage backends for the engines.
+//!
+//! The engines are generic over *how component state is stored*, the same
+//! way they are generic over the event queue ([`crate::sched::EventQueue`]).
+//! Two backends exist:
+//!
+//! * [`BoxedStore`] — one `Box<dyn Component>` per component. This is the
+//!   original storage and remains the default: it supports heterogeneous
+//!   models (every slot can be a different type) and is the *executable
+//!   spec* the equivalence suite (`tests/storage_equiv.rs`) checks the flat
+//!   backend against, exactly as the `ReferenceScheduler` anchors the arena
+//!   scheduler.
+//! * [`SoaStore`] — struct-of-arrays storage for *homogeneous* models: one
+//!   shared, immutable [`FlatModel`] (behavior) plus a contiguous
+//!   `Vec<M::State>` (per-component state) keyed by the dense
+//!   [`ComponentId`] index. No per-component allocation, no vtable pointer
+//!   per slot, no padding between states — the layout that makes
+//!   million-component topologies fit in cache-friendly memory (see
+//!   `docs/PERFORMANCE.md`).
+//!
+//! Both backends dispatch through [`ComponentStore`], whose contract is
+//! deliberately tiny: slot count, slot dispatch, and partition/reassembly
+//! for the conservative parallel engine. Dispatch order — and therefore the
+//! event trajectory — is decided entirely by the engine, so swapping the
+//! backend can never reorder deliveries; `tests/storage_equiv.rs` pins this
+//! with bit-identical trajectory digests across every buggify preset.
+
+use crate::component::{Component, Ctx};
+use crate::event::{ComponentId, Event};
+use crate::time::SimTime;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Storage backend for an engine's components.
+///
+/// Slots are dense `usize` indices equal to `ComponentId.0` — registration
+/// order, no holes. The engine owns all ordering decisions; implementations
+/// only dispatch callbacks to the slot's state and move state between
+/// workers (`split`/`merge`) without observing payloads.
+pub trait ComponentStore<P>: Send {
+    /// Number of component slots.
+    fn len(&self) -> usize;
+
+    /// True when no components are registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Diagnostic name of the component in `slot`.
+    fn name(&self, slot: usize) -> &str;
+
+    /// Deliver [`Component::on_start`] to `slot`.
+    fn dispatch_start(&mut self, slot: usize, ctx: &mut Ctx<'_, P>);
+
+    /// Deliver one event to `slot`.
+    fn dispatch_event(&mut self, slot: usize, event: Event<P>, ctx: &mut Ctx<'_, P>);
+
+    /// Deliver [`Component::on_finish`] to `slot`.
+    fn dispatch_finish(&mut self, slot: usize, now: SimTime);
+
+    /// Partition the store for the parallel engine: slot `i` goes to part
+    /// `partition_of[i]`. Returns one `(global ids, sub-store)` pair per
+    /// part, ids in slot order — the sub-store's slot `k` is component
+    /// `ids[k]`.
+    fn split(self, partition_of: &[usize], n_parts: usize) -> Vec<(Vec<ComponentId>, Self)>
+    where
+        Self: Sized;
+
+    /// Reassemble the parts returned by [`ComponentStore::split`] (after the
+    /// workers ran them) back into one store ordered by [`ComponentId`].
+    fn merge(parts: Vec<(Vec<ComponentId>, Self)>) -> Self
+    where
+        Self: Sized;
+}
+
+/// The original boxed-trait-object backend: heterogeneous, one allocation
+/// per component. Default storage for both engines and the executable spec
+/// for `tests/storage_equiv.rs`.
+pub struct BoxedStore<P> {
+    components: Vec<Box<dyn Component<P>>>,
+}
+
+impl<P> Default for BoxedStore<P> {
+    fn default() -> Self {
+        BoxedStore { components: Vec::new() }
+    }
+}
+
+impl<P> BoxedStore<P> {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a component, returning its dense id.
+    ///
+    /// Errors with [`crate::event::IdOverflow`] once the `u32` id space
+    /// (minus the reserved [`crate::engine::EXTERNAL`] sentinel) is
+    /// exhausted — ids never silently wrap.
+    pub fn push(
+        &mut self,
+        c: Box<dyn Component<P>>,
+    ) -> Result<ComponentId, crate::event::IdOverflow> {
+        let id = ComponentId::from_index(self.components.len())?;
+        self.components.push(c);
+        Ok(id)
+    }
+
+    /// Borrow the component in `slot` (post-run inspection).
+    pub fn get(&self, id: ComponentId) -> &dyn Component<P> {
+        self.components[id.0 as usize].as_ref()
+    }
+
+    /// Mutably borrow the component in `slot`.
+    pub fn get_mut(&mut self, id: ComponentId) -> &mut dyn Component<P> {
+        self.components[id.0 as usize].as_mut()
+    }
+}
+
+impl<P> ComponentStore<P> for BoxedStore<P> {
+    fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    fn name(&self, slot: usize) -> &str {
+        self.components[slot].name()
+    }
+
+    fn dispatch_start(&mut self, slot: usize, ctx: &mut Ctx<'_, P>) {
+        self.components[slot].on_start(ctx);
+    }
+
+    fn dispatch_event(&mut self, slot: usize, event: Event<P>, ctx: &mut Ctx<'_, P>) {
+        self.components[slot].on_event(event, ctx);
+    }
+
+    fn dispatch_finish(&mut self, slot: usize, now: SimTime) {
+        self.components[slot].on_finish(now);
+    }
+
+    fn split(self, partition_of: &[usize], n_parts: usize) -> Vec<(Vec<ComponentId>, Self)> {
+        assert_eq!(partition_of.len(), self.components.len(), "partition map length mismatch");
+        let mut parts: Vec<(Vec<ComponentId>, Self)> =
+            (0..n_parts).map(|_| (Vec::new(), Self::new())).collect();
+        for (i, c) in self.components.into_iter().enumerate() {
+            let w = partition_of[i];
+            parts[w].0.push(ComponentId(i as u32));
+            parts[w].1.components.push(c);
+        }
+        parts
+    }
+
+    fn merge(parts: Vec<(Vec<ComponentId>, Self)>) -> Self {
+        let mut tagged: Vec<(ComponentId, Box<dyn Component<P>>)> = Vec::new();
+        for (ids, store) in parts {
+            debug_assert_eq!(ids.len(), store.components.len());
+            tagged.extend(ids.into_iter().zip(store.components));
+        }
+        tagged.sort_by_key(|(id, _)| *id);
+        BoxedStore { components: tagged.into_iter().map(|(_, c)| c).collect() }
+    }
+}
+
+/// Behavior shared by every component of a homogeneous [`SoaStore`].
+///
+/// The model is immutable (`&self`) and shared across all slots — and, in
+/// the parallel engine, across worker threads via `Arc` — so everything
+/// per-component lives in the `State` associated type. The callbacks mirror
+/// [`Component`] exactly; the engine's delivery semantics (batched
+/// same-instant extraction, buggify hook order, tie-key consumption) are
+/// identical regardless of backend.
+pub trait FlatModel<P>: Send + Sync {
+    /// Per-component state, stored contiguously (`Vec<Self::State>`).
+    type State: Send;
+
+    /// Diagnostic name shared by all components of this model.
+    fn name(&self) -> &str {
+        "flat"
+    }
+
+    /// As [`Component::on_start`].
+    fn on_start(&self, _state: &mut Self::State, _ctx: &mut Ctx<'_, P>) {}
+
+    /// As [`Component::on_event`].
+    fn on_event(&self, state: &mut Self::State, event: Event<P>, ctx: &mut Ctx<'_, P>);
+
+    /// As [`Component::on_finish`].
+    fn on_finish(&self, _state: &mut Self::State, _now: SimTime) {}
+}
+
+/// Struct-of-arrays storage: one shared [`FlatModel`], one contiguous state
+/// vector. `size_of::<M::State>()` is the whole per-component footprint —
+/// the memory-regression gate (`xtask mem-gate`) holds the realized
+/// bytes-per-component flat from 64k to 1M components on top of this.
+pub struct SoaStore<P, M: FlatModel<P>> {
+    model: Arc<M>,
+    states: Vec<M::State>,
+    _payload: PhantomData<fn() -> P>,
+}
+
+impl<P, M: FlatModel<P>> SoaStore<P, M> {
+    /// Empty store around `model`.
+    pub fn new(model: M) -> Self {
+        Self::from_arc(Arc::new(model))
+    }
+
+    /// Empty store around an already-shared model.
+    pub fn from_arc(model: Arc<M>) -> Self {
+        SoaStore { model, states: Vec::new(), _payload: PhantomData }
+    }
+
+    /// Pre-allocate capacity for `n` component states.
+    pub fn with_capacity(model: M, n: usize) -> Self {
+        let mut s = Self::new(model);
+        s.states.reserve_exact(n);
+        s
+    }
+
+    /// Register a component's initial state, returning its dense id.
+    ///
+    /// Errors with [`crate::event::IdOverflow`] once the `u32` id space
+    /// (minus the reserved [`crate::engine::EXTERNAL`] sentinel) is
+    /// exhausted — ids never silently wrap.
+    pub fn push(&mut self, state: M::State) -> Result<ComponentId, crate::event::IdOverflow> {
+        let id = ComponentId::from_index(self.states.len())?;
+        self.states.push(state);
+        Ok(id)
+    }
+
+    /// The shared model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// All component states, slot-ordered.
+    pub fn states(&self) -> &[M::State] {
+        &self.states
+    }
+
+    /// Mutable view of all component states.
+    pub fn states_mut(&mut self) -> &mut [M::State] {
+        &mut self.states
+    }
+
+    /// Consume the store, returning the slot-ordered states.
+    pub fn into_states(self) -> Vec<M::State> {
+        self.states
+    }
+}
+
+impl<P, M: FlatModel<P>> ComponentStore<P> for SoaStore<P, M> {
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    fn name(&self, _slot: usize) -> &str {
+        self.model.name()
+    }
+
+    fn dispatch_start(&mut self, slot: usize, ctx: &mut Ctx<'_, P>) {
+        self.model.on_start(&mut self.states[slot], ctx);
+    }
+
+    fn dispatch_event(&mut self, slot: usize, event: Event<P>, ctx: &mut Ctx<'_, P>) {
+        self.model.on_event(&mut self.states[slot], event, ctx);
+    }
+
+    fn dispatch_finish(&mut self, slot: usize, now: SimTime) {
+        self.model.on_finish(&mut self.states[slot], now);
+    }
+
+    fn split(self, partition_of: &[usize], n_parts: usize) -> Vec<(Vec<ComponentId>, Self)> {
+        assert_eq!(partition_of.len(), self.states.len(), "partition map length mismatch");
+        let model = self.model;
+        let mut parts: Vec<(Vec<ComponentId>, Self)> = (0..n_parts)
+            .map(|_| (Vec::new(), Self::from_arc(Arc::clone(&model))))
+            .collect();
+        for (i, st) in self.states.into_iter().enumerate() {
+            let w = partition_of[i];
+            parts[w].0.push(ComponentId(i as u32));
+            parts[w].1.states.push(st);
+        }
+        parts
+    }
+
+    fn merge(mut parts: Vec<(Vec<ComponentId>, Self)>) -> Self {
+        assert!(!parts.is_empty(), "merge of zero store parts");
+        let model = Arc::clone(&parts[0].1.model);
+        let mut tagged: Vec<(ComponentId, M::State)> = Vec::new();
+        for (ids, store) in parts.drain(..) {
+            debug_assert_eq!(ids.len(), store.states.len());
+            tagged.extend(ids.into_iter().zip(store.states));
+        }
+        tagged.sort_by_key(|(id, _)| *id);
+        SoaStore {
+            model,
+            states: tagged.into_iter().map(|(_, st)| st).collect(),
+            _payload: PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PortId;
+
+    struct Counter;
+    impl FlatModel<u32> for Counter {
+        type State = u32;
+        fn on_event(&self, state: &mut u32, ev: Event<u32>, _ctx: &mut Ctx<'_, u32>) {
+            *state += ev.payload;
+        }
+    }
+
+    struct BoxedCounter(u32);
+    impl Component<u32> for BoxedCounter {
+        fn on_event(&mut self, ev: Event<u32>, _ctx: &mut Ctx<'_, u32>) {
+            self.0 += ev.payload;
+        }
+    }
+
+    #[test]
+    fn soa_split_merge_roundtrips_slot_order() {
+        let mut s: SoaStore<u32, Counter> = SoaStore::new(Counter);
+        for i in 0..10u32 {
+            assert_eq!(s.push(i).expect("id space"), ComponentId(i));
+        }
+        // 3-way round-robin split, then merge: states come back in id order.
+        let partition_of: Vec<usize> = (0..10).map(|i| i % 3).collect();
+        let parts = s.split(&partition_of, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].0, vec![ComponentId(0), ComponentId(3), ComponentId(6), ComponentId(9)]);
+        let merged = SoaStore::merge(parts);
+        assert_eq!(merged.states(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn boxed_split_merge_roundtrips_slot_order() {
+        let mut s: BoxedStore<u32> = BoxedStore::new();
+        for i in 0..7u32 {
+            s.push(Box::new(BoxedCounter(i))).expect("id space");
+        }
+        let partition_of: Vec<usize> = (0..7).map(|i| (i * 3) % 2).collect();
+        let merged = BoxedStore::merge(s.split(&partition_of, 2));
+        assert_eq!(merged.len(), 7);
+    }
+
+    #[test]
+    fn soa_dispatch_reaches_the_right_slot() {
+        let mut s: SoaStore<u32, Counter> = SoaStore::new(Counter);
+        s.push(0).expect("id space");
+        s.push(0).expect("id space");
+        let links = crate::link::LinkTable::new(2).freeze();
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        let mut halt = false;
+        let mut ctx = Ctx {
+            now: SimTime::ZERO,
+            self_id: ComponentId(1),
+            links: &links,
+            out: &mut out,
+            seq: &mut seq,
+            halt: &mut halt,
+            faults: None,
+            dup: None,
+        };
+        let ev = Event {
+            time: SimTime::ZERO,
+            priority: crate::event::Priority::NORMAL,
+            key: crate::event::TieKey { src: ComponentId(0), seq: 0 },
+            target: ComponentId(1),
+            port: PortId(0),
+            payload: 41,
+        };
+        s.dispatch_event(1, ev, &mut ctx);
+        assert_eq!(s.states(), &[0, 41]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Storage-equivalence wall: the struct-of-arrays component store must be
+//! observationally identical to the legacy boxed store.
+//!
+//! For every buggify preset and a block of seeds, the same [`WorkloadSpec`]
+//! is wired into a [`BoxedStore`] workload (`build_workload`) and a
+//! [`SoaStore`] workload (`build_workload_flat`), run under the same engine,
+//! and compared **bit-for-bit**: run outcome, delivered count, end time,
+//! every component's `(time, payload)` trajectory, and the complete fault
+//! counters. The boxed store is the executable spec; any divergence is a
+//! bug in the flat storage path.
+//!
+//! [`WorkloadSpec`]: besst_des::dst::WorkloadSpec
+//! [`BoxedStore`]: besst_des::store::BoxedStore
+//! [`SoaStore`]: besst_des::store::SoaStore
+
+use besst_des::dst::{build_workload, build_workload_flat, partitionings, TraceEntry, Workload};
+use besst_des::prelude::*;
+
+/// Same runaway backstop as the DST driver.
+const DELIVERY_BUDGET: u64 = 2_000_000;
+
+const PRESETS: [FaultPreset; 9] = [
+    FaultPreset::Off,
+    FaultPreset::Calm,
+    FaultPreset::Moderate,
+    FaultPreset::Chaos,
+    FaultPreset::Crash,
+    FaultPreset::Sdc,
+    FaultPreset::Replication,
+    FaultPreset::Serve,
+    FaultPreset::Storm,
+];
+
+fn seed_count() -> u64 {
+    if cfg!(miri) {
+        1
+    } else {
+        8
+    }
+}
+
+/// Everything observable about one run, in directly comparable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Observed {
+    outcome: RunOutcome,
+    delivered: u64,
+    end_time: SimTime,
+    traces: Vec<Vec<TraceEntry>>,
+    faults: FaultStats,
+}
+
+fn collect(traces: &[besst_des::dst::Trace]) -> Vec<Vec<TraceEntry>> {
+    traces.iter().map(|t| t.lock().expect("trace mutex poisoned").clone()).collect()
+}
+
+fn run_sequential<S: ComponentStore<u64>>(w: Workload<S>) -> Observed {
+    let mut engine = w.builder.build();
+    for (time, target, payload, seq) in &w.initial {
+        engine.inject(*time, *target, PortId(0), *payload, *seq);
+    }
+    let outcome = engine.run(SimTime::MAX, DELIVERY_BUDGET);
+    Observed {
+        outcome,
+        delivered: engine.delivered(),
+        end_time: engine.now(),
+        traces: collect(&w.traces),
+        faults: w.injector.stats(),
+    }
+}
+
+fn run_parallel<S: ComponentStore<u64>>(w: Workload<S>, part: Partitioning) -> Observed {
+    let mut engine = ParallelEngine::new(w.builder, part);
+    for (time, target, payload, seq) in &w.initial {
+        engine.inject(*time, *target, PortId(0), *payload, *seq);
+    }
+    let report = engine.run();
+    Observed {
+        outcome: report.outcome,
+        delivered: report.delivered,
+        end_time: report.end_time,
+        traces: collect(&w.traces),
+        faults: w.injector.stats(),
+    }
+}
+
+fn assert_equiv(boxed: &Observed, flat: &Observed, seed: u64, preset: FaultPreset, mode: &str) {
+    assert_eq!(
+        boxed, flat,
+        "SoA store diverged from boxed store: seed={seed:#018x} preset={preset} mode={mode}\n\
+         replay: compare build_workload vs build_workload_flat"
+    );
+}
+
+/// Sequential engine: boxed and flat stores produce bit-identical runs for
+/// every preset across a block of seeds.
+#[test]
+fn sequential_trajectories_match_across_all_presets() {
+    for preset in PRESETS {
+        for seed in 0..seed_count() {
+            let boxed = run_sequential(build_workload(seed, preset));
+            let flat = run_sequential(build_workload_flat(seed, preset));
+            assert!(boxed.delivered > 0, "degenerate workload seed={seed}");
+            assert_equiv(&boxed, &flat, seed, preset, "Sequential");
+        }
+    }
+}
+
+/// Parallel engine: for every partitioning the DST driver exercises, the
+/// flat store's windowed run matches the boxed store's bit-for-bit —
+/// including `window_skews`, which is partitioning-dependent but must be
+/// storage-independent.
+#[test]
+#[cfg_attr(miri, ignore = "threaded parallel runs exceed Miri's budget; sequential test covers Miri")]
+fn parallel_trajectories_match_across_partitionings() {
+    for preset in [FaultPreset::Off, FaultPreset::Chaos, FaultPreset::Crash, FaultPreset::Sdc] {
+        for seed in 0..seed_count().min(3) {
+            let n = build_workload(seed, preset).traces.len();
+            for part in partitionings(seed, n) {
+                let boxed = run_parallel(build_workload(seed, preset), part.clone());
+                let flat = run_parallel(build_workload_flat(seed, preset), part.clone());
+                assert_equiv(&boxed, &flat, seed, preset, &format!("{part:?}"));
+            }
+        }
+    }
+}
+
+/// The flat store must also agree with the boxed store *across* engines:
+/// flat-parallel vs boxed-sequential event-level fault counters and
+/// trajectories (the cross-engine leg of the DST contract, now crossed with
+/// storage).
+#[test]
+#[cfg_attr(miri, ignore = "threaded parallel runs exceed Miri's budget; sequential test covers Miri")]
+fn flat_parallel_matches_boxed_sequential() {
+    for preset in [FaultPreset::Calm, FaultPreset::Moderate, FaultPreset::Storm] {
+        for seed in 0..seed_count().min(3) {
+            let reference = run_sequential(build_workload(seed, preset));
+            let n = reference.traces.len();
+            for part in partitionings(seed, n) {
+                let flat = run_parallel(build_workload_flat(seed, preset), part.clone());
+                assert_eq!(flat.outcome, reference.outcome);
+                assert_eq!(flat.delivered, reference.delivered);
+                assert_eq!(flat.end_time, reference.end_time);
+                assert_eq!(flat.traces, reference.traces);
+                // window_skews is a parallel-only site; event-level counters
+                // must agree exactly.
+                let ev = |f: &FaultStats| {
+                    (f.jitters, f.drops, f.dups, f.stall_drops, f.crash_drops, f.payload_corrupts)
+                };
+                assert_eq!(
+                    ev(&flat.faults),
+                    ev(&reference.faults),
+                    "fault schedule diverged seed={seed:#018x} preset={preset} part={part:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The spec expansion itself is deterministic and shared: boxed and flat
+/// builders are wired from the same graph.
+#[test]
+fn spec_expansion_is_shared_and_deterministic() {
+    for preset in PRESETS {
+        for seed in 0..seed_count() {
+            let a = besst_des::dst::expand_spec(seed, preset);
+            let b = besst_des::dst::expand_spec(seed, preset);
+            assert_eq!(a, b);
+            assert_eq!(a.links.len(), a.n * a.fanout as usize);
+            assert!(a.links.iter().all(|l| l.latency > SimTime::ZERO));
+            let boxed = build_workload(seed, preset);
+            let flat = build_workload_flat(seed, preset);
+            assert_eq!(boxed.traces.len(), a.n);
+            assert_eq!(flat.traces.len(), a.n);
+            assert_eq!(boxed.initial, a.initial);
+            assert_eq!(flat.initial, a.initial);
+            assert_eq!(boxed.injector.seed(), flat.injector.seed());
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Streaming-statistics satellite suite: the constant-space accumulators
+//! ([`ScalarStat`], [`P2Quantile`], [`Reservoir`], [`StreamStat`]) must
+//! agree with batch references computed from the full recorded sample
+//! vector — within `1e-9` wherever the accumulator is exact, and within a
+//! documented approximation band where it is not.
+//!
+//! Fixtures are deterministic [`SplitMix64`] streams, so every run checks
+//! the same recorded sequences (stable across toolchains, no `Date::now`
+//! anywhere near a test).
+
+use besst_des::buggify::SplitMix64;
+use besst_des::stats::sorted_quantile;
+use besst_des::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+/// A recorded fixture: `len` draws from a seeded stream, shaped by `shape`.
+fn fixture(seed: u64, len: usize, shape: fn(f64) -> f64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| shape(rng.next_f64())).collect()
+}
+
+fn uniform(u: f64) -> f64 {
+    u * 1000.0
+}
+
+/// Heavy-tailed latencies: u → 1/(1-u)², clipped — stresses quantile code.
+fn heavy_tail(u: f64) -> f64 {
+    let v = 1.0 / ((1.0 - u).max(1e-12) * (1.0 - u).max(1e-12));
+    v.min(1e9)
+}
+
+fn batch_mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn batch_variance(xs: &[f64]) -> f64 {
+    let m = batch_mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+fn batch_quantile(xs: &[f64], q: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted_quantile(&sorted, q)
+}
+
+// ---------------------------------------------------------------- ScalarStat
+
+#[test]
+fn welford_matches_batch_reference_within_1e9() {
+    for (seed, shape) in [(11u64, uniform as fn(f64) -> f64), (12, heavy_tail)] {
+        let xs = fixture(seed, if cfg!(miri) { 64 } else { 4096 }, shape);
+        let mut s = ScalarStat::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        assert_eq!(s.count(), xs.len() as u64);
+        let scale = batch_mean(&xs).abs().max(1.0);
+        assert!((s.mean() - batch_mean(&xs)).abs() / scale < TOL);
+        let var_scale = batch_variance(&xs).abs().max(1.0);
+        assert!((s.variance() - batch_variance(&xs)).abs() / var_scale < TOL);
+        assert_eq!(s.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        assert_eq!(s.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+}
+
+/// Merge-across-ranks: splitting the stream into per-rank accumulators and
+/// merging must equal the single-stream accumulator within 1e-9 — the
+/// reduction the parallel engine's per-worker stats rely on.
+#[test]
+fn welford_merge_across_ranks_matches_single_stream() {
+    let xs = fixture(13, if cfg!(miri) { 60 } else { 3000 }, uniform);
+    let mut whole = ScalarStat::new();
+    for &x in &xs {
+        whole.record(x);
+    }
+    for n_ranks in [2usize, 3, 7] {
+        let mut ranks: Vec<ScalarStat> = (0..n_ranks).map(|_| ScalarStat::new()).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            ranks[i % n_ranks].record(x);
+        }
+        let mut merged = ScalarStat::new();
+        for r in &ranks {
+            merged.merge(r);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() / whole.mean().abs().max(1.0) < TOL);
+        assert!(
+            (merged.variance() - whole.variance()).abs() / whole.variance().abs().max(1.0) < TOL
+        );
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+    }
+}
+
+#[test]
+fn welford_empty_and_single_sample_edges() {
+    let empty = ScalarStat::new();
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.mean(), 0.0);
+    assert_eq!(empty.variance(), 0.0);
+
+    let mut one = ScalarStat::new();
+    one.record(42.5);
+    assert_eq!(one.count(), 1);
+    assert_eq!(one.mean(), 42.5);
+    assert_eq!(one.variance(), 0.0);
+    assert_eq!(one.min(), 42.5);
+    assert_eq!(one.max(), 42.5);
+
+    // Merging an empty accumulator is the identity.
+    let mut merged = one.clone();
+    merged.merge(&empty);
+    assert_eq!(merged.count(), 1);
+    assert_eq!(merged.mean(), 42.5);
+    let mut other_way = ScalarStat::new();
+    other_way.merge(&one);
+    assert_eq!(other_way.count(), 1);
+    assert_eq!(other_way.mean(), 42.5);
+}
+
+// ----------------------------------------------------------------- P2Quantile
+
+/// With five or fewer samples the P² estimator is exact: it must equal the
+/// batch R-7 reference bit-for-bit (well within 1e-9).
+#[test]
+fn p2_exact_at_or_below_five_samples() {
+    for n in 0..=5usize {
+        let xs = fixture(20 + n as u64, n, uniform);
+        let mut p2 = P2Quantile::new(0.5);
+        for &x in &xs {
+            p2.record(x);
+        }
+        if n == 0 {
+            assert_eq!(p2.quantile(), 0.0);
+        } else {
+            assert!((p2.quantile() - batch_quantile(&xs, 0.5)).abs() < TOL);
+        }
+    }
+}
+
+/// Past the exact phase P² is an approximation; on a uniform fixture the
+/// median estimate must land within 2% of the batch reference — tight
+/// enough to catch a marker-update bug, loose enough to be stable.
+#[test]
+fn p2_tracks_batch_median_on_uniform_fixture() {
+    let xs = fixture(21, if cfg!(miri) { 200 } else { 10_000 }, uniform);
+    for q in [0.5, 0.9, 0.99] {
+        let mut p2 = P2Quantile::new(q);
+        for &x in &xs {
+            p2.record(x);
+        }
+        let reference = batch_quantile(&xs, q);
+        let err = (p2.quantile() - reference).abs() / reference.abs().max(1.0);
+        assert!(err < 0.02, "P2(q={q}) err {err} vs reference {reference}");
+    }
+}
+
+// ------------------------------------------------------------------ Reservoir
+
+/// While the reservoir has not overflowed it holds every sample, so its
+/// quantiles equal the batch reference within 1e-9.
+#[test]
+fn reservoir_exact_while_under_capacity() {
+    let xs = fixture(30, if cfg!(miri) { 50 } else { 500 }, heavy_tail);
+    let mut r = Reservoir::new(512, 0xFEED);
+    for &x in &xs {
+        r.record(x);
+    }
+    assert_eq!(r.count(), xs.len() as u64);
+    for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        assert!(
+            (r.quantile(q) - batch_quantile(&xs, q)).abs()
+                / batch_quantile(&xs, q).abs().max(1.0)
+                < TOL
+        );
+    }
+}
+
+/// Merge-across-ranks in the exact regime: per-rank reservoirs merged
+/// together hold the union of samples, so quantiles match the batch
+/// reference within 1e-9.
+#[test]
+fn reservoir_merge_across_ranks_exact_regime() {
+    let xs = fixture(31, if cfg!(miri) { 48 } else { 480 }, uniform);
+    let mut ranks: Vec<Reservoir> = (0..4).map(|i| Reservoir::new(512, 0xFEED + i)).collect();
+    for (i, &x) in xs.iter().enumerate() {
+        ranks[i % 4].record(x);
+    }
+    let mut merged = ranks.remove(0);
+    for r in &ranks {
+        merged.merge(r);
+    }
+    assert_eq!(merged.count(), xs.len() as u64);
+    for q in [0.1, 0.5, 0.95] {
+        assert!((merged.quantile(q) - batch_quantile(&xs, q)).abs()
+            / batch_quantile(&xs, q).abs().max(1.0)
+            < TOL);
+    }
+}
+
+/// Past capacity the reservoir is a uniform subsample: deterministic for a
+/// fixed seed, bounded size, and quantiles within a coarse band of the
+/// batch reference.
+#[test]
+fn reservoir_overflow_is_deterministic_and_bounded() {
+    let n = if cfg!(miri) { 300 } else { 20_000 };
+    let xs = fixture(32, n, uniform);
+    let run = |seed: u64| {
+        let mut r = Reservoir::new(128, seed);
+        for &x in &xs {
+            r.record(x);
+        }
+        r
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.samples(), b.samples(), "same seed must subsample identically");
+    assert_eq!(a.count(), n as u64);
+    assert_eq!(a.samples().len(), 128);
+    if !cfg!(miri) {
+        let err = (a.quantile(0.5) - batch_quantile(&xs, 0.5)).abs() / 1000.0;
+        assert!(err < 0.15, "reservoir median drifted {err} from batch reference");
+    }
+}
+
+#[test]
+fn reservoir_empty_and_single_sample_edges() {
+    let empty = Reservoir::new(16, 1);
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.quantile(0.5), 0.0);
+
+    let mut one = Reservoir::new(16, 1);
+    one.record(3.25);
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(one.quantile(q), 3.25);
+    }
+
+    let mut merged = one.clone();
+    merged.merge(&empty);
+    assert_eq!(merged.count(), 1);
+    assert_eq!(merged.quantile(0.5), 3.25);
+}
+
+// ------------------------------------------------------------------ StreamStat
+
+/// The combined per-component accumulator: Welford moments exact, reservoir
+/// quantiles exact under capacity, merge composes both.
+#[test]
+fn stream_stat_composes_welford_and_reservoir() {
+    let xs = fixture(40, if cfg!(miri) { 40 } else { 400 }, uniform);
+    let mut s = StreamStat::new(512, 0xBEEF);
+    for &x in &xs {
+        s.record(x);
+    }
+    assert_eq!(s.count(), xs.len() as u64);
+    assert!((s.scalar.mean() - batch_mean(&xs)).abs() / batch_mean(&xs).abs().max(1.0) < TOL);
+    assert!((s.quantile(0.5) - batch_quantile(&xs, 0.5)).abs()
+        / batch_quantile(&xs, 0.5).abs().max(1.0)
+        < TOL);
+
+    let mut left = StreamStat::new(512, 0xBEEF);
+    let mut right = StreamStat::new(512, 0xBEEF + 1);
+    for (i, &x) in xs.iter().enumerate() {
+        if i % 2 == 0 {
+            left.record(x);
+        } else {
+            right.record(x);
+        }
+    }
+    left.merge(&right);
+    assert_eq!(left.count(), xs.len() as u64);
+    assert!((left.scalar.mean() - batch_mean(&xs)).abs() / batch_mean(&xs).abs().max(1.0) < TOL);
+    assert!((left.quantile(0.9) - batch_quantile(&xs, 0.9)).abs()
+        / batch_quantile(&xs, 0.9).abs().max(1.0)
+        < TOL);
+}
+
+/// `sorted_quantile` itself: R-7 endpoints and interpolation on a tiny
+/// hand-checked fixture.
+#[test]
+fn sorted_quantile_reference_hand_checked() {
+    assert_eq!(sorted_quantile(&[], 0.5), 0.0);
+    assert_eq!(sorted_quantile(&[7.0], 0.0), 7.0);
+    assert_eq!(sorted_quantile(&[7.0], 1.0), 7.0);
+    let xs = [1.0, 2.0, 3.0, 4.0];
+    assert!((sorted_quantile(&xs, 0.5) - 2.5).abs() < TOL);
+    assert!((sorted_quantile(&xs, 0.0) - 1.0).abs() < TOL);
+    assert!((sorted_quantile(&xs, 1.0) - 4.0).abs() < TOL);
+    // R-7: h = (n-1)q = 3*0.25 = 0.75 → 1 + 0.75*(2-1) = 1.75.
+    assert!((sorted_quantile(&xs, 0.25) - 1.75).abs() < TOL);
+}

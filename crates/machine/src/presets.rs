@@ -108,6 +108,19 @@ pub fn notional_dragonfly() -> Machine {
     m
 }
 
+/// "Corten": a notional million-node torus machine — the substrate-scale
+/// stress target. One component per node puts the DES engine at 2^20 =
+/// 1,048,576 components on a balanced `16^5` 5-D torus; the node spec is
+/// Vulcan's (quiet, private-everything) so the workload stresses storage
+/// layout, not noise modeling.
+pub fn corten_million() -> Machine {
+    let mut m = vulcan();
+    m.name = "corten-million".into();
+    m.n_nodes = 1 << 20;
+    m.interconnect = Interconnect::Torus(Torus::new(&Torus::balanced_pow2_dims(5, 20)));
+    m
+}
+
 /// A noise-free copy of any machine: the "infinitely quiet" ablation used
 /// to separate model error from machine variance.
 pub fn quiet(mut m: Machine) -> Machine {
@@ -157,6 +170,22 @@ mod tests {
         let n = quartz_notional_bigmem();
         assert!(n.node.mem_bytes > quartz().node.mem_bytes);
         assert!(n.n_nodes > quartz().n_nodes);
+    }
+
+    #[test]
+    fn corten_is_a_balanced_million_node_torus() {
+        let c = corten_million();
+        assert_eq!(c.n_nodes, 1_048_576);
+        let topo = c.interconnect.topology();
+        assert_eq!(topo.n_nodes(), 1_048_576);
+        // Balanced 16^5: every dimension large enough for full degree 10.
+        match &c.interconnect {
+            Interconnect::Torus(t) => {
+                assert_eq!(t.dims(), &[16, 16, 16, 16, 16]);
+                assert_eq!(t.degree(), 10);
+            }
+            other => panic!("corten must be a torus, got {}", other.topology().name()),
+        }
     }
 
     #[test]

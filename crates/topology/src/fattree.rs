@@ -63,6 +63,42 @@ impl FatTree {
         self.taper
     }
 
+    /// Uplinks per leaf switch: `nodes_per_leaf × taper`, rounded up so a
+    /// tapered leaf always keeps at least one path into the core.
+    pub fn uplinks_per_leaf(&self) -> usize {
+        ((self.nodes_per_leaf as f64) * self.taper).ceil() as usize
+    }
+
+    /// Port count of every leaf switch: downlinks to nodes plus uplinks to
+    /// the core. Quartz's 48-port Omni-Path leaves are 32 down + 16 up.
+    pub fn leaf_degree(&self) -> usize {
+        self.nodes_per_leaf + self.uplinks_per_leaf()
+    }
+
+    /// Core switches in the second stage: one per leaf uplink, each wired
+    /// once to every leaf (zero when a single leaf needs no core).
+    pub fn n_core_switches(&self) -> usize {
+        if self.n_leaves > 1 {
+            self.uplinks_per_leaf()
+        } else {
+            0
+        }
+    }
+
+    /// Port count of every core switch: one downlink per leaf.
+    pub fn core_degree(&self) -> usize {
+        if self.n_leaves > 1 {
+            self.n_leaves
+        } else {
+            0
+        }
+    }
+
+    /// Total switch count across both stages.
+    pub fn n_switches(&self) -> usize {
+        self.n_leaves + self.n_core_switches()
+    }
+
     /// Fraction of node-pair traffic that must traverse the core stage
     /// under uniform traffic (used for congestion modeling).
     pub fn core_traffic_fraction(&self) -> f64 {

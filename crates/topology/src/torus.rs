@@ -57,6 +57,55 @@ impl Torus {
         let bwd = (a + extent - b) % extent;
         fwd.min(bwd) as u32
     }
+
+    /// The distinct wrap-around neighbors of `n`: ±1 in every dimension,
+    /// with the degenerate extents collapsed — extent 1 contributes no
+    /// neighbor (the ±1 steps land back on `n`), extent 2 contributes one
+    /// (the +1 and −1 steps land on the same node).
+    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        let c = self.coords(n);
+        let mut out = Vec::with_capacity(2 * self.dims.len());
+        for (i, &d) in self.dims.iter().enumerate() {
+            if d == 1 {
+                continue;
+            }
+            let mut step = c.clone();
+            step[i] = (c[i] + 1) % d;
+            out.push(self.node_at(&step));
+            if d > 2 {
+                step[i] = (c[i] + d - 1) % d;
+                out.push(self.node_at(&step));
+            }
+        }
+        out
+    }
+
+    /// Fabric degree of every node: 2 per dimension, minus the collapses
+    /// for extents 1 (no link) and 2 (single link). Node-independent — the
+    /// torus is vertex-transitive.
+    pub fn degree(&self) -> usize {
+        self.dims
+            .iter()
+            .map(|&d| match d {
+                1 => 0,
+                2 => 1,
+                _ => 2,
+            })
+            .sum()
+    }
+
+    /// Distribute `2^exponent` nodes over `n_dims` dimensions as evenly as
+    /// possible: each dimension gets `2^(exponent / n_dims)` with the
+    /// remainder handed out one doubling at a time from the front.
+    ///
+    /// `balanced_pow2_dims(5, 20)` is the million-node `16^5` Corten shape;
+    /// `balanced_pow2_dims(5, 16)` is `[16, 8, 8, 8, 8]` = 65,536.
+    pub fn balanced_pow2_dims(n_dims: usize, exponent: u32) -> Vec<usize> {
+        assert!(n_dims > 0, "need at least one dimension");
+        let base = exponent as usize / n_dims;
+        let rem = exponent as usize % n_dims;
+        (0..n_dims).map(|i| 1usize << (base + usize::from(i < rem))).collect()
+    }
 }
 
 impl Topology for Torus {

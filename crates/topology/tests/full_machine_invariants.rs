@@ -1,0 +1,170 @@
+//! Full-machine topology invariants at real-machine scale.
+//!
+//! The unit tests in each topology module cover shrunk shapes; this suite
+//! pins the *actual* machine presets the paper simulates — Quartz at all
+//! 2,988 nodes and Vulcan's 5-D torus at its full 393,216 cores — plus the
+//! million-node Corten shape. Under Miri the exhaustive sweeps shrink to
+//! sampled subsets (the arithmetic is identical, only the loop bounds
+//! change).
+
+use besst_topology::fattree::FatTree;
+use besst_topology::torus::Torus;
+use besst_topology::{NodeId, Topology};
+
+/// Exhaustive node sweep unless Miri, which gets a strided sample.
+fn stride(n: usize) -> usize {
+    if cfg!(miri) {
+        (n / 97).max(1)
+    } else {
+        1
+    }
+}
+
+// ─────────────────────────────────────────────────────────────── Quartz ──
+
+/// Quartz: 2,988 nodes on 32-down/16-up 48-port Omni-Path leaves.
+#[test]
+fn quartz_fat_tree_degree_counts_at_full_scale() {
+    let ft = FatTree::fitting(2988, 32, 0.5);
+    assert!(ft.n_nodes() >= 2988);
+    assert_eq!(ft.n_leaves(), 94, "2988 nodes / 32 per leaf, rounded up");
+    assert_eq!(ft.nodes_per_leaf(), 32);
+    assert_eq!(ft.uplinks_per_leaf(), 16, "2:1 taper on 32 downlinks");
+    assert_eq!(ft.leaf_degree(), 48, "the documented 48-port leaf");
+    assert_eq!(ft.n_core_switches(), 16);
+    assert_eq!(ft.core_degree(), 94, "one downlink per leaf");
+    assert_eq!(ft.n_switches(), 110);
+}
+
+/// Every populated Quartz node hangs off exactly one leaf, leaves fill in
+/// order, and hop counts follow the up-down routing classes.
+#[test]
+fn quartz_leaf_assignment_covers_all_populated_nodes() {
+    let ft = FatTree::fitting(2988, 32, 0.5);
+    let populated = 2988;
+    let mut per_leaf = vec![0usize; ft.n_leaves()];
+    for i in (0..populated).step_by(stride(populated)) {
+        let leaf = ft.leaf_of(NodeId(i));
+        assert_eq!(leaf, i / 32);
+        per_leaf[leaf] += 1;
+        // Same-leaf traffic is 2 hops, cross-leaf 4, self 0.
+        let buddy = (i / 32) * 32; // first node on i's leaf
+        let expect = if i == buddy { 0 } else { 2 };
+        assert_eq!(ft.hops(NodeId(i), NodeId(buddy)), expect);
+        let far = (i + 32) % populated;
+        if ft.leaf_of(NodeId(far)) != leaf {
+            assert_eq!(ft.hops(NodeId(i), NodeId(far)), 4);
+        }
+    }
+    if !cfg!(miri) {
+        // 93 full leaves of 32 plus a 12-node tail: 93×32 + 12 = 2988.
+        assert_eq!(per_leaf[..93].iter().sum::<usize>(), 93 * 32);
+        assert_eq!(per_leaf[93], 12);
+    }
+}
+
+// ─────────────────────────────────────────────────────────────── Vulcan ──
+
+/// Vulcan's 5-D torus: every node has degree 10 (extent-6 and extent-8
+/// dimensions all ≥ 3) and the neighbor relation is symmetric under
+/// wrap-around.
+#[test]
+fn vulcan_torus_neighbor_symmetry_at_full_scale() {
+    let t = Torus::new(&[8, 8, 8, 8, 6]);
+    assert_eq!(t.n_nodes(), 24_576);
+    assert_eq!(t.degree(), 10);
+    for i in (0..t.n_nodes()).step_by(stride(t.n_nodes())) {
+        let nbs = t.neighbors(NodeId(i));
+        assert_eq!(nbs.len(), 10, "node {i} degree");
+        for nb in &nbs {
+            assert_eq!(t.hops(NodeId(i), *nb), 1, "neighbors are 1 hop apart");
+            assert!(
+                t.neighbors(*nb).contains(&NodeId(i)),
+                "wrap-around symmetry broken between {i} and {}",
+                nb.0
+            );
+        }
+        // Neighbors are distinct and never the node itself.
+        let mut sorted: Vec<usize> = nbs.iter().map(|n| n.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(!sorted.contains(&i));
+    }
+}
+
+/// The 400k-core view: 24,576 nodes × 16 cores = 393,216 components,
+/// partitioned by node. The node-major core numbering covers every core id
+/// exactly once — no overlap, no gap — so a per-core component layout maps
+/// cleanly onto the node partition.
+#[test]
+fn vulcan_core_partition_covers_393216_cores() {
+    let t = Torus::new(&[8, 8, 8, 8, 6]);
+    let cores = 16usize;
+    let total = t.n_nodes() * cores;
+    assert_eq!(total, 393_216);
+    let mut covered = 0usize;
+    for node in (0..t.n_nodes()).step_by(stride(t.n_nodes())) {
+        let lo = node * cores;
+        let hi = lo + cores;
+        assert!(hi <= total);
+        // Every core id in this node's block maps back to exactly this node.
+        for core_id in lo..hi {
+            assert_eq!(core_id / cores, node);
+        }
+        covered += cores;
+    }
+    if !cfg!(miri) {
+        assert_eq!(covered, total, "block partition covers every core exactly once");
+    }
+}
+
+// ─────────────────────────────────────────────────────────────── Corten ──
+
+/// The million-node Corten shape: balanced 16^5 torus, 2^20 nodes,
+/// degree 10, diameter 40 — and the balanced-dims helper lands on the
+/// documented weak-scaling ladder.
+#[test]
+fn corten_balanced_dims_ladder() {
+    assert_eq!(Torus::balanced_pow2_dims(5, 16), vec![16, 8, 8, 8, 8]);
+    assert_eq!(Torus::balanced_pow2_dims(5, 18), vec![16, 16, 16, 8, 8]);
+    assert_eq!(Torus::balanced_pow2_dims(5, 20), vec![16, 16, 16, 16, 16]);
+    let t = Torus::new(&Torus::balanced_pow2_dims(5, 20));
+    assert_eq!(t.n_nodes(), 1_048_576);
+    assert_eq!(t.degree(), 10);
+    assert_eq!(t.diameter(), 5 * 8);
+}
+
+/// Neighbor symmetry sampled across the million-node torus (exhaustive is
+/// 10M lookups — sampled at a prime stride to cover every dimension's
+/// wrap-around faces).
+#[test]
+fn corten_million_node_neighbor_symmetry_sampled() {
+    let t = Torus::new(&Torus::balanced_pow2_dims(5, 20));
+    let step = if cfg!(miri) { 65_537 } else { 4099 };
+    for i in (0..t.n_nodes()).step_by(step) {
+        let nbs = t.neighbors(NodeId(i));
+        assert_eq!(nbs.len(), 10);
+        for nb in &nbs {
+            assert!(t.neighbors(*nb).contains(&NodeId(i)));
+        }
+    }
+}
+
+/// Degenerate extents collapse correctly: extent 1 contributes no link,
+/// extent 2 exactly one (its +1 and −1 wrap onto the same node).
+#[test]
+fn degenerate_extent_neighbor_dedup() {
+    let t = Torus::new(&[1, 2, 5]);
+    // Per-dimension contributions: extent 1 → 0, extent 2 → 1, extent 5 → 2.
+    assert_eq!(t.degree(), 3);
+    for i in 0..t.n_nodes() {
+        let nbs = t.neighbors(NodeId(i));
+        assert_eq!(nbs.len(), 3, "node {i}");
+        let mut uniq: Vec<usize> = nbs.iter().map(|n| n.0).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3, "duplicate neighbor at node {i}");
+        assert!(!uniq.contains(&i), "self-link at node {i}");
+    }
+}

@@ -104,12 +104,21 @@ bench:
 # Pinned-seed benchmark report (results/BENCH_*.json). Regenerates the
 # committed numbers; run on a quiet machine. See docs/PERFORMANCE.md.
 bench-json:
-    cargo run --release -p xtask -- bench-json --out results/BENCH_0009.json
+    cargo run --release -p xtask -- bench-json --out results/BENCH_0011.json
+
+# Per-component memory regression gate: flat-store substrate builds from
+# 64k to 1M components must stay within ±10% bytes/component. Runs the
+# xtask binary (the only place the counting allocator is installed).
+mem-gate:
+    cargo run --release -p xtask -- mem-gate
 
 # Seconds-scale benchmark smoke: the miniature bench-json configuration
-# (schema + determinism gates) plus the scheduler equivalence suite.
+# (schema + determinism gates), the scheduler equivalence suite, the
+# storage-equivalence wall, and the 64k→1M memory regression gate.
 # This is what CI runs; it validates the measurement path, not the numbers.
 bench-smoke:
     cargo test -p xtask --test bench_json
     cargo test -p besst-des --test scheduler_prop
+    cargo test -p besst-des --test storage_equiv
     cargo run --release -p xtask -- bench-json --miniature > /dev/null
+    cargo run --release -p xtask -- mem-gate

@@ -7,10 +7,13 @@
 //! the scenario server (batch throughput, shed rate, cache hit rate,
 //! cold-vs-warm cached-baseline speedup, chaos injection profile) and
 //! the shard cluster (queries/sec at 1/2/4 shards, a storm failover run
-//! with zero lost or duplicated answers) and emits a machine-readable
-//! JSON report — `results/BENCH_0009.json` in the tree is a committed
-//! run of `BenchParams::full()` in release mode (`results/BENCH_0007.json`
-//! and `results/BENCH_0005.json` are earlier schema generations).
+//! with zero lost or duplicated answers) and the million-component
+//! substrate (flat-store torus relay weak scaling from 64k to 1M
+//! components with per-component byte footprints, plus full-machine
+//! Quartz and Vulcan-core runs) and emits a machine-readable JSON
+//! report — `results/BENCH_0011.json` in the tree is a committed run of
+//! `BenchParams::full()` in release mode (`results/BENCH_0005/0007/0009`
+//! are earlier schema generations).
 //!
 //! JSON is emitted by hand because serde_json is stubbed in the offline
 //! build environments this repo targets (docs/OFFLINE_BUILDS.md). The
@@ -19,9 +22,13 @@
 //! without that allocator simply read zeros.
 
 use besst_bench::{
-    churn_builder, churn_total_events, crash_online_cfg, inject_churn_backlog, lulesh_timeline,
-    lulesh_trace, sdc_online_cfg, FatPayload,
+    churn_builder, churn_total_events, crash_online_cfg, fattree_substrate_builder,
+    inject_churn_backlog, inject_relay_seeds, lulesh_timeline, lulesh_trace, merge_relay_stats,
+    relay_total_events, sdc_online_cfg, torus_cores_substrate_builder, torus_substrate_builder,
+    FatPayload, RelayModel,
 };
+use besst_topology::fattree::FatTree;
+use besst_topology::torus::Torus;
 use besst_core::faults::{expected_makespan, FaultProcess};
 use besst_core::run_online;
 use besst_core::sim::EngineKind;
@@ -38,8 +45,20 @@ use std::time::Instant;
 /// binary's allocator increments this counter on each `alloc` call.
 pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+/// Bytes handed out by the counting allocator (monotone).
+pub static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Bytes returned to the counting allocator (monotone).
+pub static FREED_BYTES: AtomicU64 = AtomicU64::new(0);
+
 fn allocations_now() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Bytes currently live according to the counting allocator; zero in any
+/// process (e.g. a test harness) that did not install it.
+pub fn live_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed).saturating_sub(FREED_BYTES.load(Ordering::Relaxed))
 }
 
 /// Workload sizes for one `bench-json` run.
@@ -71,6 +90,20 @@ pub struct BenchParams {
     pub serve_steps: u32,
     /// Base seed; every stochastic draw in the run derives from it.
     pub seed: u64,
+    /// Weak-scaling torus sizes as exponents of 2 (5-D balanced dims);
+    /// `[16, 18, 20]` is the committed 64k → 256k → 1M ladder.
+    pub weak_scaling_exponents: Vec<u32>,
+    /// Relay chains seeded per 16 components (work per component is
+    /// constant across the sweep — the weak-scaling contract).
+    pub substrate_seeds_per_16: u64,
+    /// Hops per relay chain.
+    pub substrate_hops: u64,
+    /// Quartz fat-tree population for the full-machine run.
+    pub quartz_nodes: usize,
+    /// Vulcan torus extents for the full-machine per-core run.
+    pub vulcan_dims: Vec<usize>,
+    /// Cores per Vulcan node (16 on the real machine → 393,216 components).
+    pub vulcan_cores: usize,
 }
 
 impl BenchParams {
@@ -95,6 +128,12 @@ impl BenchParams {
             serve_baselines: 16,
             serve_steps: 200,
             seed: 0xBE5C_0007,
+            weak_scaling_exponents: vec![16, 18, 20],
+            substrate_seeds_per_16: 1,
+            substrate_hops: 48,
+            quartz_nodes: 2988,
+            vulcan_dims: vec![8, 8, 8, 8, 6],
+            vulcan_cores: 16,
         }
     }
 
@@ -113,6 +152,12 @@ impl BenchParams {
             serve_baselines: 3,
             serve_steps: 40,
             seed: 0xBE5C_0007,
+            weak_scaling_exponents: vec![6, 8],
+            substrate_seeds_per_16: 1,
+            substrate_hops: 12,
+            quartz_nodes: 96,
+            vulcan_dims: vec![4, 4, 2],
+            vulcan_cores: 4,
         }
     }
 }
@@ -149,6 +194,87 @@ fn measure_engine<Q: EventQueue<FatPayload>>(p: &BenchParams) -> EngineMeasureme
         events_per_sec: events as f64 / wall_s.max(1e-12),
         peak_queue_depth: peak,
         allocations,
+    }
+}
+
+struct SubstrateMeasurement {
+    components: usize,
+    wall_s: f64,
+    events_per_sec: f64,
+    delivered: u64,
+    bytes_per_component: f64,
+    peak_queue_depth: usize,
+}
+
+/// Build a flat-store substrate engine, record the live-byte footprint of
+/// the built engine (links + states + injected queue), then run it to
+/// completion and cross-check delivery conservation and the streaming-stat
+/// reduction.
+fn measure_substrate<F>(build: F, seeds_per_16: u64, hops: u64) -> SubstrateMeasurement
+where
+    F: FnOnce() -> EngineBuilder<u64, SoaStore<u64, RelayModel>>,
+{
+    let live_before = live_bytes();
+    let builder = build();
+    let components = builder.n_components();
+    let mut engine = builder.build();
+    let seeds = ((components as u64) * seeds_per_16 / 16).max(1);
+    inject_relay_seeds(&mut engine, components, seeds, hops);
+    let bytes = live_bytes().saturating_sub(live_before);
+    let start = Instant::now();
+    assert_eq!(engine.run_to_completion(), RunOutcome::Drained);
+    let wall_s = start.elapsed().as_secs_f64();
+    let delivered = engine.delivered();
+    assert_eq!(delivered, relay_total_events(seeds, hops), "relay conservation violated");
+    let peak_queue_depth = engine.peak_queue_depth();
+    let store = engine.into_store();
+    let (seen, _stat) = merge_relay_stats(store.states());
+    assert_eq!(seen, delivered, "per-component streaming counters disagree with the engine");
+    SubstrateMeasurement {
+        components,
+        wall_s,
+        events_per_sec: delivered as f64 / wall_s.max(1e-12),
+        delivered,
+        bytes_per_component: bytes as f64 / components as f64,
+        peak_queue_depth,
+    }
+}
+
+/// The memory regression gate behind `cargo run --release -p xtask --
+/// mem-gate`: build the weak-scaling torus substrate at each ladder size
+/// and require bytes-per-component flat within `tolerance` (±10% in CI)
+/// from the smallest size to the largest. `Err` carries the failure text;
+/// the caller turns it into a nonzero exit.
+pub fn mem_gate(exponents: &[u32], tolerance: f64) -> Result<String, String> {
+    assert!(!exponents.is_empty(), "mem-gate needs at least one size");
+    let mut lines = Vec::new();
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for &k in exponents {
+        let t = Torus::new(&Torus::balanced_pow2_dims(5, k));
+        let m = measure_substrate(|| torus_substrate_builder(&t), 1, 8);
+        lines.push(format!(
+            "mem-gate: 2^{k} = {} components -> {:.1} bytes/component ({} events in {:.3}s)",
+            m.components, m.bytes_per_component, m.delivered, m.wall_s
+        ));
+        lo = lo.min(m.bytes_per_component);
+        hi = hi.max(m.bytes_per_component);
+    }
+    if lo <= 0.0 {
+        return Err(
+            "mem-gate: counting allocator not installed — run via the xtask binary".to_string()
+        );
+    }
+    let ratio = hi / lo;
+    lines.push(format!(
+        "mem-gate: flatness {ratio:.4} (max/min bytes per component, tolerance {:.2})",
+        1.0 + tolerance
+    ));
+    let text = lines.join("\n");
+    if ratio > 1.0 + tolerance {
+        Err(format!("{text}\nmem-gate: FAILED — per-component memory is not flat"))
+    } else {
+        Ok(text)
     }
 }
 
@@ -457,6 +583,39 @@ pub fn run(p: &BenchParams) -> String {
     let overlay_wall = overlay_start.elapsed().as_secs_f64();
     let overlay_allocs = allocations_now() - overlay_alloc;
 
+    // ── Weak scaling: torus relay from 64k out to 1M+ components ─────
+    let weak: Vec<(u32, Vec<usize>, SubstrateMeasurement)> = p
+        .weak_scaling_exponents
+        .iter()
+        .map(|&k| {
+            let dims = Torus::balanced_pow2_dims(5, k);
+            let t = Torus::new(&dims);
+            let m = measure_substrate(
+                || torus_substrate_builder(&t),
+                p.substrate_seeds_per_16,
+                p.substrate_hops,
+            );
+            (k, dims, m)
+        })
+        .collect();
+    let weak_lo = weak.iter().map(|(_, _, m)| m.bytes_per_component).fold(f64::INFINITY, f64::min);
+    let weak_hi = weak.iter().map(|(_, _, m)| m.bytes_per_component).fold(0.0f64, f64::max);
+    let bytes_flat_ratio = if weak_lo > 0.0 { weak_hi / weak_lo } else { 0.0 };
+
+    // ── Full machines: Quartz fat-tree nodes, Vulcan torus cores ─────
+    let quartz_ft = FatTree::fitting(p.quartz_nodes, 32, 0.5);
+    let quartz = measure_substrate(
+        || fattree_substrate_builder(&quartz_ft, p.quartz_nodes),
+        p.substrate_seeds_per_16,
+        p.substrate_hops,
+    );
+    let vulcan_t = Torus::new(&p.vulcan_dims);
+    let vulcan = measure_substrate(
+        || torus_cores_substrate_builder(&vulcan_t, p.vulcan_cores),
+        p.substrate_seeds_per_16,
+        p.substrate_hops,
+    );
+
     // ── Scenario server: throughput, shedding, cache, chaos profile ──
     let serve = measure_serve(p);
 
@@ -477,7 +636,37 @@ pub fn run(p: &BenchParams) -> String {
 
     let total_wall = run_start.elapsed().as_secs_f64();
     let total_allocs = allocations_now() - alloc_start;
-    let total_events = 2 * engine_events + crash.fault_events_total + sdc.fault_events_total;
+    let substrate_events: u64 =
+        weak.iter().map(|(_, _, m)| m.delivered).sum::<u64>() + quartz.delivered + vulcan.delivered;
+    let total_events =
+        2 * engine_events + crash.fault_events_total + sdc.fault_events_total + substrate_events;
+
+    let substrate_fields = |m: &SubstrateMeasurement| {
+        format!(
+            "\"components\": {}, \"wall_s\": {}, \"events_per_sec\": {}, \"delivered\": {}, \
+             \"bytes_per_component\": {}, \"peak_queue_depth\": {}",
+            m.components,
+            json_f(m.wall_s),
+            json_f(m.events_per_sec),
+            m.delivered,
+            json_f(m.bytes_per_component),
+            m.peak_queue_depth
+        )
+    };
+    let dims_json = |dims: &[usize]| {
+        dims.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    };
+    let weak_points = weak
+        .iter()
+        .map(|(k, dims, m)| {
+            format!(
+                "{{ \"exponent\": {k}, \"dims\": [{}], {} }}",
+                dims_json(dims),
+                substrate_fields(m)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
 
     let engine_leaf = |m: &EngineMeasurement| {
         leaf(
@@ -511,8 +700,8 @@ pub fn run(p: &BenchParams) -> String {
 
     format!(
         "{{\n\
-         \u{20} \"schema\": \"besst-bench-json-v3\",\n\
-         \u{20} \"bench_id\": \"BENCH_0009\",\n\
+         \u{20} \"schema\": \"besst-bench-json-v4\",\n\
+         \u{20} \"bench_id\": \"BENCH_0011\",\n\
          \u{20} \"seed\": {seed},\n\
          \u{20} \"engine\": {{\n\
          \u{20}   \"workload\": \"churn\",\n\
@@ -578,6 +767,20 @@ pub fn run(p: &BenchParams) -> String {
          \u{20}     \"mismatched\": {failover_mismatched}\n\
          \u{20}   }}\n\
          \u{20} }},\n\
+         \u{20} \"weak_scaling\": {{\n\
+         \u{20}   \"workload\": \"torus-relay\",\n\
+         \u{20}   \"storage\": \"soa-flat\",\n\
+         \u{20}   \"hops\": {substrate_hops},\n\
+         \u{20}   \"seeds_per_16_components\": {seeds_per_16},\n\
+         \u{20}   \"bytes_flat_ratio\": {bytes_flat_ratio},\n\
+         \u{20}   \"points\": [{weak_points}]\n\
+         \u{20} }},\n\
+         \u{20} \"full_machine\": {{\n\
+         \u{20}   \"quartz\": {{ \"fabric\": \"fat-tree-2stage\", \"n_leaves\": {quartz_leaves}, \
+                     \"leaf_degree\": {quartz_leaf_degree}, {quartz_fields} }},\n\
+         \u{20}   \"vulcan_cores\": {{ \"fabric\": \"torus\", \"dims\": [{vulcan_dims}], \
+                     \"cores\": {vulcan_cores}, \"node_degree\": {vulcan_degree}, {vulcan_fields} }}\n\
+         \u{20} }},\n\
          \u{20} \"totals\": {{\n\
          \u{20}   \"wall_s\": {total_wall},\n\
          \u{20}   \"events_total\": {total_events},\n\
@@ -633,6 +836,17 @@ pub fn run(p: &BenchParams) -> String {
         failover_lost = cluster.lost,
         failover_duplicated = cluster.duplicated,
         failover_mismatched = cluster.mismatched,
+        substrate_hops = p.substrate_hops,
+        seeds_per_16 = p.substrate_seeds_per_16,
+        bytes_flat_ratio = json_f(bytes_flat_ratio),
+        weak_points = weak_points,
+        quartz_leaves = quartz_ft.n_leaves(),
+        quartz_leaf_degree = quartz_ft.leaf_degree(),
+        quartz_fields = substrate_fields(&quartz),
+        vulcan_dims = dims_json(&p.vulcan_dims),
+        vulcan_cores = p.vulcan_cores,
+        vulcan_degree = vulcan_t.degree(),
+        vulcan_fields = substrate_fields(&vulcan),
         total_wall = json_f(total_wall),
         total_events = total_events,
         total_allocs = total_allocs,

@@ -24,16 +24,18 @@ struct CountingAlloc;
 // which upholds the `GlobalAlloc` contract; the counter update has no
 // effect on the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
-    // SAFETY: same contract as `System::alloc`; the counter bump is the
-    // only addition and it cannot affect the returned allocation.
+    // SAFETY: same contract as `System::alloc`; the counter bumps are the
+    // only addition and they cannot affect the returned allocation.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         xtask::bench::ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        xtask::bench::ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         // SAFETY: `layout` is the caller's layout, passed through unchanged.
         unsafe { System.alloc(layout) }
     }
 
     // SAFETY: same contract as `System::dealloc`, forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        xtask::bench::FREED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         // SAFETY: `ptr` was produced by `self.alloc` (i.e. by `System`)
         // with the same `layout`, as the `GlobalAlloc` contract requires.
         unsafe { System.dealloc(ptr, layout) }
@@ -57,6 +59,9 @@ fn usage() -> ExitCode {
          \u{20}                              pinned-seed benchmark suite; writes the JSON report\n\
          \u{20}                              to --out (default stdout); --miniature runs the\n\
          \u{20}                              seconds-scale test configuration\n\
+         \u{20} mem-gate [--quick]           per-component memory regression gate: flat-store\n\
+         \u{20}                              substrate builds from 64k to 1M components must stay\n\
+         \u{20}                              within +/-10% bytes/component; --quick runs 1k-4k\n\
          see docs/STATIC_ANALYSIS.md for the lint catalog and\n\
          docs/PERFORMANCE.md for the bench-json schema"
     );
@@ -168,6 +173,20 @@ fn main() -> ExitCode {
                     if report.findings.len() == 1 { "" } else { "s" }
                 );
                 ExitCode::FAILURE
+            }
+        }
+        Some("mem-gate") => {
+            let exponents: Vec<u32> =
+                if args.iter().any(|a| a == "--quick") { vec![10, 12] } else { vec![16, 18, 20] };
+            match xtask::bench::mem_gate(&exponents, 0.10) {
+                Ok(text) => {
+                    eprintln!("{text}\nmem-gate: OK");
+                    ExitCode::SUCCESS
+                }
+                Err(text) => {
+                    eprintln!("{text}");
+                    ExitCode::FAILURE
+                }
             }
         }
         Some("bench-json") => {

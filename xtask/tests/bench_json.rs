@@ -2,7 +2,7 @@
 //! configuration in-process and validates the report's shape — every
 //! section and leaf field present, rates strictly positive, totals at
 //! least the sum of their parts. Keeps the committed
-//! `results/BENCH_0009.json` regenerable without a JSON parser dependency
+//! `results/BENCH_0011.json` regenerable without a JSON parser dependency
 //! (serde_json is stubbed in this repo's offline builds).
 
 use xtask::bench::{json_number, run, BenchParams};
@@ -22,6 +22,8 @@ fn miniature_report_has_the_full_schema() {
         "\"overlay_sweep\":",
         "\"serve\":",
         "\"serve_cluster\":",
+        "\"weak_scaling\":",
+        "\"full_machine\":",
         "\"totals\":",
     ] {
         assert!(report.contains(section), "missing section {section} in:\n{report}");
@@ -34,11 +36,14 @@ fn miniature_report_has_the_full_schema() {
         "\"chaos\":",
         "\"scaling\":",
         "\"failover\":",
+        "\"points\":",
+        "\"quartz\":",
+        "\"vulcan_cores\":",
     ] {
         assert!(report.contains(leaf), "missing leaf {leaf} in:\n{report}");
     }
-    assert!(report.contains("\"schema\": \"besst-bench-json-v3\""), "schema tag missing");
-    assert!(report.contains("\"bench_id\": \"BENCH_0009\""), "bench id missing");
+    assert!(report.contains("\"schema\": \"besst-bench-json-v4\""), "schema tag missing");
+    assert!(report.contains("\"bench_id\": \"BENCH_0011\""), "bench id missing");
 
     // Every measured field must parse as a number.
     for key in [
@@ -83,9 +88,57 @@ fn miniature_report_has_the_full_schema() {
         "lost",
         "duplicated",
         "mismatched",
+        "bytes_flat_ratio",
+        "exponent",
+        "bytes_per_component",
+        "delivered",
+        "n_leaves",
+        "leaf_degree",
+        "cores",
+        "node_degree",
     ] {
         field(&report, key);
     }
+}
+
+#[test]
+fn weak_scaling_section_is_consistent() {
+    let p = BenchParams::miniature();
+    let report = run(&p);
+    let at = report.find("\"weak_scaling\"").expect("weak_scaling section");
+    let section = &report[at..report.find("\"full_machine\"").expect("full_machine section")];
+    // One point per exponent, components = 2^exponent, delivery
+    // conservation per point.
+    for &k in &p.weak_scaling_exponents {
+        let marker = format!("\"exponent\": {k},");
+        let point_at = section.find(&marker).unwrap_or_else(|| panic!("missing 2^{k} point"));
+        let point = &section[point_at..];
+        assert_eq!(field(point, "components"), (1u64 << k) as f64);
+        let seeds = ((1u64 << k) * p.substrate_seeds_per_16 / 16).max(1);
+        assert_eq!(field(point, "delivered"), (seeds * (p.substrate_hops + 1)) as f64);
+        assert!(field(point, "events_per_sec") > 0.0);
+    }
+    // Without the counting allocator the ratio reads 0; with it, the gate
+    // range. Either way it must be present and finite.
+    let ratio = field(section, "bytes_flat_ratio");
+    assert!(ratio >= 0.0);
+
+    // Full-machine runs deliver and conserve too.
+    let fm = &report[report.find("\"full_machine\"").expect("full_machine")..];
+    let quartz = &fm[fm.find("\"quartz\"").expect("quartz leaf")..];
+    assert_eq!(field(quartz, "components"), p.quartz_nodes as f64);
+    let vulcan = &fm[fm.find("\"vulcan_cores\"").expect("vulcan leaf")..];
+    let vulcan_components: usize = p.vulcan_dims.iter().product::<usize>() * p.vulcan_cores;
+    assert_eq!(field(vulcan, "components"), vulcan_components as f64);
+}
+
+#[test]
+fn mem_gate_reports_missing_allocator_in_tests() {
+    // The test harness never installs the counting allocator, so the gate
+    // must refuse to pass vacuously rather than report 0-byte components.
+    let err = xtask::bench::mem_gate(&[4, 5], 0.10)
+        .expect_err("gate must not pass without the counting allocator");
+    assert!(err.contains("counting allocator"), "unexpected gate error: {err}");
 }
 
 #[test]

@@ -33,3 +33,30 @@ fn recycle_slots(s: &mut HashedScheduler) {
     // generation-checked before reuse, so iteration order is unobservable.
     let _free: std::collections::HashSet<u32> = Default::default();
 }
+
+// ── Flat-table shapes ──────────────────────────────────────────────────
+
+/// The struct-of-arrays replacement: dense per-component state plus CSR
+/// link offsets. Iteration order is index order by construction, so D1
+/// must stay silent on every line of this block.
+struct FlatStore {
+    states: Vec<u64>,
+    link_offsets: Vec<u32>,
+    link_slots: Vec<u32>,
+}
+
+fn flat_iteration(s: &FlatStore) {
+    for (id, st) in s.states.iter().enumerate() {
+        let lo = s.link_offsets[id] as usize;
+        let hi = s.link_offsets[id + 1] as usize;
+        for slot in &s.link_slots[lo..hi] {
+            let _ = (st, slot);
+        }
+    }
+}
+
+/// A hash-keyed side index undoes the determinism the flat tables buy —
+/// D1 fires on it exactly as on the scheduler-shaped map above.
+struct HashIndexedStore {
+    index: std::collections::HashMap<u64, usize>, // VIOLATION
+}

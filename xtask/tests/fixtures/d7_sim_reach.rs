@@ -33,4 +33,30 @@ fn island() {
     let _ = t;
 }
 
-fn cold() {}
+fn cold() {
+    flat_scan();
+    hash_index();
+}
+
+// ── Flat-table shapes ──────────────────────────────────────────────────
+
+// The SoA component store's iteration surface — contiguous state slices
+// walked by CSR offsets. Reachable from the dispatch root and entirely
+// deterministic: D7 must stay silent on every line here.
+fn flat_scan() {
+    let states: Vec<u64> = vec![0; 8];
+    let offsets: [usize; 3] = [0, 4, 8];
+    for w in offsets.windows(2) {
+        for s in &states[w[0]..w[1]] {
+            let _ = *s;
+        }
+    }
+}
+
+// A hash-keyed component index reachable from the same root: the exact
+// shape the flat store replaces, and one D7 must still catch even though
+// this crate persona tolerates it per-line.
+fn hash_index() {
+    let idx = std::collections::HashMap::<u32, usize>::new(); // VIOLATION
+    let _ = idx.len();
+}

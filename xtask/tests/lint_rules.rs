@@ -45,9 +45,15 @@ fn d1_hash_order_fixture() {
     let f = lint_source(&c, &fixture("d1_hash_order.rs"));
     assert_eq!(
         hits(&f),
-        vec![(Rule::HashOrder, 4), (Rule::HashOrder, 8), (Rule::HashOrder, 27)],
-        "expected the two seeded HashMap violations plus the \
-         scheduler-shaped pending map: {f:#?}"
+        vec![
+            (Rule::HashOrder, 4),
+            (Rule::HashOrder, 8),
+            (Rule::HashOrder, 27),
+            (Rule::HashOrder, 61),
+        ],
+        "expected the two seeded HashMap violations, the scheduler-shaped \
+         pending map, and the hash-keyed store index — with the flat-table \
+         iteration block staying silent: {f:#?}"
     );
     // Diagnostics carry the file path for file:line reporting.
     assert!(f[0].to_string().contains("d1_hash_order.rs:4:"));
@@ -163,10 +169,11 @@ fn d7_sim_reach_fixture() {
     let (f, used) = check_sim_reach(&graph);
     assert_eq!(
         hits(&f),
-        vec![(Rule::SimReach, 15), (Rule::SimReach, 20)],
-        "expected the aliased HashMap and the laundered Instant::now, \
-         with the justified use suppressed and the unreachable `island` \
-         ignored: {f:#?}"
+        vec![(Rule::SimReach, 15), (Rule::SimReach, 20), (Rule::SimReach, 60)],
+        "expected the aliased HashMap, the laundered Instant::now, and the \
+         hash-keyed store index behind `cold` — with the justified use \
+         suppressed, the unreachable `island` ignored, and the flat-table \
+         `flat_scan` staying silent: {f:#?}"
     );
     // The diagnostic names the alias and walks the chain back to the root.
     assert!(f[0].what.contains("aliased as `Map`"), "{}", f[0].what);
